@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the table/figure it regenerates (run pytest
+with ``-s`` to see them inline; they are also asserted structurally).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Render an aligned text table, paper-style."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(f"== {title}")
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    print()

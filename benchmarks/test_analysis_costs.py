@@ -1,0 +1,56 @@
+"""Cost of the post-expansion analyses (capture lint, undeclared-name
+lint, free variables) relative to expansion itself."""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.analysis import (
+    detect_captures,
+    free_identifiers,
+    undeclared_identifiers,
+)
+from repro.packages import load_standard
+
+PROGRAM = """
+myenum status {ok, failed};
+
+int process(int handle)
+{
+    int i;
+    catch failed
+        {log_failure();}
+        { Painting { for_range i = 0 to 9 { draw_row(i); } } }
+    unwind_protect { finish(handle); } { cleanup(handle); }
+    return(ok);
+}
+"""
+
+
+def expanded_unit():
+    mp = MacroProcessor()
+    load_standard(mp)
+    return mp.expand_to_ast(PROGRAM)
+
+
+@pytest.mark.benchmark(group="analysis-costs")
+class TestAnalysisCosts:
+    def test_expansion_baseline(self, benchmark):
+        benchmark(expanded_unit)
+
+    def test_capture_detection(self, benchmark):
+        unit = expanded_unit()
+        benchmark(lambda: detect_captures(unit))
+
+    def test_undeclared_lint(self, benchmark):
+        unit = expanded_unit()
+        benchmark(lambda: undeclared_identifiers(unit))
+
+    def test_free_identifiers(self, benchmark):
+        unit = expanded_unit()
+        fn = unit.items[-1]
+        benchmark(lambda: free_identifiers(fn))
+
+
+class TestAnalysisCorrectOnBenchInput:
+    def test_no_captures_in_standard_packages(self):
+        assert detect_captures(expanded_unit()) == []

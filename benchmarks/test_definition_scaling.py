@@ -1,0 +1,85 @@
+"""Ablation: where does macro-definition time go?
+
+A ``syntax`` definition is (a) pattern-parsed, (b) lookahead-
+validated, (c) body-parsed with placeholder type analysis, and
+(d) body-checked.  These benches separate the pieces and measure how
+definition cost scales with body size — quantifying the price of the
+paper's definition-time guarantee (work that CPP, with no guarantee,
+never does).
+"""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.macros.lookahead import validate_pattern
+from repro.macros.pattern import parse_pattern_text
+
+
+def macro_with_body_statements(n: int) -> str:
+    body_stmts = " ".join(f"stage{i}();" for i in range(n))
+    return (
+        "syntax stmt staged {| $$stmt::body |}"
+        "{ return(`{{" + body_stmts + " $body;}}); }"
+    )
+
+
+@pytest.mark.benchmark(group="definition-scaling")
+class TestDefinitionScaling:
+    @pytest.mark.parametrize("n", [1, 10, 50, 200])
+    def test_define_macro_with_n_template_statements(self, benchmark, n):
+        src = macro_with_body_statements(n)
+
+        def define():
+            mp = MacroProcessor()
+            mp.load(src)
+            return mp
+
+        assert "staged" in define().table.names()
+        benchmark(define)
+
+
+@pytest.mark.benchmark(group="lookahead-validation")
+class TestLookaheadValidationCost:
+    """The one-token-lookahead check runs once per definition."""
+
+    PATTERNS = {
+        "trivial": "$$stmt::body",
+        "moderate": "$$id::name { $$+/, id::ids } ;",
+        "complex": (
+            "$$id::v = $$exp::lo to $$exp::hi $$? step exp::s"
+            " { $$*stmt::body }"
+        ),
+        "tuple-heavy": (
+            "$$+/, ( $$id::k = $$exp::v )::pairs ;"
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_validate(self, benchmark, name):
+        pattern = parse_pattern_text(self.PATTERNS[name])
+        benchmark(lambda: validate_pattern(pattern, "m"))
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_pattern_parse(self, benchmark, name):
+        text = self.PATTERNS[name]
+        benchmark(lambda: parse_pattern_text(text))
+
+
+@pytest.mark.benchmark(group="placeholder-density")
+class TestPlaceholderDensity:
+    """Template parse cost vs number of placeholders in the template."""
+
+    @pytest.mark.parametrize("n", [0, 2, 8, 16])
+    def test_parse_template_with_n_placeholders(self, benchmark, n):
+        from repro.asttypes.types import prim
+        from repro.figures import parse_template_fragment
+
+        bindings = {f"p{i}": prim("exp") for i in range(max(n, 1))}
+        if n == 0:
+            stmts_text = " ".join(f"f{i}(x);" for i in range(8))
+        else:
+            stmts_text = " ".join(f"f{i}($p{i % n});" for i in range(8))
+        source = "{" + stmts_text + "}"
+        benchmark(
+            lambda: parse_template_fragment("stmt", source, bindings)
+        )

@@ -1,0 +1,115 @@
+"""End-to-end expansion throughput (the paper's announced-but-never-
+reported "large scale experiments").
+
+Measures the full pipeline — tokenize, parse, type-check, expand,
+unparse — on synthesized programs of growing size, with and without
+macro use, plus the per-invocation cost of each standard package
+macro.
+"""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.packages import load_standard
+
+
+def plain_program(n_functions: int) -> str:
+    parts = []
+    for i in range(n_functions):
+        parts.append(
+            f"int fn{i}(int a, int b)\n"
+            f"{{\n"
+            f"    int total;\n"
+            f"    total = a * {i} + b;\n"
+            f"    if (total > 100) total = total - 100;\n"
+            f"    while (total > 10) total = total / 2;\n"
+            f"    return total;\n"
+            f"}}\n"
+        )
+    return "\n".join(parts)
+
+
+def macro_program(n_functions: int) -> str:
+    parts = []
+    for i in range(n_functions):
+        parts.append(
+            f"void fn{i}(void)\n"
+            f"{{\n"
+            f"    int i;\n"
+            f"    Painting {{ draw{i}(); }}\n"
+            f"    for_range i = 0 to {i + 3} {{ tick(); }}\n"
+            f"    unless (done()) {{ catch tag{i} {{h();}} {{risky();}} }}\n"
+            f"}}\n"
+        )
+    return "\n".join(parts)
+
+
+@pytest.mark.benchmark(group="throughput-plain")
+class TestPlainCThroughput:
+    @pytest.mark.parametrize("n", [1, 10, 50])
+    def test_plain(self, benchmark, n):
+        src = plain_program(n)
+        benchmark(lambda: MacroProcessor().expand_to_c(src))
+
+
+@pytest.mark.benchmark(group="throughput-macros")
+class TestMacroThroughput:
+    @pytest.mark.parametrize("n", [1, 10, 50])
+    def test_macro_heavy(self, benchmark, n):
+        src = macro_program(n)
+
+        def run():
+            mp = MacroProcessor()
+            load_standard(mp)
+            return mp.expand_to_c(src)
+
+        out = run()
+        assert "setjmp" in out  # macros actually expanded
+        benchmark(run)
+
+
+@pytest.mark.benchmark(group="per-macro-cost")
+class TestPerMacroCost:
+    """Cost of a single expansion of each standard macro."""
+
+    CASES = {
+        "Painting": "void f(void) { Painting { draw(); } }",
+        "dynamic_bind": (
+            "void f(void) { dynamic_bind {int d = 1} {go();} }"
+        ),
+        "throw": "void f(void) { throw tag; }",
+        "catch": "void f(void) { catch tag {h();} {b();} }",
+        "unwind_protect": (
+            "void f(void) { unwind_protect {b();} {c();} }"
+        ),
+        "myenum": "myenum fruit {apple, banana, kiwi};",
+        "for_range": (
+            "void f(void) { int i; for_range i = 0 to 9 {t();} }"
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_single_macro(self, benchmark, name):
+        src = self.CASES[name]
+
+        def run():
+            mp = MacroProcessor()
+            load_standard(mp)
+            return mp.expand_to_c(src)
+
+        benchmark(run)
+
+
+@pytest.mark.benchmark(group="definition-cost")
+class TestDefinitionCost:
+    """Cost of loading (parsing + type-checking) the macro packages."""
+
+    def test_load_standard_packages(self, benchmark):
+        def load():
+            mp = MacroProcessor()
+            load_standard(mp)
+            return mp
+
+        mp = load()
+        assert len(mp.table) >= 10
+        benchmark(load)

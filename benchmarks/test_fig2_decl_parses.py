@@ -1,0 +1,49 @@
+"""Figure 2: the four parses of the template ``[int $y;]``.
+
+Regenerates the paper's table (the parse of a declaration template as
+a function of the AST type of the placeholder ``y``) and benchmarks
+the type-directed template parse.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.asttypes.types import list_of, prim
+from repro.figures import FIGURE2_TYPES, figure2_rows, parse_template_fragment
+
+PAPER_ROWS = {
+    "init-declarator[]": "(declaration (int) y)",
+    "init-declarator": "(declaration (int) (y))",
+    "declarator": "(declaration (int) ((init-declarator y ())))",
+    "identifier": (
+        "(declaration (int) ((init-declarator (direct-declarator y) ())))"
+    ),
+}
+
+
+class TestFigure2Table:
+    def test_regenerate_table(self):
+        rows = figure2_rows()
+        print_table(
+            "Figure 2 — parses of the template [int $y;] by AST type of y",
+            ["AST type of y", "Parse"],
+            rows,
+        )
+        assert dict(rows) == PAPER_ROWS
+
+    def test_four_distinct_parses(self):
+        assert len({sx for _, sx in figure2_rows()}) == 4
+
+
+@pytest.mark.benchmark(group="fig2-template-parse")
+class TestTemplateParseCost:
+    """Cost of the type-directed parse, per placeholder type."""
+
+    @pytest.mark.parametrize("label,asttype", FIGURE2_TYPES,
+                             ids=[l for l, _ in FIGURE2_TYPES])
+    def test_parse_template(self, benchmark, label, asttype):
+        benchmark(
+            lambda: parse_template_fragment(
+                "decl", "int $y;", {"y": asttype}
+            )
+        )

@@ -1,0 +1,65 @@
+"""Figure 3: parses of ``{int x; $ph1 $ph2 return(x);}``.
+
+Regenerates the paper's table — the declaration/statement boundary
+inside a compound statement template is decided by the placeholder
+types, including the syntactically illegal stmt-then-decl case — and
+benchmarks the disambiguation.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.asttypes.types import prim
+from repro.errors import ParseError
+from repro.figures import FIGURE3_TYPES, figure3_rows, parse_template_fragment
+
+PAPER_ROWS = {
+    ("decl", "decl"): (
+        '(c-s (decl-list ((decl "int x") ph1 ph2)) '
+        "(stmt-list ((r-s (exp (id x))))))"
+    ),
+    ("decl", "stmt"): (
+        '(c-s (decl-list ((decl "int x") ph1)) '
+        "(stmt-list (ph2 (r-s (exp (id x))))))"
+    ),
+    ("stmt", "stmt"): (
+        '(c-s (decl-list ((decl "int x"))) '
+        "(stmt-list (ph1 ph2 (r-s (exp (id x))))))"
+    ),
+    ("stmt", "decl"): "Syntactically Illegal Program",
+}
+
+
+class TestFigure3Table:
+    def test_regenerate_table(self):
+        rows = figure3_rows()
+        print_table(
+            "Figure 3 — parses of {int x; $ph1 $ph2 return(x);}",
+            ["ph1", "ph2", "Parse"],
+            rows,
+        )
+        assert {(a, b): sx for a, b, sx in rows} == PAPER_ROWS
+
+    def test_illegal_case_detected_at_parse_time(self):
+        with pytest.raises(ParseError):
+            parse_template_fragment(
+                "stmt",
+                "{int x; $ph1 $ph2 return(x);}",
+                {"ph1": prim("stmt"), "ph2": prim("decl")},
+            )
+
+
+@pytest.mark.benchmark(group="fig3-compound-parse")
+class TestCompoundDisambiguationCost:
+    @pytest.mark.parametrize(
+        "t1,t2",
+        [(a, b) for a, b in FIGURE3_TYPES if (a, b) != ("stmt", "decl")],
+        ids=["decl-decl", "decl-stmt", "stmt-stmt"],
+    )
+    def test_parse_compound_template(self, benchmark, t1, t2):
+        bindings = {"ph1": prim(t1), "ph2": prim(t2)}
+        benchmark(
+            lambda: parse_template_fragment(
+                "stmt", "{int x; $ph1 $ph2 return(x);}", bindings
+            )
+        )

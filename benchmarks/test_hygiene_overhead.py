@@ -1,0 +1,78 @@
+"""Cost of the hygienic-renaming extension (paper section 5).
+
+The paper's examples use explicit ``gensym``; section 5 sketches
+automatic hygiene.  This bench measures what the automatic variant
+costs over gensym-by-hand, per expansion.
+"""
+
+import pytest
+
+from repro import MacroProcessor
+
+#: A macro whose template declares two locals (rename candidates).
+TEMPLATE_LOCALS = """
+syntax stmt guard {| $$stmt::body |}
+{
+  return(`{{int saved = level;
+            int depth = 0;
+            level = level + 1;
+            $body;
+            level = saved;
+            use(depth);}});
+}
+"""
+
+#: The manual-gensym equivalent (what the paper's examples do).
+MANUAL_GENSYM = """
+syntax stmt guard {| $$stmt::body |}
+{
+  @id saved = gensym();
+  @id depth = gensym();
+  return(`{{int $saved = level;
+            int $depth = 0;
+            level = level + 1;
+            $body;
+            level = $saved;
+            use($depth);}});
+}
+"""
+
+PROGRAM = "void f(void) { guard { work(); } }"
+
+
+def run(definition: str, hygienic: bool) -> str:
+    mp = MacroProcessor(hygienic=hygienic)
+    mp.load(definition)
+    return mp.expand_to_c(PROGRAM)
+
+
+class TestBehaviour:
+    def test_hygienic_renames_template_locals(self):
+        out = run(TEMPLATE_LOCALS, hygienic=True)
+        assert "int saved" not in out
+
+    def test_unhygienic_keeps_names(self):
+        out = run(TEMPLATE_LOCALS, hygienic=False)
+        assert "int saved" in out
+
+    def test_manual_gensym_equivalent_protection(self):
+        out = run(MANUAL_GENSYM, hygienic=False)
+        assert "int saved" not in out
+
+
+@pytest.mark.benchmark(group="hygiene")
+class TestHygieneOverhead:
+    def test_unhygienic_expansion(self, benchmark):
+        mp = MacroProcessor(hygienic=False)
+        mp.load(TEMPLATE_LOCALS)
+        benchmark(lambda: mp.expand_to_ast(PROGRAM))
+
+    def test_hygienic_expansion(self, benchmark):
+        mp = MacroProcessor(hygienic=True)
+        mp.load(TEMPLATE_LOCALS)
+        benchmark(lambda: mp.expand_to_ast(PROGRAM))
+
+    def test_manual_gensym_expansion(self, benchmark):
+        mp = MacroProcessor(hygienic=False)
+        mp.load(MANUAL_GENSYM)
+        benchmark(lambda: mp.expand_to_ast(PROGRAM))

@@ -1,0 +1,74 @@
+"""Section 3's parse-time costs, isolated.
+
+The paper's parser must (a) consult the macro keyword table at every
+declaration/statement/expression position and (b) run AST type
+analysis while parsing templates.  These benches isolate each cost:
+
+* plain C parsing with no macro host (the do-nothing baseline);
+* the same source parsed with a host and a populated macro table;
+* template parsing (placeholder type analysis on) vs parsing the same
+  text as plain C (identifiers instead of placeholders).
+"""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.asttypes.types import list_of, prim
+from repro.figures import parse_template_fragment
+from repro.parser.core import Parser
+
+SOURCE = """
+int helper(int a, int b)
+{
+    int i;
+    int total;
+    total = 0;
+    for (i = 0; i < a; i++) total = total + b * i;
+    if (total > 1000) return 1000;
+    return total;
+}
+"""
+
+TEMPLATE_TEXT = "{int x; $ph1 $ph2 x = $e + 1; return(x);}"
+PLAIN_TEXT = "{int x; ph1(); ph2(); x = e + 1; return(x);}"
+
+
+@pytest.mark.benchmark(group="parse-costs")
+class TestParseCosts:
+    def test_plain_c_no_host(self, benchmark):
+        benchmark(lambda: Parser(SOURCE).parse_program())
+
+    def test_plain_c_with_macro_table(self, benchmark):
+        mp = MacroProcessor()
+        from repro.packages import load_standard
+
+        load_standard(mp)
+
+        def parse():
+            parser = mp.make_parser(SOURCE)
+            return parser.parse_program()
+
+        benchmark(parse)
+
+    def test_template_with_placeholders(self, benchmark):
+        bindings = {
+            "ph1": prim("stmt"),
+            "ph2": prim("stmt"),
+            "e": prim("exp"),
+        }
+        benchmark(
+            lambda: parse_template_fragment("stmt", TEMPLATE_TEXT, bindings)
+        )
+
+    def test_same_shape_plain_c(self, benchmark):
+        benchmark(
+            lambda: Parser(PLAIN_TEXT).parse_statement()
+        )
+
+
+@pytest.mark.benchmark(group="tokenizer")
+class TestTokenizerCost:
+    def test_tokenize_only(self, benchmark):
+        from repro.lexer.scanner import tokenize
+
+        benchmark(lambda: tokenize(SOURCE))

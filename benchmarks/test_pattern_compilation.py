@@ -1,0 +1,95 @@
+"""Section 3's suggested acceleration, implemented and measured.
+
+"Even this process could be accelerated by a routine that compiled a
+parse routine for each macro's pattern.  This specialized routine
+would be associated with the macro keyword and called when needed."
+
+We benchmark invocation parsing with the interpreted pattern engine
+against the compiled per-macro routines, across patterns of
+increasing complexity.
+"""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.lexer.scanner import tokenize
+from repro.macros.compiled import compile_pattern
+from repro.macros.invocation import InvocationParser
+from repro.parser.core import Parser
+from repro.parser.stream import TokenStream
+
+CASES = {
+    "simple": (
+        "syntax stmt m {| ( $$exp::a ) |} { return(`{f($a);}); }",
+        "m (x + 1)",
+    ),
+    "buzz-tokens": (
+        "syntax stmt m {| $$id::v = $$exp::lo to $$exp::hi |}"
+        "{ return(`{loop($v, $lo, $hi);}); }",
+        "m i = 0 to 100",
+    ),
+    "separated-list": (
+        "syntax stmt m {| { $$+/, id::ids } |} { return(`{f($ids);}); }",
+        "m {a, b, c, d, e, f, g, h}",
+    ),
+    "optional+repetition": (
+        "syntax stmt m {| $$id::v = $$exp::hi $$? by exp::s"
+        " { $$*stmt::body } |}"
+        "{ return(`{{$body}}); }",
+        "m i = 10 by 2 { a(); b(); c(); }",
+    ),
+}
+
+
+def setup_case(name: str, compiled: bool):
+    definition_src, invocation_src = CASES[name]
+    mp = MacroProcessor(compiled_patterns=compiled)
+    mp.load(definition_src)
+    defn = mp.table.lookup("m")
+    tokens = tokenize(invocation_src + " ;")
+
+    def parse_once():
+        parser = Parser(TokenStream(list(tokens)), host=mp,
+                        expand_inline=False)
+        keyword = parser.next_token()
+        if compiled:
+            return defn.compiled_matcher.parse_invocation(
+                parser, defn, keyword
+            )
+        return InvocationParser(parser).parse_invocation(defn, keyword)
+
+    return parse_once
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_same_invocation_node(self, name):
+        interp = setup_case(name, compiled=False)()
+        comp = setup_case(name, compiled=True)()
+        assert interp == comp
+
+
+@pytest.mark.benchmark(group="pattern-engines")
+class TestInterpretedEngine:
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_interpreted(self, benchmark, name):
+        benchmark(setup_case(name, compiled=False))
+
+
+@pytest.mark.benchmark(group="pattern-engines")
+class TestCompiledEngine:
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_compiled(self, benchmark, name):
+        benchmark(setup_case(name, compiled=True))
+
+
+@pytest.mark.benchmark(group="pattern-compilation-cost")
+class TestCompilationCost:
+    """One-time cost of compiling a pattern (paid at definition)."""
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_compile(self, benchmark, name):
+        mp = MacroProcessor()
+        mp.load(CASES[name][0])
+        pattern = mp.table.lookup("m").pattern
+        benchmark(lambda: compile_pattern(pattern, "m"))

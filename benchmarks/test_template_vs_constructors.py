@@ -1,0 +1,138 @@
+"""Section 1's motivation, quantified: code templates vs the verbose
+``create_*`` constructor style.
+
+The paper shows the same ``paint_function`` written both ways and
+argues templates are dramatically more concise.  This bench measures
+both dimensions:
+
+* **code size** — tokens the macro writer must type, and
+* **runtime** — cost of building the AST each way at expansion time.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro import MacroProcessor
+from repro.cast import stmts
+from repro.cast.builders import (
+    create_address_of,
+    create_compound_statement,
+    create_declaration_list,
+    create_function_call,
+    create_statement_list,
+    createId,
+)
+from repro.lexer.scanner import tokenize
+
+# The template version of paint_function's body (what the writer types).
+TEMPLATE_TEXT = """
+`{BeginPaint(hDC, &ps);
+  $s;
+  EndPaint(hDC, &ps);}
+"""
+
+# The constructor version (what the writer types without templates).
+CONSTRUCTOR_TEXT = """
+create_compound_statement(
+    createDeclarationList(),
+    createStatementList(
+        createFunctionCall(
+            createId("BeginPaint"),
+            createArgumentList(
+                createId("hDC"),
+                createAddressOf(createId("ps")))),
+        s,
+        createFunctionCall(
+            createId("EndPaint"),
+            createArgumentList(
+                createId("hDC"),
+                createAddressOf(createId("ps"))))))
+"""
+
+
+def build_with_constructors(s: stmts.ExprStmt) -> stmts.CompoundStmt:
+    return create_compound_statement(
+        create_declaration_list(),
+        create_statement_list(
+            create_function_call(
+                createId("BeginPaint"),
+                [createId("hDC"), create_address_of(createId("ps"))],
+            ),
+            s,
+            create_function_call(
+                createId("EndPaint"),
+                [createId("hDC"), create_address_of(createId("ps"))],
+            ),
+        ),
+    )
+
+
+def make_template_processor() -> MacroProcessor:
+    mp = MacroProcessor()
+    mp.load(
+        "syntax stmt Painting {| $$stmt::body |}"
+        "{ return(`{BeginPaint(hDC, &ps); $body; EndPaint(hDC, &ps);}); }"
+    )
+    return mp
+
+
+class TestConciseness:
+    def test_code_size_table(self):
+        template_tokens = len(tokenize(TEMPLATE_TEXT)) - 1
+        constructor_tokens = len(
+            tokenize(CONSTRUCTOR_TEXT, meta=False)
+        ) - 1
+        ratio = constructor_tokens / template_tokens
+        print_table(
+            "paint_function: template vs constructors (writer effort)",
+            ["style", "tokens", "lines"],
+            [
+                ("backquote template", template_tokens,
+                 TEMPLATE_TEXT.strip().count("\n") + 1),
+                ("create_* constructors", constructor_tokens,
+                 CONSTRUCTOR_TEXT.strip().count("\n") + 1),
+                ("ratio", f"{ratio:.1f}x", ""),
+            ],
+        )
+        # The paper's claim: templates are several times more concise.
+        assert ratio > 2.0
+
+    def test_both_styles_build_the_same_tree(self):
+        mp = make_template_processor()
+        unit = mp.expand_to_ast("void f(void) { Painting user(); }")
+        via_template = unit.items[0].body.stmts[0]
+
+        user_stmt = stmts.ExprStmt(
+            create_function_call(createId("user"), [])
+        )
+        via_constructors = build_with_constructors(user_stmt)
+        assert via_template == via_constructors
+
+
+@pytest.mark.benchmark(group="template-vs-constructors")
+class TestConstructionCost:
+    def test_constructor_api(self, benchmark):
+        user_stmt = stmts.ExprStmt(
+            create_function_call(createId("user"), [])
+        )
+        benchmark(lambda: build_with_constructors(user_stmt))
+
+    def test_template_instantiation(self, benchmark):
+        """Template instantiation alone (macro already parsed)."""
+        mp = make_template_processor()
+        defn = mp.table.lookup("Painting")
+        user_stmt = stmts.ExprStmt(
+            create_function_call(createId("user"), [])
+        )
+
+        def instantiate():
+            return mp.expander.interpreter.call_macro(
+                defn, {"body": user_stmt}
+            )
+
+        benchmark(instantiate)
+
+    def test_full_pipeline_with_template(self, benchmark):
+        mp = make_template_processor()
+        src = "void f(void) { Painting user(); }"
+        benchmark(lambda: mp.expand_to_ast(src))

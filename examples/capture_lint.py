@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Variable capture: detect it, then eliminate it (paper section 5).
+
+A macro whose template declares ``saved`` silently captures a user's
+own ``saved``.  This example shows the same program expanded three
+ways:
+
+1. unhygienically, with :func:`repro.analysis.detect_captures`
+   reporting the bug;
+2. with the macro rewritten to use ``gensym`` (the paper's §4
+   discipline);
+3. with automatic hygiene (`MacroProcessor(hygienic=True)` — the §5
+   future-work extension, implemented here).
+
+Run with::
+
+    python examples/capture_lint.py
+"""
+
+from repro import MacroProcessor
+from repro.analysis import detect_captures
+
+CAPTURING_MACRO = """
+syntax stmt save_level {| $$stmt::body |}
+{
+  return(`{{int saved = level;
+            $body;
+            level = saved;}});
+}
+"""
+
+GENSYM_MACRO = """
+syntax stmt save_level {| $$stmt::body |}
+{
+  @id slot = gensym();
+  return(`{{int $slot = level;
+            $body;
+            level = $slot;}});
+}
+"""
+
+#: The user innocently has their own 'saved' variable.
+PROGRAM = """
+void f(int saved)
+{
+    save_level { saved = saved + level; }
+}
+"""
+
+
+def show(title: str, macro_src: str, hygienic: bool) -> None:
+    print("=" * 64)
+    print(title)
+    print("=" * 64)
+    mp = MacroProcessor(hygienic=hygienic)
+    mp.load(macro_src)
+    unit = mp.expand_to_ast(PROGRAM)
+    print(mp.expand_to_c(PROGRAM))
+    captures = detect_captures(unit)
+    if captures:
+        print("!! capture diagnostics:")
+        for capture in captures:
+            print(f"   {capture}")
+    else:
+        print("no captures detected.")
+    print()
+
+
+def main() -> None:
+    show("1. naive template (captures the user's 'saved')",
+         CAPTURING_MACRO, hygienic=False)
+    show("2. gensym discipline (the paper's §4 style)",
+         GENSYM_MACRO, hygienic=False)
+    show("3. automatic hygiene (the §5 extension)",
+         CAPTURING_MACRO, hygienic=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Generating readers and writers for enumerated types (paper §4).
+
+``myenum`` demonstrates the full programmable power of MS2 in one
+macro: it returns a *list* of declarations, maps anonymous functions
+over the enumerator list, computes function names with ``symbolconc``
+and turns identifiers into string literals with ``pstring``.
+
+Run with::
+
+    python examples/enum_io.py
+"""
+
+from repro import MacroProcessor
+from repro.packages import enumio
+
+PROGRAM = """
+myenum fruit {apple, banana, kiwi};
+myenum compass {north, east, south, west};
+"""
+
+
+def main() -> None:
+    mp = MacroProcessor()
+    enumio.register(mp)
+
+    print("--- the myenum macro " + "-" * 47)
+    print(enumio.SOURCE.strip())
+    print()
+    print("--- user program " + "-" * 51)
+    print(PROGRAM)
+    print("--- expanded C " + "-" * 53)
+    print(mp.expand_to_c(PROGRAM))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""The macro-based portability VM (paper section 4).
+
+One source program, two operating-system targets — selected at
+*expansion* time by ``metadcl`` state, with zero runtime dispatch in
+the output.
+
+Run with::
+
+    python examples/portable_vm.py
+"""
+
+from repro import MacroProcessor
+from repro.packages import portvm
+
+PROGRAM = """
+void worker(int h)
+{
+    vm_open(h, path);
+    vm_sleep(50);
+    vm_yield();
+    vm_close(h);
+}
+"""
+
+
+def main() -> None:
+    for target in ("unix", "windows"):
+        mp = MacroProcessor()
+        portvm.register(mp)
+        print("=" * 60)
+        print(f"vm_target {target};")
+        print("=" * 60)
+        print(mp.expand_to_c(f"vm_target {target};\n{PROGRAM}"))
+
+
+if __name__ == "__main__":
+    main()

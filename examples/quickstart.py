@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: define and use a syntax macro in ten lines.
+
+The ``Painting`` macro from the paper's introduction: a new statement
+type that brackets its body with resource allocation/deallocation
+calls.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import MacroProcessor
+
+PROGRAM = """
+syntax stmt Painting {| $$stmt::body |}
+{
+  return(`{BeginPaint(hDC, &ps);
+           $body;
+           EndPaint(hDC, &ps);});
+}
+
+void redraw_window(void)
+{
+    Painting {
+        draw_background();
+        draw_text(hDC, caption);
+    }
+}
+"""
+
+
+def main() -> None:
+    mp = MacroProcessor()
+    print("--- input (C + macro definition) " + "-" * 30)
+    print(PROGRAM)
+    print("--- expanded C " + "-" * 48)
+    print(mp.expand_to_c(PROGRAM))
+    print(f"({mp.expansion_count} macro expansion(s))")
+
+
+if __name__ == "__main__":
+    main()

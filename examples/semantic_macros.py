@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Semantic macros — the paper's section 5 future work, implemented.
+
+Two promised powers:
+
+1. types without annotations: ``sdynamic_bind`` needs no type
+   parameter (compare §4's ``dynamic_bind {int printlength = 10}``);
+2. compile-time dispatch on types: ``show(x)`` picks its printf
+   format from ``x``'s declared type, with no runtime test surviving.
+
+Run with::
+
+    python examples/semantic_macros.py
+"""
+
+from repro import MacroProcessor
+from repro.packages import semantic
+
+PROGRAM = """
+long printlength;
+
+void demo(int count, float ratio)
+{
+    char flag;
+    sdynamic_bind {printlength = 10}
+        {print_class_structure(gym_class);}
+    show(count);
+    show(ratio);
+    show(flag);
+    show(printlength);
+    sswap(count, count);
+}
+"""
+
+
+def main() -> None:
+    mp = MacroProcessor()
+    semantic.register(mp)
+    print("--- the semantic macro package " + "-" * 36)
+    print(semantic.SOURCE.strip())
+    print()
+    print("--- user program (note: no type annotations) " + "-" * 22)
+    print(PROGRAM)
+    print("--- expanded C " + "-" * 52)
+    print(mp.expand_to_c(PROGRAM))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Routine code from data declarations (paper section 4's
+"persistence code, RPC code, dialog boxes ... created when data is
+declared").
+
+``serializable`` expands a struct declaration into the struct plus
+generated print and pack functions — one statement per field, derived
+with the ``decl->name`` component accessor.
+
+Run with::
+
+    python examples/serialization.py
+"""
+
+from repro import MacroProcessor
+from repro.packages import structio
+
+PROGRAM = """
+serializable point { int x; int y; };
+
+serializable packet {
+    long sequence;
+    int checksum;
+    char payload[256];
+};
+"""
+
+
+def main() -> None:
+    mp = MacroProcessor()
+    structio.register(mp)
+
+    print("--- the serializable macro " + "-" * 40)
+    print(structio.SOURCE.strip())
+    print()
+    print("--- user program " + "-" * 50)
+    print(PROGRAM)
+    print("--- expanded C " + "-" * 52)
+    print(mp.expand_to_c(PROGRAM))
+
+
+if __name__ == "__main__":
+    main()

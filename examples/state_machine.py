@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""A special-purpose preprocessor built on MS2 (paper section 4).
+
+"Many software projects ... extend a language to incorporate domain
+specific data types and statements.  The first task of these projects
+is to write a preprocessor, a task that would be trivial if a suitable
+macro facility were available."
+
+Here the domain is state machines: declarative transitions in, a plain
+C enum + transition function out.
+
+Run with::
+
+    python examples/state_machine.py
+"""
+
+from repro import MacroProcessor
+from repro.packages import statemachine
+
+PROGRAM = """
+state_machine traffic_light {
+    state red { on timer go green }
+    state green { on timer go yellow, on emergency go red }
+    state yellow { on timer go red, on emergency go red }
+};
+
+int main(void)
+{
+    int s;
+    s = red;
+    s = traffic_light_step(s, timer);
+    return s;
+}
+"""
+
+
+def main() -> None:
+    mp = MacroProcessor()
+    statemachine.register(mp)
+    print("--- the DSL program " + "-" * 47)
+    print(PROGRAM)
+    print("--- expanded C " + "-" * 52)
+    print(mp.expand_to_c(PROGRAM))
+
+
+if __name__ == "__main__":
+    main()

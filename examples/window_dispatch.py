@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Non-local code rearrangement (paper section 4).
+
+Handlers for window messages are written *next to the code they
+concern*, scattered through the program; ``emit_window_proc`` later
+collects everything into one dispatch function.  The accumulating
+macros expand to nothing — their effect is entirely on ``metadcl``
+meta-state.
+
+Run with::
+
+    python examples/window_dispatch.py
+"""
+
+from repro import MacroProcessor
+from repro.packages import dispatch
+
+PROGRAM = """
+new_window_proc wproc default DefWindowProc;
+
+int idTimer;
+
+window_proc_dispatch(wproc, WM_DESTROY)
+  {KillTimer(hWnd, idTimer);
+   PostQuitMessage(0);}
+
+void unrelated_code_between_handlers(void)
+{
+    do_other_work();
+}
+
+window_proc_dispatch(wproc, WM_CREATE)
+  {idTimer = SetTimer(hWnd, 77, 5000, 0);}
+
+window_proc_dispatch(wproc, WM_PAINT)
+  {repaint_everything(hWnd);}
+
+emit_window_proc wproc;
+"""
+
+
+def main() -> None:
+    mp = MacroProcessor()
+    dispatch.register(mp)
+
+    print("--- user program (handlers written where they belong) " + "-" * 9)
+    print(PROGRAM)
+    print("--- expanded C (one dispatch function emitted) " + "-" * 17)
+    print(mp.expand_to_c(PROGRAM))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,244 @@
+"""Scope analysis over expanded C: free variables and capture detection.
+
+The paper's examples dodge inadvertent capture with ``gensym`` and its
+section 5 discusses automatic hygiene.  This module provides the
+analysis side: given an expansion result whose nodes carry hygiene
+marks (template-origin nodes are marked, user code is not),
+:func:`detect_captures` reports every place where *user* code ends up
+bound by a *template-introduced* declaration — exactly the bugs
+hygiene prevents.
+
+Also exported: :func:`free_identifiers` (names used but not bound in a
+subtree) and :func:`bound_names` (names declared by a subtree), both
+useful for macro authors writing non-local transformations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cast import decls, nodes, stmts
+from repro.cast.base import Node, children
+from repro.errors import SourceLocation
+
+
+@dataclass(frozen=True, slots=True)
+class Capture:
+    """One detected capture: user code's ``name`` is bound by a
+    macro-introduced declaration."""
+
+    name: str
+    binder_mark: int
+    use_loc: SourceLocation
+
+    def __str__(self) -> str:
+        return (
+            f"{self.use_loc}: user reference to {self.name!r} is "
+            f"captured by a macro-introduced declaration "
+            f"(expansion #{self.binder_mark})"
+        )
+
+
+def bound_names(node: Node) -> list[str]:
+    """Names declared by a declaration (or each declaration in a
+    compound's decl-list)."""
+    out: list[str] = []
+    if isinstance(node, decls.Declaration):
+        for item in node.init_declarators:
+            if isinstance(item, decls.InitDeclarator):
+                name = _declarator_name(item.declarator)
+                if name is not None:
+                    out.append(name)
+    elif isinstance(node, stmts.CompoundStmt):
+        for d in node.decls:
+            out.extend(bound_names(d))
+    return out
+
+
+def free_identifiers(node: Node) -> set[str]:
+    """Identifiers referenced in ``node`` but not bound within it."""
+    collector = _FreeVariableScan()
+    collector.scan(node, frozenset())
+    return collector.free
+
+
+class _FreeVariableScan:
+    def __init__(self) -> None:
+        self.free: set[str] = set()
+
+    def scan(self, node: Node, bound: frozenset[str]) -> None:
+        if isinstance(node, nodes.Identifier):
+            if node.name not in bound:
+                self.free.add(node.name)
+            return
+        if isinstance(node, nodes.Member):
+            # Member names are field labels, not variable references.
+            self.scan(node.base, bound)
+            return
+        if isinstance(node, stmts.CompoundStmt):
+            inner = bound | frozenset(bound_names(node))
+            for d in node.decls:
+                self._scan_declaration(d, inner)
+            for s in node.stmts:
+                self.scan(s, inner)
+            return
+        if isinstance(node, decls.FunctionDef):
+            params = frozenset(_param_names(node.declarator))
+            self.scan(node.body, bound | params)
+            return
+        for child in children(node):
+            self.scan(child, bound)
+
+    def _scan_declaration(
+        self, d: Node, bound: frozenset[str]
+    ) -> None:
+        if isinstance(d, decls.Declaration):
+            for item in d.init_declarators:
+                if isinstance(item, decls.InitDeclarator) and item.init:
+                    self.scan(item.init, bound)
+        else:
+            self.scan(d, bound)
+
+
+def detect_captures(root: Node) -> list[Capture]:
+    """Find user identifiers bound by macro-introduced declarations.
+
+    A capture is an :class:`~repro.cast.nodes.Identifier` with no
+    hygiene mark (user-written) whose innermost binder is a
+    declaration *with* a mark (macro template output).  Running the
+    expander with ``hygienic=True`` makes this list empty by
+    construction.
+    """
+    finder = _CaptureScan()
+    finder.scan(root, {})
+    return finder.captures
+
+
+class _CaptureScan:
+    def __init__(self) -> None:
+        self.captures: list[Capture] = []
+
+    def scan(self, node: Node, binders: dict[str, int | None]) -> None:
+        if isinstance(node, nodes.Identifier):
+            binder_mark = binders.get(node.name, "unbound")
+            if (
+                binder_mark != "unbound"
+                and binder_mark is not None
+                and node.mark is None
+                # gensym output has a synthetic location (offset -1);
+                # only genuinely user-written references can be captured.
+                and node.loc.offset >= 0
+            ):
+                self.captures.append(
+                    Capture(node.name, binder_mark, node.loc)
+                )
+            return
+        if isinstance(node, nodes.Member):
+            self.scan(node.base, binders)
+            return
+        if isinstance(node, stmts.CompoundStmt):
+            inner = dict(binders)
+            for d in node.decls:
+                if isinstance(d, decls.Declaration):
+                    for name in bound_names(d):
+                        inner[name] = d.mark
+            for d in node.decls:
+                if isinstance(d, decls.Declaration):
+                    for item in d.init_declarators:
+                        if (
+                            isinstance(item, decls.InitDeclarator)
+                            and item.init is not None
+                        ):
+                            self.scan(item.init, inner)
+            for s in node.stmts:
+                self.scan(s, inner)
+            return
+        if isinstance(node, decls.FunctionDef):
+            inner = dict(binders)
+            for name in _param_names(node.declarator):
+                inner[name] = node.mark
+            self.scan(node.body, inner)
+            return
+        for child in children(node):
+            self.scan(child, binders)
+
+
+def undeclared_identifiers(
+    unit: Node, externs: frozenset[str] | set[str] = frozenset()
+) -> dict[str, set[str]]:
+    """Per-function report of identifiers used without a declaration.
+
+    A lightweight post-expansion lint: for each function definition in
+    a translation unit, the free identifiers that are neither file-
+    scope declarations, enum constants, other functions, nor listed in
+    ``externs``.  Macro packages use this in tests to prove their
+    generated code is self-contained up to its documented runtime
+    support.
+    """
+    file_scope: set[str] = set(externs)
+    functions: list[decls.FunctionDef] = []
+    items = getattr(unit, "items", None)
+    if items is None:
+        raise TypeError("undeclared_identifiers expects a TranslationUnit")
+    for item in items:
+        if isinstance(item, decls.Declaration):
+            file_scope.update(bound_names(item))
+            file_scope.update(_enum_constants_of(item))
+        elif isinstance(item, decls.FunctionDef):
+            name = _declarator_name(item.declarator)
+            if name is not None:
+                file_scope.add(name)
+            functions.append(item)
+    report: dict[str, set[str]] = {}
+    for fn in functions:
+        name = _declarator_name(fn.declarator) or "<anonymous>"
+        missing = free_identifiers(fn) - file_scope
+        if missing:
+            report[name] = missing
+    return report
+
+
+def _enum_constants_of(declaration: decls.Declaration) -> set[str]:
+    from repro.cast import ctypes
+
+    ts = declaration.specs.type_spec
+    if isinstance(ts, ctypes.EnumType) and ts.enumerators:
+        return {
+            e.name
+            for e in ts.enumerators
+            if isinstance(e, ctypes.Enumerator)
+        }
+    return set()
+
+
+def _declarator_name(declarator: Node) -> str | None:
+    current = declarator
+    while True:
+        if isinstance(current, decls.NameDeclarator):
+            return current.name
+        if isinstance(
+            current,
+            (decls.PointerDeclarator, decls.ArrayDeclarator,
+             decls.FuncDeclarator),
+        ):
+            current = current.inner
+            continue
+        return None
+
+
+def _param_names(declarator: Node) -> list[str]:
+    current = declarator
+    while current is not None and not isinstance(
+        current, decls.FuncDeclarator
+    ):
+        current = getattr(current, "inner", None)
+    if current is None:
+        return []
+    names: list[str] = []
+    for p in current.params:
+        if isinstance(p, decls.ParamDecl):
+            name = _declarator_name(p.declarator)
+            if name is not None:
+                names.append(name)
+    names.extend(current.kr_names)
+    return names

@@ -1,0 +1,31 @@
+"""The AST type language and the definition-time meta type checker."""
+
+from repro.asttypes.env import TypeEnv
+from repro.asttypes.types import (
+    ANY,
+    DECL,
+    DECLARATOR,
+    EXP,
+    ID,
+    INIT_DECLARATOR,
+    INT,
+    NUM,
+    STMT,
+    STRING,
+    TYPE_SPEC,
+    VOID,
+    AstType,
+    CType,
+    FuncType,
+    ListType,
+    PrimType,
+    TupleType,
+    list_of,
+    prim,
+)
+
+__all__ = [
+    "ANY", "AstType", "CType", "DECL", "DECLARATOR", "EXP", "FuncType",
+    "ID", "INIT_DECLARATOR", "INT", "ListType", "NUM", "PrimType", "STMT",
+    "STRING", "TYPE_SPEC", "TupleType", "TypeEnv", "VOID", "list_of", "prim",
+]

@@ -1,0 +1,150 @@
+"""Statement-level checking of macro and meta-function bodies.
+
+Runs at macro *definition* time, immediately after the body is parsed.
+Verifies that every ``return`` produces a value usable as the declared
+return type, that declarations' initializers fit, that conditions are
+C scalars, and that every expression statement is well typed.
+"""
+
+from __future__ import annotations
+
+from repro.asttypes.check import MetaTypeInferencer
+from repro.asttypes.convert import bindings_from_declaration
+from repro.asttypes.env import TypeEnv
+from repro.asttypes.types import ANY, AstType, CType
+from repro.cast import decls, nodes, stmts
+from repro.cast.base import Node
+from repro.errors import MacroTypeError
+
+
+class BodyChecker:
+    """Checks one macro (or meta-function) body against its return type."""
+
+    def __init__(self, env: TypeEnv, return_type: AstType) -> None:
+        self.return_type = return_type
+        self.inferencer = MetaTypeInferencer(env)
+        self.saw_return = False
+
+    @property
+    def env(self) -> TypeEnv:
+        return self.inferencer.env
+
+    @env.setter
+    def env(self, value: TypeEnv) -> None:
+        self.inferencer.env = value
+
+    def check_body(self, body: stmts.CompoundStmt) -> None:
+        self.check_compound(body)
+        if not self.saw_return and self.return_type.is_ast():
+            raise MacroTypeError(
+                f"macro body never returns a {self.return_type} value",
+                body.loc,
+            )
+
+    # ------------------------------------------------------------------
+
+    def check_compound(self, body: stmts.CompoundStmt) -> None:
+        saved = self.env
+        self.env = saved.child()
+        try:
+            for d in body.decls:
+                self.check_declaration(d)
+            for s in body.stmts:
+                self.check_stmt(s)
+        finally:
+            self.env = saved
+
+    def check_declaration(self, d: Node) -> None:
+        if not isinstance(d, decls.Declaration):
+            raise MacroTypeError(
+                "only plain declarations may appear in meta-code bodies",
+                d.loc,
+            )
+        bindings = bindings_from_declaration(d)
+        for (name, asttype), item in zip(bindings, d.init_declarators):
+            self.env.bind(name, asttype)
+            if isinstance(item, decls.InitDeclarator) and item.init is not None:
+                if isinstance(item.init, decls.ListInitializer):
+                    raise MacroTypeError(
+                        "braced initializers are not supported in meta-code",
+                        item.loc,
+                    )
+                got = self.inferencer.infer(item.init)
+                if not got.is_usable_as(asttype):
+                    raise MacroTypeError(
+                        f"initializer of {name!r} has type {got}, "
+                        f"expected {asttype}",
+                        item.loc,
+                    )
+
+    def check_stmt(self, s: Node) -> None:
+        if isinstance(s, stmts.ExprStmt):
+            self.inferencer.infer(s.expr)
+        elif isinstance(s, stmts.CompoundStmt):
+            self.check_compound(s)
+        elif isinstance(s, stmts.IfStmt):
+            self._check_cond(s.cond)
+            self.check_stmt(s.then)
+            if s.otherwise is not None:
+                self.check_stmt(s.otherwise)
+        elif isinstance(s, stmts.WhileStmt):
+            self._check_cond(s.cond)
+            self.check_stmt(s.body)
+        elif isinstance(s, stmts.DoWhileStmt):
+            self.check_stmt(s.body)
+            self._check_cond(s.cond)
+        elif isinstance(s, stmts.ForStmt):
+            if s.init is not None:
+                self.inferencer.infer(s.init)
+            if s.cond is not None:
+                self._check_cond(s.cond)
+            if s.step is not None:
+                self.inferencer.infer(s.step)
+            self.check_stmt(s.body)
+        elif isinstance(s, stmts.SwitchStmt):
+            self._check_cond(s.expr)
+            self.check_stmt(s.body)
+        elif isinstance(s, (stmts.CaseStmt,)):
+            self.inferencer.infer(s.expr)
+            self.check_stmt(s.stmt)
+        elif isinstance(s, stmts.DefaultStmt):
+            self.check_stmt(s.stmt)
+        elif isinstance(s, stmts.LabeledStmt):
+            self.check_stmt(s.stmt)
+        elif isinstance(s, stmts.ReturnStmt):
+            self.saw_return = True
+            if s.expr is None:
+                if self.return_type.is_ast():
+                    raise MacroTypeError(
+                        f"macro must return a {self.return_type} value",
+                        s.loc,
+                    )
+                return
+            got = self.inferencer.infer(s.expr)
+            if not got.is_usable_as(self.return_type):
+                raise MacroTypeError(
+                    f"return value has type {got}, macro is declared to "
+                    f"return {self.return_type}",
+                    s.loc,
+                )
+        elif isinstance(
+            s, (stmts.BreakStmt, stmts.ContinueStmt, stmts.NullStmt,
+                stmts.GotoStmt)
+        ):
+            return
+        else:
+            raise MacroTypeError(
+                f"statement form {type(s).__name__} is not valid in "
+                "meta-code bodies",
+                s.loc,
+            )
+
+    def _check_cond(self, cond: Node) -> None:
+        got = self.inferencer.infer(cond)
+        if got is ANY:
+            return
+        if isinstance(got, CType) and got.name in ("int", "char", "float"):
+            return
+        raise MacroTypeError(
+            f"condition must be a C scalar, got {got}", cond.loc
+        )

@@ -1,0 +1,498 @@
+"""Definition-time type analysis of meta-code.
+
+This module is the "full type checking during macro processing" of the
+paper: it infers the AST type of every meta-expression (most
+importantly of placeholder expressions, *while the parser is running*)
+and checks whole macro bodies when a ``syntax`` definition is parsed.
+A macro that could build a syntactically invalid fragment is rejected
+here — at definition time — which is the paper's central guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.asttypes.env import TypeEnv
+from repro.asttypes.types import (
+    ANY,
+    DECL,
+    DECLARATOR,
+    EXP,
+    ID,
+    INIT_DECLARATOR,
+    INT,
+    NUM,
+    STMT,
+    STRING,
+    TYPE_SPEC,
+    VOID,
+    AstType,
+    CType,
+    FuncType,
+    ListType,
+    TupleType,
+    list_of,
+)
+from repro.cast import decls, nodes, stmts
+from repro.cast.base import Node
+from repro.errors import MacroTypeError
+
+# ---------------------------------------------------------------------------
+# Predefined AST component accessors (``stmt->declarations`` etc.)
+# ---------------------------------------------------------------------------
+
+COMPONENT_TYPES: dict[tuple[str, str], AstType] = {
+    ("stmt", "declarations"): list_of(DECL),
+    ("stmt", "statements"): list_of(STMT),
+    ("stmt", "expression"): EXP,
+    ("stmt", "cond"): EXP,
+    ("stmt", "body"): STMT,
+    ("stmt", "then"): STMT,
+    ("stmt", "otherwise"): STMT,
+    ("decl", "type_spec"): TYPE_SPEC,
+    ("decl", "declarators"): list_of(INIT_DECLARATOR),
+    ("decl", "name"): ID,
+    ("exp", "left"): EXP,
+    ("exp", "right"): EXP,
+    ("exp", "operand"): EXP,
+    ("exp", "func"): EXP,
+    ("exp", "args"): list_of(EXP),
+    ("exp", "op"): STRING,
+    ("exp", "name"): ID,
+    ("init_declarator", "declarator"): DECLARATOR,
+    ("init_declarator", "init"): EXP,
+    ("declarator", "name"): ID,
+    ("id", "name"): STRING,
+}
+
+# ---------------------------------------------------------------------------
+# Builtin function signatures
+# ---------------------------------------------------------------------------
+
+_BuiltinSig = Callable[[list[AstType], Node], AstType]
+
+
+def _fixed(params: list[AstType], result: AstType) -> _BuiltinSig:
+    def sig(arg_types: list[AstType], at: Node) -> AstType:
+        if len(arg_types) != len(params):
+            raise MacroTypeError(
+                f"expected {len(params)} argument(s), got {len(arg_types)}",
+                at.loc,
+            )
+        for i, (got, want) in enumerate(zip(arg_types, params)):
+            if not got.is_usable_as(want):
+                raise MacroTypeError(
+                    f"argument {i + 1} has type {got}, expected {want}",
+                    at.loc,
+                )
+        return result
+
+    return sig
+
+
+def _sig_gensym(arg_types: list[AstType], at: Node) -> AstType:
+    if len(arg_types) > 1:
+        raise MacroTypeError("gensym takes at most one argument", at.loc)
+    if arg_types and not arg_types[0].is_usable_as(STRING):
+        if not arg_types[0].is_usable_as(ID):
+            raise MacroTypeError(
+                "gensym prefix must be a string or identifier", at.loc
+            )
+    return ID
+
+
+def _sig_length(arg_types: list[AstType], at: Node) -> AstType:
+    _expect_list(arg_types, 1, at, "length")
+    return INT
+
+
+def _sig_list(arg_types: list[AstType], at: Node) -> AstType:
+    if not arg_types:
+        return ListType(ANY)
+    element = arg_types[0]
+    # Flatten: list() accepts both elements and lists of elements.
+    if isinstance(element, ListType):
+        element = element.element
+    for t in arg_types[1:]:
+        t_elem = t.element if isinstance(t, ListType) else t
+        if not t_elem.is_usable_as(element) and not element.is_usable_as(t_elem):
+            raise MacroTypeError(
+                f"list elements disagree: {element} vs {t_elem}", at.loc
+            )
+    return ListType(element)
+
+
+def _sig_map(arg_types: list[AstType], at: Node) -> AstType:
+    if len(arg_types) != 2:
+        raise MacroTypeError("map takes a function and a list", at.loc)
+    fn, seq = arg_types
+    if not isinstance(seq, ListType):
+        raise MacroTypeError(f"map's second argument must be a list, got {seq}", at.loc)
+    if isinstance(fn, FuncType):
+        if len(fn.params) != 1:
+            raise MacroTypeError("map's function must take one argument", at.loc)
+        if not seq.element.is_usable_as(fn.params[0]):
+            raise MacroTypeError(
+                f"map's function takes {fn.params[0]}, list holds {seq.element}",
+                at.loc,
+            )
+        return ListType(fn.result)
+    if fn is ANY:
+        return ListType(ANY)
+    raise MacroTypeError(f"map's first argument must be a function, got {fn}", at.loc)
+
+
+def _sig_append(arg_types: list[AstType], at: Node) -> AstType:
+    if not arg_types:
+        return ListType(ANY)
+    result: AstType | None = None
+    for t in arg_types:
+        if not isinstance(t, ListType):
+            raise MacroTypeError(f"append expects lists, got {t}", at.loc)
+        if result is None or result.element is ANY:
+            result = t
+    assert result is not None
+    return result
+
+
+def _sig_cons(arg_types: list[AstType], at: Node) -> AstType:
+    if len(arg_types) != 2:
+        raise MacroTypeError("cons takes an element and a list", at.loc)
+    head, tail = arg_types
+    if not isinstance(tail, ListType):
+        raise MacroTypeError(f"cons's second argument must be a list, got {tail}", at.loc)
+    if tail.element is not ANY and not head.is_usable_as(tail.element):
+        raise MacroTypeError(
+            f"cons element {head} does not fit list of {tail.element}", at.loc
+        )
+    if tail.element is ANY:
+        return ListType(head)
+    return tail
+
+
+def _sig_first(arg_types: list[AstType], at: Node) -> AstType:
+    seq = _expect_list(arg_types, 1, at, "first")
+    return seq.element
+
+
+def _sig_rest(arg_types: list[AstType], at: Node) -> AstType:
+    return _expect_list(arg_types, 1, at, "rest")
+
+
+def _sig_nth(arg_types: list[AstType], at: Node) -> AstType:
+    if len(arg_types) != 2 or not arg_types[1].is_usable_as(INT):
+        raise MacroTypeError("nth takes a list and an int", at.loc)
+    seq = arg_types[0]
+    if not isinstance(seq, ListType):
+        raise MacroTypeError(f"nth's first argument must be a list, got {seq}", at.loc)
+    return seq.element
+
+
+def _sig_reverse(arg_types: list[AstType], at: Node) -> AstType:
+    return _expect_list(arg_types, 1, at, "reverse")
+
+
+def _sig_symbolconc(arg_types: list[AstType], at: Node) -> AstType:
+    if not arg_types:
+        raise MacroTypeError("symbolconc needs at least one argument", at.loc)
+    for t in arg_types:
+        if not (t.is_usable_as(STRING) or t.is_usable_as(ID)):
+            raise MacroTypeError(
+                f"symbolconc parts must be strings or identifiers, got {t}",
+                at.loc,
+            )
+    return ID
+
+
+def _sig_error(arg_types: list[AstType], at: Node) -> AstType:
+    if not arg_types or not arg_types[0].is_usable_as(STRING):
+        raise MacroTypeError("error's first argument must be a string", at.loc)
+    return VOID
+
+
+def _expect_list(
+    arg_types: list[AstType], count: int, at: Node, name: str
+) -> ListType:
+    if len(arg_types) != count or not isinstance(arg_types[0], ListType):
+        raise MacroTypeError(f"{name} expects a list argument", at.loc)
+    return arg_types[0]
+
+
+#: name -> signature checker.  The meta-interpreter implements the same
+#: set in :mod:`repro.meta.builtins`.
+BUILTIN_SIGNATURES: dict[str, _BuiltinSig] = {
+    "gensym": _sig_gensym,
+    "concat_ids": _fixed([ID, ID], ID),
+    "symbolconc": _sig_symbolconc,
+    "length": _sig_length,
+    "pstring": _fixed([ID], STRING),
+    "id_name": _fixed([ID], STRING),
+    "make_id": _fixed([STRING], ID),
+    "make_num": _fixed([INT], NUM),
+    "num_value": _fixed([NUM], INT),
+    "list": _sig_list,
+    "map": _sig_map,
+    "append": _sig_append,
+    "cons": _sig_cons,
+    "first": _sig_first,
+    "rest": _sig_rest,
+    "nth": _sig_nth,
+    "reverse": _sig_reverse,
+    "is_empty": _sig_length,
+    "simple_expression": _fixed([EXP], INT),
+    "present": _fixed([ANY], INT),
+    "type_of": _fixed([ID], TYPE_SPEC),
+    "has_type": _fixed([ID], INT),
+    "eval_const": _fixed([EXP], INT),
+    "same_id": _fixed([ID, ID], INT),
+    "strcmp": _fixed([STRING, STRING], INT),
+    "strlen": _fixed([STRING], INT),
+    "ast_to_string": _fixed([ANY], STRING),
+    "error": _sig_error,
+    "warning": _sig_error,
+}
+
+
+def is_builtin(name: str) -> bool:
+    """True when ``name`` is a builtin meta-function."""
+    return name in BUILTIN_SIGNATURES
+
+
+# ---------------------------------------------------------------------------
+# Expression type inference
+# ---------------------------------------------------------------------------
+
+
+class MetaTypeInferencer:
+    """Bottom-up type inference over meta-expressions.
+
+    The parser owns one of these per compilation; ``env`` is rebound as
+    scopes open and close.  ``infer`` raises
+    :class:`~repro.errors.MacroTypeError` on any ill-typed expression —
+    this is what makes parsing reject bad macros at definition time.
+    """
+
+    def __init__(self, env: TypeEnv) -> None:
+        self.env = env
+
+    # -- entry point ----------------------------------------------------
+
+    def infer(self, expr: Node) -> AstType:
+        method = getattr(self, "_infer_" + type(expr).__name__, None)
+        if method is None:
+            raise MacroTypeError(
+                f"expression form {type(expr).__name__} is not valid in meta-code",
+                expr.loc,
+            )
+        return method(expr)
+
+    # -- literals and names ----------------------------------------------
+
+    def _infer_Identifier(self, e: nodes.Identifier) -> AstType:
+        return self.env.require(e.name, e.loc)
+
+    def _infer_IntLit(self, e: nodes.IntLit) -> AstType:
+        return INT
+
+    def _infer_FloatLit(self, e: nodes.FloatLit) -> AstType:
+        return CType("float")
+
+    def _infer_CharLit(self, e: nodes.CharLit) -> AstType:
+        return CType("char")
+
+    def _infer_StringLit(self, e: nodes.StringLit) -> AstType:
+        return STRING
+
+    # -- operators --------------------------------------------------------
+
+    def _infer_UnaryOp(self, e: nodes.UnaryOp) -> AstType:
+        operand = self.infer(e.operand)
+        if e.op == "*":
+            if isinstance(operand, ListType):
+                return operand.element  # car
+            raise MacroTypeError(
+                f"cannot dereference meta-value of type {operand}", e.loc
+            )
+        if e.op == "&":
+            raise MacroTypeError(
+                "cannot take the address of an AST value", e.loc
+            )
+        if e.op in ("-", "+", "~", "!", "++", "--"):
+            self._require_scalar(operand, e)
+            return INT
+        raise MacroTypeError(f"operator {e.op!r} not valid in meta-code", e.loc)
+
+    def _infer_PostfixOp(self, e: nodes.PostfixOp) -> AstType:
+        operand = self.infer(e.operand)
+        self._require_scalar(operand, e)
+        return operand
+
+    def _infer_BinaryOp(self, e: nodes.BinaryOp) -> AstType:
+        left = self.infer(e.left)
+        right = self.infer(e.right)
+        if e.op in ("+", "-") and isinstance(left, ListType):
+            # xs + 1 is cdr (paper: "id_list + 1 corresponds to cdr").
+            if not right.is_usable_as(INT):
+                raise MacroTypeError(
+                    f"list offset must be an int, got {right}", e.loc
+                )
+            return left
+        if e.op in ("==", "!=") and left.is_ast() and right.is_ast():
+            return INT
+        self._require_scalar(left, e)
+        self._require_scalar(right, e)
+        return INT
+
+    def _infer_AssignOp(self, e: nodes.AssignOp) -> AstType:
+        target = self._infer_lvalue(e.target)
+        value = self.infer(e.value)
+        if e.op == "=":
+            if not value.is_usable_as(target):
+                raise MacroTypeError(
+                    f"cannot assign {value} to meta-variable of type {target}",
+                    e.loc,
+                )
+        else:
+            self._require_scalar(target, e)
+            self._require_scalar(value, e)
+        return target
+
+    def _infer_lvalue(self, e: Node) -> AstType:
+        if isinstance(e, nodes.Identifier):
+            return self.env.require(e.name, e.loc)
+        if isinstance(e, (nodes.Index, nodes.Member)):
+            return self.infer(e)
+        raise MacroTypeError("invalid assignment target in meta-code", e.loc)
+
+    def _infer_ConditionalOp(self, e: nodes.ConditionalOp) -> AstType:
+        self._require_scalar(self.infer(e.cond), e)
+        then = self.infer(e.then)
+        other = self.infer(e.otherwise)
+        if then.is_usable_as(other):
+            return other
+        if other.is_usable_as(then):
+            return then
+        raise MacroTypeError(
+            f"conditional branches disagree: {then} vs {other}", e.loc
+        )
+
+    def _infer_CommaOp(self, e: nodes.CommaOp) -> AstType:
+        self.infer(e.left)
+        return self.infer(e.right)
+
+    def _infer_Index(self, e: nodes.Index) -> AstType:
+        base = self.infer(e.base)
+        index = self.infer(e.index)
+        if not index.is_usable_as(INT):
+            raise MacroTypeError(f"list index must be an int, got {index}", e.loc)
+        if isinstance(base, ListType):
+            return base.element
+        raise MacroTypeError(f"cannot index meta-value of type {base}", e.loc)
+
+    def _infer_Member(self, e: nodes.Member) -> AstType:
+        base = self.infer(e.base)
+        if isinstance(base, TupleType):
+            found = base.field_type(e.name)
+            if found is None:
+                raise MacroTypeError(
+                    f"tuple has no field {e.name!r} (has: "
+                    f"{', '.join(n for n, _ in base.fields)})",
+                    e.loc,
+                )
+            return found
+        if base.is_ast() and not isinstance(base, ListType):
+            key = (str(base), e.name)
+            if key in COMPONENT_TYPES:
+                return COMPONENT_TYPES[key]
+            raise MacroTypeError(
+                f"AST type {base} has no component {e.name!r}", e.loc
+            )
+        if base is ANY:
+            return ANY
+        raise MacroTypeError(
+            f"cannot select member {e.name!r} from {base}", e.loc
+        )
+
+    # -- calls -------------------------------------------------------------
+
+    def _infer_Call(self, e: nodes.Call) -> AstType:
+        arg_types = [self.infer(a) for a in e.args]
+        if isinstance(e.func, nodes.Identifier):
+            name = e.func.name
+            bound = self.env.lookup(name)
+            if bound is None and is_builtin(name):
+                return BUILTIN_SIGNATURES[name](arg_types, e)
+            if bound is None:
+                raise MacroTypeError(
+                    f"call to undeclared meta-function {name!r}", e.loc
+                )
+            return self._check_call(bound, arg_types, e)
+        func_type = self.infer(e.func)
+        return self._check_call(func_type, arg_types, e)
+
+    def _check_call(
+        self, func_type: AstType, arg_types: list[AstType], at: Node
+    ) -> AstType:
+        if func_type is ANY:
+            return ANY
+        if not isinstance(func_type, FuncType):
+            raise MacroTypeError(
+                f"cannot call a meta-value of type {func_type}", at.loc
+            )
+        if not func_type.variadic and len(arg_types) != len(func_type.params):
+            raise MacroTypeError(
+                f"expected {len(func_type.params)} argument(s), "
+                f"got {len(arg_types)}",
+                at.loc,
+            )
+        for i, (got, want) in enumerate(zip(arg_types, func_type.params)):
+            if not got.is_usable_as(want):
+                raise MacroTypeError(
+                    f"argument {i + 1} has type {got}, expected {want}",
+                    at.loc,
+                )
+        return func_type.result
+
+    # -- meta forms ----------------------------------------------------------
+
+    def _infer_Backquote(self, e: nodes.Backquote) -> AstType:
+        if e.asttype is None:
+            raise MacroTypeError("backquote was not typed during parse", e.loc)
+        return e.asttype
+
+    def _infer_AnonFunction(self, e: nodes.AnonFunction) -> AstType:
+        inner = self.env.child()
+        param_types: list[AstType] = []
+        for name, asttype in e.params:
+            ptype = asttype if asttype is not None else ANY
+            inner.bind(name, ptype)
+            param_types.append(ptype)
+        saved = self.env
+        self.env = inner
+        try:
+            result = self.infer(e.body)
+        finally:
+            self.env = saved
+        return FuncType(tuple(param_types), result)
+
+    def _infer_PlaceholderExpr(self, e: nodes.PlaceholderExpr) -> AstType:
+        # Nested backquote: a placeholder inside a deeper template.
+        if e.asttype is None:
+            raise MacroTypeError("placeholder was not typed during parse", e.loc)
+        return e.asttype
+
+    def _infer_Cast(self, e: nodes.Cast) -> AstType:
+        # Meta-code casts are only meaningful between C scalars.
+        self.infer(e.operand)
+        return INT
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _require_scalar(self, t: AstType, at: Node) -> None:
+        if t is ANY:
+            return
+        if isinstance(t, CType) and t.name in ("int", "char", "float"):
+            return
+        raise MacroTypeError(
+            f"expected a C scalar in meta-code, got {t}", at.loc
+        )

@@ -1,0 +1,136 @@
+"""Converting C declaration syntax into meta-language types.
+
+The macro language reuses C declaration syntax for meta-variables:
+``@id xs[]`` declares a list of identifiers, a struct of AST members
+declares a tuple, ``int i`` declares a C scalar, ``char *s`` /
+``char s[N]`` declare strings.  This module turns parsed declarators
+into ``(name, AstType)`` bindings, enforcing the paper's restrictions
+("pointer and function declarators are not meaningful" on AST types).
+"""
+
+from __future__ import annotations
+
+from repro.asttypes.types import (
+    CHAR,
+    FLOAT,
+    INT,
+    STRING,
+    VOID,
+    AstType,
+    FuncType,
+    ListType,
+    TupleType,
+    prim,
+)
+from repro.cast import ctypes, decls
+from repro.cast.base import Node
+from repro.errors import MacroTypeError
+
+
+def base_type_of_specs(specs: decls.DeclSpecs) -> AstType:
+    """The meta-language type denoted by declaration specifiers."""
+    ts = specs.type_spec
+    if ts is None:
+        return INT  # implicit int, as in K&R C
+    if isinstance(ts, ctypes.AstTypeSpec):
+        return prim(ts.name)
+    if isinstance(ts, ctypes.PrimitiveType):
+        names = set(ts.names)
+        if "void" in names:
+            return VOID
+        if "char" in names:
+            return CHAR
+        if names & {"float", "double"}:
+            return FLOAT
+        return INT
+    if isinstance(ts, ctypes.StructOrUnionType):
+        if ts.members is None:
+            raise MacroTypeError(
+                "struct tags are not meaningful meta-types; "
+                "declare the tuple's members inline",
+                ts.loc,
+            )
+        fields: list[tuple[str, AstType]] = []
+        for member in ts.members:
+            if not isinstance(member, decls.Declaration):
+                raise MacroTypeError(
+                    "tuple members must be plain declarations", ts.loc
+                )
+            for name, ftype in bindings_from_declaration(member):
+                fields.append((name, ftype))
+        return TupleType(tuple(fields))
+    raise MacroTypeError(
+        f"type specifier {type(ts).__name__} is not a meta-language type",
+        ts.loc,
+    )
+
+
+def binding_from_declarator(
+    base: AstType, declarator: Node
+) -> tuple[str, AstType]:
+    """Apply declarator structure to ``base``, yielding (name, type)."""
+    if isinstance(declarator, decls.NameDeclarator):
+        return declarator.name, base
+    if isinstance(declarator, decls.ArrayDeclarator):
+        name, inner = binding_from_declarator(base, declarator.inner)
+        if inner.is_ast():
+            return name, ListType(inner)
+        if inner == CHAR:
+            return name, STRING
+        raise MacroTypeError(
+            f"arrays of {inner} are not meaningful meta-types",
+            declarator.loc,
+        )
+    if isinstance(declarator, decls.PointerDeclarator):
+        name, inner = binding_from_declarator(base, declarator.inner)
+        if inner.is_ast():
+            raise MacroTypeError(
+                "pointer declarators are not meaningful on AST types",
+                declarator.loc,
+            )
+        if inner == CHAR:
+            return name, STRING
+        return name, inner
+    if isinstance(declarator, decls.FuncDeclarator):
+        name, result = binding_from_declarator(base, declarator.inner)
+        params: list[AstType] = []
+        for p in declarator.params:
+            if isinstance(p, decls.ParamDecl):
+                pbase = base_type_of_specs(p.specs)
+                _, ptype = binding_from_declarator(pbase, p.declarator)
+                params.append(ptype)
+        return name, FuncType(tuple(params), result, declarator.variadic)
+    raise MacroTypeError(
+        f"declarator form {type(declarator).__name__} is not meaningful "
+        "in meta-declarations",
+        declarator.loc,
+    )
+
+
+def bindings_from_declaration(
+    decl: decls.Declaration,
+) -> list[tuple[str, AstType]]:
+    """All ``(name, type)`` bindings introduced by a meta-declaration."""
+    base = base_type_of_specs(decl.specs)
+    out: list[tuple[str, AstType]] = []
+    for item in decl.init_declarators:
+        if isinstance(item, decls.InitDeclarator):
+            out.append(binding_from_declarator(base, item.declarator))
+        else:
+            raise MacroTypeError(
+                "meta-declarations cannot contain placeholders", decl.loc
+            )
+    return out
+
+
+def is_meta_declaration(decl: decls.Declaration) -> bool:
+    """True when a declaration's specifiers involve AST types.
+
+    Function definitions / declarations whose return or parameter
+    types mention ``@`` specifiers belong to the meta-program even
+    without an explicit ``metadcl`` (the paper's ``@stmt
+    paint_function(@stmt s)`` example carries no prefix).
+    """
+    from repro.cast.base import walk
+
+    return any(isinstance(n, ctypes.AstTypeSpec) for n in walk(decl))

@@ -1,0 +1,59 @@
+"""Type environments for the meta-language.
+
+A :class:`TypeEnv` is a chained scope mapping meta-variable names to
+:class:`~repro.asttypes.types.AstType`.  The parser threads one of
+these through macro-body parsing so that placeholder expressions can
+be type-analyzed at the moment they are tokenized (paper section 3,
+"Parsing Code Templates").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.asttypes.types import AstType
+from repro.errors import MacroTypeError, SourceLocation
+
+
+class TypeEnv:
+    """A lexical scope of meta-variable types."""
+
+    def __init__(self, parent: "TypeEnv | None" = None) -> None:
+        self.parent = parent
+        self.bindings: dict[str, AstType] = {}
+
+    def child(self) -> "TypeEnv":
+        """Open a nested scope."""
+        return TypeEnv(parent=self)
+
+    def bind(self, name: str, asttype: AstType) -> None:
+        self.bindings[name] = asttype
+
+    def lookup(self, name: str) -> AstType | None:
+        env: TypeEnv | None = self
+        while env is not None:
+            if name in env.bindings:
+                return env.bindings[name]
+            env = env.parent
+        return None
+
+    def require(self, name: str, loc: SourceLocation | None = None) -> AstType:
+        found = self.lookup(name)
+        if found is None:
+            raise MacroTypeError(
+                f"undeclared meta-variable {name!r}", loc
+            )
+        return found
+
+    def __contains__(self, name: str) -> bool:
+        return self.lookup(name) is not None
+
+    def names(self) -> Iterator[str]:
+        seen: set[str] = set()
+        env: TypeEnv | None = self
+        while env is not None:
+            for name in env.bindings:
+                if name not in seen:
+                    seen.add(name)
+                    yield name
+            env = env.parent

@@ -1,0 +1,210 @@
+"""The AST type language of the macro system (paper section 2).
+
+Primitive AST types are ``id``, ``exp``, ``stmt``, ``decl``, ``num``
+and ``type_spec`` (extended with the declarator-level types
+``declarator`` and ``init_declarator`` that Figure 2 exercises).
+Combining types are **lists** (declared with C array syntax:
+``@id xs[]``) and **tuples** (declared with C struct syntax).
+
+The meta-language also manipulates ordinary C scalar values (loop
+counters, strings for ``pstring``/``strcmp``), represented by
+:class:`CType`, and functions (meta-functions, anonymous functions,
+builtins), represented by :class:`FuncType`.
+
+Subtyping is deliberately shallow — ``id`` and ``num`` are usable
+where ``exp`` is expected (an identifier *is* an expression), lists
+are covariant, everything else is by-name — because the paper's
+parser disambiguates templates by the *exact* placeholder type
+(Figure 2 distinguishes ``declarator`` from ``init_declarator`` from
+``id``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The AST-specifier names accepted after ``@`` and in patterns.
+PRIMITIVE_NAMES = (
+    "id", "exp", "stmt", "decl", "num", "type_spec",
+    "declarator", "init_declarator",
+)
+
+
+class AstType:
+    """Base class of all meta-language types."""
+
+    def is_ast(self) -> bool:
+        """True for AST-valued types (primitives, lists, tuples)."""
+        return True
+
+    def is_usable_as(self, other: "AstType") -> bool:
+        """Assignment compatibility: can a value of self stand for other?"""
+        if other is ANY or self is ANY:
+            return True
+        return self == other
+
+
+@dataclass(frozen=True, slots=True)
+class PrimType(AstType):
+    """One of the primitive AST types."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in PRIMITIVE_NAMES:
+            raise ValueError(f"unknown AST specifier {self.name!r}")
+
+    def is_usable_as(self, other: AstType) -> bool:
+        if AstType.is_usable_as(self, other):
+            return True
+        # An identifier or a number literal is an expression.
+        if other == EXP and self.name in ("id", "num"):
+            return True
+        return False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class ListType(AstType):
+    """A homogeneous list of AST values (``@id xs[]``)."""
+
+    element: AstType
+
+    def is_usable_as(self, other: AstType) -> bool:
+        if other is ANY or self is ANY:
+            return True
+        if isinstance(other, ListType):
+            return self.element.is_usable_as(other.element)
+        return False
+
+    def __str__(self) -> str:
+        return f"{self.element}[]"
+
+
+@dataclass(frozen=True, slots=True)
+class TupleType(AstType):
+    """A named-field tuple of AST values (declared with struct syntax)."""
+
+    fields: tuple[tuple[str, AstType], ...]
+
+    def field_type(self, name: str) -> AstType | None:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        return None
+
+    def is_usable_as(self, other: AstType) -> bool:
+        if other is ANY or self is ANY:
+            return True
+        if not isinstance(other, TupleType):
+            return False
+        if len(self.fields) != len(other.fields):
+            return False
+        return all(
+            a[0] == b[0] and a[1].is_usable_as(b[1])
+            for a, b in zip(self.fields, other.fields)
+        )
+
+    def __str__(self) -> str:
+        inner = "; ".join(f"{t} {n}" for n, t in self.fields)
+        return f"{{{inner}}}"
+
+
+@dataclass(frozen=True, slots=True)
+class CType(AstType):
+    """An ordinary C scalar type usable in meta-code (``int``, strings…).
+
+    The meta-interpreter supports the scalar subset macros need:
+    ``int``, ``float``, ``char``, ``string`` and ``void``.
+    """
+
+    name: str
+
+    def is_ast(self) -> bool:
+        return False
+
+    def is_usable_as(self, other: AstType) -> bool:
+        if AstType.is_usable_as(self, other):
+            return True
+        # char is an int in C.
+        if isinstance(other, CType):
+            if self.name == "char" and other.name == "int":
+                return True
+            if self.name == "int" and other.name == "char":
+                return True
+        return False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class FuncType(AstType):
+    """A meta-function / anonymous-function / builtin type."""
+
+    params: tuple[AstType, ...]
+    result: AstType
+    variadic: bool = False
+
+    def is_ast(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        if self.variadic:
+            params += ", ..."
+        return f"({params}) -> {self.result}"
+
+
+class _AnyType(AstType):
+    """Wildcard used by polymorphic builtins; compatible with anything."""
+
+    def is_ast(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+    def __str__(self) -> str:
+        return "any"
+
+
+#: Singleton wildcard type.
+ANY = _AnyType()
+
+# Convenient singletons for the primitives.
+ID = PrimType("id")
+EXP = PrimType("exp")
+STMT = PrimType("stmt")
+DECL = PrimType("decl")
+NUM = PrimType("num")
+TYPE_SPEC = PrimType("type_spec")
+DECLARATOR = PrimType("declarator")
+INIT_DECLARATOR = PrimType("init_declarator")
+
+INT = CType("int")
+FLOAT = CType("float")
+CHAR = CType("char")
+STRING = CType("string")
+VOID = CType("void")
+
+_PRIM_SINGLETONS = {
+    "id": ID, "exp": EXP, "stmt": STMT, "decl": DECL, "num": NUM,
+    "type_spec": TYPE_SPEC, "declarator": DECLARATOR,
+    "init_declarator": INIT_DECLARATOR,
+}
+
+
+def prim(name: str) -> PrimType:
+    """Look up the singleton for a primitive AST-specifier name."""
+    try:
+        return _PRIM_SINGLETONS[name]
+    except KeyError:
+        raise ValueError(f"unknown AST specifier {name!r}") from None
+
+
+def list_of(element: AstType) -> ListType:
+    """The list type over ``element``."""
+    return ListType(element)

@@ -1,0 +1,23 @@
+"""Baseline macro systems for the Figure 1 taxonomy comparison.
+
+* :mod:`repro.baseline.charmacro` — character level (GPM-flavoured);
+* :mod:`repro.baseline.tokmacro` — token level (CPP-flavoured).
+
+The syntax level is the package's main subject
+(:class:`repro.engine.MacroProcessor`).
+"""
+
+from repro.baseline.charmacro import CharMacroError, CharMacroProcessor
+from repro.baseline.tokmacro import (
+    TokenMacroError,
+    TokenMacroProcessor,
+    render_tokens,
+)
+
+__all__ = [
+    "CharMacroError",
+    "CharMacroProcessor",
+    "TokenMacroError",
+    "TokenMacroProcessor",
+    "render_tokens",
+]

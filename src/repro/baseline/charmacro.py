@@ -1,0 +1,185 @@
+"""A character-substitution macro processor in the style of GPM.
+
+This is the Figure 1 "character / full-programming-language" corner
+(Strachey's General Purpose Macrogenerator, 1965): macros transform
+*streams of characters* into streams of characters.  The subset here:
+
+* ``$DEF,name,<body>;`` defines a macro; inside the body ``~1``,
+  ``~2`` … refer to the call's arguments;
+* ``$name,arg1,arg2;`` calls a macro; arguments may be quoted in
+  ``< >`` (quoting protects commas, semicolons and nested calls);
+* macro results are rescanned, so macros can build and invoke other
+  macros — full programmability, zero structure.
+
+Character macros can do things no token or syntax macro can (splice
+two identifier halves into one name) precisely *because* they know
+nothing about lexical or syntactic structure — which is also why they
+offer no safety whatsoever.  ``benchmarks/test_fig1_taxonomy.py``
+demonstrates both sides.
+"""
+
+from __future__ import annotations
+
+from repro.errors import Ms2Error
+
+
+class CharMacroError(Ms2Error):
+    """Malformed definition or call."""
+
+
+class CharMacroProcessor:
+    """A GPM-flavoured character macro processor."""
+
+    MAX_STEPS = 1_000_000
+    MAX_DEPTH = 200
+
+    def __init__(self) -> None:
+        self.macros: dict[str, str] = {}
+        self._steps = 0
+        self._depth = 0
+
+    def define(self, name: str, body: str) -> None:
+        self.macros[name] = body
+
+    def process(self, source: str) -> str:
+        """Expand ``source`` until no macro calls remain."""
+        self._steps = 0
+        return self._scan(source)
+
+    # ------------------------------------------------------------------
+
+    def _scan(self, text: str) -> str:
+        out: list[str] = []
+        i = 0
+        while i < len(text):
+            ch = text[i]
+            if ch == "$":
+                call_text, i = self._read_call(text, i)
+                out.append(call_text)
+                continue
+            if ch == "<":
+                quoted, i = self._read_quoted(text, i)
+                out.append(quoted)
+                continue
+            out.append(ch)
+            i += 1
+        return "".join(out)
+
+    def _read_call(self, text: str, start: int) -> tuple[str, int]:
+        """Parse ``$name,arg,...;`` starting at ``start`` (the ``$``)."""
+        self._tick()
+        i = start + 1
+        name_chars: list[str] = []
+        while i < len(text) and (text[i].isalnum() or text[i] == "_"):
+            name_chars.append(text[i])
+            i += 1
+        name = "".join(name_chars)
+        if not name:
+            return "$", start + 1
+        args: list[str] = []
+        if i < len(text) and text[i] == ",":
+            i += 1
+            current: list[str] = []
+            while True:
+                if i >= len(text):
+                    raise CharMacroError(
+                        f"unterminated call of character macro {name!r}"
+                    )
+                ch = text[i]
+                if ch == "<":
+                    quoted, i = self._read_quoted(text, i)
+                    current.append(quoted)
+                    continue
+                if ch == "$":
+                    call_text, i = self._read_call(text, i)
+                    current.append(call_text)
+                    continue
+                if ch == ",":
+                    args.append("".join(current))
+                    current = []
+                    i += 1
+                    continue
+                if ch == ";":
+                    args.append("".join(current))
+                    i += 1
+                    break
+                current.append(ch)
+                i += 1
+        elif i < len(text) and text[i] == ";":
+            i += 1
+        else:
+            # A bare '$name' without a call form is literal text.
+            return "$" + name, i
+
+        if name == "DEF":
+            if len(args) != 2:
+                raise CharMacroError("$DEF takes a name and a body")
+            self.define(args[0].strip(), args[1])
+            return "", i
+        if name not in self.macros:
+            raise CharMacroError(f"undefined character macro {name!r}")
+        body = self.macros[name]
+        substituted = _substitute_args(body, args)
+        # Rescan the result: macros may generate macros.
+        self._depth += 1
+        if self._depth > self.MAX_DEPTH:
+            self._depth = 0
+            raise CharMacroError(
+                f"character macro expansion exceeded depth "
+                f"{self.MAX_DEPTH} (while expanding {name!r}); "
+                "runaway recursion?"
+            )
+        try:
+            return self._scan(substituted), i
+        finally:
+            self._depth -= 1
+
+    def _read_quoted(self, text: str, start: int) -> tuple[str, int]:
+        """Read a ``< >`` quotation; returns its contents (one level
+        of quoting stripped)."""
+        depth = 0
+        i = start
+        out: list[str] = []
+        while i < len(text):
+            ch = text[i]
+            if ch == "<":
+                depth += 1
+                if depth > 1:
+                    out.append(ch)
+            elif ch == ">":
+                depth -= 1
+                if depth == 0:
+                    return "".join(out), i + 1
+                out.append(ch)
+            else:
+                out.append(ch)
+            i += 1
+        raise CharMacroError("unterminated < > quotation")
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.MAX_STEPS:
+            raise CharMacroError(
+                "character macro expansion exceeded its budget; "
+                "runaway recursion?"
+            )
+
+
+def _substitute_args(body: str, args: list[str]) -> str:
+    """Replace ``~n`` argument references in a macro body."""
+    out: list[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "~" and i + 1 < len(body) and body[i + 1].isdigit():
+            j = i + 1
+            while j < len(body) and body[j].isdigit():
+                j += 1
+            index = int(body[i + 1 : j]) - 1
+            if 0 <= index < len(args):
+                out.append(args[index])
+            i = j
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)

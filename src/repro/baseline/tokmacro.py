@@ -1,0 +1,220 @@
+"""A token-substitution macro processor in the style of ANSI CPP.
+
+This is the Figure 1 "token / substitution+repetition" baseline: it
+implements ``#define`` (object-like and function-like), ``#undef``,
+argument substitution and rescanning with the standard self-reference
+("blue paint") guard.  It deliberately reproduces CPP's famous
+weaknesses, which the paper's introduction uses to motivate syntax
+macros:
+
+* **no encapsulation** — ``#define MULT(A,B) A * B`` expanded with
+  ``x + y`` and ``m + n`` yields ``x + y * m + n``, whose parse is
+  ``x + (y * m) + n``;
+* **no syntactic safety** — a macro body can be an arbitrary token
+  sequence, so a use site can produce code that does not parse;
+* **no programmability** — substitution plus rescanning only.
+
+``tests/baseline/test_interference.py`` and
+``benchmarks/test_fig1_taxonomy.py`` run this side by side with MS2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import Ms2Error, SourceLocation
+from repro.lexer.scanner import Scanner
+from repro.lexer.tokens import Token, TokenKind
+
+
+class TokenMacroError(Ms2Error):
+    """Malformed directive or invocation."""
+
+
+@dataclass(slots=True)
+class TokenMacro:
+    """One ``#define``."""
+
+    name: str
+    params: list[str] | None  # None = object-like
+    body: list[Token]
+
+    @property
+    def function_like(self) -> bool:
+        return self.params is not None
+
+
+class TokenMacroProcessor:
+    """A CPP-flavoured token macro processor."""
+
+    def __init__(self) -> None:
+        self.macros: dict[str, TokenMacro] = {}
+
+    # ------------------------------------------------------------------
+    # Directives
+    # ------------------------------------------------------------------
+
+    def define(self, text: str) -> TokenMacro:
+        """Process the text after ``#define`` (name[(params)] body)."""
+        tokens = _tokenize(text)
+        if not tokens or tokens[0].kind is not TokenKind.IDENT:
+            raise TokenMacroError(f"malformed #define: {text!r}")
+        name = tokens[0].text
+        params: list[str] | None = None
+        body_start = 1
+        # Function-like only when '(' immediately follows the name.
+        if (
+            len(tokens) > 1
+            and tokens[1].is_punct("(")
+            and tokens[1].location.offset == tokens[0].location.offset + len(name)
+        ):
+            params = []
+            i = 2
+            if tokens[i].is_punct(")"):
+                i += 1
+            else:
+                while True:
+                    if tokens[i].kind is not TokenKind.IDENT:
+                        raise TokenMacroError(
+                            f"malformed parameter list in #define {name}"
+                        )
+                    params.append(tokens[i].text)
+                    i += 1
+                    if tokens[i].is_punct(","):
+                        i += 1
+                        continue
+                    if tokens[i].is_punct(")"):
+                        i += 1
+                        break
+                    raise TokenMacroError(
+                        f"malformed parameter list in #define {name}"
+                    )
+            body_start = i
+        macro = TokenMacro(name, params, tokens[body_start:])
+        self.macros[name] = macro
+        return macro
+
+    def undef(self, name: str) -> None:
+        self.macros.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+
+    def process(self, source: str) -> str:
+        """Process a whole buffer: directives + macro expansion."""
+        out_lines: list[str] = []
+        for line in source.splitlines():
+            stripped = line.strip()
+            if stripped.startswith("#define"):
+                self.define(stripped[len("#define"):].strip())
+                continue
+            if stripped.startswith("#undef"):
+                self.undef(stripped[len("#undef"):].strip())
+                continue
+            out_lines.append(render_tokens(self.expand_text(line)))
+        return "\n".join(line for line in out_lines if line.strip())
+
+    def expand_text(self, text: str) -> list[Token]:
+        return self.expand(_tokenize(text))
+
+    def expand(
+        self, tokens: list[Token], active: frozenset[str] = frozenset()
+    ) -> list[Token]:
+        """Expand macros in a token list, rescanning results."""
+        out: list[Token] = []
+        i = 0
+        while i < len(tokens):
+            token = tokens[i]
+            if token.kind is TokenKind.IDENT and token.text in self.macros:
+                if token.text in active:
+                    out.append(token)  # blue paint: no self-reference
+                    i += 1
+                    continue
+                macro = self.macros[token.text]
+                if macro.function_like:
+                    if i + 1 < len(tokens) and tokens[i + 1].is_punct("("):
+                        args, consumed = self._collect_args(tokens, i + 1)
+                        if len(args) != len(macro.params or []):
+                            raise TokenMacroError(
+                                f"macro {macro.name!r} expects "
+                                f"{len(macro.params or [])} argument(s), "
+                                f"got {len(args)}",
+                                token.location,
+                            )
+                        substituted = self._substitute(macro, args)
+                        rescanned = self.expand(
+                            substituted, active | {macro.name}
+                        )
+                        out.extend(rescanned)
+                        i = consumed
+                        continue
+                    # Function-like name without '(' is left alone.
+                    out.append(token)
+                    i += 1
+                    continue
+                rescanned = self.expand(
+                    list(macro.body), active | {macro.name}
+                )
+                out.extend(rescanned)
+                i += 1
+                continue
+            out.append(token)
+            i += 1
+        return out
+
+    def _collect_args(
+        self, tokens: list[Token], open_index: int
+    ) -> tuple[list[list[Token]], int]:
+        """Collect comma-separated argument token lists; returns
+        (args, index-after-closing-paren)."""
+        assert tokens[open_index].is_punct("(")
+        args: list[list[Token]] = []
+        current: list[Token] = []
+        depth = 1
+        i = open_index + 1
+        while i < len(tokens):
+            token = tokens[i]
+            if token.is_punct("("):
+                depth += 1
+            elif token.is_punct(")"):
+                depth -= 1
+                if depth == 0:
+                    if current or args:
+                        args.append(current)
+                    return args, i + 1
+            elif token.is_punct(",") and depth == 1:
+                args.append(current)
+                current = []
+                i += 1
+                continue
+            current.append(token)
+            i += 1
+        raise TokenMacroError(
+            "unterminated macro argument list",
+            tokens[open_index].location,
+        )
+
+    def _substitute(
+        self, macro: TokenMacro, args: list[list[Token]]
+    ) -> list[Token]:
+        """Parameter-for-argument token substitution — the raw token
+        splice that causes the paper's precedence interference."""
+        mapping = dict(zip(macro.params or [], args))
+        out: list[Token] = []
+        for token in macro.body:
+            if token.kind is TokenKind.IDENT and token.text in mapping:
+                out.extend(mapping[token.text])
+            else:
+                out.append(token)
+        return out
+
+
+def _tokenize(text: str) -> list[Token]:
+    tokens = Scanner(text, meta=False, keep_keywords=False).tokenize()
+    return tokens[:-1]  # drop EOF
+
+
+def render_tokens(tokens: list[Token]) -> str:
+    """Join tokens back into text (space-separated, CPP-style)."""
+    return " ".join(t.text for t in tokens)

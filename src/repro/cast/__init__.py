@@ -1,0 +1,28 @@
+"""The C abstract syntax tree: the substrate the macro system operates on.
+
+Submodules:
+
+* :mod:`repro.cast.base` — node base class, traversal, rebuilding;
+* :mod:`repro.cast.nodes` — expressions and meta-expression forms;
+* :mod:`repro.cast.stmts` — statements;
+* :mod:`repro.cast.decls` — declarations and top-level forms;
+* :mod:`repro.cast.ctypes` — type specifiers;
+* :mod:`repro.cast.printer` — the unparser (AST → C text);
+* :mod:`repro.cast.sexpr` — Figure 2/3-style S-expression rendering;
+* :mod:`repro.cast.builders` — the verbose ``create_*`` constructor API;
+* :mod:`repro.cast.visitor` — class-based visitors.
+"""
+
+from repro.cast.base import Node, children, rebuild, transform, walk
+from repro.cast.printer import render_c
+from repro.cast.sexpr import render_sexpr
+
+__all__ = [
+    "Node",
+    "children",
+    "rebuild",
+    "render_c",
+    "render_sexpr",
+    "transform",
+    "walk",
+]

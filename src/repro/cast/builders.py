@@ -1,0 +1,252 @@
+"""The verbose constructor API for building ASTs by hand.
+
+This is the ``create_*`` style the paper's introduction demonstrates
+(and laments) — the code every meta-programming system without
+templates forces on its users:
+
+.. code-block:: c
+
+    create_compound_statement(
+        createDeclarationList(),
+        createStatementList(
+            createFunctionCall(createId("BeginPaint"), ...),
+            s,
+            ...))
+
+We provide it both as a genuinely useful programmatic API and as the
+baseline for the template-vs-constructors benchmark
+(``benchmarks/test_template_vs_constructors.py``).  Function names
+follow the paper's spelling (converted to snake_case), with aliases
+matching the paper verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.cast import ctypes, decls, nodes, stmts
+from repro.cast.base import Node
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+def create_id(name: str) -> nodes.Identifier:
+    """``createId("x")`` — an identifier node."""
+    return nodes.Identifier(name)
+
+
+def create_num(value: int) -> nodes.IntLit:
+    """An integer literal node."""
+    return nodes.IntLit(value)
+
+
+def create_string(value: str) -> nodes.StringLit:
+    """A string literal node (escapes handled by the printer)."""
+    return nodes.StringLit(value)
+
+
+def create_function_call(func: Node, args: list[Node]) -> nodes.Call:
+    """``createFunctionCall(f, createArgumentList(...))``."""
+    return nodes.Call(func, list(args))
+
+
+def create_argument_list(*args: Node) -> list[Node]:
+    """``createArgumentList(...)`` — a call's argument list."""
+    return list(args)
+
+
+def create_address_of(operand: Node) -> nodes.UnaryOp:
+    """``createAddressOf(e)`` — the ``&e`` expression."""
+    return nodes.UnaryOp("&", operand)
+
+
+def create_deref(operand: Node) -> nodes.UnaryOp:
+    """The ``*e`` dereference expression."""
+    return nodes.UnaryOp("*", operand)
+
+
+def create_binary(op: str, left: Node, right: Node) -> nodes.BinaryOp:
+    """A binary operation; validates the operator spelling."""
+    if op not in nodes.BINARY_OPS:
+        raise ValueError(f"not a binary operator: {op!r}")
+    return nodes.BinaryOp(op, left, right)
+
+
+def create_assignment(target: Node, value: Node, op: str = "=") -> nodes.AssignOp:
+    """An assignment expression (``=`` or a compound operator)."""
+    if op not in nodes.ASSIGN_OPS:
+        raise ValueError(f"not an assignment operator: {op!r}")
+    return nodes.AssignOp(op, target, value)
+
+
+def create_conditional(cond: Node, then: Node, otherwise: Node) -> Node:
+    """The ternary ``cond ? then : otherwise``."""
+    return nodes.ConditionalOp(cond, then, otherwise)
+
+
+def create_member(base: Node, name: str, arrow: bool = False) -> nodes.Member:
+    """``base.name`` or ``base->name`` member access."""
+    return nodes.Member(base, name, arrow)
+
+
+def create_index(base: Node, index: Node) -> nodes.Index:
+    """The ``base[index]`` subscript expression."""
+    return nodes.Index(base, index)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+def create_expression_statement(expr: Node) -> stmts.ExprStmt:
+    """Wrap an expression as a statement."""
+    return stmts.ExprStmt(expr)
+
+
+def create_declaration_list(*items: Node) -> list[Node]:
+    """``createDeclarationList()`` — the decl-list of a compound statement."""
+    return list(items)
+
+
+def create_statement_list(*items: Node) -> list[Node]:
+    """``createStatementList(...)`` — expressions are wrapped as stmts."""
+    out: list[Node] = []
+    for item in items:
+        if CPrinterStmtCheck.is_statement(item):
+            out.append(item)
+        else:
+            out.append(stmts.ExprStmt(item))
+    return out
+
+
+def create_compound_statement(
+    declarations: list[Node], statements: list[Node]
+) -> stmts.CompoundStmt:
+    """``create_compound_statement(decl_list, stmt_list)``."""
+    return stmts.CompoundStmt(list(declarations), list(statements))
+
+
+def create_if(cond: Node, then: Node, otherwise: Node | None = None) -> stmts.IfStmt:
+    """An ``if`` statement (optional else branch)."""
+    return stmts.IfStmt(cond, then, otherwise)
+
+
+def create_while(cond: Node, body: Node) -> stmts.WhileStmt:
+    """A ``while`` loop."""
+    return stmts.WhileStmt(cond, body)
+
+
+def create_return(expr: Node | None = None) -> stmts.ReturnStmt:
+    """A ``return`` statement (void when no expression)."""
+    return stmts.ReturnStmt(expr)
+
+
+def create_switch(expr: Node, body: Node) -> stmts.SwitchStmt:
+    """A ``switch`` statement."""
+    return stmts.SwitchStmt(expr, body)
+
+
+def create_case(expr: Node, stmt: Node) -> stmts.CaseStmt:
+    """A ``case expr:`` label with its statement."""
+    return stmts.CaseStmt(expr, stmt)
+
+
+def create_default(stmt: Node) -> stmts.DefaultStmt:
+    """A ``default:`` label with its statement."""
+    return stmts.DefaultStmt(stmt)
+
+
+def create_break() -> stmts.BreakStmt:
+    """A ``break`` statement."""
+    return stmts.BreakStmt()
+
+
+def create_null_statement() -> stmts.NullStmt:
+    """The empty statement ``;``."""
+    return stmts.NullStmt()
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+def create_primitive_type(*names: str) -> ctypes.PrimitiveType:
+    """A builtin type specifier from keywords."""
+    return ctypes.PrimitiveType(list(names))
+
+
+def create_decl_specs(
+    type_spec: Node,
+    storage: list[str] | None = None,
+    qualifiers: list[str] | None = None,
+) -> decls.DeclSpecs:
+    """Declaration specifiers from a type spec plus optional storage/qualifiers."""
+    return decls.DeclSpecs(storage or [], qualifiers or [], type_spec)
+
+
+def create_declaration(
+    specs: decls.DeclSpecs, *init_declarators: Node
+) -> decls.Declaration:
+    """A declaration from specifiers and init-declarators."""
+    return decls.Declaration(specs, list(init_declarators))
+
+
+def create_simple_declaration(
+    type_names: list[str], name: str, init: Node | None = None
+) -> decls.Declaration:
+    """``int x = e;`` in one call — the common case."""
+    specs = create_decl_specs(create_primitive_type(*type_names))
+    declarator = decls.NameDeclarator(name)
+    return decls.Declaration(specs, [decls.InitDeclarator(declarator, init)])
+
+
+def create_init_declarator(
+    declarator: Node, init: Node | None = None
+) -> decls.InitDeclarator:
+    """A declarator with an optional initializer."""
+    return decls.InitDeclarator(declarator, init)
+
+
+def create_name_declarator(name: str) -> decls.NameDeclarator:
+    """The innermost (name) declarator."""
+    return decls.NameDeclarator(name)
+
+
+def create_pointer_declarator(
+    inner: Node, qualifiers: list[str] | None = None
+) -> decls.PointerDeclarator:
+    """A pointer declarator wrapping ``inner``."""
+    return decls.PointerDeclarator(inner, qualifiers or [])
+
+
+def create_enum(tag: str | None, names: list[str]) -> ctypes.EnumType:
+    """An enum specifier with plain-valued enumerators."""
+    return ctypes.EnumType(tag, [ctypes.Enumerator(n) for n in names])
+
+
+def create_function_def(
+    specs: decls.DeclSpecs, declarator: Node, body: stmts.CompoundStmt
+) -> decls.FunctionDef:
+    """A function definition node."""
+    return decls.FunctionDef(specs, declarator, [], body)
+
+
+class CPrinterStmtCheck:
+    """Helper shared with ``create_statement_list``."""
+
+    @staticmethod
+    def is_statement(node: object) -> bool:
+        from repro.cast.printer import CPrinter
+
+        return CPrinter._is_statement(node)
+
+
+# Aliases that match the paper's spelling verbatim.
+createId = create_id
+createFunctionCall = create_function_call
+createArgumentList = create_argument_list
+createAddressOf = create_address_of
+createDeclarationList = create_declaration_list
+createStatementList = create_statement_list

@@ -1,0 +1,82 @@
+"""Type-specifier nodes for the C AST.
+
+``type_spec`` is one of the paper's six primitive AST types, so these
+nodes are first-class macro currency: a macro parameter declared
+``$$type_spec::t`` binds one of these, and ``@type_spec`` declares a
+meta-variable holding one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import field
+from typing import Any, ClassVar
+
+from repro.cast.base import Node, node
+
+
+@node
+class PrimitiveType(Node):
+    """A builtin type built from specifier keywords (``unsigned long`` …)."""
+
+    sexpr_name: ClassVar[str] = "prim-type"
+    names: list[str]
+
+
+@node
+class TypedefNameType(Node):
+    """A use of a ``typedef``-introduced name as a type specifier."""
+
+    sexpr_name: ClassVar[str] = "typedef-name"
+    name: str
+
+
+@node
+class StructOrUnionType(Node):
+    """``struct``/``union`` specifier; ``members`` is None for a bare tag."""
+
+    sexpr_name: ClassVar[str] = "struct-or-union"
+    kind: str  # "struct" or "union"
+    tag: str | None
+    members: list[Node] | None = None
+
+
+@node
+class Enumerator(Node):
+    sexpr_name: ClassVar[str] = "enumerator"
+    name: str
+    value: Node | None = None
+
+
+@node
+class EnumType(Node):
+    """``enum`` specifier; ``enumerators`` is None for a bare tag.
+
+    ``enumerators`` items are :class:`Enumerator` nodes or identifier
+    placeholders (templates like ``enum color $ids;`` put a list-typed
+    placeholder here — the paper's separator-free splicing example).
+    """
+
+    sexpr_name: ClassVar[str] = "enum"
+    tag: str | None
+    enumerators: list[Node] | None = None
+
+
+@node
+class AstTypeSpec(Node):
+    """The meta-language type specifier ``@ ast-specifier``.
+
+    Only legal in meta-code (macro bodies, ``metadcl``, macro function
+    signatures, anonymous-function parameter lists).
+    """
+
+    sexpr_name: ClassVar[str] = "ast-type"
+    name: str  # "id", "exp", "stmt", "decl", "num", "type_spec", ...
+
+
+@node
+class PlaceholderTypeSpec(Node):
+    """A ``$``-hole standing where a type specifier is expected."""
+
+    sexpr_name: ClassVar[str] = "ph"
+    meta_expr: Node
+    asttype: Any = field(compare=False, default=None, repr=False)

@@ -1,0 +1,218 @@
+"""Declaration-level nodes for the C AST.
+
+These cover C90 declarations (with typedef, struct/union/enum,
+pointer/array/function declarators, prototype and K&R function
+definitions) plus the two top-level forms the macro language adds:
+``metadcl`` meta-declarations and ``syntax`` macro definitions.
+
+The declarator-level placeholder nodes exist so that Figure 2 of the
+paper — the four distinct parses of ``[int $y;]`` by the AST type of
+``y`` — is expressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import field
+from typing import Any, ClassVar
+
+from repro.cast.base import Node, node
+from repro.cast.stmts import CompoundStmt
+
+
+@node
+class DeclSpecs(Node):
+    """Declaration specifiers: storage class, qualifiers, type specifier."""
+
+    sexpr_name: ClassVar[str] = "decl-specs"
+    storage: list[str]
+    qualifiers: list[str]
+    type_spec: Node | None
+
+    def is_typedef(self) -> bool:
+        return "typedef" in self.storage
+
+
+# ---------------------------------------------------------------------------
+# Declarators
+# ---------------------------------------------------------------------------
+
+
+@node
+class NameDeclarator(Node):
+    """The innermost declarator: the declared name."""
+
+    sexpr_name: ClassVar[str] = "direct-declarator"
+    name: str
+
+
+@node
+class AbstractDeclarator(Node):
+    """Innermost declarator of an abstract declarator (no name)."""
+
+    sexpr_name: ClassVar[str] = "abstract-declarator"
+
+
+@node
+class PointerDeclarator(Node):
+    sexpr_name: ClassVar[str] = "pointer-declarator"
+    inner: Node
+    qualifiers: list[str]
+
+
+@node
+class ArrayDeclarator(Node):
+    sexpr_name: ClassVar[str] = "array-declarator"
+    inner: Node
+    size: Node | None = None
+
+
+@node
+class ParamDecl(Node):
+    """A prototype parameter declaration (declarator may be abstract)."""
+
+    sexpr_name: ClassVar[str] = "param"
+    specs: DeclSpecs
+    declarator: Node
+
+
+@node
+class FuncDeclarator(Node):
+    """A function declarator.
+
+    ``params`` holds prototype parameters; ``kr_names`` holds K&R-style
+    identifier lists (the paper's ``foo(a, b, c)`` example).  Exactly
+    one of the two styles is populated; an empty declarator ``()`` has
+    both empty with ``prototype=False``.
+    """
+
+    sexpr_name: ClassVar[str] = "function-declarator"
+    inner: Node
+    params: list[Node]
+    kr_names: list[str]
+    variadic: bool = False
+    prototype: bool = True
+
+
+@node
+class PlaceholderDeclarator(Node):
+    """A ``$``-hole standing where a declarator is expected (Figure 2)."""
+
+    sexpr_name: ClassVar[str] = "ph"
+    meta_expr: Node
+    asttype: Any = field(compare=False, default=None, repr=False)
+
+
+# ---------------------------------------------------------------------------
+# Initialized declarators and declarations
+# ---------------------------------------------------------------------------
+
+
+@node
+class InitDeclarator(Node):
+    sexpr_name: ClassVar[str] = "init-declarator"
+    declarator: Node
+    init: Node | None = None
+
+
+@node
+class PlaceholderInitDeclarator(Node):
+    """A ``$``-hole standing for an init-declarator or a list of them.
+
+    Figure 2's first two rows: when ``asttype`` is a list type the
+    placeholder is the whole init-declarator list and is spliced at
+    instantiation time.
+    """
+
+    sexpr_name: ClassVar[str] = "ph"
+    meta_expr: Node
+    asttype: Any = field(compare=False, default=None, repr=False)
+
+
+@node
+class ListInitializer(Node):
+    """A braced initializer ``{ e1, e2, ... }``."""
+
+    sexpr_name: ClassVar[str] = "initializer-list"
+    items: list[Node]
+
+
+@node
+class Declaration(Node):
+    """``declaration-specifiers init-declarator-list ;``
+
+    Also used for struct/union member declarations (no initializers)
+    and K&R parameter declarations.
+    """
+
+    sexpr_name: ClassVar[str] = "declaration"
+    specs: DeclSpecs
+    init_declarators: list[Node]
+
+
+@node
+class TypeName(Node):
+    """A type name as used in casts and ``sizeof`` (abstract declarator)."""
+
+    sexpr_name: ClassVar[str] = "type-name"
+    specs: DeclSpecs
+    declarator: Node
+
+
+@node
+class FunctionDef(Node):
+    """A function definition (prototype or K&R style)."""
+
+    sexpr_name: ClassVar[str] = "function-definition"
+    specs: DeclSpecs
+    declarator: Node
+    kr_decls: list[Node]
+    body: CompoundStmt
+
+
+@node
+class PlaceholderDecl(Node):
+    """A ``$``-hole standing where a declaration is expected."""
+
+    sexpr_name: ClassVar[str] = "ph"
+    meta_expr: Node
+    asttype: Any = field(compare=False, default=None, repr=False)
+
+
+# ---------------------------------------------------------------------------
+# Meta-language top-level forms
+# ---------------------------------------------------------------------------
+
+
+@node
+class MetaDecl(Node):
+    """``metadcl declaration`` — a global meta-variable or meta-function."""
+
+    sexpr_name: ClassVar[str] = "meta-declaration"
+    inner: Node
+
+
+@node
+class MacroDef(Node):
+    """A ``syntax`` macro definition.
+
+    ``ret_spec`` is the AST-specifier name of the returned AST;
+    ``returns_list`` is true when the macro name was declared with
+    ``[]`` (e.g. ``syntax decl myenum[]``), meaning invocations return
+    a *list* of such ASTs.  ``pattern`` is the compiled
+    :class:`repro.macros.pattern.Pattern`; ``body`` the macro body.
+    """
+
+    sexpr_name: ClassVar[str] = "macro-definition"
+    ret_spec: str
+    returns_list: bool
+    name: str
+    pattern: Any = field(compare=False)
+    body: CompoundStmt = field(compare=False)
+
+
+@node
+class TranslationUnit(Node):
+    """A whole source file: declarations, function definitions, meta forms."""
+
+    sexpr_name: ClassVar[str] = "translation-unit"
+    items: list[Node]

@@ -1,0 +1,485 @@
+"""Unparser: render C (and macro-language) ASTs back to source text.
+
+The printer is precedence-aware — it inserts exactly the parentheses
+the tree requires, which is what makes the paper's "encapsulation"
+guarantee visible: a tree built by substituting ``x + y`` and ``m + n``
+into ``A * B`` prints as ``(x + y) * (m + n)``.
+"""
+
+from __future__ import annotations
+
+from repro.cast import ctypes, decls, nodes, stmts
+from repro.cast.base import Node
+
+# ---------------------------------------------------------------------------
+# Expression precedence (higher binds tighter)
+# ---------------------------------------------------------------------------
+
+COMMA_PREC = 1
+ASSIGN_PREC = 2
+COND_PREC = 3
+BINARY_PREC = {
+    "||": 4, "&&": 5, "|": 6, "^": 7, "&": 8,
+    "==": 9, "!=": 9,
+    "<": 10, ">": 10, "<=": 10, ">=": 10,
+    "<<": 11, ">>": 11,
+    "+": 12, "-": 12,
+    "*": 13, "/": 13, "%": 13,
+}
+UNARY_PREC = 15
+POSTFIX_PREC = 16
+PRIMARY_PREC = 17
+
+
+def render_c(node: object, indent: str = "    ") -> str:
+    """Render an AST node (or list of top-level items) as C source."""
+    printer = CPrinter(indent=indent)
+    return printer.render(node)
+
+
+class CPrinter:
+    """Stateful pretty-printer.  ``render`` dispatches on node class."""
+
+    def __init__(self, indent: str = "    ") -> None:
+        self.indent_unit = indent
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def render(self, node: object) -> str:
+        if node is None:
+            return ""
+        if isinstance(node, list):
+            return "\n".join(self.render(item) for item in node)
+        if isinstance(node, decls.TranslationUnit):
+            return "\n".join(self.top_level(item) for item in node.items) + "\n"
+        if isinstance(node, (decls.Declaration, decls.FunctionDef,
+                             decls.MetaDecl, decls.MacroDef)):
+            return self.top_level(node).rstrip("\n")
+        if isinstance(node, decls.TypeName):
+            return self.type_name(node)
+        if self._is_statement(node):
+            return self.stmt(node, 0)
+        return self.expr(node, 0)
+
+    @staticmethod
+    def _is_statement(node: object) -> bool:
+        return isinstance(
+            node,
+            (
+                stmts.ExprStmt, stmts.CompoundStmt, stmts.IfStmt,
+                stmts.WhileStmt, stmts.DoWhileStmt, stmts.ForStmt,
+                stmts.SwitchStmt, stmts.CaseStmt, stmts.DefaultStmt,
+                stmts.BreakStmt, stmts.ContinueStmt, stmts.ReturnStmt,
+                stmts.GotoStmt, stmts.LabeledStmt, stmts.NullStmt,
+                stmts.PlaceholderStmt,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Top-level items
+    # ------------------------------------------------------------------
+
+    def top_level(self, item: Node) -> str:
+        if isinstance(item, decls.FunctionDef):
+            return self.function_def(item)
+        if isinstance(item, decls.Declaration):
+            return self.declaration(item) + "\n"
+        if isinstance(item, decls.MetaDecl):
+            return "metadcl " + self.top_level(item.inner).rstrip("\n") + "\n"
+        if isinstance(item, decls.MacroDef):
+            return self.macro_def(item)
+        if isinstance(item, decls.PlaceholderDecl):
+            return self.placeholder(item) + "\n"
+        if isinstance(item, nodes.MacroInvocation):
+            return self.macro_invocation(item) + "\n"
+        raise TypeError(f"cannot print top-level item {type(item).__name__}")
+
+    def function_def(self, fn: decls.FunctionDef) -> str:
+        header = self.specs_and_declarator(fn.specs, fn.declarator)
+        kr = "".join(
+            self.declaration(d) + "\n" for d in fn.kr_decls
+        )
+        body = self.stmt(fn.body, 0)
+        return f"{header}\n{kr}{body}\n"
+
+    def macro_def(self, m: decls.MacroDef) -> str:
+        name = m.name + ("[]" if m.returns_list else "")
+        pattern_src = getattr(m.pattern, "source_text", "...")
+        body = self.stmt(m.body, 0)
+        return f"syntax {m.ret_spec} {name} {{| {pattern_src} |}}\n{body}\n"
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def declaration(self, d: decls.Declaration) -> str:
+        specs = self.decl_specs(d.specs)
+        if not d.init_declarators:
+            return f"{specs};"
+        items = ", ".join(
+            self.init_declarator(i) for i in d.init_declarators
+        )
+        return f"{specs} {items};"
+
+    def decl_specs(self, specs: decls.DeclSpecs) -> str:
+        parts = list(specs.storage) + list(specs.qualifiers)
+        if specs.type_spec is not None:
+            parts.append(self.type_spec(specs.type_spec))
+        return " ".join(parts)
+
+    def type_spec(self, ts: Node) -> str:
+        if isinstance(ts, ctypes.PrimitiveType):
+            return " ".join(ts.names)
+        if isinstance(ts, ctypes.TypedefNameType):
+            return ts.name
+        if isinstance(ts, ctypes.StructOrUnionType):
+            head = ts.kind + self._tag_text(ts.tag)
+            if ts.members is None:
+                return head
+            body = " ".join(self.declaration(m) for m in ts.members)
+            return f"{head} {{{body}}}"
+        if isinstance(ts, ctypes.EnumType):
+            head = "enum" + self._tag_text(ts.tag)
+            if ts.enumerators is None:
+                return head
+            items = ", ".join(self.enumerator(e) for e in ts.enumerators)
+            return f"{head} {{{items}}}"
+        if isinstance(ts, ctypes.AstTypeSpec):
+            return f"@{ts.name}"
+        if isinstance(ts, ctypes.PlaceholderTypeSpec):
+            return self.placeholder(ts)
+        raise TypeError(f"cannot print type spec {type(ts).__name__}")
+
+    def _tag_text(self, tag: object) -> str:
+        if tag is None:
+            return ""
+        if isinstance(tag, Node):
+            return " " + self.placeholder(tag)
+        return f" {tag}"
+
+    def enumerator(self, e: Node) -> str:
+        if isinstance(e, ctypes.Enumerator):
+            if e.value is None:
+                return e.name
+            return f"{e.name} = {self.expr(e.value, COND_PREC)}"
+        if isinstance(e, nodes.Identifier):
+            return e.name
+        return self.placeholder(e)
+
+    def init_declarator(self, i: Node) -> str:
+        if isinstance(i, decls.InitDeclarator):
+            text = self.declarator(i.declarator)
+            if i.init is not None:
+                return f"{text} = {self.initializer(i.init)}"
+            return text
+        if isinstance(i, decls.PlaceholderInitDeclarator):
+            return self.placeholder(i)
+        return self.declarator(i)
+
+    def initializer(self, init: Node) -> str:
+        if isinstance(init, decls.ListInitializer):
+            items = ", ".join(self.initializer(x) for x in init.items)
+            return f"{{{items}}}"
+        return self.expr(init, COND_PREC)
+
+    def declarator(self, d: Node) -> str:
+        if isinstance(d, decls.NameDeclarator):
+            return d.name
+        if isinstance(d, decls.AbstractDeclarator):
+            return ""
+        if isinstance(d, decls.PlaceholderDeclarator):
+            return self.placeholder(d)
+        if isinstance(d, decls.PointerDeclarator):
+            quals = "".join(q + " " for q in d.qualifiers)
+            return f"*{quals}{self.declarator(d.inner)}"
+        if isinstance(d, decls.ArrayDeclarator):
+            inner = self._suffix_inner(d.inner)
+            size = self.expr(d.size, COND_PREC) if d.size is not None else ""
+            return f"{inner}[{size}]"
+        if isinstance(d, decls.FuncDeclarator):
+            inner = self._suffix_inner(d.inner)
+            if d.prototype:
+                params = ", ".join(self.param(p) for p in d.params)
+                if d.variadic:
+                    params = params + ", ..." if params else "..."
+                return f"{inner}({params})"
+            return f"{inner}({', '.join(d.kr_names)})"
+        raise TypeError(f"cannot print declarator {type(d).__name__}")
+
+    def _suffix_inner(self, inner: Node) -> str:
+        """Parenthesize a pointer declarator under an array/function suffix."""
+        text = self.declarator(inner)
+        if isinstance(inner, decls.PointerDeclarator):
+            return f"({text})"
+        return text
+
+    def param(self, p: Node) -> str:
+        if isinstance(p, decls.ParamDecl):
+            specs = self.decl_specs(p.specs)
+            decl = self.declarator(p.declarator)
+            return f"{specs} {decl}".rstrip()
+        return self.placeholder(p)
+
+    def type_name(self, t: decls.TypeName) -> str:
+        specs = self.decl_specs(t.specs)
+        decl = self.declarator(t.declarator)
+        return f"{specs} {decl}".rstrip()
+
+    def specs_and_declarator(self, specs: decls.DeclSpecs, d: Node) -> str:
+        specs_text = self.decl_specs(specs)
+        decl_text = self.declarator(d)
+        return f"{specs_text} {decl_text}".strip()
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def stmt(self, s: Node, level: int) -> str:
+        pad = self.indent_unit * level
+        if isinstance(s, stmts.ExprStmt):
+            return f"{pad}{self.expr(s.expr, 0)};"
+        if isinstance(s, stmts.NullStmt):
+            return f"{pad};"
+        if isinstance(s, stmts.CompoundStmt):
+            return self.compound(s, level)
+        if isinstance(s, stmts.IfStmt):
+            then_text = self._body(s.then, level)
+            if s.otherwise is not None and _ends_in_open_if(s.then):
+                # Brace the then-branch so the printed else cannot
+                # re-associate with an inner if (dangling else).
+                then_text = (
+                    f"{pad}{{\n" + self.stmt(s.then, level + 1) + f"\n{pad}}}"
+                )
+            text = f"{pad}if ({self.expr(s.cond, 0)})\n" + then_text
+            if s.otherwise is not None:
+                text += f"\n{pad}else\n" + self._body(s.otherwise, level)
+            return text
+        if isinstance(s, stmts.WhileStmt):
+            return (
+                f"{pad}while ({self.expr(s.cond, 0)})\n"
+                + self._body(s.body, level)
+            )
+        if isinstance(s, stmts.DoWhileStmt):
+            return (
+                f"{pad}do\n{self._body(s.body, level)}\n"
+                f"{pad}while ({self.expr(s.cond, 0)});"
+            )
+        if isinstance(s, stmts.ForStmt):
+            init = self.expr(s.init, 0) if s.init is not None else ""
+            cond = self.expr(s.cond, 0) if s.cond is not None else ""
+            step = self.expr(s.step, 0) if s.step is not None else ""
+            return (
+                f"{pad}for ({init}; {cond}; {step})\n"
+                + self._body(s.body, level)
+            )
+        if isinstance(s, stmts.SwitchStmt):
+            return (
+                f"{pad}switch ({self.expr(s.expr, 0)})\n"
+                + self._body(s.body, level)
+            )
+        if isinstance(s, stmts.CaseStmt):
+            return (
+                f"{pad}case {self.expr(s.expr, COND_PREC)}:\n"
+                + self.stmt(s.stmt, level + 1)
+            )
+        if isinstance(s, stmts.DefaultStmt):
+            return f"{pad}default:\n" + self.stmt(s.stmt, level + 1)
+        if isinstance(s, stmts.BreakStmt):
+            return f"{pad}break;"
+        if isinstance(s, stmts.ContinueStmt):
+            return f"{pad}continue;"
+        if isinstance(s, stmts.ReturnStmt):
+            if s.expr is None:
+                return f"{pad}return;"
+            return f"{pad}return {self.expr(s.expr, 0)};"
+        if isinstance(s, stmts.GotoStmt):
+            return f"{pad}goto {s.label};"
+        if isinstance(s, stmts.LabeledStmt):
+            return f"{pad}{s.label}:\n" + self.stmt(s.stmt, level)
+        if isinstance(s, stmts.PlaceholderStmt):
+            return f"{pad}{self.placeholder(s)};"
+        if isinstance(s, nodes.MacroInvocation):
+            return f"{pad}{self.macro_invocation(s)}"
+        if isinstance(s, decls.Declaration):
+            return f"{pad}{self.declaration(s)}"
+        if isinstance(s, decls.PlaceholderDecl):
+            return f"{pad}{self.placeholder(s)};"
+        raise TypeError(f"cannot print statement {type(s).__name__}")
+
+    def compound(self, c: stmts.CompoundStmt, level: int) -> str:
+        pad = self.indent_unit * level
+        lines = [pad + "{"]
+        for d in c.decls:
+            lines.append(self.stmt(d, level + 1))
+        for s in c.stmts:
+            lines.append(self.stmt(s, level + 1))
+        lines.append(pad + "}")
+        return "\n".join(lines)
+
+    def _body(self, s: Node, level: int) -> str:
+        """Print a statement used as a control-flow body."""
+        if isinstance(s, stmts.CompoundStmt):
+            return self.compound(s, level)
+        return self.stmt(s, level + 1)
+
+
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def expr(self, e: Node, min_prec: int) -> str:
+        text, prec = self._expr_prec(e)
+        if prec < min_prec:
+            return f"({text})"
+        return text
+
+    def _expr_prec(self, e: Node) -> tuple[str, int]:
+        if isinstance(e, nodes.Identifier):
+            return e.name, PRIMARY_PREC
+        if isinstance(e, (nodes.IntLit, nodes.FloatLit, nodes.CharLit,
+                          nodes.StringLit)):
+            return e.text, PRIMARY_PREC
+        if isinstance(e, nodes.BinaryOp):
+            prec = BINARY_PREC[e.op]
+            left = self.expr(e.left, prec)
+            right = self.expr(e.right, prec + 1)
+            return f"{left} {e.op} {right}", prec
+        if isinstance(e, nodes.AssignOp):
+            target = self.expr(e.target, UNARY_PREC)
+            value = self.expr(e.value, ASSIGN_PREC)
+            return f"{target} {e.op} {value}", ASSIGN_PREC
+        if isinstance(e, nodes.ConditionalOp):
+            cond = self.expr(e.cond, COND_PREC + 1)
+            then = self.expr(e.then, 0)
+            other = self.expr(e.otherwise, COND_PREC)
+            return f"{cond} ? {then} : {other}", COND_PREC
+        if isinstance(e, nodes.CommaOp):
+            left = self.expr(e.left, COMMA_PREC)
+            right = self.expr(e.right, COMMA_PREC + 1)
+            return f"{left}, {right}", COMMA_PREC
+        if isinstance(e, nodes.UnaryOp):
+            operand = self.expr(e.operand, UNARY_PREC)
+            # '- -a' must not merge into '--a' (nor '+ +a', '& &x').
+            sep = " " if operand.startswith(e.op[-1]) else ""
+            return f"{e.op}{sep}{operand}", UNARY_PREC
+        if isinstance(e, nodes.PostfixOp):
+            operand = self.expr(e.operand, POSTFIX_PREC)
+            return f"{operand}{e.op}", POSTFIX_PREC
+        if isinstance(e, nodes.Call):
+            func = self.expr(e.func, POSTFIX_PREC)
+            args = ", ".join(self.expr(a, ASSIGN_PREC) for a in e.args)
+            return f"{func}({args})", POSTFIX_PREC
+        if isinstance(e, nodes.Index):
+            base = self.expr(e.base, POSTFIX_PREC)
+            return f"{base}[{self.expr(e.index, 0)}]", POSTFIX_PREC
+        if isinstance(e, nodes.Member):
+            base = self.expr(e.base, POSTFIX_PREC)
+            if isinstance(e.base, (nodes.IntLit, nodes.FloatLit)):
+                # '0.a' would lex as the float '0.' — parenthesize.
+                base = f"({base})"
+            op = "->" if e.arrow else "."
+            if isinstance(e.name, Node):
+                return f"{base}{op}{self.placeholder(e.name)}", POSTFIX_PREC
+            return f"{base}{op}{e.name}", POSTFIX_PREC
+        if isinstance(e, nodes.Cast):
+            operand = self.expr(e.operand, UNARY_PREC)
+            return f"({self.type_name(e.type_name)}){operand}", UNARY_PREC
+        if isinstance(e, nodes.SizeofExpr):
+            return f"sizeof {self.expr(e.operand, UNARY_PREC)}", UNARY_PREC
+        if isinstance(e, nodes.SizeofType):
+            return f"sizeof({self.type_name(e.type_name)})", UNARY_PREC
+        if isinstance(e, nodes.PlaceholderExpr):
+            return self.placeholder(e), PRIMARY_PREC
+        if isinstance(e, nodes.Backquote):
+            return self.backquote(e), PRIMARY_PREC
+        if isinstance(e, nodes.AnonFunction):
+            return self.anon_function(e), PRIMARY_PREC
+        if isinstance(e, nodes.MacroInvocation):
+            return self.macro_invocation(e), PRIMARY_PREC
+        raise TypeError(f"cannot print expression {type(e).__name__}")
+
+    # ------------------------------------------------------------------
+    # Meta forms
+    # ------------------------------------------------------------------
+
+    def placeholder(self, ph: Node) -> str:
+        meta = ph.meta_expr  # type: ignore[attr-defined]
+        if isinstance(meta, nodes.Identifier):
+            return f"${meta.name}"
+        return f"$({self.expr(meta, 0)})"
+
+    def backquote(self, b: nodes.Backquote) -> str:
+        if b.form == "exp":
+            return f"`({self.expr(b.template, 0)})"
+        if b.form == "stmt":
+            body = self.stmt(b.template, 0)
+            return f"`{body}" if body.startswith("{") else f"`{{{body}}}"
+        if b.form == "decl":
+            return f"`[{self.top_level(b.template).rstrip()}]"
+        return "`{| ... |}"
+
+    def anon_function(self, fn: nodes.AnonFunction) -> str:
+        params = " ".join(
+            f"@{t} {name};" if t is not None else f"{name};"
+            for name, t in fn.params
+        )
+        return f"({params} {self.expr(fn.body, 0)})"
+
+    def macro_invocation(self, inv: nodes.MacroInvocation) -> str:
+        if inv.definition is not None and hasattr(
+            inv.definition, "render_invocation"
+        ):
+            return inv.definition.render_invocation(inv, self)
+        args = ", ".join(
+            f"{a.name}: {self._arg_text(a.value)}" for a in inv.args
+        )
+        return f"{inv.name} {{| {args} |}}"
+
+    def _arg_text(self, value: object) -> str:
+        if value is None:
+            return "<absent>"
+        if isinstance(value, list):
+            return "[" + ", ".join(self._arg_text(v) for v in value) + "]"
+        if isinstance(value, nodes.TupleValue):
+            inner = ", ".join(
+                f"{f.name}: {self._arg_text(f.value)}" for f in value.fields
+            )
+            return f"({inner})"
+        if isinstance(value, decls.TypeName):
+            return self.type_name(value)
+        if self._is_statement(value):  # type: ignore[arg-type]
+            return self.stmt(value, 0)  # type: ignore[arg-type]
+        if isinstance(value, (decls.Declaration, decls.FunctionDef)):
+            return self.render(value)
+        if isinstance(value, ctypes.PrimitiveType) or isinstance(
+            value, (ctypes.TypedefNameType, ctypes.StructOrUnionType,
+                    ctypes.EnumType)
+        ):
+            return self.type_spec(value)
+        return self.expr(value, 0)  # type: ignore[arg-type]
+
+
+def _ends_in_open_if(s: Node) -> bool:
+    """True when ``s`` printed without braces would end with an
+    else-less ``if`` that could capture a following ``else``."""
+    current: Node | None = s
+    while current is not None:
+        if isinstance(current, stmts.CompoundStmt):
+            return False
+        if isinstance(current, stmts.IfStmt):
+            if current.otherwise is None:
+                return True
+            current = current.otherwise
+            continue
+        if isinstance(current, (stmts.WhileStmt, stmts.ForStmt)):
+            current = current.body
+            continue
+        if isinstance(current, (stmts.LabeledStmt, stmts.CaseStmt,
+                                stmts.DefaultStmt)):
+            current = current.stmt
+            continue
+        return False
+    return False

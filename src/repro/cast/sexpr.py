@@ -1,0 +1,186 @@
+"""S-expression rendering of ASTs, in the style of Figures 2 and 3.
+
+The paper prints parse trees as ``(node-name child1 ... childn)`` with
+list elements written within parentheses.  Two modes are provided:
+
+* the full mode spells out node names (used by Figure 2), and
+* the abbreviated mode uses the paper's Figure 3 contractions
+  (``c-s`` for compound-statement, ``r-s`` for return-statement,
+  ``exp`` for expression, ``decl`` for declaration, ...), rendering
+  plain declarations as ``(decl "int x")``.
+"""
+
+from __future__ import annotations
+
+from repro.cast import decls, nodes, stmts
+from repro.cast.base import Node
+
+_ABBREVIATIONS = {
+    "compound-statement": "c-s",
+    "return-statement": "r-s",
+    "expression-statement": "e-s",
+    "statement": "stmt",
+    "identifier": "id",
+    "expression": "exp",
+    "declaration": "decl",
+}
+
+_PLACEHOLDER_TYPES = (
+    nodes.PlaceholderExpr,
+    stmts.PlaceholderStmt,
+    decls.PlaceholderDecl,
+    decls.PlaceholderDeclarator,
+    decls.PlaceholderInitDeclarator,
+)
+
+
+def render_sexpr(value: object, abbrev: bool = False) -> str:
+    """Render a node (or list of nodes) as an S-expression string."""
+    return _Renderer(abbrev).render(value)
+
+
+class _Renderer:
+    def __init__(self, abbrev: bool) -> None:
+        self.abbrev = abbrev
+
+    def name(self, label: str) -> str:
+        if self.abbrev:
+            return _ABBREVIATIONS.get(label, label)
+        return label
+
+    def render(self, value: object) -> str:
+        if value is None:
+            return "()"
+        if isinstance(value, list):
+            return "(" + " ".join(self.render(v) for v in value) + ")"
+        if isinstance(value, decls.PlaceholderDeclarator):
+            # Figure 2: an id-typed placeholder in a declarator position
+            # wraps in a direct-declarator; a declarator-typed one *is*
+            # the declarator.
+            from repro.asttypes.types import ID
+
+            name = self._placeholder_name(value)
+            if value.asttype is not None and value.asttype.is_usable_as(ID):
+                return f"(direct-declarator {name})"
+            return name
+        if isinstance(value, _PLACEHOLDER_TYPES):
+            return self._placeholder_name(value)
+        if isinstance(value, Node):
+            method = getattr(
+                self, "_render_" + type(value).__name__, self._render_generic
+            )
+            return method(value)
+        return str(value)
+
+    # -- placeholders -------------------------------------------------
+
+    def _placeholder_name(self, ph: Node) -> str:
+        meta = ph.meta_expr  # type: ignore[attr-defined]
+        if isinstance(meta, nodes.Identifier):
+            return meta.name
+        return "$(...)"
+
+    # -- expressions --------------------------------------------------
+
+    def _render_Identifier(self, n: nodes.Identifier) -> str:
+        return f"(id {n.name})"
+
+    def _render_IntLit(self, n: nodes.IntLit) -> str:
+        return f"(num {n.value})"
+
+    def _render_StringLit(self, n: nodes.StringLit) -> str:
+        return f"(string {n.text})"
+
+    def _render_BinaryOp(self, n: nodes.BinaryOp) -> str:
+        return f"({n.op} {self.render(n.left)} {self.render(n.right)})"
+
+    def _render_Call(self, n: nodes.Call) -> str:
+        args = " ".join(self.render(a) for a in n.args)
+        return f"(call {self.render(n.func)}{' ' + args if args else ''})"
+
+    # -- statements ---------------------------------------------------
+
+    def _render_ExprStmt(self, n: stmts.ExprStmt) -> str:
+        return f"({self.name('expression-statement')} {self._exp(n.expr)})"
+
+    def _render_ReturnStmt(self, n: stmts.ReturnStmt) -> str:
+        label = self.name("return-statement")
+        if n.expr is None:
+            return f"({label})"
+        return f"({label} {self._exp(n.expr)})"
+
+    def _exp(self, expr: Node) -> str:
+        """Figure 3 wraps statement-level expressions as ``(exp ...)``."""
+        return f"({self.name('expression')} {self.render(expr)})"
+
+    def _render_CompoundStmt(self, n: stmts.CompoundStmt) -> str:
+        label = self.name("compound-statement")
+        decls_part = f"(decl-list {self.render(n.decls)})"
+        stmts_part = f"(stmt-list {self.render(n.stmts)})"
+        return f"({label} {decls_part} {stmts_part})"
+
+    # -- declarations -------------------------------------------------
+
+    def _render_Declaration(self, n: decls.Declaration) -> str:
+        label = self.name("declaration")
+        if self.abbrev:
+            from repro.cast.printer import render_c
+
+            flat = render_c(n).strip().rstrip(";")
+            return f'({label} "{flat}")'
+        specs = self._render_specs(n.specs)
+        # A single list-typed placeholder *is* the init-declarator list
+        # (Figure 2, first row): render it bare, not parenthesized.
+        if len(n.init_declarators) == 1 and isinstance(
+            n.init_declarators[0], decls.PlaceholderInitDeclarator
+        ):
+            ph = n.init_declarators[0]
+            from repro.asttypes.types import ListType
+
+            if isinstance(ph.asttype, ListType):
+                return f"({label} {specs} {self._placeholder_name(ph)})"
+        return f"({label} {specs} {self.render(n.init_declarators)})"
+
+    def _render_specs(self, specs: decls.DeclSpecs) -> str:
+        parts = list(specs.storage) + list(specs.qualifiers)
+        if specs.type_spec is not None:
+            parts.append(self._type_spec_text(specs.type_spec))
+        return "(" + " ".join(parts) + ")"
+
+    def _type_spec_text(self, ts: Node) -> str:
+        from repro.cast import ctypes
+
+        if isinstance(ts, ctypes.PrimitiveType):
+            return " ".join(ts.names)
+        if isinstance(ts, ctypes.TypedefNameType):
+            return ts.name
+        if isinstance(ts, ctypes.StructOrUnionType):
+            return f"{ts.kind} {ts.tag or '<anon>'}"
+        if isinstance(ts, ctypes.EnumType):
+            return f"enum {ts.tag or '<anon>'}"
+        if isinstance(ts, ctypes.AstTypeSpec):
+            return f"@{ts.name}"
+        if isinstance(ts, ctypes.PlaceholderTypeSpec):
+            return self._placeholder_name(ts)
+        return self.render(ts)
+
+    def _render_InitDeclarator(self, n: decls.InitDeclarator) -> str:
+        init = self.render(n.init) if n.init is not None else "()"
+        return f"(init-declarator {self.render(n.declarator)} {init})"
+
+    def _render_NameDeclarator(self, n: decls.NameDeclarator) -> str:
+        return f"(direct-declarator {n.name})"
+
+    # -- fallback -----------------------------------------------------
+
+    def _render_generic(self, n: Node) -> str:
+        from repro.cast.base import node_fields
+
+        parts: list[str] = [self.name(n.sexpr_name or type(n).__name__)]
+        for f in node_fields(n):
+            value = getattr(n, f.name)
+            if isinstance(value, (Node, list)) or value is None:
+                parts.append(self.render(value))
+            else:
+                parts.append(str(value))
+        return "(" + " ".join(parts) + ")"

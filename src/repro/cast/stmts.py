@@ -1,0 +1,131 @@
+"""Statement nodes for the C AST.
+
+Compound statements follow the C90 shape the paper's Figure 3 uses:
+a declaration list followed by a statement list.  A placeholder (or a
+macro invocation returning ``stmt`` or ``decl``) may stand wherever a
+statement or declaration is expected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import field
+from typing import Any, ClassVar
+
+from repro.cast.base import Node, node
+
+
+@node
+class ExprStmt(Node):
+    sexpr_name: ClassVar[str] = "expression-statement"
+    expr: Node
+
+
+@node
+class CompoundStmt(Node):
+    """``{ decl-list stmt-list }``.
+
+    ``decls`` holds declarations (and decl-typed placeholders /
+    invocations); ``stmts`` holds statements.  The split is decided at
+    parse time — for templates this is exactly the Figure 3 problem,
+    resolved by placeholder-token types.
+    """
+
+    sexpr_name: ClassVar[str] = "compound-statement"
+    decls: list[Node]
+    stmts: list[Node]
+
+
+@node
+class IfStmt(Node):
+    sexpr_name: ClassVar[str] = "if-statement"
+    cond: Node
+    then: Node
+    otherwise: Node | None = None
+
+
+@node
+class WhileStmt(Node):
+    sexpr_name: ClassVar[str] = "while-statement"
+    cond: Node
+    body: Node
+
+
+@node
+class DoWhileStmt(Node):
+    sexpr_name: ClassVar[str] = "do-statement"
+    body: Node
+    cond: Node
+
+
+@node
+class ForStmt(Node):
+    """``for (init; cond; step) body`` — any of the three may be absent."""
+
+    sexpr_name: ClassVar[str] = "for-statement"
+    init: Node | None
+    cond: Node | None
+    step: Node | None
+    body: Node
+
+
+@node
+class SwitchStmt(Node):
+    sexpr_name: ClassVar[str] = "switch-statement"
+    expr: Node
+    body: Node
+
+
+@node
+class CaseStmt(Node):
+    sexpr_name: ClassVar[str] = "case-statement"
+    expr: Node
+    stmt: Node
+
+
+@node
+class DefaultStmt(Node):
+    sexpr_name: ClassVar[str] = "default-statement"
+    stmt: Node
+
+
+@node
+class BreakStmt(Node):
+    sexpr_name: ClassVar[str] = "break-statement"
+
+
+@node
+class ContinueStmt(Node):
+    sexpr_name: ClassVar[str] = "continue-statement"
+
+
+@node
+class ReturnStmt(Node):
+    sexpr_name: ClassVar[str] = "return-statement"
+    expr: Node | None = None
+
+
+@node
+class GotoStmt(Node):
+    sexpr_name: ClassVar[str] = "goto-statement"
+    label: str
+
+
+@node
+class LabeledStmt(Node):
+    sexpr_name: ClassVar[str] = "labeled-statement"
+    label: str
+    stmt: Node
+
+
+@node
+class NullStmt(Node):
+    sexpr_name: ClassVar[str] = "null-statement"
+
+
+@node
+class PlaceholderStmt(Node):
+    """A ``$``-hole standing in a statement position inside a template."""
+
+    sexpr_name: ClassVar[str] = "ph"
+    meta_expr: Node
+    asttype: Any = field(compare=False, default=None, repr=False)

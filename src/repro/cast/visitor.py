@@ -1,0 +1,44 @@
+"""Class-based visitor over C ASTs.
+
+:class:`NodeVisitor` dispatches on the node's class name
+(``visit_Identifier`` etc.), falling back to :meth:`generic_visit`
+which recurses into children.  This complements the functional helpers
+in :mod:`repro.cast.base` (``walk``, ``transform``) for passes that
+need per-class behaviour with inherited defaults, such as the hygiene
+renamer and the free-variable analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cast.base import Node, children
+
+
+class NodeVisitor:
+    """Read-only visitor; override ``visit_<ClassName>`` methods."""
+
+    def visit(self, node: Node) -> Any:
+        method = getattr(self, "visit_" + type(node).__name__, None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: Node) -> Any:
+        for child in children(node):
+            self.visit(child)
+        return None
+
+
+def count_nodes(root: Node) -> int:
+    """Number of nodes in the subtree (used by size benchmarks)."""
+    from repro.cast.base import walk
+
+    return sum(1 for _ in walk(root))
+
+
+def collect(root: Node, node_type: type) -> list[Node]:
+    """Every descendant of ``root`` that is an instance of ``node_type``."""
+    from repro.cast.base import walk
+
+    return [n for n in walk(root) if isinstance(n, node_type)]

@@ -1,0 +1,226 @@
+"""Command-line interface: the macro processor as a C preprocessor.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro expand prog.c               # expand to stdout
+    python -m repro expand -p exceptions prog.c # preload a package
+    python -m repro expand --hygienic prog.c
+    python -m repro macros -p exceptions        # list macro keywords
+    python -m repro figures                     # print Figures 2 and 3
+
+``expand`` reads the named files in order (macro packages first, the
+program last) and writes the expanded C of the *last* file to stdout,
+mirroring the paper's model of meta-program files feeding program
+files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.engine import MacroProcessor
+from repro.errors import Ms2Error
+
+#: Names accepted by ``-p/--package``.
+PACKAGE_NAMES = (
+    "exceptions", "painting", "painting-protected", "dynbind",
+    "enumio", "dispatch", "loops",
+)
+
+
+def _load_package(mp: MacroProcessor, name: str) -> None:
+    from repro import packages
+
+    if name == "exceptions":
+        packages.exceptions.register(mp)
+    elif name == "painting":
+        packages.painting.register(mp)
+    elif name == "painting-protected":
+        packages.painting.register(mp, protected=True)
+    elif name == "dynbind":
+        packages.dynbind.register(mp)
+    elif name == "enumio":
+        packages.enumio.register(mp)
+    elif name == "dispatch":
+        packages.dispatch.register(mp)
+    elif name == "loops":
+        packages.loops.register(mp)
+    else:
+        raise SystemExit(
+            f"unknown package {name!r} (choose from: "
+            f"{', '.join(PACKAGE_NAMES)})"
+        )
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI definition."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MS2 programmable syntax macros for C "
+        "(Weise & Crew, PLDI 1993)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    expand = sub.add_parser(
+        "expand", help="expand macros in C source files"
+    )
+    expand.add_argument(
+        "files", nargs="+", type=Path,
+        help="input files; earlier files act as macro packages, the "
+        "last file's expansion is printed",
+    )
+    expand.add_argument(
+        "-p", "--package", action="append", default=[],
+        metavar="NAME", choices=PACKAGE_NAMES,
+        help=f"preload a standard package ({', '.join(PACKAGE_NAMES)})",
+    )
+    expand.add_argument(
+        "--hygienic", action="store_true",
+        help="rename template-declared locals automatically",
+    )
+    expand.add_argument(
+        "--compiled-patterns", action="store_true",
+        help="use compiled per-macro invocation parse routines",
+    )
+    expand.add_argument(
+        "--keep-meta", action="store_true",
+        help="keep syntax/metadcl items in the output",
+    )
+
+    macros = sub.add_parser("macros", help="list defined macro keywords")
+    macros.add_argument(
+        "files", nargs="*", type=Path, help="macro package files"
+    )
+    macros.add_argument(
+        "-p", "--package", action="append", default=[],
+        metavar="NAME", choices=PACKAGE_NAMES,
+    )
+
+    sub.add_parser(
+        "figures", help="print the paper's Figure 2 and Figure 3 tables"
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="expand, then lint the output for undeclared identifiers "
+        "and macro-introduced captures",
+    )
+    check.add_argument("files", nargs="+", type=Path)
+    check.add_argument(
+        "-p", "--package", action="append", default=[],
+        metavar="NAME", choices=PACKAGE_NAMES,
+    )
+    check.add_argument(
+        "--extern", action="append", default=[], metavar="NAME",
+        help="identifier supplied by the runtime (repeatable)",
+    )
+    return parser
+
+
+def cmd_expand(args: argparse.Namespace) -> int:
+    """``repro expand``: load packages/files, print expanded C."""
+    mp = MacroProcessor(
+        hygienic=args.hygienic,
+        compiled_patterns=args.compiled_patterns,
+    )
+    for name in args.package:
+        _load_package(mp, name)
+    *packages_files, program = args.files
+    for path in packages_files:
+        mp.load(path.read_text(), str(path))
+    source = program.read_text()
+    if args.keep_meta:
+        from repro.cast.printer import render_c
+
+        print(render_c(mp.expand_program(source, str(program))), end="")
+    else:
+        print(mp.expand_to_c(source, str(program)), end="")
+    return 0
+
+
+def cmd_macros(args: argparse.Namespace) -> int:
+    """``repro macros``: list macro keywords with their signatures."""
+    mp = MacroProcessor()
+    for name in args.package:
+        _load_package(mp, name)
+    for path in args.files:
+        mp.load(path.read_text(), str(path))
+    for name in mp.table.names():
+        defn = mp.table.lookup(name)
+        suffix = "[]" if defn.returns_list else ""
+        print(f"syntax {defn.ret_spec}{suffix} {name} "
+              f"{{| {defn.pattern} |}}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """``repro figures``: print the Figure 2 and Figure 3 tables."""
+    from repro.figures import figure2_rows, figure3_rows
+
+    print("Figure 2 — parses of [int $y;] by the AST type of y")
+    for label, sx in figure2_rows():
+        print(f"  {label:20} {sx}")
+    print()
+    print("Figure 3 — parses of {int x; $ph1 $ph2 return(x);}")
+    for a, b, sx in figure3_rows():
+        print(f"  {a:5} {b:5} {sx}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """``repro check``: expand and lint (captures + undeclared names)."""
+    from repro.analysis import detect_captures, undeclared_identifiers
+
+    mp = MacroProcessor()
+    for name in args.package:
+        _load_package(mp, name)
+    *package_files, program = args.files
+    for path in package_files:
+        mp.load(path.read_text(), str(path))
+    unit = mp.expand_to_ast(program.read_text(), str(program))
+
+    problems = 0
+    for capture in detect_captures(unit):
+        print(f"capture: {capture}", file=sys.stderr)
+        problems += 1
+    report = undeclared_identifiers(unit, externs=set(args.extern))
+    for fn_name in sorted(report):
+        names = ", ".join(sorted(report[fn_name]))
+        print(
+            f"undeclared: in {fn_name}(): {names}",
+            file=sys.stderr,
+        )
+        problems += 1
+    if problems:
+        print(f"{problems} problem(s) found", file=sys.stderr)
+        return 1
+    print("clean: no captures, no undeclared identifiers")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "expand":
+            return cmd_expand(args)
+        if args.command == "macros":
+            return cmd_macros(args)
+        if args.command == "figures":
+            return cmd_figures(args)
+        if args.command == "check":
+            return cmd_check(args)
+    except Ms2Error as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""Constant-expression evaluation over C ASTs.
+
+A small compiler pass the macro system leans on in two places:
+
+* the ``eval_const`` meta-builtin lets macros accept *constant
+  expressions* where they conceptually need a number (``repeat (2*8)``
+  instead of ``repeat 16``), folding at expansion time; and
+* tooling can fold enum values / array sizes in expanded output.
+
+Semantics follow C integer-constant-expression rules on (unbounded)
+Python ints, with C truncation for ``/`` and ``%``.  Identifiers are
+resolved through an optional environment (e.g. enum constants);
+anything non-constant raises :class:`NotConstant`.
+"""
+
+from __future__ import annotations
+
+from repro.cast import ctypes, nodes
+from repro.cast.base import Node
+from repro.errors import Ms2Error
+
+
+class NotConstant(Ms2Error):
+    """The expression is not a C integer constant expression."""
+
+
+def eval_const(
+    expr: Node, env: dict[str, int] | None = None
+) -> int:
+    """Evaluate an integer constant expression."""
+    return _Evaluator(env or {}).eval(expr)
+
+
+def enum_constants(enum: ctypes.EnumType) -> dict[str, int]:
+    """The values an ``enum`` specifier assigns its enumerators
+    (C rules: implicit values continue from the previous one)."""
+    values: dict[str, int] = {}
+    next_value = 0
+    for e in enum.enumerators or []:
+        if not isinstance(e, ctypes.Enumerator):
+            raise NotConstant(
+                "enum contains unexpanded template elements", enum.loc
+            )
+        if e.value is not None:
+            next_value = eval_const(e.value, values)
+        values[e.name] = next_value
+        next_value += 1
+    return values
+
+
+class _Evaluator:
+    def __init__(self, env: dict[str, int]) -> None:
+        self.env = env
+
+    def eval(self, e: Node) -> int:
+        method = getattr(self, "_eval_" + type(e).__name__, None)
+        if method is None:
+            raise NotConstant(
+                f"{type(e).__name__} is not a constant expression", e.loc
+            )
+        return method(e)
+
+    def _eval_IntLit(self, e: nodes.IntLit) -> int:
+        return e.value
+
+    def _eval_CharLit(self, e: nodes.CharLit) -> int:
+        return e.value
+
+    def _eval_Identifier(self, e: nodes.Identifier) -> int:
+        if e.name in self.env:
+            return self.env[e.name]
+        raise NotConstant(
+            f"{e.name!r} is not a known constant", e.loc
+        )
+
+    def _eval_UnaryOp(self, e: nodes.UnaryOp) -> int:
+        value = self.eval(e.operand)
+        if e.op == "-":
+            return -value
+        if e.op == "+":
+            return value
+        if e.op == "~":
+            return ~value
+        if e.op == "!":
+            return int(not value)
+        raise NotConstant(
+            f"operator {e.op!r} is not constant-foldable", e.loc
+        )
+
+    def _eval_BinaryOp(self, e: nodes.BinaryOp) -> int:
+        op = e.op
+        if op == "&&":
+            return int(bool(self.eval(e.left)) and bool(self.eval(e.right)))
+        if op == "||":
+            return int(bool(self.eval(e.left)) or bool(self.eval(e.right)))
+        left = self.eval(e.left)
+        right = self.eval(e.right)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op in ("/", "%"):
+            if right == 0:
+                raise NotConstant("division by zero in constant "
+                                  "expression", e.loc)
+            q = abs(left) // abs(right)
+            if (left >= 0) != (right >= 0):
+                q = -q
+            return q if op == "/" else left - q * right
+        if op == "<<":
+            return left << right
+        if op == ">>":
+            return left >> right
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "<":
+            return int(left < right)
+        if op == ">":
+            return int(left > right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">=":
+            return int(left >= right)
+        if op == "==":
+            return int(left == right)
+        if op == "!=":
+            return int(left != right)
+        raise NotConstant(f"operator {op!r} unknown", e.loc)
+
+    def _eval_ConditionalOp(self, e: nodes.ConditionalOp) -> int:
+        return (
+            self.eval(e.then)
+            if self.eval(e.cond)
+            else self.eval(e.otherwise)
+        )
+
+    def _eval_Cast(self, e: nodes.Cast) -> int:
+        # Integer casts are value-preserving in our unbounded model.
+        return self.eval(e.operand)

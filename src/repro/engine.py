@@ -1,0 +1,205 @@
+"""The public facade: :class:`MacroProcessor`.
+
+Ties the parser, the macro table, the meta-interpreter and the
+expander together into the compiler-adjunct workflow of the paper:
+
+.. code-block:: python
+
+    from repro import MacroProcessor
+
+    mp = MacroProcessor()
+    c_source = mp.expand_to_c('''
+        syntax stmt Painting {| $$stmt::body |}
+        { return(`{BeginPaint(hDC, &ps); $body; EndPaint(hDC, &ps);}); }
+
+        void redraw(void)
+        {
+            Painting { draw_line(); draw_text(); }
+        }
+    ''')
+
+Meta-programming constructs and regular code "can either be located in
+separate files, or mixed together into the same file"; use
+:meth:`MacroProcessor.load` for macro-package files and
+:meth:`MacroProcessor.expand_program` / :meth:`expand_to_c` for
+programs.  "None of [the meta-program] exists at runtime": expanded
+output contains no ``syntax`` / ``metadcl`` items.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cast import decls, nodes
+from repro.cast.base import Node
+from repro.cast.printer import render_c
+from repro.errors import ExpansionError
+from repro.macros.compiled import compile_pattern
+from repro.macros.definition import MacroDefinition, MacroTable
+from repro.macros.expander import Expander
+from repro.meta.interp import Interpreter
+from repro.parser.core import Parser
+
+
+class MacroProcessor:
+    """A complete MS2 macro-processing pipeline.
+
+    Parameters
+    ----------
+    hygienic:
+        Enable the automatic renaming of template-declared locals
+        (the paper's section-5 future-work extension).  Off by
+        default, matching the paper's implementation, whose examples
+        use ``gensym`` manually.
+    compiled_patterns:
+        Use compiled per-macro invocation parse routines (the paper's
+        suggested acceleration) instead of the interpreted pattern
+        engine.
+    """
+
+    def __init__(
+        self,
+        *,
+        hygienic: bool = False,
+        compiled_patterns: bool = False,
+    ) -> None:
+        self.table = MacroTable()
+        self.interpreter = Interpreter()
+        self.expander = Expander(
+            self.table, self.interpreter, hygienic=hygienic
+        )
+        self.compiled_patterns = compiled_patterns
+        self._parser: Parser | None = None
+
+    # ==================================================================
+    # Parser-host protocol
+    # ==================================================================
+
+    def lookup_macro(self, name: str) -> MacroDefinition | None:
+        return self.table.lookup(name)
+
+    def handle_macro_def(
+        self, macro: decls.MacroDef, parser: Parser
+    ) -> MacroDefinition:
+        definition = MacroDefinition.from_node(macro)
+        if self.compiled_patterns:
+            definition.compiled_matcher = compile_pattern(
+                definition.pattern, definition.name
+            )
+        self.table.define(definition)
+        return definition
+
+    def handle_meta_decl(self, meta: decls.MetaDecl, parser: Parser) -> None:
+        inner = meta.inner
+        if isinstance(inner, decls.Declaration):
+            self.interpreter.run_meta_declaration(inner)
+
+    def handle_meta_function(
+        self, fn: decls.FunctionDef, parser: Parser
+    ) -> None:
+        self.interpreter.define_meta_function(fn)
+
+    def expand_invocation(
+        self, invocation: nodes.MacroInvocation, position: str
+    ) -> Node | list[Node]:
+        # Semantic macros (§5): expose the C scope live at the
+        # invocation site to type_of()/has_type().
+        saved_scope = self.interpreter.semantic_scope
+        if self._parser is not None:
+            self.interpreter.semantic_scope = self._parser.c_scope
+        try:
+            result = self.expander.expand_invocation(invocation)
+        finally:
+            self.interpreter.semantic_scope = saved_scope
+        self._check_position(invocation, result, position)
+        return result
+
+    @staticmethod
+    def _check_position(
+        invocation: nodes.MacroInvocation,
+        result: Node | list[Node],
+        position: str,
+    ) -> None:
+        if position == "exp" and isinstance(result, list):
+            raise ExpansionError(
+                f"macro {invocation.name!r} produced a list at an "
+                "expression position",
+                invocation.loc,
+            )
+
+    # ==================================================================
+    # Public API
+    # ==================================================================
+
+    def make_parser(
+        self, source: str, filename: str = "<string>"
+    ) -> Parser:
+        parser = Parser(
+            source, host=self, expand_inline=True, filename=filename
+        )
+        if self._parser is not None:
+            # Later files see typedefs and meta bindings of earlier ones.
+            parser.typedef_scopes = self._parser.typedef_scopes
+            parser.global_type_env = self._parser.global_type_env
+            parser.type_env = parser.global_type_env
+            parser.inferencer.env = parser.global_type_env
+        self._parser = parser
+        return parser
+
+    def load(self, source: str, filename: str = "<package>") -> None:
+        """Process a macro-package file: definitions are registered,
+        any plain C in the file is discarded."""
+        parser = self.make_parser(source, filename)
+        parser.parse_program()
+
+    def expand_program(
+        self, source: str, filename: str = "<string>"
+    ) -> decls.TranslationUnit:
+        """Parse-and-expand a program; returns the expanded AST
+        including meta items (macro definitions, metadcls)."""
+        parser = self.make_parser(source, filename)
+        return parser.parse_program()
+
+    def expand_to_ast(
+        self, source: str, filename: str = "<string>"
+    ) -> decls.TranslationUnit:
+        """Like :meth:`expand_program` but with all meta-program items
+        stripped — the translation unit a downstream C compiler sees."""
+        unit = self.expand_program(source, filename)
+        items = [
+            item
+            for item in unit.items
+            if not isinstance(item, (decls.MacroDef, decls.MetaDecl))
+        ]
+        return decls.TranslationUnit(items, loc=unit.loc)
+
+    def expand_to_c(self, source: str, filename: str = "<string>") -> str:
+        """Full pipeline: source with macros in, plain C text out."""
+        return render_c(self.expand_to_ast(source, filename))
+
+    # ------------------------------------------------------------------
+
+    def define_macros(self, source: str) -> list[str]:
+        """Register the macros defined in ``source``; returns their
+        names (convenience for building macro packages)."""
+        before = set(self.table.names())
+        self.load(source)
+        return [n for n in self.table.names() if n not in before]
+
+    @property
+    def expansion_count(self) -> int:
+        return self.expander.expansion_count
+
+
+def expand_source(
+    source: str,
+    *,
+    packages: list[str] | None = None,
+    hygienic: bool = False,
+) -> str:
+    """One-shot convenience: expand ``source`` (optionally after
+    loading macro-package sources) and return C text."""
+    mp = MacroProcessor(hygienic=hygienic)
+    for pkg in packages or []:
+        mp.load(pkg)
+    return mp.expand_to_c(source)

@@ -1,0 +1,87 @@
+"""Shared error types and source locations for the MS2 reproduction.
+
+Every user-visible failure raised by the library derives from
+:class:`Ms2Error` and carries a :class:`SourceLocation` when one is
+available, so that tooling built on top of the library can point at the
+offending source text, exactly as the paper requires for "syntactic
+safety" (users must only ever see errors in terms of code they wrote).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLocation:
+    """A position within a source buffer.
+
+    ``line`` and ``column`` are 1-based; ``offset`` is the 0-based
+    character offset into the buffer.  ``filename`` defaults to
+    ``"<string>"`` for programs supplied as in-memory strings.
+    """
+
+    line: int = 1
+    column: int = 1
+    offset: int = 0
+    filename: str = "<string>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+#: Location used for synthesized nodes (gensym identifiers, macro output).
+SYNTHETIC = SourceLocation(line=0, column=0, offset=-1, filename="<synthetic>")
+
+
+class Ms2Error(Exception):
+    """Base class for all errors raised by this library."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.message = message
+        self.location = location
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.location is None:
+            return self.message
+        return f"{self.location}: {self.message}"
+
+
+class LexError(Ms2Error):
+    """Raised when the scanner encounters malformed input."""
+
+
+class ParseError(Ms2Error):
+    """Raised for syntax errors in base-language or meta-language code."""
+
+
+class MacroSyntaxError(ParseError):
+    """Raised for malformed macro definitions (headers, patterns)."""
+
+
+class PatternLookaheadError(MacroSyntaxError):
+    """Raised when a macro pattern cannot be parsed with one-token lookahead.
+
+    The paper requires that "detecting the end of a repetition or the
+    presence of an optional element require only one token lookahead"
+    and that the pattern parser "report an error in the specification
+    of a pattern" otherwise.
+    """
+
+
+class MacroTypeError(Ms2Error):
+    """Raised by the definition-time AST type checker.
+
+    This is the static guarantee at the heart of the paper: macros
+    that would build syntactically invalid fragments are rejected when
+    they are *defined*, not when they are used.
+    """
+
+
+class ExpansionError(Ms2Error):
+    """Raised when running a macro body fails at expansion time."""
+
+
+class MetaInterpError(ExpansionError):
+    """Raised by the embedded meta-language interpreter."""

@@ -1,0 +1,87 @@
+"""Reproduction helpers for the paper's figures.
+
+* :func:`parse_template_fragment` — parse a code template in a given
+  meta type environment (the machinery behind Figures 2 and 3);
+* :func:`figure2_rows` — the four parses of ``[int $y;]`` by the AST
+  type of ``y``;
+* :func:`figure3_rows` — the four parse outcomes of
+  ``{int x; $ph1 $ph2 return(x);}`` by the types of the placeholders,
+  including the syntactically illegal statement-then-declaration case.
+
+``benchmarks/test_fig2_decl_parses.py`` and
+``benchmarks/test_fig3_compound_parses.py`` print these tables in the
+paper's format.
+"""
+
+from __future__ import annotations
+
+from repro.asttypes.types import AstType, list_of, prim
+from repro.cast.base import Node
+from repro.cast.sexpr import render_sexpr
+from repro.errors import ParseError
+from repro.parser.core import Parser
+
+#: Row order of Figure 2, keyed by the paper's type spellings.
+FIGURE2_TYPES: list[tuple[str, AstType]] = [
+    ("init-declarator[]", list_of(prim("init_declarator"))),
+    ("init-declarator", prim("init_declarator")),
+    ("declarator", prim("declarator")),
+    ("identifier", prim("id")),
+]
+
+#: Row order of Figure 3: (ph1 type, ph2 type).
+FIGURE3_TYPES: list[tuple[str, str]] = [
+    ("decl", "decl"),
+    ("decl", "stmt"),
+    ("stmt", "stmt"),
+    ("stmt", "decl"),
+]
+
+
+def parse_template_fragment(
+    kind: str,
+    source: str,
+    bindings: dict[str, AstType],
+) -> Node:
+    """Parse ``source`` as a template of the given kind.
+
+    ``kind`` is ``"decl"``, ``"stmt"`` (a compound statement), or
+    ``"exp"``.  ``bindings`` supplies the meta type environment the
+    placeholders are analyzed against — exactly the situation inside
+    a macro body whose formals have those types.
+    """
+    parser = Parser(source)
+    env = parser.global_type_env.child()
+    for name, asttype in bindings.items():
+        env.bind(name, asttype)
+    with parser._meta(True), parser._scoped_env(env), parser._template(True):
+        if kind == "decl":
+            return parser.parse_template_declaration()
+        if kind == "stmt":
+            return parser.parse_compound_statement()
+        if kind == "exp":
+            return parser.parse_expression()
+    raise ValueError(f"unknown template kind {kind!r}")
+
+
+def figure2_rows() -> list[tuple[str, str]]:
+    """(AST type of y, S-expression parse) for the template ``int $y;``."""
+    rows: list[tuple[str, str]] = []
+    for label, asttype in FIGURE2_TYPES:
+        tree = parse_template_fragment("decl", "int $y;", {"y": asttype})
+        rows.append((label, render_sexpr(tree)))
+    return rows
+
+
+def figure3_rows() -> list[tuple[str, str, str]]:
+    """(ph1, ph2, parse-or-error) for ``{int x; $ph1 $ph2 return(x);}``."""
+    rows: list[tuple[str, str, str]] = []
+    source = "{int x; $ph1 $ph2 return(x);}"
+    for t1, t2 in FIGURE3_TYPES:
+        bindings = {"ph1": prim(t1), "ph2": prim(t2)}
+        try:
+            tree = parse_template_fragment("stmt", source, bindings)
+            rows.append((t1, t2, render_sexpr(tree, abbrev=True)))
+        except ParseError:
+            rows.append((t1, t2, "Syntactically Illegal Program"))
+    return rows

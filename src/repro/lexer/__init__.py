@@ -1,0 +1,20 @@
+"""Lexical analysis for C extended with the macro-language meta-tokens."""
+
+from repro.lexer.scanner import Scanner, tokenize
+from repro.lexer.tokens import (
+    AST_SPECIFIER_NAMES,
+    C_KEYWORDS,
+    META_KEYWORDS,
+    Token,
+    TokenKind,
+)
+
+__all__ = [
+    "AST_SPECIFIER_NAMES",
+    "C_KEYWORDS",
+    "META_KEYWORDS",
+    "Scanner",
+    "Token",
+    "TokenKind",
+    "tokenize",
+]

@@ -1,0 +1,301 @@
+"""The tokenizer for C extended with the macro language's meta-tokens.
+
+The scanner is a straightforward maximal-munch tokenizer.  Two small
+deviations from a stock C tokenizer serve the macro language:
+
+* meta-tokens (``{|``, ``|}``, ``$$``, ``::``, ``$``, `````` ` ``,
+  ``@``) are recognized, longest spelling first, and
+* meta-token recognition can be disabled (``meta=False``) so the same
+  scanner doubles as the plain C tokenizer used by the token-macro
+  baseline.
+
+Comments (``/* */`` and ``//``) are skipped.  Line/column bookkeeping
+feeds :class:`~repro.errors.SourceLocation` on every token.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError, SourceLocation
+from repro.lexer.tokens import (
+    ALL_KEYWORDS,
+    META_TOKEN_SPELLINGS,
+    PUNCTUATORS,
+    Token,
+    TokenKind,
+)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+_HEX_DIGITS = _DIGITS | frozenset("abcdefABCDEF")
+_OCTAL_DIGITS = frozenset("01234567")
+
+_SIMPLE_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "v": "\v", "f": "\f",
+    "a": "\a", "b": "\b", "0": "\0", "\\": "\\", "'": "'",
+    '"': '"', "?": "?",
+}
+
+
+class Scanner:
+    """Tokenizes a source buffer into a list of :class:`Token`.
+
+    Parameters
+    ----------
+    source:
+        The program text.
+    filename:
+        Used in source locations and error messages.
+    meta:
+        When true (the default), the seven macro-language meta-tokens
+        are recognized.  When false the scanner behaves as a plain C
+        tokenizer (``$`` and `````` ` `` become lex errors, ``@`` too).
+    keep_keywords:
+        When false, C keywords are returned as plain identifiers.  The
+        token-macro baseline uses this mode because CPP does not treat
+        keywords specially.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        filename: str = "<string>",
+        *,
+        meta: bool = True,
+        keep_keywords: bool = True,
+    ) -> None:
+        self.source = source
+        self.filename = filename
+        self.meta = meta
+        self.keep_keywords = keep_keywords
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    def tokenize(self) -> list[Token]:
+        """Scan the whole buffer, returning tokens ending with EOF."""
+        tokens: list[Token] = []
+        while True:
+            token = self.next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    def next_token(self) -> Token:
+        """Scan and return the next token (EOF at end of buffer)."""
+        self._skip_whitespace_and_comments()
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, "", self._loc())
+
+        ch = self.source[self.pos]
+        if ch in _IDENT_START:
+            return self._scan_identifier()
+        if ch in _DIGITS or (ch == "." and self._peek(1) in _DIGITS):
+            return self._scan_number()
+        if ch == '"':
+            return self._scan_string()
+        if ch == "'":
+            return self._scan_char()
+
+        if self.meta:
+            for spelling, kind in META_TOKEN_SPELLINGS:
+                if self.source.startswith(spelling, self.pos):
+                    loc = self._loc()
+                    self._advance(len(spelling))
+                    return Token(kind, spelling, loc)
+
+        for spelling in PUNCTUATORS:
+            if self.source.startswith(spelling, self.pos):
+                loc = self._loc()
+                self._advance(len(spelling))
+                return Token(TokenKind.PUNCT, spelling, loc)
+
+        raise LexError(f"unexpected character {ch!r}", self._loc())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.line, self.col, self.pos, self.filename)
+
+    def _peek(self, ahead: int = 0) -> str:
+        index = self.pos + ahead
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch in " \t\r\n\f\v":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self.source[self.pos] != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        start = self._loc()
+        self._advance(2)
+        while self.pos < len(self.source):
+            if self.source[self.pos] == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise LexError("unterminated block comment", start)
+
+    def _scan_identifier(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        while self.pos < len(self.source) and self.source[self.pos] in _IDENT_CONT:
+            self._advance()
+        text = self.source[start : self.pos]
+        if self.keep_keywords and text in ALL_KEYWORDS:
+            return Token(TokenKind.KEYWORD, text, loc)
+        return Token(TokenKind.IDENT, text, loc)
+
+    def _scan_number(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        is_float = False
+
+        if self.source[self.pos] == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            if self._peek() not in _HEX_DIGITS:
+                raise LexError("malformed hexadecimal literal", loc)
+            while self._peek() in _HEX_DIGITS:
+                self._advance()
+        else:
+            while self._peek() in _DIGITS:
+                self._advance()
+            if self._peek() == "." and self._peek(1) != ".":
+                is_float = True
+                self._advance()
+                while self._peek() in _DIGITS:
+                    self._advance()
+            if self._peek() and self._peek() in "eE" and (
+                self._peek(1) in _DIGITS
+                or (self._peek(1) in ("+", "-") and self._peek(2) in _DIGITS)
+            ):
+                is_float = True
+                self._advance()
+                if self._peek() and self._peek() in "+-":
+                    self._advance()
+                while self._peek() in _DIGITS:
+                    self._advance()
+
+        # Integer / float suffixes.
+        if is_float:
+            while self._peek() and self._peek() in "fFlL":
+                self._advance()
+        else:
+            while self._peek() and self._peek() in "uUlL":
+                self._advance()
+
+        text = self.source[start : self.pos]
+        if is_float:
+            return Token(
+                TokenKind.FLOAT_LIT, text, loc, value=float(text.rstrip("fFlL"))
+            )
+        return Token(
+            TokenKind.INT_LIT, text, loc, value=_decode_int(text)
+        )
+
+    def _scan_string(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise LexError("unterminated string literal", loc)
+            ch = self.source[self.pos]
+            if ch == "\n":
+                raise LexError("newline in string literal", loc)
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                chars.append(self._scan_escape(loc))
+            else:
+                chars.append(ch)
+                self._advance()
+        text = self.source[start : self.pos]
+        return Token(TokenKind.STRING_LIT, text, loc, value="".join(chars))
+
+    def _scan_char(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        self._advance()  # opening quote
+        if self._peek() == "'":
+            raise LexError("empty character literal", loc)
+        if self._peek() == "\\":
+            decoded = self._scan_escape(loc)
+        else:
+            decoded = self._peek()
+            self._advance()
+        if self._peek() != "'":
+            raise LexError("unterminated character literal", loc)
+        self._advance()
+        text = self.source[start : self.pos]
+        return Token(TokenKind.CHAR_LIT, text, loc, value=ord(decoded))
+
+    def _scan_escape(self, loc: SourceLocation) -> str:
+        self._advance()  # backslash
+        ch = self._peek()
+        if ch == "":
+            raise LexError("unterminated escape sequence", loc)
+        if ch in _SIMPLE_ESCAPES:
+            self._advance()
+            return _SIMPLE_ESCAPES[ch]
+        if ch == "x":
+            self._advance()
+            digits = []
+            while self._peek() in _HEX_DIGITS:
+                digits.append(self._peek())
+                self._advance()
+            if not digits:
+                raise LexError("malformed hex escape", loc)
+            return chr(int("".join(digits), 16))
+        if ch in _OCTAL_DIGITS:
+            digits = []
+            while self._peek() in _OCTAL_DIGITS and len(digits) < 3:
+                digits.append(self._peek())
+                self._advance()
+            return chr(int("".join(digits), 8))
+        raise LexError(f"unknown escape sequence \\{ch}", loc)
+
+
+def _decode_int(text: str) -> int:
+    body = text.rstrip("uUlL")
+    if body.lower().startswith("0x"):
+        return int(body, 16)
+    if body.startswith("0") and len(body) > 1:
+        return int(body, 8)
+    return int(body)
+
+
+def tokenize(source: str, filename: str = "<string>", **kwargs) -> list[Token]:
+    """Convenience wrapper: scan ``source`` into a token list."""
+    return Scanner(source, filename, **kwargs).tokenize()

@@ -1,0 +1,144 @@
+"""Token kinds for the extended C language of the paper.
+
+The macro language adds seven meta-tokens to C (paper section 2):
+``{|``, ``|}``, ``$$``, ``$``, ``::``, `````` ` `` and ``@``.  It also
+adds the keywords ``syntax`` and ``metadcl``, and the AST type
+specifier keywords (``stmt``, ``exp``, ``id``, ``decl``, ``num``,
+``type_spec`` plus the declarator-level specifiers Figure 2 relies on).
+
+One further kind exists that never appears in source text:
+:data:`TokenKind.PLACEHOLDER`.  Placeholder tokens are synthesized by
+the tokenizer/parser co-routine while parsing backquote templates; the
+token wraps an already-parsed meta-expression together with the AST
+type it will produce when evaluated (paper section 3, "Parsing Code
+Templates").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories of the extended language."""
+
+    # Literals and names.
+    IDENT = "identifier"
+    INT_LIT = "integer-literal"
+    FLOAT_LIT = "float-literal"
+    CHAR_LIT = "character-literal"
+    STRING_LIT = "string-literal"
+
+    # C keywords get their own kinds via the KEYWORDS table but share
+    # this kind; parsers dispatch on `.text` for keywords.
+    KEYWORD = "keyword"
+
+    # Punctuation / operators (one kind per spelling keeps the parser
+    # honest about what it consumes).
+    PUNCT = "punctuator"
+
+    # The seven meta-tokens of the macro language.
+    LBRACE_BAR = "{|"
+    BAR_RBRACE = "|}"
+    DOLLAR_DOLLAR = "$$"
+    DOLLAR = "$"
+    COLON_COLON = "::"
+    BACKQUOTE = "`"
+    AT = "@"
+
+    # Synthesized while parsing templates; never produced from text.
+    PLACEHOLDER = "placeholder-token"
+
+    EOF = "end-of-file"
+
+
+#: ISO C90 keywords (the subset of C the paper's grammar extends).
+C_KEYWORDS = frozenset(
+    {
+        "auto", "break", "case", "char", "const", "continue", "default",
+        "do", "double", "else", "enum", "extern", "float", "for", "goto",
+        "if", "int", "long", "register", "return", "short", "signed",
+        "sizeof", "static", "struct", "switch", "typedef", "union",
+        "unsigned", "void", "volatile", "while",
+    }
+)
+
+#: Keywords added by the macro language (top-level declaration forms).
+META_KEYWORDS = frozenset({"syntax", "metadcl"})
+
+#: AST type specifier names usable after ``@`` and inside patterns.
+#: ``declarator`` and ``init_declarator`` extend the six primitives so
+#: that Figure 2 of the paper is expressible.
+AST_SPECIFIER_NAMES = frozenset(
+    {
+        "id", "exp", "stmt", "decl", "num", "type_spec",
+        "declarator", "init_declarator",
+    }
+)
+
+ALL_KEYWORDS = C_KEYWORDS | META_KEYWORDS
+
+#: Multi-character punctuators, longest first so maximal munch works by
+#: simple ordered scanning.
+PUNCTUATORS = (
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=",
+    "[", "]", "(", ")", "{", "}", ".", ",", ";", ":", "?",
+    "+", "-", "*", "/", "%", "<", ">", "=", "&", "|", "^", "!", "~",
+    "#",
+)
+
+#: Meta-token spellings, also longest-first.  ``{|`` and ``|}`` must be
+#: tried before ``{`` / ``|``; ``$$`` before ``$``; ``::`` before ``:``.
+META_TOKEN_SPELLINGS = (
+    ("{|", TokenKind.LBRACE_BAR),
+    ("|}", TokenKind.BAR_RBRACE),
+    ("$$", TokenKind.DOLLAR_DOLLAR),
+    ("::", TokenKind.COLON_COLON),
+    ("$", TokenKind.DOLLAR),
+    ("`", TokenKind.BACKQUOTE),
+    ("@", TokenKind.AT),
+)
+
+
+@dataclass(slots=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` carries the decoded payload for literals (an ``int`` for
+    integer literals, ``str`` for string literals with escapes decoded,
+    and so on).  For :data:`TokenKind.PLACEHOLDER` tokens, ``value`` is
+    a :class:`repro.macros.backquote.PlaceholderPayload`.
+    """
+
+    kind: TokenKind
+    text: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+    value: Any = None
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def is_punct(self, *spellings: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text in spellings
+
+    def is_ident(self, name: str | None = None) -> bool:
+        if self.kind is not TokenKind.IDENT:
+            return False
+        return name is None or self.text == name
+
+    def describe(self) -> str:
+        """Human-readable rendering for error messages."""
+        if self.kind is TokenKind.EOF:
+            return "end of input"
+        if self.kind is TokenKind.PLACEHOLDER:
+            return f"placeholder token ({self.text})"
+        return repr(self.text)
+
+    def __str__(self) -> str:
+        return self.text

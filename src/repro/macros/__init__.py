@@ -1,0 +1,15 @@
+"""The MS2 macro system: patterns, templates, definitions, expansion."""
+
+from repro.macros.definition import MacroDefinition, MacroTable
+from repro.macros.expander import Expander
+from repro.macros.pattern import Pattern, parse_pattern_text
+from repro.macros.lookahead import validate_pattern
+
+__all__ = [
+    "Expander",
+    "MacroDefinition",
+    "MacroTable",
+    "Pattern",
+    "parse_pattern_text",
+    "validate_pattern",
+]

@@ -1,0 +1,185 @@
+"""Compiled per-macro invocation parse routines.
+
+Paper, section 3 ("Parsing Macro Headers"): "even this process could
+be accelerated by a routine that compiled a parse routine for each
+macro's pattern.  This specialized routine would be associated with
+the macro keyword and called when needed."
+
+This module implements exactly that: :func:`compile_pattern` lowers a
+pattern — once, at definition time — into a chain of Python closures
+with all pspec dispatch, FIRST sets, separators and follow tokens
+resolved in advance.  The interpreted engine
+(:class:`repro.macros.invocation.InvocationParser`) and the compiled
+routine produce identical invocation nodes;
+``benchmarks/test_pattern_compilation.py`` measures the speedup.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.cast import nodes
+from repro.errors import ParseError
+from repro.lexer.tokens import Token, TokenKind
+from repro.macros.invocation import InvocationParser, _follow_text
+from repro.macros.lookahead import first_of_pspec
+from repro.macros.pattern import (
+    ParamElement,
+    Pattern,
+    Pspec,
+    SpecList,
+    SpecOptional,
+    SpecPrim,
+    SpecTuple,
+    TokenElement,
+)
+
+if TYPE_CHECKING:
+    from repro.macros.definition import MacroDefinition
+    from repro.parser.core import Parser
+
+#: A compiled step: mutates ``args`` while consuming tokens.
+Step = Callable[["Parser", list[nodes.MacroArg]], None]
+
+
+class CompiledMatcher:
+    """The specialized parse routine for one macro's pattern."""
+
+    def __init__(self, name: str, steps: list[Step]) -> None:
+        self.name = name
+        self.steps = steps
+
+    def parse_invocation(
+        self, parser: "Parser", defn: "MacroDefinition", keyword: Token
+    ) -> nodes.MacroInvocation:
+        args: list[nodes.MacroArg] = []
+        for step in self.steps:
+            step(parser, args)
+        return nodes.MacroInvocation(
+            defn.name, args, defn, loc=keyword.location
+        )
+
+
+def compile_pattern(pattern: Pattern, name: str = "<macro>") -> CompiledMatcher:
+    """Lower a pattern into a specialized parse routine (one-time, at definition)."""
+    elements = list(pattern.elements)
+    steps: list[Step] = []
+    for i, element in enumerate(elements):
+        follow = _follow_text(elements, i)
+        if isinstance(element, TokenElement):
+            steps.append(_compile_literal(element.text))
+        else:
+            assert isinstance(element, ParamElement)
+            value_fn = _compile_pspec(element.pspec, follow)
+            steps.append(_compile_param(element.name, value_fn))
+    return CompiledMatcher(name, steps)
+
+
+def _compile_literal(text: str) -> Step:
+    def step(parser: "Parser", args: list[nodes.MacroArg]) -> None:
+        token = parser.next_token()
+        if token.text != text:
+            raise ParseError(
+                f"macro invocation expected {text!r}, got "
+                f"{token.describe()}",
+                token.location,
+            )
+
+    return step
+
+
+def _compile_param(
+    name: str, value_fn: Callable[["Parser"], Any]
+) -> Step:
+    def step(parser: "Parser", args: list[nodes.MacroArg]) -> None:
+        args.append(nodes.MacroArg(name, value_fn(parser)))
+
+    return step
+
+
+def _compile_pspec(
+    pspec: Pspec, follow_text: str | None
+) -> Callable[["Parser"], Any]:
+    if isinstance(pspec, SpecPrim):
+        prim_name = pspec.name
+
+        def parse_prim(parser: "Parser") -> Any:
+            return InvocationParser(parser)._parse_prim(prim_name)
+
+        return parse_prim
+
+    if isinstance(pspec, SpecList):
+        element_fn = _compile_pspec(pspec.element, follow_text)
+        first = first_of_pspec(pspec.element)
+        at_least_one = pspec.at_least_one
+        separator = pspec.separator
+
+        if separator is not None:
+
+            def parse_separated(parser: "Parser") -> list[Any]:
+                items: list[Any] = []
+                if at_least_one or _present(parser, first, None):
+                    items.append(element_fn(parser))
+                    while parser.peek().text == separator:
+                        parser.next_token()
+                        items.append(element_fn(parser))
+                return items
+
+            return parse_separated
+
+        def parse_repeated(parser: "Parser") -> list[Any]:
+            items: list[Any] = []
+            if at_least_one:
+                items.append(element_fn(parser))
+            while _present(parser, first, follow_text):
+                items.append(element_fn(parser))
+            return items
+
+        return parse_repeated
+
+    if isinstance(pspec, SpecOptional):
+        element_fn = _compile_pspec(pspec.element, follow_text)
+        guard = pspec.guard
+        first = first_of_pspec(pspec.element)
+
+        if guard is not None:
+
+            def parse_guarded(parser: "Parser") -> Any:
+                token = parser.peek()
+                if token.text == guard and token.kind is not TokenKind.EOF:
+                    parser.next_token()
+                    return element_fn(parser)
+                return None
+
+            return parse_guarded
+
+        def parse_optional(parser: "Parser") -> Any:
+            if _present(parser, first, follow_text):
+                return element_fn(parser)
+            return None
+
+        return parse_optional
+
+    if isinstance(pspec, SpecTuple):
+        sub = compile_pattern(pspec.pattern)
+
+        def parse_tuple(parser: "Parser") -> nodes.TupleValue:
+            args: list[nodes.MacroArg] = []
+            for step in sub.steps:
+                step(parser, args)
+            return nodes.TupleValue(args)
+
+        return parse_tuple
+
+    raise TypeError(f"unknown pspec {type(pspec).__name__}")
+
+
+def _present(parser: "Parser", first, follow_text: str | None) -> bool:
+    token = parser.peek()
+    if token.kind is TokenKind.EOF:
+        return False
+    if follow_text is not None and token.text == follow_text:
+        return False
+    if token.kind is TokenKind.PLACEHOLDER:
+        return True
+    return first.contains_token(token)

@@ -1,0 +1,109 @@
+"""Macro definitions and the macro (keyword) table.
+
+A :class:`MacroDefinition` is the compiled form of a ``syntax``
+declaration: the pattern (already validated for one-token lookahead),
+the type-checked body, the declared return AST type, and — lazily —
+the compiled invocation-parsing routine of
+:mod:`repro.macros.compiled`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.asttypes.types import AstType, list_of, prim
+from repro.cast import decls
+from repro.errors import MacroSyntaxError
+from repro.macros.pattern import Pattern
+
+if TYPE_CHECKING:
+    from repro.cast import nodes
+    from repro.cast.printer import CPrinter
+
+
+class MacroDefinition:
+    """One registered syntax macro."""
+
+    def __init__(
+        self,
+        name: str,
+        ret_spec: str,
+        returns_list: bool,
+        pattern: Pattern,
+        body: Any,
+    ) -> None:
+        self.name = name
+        self.ret_spec = ret_spec
+        self.returns_list = returns_list
+        self.pattern = pattern
+        self.body = body
+        #: Set by :func:`repro.macros.compiled.compile_pattern` on demand.
+        self.compiled_matcher = None
+
+    @classmethod
+    def from_node(cls, node: decls.MacroDef) -> "MacroDefinition":
+        return cls(
+            node.name, node.ret_spec, node.returns_list, node.pattern,
+            node.body,
+        )
+
+    @property
+    def return_type(self) -> AstType:
+        base = prim(self.ret_spec)
+        return list_of(base) if self.returns_list else base
+
+    def render_invocation(
+        self, invocation: "nodes.MacroInvocation", printer: "CPrinter"
+    ) -> str:
+        """Best-effort concrete rendering of an unexpanded invocation."""
+        from repro.macros.pattern import ParamElement, TokenElement
+
+        parts: list[str] = [self.name]
+        values = {a.name: a.value for a in invocation.args}
+        for element in self.pattern.elements:
+            if isinstance(element, TokenElement):
+                parts.append(element.text)
+            elif isinstance(element, ParamElement):
+                value = values.get(element.name)
+                if value is None:
+                    continue
+                if isinstance(value, list):
+                    parts.append(
+                        ", ".join(printer._arg_text(v) for v in value)
+                    )
+                else:
+                    parts.append(printer._arg_text(value))
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        suffix = "[]" if self.returns_list else ""
+        return (
+            f"<macro {self.ret_spec}{suffix} {self.name} "
+            f"{{| {self.pattern} |}}>"
+        )
+
+
+class MacroTable:
+    """The keyword table of defined macros."""
+
+    def __init__(self) -> None:
+        self._macros: dict[str, MacroDefinition] = {}
+
+    def define(self, definition: MacroDefinition) -> None:
+        if definition.name in self._macros:
+            raise MacroSyntaxError(
+                f"macro {definition.name!r} is already defined"
+            )
+        self._macros[definition.name] = definition
+
+    def lookup(self, name: str) -> MacroDefinition | None:
+        return self._macros.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._macros)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._macros
+
+    def __len__(self) -> int:
+        return len(self._macros)

@@ -1,0 +1,197 @@
+"""The macro expansion engine.
+
+Expanding an invocation = running its macro's body (a C meta-program)
+on the parsed actual parameters, then recursively expanding any macro
+invocations embedded in the produced AST (templates may invoke
+previously defined macros — the paper's improved ``Painting`` macro
+expands into an ``unwind_protect`` invocation).
+
+Each expansion gets a fresh integer *mark*; template-origin nodes are
+stamped with it so the optional hygienic renamer
+(:mod:`repro.macros.hygiene`) can tell macro-introduced binders apart
+from user code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.asttypes.types import ListType
+from repro.cast import decls, nodes, stmts
+from repro.cast.base import Node
+from repro.errors import ExpansionError
+from repro.macros.definition import MacroDefinition, MacroTable
+from repro.meta.frames import NULL
+from repro.meta.interp import Interpreter
+
+#: Guard against macros that expand into themselves forever.
+MAX_EXPANSION_DEPTH = 200
+
+
+class Expander:
+    """Drives macro expansion over parsed ASTs."""
+
+    def __init__(
+        self,
+        table: MacroTable,
+        interpreter: Interpreter | None = None,
+        hygienic: bool = False,
+    ) -> None:
+        self.table = table
+        self.interpreter = interpreter or Interpreter()
+        self.hygienic = hygienic
+        self._mark_counter = 0
+        self._depth = 0
+        #: Statistics: how many invocations were expanded.
+        self.expansion_count = 0
+
+    # ------------------------------------------------------------------
+
+    def expand_invocation(
+        self, invocation: nodes.MacroInvocation
+    ) -> Node | list[Node]:
+        """Run one invocation; returns the replacement AST(s)."""
+        definition: MacroDefinition | None = invocation.definition
+        if definition is None:
+            definition = self.table.lookup(invocation.name)
+        if definition is None:
+            raise ExpansionError(
+                f"invocation of unknown macro {invocation.name!r}",
+                invocation.loc,
+            )
+
+        self._depth += 1
+        if self._depth > MAX_EXPANSION_DEPTH:
+            self._depth = 0
+            raise ExpansionError(
+                f"macro expansion exceeded depth {MAX_EXPANSION_DEPTH} "
+                f"(while expanding {invocation.name!r}); "
+                "self-recursive macro?",
+                invocation.loc,
+            )
+        try:
+            self._mark_counter += 1
+            mark = self._mark_counter
+            bindings = {
+                arg.name: (NULL if arg.value is None else arg.value)
+                for arg in invocation.args
+            }
+
+            saved_mark = self.interpreter.current_mark
+            self.interpreter.current_mark = mark
+            try:
+                result = self.interpreter.call_macro(definition, bindings)
+            finally:
+                self.interpreter.current_mark = saved_mark
+
+            result = self._check_result(definition, result, invocation)
+            result = self.expand_tree(result)
+            if self.hygienic:
+                from repro.macros.hygiene import make_hygienic
+
+                result = make_hygienic(result, mark, self.interpreter)
+            self.expansion_count += 1
+            return result
+        finally:
+            self._depth -= 1
+
+    def _check_result(
+        self,
+        definition: MacroDefinition,
+        result: Any,
+        invocation: nodes.MacroInvocation,
+    ) -> Node | list[Node]:
+        if definition.returns_list:
+            if not isinstance(result, list):
+                raise ExpansionError(
+                    f"macro {definition.name!r} is declared to return "
+                    f"{definition.ret_spec}[] but returned a single AST",
+                    invocation.loc,
+                )
+            return result
+        if isinstance(result, list):
+            raise ExpansionError(
+                f"macro {definition.name!r} is declared to return a "
+                f"single {definition.ret_spec} but returned a list",
+                invocation.loc,
+            )
+        if not isinstance(result, Node):
+            raise ExpansionError(
+                f"macro {definition.name!r} returned a "
+                f"{type(result).__name__}, not an AST",
+                invocation.loc,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Recursive expansion of invocations embedded in produced ASTs
+    # ------------------------------------------------------------------
+
+    def expand_tree(self, tree: Node | list) -> Any:
+        """Expand every :class:`MacroInvocation` in ``tree`` (in place
+        order, outside-in via re-expansion of produced code)."""
+        if isinstance(tree, list):
+            out: list[Any] = []
+            for item in tree:
+                result = self.expand_tree(item)
+                if isinstance(result, list):
+                    out.extend(result)
+                else:
+                    out.append(result)
+            return out
+        if isinstance(tree, nodes.MacroInvocation):
+            return self.expand_invocation(tree)
+        if not isinstance(tree, Node):
+            return tree
+        return self._expand_children(tree)
+
+    def _expand_children(self, node: Node) -> Node:
+        kwargs: dict[str, Any] = {}
+        changed = False
+        for f in dataclasses.fields(node):
+            if not f.init:
+                continue
+            value = getattr(node, f.name)
+            if isinstance(value, Node):
+                result = self.expand_tree(value)
+                if isinstance(result, list):
+                    result = self._wrap_list(node, f.name, result)
+                if result is not value:
+                    changed = True
+                kwargs[f.name] = result
+            elif isinstance(value, list):
+                out: list[Any] = []
+                for item in value:
+                    if isinstance(item, Node):
+                        result = self.expand_tree(item)
+                        if isinstance(result, list):
+                            out.extend(result)
+                            changed = True
+                        else:
+                            if result is not item:
+                                changed = True
+                            out.append(result)
+                    else:
+                        out.append(item)
+                kwargs[f.name] = out
+            else:
+                kwargs[f.name] = value
+        if not changed:
+            return node
+        return type(node)(**kwargs)
+
+    def _wrap_list(self, parent: Node, field: str, items: list[Any]) -> Node:
+        if all(_is_stmt(v) for v in items):
+            return stmts.CompoundStmt([], items, loc=parent.loc)
+        raise ExpansionError(
+            f"a list-returning macro cannot stand in the {field!r} "
+            f"position of {type(parent).__name__}",
+            parent.loc,
+        )
+
+
+def _is_stmt(value: Any) -> bool:
+    from repro.macros.template import _STMT_CLASSES
+
+    return isinstance(value, _STMT_CLASSES)

@@ -1,0 +1,100 @@
+"""Hygiene support (paper section 5, future work).
+
+The paper's examples avoid variable capture manually with ``gensym``;
+its section 5 notes that hygienic macro systems do this automatically
+and that the authors "are considering methods for making our system be
+hygienic".  This module implements that extension: every expansion
+stamps template-origin nodes with a mark, and — when the expander runs
+in hygienic mode — local variables *declared by the template itself*
+are automatically renamed to fresh identifiers, while user code
+substituted through placeholders (which carries a different mark, or
+none) is left untouched.
+
+This is the classic mark-based approximation of Kohlbecker-style
+hygiene, sufficient to make the paper's ``dynamic_bind`` and ``catch``
+examples capture-safe without explicit ``gensym`` calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cast import decls, nodes, stmts
+from repro.cast.base import Node, walk
+from repro.meta.interp import Interpreter
+
+
+def make_hygienic(
+    tree: Node | list, mark: int, interpreter: Interpreter
+) -> Any:
+    """Rename template-declared locals in ``tree`` to fresh names.
+
+    Only binders whose declaration node carries ``mark`` (i.e. was
+    created by this expansion's templates) are renamed, and only
+    references that also carry ``mark`` are redirected — a placeholder
+    substitution that happens to use the same spelling keeps its
+    meaning.
+    """
+    renamer = _Renamer(mark, interpreter)
+    if isinstance(tree, list):
+        for item in tree:
+            renamer.process(item)
+    else:
+        renamer.process(tree)
+    return tree
+
+
+class _Renamer:
+    def __init__(self, mark: int, interpreter: Interpreter) -> None:
+        self.mark = mark
+        self.interpreter = interpreter
+
+    def process(self, root: Node) -> None:
+        for node in walk(root):
+            if isinstance(node, stmts.CompoundStmt) and node.mark == self.mark:
+                self._process_compound(node)
+
+    def _process_compound(self, compound: stmts.CompoundStmt) -> None:
+        renames: dict[str, str] = {}
+        for declaration in compound.decls:
+            if not isinstance(declaration, decls.Declaration):
+                continue
+            if declaration.mark != self.mark:
+                continue
+            for name_decl in _binders(declaration):
+                old = name_decl.name
+                if old.startswith("__"):
+                    continue  # already a gensym
+                if old not in renames:
+                    fresh = self.interpreter.gensym(old).name
+                    renames[old] = fresh
+                name_decl.name = renames[old]
+        if not renames:
+            return
+        for node in walk(compound):
+            if (
+                isinstance(node, nodes.Identifier)
+                and node.mark == self.mark
+                and node.name in renames
+            ):
+                node.name = renames[node.name]
+
+
+def _binders(declaration: decls.Declaration) -> list[decls.NameDeclarator]:
+    out: list[decls.NameDeclarator] = []
+    for item in declaration.init_declarators:
+        if isinstance(item, decls.InitDeclarator):
+            current: Node = item.declarator
+            while True:
+                if isinstance(current, decls.NameDeclarator):
+                    out.append(current)
+                    break
+                if isinstance(
+                    current,
+                    (decls.PointerDeclarator, decls.ArrayDeclarator,
+                     decls.FuncDeclarator),
+                ):
+                    current = current.inner
+                    continue
+                break
+    return out

@@ -1,0 +1,221 @@
+"""Pattern-driven parsing of macro invocations.
+
+"When the parser encounters a macro keyword, it parses the invocation
+according to the macro's pattern" (paper section 3).  This is the
+*interpreted* pattern engine: each invocation walks the pattern
+structure.  :mod:`repro.macros.compiled` provides the accelerated
+variant the paper suggests ("this process could be accelerated by a
+routine that compiled a parse routine for each macro's pattern");
+both produce identical :class:`~repro.cast.nodes.MacroInvocation`
+nodes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.asttypes.types import ID, NUM
+from repro.cast import nodes
+from repro.errors import ParseError
+from repro.lexer.tokens import Token, TokenKind
+from repro.macros.lookahead import FirstSet, first_of_pspec
+from repro.macros.pattern import (
+    ParamElement,
+    Pattern,
+    Pspec,
+    SpecList,
+    SpecOptional,
+    SpecPrim,
+    SpecTuple,
+    TokenElement,
+)
+
+if TYPE_CHECKING:
+    from repro.parser.core import Parser
+
+
+class InvocationParser:
+    """Parses one macro invocation (or pspec-directed syntax) off the
+    host parser's token stream."""
+
+    def __init__(self, parser: "Parser") -> None:
+        self.parser = parser
+
+    # ------------------------------------------------------------------
+
+    def parse_invocation(self, defn: Any, keyword: Token) -> nodes.MacroInvocation:
+        args = self.parse_pattern_args(defn.pattern)
+        return nodes.MacroInvocation(
+            defn.name, args, defn, loc=keyword.location
+        )
+
+    def parse_pattern_args(self, pattern: Pattern) -> list[nodes.MacroArg]:
+        args: list[nodes.MacroArg] = []
+        elements = list(pattern.elements)
+        for i, element in enumerate(elements):
+            follow = _follow_text(elements, i)
+            if isinstance(element, TokenElement):
+                self._expect_literal(element.text)
+            else:
+                assert isinstance(element, ParamElement)
+                value = self.parse_pspec_value(
+                    element.pspec, follow_text=follow
+                )
+                args.append(nodes.MacroArg(element.name, value))
+        return args
+
+    # ------------------------------------------------------------------
+
+    def _expect_literal(self, text: str) -> None:
+        token = self.parser.next_token()
+        if token.text != text:
+            raise ParseError(
+                f"macro invocation expected {text!r}, got {token.describe()}",
+                token.location,
+            )
+
+    def parse_pspec_value(
+        self, pspec: Pspec, follow_text: str | None = None
+    ) -> Any:
+        if isinstance(pspec, SpecPrim):
+            return self._parse_prim(pspec.name)
+        if isinstance(pspec, SpecList):
+            return self._parse_list(pspec, follow_text)
+        if isinstance(pspec, SpecOptional):
+            return self._parse_optional(pspec, follow_text)
+        if isinstance(pspec, SpecTuple):
+            return self._parse_tuple(pspec)
+        raise TypeError(f"unknown pspec {type(pspec).__name__}")
+
+    # -- primitives -------------------------------------------------------
+
+    def _parse_prim(self, name: str) -> Any:
+        parser = self.parser
+        token = parser.peek()
+
+        # Inside templates, a placeholder of the right type may stand
+        # for the actual parameter itself.
+        if token.kind is TokenKind.PLACEHOLDER:
+            from repro.asttypes.types import prim as prim_type
+
+            payload = token.value
+            if payload.asttype.is_usable_as(prim_type(name)):
+                parser.next_token()
+                return _placeholder_node_for(name, payload, token)
+
+        if name == "exp":
+            return parser.parse_assignment()
+        if name == "id":
+            ident = parser.next_token()
+            if ident.kind is not TokenKind.IDENT:
+                raise ParseError(
+                    f"macro expected an identifier, got {ident.describe()}",
+                    ident.location,
+                )
+            return nodes.Identifier(ident.text, loc=ident.location)
+        if name == "num":
+            lit = parser.next_token()
+            if lit.kind is not TokenKind.INT_LIT:
+                raise ParseError(
+                    f"macro expected a number, got {lit.describe()}",
+                    lit.location,
+                )
+            return nodes.IntLit(lit.value, lit.text, loc=lit.location)
+        if name == "stmt":
+            return parser.parse_statement()
+        if name == "decl":
+            return parser.parse_declaration()
+        if name == "type_spec":
+            return parser.parse_type_spec_only()
+        if name == "declarator":
+            return parser.parse_declarator()
+        if name == "init_declarator":
+            return parser.parse_init_declarator()
+        raise TypeError(f"unknown AST specifier {name!r}")
+
+    # -- repetition ---------------------------------------------------------
+
+    def _parse_list(
+        self, pspec: SpecList, follow_text: str | None
+    ) -> list[Any]:
+        items: list[Any] = []
+        first = first_of_pspec(pspec.element)
+        if pspec.separator is not None:
+            if pspec.at_least_one or self._element_present(first):
+                items.append(self.parse_pspec_value(pspec.element))
+                while self.parser.peek().text == pspec.separator:
+                    self.parser.next_token()
+                    items.append(self.parse_pspec_value(pspec.element))
+            return items
+        # Unseparated repetition: one-token lookahead against FIRST and
+        # the follow token (guaranteed to exist by pattern validation).
+        if pspec.at_least_one:
+            items.append(self.parse_pspec_value(pspec.element))
+        while self._element_present(first, follow_text):
+            items.append(self.parse_pspec_value(pspec.element))
+        return items
+
+    def _element_present(
+        self, first: FirstSet, follow_text: str | None = None
+    ) -> bool:
+        token = self.parser.peek()
+        if token.kind is TokenKind.EOF:
+            return False
+        if follow_text is not None and token.text == follow_text:
+            return False
+        if token.kind is TokenKind.PLACEHOLDER:
+            # Template mode: a placeholder can begin any AST element.
+            return True
+        return first.contains_token(token)
+
+    # -- optionals -------------------------------------------------------------
+
+    def _parse_optional(
+        self, pspec: SpecOptional, follow_text: str | None
+    ) -> Any:
+        token = self.parser.peek()
+        if pspec.guard is not None:
+            if token.text == pspec.guard and token.kind is not TokenKind.EOF:
+                self.parser.next_token()
+                return self.parse_pspec_value(pspec.element, follow_text)
+            return None
+        first = first_of_pspec(pspec.element)
+        if self._element_present(first, follow_text):
+            return self.parse_pspec_value(pspec.element, follow_text)
+        return None
+
+    # -- tuples ------------------------------------------------------------------
+
+    def _parse_tuple(self, pspec: SpecTuple) -> nodes.TupleValue:
+        args = self.parse_pattern_args(pspec.pattern)
+        return nodes.TupleValue(args)
+
+
+def _follow_text(elements: list, index: int) -> str | None:
+    """The literal token following element ``index``, if any."""
+    for nxt in elements[index + 1 :]:
+        if isinstance(nxt, TokenElement):
+            return nxt.text
+        return None
+    return None
+
+
+def _placeholder_node_for(name: str, payload: Any, token: Token):
+    from repro.cast import decls, stmts
+
+    if name == "stmt":
+        return stmts.PlaceholderStmt(
+            payload.meta_expr, payload.asttype, loc=token.location
+        )
+    if name == "decl":
+        return decls.PlaceholderDecl(
+            payload.meta_expr, payload.asttype, loc=token.location
+        )
+    if name in ("declarator", "init_declarator"):
+        return decls.PlaceholderDeclarator(
+            payload.meta_expr, payload.asttype, loc=token.location
+        )
+    # exp / id / num / type_spec placeholders stay expression-shaped.
+    return nodes.PlaceholderExpr(
+        payload.meta_expr, payload.asttype, loc=token.location
+    )

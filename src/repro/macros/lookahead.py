@@ -1,0 +1,348 @@
+"""One-token-lookahead validation of macro patterns.
+
+The paper requires that "detecting the end of a repetition or the
+presence of an optional element require only one token lookahead", and
+that the pattern parser "report an error in the specification of a
+pattern if the end of a repetition cannot be uniquely determined by
+one token lookahead".  This module computes (approximate, sound)
+FIRST sets for pattern elements and enforces exactly that rule when a
+macro is defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PatternLookaheadError
+from repro.lexer.tokens import Token, TokenKind
+from repro.macros.pattern import (
+    ParamElement,
+    Pattern,
+    PatternElement,
+    Pspec,
+    SpecList,
+    SpecOptional,
+    SpecPrim,
+    SpecTuple,
+    TokenElement,
+)
+
+# Token categories: lexical classes that FIRST sets can contain beyond
+# concrete spellings.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+CHAR = "char"
+
+
+@dataclass(slots=True)
+class FirstSet:
+    """An approximation of the set of tokens a construct can start with.
+
+    ``texts`` holds concrete token spellings; ``categories`` holds
+    lexical classes; ``open_ended`` marks a FOLLOW position that
+    extends past the end of the pattern (and is therefore unknowable
+    at definition time).
+    """
+
+    texts: set[str] = field(default_factory=set)
+    categories: set[str] = field(default_factory=set)
+    open_ended: bool = False
+
+    def union(self, other: "FirstSet") -> "FirstSet":
+        return FirstSet(
+            self.texts | other.texts,
+            self.categories | other.categories,
+            self.open_ended or other.open_ended,
+        )
+
+    def contains_token(self, token: Token) -> bool:
+        if token.text in self.texts:
+            return True
+        category = _category_of(token)
+        return category is not None and category in self.categories
+
+    def contains_text(self, text: str) -> bool:
+        if text in self.texts:
+            return True
+        return IDENT in self.categories and _looks_like_ident(text)
+
+    def intersects(self, other: "FirstSet") -> bool:
+        if self.texts & other.texts:
+            return True
+        if self.categories & other.categories:
+            return True
+        for text in other.texts:
+            if IDENT in self.categories and _looks_like_ident(text):
+                return True
+        for text in self.texts:
+            if IDENT in other.categories and _looks_like_ident(text):
+                return True
+        return False
+
+
+def _category_of(token: Token) -> str | None:
+    if token.kind is TokenKind.IDENT:
+        return IDENT
+    if token.kind is TokenKind.INT_LIT or token.kind is TokenKind.FLOAT_LIT:
+        return NUMBER
+    if token.kind is TokenKind.STRING_LIT:
+        return STRING
+    if token.kind is TokenKind.CHAR_LIT:
+        return CHAR
+    return None
+
+
+def _looks_like_ident(text: str) -> bool:
+    return bool(text) and (text[0].isalpha() or text[0] == "_")
+
+
+# ---------------------------------------------------------------------------
+# FIRST sets of the primitive AST categories
+# ---------------------------------------------------------------------------
+
+_EXPR_PUNCT = {"(", "*", "&", "+", "-", "!", "~", "++", "--"}
+_TYPE_KEYWORDS = {
+    "void", "char", "short", "int", "long", "float", "double",
+    "signed", "unsigned", "struct", "union", "enum", "const", "volatile",
+}
+_STORAGE_KEYWORDS = {"auto", "register", "static", "extern", "typedef"}
+_STMT_KEYWORDS = {
+    "if", "while", "do", "for", "switch", "return", "break",
+    "continue", "goto", "case", "default",
+}
+
+_PRIM_FIRST: dict[str, FirstSet] = {
+    "exp": FirstSet(
+        _EXPR_PUNCT | {"sizeof"}, {IDENT, NUMBER, STRING, CHAR}
+    ),
+    "num": FirstSet(set(), {NUMBER}),
+    "id": FirstSet(set(), {IDENT}),
+    "stmt": FirstSet(
+        _EXPR_PUNCT | {"sizeof", "{", ";"} | _STMT_KEYWORDS,
+        {IDENT, NUMBER, STRING, CHAR},
+    ),
+    "decl": FirstSet(_TYPE_KEYWORDS | _STORAGE_KEYWORDS, {IDENT}),
+    "type_spec": FirstSet(_TYPE_KEYWORDS, {IDENT}),
+    "declarator": FirstSet({"*", "("}, {IDENT}),
+    "init_declarator": FirstSet({"*", "("}, {IDENT}),
+}
+
+
+def first_of_pspec(pspec: Pspec) -> FirstSet:
+    """FIRST set of a parameter specifier."""
+    if isinstance(pspec, SpecPrim):
+        return _PRIM_FIRST[pspec.name]
+    if isinstance(pspec, SpecList):
+        return first_of_pspec(pspec.element)
+    if isinstance(pspec, SpecOptional):
+        if pspec.guard is not None:
+            return FirstSet({pspec.guard})
+        return first_of_pspec(pspec.element)
+    if isinstance(pspec, SpecTuple):
+        return first_of_sequence(list(pspec.pattern.elements))
+    raise TypeError(f"unknown pspec {type(pspec).__name__}")
+
+
+def first_of_element(element: PatternElement) -> FirstSet:
+    """FIRST set of one pattern element."""
+    if isinstance(element, TokenElement):
+        return FirstSet({element.text})
+    if isinstance(element, ParamElement):
+        return first_of_pspec(element.pspec)
+    raise TypeError(f"unknown element {type(element).__name__}")
+
+
+def is_nullable(element: PatternElement) -> bool:
+    """True when the element can match the empty token sequence."""
+    if isinstance(element, TokenElement):
+        return False
+    pspec = element.pspec  # type: ignore[union-attr]
+    return _pspec_nullable(pspec)
+
+
+def _pspec_nullable(pspec: Pspec) -> bool:
+    if isinstance(pspec, SpecOptional):
+        return True
+    if isinstance(pspec, SpecList):
+        return not pspec.at_least_one
+    if isinstance(pspec, SpecTuple):
+        return all(is_nullable(e) for e in pspec.pattern.elements)
+    return False
+
+
+def first_of_sequence(elements: list[PatternElement]) -> FirstSet:
+    """FIRST of a pattern suffix; open-ended if the suffix is nullable."""
+    result = FirstSet()
+    for element in elements:
+        result = result.union(first_of_element(element))
+        if not is_nullable(element):
+            return result
+    result.open_ended = True
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+#: Tokens that *continue* an expression: a literal pattern token from
+#: this set placed right after an ``exp`` parameter would be consumed
+#: into the actual parameter instead of terminating it.
+EXPRESSION_CONTINUATIONS = frozenset(
+    {
+        "(", "[", ".", "->", "++", "--", "?",
+        "*", "/", "%", "+", "-", "<<", ">>", "<", ">", "<=", ">=",
+        "==", "!=", "&", "^", "|", "&&", "||",
+        "=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=", "^=",
+        "|=",
+    }
+)
+
+
+def validate_pattern(pattern: Pattern, macro_name: str = "<macro>") -> None:
+    """Raise :class:`PatternLookaheadError` on ambiguous patterns."""
+    _validate_sequence(list(pattern.elements), macro_name, top_level=True)
+    _validate_exp_follow(list(pattern.elements), macro_name)
+
+
+def _ends_with_exp(pspec: Pspec) -> bool:
+    if isinstance(pspec, SpecPrim):
+        return pspec.name == "exp"
+    if isinstance(pspec, (SpecList, SpecOptional)):
+        return _ends_with_exp(pspec.element)
+    if isinstance(pspec, SpecTuple):
+        params = [
+            e for e in pspec.pattern.elements if isinstance(e, ParamElement)
+        ]
+        last = pspec.pattern.elements[-1]
+        if isinstance(last, ParamElement):
+            return _ends_with_exp(last.pspec)
+        return False
+    return False
+
+
+def _validate_exp_follow(
+    elements: list[PatternElement], macro_name: str
+) -> None:
+    """An expression actual would swallow a following operator token."""
+    for i, element in enumerate(elements):
+        if not isinstance(element, ParamElement):
+            continue
+        pspec = element.pspec
+        if isinstance(pspec, SpecList) and pspec.separator is not None:
+            if (
+                _ends_with_exp(pspec.element)
+                and pspec.separator in EXPRESSION_CONTINUATIONS
+                and pspec.separator != ","
+            ):
+                raise PatternLookaheadError(
+                    f"macro {macro_name!r}: the separator "
+                    f"{pspec.separator!r} after the expression elements "
+                    f"of {element.name!r} would be parsed as part of "
+                    "the expression"
+                )
+        if isinstance(pspec, SpecTuple):
+            _validate_exp_follow(
+                list(pspec.pattern.elements), macro_name
+            )
+        if not _ends_with_exp(pspec):
+            continue
+        if i + 1 < len(elements):
+            nxt = elements[i + 1]
+            if (
+                isinstance(nxt, TokenElement)
+                and nxt.text in EXPRESSION_CONTINUATIONS
+            ):
+                raise PatternLookaheadError(
+                    f"macro {macro_name!r}: the token {nxt.text!r} "
+                    f"following the expression parameter "
+                    f"{element.name!r} continues an expression and "
+                    "would be consumed into the actual parameter; "
+                    "choose a non-operator delimiter"
+                )
+            if isinstance(nxt, ParamElement) and isinstance(
+                nxt.pspec, SpecOptional
+            ) and nxt.pspec.guard in EXPRESSION_CONTINUATIONS:
+                raise PatternLookaheadError(
+                    f"macro {macro_name!r}: the guard token "
+                    f"{nxt.pspec.guard!r} following the expression "
+                    f"parameter {element.name!r} continues an "
+                    "expression"
+                )
+
+
+def _validate_sequence(
+    elements: list[PatternElement], macro_name: str, top_level: bool
+) -> None:
+    for i, element in enumerate(elements):
+        follow = first_of_sequence(elements[i + 1 :])
+        if isinstance(element, ParamElement):
+            _validate_pspec(element.pspec, follow, macro_name, element.name)
+
+
+def _validate_pspec(
+    pspec: Pspec, follow: FirstSet, macro_name: str, param: str
+) -> None:
+    if isinstance(pspec, SpecPrim):
+        return
+    if isinstance(pspec, SpecList):
+        _validate_pspec(pspec.element, follow, macro_name, param)
+        if pspec.separator is None:
+            first = first_of_pspec(pspec.element)
+            if follow.open_ended:
+                raise PatternLookaheadError(
+                    f"macro {macro_name!r}: the end of the unseparated "
+                    f"repetition binding {param!r} cannot be determined — "
+                    "it is followed only by optional elements or the end "
+                    "of the pattern; add a separator or a following token"
+                )
+            if first.intersects(follow):
+                raise PatternLookaheadError(
+                    f"macro {macro_name!r}: cannot detect the end of the "
+                    f"repetition binding {param!r} with one token of "
+                    "lookahead — an element may start with the same token "
+                    "that follows the repetition"
+                )
+        else:
+            if follow.contains_text(pspec.separator):
+                raise PatternLookaheadError(
+                    f"macro {macro_name!r}: the separator "
+                    f"{pspec.separator!r} of the repetition binding "
+                    f"{param!r} also follows it; one-token lookahead "
+                    "cannot decide whether to continue"
+                )
+        return
+    if isinstance(pspec, SpecOptional):
+        if pspec.guard is not None:
+            if follow.contains_text(pspec.guard):
+                raise PatternLookaheadError(
+                    f"macro {macro_name!r}: the guard token "
+                    f"{pspec.guard!r} of the optional element binding "
+                    f"{param!r} may also begin what follows it"
+                )
+            _validate_pspec(pspec.element, follow, macro_name, param)
+            return
+        first = first_of_pspec(pspec.element)
+        if follow.open_ended:
+            raise PatternLookaheadError(
+                f"macro {macro_name!r}: the presence of the optional "
+                f"element binding {param!r} cannot be determined — it is "
+                "followed only by optional elements or the end of the "
+                "pattern; add a guard token or a following token"
+            )
+        if first.intersects(follow):
+            raise PatternLookaheadError(
+                f"macro {macro_name!r}: cannot detect the presence of the "
+                f"optional element binding {param!r} with one token of "
+                "lookahead"
+            )
+        _validate_pspec(pspec.element, follow, macro_name, param)
+        return
+    if isinstance(pspec, SpecTuple):
+        _validate_sequence(
+            list(pspec.pattern.elements), macro_name, top_level=False
+        )
+        return
+    raise TypeError(f"unknown pspec {type(pspec).__name__}")

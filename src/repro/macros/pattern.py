@@ -1,0 +1,318 @@
+"""The macro pattern language (paper section 2).
+
+A macro header's pattern specifies the concrete syntax of invocations:
+literal ("buzz") tokens interleaved with typed parameters.  Parameter
+specifiers (``pspec``) support the paper's full grammar::
+
+    pattern:         pattern-element ...
+    pattern-element: token
+                     $$ pspec :: identifier
+    pspec:           ast-specifier
+                     + pspec            list of 1 or more
+                     + / token pspec    list of 1 or more + separator
+                     * pspec            list of 0 or more
+                     * / token pspec    list of 0 or more + separator
+                     ? pspec            optional element
+                     ? token pspec      optional preamble + element
+                     ( pattern )        tuple
+
+Patterns are parsed once, at macro-definition time, into the dataclass
+structures below; each parameter knows the
+:class:`~repro.asttypes.types.AstType` it binds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asttypes.types import (
+    AstType,
+    ListType,
+    TupleType,
+    prim,
+)
+from repro.errors import MacroSyntaxError
+from repro.lexer.tokens import AST_SPECIFIER_NAMES, Token, TokenKind
+
+
+# ---------------------------------------------------------------------------
+# Pattern structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Pspec:
+    """Base class of parameter specifiers."""
+
+    def binding_type(self) -> AstType:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class SpecPrim(Pspec):
+    """A bare AST specifier: the parameter binds one AST of this type."""
+
+    name: str
+
+    def binding_type(self) -> AstType:
+        return prim(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class SpecList(Pspec):
+    """``+``/``*`` repetition, optionally with a separator token."""
+
+    element: Pspec
+    at_least_one: bool
+    separator: str | None = None
+
+    def binding_type(self) -> AstType:
+        return ListType(self.element.binding_type())
+
+    def __str__(self) -> str:
+        star = "+" if self.at_least_one else "*"
+        sep = f"/{self.separator} " if self.separator else " "
+        return f"{star}{sep}{self.element}"
+
+
+@dataclass(frozen=True, slots=True)
+class SpecOptional(Pspec):
+    """``?`` optional element, optionally guarded by a preamble token."""
+
+    element: Pspec
+    guard: str | None = None
+
+    def binding_type(self) -> AstType:
+        # An absent optional binds the meta-value NULL; its static type
+        # is the element's type.
+        return self.element.binding_type()
+
+    def __str__(self) -> str:
+        guard = f"{self.guard} " if self.guard else ""
+        return f"? {guard}{self.element}"
+
+
+@dataclass(frozen=True, slots=True)
+class SpecTuple(Pspec):
+    """A parenthesized sub-pattern binding a named tuple."""
+
+    pattern: "Pattern"
+
+    def binding_type(self) -> AstType:
+        fields = tuple(
+            (p.name, p.pspec.binding_type())
+            for p in self.pattern.elements
+            if isinstance(p, ParamElement)
+        )
+        return TupleType(fields)
+
+    def __str__(self) -> str:
+        return f"({self.pattern.source_text})"
+
+
+@dataclass(frozen=True, slots=True)
+class PatternElement:
+    """Base class of pattern elements."""
+
+
+@dataclass(frozen=True, slots=True)
+class TokenElement(PatternElement):
+    """A literal token that must appear verbatim in invocations."""
+
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True, slots=True)
+class ParamElement(PatternElement):
+    """``$$ pspec :: identifier`` — a typed actual parameter."""
+
+    pspec: Pspec
+    name: str
+
+    def __str__(self) -> str:
+        return f"$${self.pspec}::{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Pattern:
+    """A compiled macro pattern."""
+
+    elements: tuple[PatternElement, ...]
+    source_text: str = field(default="", compare=False)
+
+    def params(self) -> list[ParamElement]:
+        """All parameters, including those nested in tuples."""
+        out: list[ParamElement] = []
+        for element in self.elements:
+            if isinstance(element, ParamElement):
+                out.append(element)
+                if isinstance(element.pspec, SpecTuple):
+                    out.extend(element.pspec.pattern.params())
+                elif isinstance(element.pspec, SpecList) and isinstance(
+                    element.pspec.element, SpecTuple
+                ):
+                    # Tuple fields inside repetitions are not bound at
+                    # the top level; they're accessed via the tuple.
+                    pass
+        return out
+
+    def binding_types(self) -> dict[str, AstType]:
+        """Name -> type for every top-level parameter of the pattern."""
+        out: dict[str, AstType] = {}
+        for element in self.elements:
+            if isinstance(element, ParamElement):
+                if element.name in out:
+                    raise MacroSyntaxError(
+                        f"duplicate pattern parameter {element.name!r}"
+                    )
+                out[element.name] = element.pspec.binding_type()
+        return out
+
+    def __str__(self) -> str:
+        return self.source_text or " ".join(str(e) for e in self.elements)
+
+
+# ---------------------------------------------------------------------------
+# Pattern parsing
+# ---------------------------------------------------------------------------
+
+#: Punctuation that begins a compound pspec.
+_PSPEC_PUNCT = {"+", "*", "?", "("}
+
+
+class PatternParser:
+    """Parses a pattern from a token slice (between ``{|`` and ``|}``).
+
+    The caller (the main parser) hands over the raw tokens; this class
+    is deliberately independent of the main parser so patterns can also
+    be compiled from strings in tests and tooling.
+    """
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self) -> Token | None:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise MacroSyntaxError("unexpected end of macro pattern")
+        self.pos += 1
+        return token
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_pattern(self, stop: str | None = None) -> Pattern:
+        elements: list[PatternElement] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if stop is not None and token.is_punct(stop):
+                break
+            elements.append(self.parse_element())
+        if not elements:
+            raise MacroSyntaxError("macro pattern must not be empty")
+        text = " ".join(str(e) for e in elements)
+        return Pattern(tuple(elements), text)
+
+    def parse_element(self) -> PatternElement:
+        token = self._next()
+        if token.kind is TokenKind.DOLLAR_DOLLAR:
+            pspec = self.parse_pspec()
+            sep = self._next()
+            if sep.kind is not TokenKind.COLON_COLON:
+                raise MacroSyntaxError(
+                    f"expected '::' after parameter specifier, got "
+                    f"{sep.describe()}",
+                    sep.location,
+                )
+            name = self._next()
+            if name.kind is not TokenKind.IDENT:
+                raise MacroSyntaxError(
+                    f"expected parameter name after '::', got {name.describe()}",
+                    name.location,
+                )
+            return ParamElement(pspec, name.text)
+        if token.kind in (TokenKind.PUNCT, TokenKind.IDENT, TokenKind.KEYWORD):
+            return TokenElement(token.text)
+        raise MacroSyntaxError(
+            f"token {token.describe()} cannot appear in a macro pattern",
+            token.location,
+        )
+
+    def parse_pspec(self) -> Pspec:
+        token = self._next()
+        if token.is_punct("+") or token.is_punct("*"):
+            at_least_one = token.text == "+"
+            separator = None
+            if self._peek() is not None and self._peek().is_punct("/"):
+                self._next()
+                sep_token = self._next()
+                separator = sep_token.text
+            element = self.parse_pspec()
+            return SpecList(element, at_least_one, separator)
+        if token.is_punct("?"):
+            nxt = self._peek()
+            if nxt is None:
+                raise MacroSyntaxError(
+                    "unexpected end of pattern after '?'", token.location
+                )
+            if self._starts_pspec(nxt):
+                return SpecOptional(self.parse_pspec(), guard=None)
+            guard = self._next()
+            return SpecOptional(self.parse_pspec(), guard=guard.text)
+        if token.is_punct("("):
+            pattern = self.parse_pattern(stop=")")
+            close = self._next()
+            if not close.is_punct(")"):
+                raise MacroSyntaxError(
+                    "expected ')' closing tuple sub-pattern", close.location
+                )
+            return SpecTuple(pattern)
+        if (
+            token.kind in (TokenKind.IDENT, TokenKind.KEYWORD)
+            and token.text in AST_SPECIFIER_NAMES
+        ):
+            return SpecPrim(token.text)
+        raise MacroSyntaxError(
+            f"expected parameter specifier, got {token.describe()}",
+            token.location,
+        )
+
+    @staticmethod
+    def _starts_pspec(token: Token) -> bool:
+        if token.kind is TokenKind.PUNCT and token.text in _PSPEC_PUNCT:
+            return True
+        return (
+            token.kind in (TokenKind.IDENT, TokenKind.KEYWORD)
+            and token.text in AST_SPECIFIER_NAMES
+        )
+
+
+def parse_pattern_text(text: str) -> Pattern:
+    """Compile a pattern from source text (testing/tooling convenience)."""
+    from repro.lexer.scanner import tokenize
+
+    tokens = tokenize(text)
+    tokens = tokens[:-1]  # drop EOF
+    parser = PatternParser(tokens)
+    pattern = parser.parse_pattern()
+    if parser.pos != len(parser.tokens):
+        extra = parser.tokens[parser.pos]
+        raise MacroSyntaxError(
+            f"trailing tokens in pattern: {extra.describe()}", extra.location
+        )
+    return pattern

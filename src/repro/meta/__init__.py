@@ -1,0 +1,8 @@
+"""The embedded meta-language interpreter (a C subset + AST values)."""
+
+from repro.meta.frames import NULL, Frame
+from repro.meta.interp import Interpreter
+from repro.meta.values import Closure, truthy, values_equal
+
+__all__ = ["Closure", "Frame", "Interpreter", "NULL", "truthy",
+           "values_equal"]

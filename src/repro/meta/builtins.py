@@ -1,0 +1,347 @@
+"""Runtime implementations of the meta-language builtin functions.
+
+These mirror the static signatures in
+:mod:`repro.asttypes.check.BUILTIN_SIGNATURES`; the expansion-time
+dynamic checks here are a safety net — the definition-time checker
+should have rejected ill-typed calls already.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.cast import nodes
+from repro.cast.base import Node
+from repro.errors import SYNTHETIC, ExpansionError, MetaInterpError
+from repro.meta.frames import NULL, NullValue
+from repro.meta.values import Closure, describe_value
+
+if TYPE_CHECKING:
+    from repro.meta.interp import Interpreter
+
+BuiltinImpl = Callable[["Interpreter", list[Any], Any], Any]
+
+
+def _ident_text(value: Any, what: str, loc: Any) -> str:
+    if isinstance(value, nodes.Identifier):
+        return value.name
+    if isinstance(value, str):
+        return value
+    raise MetaInterpError(
+        f"{what} expects an identifier or string, got "
+        f"{describe_value(value)}",
+        loc,
+    )
+
+
+def _require_list(value: Any, what: str, loc: Any) -> list:
+    if isinstance(value, list):
+        return value
+    raise MetaInterpError(
+        f"{what} expects a list, got {describe_value(value)}", loc
+    )
+
+
+# ---------------------------------------------------------------------------
+# Identifier construction
+# ---------------------------------------------------------------------------
+
+
+def _bi_gensym(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    prefix = "g"
+    if args:
+        prefix = _ident_text(args[0], "gensym", loc)
+    return interp.gensym(prefix)
+
+
+def _bi_concat_ids(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    if len(args) != 2:
+        raise MetaInterpError("concat_ids takes two identifiers", loc)
+    a = _ident_text(args[0], "concat_ids", loc)
+    b = _ident_text(args[1], "concat_ids", loc)
+    return nodes.Identifier(a + b, loc=SYNTHETIC)
+
+
+def _bi_symbolconc(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    if not args:
+        raise MetaInterpError("symbolconc needs at least one part", loc)
+    parts = [_ident_text(a, "symbolconc", loc) for a in args]
+    return nodes.Identifier("".join(parts), loc=SYNTHETIC)
+
+
+def _bi_make_id(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    if len(args) != 1 or not isinstance(args[0], str):
+        raise MetaInterpError("make_id takes one string", loc)
+    return nodes.Identifier(args[0], loc=SYNTHETIC)
+
+
+def _bi_pstring(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    if len(args) != 1:
+        raise MetaInterpError("pstring takes one identifier", loc)
+    return _ident_text(args[0], "pstring", loc)
+
+
+def _bi_make_num(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    if len(args) != 1 or not isinstance(args[0], int):
+        raise MetaInterpError("make_num takes one int", loc)
+    return nodes.IntLit(args[0], loc=SYNTHETIC)
+
+
+def _bi_num_value(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    if len(args) != 1 or not isinstance(args[0], nodes.IntLit):
+        raise MetaInterpError("num_value takes one num AST", loc)
+    return args[0].value
+
+
+# ---------------------------------------------------------------------------
+# Lists
+# ---------------------------------------------------------------------------
+
+
+def _bi_length(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    if len(args) != 1:
+        raise MetaInterpError("length takes one list", loc)
+    return len(_require_list(args[0], "length", loc))
+
+
+def _bi_is_empty(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    if len(args) != 1:
+        raise MetaInterpError("is_empty takes one list", loc)
+    return int(len(_require_list(args[0], "is_empty", loc)) == 0)
+
+
+def _bi_list(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    out: list[Any] = []
+    for value in args:
+        if isinstance(value, list):
+            out.extend(value)
+        elif isinstance(value, NullValue):
+            continue
+        else:
+            out.append(value)
+    return out
+
+
+def _bi_map(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    if len(args) != 2:
+        raise MetaInterpError("map takes a function and a list", loc)
+    fn, seq = args
+    if not isinstance(fn, Closure):
+        raise MetaInterpError(
+            f"map's first argument must be a function, got "
+            f"{describe_value(fn)}",
+            loc,
+        )
+    seq = _require_list(seq, "map", loc)
+    return [interp.call_closure(fn, [item], loc) for item in seq]
+
+
+def _bi_append(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    out: list[Any] = []
+    for value in args:
+        out.extend(_require_list(value, "append", loc))
+    return out
+
+
+def _bi_cons(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    if len(args) != 2:
+        raise MetaInterpError("cons takes an element and a list", loc)
+    return [args[0]] + _require_list(args[1], "cons", loc)
+
+
+def _bi_first(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    seq = _require_list(args[0] if args else None, "first", loc)
+    if not seq:
+        raise MetaInterpError("first of an empty list", loc)
+    return seq[0]
+
+
+def _bi_rest(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    seq = _require_list(args[0] if args else None, "rest", loc)
+    if not seq:
+        raise MetaInterpError("rest of an empty list", loc)
+    return seq[1:]
+
+
+def _bi_nth(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    if len(args) != 2 or not isinstance(args[1], int):
+        raise MetaInterpError("nth takes a list and an int", loc)
+    seq = _require_list(args[0], "nth", loc)
+    index = args[1]
+    if index < 0 or index >= len(seq):
+        raise MetaInterpError(
+            f"nth index {index} out of range (list of {len(seq)})", loc
+        )
+    return seq[index]
+
+
+def _bi_reverse(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    seq = _require_list(args[0] if args else None, "reverse", loc)
+    return list(reversed(seq))
+
+
+# ---------------------------------------------------------------------------
+# Predicates, strings, diagnostics
+# ---------------------------------------------------------------------------
+
+
+def _bi_simple_expression(
+    interp: "Interpreter", args: list[Any], loc: Any
+) -> Any:
+    """True when evaluating the expression twice is harmless.
+
+    Used by the paper's ``throw`` macro to avoid introducing a
+    temporary for identifiers and literals.
+    """
+    if len(args) != 1:
+        raise MetaInterpError("simple_expression takes one expression", loc)
+    expr = args[0]
+    return int(
+        isinstance(
+            expr,
+            (nodes.Identifier, nodes.IntLit, nodes.FloatLit,
+             nodes.CharLit, nodes.StringLit),
+        )
+    )
+
+
+def _bi_eval_const(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    """Fold a C integer constant expression at expansion time."""
+    from repro.constfold import NotConstant, eval_const
+
+    if len(args) != 1 or not isinstance(args[0], Node):
+        raise MetaInterpError("eval_const takes one expression AST", loc)
+    try:
+        return eval_const(args[0])
+    except NotConstant as exc:
+        raise ExpansionError(
+            f"eval_const: {exc.message}", loc
+        ) from exc
+
+
+def _bi_type_of(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    """The declared C type specifier of an identifier at the invocation
+    site (semantic macros, paper section 5)."""
+    from repro.semantics import type_spec_of
+
+    if len(args) != 1:
+        raise MetaInterpError("type_of takes one identifier", loc)
+    name = _ident_text(args[0], "type_of", loc)
+    if interp.semantic_scope is None:
+        raise MetaInterpError(
+            "type_of: no semantic information available (not expanding "
+            "an invocation?)",
+            loc,
+        )
+    ts = type_spec_of(interp.semantic_scope, name)
+    if ts is None:
+        raise ExpansionError(
+            f"type_of: no declaration of {name!r} is in scope at the "
+            "invocation site",
+            loc,
+        )
+    return ts
+
+
+def _bi_has_type(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    if len(args) != 1:
+        raise MetaInterpError("has_type takes one identifier", loc)
+    name = _ident_text(args[0], "has_type", loc)
+    scope = interp.semantic_scope
+    return int(scope is not None and scope.lookup(name) is not None)
+
+
+def _bi_present(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    """1 when an optional pattern parameter was supplied, else 0."""
+    if len(args) != 1:
+        raise MetaInterpError("present takes one value", loc)
+    return int(not isinstance(args[0], NullValue))
+
+
+def _bi_same_id(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    if len(args) != 2:
+        raise MetaInterpError("same_id takes two identifiers", loc)
+    return int(
+        _ident_text(args[0], "same_id", loc)
+        == _ident_text(args[1], "same_id", loc)
+    )
+
+
+def _bi_strcmp(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    if len(args) != 2 or not all(isinstance(a, str) for a in args):
+        raise MetaInterpError("strcmp takes two strings", loc)
+    a, b = args
+    return 0 if a == b else (-1 if a < b else 1)
+
+
+def _bi_strlen(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    if len(args) != 1 or not isinstance(args[0], str):
+        raise MetaInterpError("strlen takes one string", loc)
+    return len(args[0])
+
+
+def _bi_ast_to_string(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    from repro.cast.printer import render_c
+
+    if len(args) != 1:
+        raise MetaInterpError("ast_to_string takes one AST", loc)
+    value = args[0]
+    if isinstance(value, Node):
+        return render_c(value)
+    if isinstance(value, list):
+        return "\n".join(
+            render_c(v) if isinstance(v, Node) else str(v) for v in value
+        )
+    return str(value)
+
+
+def _bi_error(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    parts = []
+    for value in args:
+        if isinstance(value, str):
+            parts.append(value)
+        else:
+            parts.append(describe_value(value))
+    raise ExpansionError("macro error(): " + " ".join(parts), loc)
+
+
+def _bi_warning(interp: "Interpreter", args: list[Any], loc: Any) -> Any:
+    parts = [
+        value if isinstance(value, str) else describe_value(value)
+        for value in args
+    ]
+    interp.warnings.append(" ".join(parts))
+    return NULL
+
+
+BUILTIN_IMPLS: dict[str, BuiltinImpl] = {
+    "gensym": _bi_gensym,
+    "concat_ids": _bi_concat_ids,
+    "symbolconc": _bi_symbolconc,
+    "make_id": _bi_make_id,
+    "pstring": _bi_pstring,
+    "id_name": _bi_pstring,
+    "make_num": _bi_make_num,
+    "num_value": _bi_num_value,
+    "length": _bi_length,
+    "is_empty": _bi_is_empty,
+    "list": _bi_list,
+    "map": _bi_map,
+    "append": _bi_append,
+    "cons": _bi_cons,
+    "first": _bi_first,
+    "rest": _bi_rest,
+    "nth": _bi_nth,
+    "reverse": _bi_reverse,
+    "simple_expression": _bi_simple_expression,
+    "present": _bi_present,
+    "type_of": _bi_type_of,
+    "has_type": _bi_has_type,
+    "eval_const": _bi_eval_const,
+    "same_id": _bi_same_id,
+    "strcmp": _bi_strcmp,
+    "strlen": _bi_strlen,
+    "ast_to_string": _bi_ast_to_string,
+    "error": _bi_error,
+    "warning": _bi_warning,
+}

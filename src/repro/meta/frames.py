@@ -1,0 +1,83 @@
+"""Runtime environments (frames) for the meta-language interpreter."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import MetaInterpError, SourceLocation
+
+
+class NullValue:
+    """The absent value: uninitialized AST variables, absent optionals."""
+
+    _instance: "NullValue | None" = None
+
+    def __new__(cls) -> "NullValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Singleton null.
+NULL = NullValue()
+
+
+class Frame:
+    """A chained mutable scope of meta-variable values."""
+
+    __slots__ = ("parent", "values")
+
+    def __init__(self, parent: "Frame | None" = None) -> None:
+        self.parent = parent
+        self.values: dict[str, Any] = {}
+
+    def child(self) -> "Frame":
+        return Frame(parent=self)
+
+    def define(self, name: str, value: Any) -> None:
+        self.values[name] = value
+
+    def lookup(self, name: str, loc: SourceLocation | None = None) -> Any:
+        frame: Frame | None = self
+        while frame is not None:
+            if name in frame.values:
+                return frame.values[name]
+            frame = frame.parent
+        raise MetaInterpError(f"unbound meta-variable {name!r}", loc)
+
+    def assign(
+        self, name: str, value: Any, loc: SourceLocation | None = None
+    ) -> None:
+        frame: Frame | None = self
+        while frame is not None:
+            if name in frame.values:
+                frame.values[name] = value
+                return
+            frame = frame.parent
+        raise MetaInterpError(
+            f"assignment to unbound meta-variable {name!r}", loc
+        )
+
+    def __contains__(self, name: str) -> bool:
+        frame: Frame | None = self
+        while frame is not None:
+            if name in frame.values:
+                return True
+            frame = frame.parent
+        return False
+
+    def names(self) -> Iterator[str]:
+        seen: set[str] = set()
+        frame: Frame | None = self
+        while frame is not None:
+            for name in frame.values:
+                if name not in seen:
+                    seen.add(name)
+                    yield name
+            frame = frame.parent

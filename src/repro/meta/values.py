@@ -1,0 +1,209 @@
+"""Runtime value model of the meta-language.
+
+Meta-values are:
+
+* AST nodes (instances of :class:`repro.cast.base.Node`) for the
+  primitive AST types;
+* Python ``list`` for AST lists;
+* :class:`repro.cast.nodes.TupleValue` for tuples;
+* Python ``int`` / ``float`` / ``str`` for C scalars;
+* :data:`repro.meta.frames.NULL` for the absent value;
+* :class:`Closure` for meta-functions and anonymous functions.
+
+This module also implements the runtime side of the predefined AST
+component accessors (``stmt->declarations`` and friends) and the
+truthiness / equality rules the interpreter uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cast import ctypes, decls, nodes, stmts
+from repro.cast.base import Node
+from repro.errors import MetaInterpError, SourceLocation
+from repro.meta.frames import NULL, Frame, NullValue
+
+
+@dataclass(slots=True)
+class Closure:
+    """A callable meta-value: meta-function or anonymous function."""
+
+    name: str
+    params: list[str]
+    body: Any  # CompoundStmt for meta-functions, expression for anon fns
+    frame: Frame
+    is_anon: bool = False
+
+
+def truthy(value: Any, loc: SourceLocation | None = None) -> bool:
+    """C truthiness for meta-values."""
+    if isinstance(value, NullValue):
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return True  # a char* is a non-null pointer
+    if isinstance(value, list):
+        return len(value) != 0
+    if isinstance(value, Node):
+        return True
+    raise MetaInterpError(
+        f"value of type {type(value).__name__} has no truth value", loc
+    )
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """`==` on meta-values; AST nodes compare structurally."""
+    if isinstance(a, NullValue) or isinstance(b, NullValue):
+        return isinstance(a, NullValue) and isinstance(b, NullValue)
+    if isinstance(a, Node) and isinstance(b, Node):
+        return a == b
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(
+            values_equal(x, y) for x, y in zip(a, b)
+        )
+    return a == b
+
+
+def describe_value(value: Any) -> str:
+    """Short description for error messages."""
+    if isinstance(value, NullValue):
+        return "NULL"
+    if isinstance(value, Node):
+        return f"<{type(value).__name__} AST>"
+    if isinstance(value, list):
+        return f"<list of {len(value)}>"
+    if isinstance(value, Closure):
+        return f"<function {value.name}>"
+    return repr(value)
+
+
+# ---------------------------------------------------------------------------
+# AST component extraction (runtime side of check.COMPONENT_TYPES)
+# ---------------------------------------------------------------------------
+
+
+def extract_component(
+    value: Node, name: str, loc: SourceLocation | None = None
+) -> Any:
+    """Evaluate ``value->name`` for the predefined component accessors."""
+    # Statements ------------------------------------------------------
+    if name == "declarations" and isinstance(value, stmts.CompoundStmt):
+        return list(value.decls)
+    if name == "statements" and isinstance(value, stmts.CompoundStmt):
+        return list(value.stmts)
+    if name == "expression":
+        if isinstance(value, stmts.ExprStmt):
+            return value.expr
+        if isinstance(value, stmts.ReturnStmt):
+            return value.expr if value.expr is not None else NULL
+        if isinstance(value, stmts.SwitchStmt):
+            return value.expr
+    if name == "cond":
+        if isinstance(value, (stmts.IfStmt, stmts.WhileStmt,
+                              stmts.DoWhileStmt)):
+            return value.cond
+        if isinstance(value, stmts.ForStmt):
+            return value.cond if value.cond is not None else NULL
+        if isinstance(value, nodes.ConditionalOp):
+            return value.cond
+    if name == "body" and isinstance(
+        value, (stmts.WhileStmt, stmts.DoWhileStmt, stmts.ForStmt,
+                stmts.SwitchStmt)
+    ):
+        return value.body
+    if name == "then" and isinstance(value, stmts.IfStmt):
+        return value.then
+    if name == "otherwise" and isinstance(value, stmts.IfStmt):
+        return value.otherwise if value.otherwise is not None else NULL
+
+    # Declarations ----------------------------------------------------
+    if isinstance(value, decls.Declaration):
+        if name == "type_spec":
+            if value.specs.type_spec is None:
+                return NULL
+            return value.specs.type_spec
+        if name == "declarators":
+            return list(value.init_declarators)
+        if name == "name":
+            for item in value.init_declarators:
+                if isinstance(item, decls.InitDeclarator):
+                    ident = _declarator_identifier(item.declarator)
+                    if ident is not None:
+                        return ident
+            raise MetaInterpError(
+                "declaration declares no name", loc
+            )
+
+    # Init declarators / declarators ------------------------------------
+    if isinstance(value, decls.InitDeclarator):
+        if name == "declarator":
+            return value.declarator
+        if name == "init":
+            return value.init if value.init is not None else NULL
+    if name == "name":
+        # id->name yields the spelling (a string, per COMPONENT_TYPES).
+        if isinstance(value, nodes.Identifier):
+            return value.name
+        ident = _declarator_identifier(value)
+        if ident is not None:
+            return ident
+
+    # Expressions -------------------------------------------------------
+    if isinstance(value, (nodes.BinaryOp,)):
+        if name == "left":
+            return value.left
+        if name == "right":
+            return value.right
+        if name == "op":
+            return value.op
+    if isinstance(value, nodes.AssignOp):
+        if name == "left":
+            return value.target
+        if name == "right":
+            return value.value
+        if name == "op":
+            return value.op
+    if isinstance(value, (nodes.UnaryOp, nodes.PostfixOp)):
+        if name == "operand":
+            return value.operand
+        if name == "op":
+            return value.op
+    if isinstance(value, nodes.Cast) and name == "operand":
+        return value.operand
+    if isinstance(value, nodes.Call):
+        if name == "func":
+            return value.func
+        if name == "args":
+            return list(value.args)
+        if name == "name" and isinstance(value.func, nodes.Identifier):
+            return value.func
+    if isinstance(value, nodes.Identifier) and name == "name":
+        return value.name
+
+    raise MetaInterpError(
+        f"cannot extract component {name!r} from "
+        f"{type(value).__name__}",
+        loc,
+    )
+
+
+def _declarator_identifier(declarator: Node) -> nodes.Identifier | None:
+    current = declarator
+    while True:
+        if isinstance(current, decls.NameDeclarator):
+            return nodes.Identifier(current.name, loc=current.loc)
+        if isinstance(current, nodes.Identifier):
+            return current
+        if isinstance(
+            current,
+            (decls.PointerDeclarator, decls.ArrayDeclarator,
+             decls.FuncDeclarator),
+        ):
+            current = current.inner
+            continue
+        return None

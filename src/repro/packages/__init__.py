@@ -1,0 +1,41 @@
+"""Macro packages: the paper's section 4 examples as a library.
+
+Every package ships its macro definitions as macro-language *source*
+(the meta-program is written in C-plus-templates, compiled by MS2
+itself — not in Python) plus a ``register(mp)`` helper.
+
+>>> from repro import MacroProcessor
+>>> from repro.packages import exceptions, painting
+>>> mp = MacroProcessor()
+>>> exceptions.register(mp)
+>>> painting.register(mp, protected=True)
+"""
+
+from repro.packages import (  # noqa: F401
+    contracts,
+    dispatch,
+    dynbind,
+    enumio,
+    exceptions,
+    loops,
+    painting,
+    portvm,
+    semantic,
+    statemachine,
+    structio,
+)
+
+from repro.engine import MacroProcessor
+
+ALL_PACKAGES = [exceptions, painting, dynbind, enumio, loops, structio]
+
+
+def load_standard(mp: MacroProcessor) -> None:
+    """Load the exception, painting (protected), dynamic-binding,
+    enum-IO, loop, and struct-IO packages into ``mp``."""
+    exceptions.register(mp)
+    painting.register(mp, protected=True)
+    dynbind.register(mp)
+    enumio.register(mp)
+    loops.register(mp)
+    structio.register(mp)

@@ -1,0 +1,6 @@
+"""The re-entrant recursive-descent parser for C + the macro language."""
+
+from repro.parser.core import MacroHost, Parser
+from repro.parser.stream import TokenStream
+
+__all__ = ["MacroHost", "Parser", "TokenStream"]

@@ -1,0 +1,290 @@
+"""Expression parsing (operator-precedence, as in the paper's parser).
+
+The paper's parser "is a hand-written recursive descent parser at the
+declaration and statement levels, but a bottom-up precedence parser at
+the expression level"; this mixin implements the expression level via
+precedence climbing over the standard C operator table.
+
+The mixin expects its host (:class:`repro.parser.core.Parser`) to
+provide token plumbing (``peek``/``next_token``), type-name detection,
+template/meta mode flags, placeholder handling, backquote parsing, and
+macro-invocation parsing.
+"""
+
+from __future__ import annotations
+
+from repro.asttypes.types import EXP, ID, NUM, ListType
+from repro.cast import nodes
+from repro.cast.base import Node
+from repro.errors import ParseError
+from repro.lexer.tokens import Token, TokenKind
+
+#: Binary operator precedence (higher binds tighter); all left-assoc.
+BINARY_PRECEDENCE = {
+    "||": 4, "&&": 5, "|": 6, "^": 7, "&": 8,
+    "==": 9, "!=": 9,
+    "<": 10, ">": 10, "<=": 10, ">=": 10,
+    "<<": 11, ">>": 11,
+    "+": 12, "-": 12,
+    "*": 13, "/": 13, "%": 13,
+}
+
+_ASSIGN_OPS = nodes.ASSIGN_OPS
+_PREFIX_OPS = ("+", "-", "*", "&", "!", "~", "++", "--")
+
+
+class ExpressionParserMixin:
+    """Precedence-climbing expression parser for C + meta-expressions."""
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> Node:
+        """Full expression, including the comma operator."""
+        left = self.parse_assignment()
+        while self.peek().is_punct(","):
+            loc = self.next_token().location
+            right = self.parse_assignment()
+            left = nodes.CommaOp(left, right, loc=loc)
+        return left
+
+    def parse_assignment(self) -> Node:
+        """Assignment-expression (no top-level comma)."""
+        left = self.parse_conditional()
+        token = self.peek()
+        if token.kind is TokenKind.PUNCT and token.text in _ASSIGN_OPS:
+            op = self.next_token()
+            right = self.parse_assignment()
+            return nodes.AssignOp(op.text, left, right, loc=op.location)
+        return left
+
+    def parse_conditional(self) -> Node:
+        cond = self.parse_binary(0)
+        if self.peek().is_punct("?"):
+            loc = self.next_token().location
+            then = self.parse_expression()
+            self.stream.expect_punct(":")
+            otherwise = self.parse_conditional()
+            return nodes.ConditionalOp(cond, then, otherwise, loc=loc)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> Node:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind is not TokenKind.PUNCT:
+                return left
+            prec = BINARY_PRECEDENCE.get(token.text)
+            if prec is None or prec < min_prec:
+                return left
+            op = self.next_token()
+            right = self.parse_binary(prec + 1)
+            left = nodes.BinaryOp(op.text, left, right, loc=op.location)
+
+    # ------------------------------------------------------------------
+    # Unary / postfix / primary
+    # ------------------------------------------------------------------
+
+    def parse_unary(self) -> Node:
+        token = self.peek()
+        if token.is_keyword("sizeof"):
+            self.next_token()
+            if self.peek().is_punct("(") and self.starts_type_name(
+                self.peek(1)
+            ):
+                self.stream.expect_punct("(")
+                type_name = self.parse_type_name()
+                self.stream.expect_punct(")")
+                return nodes.SizeofType(type_name, loc=token.location)
+            operand = self.parse_unary()
+            return nodes.SizeofExpr(operand, loc=token.location)
+        if token.kind is TokenKind.PUNCT and token.text in _PREFIX_OPS:
+            self.next_token()
+            operand = self.parse_unary()
+            return nodes.UnaryOp(token.text, operand, loc=token.location)
+        if token.is_punct("(") and self.starts_type_name(self.peek(1)):
+            result = self.parse_cast_or_anon_function()
+            if result is not None:
+                return result
+        return self.parse_postfix()
+
+    def parse_cast_or_anon_function(self) -> Node | None:
+        """Disambiguate ``(type) e`` casts from ``(decls expr)`` functions.
+
+        In meta-mode, a parenthesis followed by declaration specifiers
+        may open either a cast or an anonymous function; a tentative
+        parse of the first declaration decides (``;`` means function,
+        ``)`` means cast).  Returns None when the tentative parse shows
+        this is neither (caller falls through to a parenthesized
+        expression).
+        """
+        state = self.stream.save()
+        open_paren = self.stream.expect_punct("(")
+        try:
+            type_name = self.parse_type_name()
+        except ParseError:
+            self.stream.restore(state)
+            return None
+        nxt = self.peek()
+        if nxt.is_punct(")"):
+            self.next_token()
+            operand = self.parse_unary()
+            return nodes.Cast(type_name, operand, loc=open_paren.location)
+        if (nxt.is_punct(";") or nxt.is_punct(",")) and self.meta_mode:
+            # ';' ends the first parameter declaration; ',' continues a
+            # multi-name one (`(@id a, b; ...)`).  Either way this is
+            # an anonymous function, not a cast.
+            self.stream.restore(state)
+            return self.parse_anon_function()
+        self.stream.restore(state)
+        return None
+
+    def parse_postfix(self) -> Node:
+        expr = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.is_punct("("):
+                self.next_token()
+                args: list[Node] = []
+                if not self.peek().is_punct(")"):
+                    args.append(self.parse_argument())
+                    while self.peek().is_punct(","):
+                        self.next_token()
+                        args.append(self.parse_argument())
+                self.stream.expect_punct(")")
+                expr = nodes.Call(expr, args, loc=token.location)
+            elif token.is_punct("["):
+                self.next_token()
+                index = self.parse_expression()
+                self.stream.expect_punct("]")
+                expr = nodes.Index(expr, index, loc=token.location)
+            elif token.is_punct(".") or token.is_punct("->"):
+                self.next_token()
+                nxt = self.peek()
+                if nxt.kind is TokenKind.PLACEHOLDER:
+                    # Template member name: p->$(f.name).
+                    if not nxt.value.asttype.is_usable_as(ID):
+                        raise ParseError(
+                            "a member-name placeholder must have AST "
+                            f"type id, got {nxt.value.asttype}",
+                            nxt.location,
+                        )
+                    self.next_token()
+                    member_name: object = nodes.PlaceholderExpr(
+                        nxt.value.meta_expr, nxt.value.asttype,
+                        loc=nxt.location,
+                    )
+                else:
+                    member_name = self.stream.expect_ident().text
+                expr = nodes.Member(
+                    expr, member_name, arrow=token.text == "->",
+                    loc=token.location,
+                )
+            elif token.is_punct("++") or token.is_punct("--"):
+                self.next_token()
+                expr = nodes.PostfixOp(token.text, expr, loc=token.location)
+            else:
+                return expr
+
+    def parse_argument(self) -> Node:
+        """One call argument: an assignment-expression.
+
+        In meta-mode an argument may also be an anonymous function
+        (``map((@id x; ...), xs)``); ``parse_unary`` handles that via
+        the cast/function disambiguation.  Inside templates, a
+        list-typed placeholder may stand for several arguments at once
+        (it is spliced at instantiation time).
+        """
+        token = self.peek()
+        if token.kind is TokenKind.PLACEHOLDER and isinstance(
+            token.value.asttype, ListType
+        ):
+            if token.value.asttype.element.is_usable_as(EXP):
+                self.next_token()
+                return nodes.PlaceholderExpr(
+                    token.value.meta_expr, token.value.asttype,
+                    loc=token.location,
+                )
+        return self.parse_assignment()
+
+    def parse_primary(self) -> Node:
+        token = self.peek()
+
+        if token.kind is TokenKind.PLACEHOLDER:
+            payload = token.value
+            if self._placeholder_fits_expression(payload):
+                self.next_token()
+                return nodes.PlaceholderExpr(
+                    payload.meta_expr, payload.asttype, loc=token.location
+                )
+            raise ParseError(
+                f"placeholder of AST type {payload.asttype} cannot stand "
+                "where an expression is expected",
+                token.location,
+            )
+
+        if token.kind is TokenKind.BACKQUOTE:
+            if not self.meta_mode:
+                raise ParseError(
+                    "code templates (backquote) are only valid in meta-code",
+                    token.location,
+                )
+            return self.parse_backquote()
+
+        if token.kind is TokenKind.IDENT:
+            defn = self.macro_lookup(token.text)
+            if defn is not None and defn.ret_spec == "exp":
+                return self.expand_expression_invocation(defn)
+            self.next_token()
+            return nodes.Identifier(token.text, loc=token.location)
+
+        if token.kind is TokenKind.INT_LIT:
+            self.next_token()
+            return nodes.IntLit(token.value, token.text, loc=token.location)
+        if token.kind is TokenKind.FLOAT_LIT:
+            self.next_token()
+            return nodes.FloatLit(token.value, token.text, loc=token.location)
+        if token.kind is TokenKind.CHAR_LIT:
+            self.next_token()
+            return nodes.CharLit(token.value, token.text, loc=token.location)
+        if token.kind is TokenKind.STRING_LIT:
+            self.next_token()
+            lit = nodes.StringLit(token.value, token.text, loc=token.location)
+            # Adjacent string literals concatenate, as in C.
+            while self.peek().kind is TokenKind.STRING_LIT:
+                more = self.next_token()
+                lit = nodes.StringLit(
+                    lit.value + more.value, lit.text + " " + more.text,
+                    loc=lit.loc,
+                )
+            return lit
+
+        if token.is_punct("("):
+            self.next_token()
+            inner = self.parse_expression()
+            self.stream.expect_punct(")")
+            return inner
+
+        raise ParseError(
+            f"expected an expression, got {token.describe()}",
+            token.location,
+        )
+
+    @staticmethod
+    def _placeholder_fits_expression(payload) -> bool:
+        from repro.asttypes.types import ANY, CType
+
+        asttype = payload.asttype
+        if isinstance(asttype, ListType):
+            # A list placeholder may stand for an argument list; the
+            # statement/decl parsers handle list splicing — a bare list
+            # in scalar expression position is rejected.
+            return False
+        if isinstance(asttype, CType):
+            # C scalars (the result of pstring, length, arithmetic…)
+            # become literals at instantiation time.
+            return asttype.name in ("int", "char", "float", "string")
+        if asttype is ANY:
+            return True
+        return asttype.is_usable_as(EXP) or asttype in (ID, NUM)

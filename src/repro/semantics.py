@@ -1,0 +1,121 @@
+"""The semantic-macro extension (paper section 5, future work).
+
+"Another goal is the implementation of semantic macros, which are an
+extension of syntax macros where the macro processor does static
+semantic analysis (e.g., type checking). ... In a semantic macro
+system, which has full access to the static semantic analyzer of the
+base language, the type of ``name`` would be available to the macro
+system.  In this case, the macro user wouldn't need to declare the
+type of ``name``."
+
+This module provides the static-semantic substrate: a scoped C symbol
+table the parser populates as it parses ordinary declarations and
+function parameters.  During expansion the meta-builtins ``type_of``
+(an identifier's declared type specifier) and ``has_type`` consult the
+scope that is live at the invocation site — which is exactly what lets
+the ``sdynamic_bind`` macro of :mod:`repro.packages.semantic` drop the
+explicit type parameter the paper's §4 ``dynamic_bind`` requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cast import decls
+from repro.cast.base import Node, clone
+
+
+@dataclass(slots=True)
+class CBinding:
+    """One declared C name: its specifiers and full declarator."""
+
+    name: str
+    specs: decls.DeclSpecs
+    declarator: Node
+
+    def type_spec(self) -> Node | None:
+        return self.specs.type_spec
+
+    def is_scalar(self) -> bool:
+        """True when the declarator adds nothing to the base type."""
+        return isinstance(self.declarator, decls.NameDeclarator)
+
+
+class CScope:
+    """A lexical scope of C declarations (chained)."""
+
+    __slots__ = ("parent", "bindings")
+
+    def __init__(self, parent: "CScope | None" = None) -> None:
+        self.parent = parent
+        self.bindings: dict[str, CBinding] = {}
+
+    def child(self) -> "CScope":
+        return CScope(parent=self)
+
+    def bind(self, binding: CBinding) -> None:
+        self.bindings[binding.name] = binding
+
+    def lookup(self, name: str) -> CBinding | None:
+        scope: CScope | None = self
+        while scope is not None:
+            found = scope.bindings.get(name)
+            if found is not None:
+                return found
+            scope = scope.parent
+        return None
+
+    def record_declaration(self, declaration: decls.Declaration) -> None:
+        """Register every name a (non-meta) declaration introduces."""
+        for item in declaration.init_declarators:
+            if not isinstance(item, decls.InitDeclarator):
+                continue
+            name = _declarator_name(item.declarator)
+            if name is not None:
+                self.bind(
+                    CBinding(name, declaration.specs, item.declarator)
+                )
+
+    def record_parameters(self, declarator: Node) -> None:
+        """Register a function declarator's prototype parameters."""
+        func = _find_func(declarator)
+        if func is None:
+            return
+        for p in func.params:
+            if isinstance(p, decls.ParamDecl):
+                name = _declarator_name(p.declarator)
+                if name is not None:
+                    self.bind(CBinding(name, p.specs, p.declarator))
+
+
+def _declarator_name(declarator: Node) -> str | None:
+    current = declarator
+    while True:
+        if isinstance(current, decls.NameDeclarator):
+            return current.name
+        if isinstance(
+            current,
+            (decls.PointerDeclarator, decls.ArrayDeclarator,
+             decls.FuncDeclarator),
+        ):
+            current = current.inner
+            continue
+        return None
+
+
+def _find_func(declarator: Node) -> decls.FuncDeclarator | None:
+    current = declarator
+    while current is not None:
+        if isinstance(current, decls.FuncDeclarator):
+            return current
+        current = getattr(current, "inner", None)
+    return None
+
+
+def type_spec_of(scope: CScope, name: str) -> Node | None:
+    """The declared type specifier of ``name``, cloned for safe
+    splicing into macro output, or None when unknown."""
+    binding = scope.lookup(name)
+    if binding is None or binding.specs.type_spec is None:
+        return None
+    return clone(binding.specs.type_spec)

@@ -1,0 +1,249 @@
+"""Tests for definition-time type inference over meta-expressions."""
+
+import pytest
+
+from repro.asttypes.types import (
+    EXP,
+    ID,
+    INT,
+    STMT,
+    STRING,
+    FuncType,
+    TupleType,
+    list_of,
+    prim,
+)
+from repro.errors import MacroTypeError
+from tests.conftest import parse_meta_expr
+
+
+class TestLiteralsAndNames:
+    def test_int_literal(self):
+        _, t = parse_meta_expr("42")
+        assert t == INT
+
+    def test_string_literal(self):
+        _, t = parse_meta_expr('"hi"')
+        assert t == STRING
+
+    def test_bound_variable(self):
+        _, t = parse_meta_expr("s", {"s": STMT})
+        assert t == STMT
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(MacroTypeError) as exc:
+            parse_meta_expr("nope")
+        assert "undeclared" in str(exc.value)
+
+
+class TestListOperations:
+    def test_head_via_star(self):
+        # *xs is car (paper section 2).
+        _, t = parse_meta_expr("*xs", {"xs": list_of(ID)})
+        assert t == ID
+
+    def test_tail_via_plus_one(self):
+        # xs + 1 is cdr.
+        _, t = parse_meta_expr("xs + 1", {"xs": list_of(ID)})
+        assert t == list_of(ID)
+
+    def test_indexing(self):
+        _, t = parse_meta_expr("xs[0]", {"xs": list_of(STMT)})
+        assert t == STMT
+
+    def test_index_must_be_int(self):
+        with pytest.raises(MacroTypeError):
+            parse_meta_expr('xs["a"]', {"xs": list_of(STMT)})
+
+    def test_deref_of_non_list_rejected(self):
+        with pytest.raises(MacroTypeError):
+            parse_meta_expr("*s", {"s": STMT})
+
+    def test_address_of_ast_rejected(self):
+        # "It is illegal to take the address of either a scalar or
+        # structured ast value."
+        with pytest.raises(MacroTypeError):
+            parse_meta_expr("&s", {"s": STMT})
+
+
+class TestArithmetic:
+    def test_int_ops(self):
+        _, t = parse_meta_expr("1 + 2 * 3")
+        assert t == INT
+
+    def test_comparison(self):
+        _, t = parse_meta_expr("i < n", {"i": INT, "n": INT})
+        assert t == INT
+
+    def test_ast_equality_allowed(self):
+        _, t = parse_meta_expr("a == b", {"a": ID, "b": ID})
+        assert t == INT
+
+    def test_arith_on_ast_rejected(self):
+        with pytest.raises(MacroTypeError):
+            parse_meta_expr("s * 2", {"s": STMT})
+
+    def test_conditional_branches_must_agree(self):
+        with pytest.raises(MacroTypeError):
+            parse_meta_expr("c ? s : i", {"c": INT, "s": STMT, "i": ID})
+
+    def test_conditional_join(self):
+        _, t = parse_meta_expr("c ? x : y", {"c": INT, "x": ID, "y": EXP})
+        assert t == EXP
+
+
+class TestAssignment:
+    def test_compatible(self):
+        _, t = parse_meta_expr("x = y", {"x": EXP, "y": ID})
+        assert t == EXP
+
+    def test_incompatible_rejected(self):
+        with pytest.raises(MacroTypeError):
+            parse_meta_expr("x = s", {"x": ID, "s": STMT})
+
+    def test_compound_assignment_needs_scalars(self):
+        with pytest.raises(MacroTypeError):
+            parse_meta_expr("x += s", {"x": INT, "s": STMT})
+
+
+class TestComponents:
+    def test_stmt_declarations(self):
+        _, t = parse_meta_expr("s.declarations", {"s": STMT})
+        assert t == list_of(prim("decl"))
+
+    def test_decl_type_spec(self):
+        _, t = parse_meta_expr("d.type_spec", {"d": prim("decl")})
+        assert t == prim("type_spec")
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(MacroTypeError):
+            parse_meta_expr("s.frobnicate", {"s": STMT})
+
+    def test_tuple_field(self):
+        tup = TupleType((("name", ID), ("body", STMT)))
+        _, t = parse_meta_expr("t.body", {"t": tup})
+        assert t == STMT
+
+    def test_missing_tuple_field_rejected(self):
+        tup = TupleType((("name", ID),))
+        with pytest.raises(MacroTypeError) as exc:
+            parse_meta_expr("t.oops", {"t": tup})
+        assert "name" in str(exc.value)
+
+
+class TestBuiltins:
+    def test_gensym(self):
+        _, t = parse_meta_expr("gensym()")
+        assert t == ID
+
+    def test_gensym_with_prefix(self):
+        _, t = parse_meta_expr('gensym("tmp")')
+        assert t == ID
+
+    def test_concat_ids(self):
+        _, t = parse_meta_expr("concat_ids(a, b)", {"a": ID, "b": ID})
+        assert t == ID
+
+    def test_concat_ids_arity(self):
+        with pytest.raises(MacroTypeError):
+            parse_meta_expr("concat_ids(a)", {"a": ID})
+
+    def test_length(self):
+        _, t = parse_meta_expr("length(xs)", {"xs": list_of(STMT)})
+        assert t == INT
+
+    def test_length_needs_list(self):
+        with pytest.raises(MacroTypeError):
+            parse_meta_expr("length(s)", {"s": STMT})
+
+    def test_pstring(self):
+        _, t = parse_meta_expr("pstring(x)", {"x": ID})
+        assert t == STRING
+
+    def test_symbolconc_mixed(self):
+        _, t = parse_meta_expr('symbolconc("print_", name)', {"name": ID})
+        assert t == ID
+
+    def test_list_builds_list(self):
+        _, t = parse_meta_expr("list(a, b)", {"a": ID, "b": ID})
+        assert t == list_of(ID)
+
+    def test_list_flattens(self):
+        _, t = parse_meta_expr("list(a, xs)", {"a": ID, "xs": list_of(ID)})
+        assert t == list_of(ID)
+
+    def test_list_disagreement_rejected(self):
+        with pytest.raises(MacroTypeError):
+            parse_meta_expr("list(a, s)", {"a": ID, "s": STMT})
+
+    def test_cons(self):
+        _, t = parse_meta_expr("cons(a, xs)", {"a": ID, "xs": list_of(ID)})
+        assert t == list_of(ID)
+
+    def test_map_with_function(self):
+        fn = FuncType((ID,), STMT)
+        _, t = parse_meta_expr("map(f, xs)", {"f": fn, "xs": list_of(ID)})
+        assert t == list_of(STMT)
+
+    def test_map_element_mismatch(self):
+        fn = FuncType((STMT,), STMT)
+        with pytest.raises(MacroTypeError):
+            parse_meta_expr("map(f, xs)", {"f": fn, "xs": list_of(ID)})
+
+    def test_simple_expression(self):
+        _, t = parse_meta_expr("simple_expression(e)", {"e": EXP})
+        assert t == INT
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(MacroTypeError):
+            parse_meta_expr("frobnicate(1)")
+
+    def test_user_binding_shadows_builtin(self):
+        _, t = parse_meta_expr(
+            "length(xs)", {"length": FuncType((list_of(ID),), ID),
+                           "xs": list_of(ID)}
+        )
+        assert t == ID
+
+
+class TestAnonFunctions:
+    def test_anon_function_type(self):
+        _, t = parse_meta_expr("(@id x; `{case $x: break;})")
+        assert isinstance(t, FuncType)
+        assert t.params == (ID,)
+        assert t.result == STMT
+
+    def test_anon_function_in_map(self):
+        _, t = parse_meta_expr(
+            "map((@id x; `($x + 1)), xs)", {"xs": list_of(ID)}
+        )
+        assert t == list_of(EXP)
+
+    def test_anon_function_param_scoping(self):
+        # x is bound only inside the anonymous function.
+        with pytest.raises(MacroTypeError):
+            parse_meta_expr("map((@id x; `($x)), xs) == x",
+                            {"xs": list_of(ID)})
+
+
+class TestBackquoteTyping:
+    def test_expression_template(self):
+        _, t = parse_meta_expr("`(1 + 2)")
+        assert t == EXP
+
+    def test_statement_template(self):
+        _, t = parse_meta_expr("`{return;}")
+        assert t == STMT
+
+    def test_declaration_template(self):
+        _, t = parse_meta_expr("`[int x;]")
+        assert t == prim("decl")
+
+    def test_placeholder_type_propagates(self):
+        _, t = parse_meta_expr("`($x + 1)", {"x": ID})
+        assert t == EXP
+
+    def test_ill_typed_placeholder_rejected_at_parse(self):
+        # A stmt placeholder cannot stand inside an expression template.
+        with pytest.raises(Exception):
+            parse_meta_expr("`($s + 1)", {"s": STMT})

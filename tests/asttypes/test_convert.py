@@ -1,0 +1,85 @@
+"""Tests for converting C declaration syntax to meta types."""
+
+import pytest
+
+from repro.asttypes.convert import (
+    bindings_from_declaration,
+    is_meta_declaration,
+)
+from repro.asttypes.types import (
+    ID,
+    INT,
+    STMT,
+    STRING,
+    FuncType,
+    ListType,
+    TupleType,
+)
+from repro.errors import MacroTypeError
+from repro.parser.core import Parser
+
+
+def parse_meta_decl(source: str):
+    parser = Parser(source)
+    with parser._meta(True):
+        return parser.parse_declaration()
+
+
+def bindings(source: str):
+    return bindings_from_declaration(parse_meta_decl(source))
+
+
+class TestAstBindings:
+    def test_scalar_ast(self):
+        assert bindings("@id x;") == [("x", ID)]
+
+    def test_list_via_array_syntax(self):
+        assert bindings("@id xs[];") == [("xs", ListType(ID))]
+
+    def test_multiple_declarators(self):
+        out = bindings("@stmt a, b[];")
+        assert out == [("a", STMT), ("b", ListType(STMT))]
+
+    def test_tuple_via_struct_syntax(self):
+        out = bindings("struct {@id name; @stmt body;} t;")
+        assert out == [("t", TupleType((("name", ID), ("body", STMT))))]
+
+    def test_pointer_to_ast_rejected(self):
+        with pytest.raises(MacroTypeError) as exc:
+            bindings("@id *p;")
+        assert "pointer" in str(exc.value).lower()
+
+    def test_nested_list(self):
+        out = bindings("@id xss[][];")
+        assert out == [("xss", ListType(ListType(ID)))]
+
+
+class TestCBindings:
+    def test_int(self):
+        assert bindings("int i;") == [("i", INT)]
+
+    def test_char_array_is_string(self):
+        assert bindings("char s[100];") == [("s", STRING)]
+
+    def test_char_pointer_is_string(self):
+        assert bindings("char *s;") == [("s", STRING)]
+
+    def test_function_type(self):
+        out = bindings("@stmt f(@id x);")
+        name, ftype = out[0]
+        assert name == "f"
+        assert ftype == FuncType((ID,), STMT)
+
+
+class TestMetaDetection:
+    def test_ast_specs_make_meta(self):
+        d = parse_meta_decl("@id x;")
+        assert is_meta_declaration(d)
+
+    def test_plain_c_is_not_meta(self):
+        d = parse_meta_decl("int x;")
+        assert not is_meta_declaration(d)
+
+    def test_nested_ast_spec_detected(self):
+        d = parse_meta_decl("struct {@id name;} t;")
+        assert is_meta_declaration(d)

@@ -1,0 +1,137 @@
+"""Tests for the AST type lattice."""
+
+import pytest
+
+from repro.asttypes.types import (
+    ANY,
+    CHAR,
+    DECL,
+    EXP,
+    ID,
+    INT,
+    NUM,
+    STMT,
+    STRING,
+    CType,
+    FuncType,
+    ListType,
+    PrimType,
+    TupleType,
+    list_of,
+    prim,
+)
+
+
+class TestPrimitives:
+    def test_singletons(self):
+        assert prim("stmt") is STMT
+        assert prim("exp") is EXP
+        assert prim("id") is ID
+
+    def test_all_eight_primitives(self):
+        for name in ("id", "exp", "stmt", "decl", "num", "type_spec",
+                     "declarator", "init_declarator"):
+            assert prim(name).name == name
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(ValueError):
+            prim("statement")
+        with pytest.raises(ValueError):
+            PrimType("bogus")
+
+    def test_str(self):
+        assert str(STMT) == "stmt"
+        assert str(list_of(ID)) == "id[]"
+
+
+class TestSubtyping:
+    def test_exact_match(self):
+        assert STMT.is_usable_as(STMT)
+        assert not STMT.is_usable_as(DECL)
+
+    def test_id_is_an_expression(self):
+        assert ID.is_usable_as(EXP)
+
+    def test_num_is_an_expression(self):
+        assert NUM.is_usable_as(EXP)
+
+    def test_exp_is_not_an_id(self):
+        assert not EXP.is_usable_as(ID)
+
+    def test_stmt_is_not_an_expression(self):
+        assert not STMT.is_usable_as(EXP)
+
+    def test_declarator_types_distinct(self):
+        # Figure 2 depends on these being distinguishable.
+        assert not prim("declarator").is_usable_as(prim("init_declarator"))
+        assert not prim("init_declarator").is_usable_as(prim("declarator"))
+        assert not ID.is_usable_as(prim("declarator"))
+
+    def test_any_compatible_both_ways(self):
+        assert ANY.is_usable_as(STMT)
+        assert STMT.is_usable_as(ANY)
+
+
+class TestLists:
+    def test_covariance(self):
+        assert list_of(ID).is_usable_as(list_of(EXP))
+        assert not list_of(EXP).is_usable_as(list_of(ID))
+
+    def test_list_not_usable_as_element(self):
+        assert not list_of(STMT).is_usable_as(STMT)
+        assert not STMT.is_usable_as(list_of(STMT))
+
+    def test_is_ast(self):
+        assert list_of(STMT).is_ast()
+
+
+class TestTuples:
+    def test_field_lookup(self):
+        t = TupleType((("name", ID), ("body", STMT)))
+        assert t.field_type("name") is ID
+        assert t.field_type("missing") is None
+
+    def test_compatibility_by_structure(self):
+        a = TupleType((("x", ID),))
+        b = TupleType((("x", ID),))
+        c = TupleType((("y", ID),))
+        assert a.is_usable_as(b)
+        assert not a.is_usable_as(c)
+
+    def test_width_must_match(self):
+        a = TupleType((("x", ID),))
+        b = TupleType((("x", ID), ("y", ID)))
+        assert not a.is_usable_as(b)
+
+    def test_str(self):
+        t = TupleType((("name", ID),))
+        assert str(t) == "{id name}"
+
+
+class TestCTypes:
+    def test_char_int_interchangeable(self):
+        assert CHAR.is_usable_as(INT)
+        assert INT.is_usable_as(CHAR)
+
+    def test_string_is_not_int(self):
+        assert not STRING.is_usable_as(INT)
+
+    def test_not_ast(self):
+        assert not INT.is_ast()
+        assert not CType("float").is_ast()
+
+    def test_ctype_not_usable_as_ast(self):
+        assert not INT.is_usable_as(EXP)
+
+
+class TestFuncTypes:
+    def test_str(self):
+        f = FuncType((ID,), STMT)
+        assert str(f) == "(id) -> stmt"
+
+    def test_variadic_str(self):
+        f = FuncType((STRING,), INT, variadic=True)
+        assert "..." in str(f)
+
+    def test_not_ast(self):
+        assert not FuncType((), STMT).is_ast()

@@ -1,0 +1,93 @@
+"""Tests for the GPM-flavoured character macro baseline."""
+
+import pytest
+
+from repro.baseline.charmacro import CharMacroError, CharMacroProcessor
+
+
+@pytest.fixture()
+def cp():
+    return CharMacroProcessor()
+
+
+class TestDefinition:
+    def test_def_and_call(self, cp):
+        out = cp.process("$DEF,hi,<hello>;$hi;")
+        assert out == "hello"
+
+    def test_def_produces_no_output(self, cp):
+        assert cp.process("$DEF,x,<y>;") == ""
+
+    def test_def_arity(self, cp):
+        with pytest.raises(CharMacroError):
+            cp.process("$DEF,onlyname;")
+
+
+class TestArguments:
+    def test_positional_substitution(self, cp):
+        out = cp.process("$DEF,greet,<hello ~1!>;$greet,world;")
+        assert out == "hello world!"
+
+    def test_two_arguments(self, cp):
+        out = cp.process("$DEF,pair,<(~1, ~2)>;$pair,a,b;")
+        assert out == "(a, b)"
+
+    def test_argument_reuse(self, cp):
+        out = cp.process("$DEF,twice,<~1~1>;$twice,ab;")
+        assert out == "abab"
+
+    def test_missing_argument_is_empty(self, cp):
+        out = cp.process("$DEF,two,<~1-~2>;$two,a;")
+        assert out == "a-"
+
+    def test_quoted_argument_protects_commas(self, cp):
+        out = cp.process("$DEF,id,<~1>;$id,<a,b>;")
+        assert out == "a,b"
+
+
+class TestCharacterLevelPower:
+    def test_token_splicing(self, cp):
+        # Only a character macro can weld two name halves together.
+        out = cp.process("$DEF,glue,<~1~2>;int $glue,foo,bar; = 1;")
+        assert out == "int foobar = 1;"
+
+    def test_rescanning_generated_calls(self, cp):
+        out = cp.process(
+            "$DEF,a,<$b;>;$DEF,b,<deep>;$a;"
+        )
+        assert out == "deep"
+
+    def test_macro_defining_macro(self, cp):
+        out = cp.process(
+            "$DEF,make,<$DEF,~1,<value-~1>;>;$make,thing;$thing;"
+        )
+        assert out == "value-thing"
+
+    def test_no_syntactic_safety(self, cp):
+        # A character macro happily produces unbalanced garbage.
+        out = cp.process("$DEF,bad,<if ( >;$bad;")
+        assert out == "if ( "
+
+
+class TestErrors:
+    def test_undefined_macro(self, cp):
+        with pytest.raises(CharMacroError):
+            cp.process("$nope;")
+
+    def test_unterminated_quote(self, cp):
+        with pytest.raises(CharMacroError):
+            cp.process("$DEF,x,<body")
+
+    def test_unterminated_call(self, cp):
+        with pytest.raises(CharMacroError):
+            cp.process("$DEF,f,<~1>;$f,arg")
+
+    def test_runaway_recursion_bounded(self, cp):
+        with pytest.raises(CharMacroError):
+            cp.process("$DEF,loop,<$loop;>;$loop;")
+
+    def test_bare_dollar_is_literal(self, cp):
+        assert cp.process("cost: $5") == "cost: $5"
+
+    def test_dollar_name_without_call_is_literal(self, cp):
+        assert cp.process("$price today") == "$price today"

@@ -1,0 +1,77 @@
+"""The paper's introduction example: token macros interfere, syntax
+macros encapsulate.
+
+``#define MULT(A, B) A * B`` with arguments ``x + y`` and ``m + n``
+expands (at the token level) to ``x + y * m + n``, which parses as
+``x + (y * m) + n`` — not the intended ``(x + y) * (m + n)``.  The
+equivalent MS2 macro substitutes at the tree level, so interference is
+impossible.
+"""
+
+from repro import MacroProcessor
+from repro.baseline.tokmacro import TokenMacroProcessor, render_tokens
+from repro.cast import nodes, render_sexpr
+from tests.conftest import parse_expr
+
+
+MULT_SYNTAX = """
+syntax exp MULT {| ( $$exp::a , $$exp::b ) |}
+{ return(`(($a) * ($b))); }
+"""
+
+
+class TestTokenInterference:
+    def test_expansion_is_flat_token_splice(self):
+        tp = TokenMacroProcessor()
+        tp.define("MULT(A, B) A * B")
+        out = render_tokens(tp.expand_text("MULT(x + y, m + n)"))
+        assert out == "x + y * m + n"
+
+    def test_resulting_parse_is_wrong(self):
+        tp = TokenMacroProcessor()
+        tp.define("MULT(A, B) A * B")
+        out = render_tokens(tp.expand_text("MULT(x + y, m + n)"))
+        tree = parse_expr(out)
+        # x + (y * m) + n: the top operator is +, not *.
+        assert isinstance(tree, nodes.BinaryOp)
+        assert tree.op == "+"
+
+    def test_paren_discipline_works_around_it(self):
+        # The CPP folklore fix: parenthesize everything.
+        tp = TokenMacroProcessor()
+        tp.define("MULT(A, B) ((A) * (B))")
+        out = render_tokens(tp.expand_text("MULT(x + y, m + n)"))
+        tree = parse_expr(out)
+        assert tree.op == "*"
+
+
+class TestSyntaxEncapsulation:
+    def test_tree_substitution_preserves_structure(self):
+        mp = MacroProcessor()
+        mp.load(MULT_SYNTAX)
+        out = mp.expand_to_c("void f(void) { r = MULT(x + y, m + n); }")
+        assert "(x + y) * (m + n)" in out
+
+    def test_parse_of_expansion_is_multiplication(self):
+        mp = MacroProcessor()
+        mp.load(MULT_SYNTAX)
+        unit = mp.expand_to_ast("void f(void) { r = MULT(x + y, m + n); }")
+        value = unit.items[0].body.stmts[0].expr.value
+        assert value.op == "*"
+        assert value.left.op == "+"
+        assert value.right.op == "+"
+
+    def test_macro_writer_needs_no_paren_discipline(self):
+        # Even WITHOUT defensive parens in the template, trees nest
+        # correctly: `($a * $b) substitutes subtrees, not tokens.
+        mp = MacroProcessor()
+        mp.load(
+            "syntax exp M {| ( $$exp::a , $$exp::b ) |}"
+            "{ return(`($a * $b)); }"
+        )
+        unit = mp.expand_to_ast("void f(void) { r = M(x + y, m + n); }")
+        value = unit.items[0].body.stmts[0].expr.value
+        assert value.op == "*"
+        assert render_sexpr(value) == (
+            "(* (+ (id x) (id y)) (+ (id m) (id n)))"
+        )

@@ -1,0 +1,111 @@
+"""Tests for the CPP-flavoured token macro baseline."""
+
+import pytest
+
+from repro.baseline.tokmacro import (
+    TokenMacroError,
+    TokenMacroProcessor,
+    render_tokens,
+)
+
+
+@pytest.fixture()
+def tp():
+    return TokenMacroProcessor()
+
+
+class TestDefine:
+    def test_object_like(self, tp):
+        tp.define("MAX 100")
+        assert not tp.macros["MAX"].function_like
+
+    def test_function_like(self, tp):
+        tp.define("SQ(X) X * X")
+        macro = tp.macros["SQ"]
+        assert macro.function_like
+        assert macro.params == ["X"]
+
+    def test_space_before_paren_means_object_like(self, tp):
+        # CPP rule: '#define F (x)' is object-like with body '(x)'.
+        tp.define("F (x)")
+        assert not tp.macros["F"].function_like
+
+    def test_zero_params(self, tp):
+        tp.define("NIL() 0")
+        assert tp.macros["NIL"].params == []
+
+    def test_malformed_rejected(self, tp):
+        with pytest.raises(TokenMacroError):
+            tp.define("123 nope")
+        with pytest.raises(TokenMacroError):
+            tp.define("F(1) x")
+
+    def test_undef(self, tp):
+        tp.define("X 1")
+        tp.undef("X")
+        assert "X" not in tp.macros
+        tp.undef("X")  # idempotent
+
+
+class TestExpansion:
+    def test_object_like_substitution(self, tp):
+        tp.define("MAX 100")
+        assert render_tokens(tp.expand_text("x = MAX;")) == "x = 100 ;"
+
+    def test_function_like_substitution(self, tp):
+        tp.define("SQ(X) X * X")
+        assert render_tokens(tp.expand_text("SQ(a)")) == "a * a"
+
+    def test_multiple_params(self, tp):
+        tp.define("ADD(A, B) A + B")
+        assert render_tokens(tp.expand_text("ADD(1, 2)")) == "1 + 2"
+
+    def test_nested_parens_in_argument(self, tp):
+        tp.define("ID(X) X")
+        assert render_tokens(tp.expand_text("ID(f(a, b))")) == "f ( a , b )"
+
+    def test_rescanning(self, tp):
+        tp.define("A B")
+        tp.define("B 42")
+        assert render_tokens(tp.expand_text("A")) == "42"
+
+    def test_blue_paint_stops_self_reference(self, tp):
+        tp.define("X X + 1")
+        # Must terminate, leaving the inner X unexpanded.
+        assert render_tokens(tp.expand_text("X")) == "X + 1"
+
+    def test_mutual_recursion_terminates(self, tp):
+        tp.define("A B")
+        tp.define("B A")
+        out = render_tokens(tp.expand_text("A"))
+        assert out in ("A", "B")
+
+    def test_function_like_without_parens_untouched(self, tp):
+        tp.define("F(X) X")
+        assert render_tokens(tp.expand_text("F + 1")) == "F + 1"
+
+    def test_wrong_arity_rejected(self, tp):
+        tp.define("ADD(A, B) A + B")
+        with pytest.raises(TokenMacroError):
+            tp.expand_text("ADD(1)")
+
+    def test_unterminated_args_rejected(self, tp):
+        tp.define("F(X) X")
+        with pytest.raises(TokenMacroError):
+            tp.expand_text("F(1")
+
+
+class TestProcess:
+    def test_directives_and_code(self, tp):
+        out = tp.process(
+            "#define MAX 10\n"
+            "int x = MAX;\n"
+            "#undef MAX\n"
+            "int y = MAX;\n"
+        )
+        assert "int x = 10 ;" in out
+        assert "int y = MAX ;" in out
+
+    def test_blank_lines_dropped(self, tp):
+        out = tp.process("\n\nint x;\n\n")
+        assert out == "int x ;"

@@ -1,0 +1,134 @@
+"""Tests for the verbose create_* constructor API (paper section 1)."""
+
+import pytest
+
+from repro.cast import nodes, render_c, stmts
+from repro.cast.builders import (
+    create_address_of,
+    create_argument_list,
+    create_assignment,
+    create_binary,
+    create_break,
+    create_case,
+    create_compound_statement,
+    create_declaration_list,
+    create_default,
+    create_enum,
+    create_function_call,
+    create_id,
+    create_if,
+    create_member,
+    create_num,
+    create_return,
+    create_simple_declaration,
+    create_statement_list,
+    create_string,
+    create_switch,
+    create_while,
+    createId,
+)
+from tests.conftest import assert_c_equal
+
+
+class TestPaperExample:
+    def test_paint_function_constructor_style(self):
+        """The verbose construction from the paper's introduction."""
+        body_stmt = stmts.ExprStmt(
+            create_function_call(create_id("user_code"), [])
+        )
+        tree = create_compound_statement(
+            create_declaration_list(),
+            create_statement_list(
+                create_function_call(
+                    createId("BeginPaint"),
+                    create_argument_list(
+                        createId("hDC"),
+                        create_address_of(createId("ps")),
+                    ),
+                ),
+                body_stmt,
+                create_function_call(
+                    createId("EndPaint"),
+                    create_argument_list(
+                        createId("hDC"),
+                        create_address_of(createId("ps")),
+                    ),
+                ),
+            ),
+        )
+        assert_c_equal(
+            render_c(tree),
+            "{BeginPaint(hDC, &ps); user_code(); EndPaint(hDC, &ps);}",
+        )
+
+
+class TestExpressions:
+    def test_binary_validates_operator(self):
+        with pytest.raises(ValueError):
+            create_binary("**", create_id("a"), create_id("b"))
+
+    def test_assignment_validates_operator(self):
+        with pytest.raises(ValueError):
+            create_assignment(create_id("a"), create_num(1), op="==")
+
+    def test_member(self):
+        assert render_c(create_member(create_id("p"), "x")) == "p.x"
+        assert render_c(create_member(create_id("p"), "x", arrow=True)) == (
+            "p->x"
+        )
+
+    def test_string(self):
+        assert render_c(create_string("hi")) == '"hi"'
+
+    def test_string_escaping(self):
+        assert render_c(create_string('a"b')) == '"a\\"b"'
+
+
+class TestStatements:
+    def test_statement_list_wraps_expressions(self):
+        items = create_statement_list(create_id("x"))
+        assert isinstance(items[0], stmts.ExprStmt)
+
+    def test_statement_list_keeps_statements(self):
+        ret = create_return(create_id("x"))
+        items = create_statement_list(ret)
+        assert items[0] is ret
+
+    def test_if_else(self):
+        tree = create_if(
+            create_id("a"),
+            stmts.ExprStmt(create_id("b")),
+            stmts.ExprStmt(create_id("c")),
+        )
+        assert_c_equal(render_c(tree), "if (a) b; else c;")
+
+    def test_while(self):
+        tree = create_while(create_id("a"), create_break())
+        assert_c_equal(render_c(tree), "while (a) break;")
+
+    def test_switch_with_cases(self):
+        tree = create_switch(
+            create_id("x"),
+            create_compound_statement(
+                [],
+                [
+                    create_case(create_num(1), create_break()),
+                    create_default(create_break()),
+                ],
+            ),
+        )
+        assert_c_equal(
+            render_c(tree),
+            "switch (x) {case 1: break; default: break;}",
+        )
+
+
+class TestDeclarations:
+    def test_simple_declaration(self):
+        decl = create_simple_declaration(["unsigned", "long"], "n")
+        assert_c_equal(render_c(decl), "unsigned long n;")
+
+    def test_enum(self):
+        enum = create_enum("color", ["red", "green"])
+        assert enum.tag == "color"
+        assert len(enum.enumerators) == 2

@@ -1,0 +1,276 @@
+"""Tests for the unparser: precedence, declarators, statements."""
+
+import pytest
+
+from repro.cast import nodes, render_c, stmts
+from repro.cast.builders import (
+    create_binary,
+    create_id,
+    create_num,
+    create_simple_declaration,
+)
+from tests.conftest import assert_c_equal, parse_c, parse_expr, parse_stmt
+
+
+def print_expr(source: str) -> str:
+    return render_c(parse_expr(source))
+
+
+class TestExpressionPrecedence:
+    def test_flat_addition(self):
+        assert print_expr("a + b + c") == "a + b + c"
+
+    def test_mul_over_add_needs_no_parens(self):
+        assert print_expr("a + b * c") == "a + b * c"
+
+    def test_add_under_mul_parenthesized(self):
+        tree = create_binary(
+            "*",
+            create_binary("+", create_id("x"), create_id("y")),
+            create_binary("+", create_id("m"), create_id("n")),
+        )
+        assert render_c(tree) == "(x + y) * (m + n)"
+
+    def test_right_nested_subtraction_parenthesized(self):
+        # a - (b - c) must keep its parens.
+        tree = create_binary(
+            "-", create_id("a"),
+            create_binary("-", create_id("b"), create_id("c")),
+        )
+        assert render_c(tree) == "a - (b - c)"
+
+    def test_logical_and_or(self):
+        assert print_expr("a && b || c") == "a && b || c"
+        tree = parse_expr("a && (b || c)")
+        assert render_c(tree) == "a && (b || c)"
+
+    def test_conditional(self):
+        assert print_expr("a ? b : c") == "a ? b : c"
+
+    def test_nested_conditional_right_assoc(self):
+        assert print_expr("a ? b : c ? d : e") == "a ? b : c ? d : e"
+
+    def test_assignment_chain(self):
+        assert print_expr("a = b = c") == "a = b = c"
+
+    def test_comma(self):
+        assert print_expr("a, b, c") == "a, b, c"
+
+    def test_comma_in_call_argument_parenthesized(self):
+        tree = nodes.Call(
+            create_id("f"),
+            [nodes.CommaOp(create_id("a"), create_id("b"))],
+        )
+        assert render_c(tree) == "f((a, b))"
+
+    def test_unary_minus_of_sum(self):
+        tree = nodes.UnaryOp(
+            "-", create_binary("+", create_id("a"), create_id("b"))
+        )
+        assert render_c(tree) == "-(a + b)"
+
+    def test_double_negative_spaced(self):
+        tree = nodes.UnaryOp("-", nodes.UnaryOp("-", create_id("a")))
+        # Must not print '--a'.
+        assert render_c(tree) != "--a"
+
+    def test_prefix_vs_postfix_increment(self):
+        assert print_expr("++i") == "++i"
+        assert print_expr("i++") == "i++"
+
+    def test_member_chain(self):
+        assert print_expr("a.b->c") == "a.b->c"
+
+    def test_index_and_call(self):
+        assert print_expr("f(x)[3]") == "f(x)[3]"
+
+    def test_deref_call(self):
+        assert print_expr("(*fp)(x)") == "(*fp)(x)"
+
+    def test_sizeof(self):
+        assert print_expr("sizeof x") == "sizeof x"
+        assert print_expr("sizeof(int)") == "sizeof(int)"
+
+    def test_cast(self):
+        assert print_expr("(long) x") == "(long)x"
+
+    def test_string_literal(self):
+        assert print_expr('"hi"') == '"hi"'
+
+
+class TestDeclarators:
+    def round_trip(self, source: str) -> None:
+        unit = parse_c(source)
+        assert_c_equal(render_c(unit), source)
+
+    def test_simple(self):
+        self.round_trip("int x;")
+
+    def test_pointer(self):
+        self.round_trip("int *p;")
+
+    def test_pointer_to_pointer(self):
+        self.round_trip("char **argv;")
+
+    def test_array(self):
+        self.round_trip("int a[10];")
+
+    def test_array_of_pointers(self):
+        self.round_trip("int *a[10];")
+
+    def test_pointer_to_array(self):
+        self.round_trip("int (*a)[10];")
+
+    def test_function_pointer(self):
+        self.round_trip("int (*fp)(int, char);")
+
+    def test_function_returning_pointer(self):
+        self.round_trip("int *f(void);")
+
+    def test_multi_declarators(self):
+        self.round_trip("int x, *y, z[3];")
+
+    def test_initializer(self):
+        self.round_trip("int x = 1 + 2;")
+
+    def test_braced_initializer(self):
+        self.round_trip("int a[3] = {1, 2, 3};")
+
+    def test_qualifiers(self):
+        self.round_trip("const volatile int x;")
+
+    def test_storage_class(self):
+        self.round_trip("static int x; extern long y;")
+
+    def test_typedef(self):
+        self.round_trip("typedef unsigned long size_type; size_type n;")
+
+    def test_struct(self):
+        self.round_trip("struct point {int x; int y;};")
+
+    def test_struct_variable(self):
+        self.round_trip("struct point {int x; int y;} origin;")
+
+    def test_union(self):
+        self.round_trip("union u {int i; float f;};")
+
+    def test_enum(self):
+        self.round_trip("enum color {red, green, blue};")
+
+    def test_enum_with_values(self):
+        self.round_trip("enum flags {a = 1, b = 2, c = 4};")
+
+    def test_builder_simple_declaration(self):
+        decl = create_simple_declaration(["int"], "x", create_num(5))
+        assert render_c(decl) == "int x = 5;"
+
+
+class TestStatements:
+    def round_trip(self, source: str) -> None:
+        wrapped = f"void f(void)\n{{{source}}}"
+        unit = parse_c(wrapped)
+        assert_c_equal(render_c(unit), wrapped)
+
+    def test_expression_statement(self):
+        self.round_trip("x = 1;")
+
+    def test_if(self):
+        self.round_trip("if (a) b();")
+
+    def test_if_else(self):
+        self.round_trip("if (a) b(); else c();")
+
+    def test_while(self):
+        self.round_trip("while (n > 0) n--;")
+
+    def test_do_while(self):
+        self.round_trip("do n--; while (n);")
+
+    def test_for(self):
+        self.round_trip("for (i = 0; i < n; i++) f(i);")
+
+    def test_for_empty_clauses(self):
+        self.round_trip("for (;;) stop();")
+
+    def test_switch(self):
+        self.round_trip(
+            "switch (x) {case 1: a(); break; default: b(); break;}"
+        )
+
+    def test_goto_and_label(self):
+        self.round_trip("again: x++; goto again;")
+
+    def test_return(self):
+        self.round_trip("return;")
+        self.round_trip("return x + 1;")
+
+    def test_null_statement(self):
+        self.round_trip(";")
+
+    def test_nested_compound(self):
+        self.round_trip("{int y; y = 1; {y = 2;}}")
+
+    def test_break_continue(self):
+        self.round_trip("while (1) {if (a) break; continue;}")
+
+
+class TestDanglingElse:
+    def test_else_does_not_reassociate(self):
+        # if (a) { if (b) x(); } else y();  — outer else
+        inner = stmts.IfStmt(
+            nodes.Identifier("b"),
+            stmts.ExprStmt(nodes.Call(nodes.Identifier("x"), [])),
+        )
+        outer = stmts.IfStmt(
+            nodes.Identifier("a"),
+            inner,
+            stmts.ExprStmt(nodes.Call(nodes.Identifier("y"), [])),
+        )
+        printed = render_c(outer)
+        reparsed = parse_stmt(printed)
+        # The printed form may brace the then-branch; what matters is
+        # that the else re-attaches to the OUTER if on reparse.
+        assert reparsed.cond == nodes.Identifier("a")
+        assert reparsed.otherwise == outer.otherwise
+
+    def test_else_after_while_if(self):
+        inner = stmts.WhileStmt(
+            nodes.Identifier("c"),
+            stmts.IfStmt(
+                nodes.Identifier("b"),
+                stmts.ExprStmt(nodes.Call(nodes.Identifier("x"), [])),
+            ),
+        )
+        outer = stmts.IfStmt(
+            nodes.Identifier("a"),
+            inner,
+            stmts.ExprStmt(nodes.Call(nodes.Identifier("y"), [])),
+        )
+        printed = render_c(outer)
+        reparsed = parse_stmt(printed)
+        assert reparsed.cond == nodes.Identifier("a")
+        assert reparsed.otherwise == outer.otherwise
+
+
+class TestFunctions:
+    def test_prototype_definition(self):
+        src = "int add(int a, int b)\n{return a + b;}"
+        assert_c_equal(render_c(parse_c(src)), src)
+
+    def test_kr_definition(self):
+        src = "int foo(a, b)\nint a;\nint b;\n{return a;}"
+        assert_c_equal(render_c(parse_c(src)), src)
+
+    def test_void_params(self):
+        src = "void f(void)\n{;}"
+        assert_c_equal(render_c(parse_c(src)), src)
+
+    def test_variadic(self):
+        src = "int printf(char *fmt, ...);"
+        assert_c_equal(render_c(parse_c(src)), src)
+
+
+class TestErrors:
+    def test_unprintable_raises_typeerror(self):
+        with pytest.raises(TypeError):
+            render_c(object())

@@ -1,0 +1,87 @@
+"""Tests for the S-expression renderer (the Figure 2/3 format)."""
+
+from repro.cast import nodes, render_sexpr, stmts
+from repro.cast.builders import create_binary, create_id, create_num
+from tests.conftest import parse_c, parse_expr, parse_stmt
+
+
+class TestExpressions:
+    def test_identifier(self):
+        assert render_sexpr(create_id("x")) == "(id x)"
+
+    def test_number(self):
+        assert render_sexpr(create_num(42)) == "(num 42)"
+
+    def test_binary(self):
+        tree = create_binary("+", create_id("a"), create_id("b"))
+        assert render_sexpr(tree) == "(+ (id a) (id b))"
+
+    def test_call(self):
+        tree = nodes.Call(create_id("f"), [create_id("x")])
+        assert render_sexpr(tree) == "(call (id f) (id x))"
+
+    def test_call_no_args(self):
+        tree = nodes.Call(create_id("f"), [])
+        assert render_sexpr(tree) == "(call (id f))"
+
+
+class TestStatements:
+    def test_return(self):
+        tree = parse_stmt("return x;")
+        assert render_sexpr(tree) == (
+            "(return-statement (expression (id x)))"
+        )
+
+    def test_return_abbreviated(self):
+        tree = parse_stmt("return x;")
+        assert render_sexpr(tree, abbrev=True) == "(r-s (exp (id x)))"
+
+    def test_compound_shape(self):
+        tree = parse_stmt("{int x; return x;}")
+        out = render_sexpr(tree, abbrev=True)
+        assert out.startswith("(c-s (decl-list")
+        assert "(stmt-list" in out
+
+    def test_declaration_abbreviated_quotes_source(self):
+        tree = parse_stmt("{int x; return x;}")
+        out = render_sexpr(tree, abbrev=True)
+        assert '(decl "int x")' in out
+
+
+class TestDeclarations:
+    def test_declaration_full_form(self):
+        unit = parse_c("int y;")
+        out = render_sexpr(unit.items[0])
+        assert out == (
+            "(declaration (int) ((init-declarator (direct-declarator y) "
+            "())))"
+        )
+
+    def test_declaration_with_init(self):
+        unit = parse_c("int y = 1;")
+        out = render_sexpr(unit.items[0])
+        assert "(num 1)" in out
+
+    def test_lists_render_in_parens(self):
+        assert render_sexpr([create_id("a"), create_id("b")]) == (
+            "((id a) (id b))"
+        )
+
+    def test_none_is_empty(self):
+        assert render_sexpr(None) == "()"
+
+
+class TestGenericFallback:
+    def test_if_statement_renders(self):
+        tree = parse_stmt("if (a) b();")
+        out = render_sexpr(tree)
+        assert out.startswith("(if-statement")
+
+    def test_while_statement_renders(self):
+        tree = parse_stmt("while (a) b();")
+        assert render_sexpr(tree).startswith("(while-statement")
+
+    def test_expression_precedence_preserved_in_sexpr(self):
+        # The sexpr of x + y * m shows * nested under +.
+        tree = parse_expr("x + y * m")
+        assert render_sexpr(tree) == "(+ (id x) (* (id y) (id m)))"

@@ -1,0 +1,63 @@
+"""Tests for the class-based visitor and collection helpers."""
+
+from repro.cast import nodes, stmts
+from repro.cast.visitor import NodeVisitor, collect, count_nodes
+from tests.conftest import parse_c, parse_stmt
+
+
+class TestNodeVisitor:
+    def test_dispatch_by_class_name(self):
+        seen = []
+
+        class V(NodeVisitor):
+            def visit_Identifier(self, node):
+                seen.append(node.name)
+
+            def generic_visit(self, node):
+                for child in self._children(node):
+                    self.visit(child)
+
+            def _children(self, node):
+                from repro.cast.base import children
+
+                return children(node)
+
+        V().visit(parse_stmt("{a = b; f(c);}"))
+        assert seen == ["a", "b", "f", "c"]
+
+    def test_generic_visit_recurses_by_default(self):
+        counts = {"n": 0}
+
+        class Counter(NodeVisitor):
+            def visit_Call(self, node):
+                counts["n"] += 1
+                self.generic_visit(node)
+
+        Counter().visit(parse_stmt("{f(g(x)); h();}"))
+        assert counts["n"] == 3
+
+    def test_return_value_propagates(self):
+        class Finder(NodeVisitor):
+            def visit_ReturnStmt(self, node):
+                return "found"
+
+        assert Finder().visit(parse_stmt("return;")) == "found"
+        assert Finder().visit(parse_stmt("break;")) is None
+
+
+class TestHelpers:
+    def test_count_nodes(self):
+        tree = parse_stmt("x = 1;")
+        # ExprStmt, AssignOp, Identifier, IntLit.
+        assert count_nodes(tree) == 4
+
+    def test_collect(self):
+        unit = parse_c("void f(void) {a(); b(); c();}")
+        calls = collect(unit, nodes.Call)
+        assert len(calls) == 3
+        assert all(isinstance(c, nodes.Call) for c in calls)
+
+    def test_collect_statements(self):
+        unit = parse_c("void f(void) {if (a) b(); while (c) d();}")
+        assert len(collect(unit, stmts.IfStmt)) == 1
+        assert len(collect(unit, stmts.WhileStmt)) == 1

@@ -1,0 +1,75 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MacroProcessor
+from repro.asttypes.env import TypeEnv
+from repro.asttypes.types import AstType
+from repro.lexer.scanner import tokenize
+from repro.parser.core import Parser
+
+
+@pytest.fixture()
+def mp() -> MacroProcessor:
+    """A fresh macro processor."""
+    return MacroProcessor()
+
+
+@pytest.fixture()
+def std_mp() -> MacroProcessor:
+    """A processor with all standard packages loaded."""
+    from repro.packages import load_standard
+
+    processor = MacroProcessor()
+    load_standard(processor)
+    return processor
+
+
+def c_tokens(source: str) -> list[str]:
+    """Token spellings of a C fragment (whitespace-insensitive form)."""
+    return [t.text for t in tokenize(source, meta=False)][:-1]
+
+
+def assert_c_equal(actual: str, expected: str) -> None:
+    """Compare two C fragments token-by-token (layout-insensitive)."""
+    actual_toks = c_tokens(actual)
+    expected_toks = c_tokens(expected)
+    assert actual_toks == expected_toks, (
+        "C token streams differ:\n"
+        f"  actual:   {' '.join(actual_toks)}\n"
+        f"  expected: {' '.join(expected_toks)}"
+    )
+
+
+def parse_c(source: str):
+    """Parse plain C source into a TranslationUnit (no macro host)."""
+    return Parser(source).parse_program()
+
+
+def parse_expr(source: str):
+    """Parse a single C expression."""
+    parser = Parser(source)
+    return parser.parse_expression()
+
+
+def parse_stmt(source: str):
+    """Parse a single C statement."""
+    parser = Parser(source)
+    return parser.parse_statement()
+
+
+def parse_meta_expr(source: str, bindings: dict[str, AstType] | None = None):
+    """Parse a meta-expression with the given type environment, and
+    return ``(expr, inferred_type)``."""
+    from repro.asttypes.check import MetaTypeInferencer
+
+    parser = Parser(source)
+    env: TypeEnv = parser.global_type_env.child()
+    for name, asttype in (bindings or {}).items():
+        env.bind(name, asttype)
+    with parser._meta(True), parser._scoped_env(env):
+        expr = parser.parse_expression()
+        inferred = MetaTypeInferencer(env).infer(expr)
+    return expr, inferred

@@ -1,0 +1,47 @@
+enum door_states {closed, opening, open_wide};
+
+int door_step(int state, int event)
+{
+    switch (state)
+    {
+        case closed:
+            {
+                if (event == open_cmd)
+                    return opening;
+                break;
+            }
+        case opening:
+            {
+                if (event == opened)
+                    return open_wide;
+                if (event == obstruction)
+                    return closed;
+                break;
+            }
+        case open_wide:
+            {
+                break;
+            }
+    }
+    return state;
+}
+
+struct packet {int seq; int crc;};
+
+void print_packet(struct packet *p)
+{
+    printf("%s {", "packet");
+    print_field("seq", p->seq);
+    print_field("crc", p->crc);
+    printf("%s", "}");
+}
+
+int pack_packet(struct packet *p, char *buf)
+{
+    int offset;
+    offset = 0;
+    offset = offset + pack_value(buf + offset, p->seq);
+    offset = offset + pack_value(buf + offset, p->crc);
+    return offset;
+}
+

@@ -1,0 +1,8 @@
+
+state_machine door {
+    state closed { on open_cmd go opening }
+    state opening { on opened go open_wide, on obstruction go closed }
+    state open_wide { }
+};
+
+serializable packet { int seq; int crc; };

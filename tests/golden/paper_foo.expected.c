@@ -1,0 +1,87 @@
+enum fruit {apple, banana, kiwi};
+
+void print_fruit(int arg)
+{
+    switch (arg)
+    {
+        case apple:
+            printf("%s", "apple");
+        case banana:
+            printf("%s", "banana");
+        case kiwi:
+            printf("%s", "kiwi");
+    }
+}
+
+int read_fruit(void)
+{
+    char s[100];
+    getline(s, 100);
+    if (!strcmp(s, "apple"))
+        return apple;
+    if (!strcmp(s, "banana"))
+        return banana;
+    if (!strcmp(s, "kiwi"))
+        return kiwi;
+    return 0;
+}
+
+int foo(a, b, c)
+int a, b;
+int *c;
+{
+    int z;
+    z = a + b;
+    {
+        int *old_exception_ptr = exception_ptr;
+        int jump_buffer[2];
+        int result;
+        result = setjmp(jump_buffer);
+        if (result == 0)
+        {
+            exception_ptr = jump_buffer;
+            {
+                *c = freq(z, a);
+            }
+        }
+        else
+        {
+            exception_ptr = old_exception_ptr;
+            if (result == division_by_zero)
+            {
+                printf("%s", "You lose, division by zero.");
+            }
+            else
+                if (exception_ptr == 0)
+                    error_handler("No handler for thrown value");
+                else
+                    longjmp(exception_ptr, result);
+        }
+    }
+    {
+        int *old_exception_ptr = exception_ptr;
+        int jump_buffer[2];
+        int result = setjmp(jump_buffer);
+        if (result == 0)
+        {
+            exception_ptr = jump_buffer;
+            {
+                start_faucet_running();
+            }
+        }
+        else
+        {
+            exception_ptr = old_exception_ptr;
+        }
+        {
+            stop_faucet();
+        }
+        if (result != 0)
+            if (exception_ptr == 0)
+                error_handler("No handler for thrown value");
+            else
+                longjmp(exception_ptr, result);
+    }
+    return z;
+}
+

@@ -1,0 +1,16 @@
+
+myenum fruit {apple, banana, kiwi};
+
+int foo(a, b, c)
+int a, b;
+int *c;
+{
+    int z;
+    z = a + b;
+    catch division_by_zero
+        {printf("%s", "You lose, division by zero.");}
+        {*c = freq(z, a);}
+    unwind_protect {start_faucet_running();}
+        {stop_faucet();}
+    return(z);
+}

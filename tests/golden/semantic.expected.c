@@ -1,0 +1,16 @@
+long printlength;
+
+void demo(int count, float ratio)
+{
+    {
+        long __g_1 = printlength;
+        printlength = 10;
+        {
+            print_tree(root);
+        }
+        printlength = __g_1;
+    }
+    printf("%s = %d", "count", count);
+    printf("%s = %f", "ratio", ratio);
+}
+

@@ -1,0 +1,9 @@
+
+long printlength;
+
+void demo(int count, float ratio)
+{
+    sdynamic_bind {printlength = 10} {print_tree(root);}
+    show(count);
+    show(ratio);
+}

@@ -1,0 +1,119 @@
+"""Tests for scope analysis: free variables and capture detection."""
+
+from repro import MacroProcessor
+from repro.analysis import (
+    Capture,
+    bound_names,
+    detect_captures,
+    free_identifiers,
+)
+from tests.conftest import parse_c, parse_expr, parse_stmt
+
+
+class TestBoundNames:
+    def test_declaration(self):
+        unit = parse_c("int x, *y;")
+        assert bound_names(unit.items[0]) == ["x", "y"]
+
+    def test_compound(self):
+        s = parse_stmt("{int a; char b; a = 1;}")
+        assert bound_names(s) == ["a", "b"]
+
+
+class TestFreeIdentifiers:
+    def test_expression(self):
+        assert free_identifiers(parse_expr("a + b * f(c)")) == {
+            "a", "b", "f", "c",
+        }
+
+    def test_locals_not_free(self):
+        s = parse_stmt("{int a; a = b;}")
+        assert free_identifiers(s) == {"b"}
+
+    def test_member_names_not_variables(self):
+        assert free_identifiers(parse_expr("p->next")) == {"p"}
+        assert free_identifiers(parse_expr("s.field")) == {"s"}
+
+    def test_function_params_bound(self):
+        unit = parse_c("int f(int a, int b) {return a + b + g;}")
+        assert free_identifiers(unit.items[0]) == {"g"}
+
+    def test_kr_params_bound(self):
+        unit = parse_c("int f(a, b)\nint a, b;\n{return a + b + c;}")
+        assert free_identifiers(unit.items[0]) == {"c"}
+
+    def test_nested_scopes(self):
+        s = parse_stmt("{int a; {int b; use(a, b, c);}}")
+        assert free_identifiers(s) == {"use", "c"}
+
+    def test_initializer_sees_outer_scope(self):
+        s = parse_stmt("{int a = init_value; use(a);}")
+        assert "init_value" in free_identifiers(s)
+
+
+CAPTURING_MACRO = """
+syntax stmt save {| $$stmt::body |}
+{
+  return(`{{int saved = level;
+            $body;
+            level = saved;}});
+}
+"""
+
+
+class TestCaptureDetection:
+    def test_clean_program_has_no_captures(self):
+        mp = MacroProcessor()
+        mp.load(CAPTURING_MACRO)
+        unit = mp.expand_to_ast("void f(void) { save { work(); } }")
+        assert detect_captures(unit) == []
+
+    def test_capture_detected(self):
+        mp = MacroProcessor()
+        mp.load(CAPTURING_MACRO)
+        # User body uses its own 'saved' — bound by the template's decl.
+        unit = mp.expand_to_ast(
+            "void f(int saved) { save { saved = saved + 1; } }"
+        )
+        captures = detect_captures(unit)
+        assert len(captures) == 2  # both user references to 'saved'
+        assert all(c.name == "saved" for c in captures)
+
+    def test_hygienic_mode_eliminates_captures(self):
+        mp = MacroProcessor(hygienic=True)
+        mp.load(CAPTURING_MACRO)
+        unit = mp.expand_to_ast(
+            "void f(int saved) { save { saved = saved + 1; } }"
+        )
+        assert detect_captures(unit) == []
+
+    def test_template_own_references_not_captures(self):
+        # The template's own uses of 'saved' are marked, so they are
+        # intentional bindings, not captures.
+        mp = MacroProcessor()
+        mp.load(CAPTURING_MACRO)
+        unit = mp.expand_to_ast("void f(void) { save { x(); } }")
+        assert detect_captures(unit) == []
+
+    def test_capture_report_is_readable(self):
+        mp = MacroProcessor()
+        mp.load(CAPTURING_MACRO)
+        unit = mp.expand_to_ast(
+            "void f(int saved) { save { g(saved); } }"
+        )
+        (capture,) = detect_captures(unit)
+        text = str(capture)
+        assert "saved" in text
+        assert "captured" in text
+
+    def test_gensym_macros_never_capture(self):
+        mp = MacroProcessor()
+        mp.load(
+            "syntax stmt save {| $$stmt::body |}"
+            "{ @id slot = gensym();"
+            "  return(`{{int $slot = level; $body; level = $slot;}}); }"
+        )
+        unit = mp.expand_to_ast(
+            "void f(int saved) { save { g(saved); } }"
+        )
+        assert detect_captures(unit) == []

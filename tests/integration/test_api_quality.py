@@ -1,0 +1,114 @@
+"""API-quality gates: docstrings on every public item, clean imports.
+
+The deliverable requires "doc comments on every public item"; this
+test enforces it mechanically so it stays true.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.analysis",
+    "repro.asttypes",
+    "repro.asttypes.body",
+    "repro.asttypes.check",
+    "repro.asttypes.convert",
+    "repro.asttypes.env",
+    "repro.asttypes.types",
+    "repro.baseline",
+    "repro.baseline.charmacro",
+    "repro.baseline.tokmacro",
+    "repro.cast",
+    "repro.cast.base",
+    "repro.cast.builders",
+    "repro.cast.ctypes",
+    "repro.cast.decls",
+    "repro.cast.nodes",
+    "repro.cast.printer",
+    "repro.cast.sexpr",
+    "repro.cast.stmts",
+    "repro.cast.visitor",
+    "repro.cli",
+    "repro.constfold",
+    "repro.engine",
+    "repro.errors",
+    "repro.figures",
+    "repro.lexer",
+    "repro.lexer.scanner",
+    "repro.lexer.tokens",
+    "repro.macros",
+    "repro.macros.compiled",
+    "repro.macros.definition",
+    "repro.macros.expander",
+    "repro.macros.hygiene",
+    "repro.macros.invocation",
+    "repro.macros.lookahead",
+    "repro.macros.pattern",
+    "repro.macros.template",
+    "repro.meta",
+    "repro.meta.builtins",
+    "repro.meta.frames",
+    "repro.meta.interp",
+    "repro.meta.values",
+    "repro.packages",
+    "repro.parser",
+    "repro.parser.core",
+    "repro.parser.exprs",
+    "repro.parser.stream",
+    "repro.semantics",
+]
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_importable_and_documented(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+    assert len(module.__doc__.strip()) > 20
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_public_classes_and_functions_documented(name):
+    module = importlib.import_module(name)
+    undocumented = []
+    for attr_name in dir(module):
+        if attr_name.startswith("_"):
+            continue
+        obj = getattr(module, attr_name)
+        if getattr(obj, "__module__", None) != name:
+            continue  # re-exported from elsewhere
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not inspect.getdoc(obj):
+                undocumented.append(attr_name)
+    assert not undocumented, (
+        f"{name}: missing docstrings on {', '.join(undocumented)}"
+    )
+
+
+def test_every_package_module_is_listed():
+    """PUBLIC_MODULES covers the real tree (catch new, unlisted files)."""
+    found = {"repro"}
+    for module_info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        if module_info.name.endswith("__main__"):
+            continue
+        if module_info.name.startswith("repro.packages."):
+            continue  # macro suites are data-carrying modules
+        found.add(module_info.name)
+    missing = found - set(PUBLIC_MODULES)
+    assert not missing, f"unlisted public modules: {sorted(missing)}"
+
+
+def test_packages_have_source_and_register():
+    from repro.packages import ALL_PACKAGES
+
+    for pkg in ALL_PACKAGES:
+        assert hasattr(pkg, "SOURCE")
+        assert callable(pkg.register)
+        assert pkg.__doc__

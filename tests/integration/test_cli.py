@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(
+        "syntax stmt trace {| $$stmt::body |}"
+        "{ return(`{{enter(); $body; leave();}}); }\n"
+        "void f(void) { trace work(); }\n"
+    )
+    return path
+
+
+class TestExpand:
+    def test_expand_file(self, program_file, capsys):
+        assert main(["expand", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "enter()" in out
+        assert "syntax" not in out
+
+    def test_keep_meta(self, program_file, capsys):
+        assert main(["expand", "--keep-meta", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "syntax stmt trace" in out
+
+    def test_package_then_program(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg.c"
+        pkg.write_text(
+            "syntax exp two {| ( ) |} { return(`(2)); }\n"
+        )
+        prog = tmp_path / "prog.c"
+        prog.write_text("int x = two();\n")
+        assert main(["expand", str(pkg), str(prog)]) == 0
+        out = capsys.readouterr().out
+        assert "int x = 2;" in out
+        assert "two" not in out
+
+    def test_builtin_package(self, tmp_path, capsys):
+        prog = tmp_path / "prog.c"
+        prog.write_text("void f(void) { throw tag; }\n")
+        assert main(["expand", "-p", "exceptions", str(prog)]) == 0
+        assert "longjmp" in capsys.readouterr().out
+
+    def test_hygienic_flag(self, tmp_path, capsys):
+        prog = tmp_path / "prog.c"
+        prog.write_text(
+            "syntax stmt g {| $$stmt::b |}"
+            "{ return(`{{int saved = 0; $b;}}); }\n"
+            "void f(void) { g w(); }\n"
+        )
+        assert main(["expand", "--hygienic", str(prog)]) == 0
+        out = capsys.readouterr().out
+        assert "int saved" not in out
+
+    def test_error_reported_with_location(self, tmp_path, capsys):
+        prog = tmp_path / "bad.c"
+        prog.write_text("int x = ;\n")
+        assert main(["expand", str(prog)]) == 1
+        err = capsys.readouterr().err
+        assert "bad.c" in err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["expand", str(tmp_path / "nope.c")]) == 1
+
+
+class TestMacros:
+    def test_list_builtin_package(self, capsys):
+        assert main(["macros", "-p", "exceptions"]) == 0
+        out = capsys.readouterr().out
+        assert "syntax stmt throw" in out
+        assert "syntax stmt catch" in out
+
+    def test_list_user_file(self, program_file, capsys):
+        assert main(["macros", str(program_file)]) == 0
+        assert "trace" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_prints_both_tables(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "(declaration (int) y)" in out
+        assert "Syntactically Illegal Program" in out

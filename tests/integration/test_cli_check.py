@@ -1,0 +1,57 @@
+"""Tests for the ``repro check`` lint subcommand."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCheck:
+    def test_clean_program(self, tmp_path, capsys):
+        prog = tmp_path / "p.c"
+        prog.write_text(
+            "int x;\nint f(int a) { return a + x; }\n"
+        )
+        assert main(["check", str(prog)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_undeclared_identifier_flagged(self, tmp_path, capsys):
+        prog = tmp_path / "p.c"
+        prog.write_text("int f(void) { return mystery; }\n")
+        assert main(["check", str(prog)]) == 1
+        err = capsys.readouterr().err
+        assert "mystery" in err
+        assert "f()" in err
+
+    def test_extern_whitelist(self, tmp_path, capsys):
+        prog = tmp_path / "p.c"
+        prog.write_text('void f(void) { printf(msg); }\n')
+        assert main(
+            ["check", "--extern", "printf", "--extern", "msg", str(prog)]
+        ) == 0
+
+    def test_capture_flagged(self, tmp_path, capsys):
+        prog = tmp_path / "p.c"
+        prog.write_text(
+            "syntax stmt save {| $$stmt::b |}"
+            "{ return(`{{int saved = level; $b; level = saved;}}); }\n"
+            "int level;\n"
+            "void f(int saved) { save { saved = saved + 1; } }\n"
+        )
+        assert main(["check", str(prog)]) == 1
+        assert "capture" in capsys.readouterr().err
+
+    def test_package_code_checks_clean(self, tmp_path, capsys):
+        prog = tmp_path / "p.c"
+        prog.write_text(
+            "int *exception_ptr;\n"
+            "int tag;\n"
+            "void h(void);\n"
+            "void f(void) { catch tag {h();} {throw tag;} }\n"
+        )
+        code = main([
+            "check", "-p", "exceptions",
+            "--extern", "setjmp", "--extern", "longjmp",
+            "--extern", "error_handler",
+            str(prog),
+        ])
+        assert code == 0

@@ -1,0 +1,117 @@
+"""Tests for the constant-expression evaluator and eval_const builtin."""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.constfold import NotConstant, enum_constants, eval_const
+from repro.errors import ExpansionError
+from tests.conftest import parse_c, parse_expr
+
+
+def fold(source: str, env=None) -> int:
+    return eval_const(parse_expr(source), env)
+
+
+class TestArithmetic:
+    def test_literals(self):
+        assert fold("42") == 42
+        assert fold("'A'") == 65
+
+    def test_basic_ops(self):
+        assert fold("2 + 3 * 4") == 14
+        assert fold("(2 + 3) * 4") == 20
+        assert fold("1 << 10") == 1024
+
+    def test_c_division(self):
+        assert fold("-7 / 2") == -3
+        assert fold("-7 % 2") == -1
+
+    def test_division_by_zero_not_constant(self):
+        with pytest.raises(NotConstant):
+            fold("1 / 0")
+
+    def test_unary(self):
+        assert fold("-(3)") == -3
+        assert fold("~0") == -1
+        assert fold("!5") == 0
+
+    def test_comparisons(self):
+        assert fold("3 < 4") == 1
+        assert fold("3 == 4") == 0
+
+    def test_short_circuit(self):
+        assert fold("0 && (1 / 0)") == 0
+        assert fold("1 || (1 / 0)") == 1
+
+    def test_conditional(self):
+        assert fold("1 ? 10 : 20") == 10
+        assert fold("0 ? 10 : 20") == 20
+
+    def test_cast(self):
+        assert fold("(long) 5 + 1") == 6
+
+    def test_identifiers_from_env(self):
+        assert fold("MAX - 1", {"MAX": 100}) == 99
+
+    def test_unknown_identifier_not_constant(self):
+        with pytest.raises(NotConstant):
+            fold("unknown + 1")
+
+    def test_call_not_constant(self):
+        with pytest.raises(NotConstant):
+            fold("f(1)")
+
+
+class TestEnumConstants:
+    def enum_of(self, source: str):
+        unit = parse_c(source)
+        return unit.items[0].specs.type_spec
+
+    def test_implicit_values(self):
+        values = enum_constants(self.enum_of("enum e {a, b, c};"))
+        assert values == {"a": 0, "b": 1, "c": 2}
+
+    def test_explicit_values(self):
+        values = enum_constants(
+            self.enum_of("enum e {a = 5, b, c = 1 << 4, d};")
+        )
+        assert values == {"a": 5, "b": 6, "c": 16, "d": 17}
+
+    def test_values_reference_earlier_enumerators(self):
+        values = enum_constants(
+            self.enum_of("enum e {base = 3, twice = base * 2};")
+        )
+        assert values["twice"] == 6
+
+
+class TestEvalConstBuiltin:
+    def test_macro_accepts_constant_expressions(self, mp):
+        mp.load(
+            "syntax stmt repeat {| ( $$exp::n ) $$stmt::body |}"
+            "{ int i; int count; @stmt out[];"
+            "  count = eval_const(n); out = list();"
+            "  for (i = 0; i < count; i++) out = cons(body, out);"
+            "  return(`{{$out}}); }"
+        )
+        unit = mp.expand_to_ast("void f(void) { repeat (2 * 3) tick(); }")
+        block = unit.items[0].body.stmts[0]
+        assert len(block.stmts) == 6
+
+    def test_non_constant_is_expansion_error(self, mp):
+        mp.load(
+            "syntax stmt repeat {| ( $$exp::n ) $$stmt::body |}"
+            "{ int count; count = eval_const(n); return(body); }"
+        )
+        with pytest.raises(ExpansionError) as exc:
+            mp.expand_to_c("void f(void) { repeat (runtime()) tick(); }")
+        assert "constant" in str(exc.value)
+
+    def test_eval_const_typed_as_int(self, mp):
+        # The static checker knows eval_const : exp -> int.
+        from repro.errors import MacroTypeError
+
+        with pytest.raises(MacroTypeError):
+            mp.load(
+                "syntax stmt bad {| ( $$exp::n ) |}"
+                "{ @stmt s = eval_const(n); return(s); }"
+            )

@@ -1,0 +1,91 @@
+"""Deferred expansion: parse with invocations left in, expand later.
+
+The paper's system expands during parsing; the engine also supports a
+two-phase mode (``expand_inline=False``) where
+:class:`~repro.cast.nodes.MacroInvocation` nodes stay in the tree and
+:meth:`Expander.expand_tree` runs afterwards — useful for tooling that
+wants to *inspect* invocations (IDE hovers, macro-usage statistics)
+before committing to expansion.
+"""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.cast import nodes
+from repro.cast.base import walk
+from repro.parser.core import Parser
+
+MACROS = """
+syntax stmt trace {| $$stmt::body |}
+{ return(`{{enter(); $body; leave();}}); }
+
+syntax exp twice {| ( $$exp::e ) |}
+{ return(`(2 * ($e))); }
+"""
+
+PROGRAM = "void f(void) { trace work(twice(3)); }"
+
+
+def parse_deferred(mp: MacroProcessor):
+    parser = Parser(PROGRAM, host=mp, expand_inline=False)
+    return parser.parse_program()
+
+
+class TestDeferredParse:
+    def test_invocations_left_in_tree(self, mp):
+        mp.load(MACROS)
+        unit = parse_deferred(mp)
+        invocations = [
+            n for n in walk(unit) if isinstance(n, nodes.MacroInvocation)
+        ]
+        # 'twice' is nested inside 'trace''s actual parameter.
+        names = sorted({inv.name for inv in invocations})
+        assert names == ["trace", "twice"]
+
+    def test_invocation_args_inspectable(self, mp):
+        mp.load(MACROS)
+        unit = parse_deferred(mp)
+        trace_inv = next(
+            n
+            for n in walk(unit)
+            if isinstance(n, nodes.MacroInvocation) and n.name == "trace"
+        )
+        assert trace_inv.args[0].name == "body"
+
+    def test_deferred_expansion_matches_inline(self, mp):
+        from repro.cast.printer import render_c
+
+        mp.load(MACROS)
+        deferred_unit = parse_deferred(mp)
+        expanded = mp.expander.expand_tree(deferred_unit)
+        deferred_out = render_c(expanded)
+
+        inline = MacroProcessor()
+        inline.load(MACROS)
+        inline_out = inline.expand_to_c(PROGRAM)
+        assert deferred_out == inline_out
+
+    def test_expand_tree_is_complete(self, mp):
+        mp.load(MACROS)
+        unit = parse_deferred(mp)
+        expanded = mp.expander.expand_tree(unit)
+        assert not [
+            n for n in walk(expanded)
+            if isinstance(n, nodes.MacroInvocation)
+        ]
+
+    def test_state_macros_expand_in_document_order(self, mp):
+        mp.load(
+            "metadcl int n;\n"
+            "syntax exp tick {| ( ) |}"
+            "{ n = n + 1; return(make_num(n)); }"
+        )
+        parser = Parser(
+            "void f(void) { a = tick(); b = tick(); }",
+            host=mp, expand_inline=False,
+        )
+        unit = parser.parse_program()
+        from repro.cast.printer import render_c
+
+        out = render_c(mp.expander.expand_tree(unit))
+        assert out.index("a = 1") < out.index("b = 2")

@@ -1,0 +1,163 @@
+"""End-to-end tests of the MacroProcessor facade."""
+
+import pytest
+
+from repro import MacroProcessor, expand_source
+from repro.cast import decls
+from repro.errors import (
+    ExpansionError,
+    MacroSyntaxError,
+    MacroTypeError,
+    ParseError,
+)
+from tests.conftest import assert_c_equal
+
+
+class TestBasicPipeline:
+    def test_plain_c_passes_through(self, mp):
+        src = "int x = 1;\nvoid f(void)\n{x = 2;}\n"
+        assert_c_equal(mp.expand_to_c(src), src)
+
+    def test_definition_and_use_in_one_file(self, mp):
+        out = mp.expand_to_c(
+            "syntax stmt trace {| $$stmt::body |}"
+            "{ return(`{{enter(); $body; leave();}}); }\n"
+            "void f(void) { trace work(); }"
+        )
+        assert_c_equal(
+            out, "void f(void) {{enter(); work(); leave();}}"
+        )
+
+    def test_meta_program_stripped_from_output(self, mp):
+        out = mp.expand_to_c(
+            "metadcl int n;\n"
+            "syntax stmt m {| ( ) |} { return(`{w();}); }\n"
+            "int keep;\n"
+        )
+        assert_c_equal(out, "int keep;")
+
+    def test_expand_program_keeps_meta_items(self, mp):
+        unit = mp.expand_program(
+            "syntax stmt m {| ( ) |} { return(`{w();}); }\nint keep;"
+        )
+        assert any(isinstance(i, decls.MacroDef) for i in unit.items)
+
+    def test_separate_files(self, mp):
+        # Macro package in one "file", program in another.
+        mp.load("syntax exp two {| ( ) |} { return(`(2)); }")
+        out = mp.expand_to_c("int x = two();")
+        assert_c_equal(out, "int x = 2;")
+
+    def test_typedefs_shared_across_files(self, mp):
+        mp.load("typedef int handle_t;")
+        out = mp.expand_to_c("handle_t h;")
+        assert_c_equal(out, "handle_t h;")
+
+    def test_expand_source_convenience(self):
+        out = expand_source(
+            "void f(void) { double_up(x); }",
+            packages=[
+                "syntax stmt double_up {| ( $$exp::e ) |}"
+                "{ return(`{$e = 2 * ($e);}); }"
+            ],
+        )
+        assert "x = 2 * x" in out
+
+
+class TestMultipleMacros:
+    def test_definition_order_respected(self, mp):
+        out = mp.expand_to_c(
+            "syntax exp one {| ( ) |} { return(`(1)); }\n"
+            "syntax exp two {| ( ) |} { return(`(one() + one())); }\n"
+            "int x = two();"
+        )
+        assert_c_equal(out, "int x = 1 + 1;")
+
+    def test_redefinition_rejected(self, mp):
+        with pytest.raises(MacroSyntaxError):
+            mp.load(
+                "syntax stmt m {| ( ) |} { return(`{a();}); }\n"
+                "syntax stmt m {| ( ) |} { return(`{b();}); }"
+            )
+
+    def test_many_macros_coexist(self, mp):
+        parts = [
+            f"syntax exp m{i} {{| ( ) |}} {{ return(`({i})); }}"
+            for i in range(20)
+        ]
+        mp.load("\n".join(parts))
+        out = mp.expand_to_c("int x = m7() + m13();")
+        assert_c_equal(out, "int x = 7 + 13;")
+
+
+class TestSyntacticSafety:
+    """The paper's central claim: macro errors surface at definition
+    time, in the macro writer's code."""
+
+    def test_ill_typed_template_rejected_at_definition(self, mp):
+        with pytest.raises((MacroTypeError, ParseError)):
+            mp.load(
+                "syntax stmt bad {| $$stmt::s |} { return(`(1 + $s)); }"
+            )
+
+    def test_wrong_return_type_rejected_at_definition(self, mp):
+        with pytest.raises(MacroTypeError):
+            mp.load(
+                "syntax stmt bad {| ( ) |} { return(`(1 + 2)); }"
+            )
+
+    def test_undeclared_meta_variable_rejected(self, mp):
+        with pytest.raises(MacroTypeError):
+            mp.load(
+                "syntax stmt bad {| ( ) |} { return(`{$mystery;}); }"
+            )
+
+    def test_user_never_sees_definition_errors(self, mp):
+        # A well-typed macro can't produce a syntax error at use sites:
+        # uses only fail on *their own* syntax.
+        mp.load(
+            "syntax stmt ok {| ( $$exp::e ) |} { return(`{f($e);}); }"
+        )
+        with pytest.raises(ParseError) as exc:
+            mp.expand_to_c("void g(void) { ok(1 +); }")
+        # The reported location is in the user's invocation.
+        assert exc.value.location is not None
+
+    def test_invocations_only_where_type_allowed(self, mp):
+        mp.load(
+            "syntax decl gen[] {| $$id::n ; |} { return(list(`[int $n;])); }"
+        )
+        # decl macro at expression position: 'gen' is just an ident.
+        with pytest.raises(ParseError):
+            mp.expand_to_c("void f(void) { x = gen y;; }")
+
+
+class TestErrorLocations:
+    def test_lex_error_location(self, mp):
+        with pytest.raises(Exception) as exc:
+            mp.expand_to_c("int x = \x01;")
+        assert getattr(exc.value, "location", None) is not None
+
+    def test_expansion_error_mentions_macro(self, mp):
+        mp.load(
+            "syntax stmt fail {| ( ) |}"
+            '{ error("deliberate"); return(`{;}); }'
+        )
+        with pytest.raises(ExpansionError) as exc:
+            mp.expand_to_c("void f(void) { fail(); }")
+        assert "deliberate" in str(exc.value)
+
+
+class TestStatistics:
+    def test_expansion_count(self, mp):
+        mp.load("syntax stmt m {| ( ) |} { return(`{w();}); }")
+        mp.expand_to_c("void f(void) { m(); m(); }")
+        assert mp.expansion_count == 2
+
+
+class TestIdempotence:
+    def test_plain_c_round_trips_repeatedly(self, mp):
+        src = "int x;\nvoid f(void)\n{x = 1;}\n"
+        once = mp.expand_to_c(src)
+        twice = MacroProcessor().expand_to_c(once)
+        assert once == twice

@@ -1,0 +1,85 @@
+"""Engine edge cases: define_macros, option interplay, session reuse."""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.cast import decls
+
+
+class TestDefineMacros:
+    def test_returns_new_names(self, mp):
+        names = mp.define_macros(
+            "syntax stmt a {| ( ) |} { return(`{x();}); }\n"
+            "syntax stmt b {| ( ) |} { return(`{y();}); }"
+        )
+        assert names == ["a", "b"]
+
+    def test_only_new_names_reported(self, mp):
+        mp.define_macros("syntax stmt a {| ( ) |} { return(`{x();}); }")
+        names = mp.define_macros(
+            "syntax stmt b {| ( ) |} { return(`{y();}); }"
+        )
+        assert names == ["b"]
+
+
+class TestSessionReuse:
+    def test_macros_persist_across_expand_calls(self, mp):
+        mp.load("syntax exp one {| ( ) |} { return(`(1)); }")
+        assert "1" in mp.expand_to_c("int a = one();")
+        assert "1" in mp.expand_to_c("int b = one();")
+
+    def test_meta_state_persists_across_expand_calls(self, mp):
+        mp.load(
+            "metadcl int n;\n"
+            "syntax exp tick {| ( ) |}"
+            "{ n = n + 1; return(make_num(n)); }"
+        )
+        assert "1" in mp.expand_to_c("int a = tick();")
+        # Second file continues the same meta program.
+        assert "2" in mp.expand_to_c("int b = tick();")
+
+    def test_gensym_never_repeats_across_files(self, mp):
+        mp.load(
+            "syntax stmt g {| ( ) |}"
+            "{ @id t = gensym(); return(`{{int $t = 0; use($t);}}); }"
+        )
+        first = mp.expand_to_c("void f(void) { g(); }")
+        second = mp.expand_to_c("void h(void) { g(); }")
+        import re
+
+        names1 = set(re.findall(r"__g_\d+", first))
+        names2 = set(re.findall(r"__g_\d+", second))
+        assert not names1 & names2
+
+
+class TestOptionInterplay:
+    SOURCE = (
+        "syntax stmt guard {| $$stmt::b |}"
+        "{ return(`{{int saved = 0; $b; use(saved);}}); }"
+    )
+    PROGRAM = "void f(void) { guard w(); }"
+
+    def test_hygienic_plus_compiled(self):
+        mp = MacroProcessor(hygienic=True, compiled_patterns=True)
+        mp.load(self.SOURCE)
+        out = mp.expand_to_c(self.PROGRAM)
+        assert "int saved" not in out
+
+    def test_expand_program_vs_expand_to_ast(self, mp):
+        mp.load(self.SOURCE)
+        with_meta = mp.expand_program(self.PROGRAM)
+        mp2 = MacroProcessor()
+        without_meta = mp2.expand_to_ast(
+            self.SOURCE + "\n" + self.PROGRAM
+        )
+        # expand_to_ast strips macro definitions from mixed files.
+        assert not [
+            i for i in without_meta.items
+            if isinstance(i, decls.MacroDef)
+        ]
+
+    def test_expansion_count_accumulates(self, mp):
+        mp.load(self.SOURCE)
+        mp.expand_to_c(self.PROGRAM)
+        mp.expand_to_c(self.PROGRAM)
+        assert mp.expansion_count == 2

@@ -1,0 +1,81 @@
+"""Tests for the shared error and location types."""
+
+import pytest
+
+from repro.errors import (
+    SYNTHETIC,
+    ExpansionError,
+    LexError,
+    MacroSyntaxError,
+    MacroTypeError,
+    MetaInterpError,
+    Ms2Error,
+    ParseError,
+    PatternLookaheadError,
+    SourceLocation,
+)
+
+
+class TestSourceLocation:
+    def test_str_format(self):
+        loc = SourceLocation(3, 7, 42, "prog.c")
+        assert str(loc) == "prog.c:3:7"
+
+    def test_defaults(self):
+        loc = SourceLocation()
+        assert loc.line == 1
+        assert loc.filename == "<string>"
+
+    def test_synthetic_sentinel(self):
+        assert SYNTHETIC.offset == -1
+        assert "synthetic" in SYNTHETIC.filename
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SourceLocation().line = 9
+
+
+class TestErrorFormatting:
+    def test_message_with_location(self):
+        err = ParseError("bad token", SourceLocation(2, 5, 10, "x.c"))
+        assert str(err) == "x.c:2:5: bad token"
+
+    def test_message_without_location(self):
+        assert str(Ms2Error("standalone")) == "standalone"
+
+    def test_attributes_preserved(self):
+        loc = SourceLocation(1, 1, 0)
+        err = MacroTypeError("oops", loc)
+        assert err.message == "oops"
+        assert err.location is loc
+
+
+class TestHierarchy:
+    def test_all_derive_from_ms2error(self):
+        for cls in (LexError, ParseError, MacroSyntaxError,
+                    PatternLookaheadError, MacroTypeError,
+                    ExpansionError, MetaInterpError):
+            assert issubclass(cls, Ms2Error)
+
+    def test_lookahead_is_macro_syntax_error(self):
+        assert issubclass(PatternLookaheadError, MacroSyntaxError)
+
+    def test_macro_syntax_is_parse_error(self):
+        assert issubclass(MacroSyntaxError, ParseError)
+
+    def test_meta_interp_is_expansion_error(self):
+        assert issubclass(MetaInterpError, ExpansionError)
+
+    def test_one_except_clause_catches_everything(self):
+        # Users can write `except Ms2Error` around the whole pipeline.
+        from repro import MacroProcessor
+
+        mp = MacroProcessor()
+        for bad in (
+            "int x = \x01;",                             # lex
+            "int x = ;",                                  # parse
+            "syntax stmt m {| |} { return(`{;}); }",      # macro syntax
+            "syntax stmt m {| ( ) |} { return(1); }",     # macro type
+        ):
+            with pytest.raises(Ms2Error):
+                MacroProcessor().expand_to_c(bad)

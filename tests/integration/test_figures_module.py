@@ -1,0 +1,50 @@
+"""Tests for the figures helper module itself."""
+
+import pytest
+
+from repro.asttypes.types import prim
+from repro.figures import (
+    FIGURE2_TYPES,
+    FIGURE3_TYPES,
+    figure2_rows,
+    figure3_rows,
+    parse_template_fragment,
+)
+
+
+class TestParseTemplateFragment:
+    def test_expression_kind(self):
+        tree = parse_template_fragment("exp", "$x + 1", {"x": prim("id")})
+        from repro.cast import nodes
+
+        assert isinstance(tree, nodes.BinaryOp)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            parse_template_fragment("chunk", "x", {})
+
+    def test_bindings_are_scoped_per_call(self):
+        from repro.errors import MacroTypeError
+
+        parse_template_fragment("exp", "$a", {"a": prim("id")})
+        with pytest.raises(MacroTypeError):
+            parse_template_fragment("exp", "$a", {})
+
+
+class TestTableShapes:
+    def test_figure2_types_match_paper_order(self):
+        labels = [label for label, _ in FIGURE2_TYPES]
+        assert labels == [
+            "init-declarator[]", "init-declarator", "declarator",
+            "identifier",
+        ]
+
+    def test_figure3_types_match_paper_order(self):
+        assert FIGURE3_TYPES == [
+            ("decl", "decl"), ("decl", "stmt"),
+            ("stmt", "stmt"), ("stmt", "decl"),
+        ]
+
+    def test_rows_are_stable_across_calls(self):
+        assert figure2_rows() == figure2_rows()
+        assert figure3_rows() == figure3_rows()

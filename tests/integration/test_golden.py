@@ -1,0 +1,74 @@
+"""Golden-file snapshot tests.
+
+Each ``tests/golden/<name>.input.c`` expands to exactly
+``<name>.expected.c``.  These pin end-to-end behaviour (including
+printer layout and gensym numbering, which are deterministic) so that
+refactors can't silently change what users see.
+
+To regenerate after an *intentional* change::
+
+    python tests/integration/test_golden.py --regenerate
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import MacroProcessor
+from repro.packages import load_standard, semantic, statemachine
+
+GOLDEN_DIR = Path(__file__).parent.parent / "golden"
+
+#: name -> loader installing the packages that case needs.
+LOADERS = {
+    "paper_foo": load_standard,
+    "dsl_and_serial": lambda mp: (
+        statemachine.register(mp), load_standard(mp)
+    ),
+    "semantic": semantic.register,
+}
+
+
+def expand_case(name: str) -> tuple[str, str]:
+    source = (GOLDEN_DIR / f"{name}.input.c").read_text()
+    expected = (GOLDEN_DIR / f"{name}.expected.c").read_text()
+    mp = MacroProcessor()
+    LOADERS[name](mp)
+    return mp.expand_to_c(source), expected
+
+
+@pytest.mark.parametrize("name", sorted(LOADERS))
+def test_golden(name):
+    actual, expected = expand_case(name)
+    assert actual == expected, (
+        f"golden case {name!r} drifted; if intentional, regenerate with "
+        f"`python {__file__} --regenerate`"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(LOADERS))
+def test_golden_deterministic(name):
+    first, _ = expand_case(name)
+    second, _ = expand_case(name)
+    assert first == second
+
+
+def _regenerate() -> None:
+    for name, loader in LOADERS.items():
+        source = (GOLDEN_DIR / f"{name}.input.c").read_text()
+        mp = MacroProcessor()
+        loader(mp)
+        (GOLDEN_DIR / f"{name}.expected.c").write_text(
+            mp.expand_to_c(source)
+        )
+        print(f"regenerated {name}")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,77 @@
+"""Tests for the post-expansion undeclared-identifier lint."""
+
+from repro import MacroProcessor
+from repro.analysis import undeclared_identifiers
+from repro.packages import enumio, exceptions
+from tests.conftest import parse_c
+
+
+class TestPlainC:
+    def test_self_contained_function_is_clean(self):
+        unit = parse_c(
+            "int x;\nint f(int a) { int b; b = a + x; return b; }"
+        )
+        assert undeclared_identifiers(unit) == {}
+
+    def test_missing_declaration_reported(self):
+        unit = parse_c("int f(void) { return mystery; }")
+        report = undeclared_identifiers(unit)
+        assert report == {"f": {"mystery"}}
+
+    def test_calls_to_unknown_functions_reported(self):
+        unit = parse_c("int f(void) { return helper(1); }")
+        assert "helper" in undeclared_identifiers(unit)["f"]
+
+    def test_functions_see_each_other(self):
+        unit = parse_c(
+            "int g(void);\n"
+            "int f(void) { return g(); }\n"
+            "int g(void) { return f(); }"
+        )
+        assert undeclared_identifiers(unit) == {}
+
+    def test_enum_constants_are_declared(self):
+        unit = parse_c(
+            "enum color {red, green};\n"
+            "int f(void) { return red + green; }"
+        )
+        assert undeclared_identifiers(unit) == {}
+
+    def test_externs_whitelist(self):
+        unit = parse_c("void f(void) { printf(fmt); }")
+        report = undeclared_identifiers(unit, externs={"printf", "fmt"})
+        assert report == {}
+
+
+class TestPackagesAreSelfContained:
+    def test_myenum_output_needs_only_libc(self):
+        mp = MacroProcessor()
+        enumio.register(mp)
+        unit = mp.expand_to_ast("myenum fruit {apple, banana};")
+        report = undeclared_identifiers(
+            unit, externs={"printf", "getline", "strcmp"}
+        )
+        assert report == {}
+
+    def test_exceptions_output_needs_documented_support(self):
+        mp = MacroProcessor()
+        exceptions.register(mp)
+        unit = mp.expand_to_ast(
+            "int *exception_ptr;\n"
+            "void f(void) { catch tag {h();} {throw tag;} }"
+        )
+        report = undeclared_identifiers(
+            unit,
+            externs={"setjmp", "longjmp", "error_handler", "tag", "h"},
+        )
+        assert report == {}
+
+    def test_lint_catches_a_buggy_macro(self):
+        # A macro whose template references a helper nobody declared.
+        mp = MacroProcessor()
+        mp.load(
+            "syntax stmt leaky {| ( ) |}"
+            "{ return(`{undeclared_helper();}); }"
+        )
+        unit = mp.expand_to_ast("void f(void) { leaky(); }")
+        assert "undeclared_helper" in undeclared_identifiers(unit)["f"]

@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+* printer/parser round trip: ``parse(print(t)) == t`` for generated
+  expression and statement trees;
+* scanner totality over identifier/number soup;
+* C division/modulo identities;
+* list-operation semantics in the meta-interpreter;
+* macro list parameters of arbitrary length;
+* token-macro interference for arbitrary operands (the paper's
+  introduction, generalized).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import MacroProcessor
+from repro.baseline.tokmacro import TokenMacroProcessor, render_tokens
+from repro.cast import nodes, render_c
+from repro.lexer.scanner import tokenize
+from repro.meta.interp import _c_div, _c_mod
+from tests.conftest import parse_expr
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s not in {
+        "auto", "break", "case", "char", "const", "continue", "default",
+        "do", "double", "else", "enum", "extern", "float", "for", "goto",
+        "if", "int", "long", "register", "return", "short", "signed",
+        "sizeof", "static", "struct", "switch", "typedef", "union",
+        "unsigned", "void", "volatile", "while", "syntax", "metadcl",
+    }
+)
+
+_leaf_exprs = st.one_of(
+    identifiers.map(nodes.Identifier),
+    st.integers(min_value=0, max_value=10**6).map(nodes.IntLit),
+)
+
+_binary_ops = st.sampled_from(sorted(nodes.BINARY_OPS))
+_unary_ops = st.sampled_from(["-", "+", "!", "~", "*", "&"])
+
+
+def _compound_exprs(children):
+    return st.one_of(
+        st.tuples(_binary_ops, children, children).map(
+            lambda t: nodes.BinaryOp(t[0], t[1], t[2])
+        ),
+        st.tuples(_unary_ops, children).map(
+            lambda t: nodes.UnaryOp(t[0], t[1])
+        ),
+        st.tuples(children, children, children).map(
+            lambda t: nodes.ConditionalOp(t[0], t[1], t[2])
+        ),
+        st.tuples(identifiers, st.lists(children, max_size=3)).map(
+            lambda t: nodes.Call(nodes.Identifier(t[0]), t[1])
+        ),
+        st.tuples(children, children).map(
+            lambda t: nodes.Index(t[0], t[1])
+        ),
+        st.tuples(children, identifiers).map(
+            lambda t: nodes.Member(t[0], t[1])
+        ),
+    )
+
+
+expressions = st.recursive(_leaf_exprs, _compound_exprs, max_leaves=24)
+
+
+# ---------------------------------------------------------------------------
+# Round-trip properties
+# ---------------------------------------------------------------------------
+
+
+class TestPrinterParserRoundTrip:
+    @given(expressions)
+    @settings(max_examples=200, deadline=None)
+    def test_expression_round_trip(self, tree):
+        printed = render_c(tree)
+        reparsed = parse_expr(printed)
+        assert reparsed == tree, printed
+
+    @given(st.lists(expressions, min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_statement_list_round_trip(self, exprs):
+        from repro.cast import stmts
+        from tests.conftest import parse_stmt
+
+        tree = stmts.CompoundStmt(
+            [], [stmts.ExprStmt(e) for e in exprs]
+        )
+        printed = render_c(tree)
+        assert parse_stmt(printed) == tree
+
+
+class TestScannerProperties:
+    @given(st.lists(identifiers, min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_identifier_soup_round_trips(self, names):
+        source = " ".join(names)
+        tokens = tokenize(source)[:-1]
+        assert [t.text for t in tokens] == names
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=100, deadline=None)
+    def test_int_literals_decode(self, n):
+        token = tokenize(str(n))[0]
+        assert token.value == n
+
+    @given(st.text(
+        alphabet=st.characters(
+            codec="ascii", exclude_characters='"\\\n'
+        ),
+        max_size=30,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_string_literals_decode(self, s):
+        token = tokenize(f'"{s}"')[0]
+        assert token.value == s
+
+
+class TestCArithmetic:
+    @given(
+        st.integers(min_value=-10**9, max_value=10**9),
+        st.integers(min_value=-10**9, max_value=10**9).filter(bool),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_div_mod_identity(self, a, b):
+        assert _c_div(a, b) * b + _c_mod(a, b) == a
+
+    @given(
+        st.integers(min_value=-10**9, max_value=10**9),
+        st.integers(min_value=-10**9, max_value=10**9).filter(bool),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_mod_sign_follows_dividend(self, a, b):
+        m = _c_mod(a, b)
+        assert abs(m) < abs(b)
+        if m != 0:
+            assert (m > 0) == (a > 0)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_truncation_toward_zero(self, a):
+        assert _c_div(-a, 3) == -(a // 3)
+
+
+class TestMacroListParameters:
+    @given(st.lists(identifiers, min_size=1, max_size=15, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_separated_list_length_preserved(self, names):
+        mp = MacroProcessor()
+        mp.load(
+            "syntax stmt gather {| { $$+/, id::ids } |}"
+            "{ return(`{f($ids);}); }"
+        )
+        program = "void g(void) { gather {%s}; }" % ", ".join(names)
+        unit = mp.expand_to_ast(program)
+        call = unit.items[0].body.stmts[0].expr
+        assert [a.name for a in call.args] == names
+
+    @given(st.integers(min_value=0, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_star_statement_list(self, n):
+        mp = MacroProcessor()
+        mp.load(
+            "syntax stmt block {| { $$*stmt::body } |}"
+            "{ return(`{{$body}}); }"
+        )
+        stmts_src = " ".join(f"s{i}();" for i in range(n))
+        unit = mp.expand_to_ast(f"void g(void) {{ block {{{stmts_src}}} }}")
+        inner = unit.items[0].body.stmts[0]
+        assert len(inner.stmts) == n
+
+
+class TestInterferenceGeneralized:
+    @given(
+        st.lists(identifiers, min_size=2, max_size=4),
+        st.lists(identifiers, min_size=2, max_size=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_syntax_macros_never_interfere(self, left_ids, right_ids):
+        a = " + ".join(left_ids)
+        b = " + ".join(right_ids)
+        mp = MacroProcessor()
+        mp.load(
+            "syntax exp M {| ( $$exp::a , $$exp::b ) |}"
+            "{ return(`($a * $b)); }"
+        )
+        unit = mp.expand_to_ast(f"void f(void) {{ r = M({a}, {b}); }}")
+        value = unit.items[0].body.stmts[0].expr.value
+        assert value.op == "*"
+        assert value.left == parse_expr(a)
+        assert value.right == parse_expr(b)
+
+    @given(
+        st.lists(identifiers, min_size=2, max_size=4),
+        st.lists(identifiers, min_size=2, max_size=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_token_macros_always_interfere(self, left_ids, right_ids):
+        a = " + ".join(left_ids)
+        b = " + ".join(right_ids)
+        tp = TokenMacroProcessor()
+        tp.define("M(A, B) A * B")
+        out = render_tokens(tp.expand_text(f"M({a}, {b})"))
+        tree = parse_expr(out)
+        # With multi-term operands the top node is ALWAYS + (wrong).
+        assert tree.op == "+"
+
+
+class TestGensym:
+    @given(st.integers(min_value=1, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_gensym_never_collides(self, n):
+        from repro.meta.interp import Interpreter
+
+        interp = Interpreter()
+        names = [interp.gensym().name for _ in range(n)]
+        assert len(set(names)) == n

@@ -1,0 +1,110 @@
+"""Property-based fuzzing of the macro pipeline itself.
+
+Generates random (but lookahead-valid) macro patterns together with
+matching invocations, and checks the whole chain — definition-time
+checking, invocation parsing, expansion, printing — preserves every
+actual parameter.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import MacroProcessor
+from repro.cast import nodes
+from repro.cast.base import walk
+from tests.integration.test_property import identifiers
+
+#: Parameter kinds we can generate actuals for.
+_PARAM_KINDS = st.sampled_from(["id", "num", "exp"])
+
+#: Distinct buzz tokens that (a) keep one-token lookahead trivially
+#: valid and (b) never continue an expression (the validator rejects
+#: operator tokens after exp parameters — see
+#: ``EXPRESSION_CONTINUATIONS`` in repro.macros.lookahead).
+_BUZZ = ["!", ";", ":", "]", ")", "~", "#", ","]
+
+
+@st.composite
+def macro_cases(draw):
+    """A (pattern_text, invocation_text, expected_actuals) triple."""
+    n_params = draw(st.integers(min_value=1, max_value=5))
+    kinds = [draw(_PARAM_KINDS) for _ in range(n_params)]
+
+    pattern_parts: list[str] = []
+    invocation_parts: list[str] = []
+    expected: list[str] = []
+    for i, kind in enumerate(kinds):
+        buzz = _BUZZ[i % len(_BUZZ)]
+        pattern_parts.append(buzz)
+        invocation_parts.append(buzz)
+        pattern_parts.append(f"$${kind}::p{i}")
+        if kind == "id":
+            actual = draw(identifiers)
+        elif kind == "num":
+            actual = str(draw(st.integers(min_value=0, max_value=9999)))
+        else:
+            a = draw(identifiers)
+            b = draw(st.integers(min_value=0, max_value=99))
+            actual = f"({a} + {b})"
+        invocation_parts.append(actual)
+        expected.append(actual)
+    # Closing buzz token so exp parameters terminate deterministically.
+    pattern_parts.append("!")
+    invocation_parts.append("!")
+
+    params = ", ".join(f"$p{i}" for i in range(n_params))
+    definition = (
+        f"syntax stmt fuzzed {{| {' '.join(pattern_parts)} |}}\n"
+        f"{{ return(`{{sink({params});}}); }}"
+    )
+    invocation = "fuzzed " + " ".join(invocation_parts) + " ;"
+    return definition, invocation, expected
+
+
+class TestMacroPipelineFuzz:
+    @given(macro_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_actuals_survive_expansion(self, case):
+        definition, invocation, expected = case
+        mp = MacroProcessor()
+        mp.load(definition)
+        unit = mp.expand_to_ast(f"void f(void) {{ {invocation} }}")
+        call = unit.items[0].body.stmts[0].expr
+        assert isinstance(call, nodes.Call)
+        assert len(call.args) == len(expected)
+        from repro.cast.printer import render_c
+
+        for arg, text in zip(call.args, expected):
+            printed = render_c(arg).replace("(", "").replace(")", "")
+            assert printed == text.replace("(", "").replace(")", "")
+
+    @given(macro_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_compiled_engine_agrees(self, case):
+        definition, invocation, _ = case
+        program = f"void f(void) {{ {invocation} }}"
+
+        plain = MacroProcessor()
+        plain.load(definition)
+        compiled = MacroProcessor(compiled_patterns=True)
+        compiled.load(definition)
+        assert plain.expand_to_c(program) == compiled.expand_to_c(program)
+
+    @given(macro_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_no_placeholders_survive(self, case):
+        definition, invocation, _ = case
+        mp = MacroProcessor()
+        mp.load(definition)
+        unit = mp.expand_to_ast(f"void f(void) {{ {invocation} }}")
+        from repro.cast import decls, stmts
+
+        leftovers = [
+            n
+            for n in walk(unit)
+            if isinstance(
+                n,
+                (nodes.PlaceholderExpr, stmts.PlaceholderStmt,
+                 decls.PlaceholderDecl, nodes.MacroInvocation),
+            )
+        ]
+        assert leftovers == []

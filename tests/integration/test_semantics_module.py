@@ -1,0 +1,96 @@
+"""Direct unit tests for the C symbol table (repro.semantics)."""
+
+import pytest
+
+from repro.cast import ctypes, decls
+from repro.parser.core import Parser
+from repro.semantics import CBinding, CScope, type_spec_of
+from tests.conftest import parse_c
+
+
+def declaration(source: str) -> decls.Declaration:
+    return parse_c(source).items[0]
+
+
+class TestCScope:
+    def test_record_and_lookup(self):
+        scope = CScope()
+        scope.record_declaration(declaration("long total;"))
+        binding = scope.lookup("total")
+        assert binding is not None
+        assert binding.specs.type_spec.names == ["long"]
+
+    def test_multiple_declarators(self):
+        scope = CScope()
+        scope.record_declaration(declaration("int a, *b, c[4];"))
+        assert scope.lookup("a") is not None
+        assert scope.lookup("b") is not None
+        assert scope.lookup("c") is not None
+
+    def test_scalar_detection(self):
+        scope = CScope()
+        scope.record_declaration(declaration("int a, *b;"))
+        assert scope.lookup("a").is_scalar()
+        assert not scope.lookup("b").is_scalar()
+
+    def test_chained_lookup_and_shadowing(self):
+        outer = CScope()
+        outer.record_declaration(declaration("int x;"))
+        inner = outer.child()
+        inner.record_declaration(declaration("char x;"))
+        assert inner.lookup("x").specs.type_spec.names == ["char"]
+        assert outer.lookup("x").specs.type_spec.names == ["int"]
+
+    def test_unknown_name(self):
+        assert CScope().lookup("ghost") is None
+
+    def test_record_parameters(self):
+        unit = parse_c("int f(int a, char *b);")
+        declarator = unit.items[0].init_declarators[0].declarator
+        scope = CScope()
+        scope.record_parameters(declarator)
+        assert scope.lookup("a") is not None
+        assert scope.lookup("b") is not None
+
+
+class TestTypeSpecOf:
+    def test_returns_clone(self):
+        scope = CScope()
+        scope.record_declaration(declaration("long n;"))
+        first = type_spec_of(scope, "n")
+        second = type_spec_of(scope, "n")
+        assert first == second
+        assert first is not second  # safe to splice into output
+
+    def test_unknown_is_none(self):
+        assert type_spec_of(CScope(), "ghost") is None
+
+    def test_typedef_name_type(self):
+        unit = parse_c("typedef int T; T value;")
+        scope = CScope()
+        scope.record_declaration(unit.items[1])
+        ts = type_spec_of(scope, "value")
+        assert isinstance(ts, ctypes.TypedefNameType)
+
+
+class TestParserIntegration:
+    def test_parser_scope_tracks_top_level(self):
+        parser = Parser("int a;\nlong b;\n")
+        parser.parse_program()
+        assert parser.c_scope.lookup("a") is not None
+        assert parser.c_scope.lookup("b") is not None
+
+    def test_function_locals_do_not_leak(self):
+        parser = Parser("void f(void) { int local; local = 1; }")
+        parser.parse_program()
+        assert parser.c_scope.lookup("local") is None
+
+    def test_meta_locals_not_recorded(self):
+        # Meta-variables inside macro bodies are not C declarations.
+        from repro import MacroProcessor
+
+        mp = MacroProcessor()
+        mp.load(
+            "syntax stmt m {| ( ) |} { @id t = gensym(); return(`{f();}); }"
+        )
+        assert mp._parser.c_scope.lookup("t") is None

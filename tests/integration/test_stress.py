@@ -1,0 +1,84 @@
+"""Stress tests: many macros, many invocations, deep nesting."""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.packages import load_standard
+
+
+class TestManyMacros:
+    def test_hundred_macro_definitions(self):
+        mp = MacroProcessor()
+        parts = [
+            f"syntax exp k{i} {{| ( ) |}} {{ return(`({i})); }}"
+            for i in range(100)
+        ]
+        mp.load("\n".join(parts))
+        assert len(mp.table) == 100
+        out = mp.expand_to_c("int x = k0() + k50() + k99();")
+        assert "0 + 50 + 99" in out
+
+    def test_five_hundred_invocations(self):
+        mp = MacroProcessor()
+        mp.load("syntax exp one {| ( ) |} { return(`(1)); }")
+        terms = " + ".join("one()" for _ in range(500))
+        out = mp.expand_to_c(f"int total = {terms};")
+        assert mp.expansion_count == 500
+        assert out.count("1") >= 500
+
+
+class TestDeepNesting:
+    def test_deeply_nested_invocations(self):
+        mp = MacroProcessor()
+        mp.load(
+            "syntax exp wrap {| ( $$exp::e ) |} { return(`(($e) + 1)); }"
+        )
+        expr = "0"
+        for _ in range(30):
+            expr = f"wrap({expr})"
+        out = mp.expand_to_c(f"int x = {expr};")
+        assert out.count("+ 1") == 30
+
+    def test_deeply_nested_statement_macros(self):
+        mp = MacroProcessor()
+        load_standard(mp)
+        src = "tick();"
+        for i in range(15):
+            src = f"Painting {{ {src} }}"
+        out = mp.expand_to_c(f"void f(void) {{ {src} }}")
+        assert out.count("BeginPaint") == 15
+        assert out.count("EndPaint") == 15
+
+    def test_big_generated_enum(self):
+        mp = MacroProcessor()
+        from repro.packages import enumio
+
+        enumio.register(mp)
+        names = ", ".join(f"v{i}" for i in range(150))
+        out = mp.expand_to_c(f"myenum big {{{names}}};")
+        assert out.count("case ") == 150
+
+
+class TestLargeMetaComputation:
+    def test_expansion_time_loop(self):
+        mp = MacroProcessor()
+        mp.load(
+            "syntax exp sum_to {| ( $$num::n ) |}"
+            "{ int i; int total; total = 0;"
+            "  for (i = 1; i <= num_value(n); i++) total = total + i;"
+            "  return(make_num(total)); }"
+        )
+        out = mp.expand_to_c("int x = sum_to(1000);")
+        assert "500500" in out
+
+    def test_big_list_construction(self):
+        mp = MacroProcessor()
+        mp.load(
+            "syntax stmt unroll {| ( $$num::n ) $$stmt::body |}"
+            "{ int i; @stmt out[]; out = list();"
+            "  for (i = 0; i < num_value(n); i++) out = cons(body, out);"
+            "  return(`{{$out}}); }"
+        )
+        unit = mp.expand_to_ast("void f(void) { unroll (200) step(); }")
+        block = unit.items[0].body.stmts[0]
+        assert len(block.stmts) == 200

@@ -1,0 +1,137 @@
+"""Every code snippet in docs/TUTORIAL.md must actually work."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import MacroProcessor
+from repro.packages import semantic
+
+TUTORIAL = Path(__file__).parents[2] / "docs" / "TUTORIAL.md"
+
+
+def test_tutorial_exists():
+    assert TUTORIAL.exists()
+
+
+class TestStep1:
+    def test_painting(self, mp):
+        out = mp.expand_to_c("""
+syntax stmt Painting {| $$stmt::body |}
+{
+  return(`{BeginPaint(hDC, &ps);
+           $body;
+           EndPaint(hDC, &ps);});
+}
+
+void redraw(void) { Painting { draw(); } }
+""")
+        assert "BeginPaint" in out
+
+    def test_definition_time_error(self, mp):
+        from repro.errors import Ms2Error
+
+        with pytest.raises(Ms2Error):
+            mp.load(
+                "syntax stmt Painting {| $$stmt::body |}"
+                "{ return(`(1 + $body)); }"
+            )
+
+
+class TestStep2:
+    def test_typed_swap(self, mp):
+        out = mp.expand_to_c("""
+syntax stmt swap {| ( $$type_spec::t , $$exp::a , $$exp::b ) |}
+{
+  @id tmp = gensym();
+  return(`{{$t $tmp = $a;
+            $a = $b;
+            $b = $tmp;}});
+}
+
+void f(int x, int y) { swap(int, x, y); }
+""")
+        assert "int __" in out
+
+
+class TestStep3:
+    def test_myenum_print(self, mp):
+        out = mp.expand_to_c("""
+syntax decl myenum[] {| $$id::name { $$+/, id::ids } ; |}
+{
+  return(list(
+    `[enum $name {$ids};],
+    `[void $(symbolconc("print_", name))(int arg)
+      {switch (arg)
+         {$(map((@id id; `{case $id: printf("%s", $(pstring(id)));}),
+                ids))}}]));
+}
+myenum fruit {apple, banana};
+""")
+        assert "print_fruit" in out
+        assert "case apple:" in out
+
+
+class TestStep4:
+    def test_throw_conditional(self, mp):
+        out = mp.expand_to_c("""
+syntax stmt throw {| $$exp::value |}
+{
+  if (simple_expression(value))
+    return(`{longjmp(exception_ptr, $value);});
+  else
+    return(`{{int the_value = $value;
+              longjmp(exception_ptr, the_value);}});
+}
+void f(void) { throw tag; throw compute() + 1; }
+""")
+        assert out.count("longjmp") == 2
+        assert out.count("the_value") == 2
+
+
+class TestStep5:
+    def test_defer_collect_emit(self, mp):
+        out = mp.expand_to_c("""
+metadcl @stmt pending[];
+
+syntax decl defer[] {| $$stmt::s |}
+{ pending = cons(s, pending); return(list()); }
+
+syntax decl emit_deferred[] {| ( ) ; |}
+{ return(list(`[void run_deferred(void) {$pending}])); }
+
+defer close_log();
+defer flush_cache();
+emit_deferred();
+""")
+        assert "void run_deferred(void)" in out
+        assert "close_log();" in out
+        assert "flush_cache();" in out
+
+
+class TestStep6:
+    def test_for_range(self, mp):
+        out = mp.expand_to_c("""
+syntax stmt for_range
+  {| $$id::v = $$exp::lo to $$exp::hi $$? step exp::s { $$*stmt::body } |}
+{
+  if (present(s))
+    return(`{for ($v = $lo; $v <= $hi; $v = $v + $s) {$body}});
+  return(`{for ($v = $lo; $v <= $hi; $v++) {$body}});
+}
+void f(void) { int i; for_range i = 0 to 9 step 2 { t(); } }
+""")
+        assert "i = i + 2" in out
+
+    def test_semantic_sswap(self):
+        mp = MacroProcessor()
+        mp.load("""
+syntax stmt sswap {| ( $$id::a , $$id::b ) |}
+{
+  @id tmp = gensym();
+  @type_spec t = type_of(a);
+  return(`{{$t $tmp = $a; $a = $b; $b = $tmp;}});
+}
+""")
+        out = mp.expand_to_c("void f(long x, long y) { sswap(x, y); }")
+        assert "long __" in out

@@ -1,0 +1,266 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lexer.scanner import Scanner, tokenize
+from repro.lexer.tokens import Token, TokenKind
+
+
+def kinds(source: str, **kwargs) -> list[TokenKind]:
+    return [t.kind for t in tokenize(source, **kwargs)][:-1]
+
+
+def texts(source: str, **kwargs) -> list[str]:
+    return [t.text for t in tokenize(source, **kwargs)][:-1]
+
+
+class TestBasics:
+    def test_empty_input_is_just_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_whitespace_only(self):
+        assert kinds("  \t\n\r  ") == []
+
+    def test_identifier(self):
+        (tok,) = tokenize("hello")[:-1]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "hello"
+
+    def test_identifier_with_underscores_and_digits(self):
+        assert texts("_foo42 __bar") == ["_foo42", "__bar"]
+
+    def test_keywords_recognized(self):
+        toks = tokenize("int while typedef")[:-1]
+        assert all(t.kind is TokenKind.KEYWORD for t in toks)
+
+    def test_meta_keywords_recognized(self):
+        toks = tokenize("syntax metadcl")[:-1]
+        assert all(t.kind is TokenKind.KEYWORD for t in toks)
+
+    def test_keywords_as_idents_when_disabled(self):
+        toks = tokenize("int while", keep_keywords=False)[:-1]
+        assert all(t.kind is TokenKind.IDENT for t in toks)
+
+    def test_ast_specifier_names_are_plain_idents(self):
+        # stmt/exp/id/... are contextual, not reserved.
+        toks = tokenize("stmt exp id decl num type_spec")[:-1]
+        assert all(t.kind is TokenKind.IDENT for t in toks)
+
+
+class TestNumbers:
+    def test_decimal_int(self):
+        (tok,) = tokenize("42")[:-1]
+        assert tok.kind is TokenKind.INT_LIT
+        assert tok.value == 42
+
+    def test_zero(self):
+        assert tokenize("0")[0].value == 0
+
+    def test_hex(self):
+        assert tokenize("0xFF")[0].value == 255
+        assert tokenize("0x10")[0].value == 16
+
+    def test_octal(self):
+        assert tokenize("017")[0].value == 15
+
+    def test_suffixes(self):
+        assert tokenize("42u")[0].value == 42
+        assert tokenize("42UL")[0].value == 42
+        assert tokenize("42l")[0].value == 42
+
+    def test_float(self):
+        tok = tokenize("3.25")[0]
+        assert tok.kind is TokenKind.FLOAT_LIT
+        assert tok.value == 3.25
+
+    def test_float_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-1")[0].value == 0.25
+
+    def test_float_suffix(self):
+        tok = tokenize("1.5f")[0]
+        assert tok.kind is TokenKind.FLOAT_LIT
+        assert tok.value == 1.5
+
+    def test_leading_dot_float(self):
+        tok = tokenize(".5")[0]
+        assert tok.kind is TokenKind.FLOAT_LIT
+        assert tok.value == 0.5
+
+    def test_malformed_hex_raises(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_int_then_member_not_float(self):
+        # '1.x' would be odd C, but '1 . x' must not lex 1. as float
+        assert [t.text for t in tokenize("a[1].x")[:-1]] == [
+            "a", "[", "1", "]", ".", "x",
+        ]
+
+
+class TestStringsAndChars:
+    def test_simple_string(self):
+        tok = tokenize('"hello"')[0]
+        assert tok.kind is TokenKind.STRING_LIT
+        assert tok.value == "hello"
+        assert tok.text == '"hello"'
+
+    def test_escapes(self):
+        assert tokenize(r'"a\nb"')[0].value == "a\nb"
+        assert tokenize(r'"tab\there"')[0].value == "tab\there"
+        assert tokenize(r'"q\"q"')[0].value == 'q"q'
+        assert tokenize(r'"back\\slash"')[0].value == "back\\slash"
+
+    def test_hex_escape(self):
+        assert tokenize(r'"\x41"')[0].value == "A"
+
+    def test_octal_escape(self):
+        assert tokenize(r'"\101"')[0].value == "A"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"a\nb"')
+
+    def test_char_literal(self):
+        tok = tokenize("'x'")[0]
+        assert tok.kind is TokenKind.CHAR_LIT
+        assert tok.value == ord("x")
+
+    def test_char_escape(self):
+        assert tokenize(r"'\n'")[0].value == ord("\n")
+        assert tokenize(r"'\0'")[0].value == 0
+
+    def test_empty_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("''")
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+
+class TestComments:
+    def test_block_comment_skipped(self):
+        assert texts("a /* comment */ b") == ["a", "b"]
+
+    def test_block_comment_multiline(self):
+        assert texts("a /* line1\nline2 */ b") == ["a", "b"]
+
+    def test_line_comment_skipped(self):
+        assert texts("a // rest of line\nb") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_comment_is_not_division(self):
+        assert texts("a / b") == ["a", "/", "b"]
+
+
+class TestPunctuation:
+    def test_maximal_munch(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a<<b") == ["a", "<<", "b"]
+        assert texts("a<b") == ["a", "<", "b"]
+
+    def test_arrow_vs_minus(self):
+        assert texts("p->x - y") == ["p", "->", "x", "-", "y"]
+
+    def test_increment(self):
+        assert texts("i++ + ++j") == ["i", "++", "+", "++", "j"]
+
+    def test_ellipsis(self):
+        assert texts("f(int, ...)") == ["f", "(", "int", ",", "...", ")"]
+
+
+class TestMetaTokens:
+    def test_all_seven_meta_tokens(self):
+        expected = [
+            TokenKind.LBRACE_BAR, TokenKind.BAR_RBRACE,
+            TokenKind.DOLLAR_DOLLAR, TokenKind.DOLLAR,
+            TokenKind.COLON_COLON, TokenKind.BACKQUOTE, TokenKind.AT,
+        ]
+        assert kinds("{| |} $$ $ :: ` @") == expected
+
+    def test_lbrace_bar_before_lbrace(self):
+        assert kinds("{|")[0] is TokenKind.LBRACE_BAR
+        assert texts("{ |") == ["{", "|"]
+
+    def test_dollar_dollar_before_dollar(self):
+        assert kinds("$$x") == [TokenKind.DOLLAR_DOLLAR, TokenKind.IDENT]
+        assert kinds("$x") == [TokenKind.DOLLAR, TokenKind.IDENT]
+
+    def test_colon_colon_before_colon(self):
+        assert kinds("::")[0] is TokenKind.COLON_COLON
+        assert texts(": :") == [":", ":"]
+
+    def test_meta_disabled_mode(self):
+        with pytest.raises(LexError):
+            tokenize("$x", meta=False)
+        with pytest.raises(LexError):
+            tokenize("`(x)", meta=False)
+
+    def test_bar_rbrace_vs_or(self):
+        assert kinds("|}")[0] is TokenKind.BAR_RBRACE
+        assert texts("| }") == ["|", "}"]
+
+
+class TestLocations:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[0].location.column == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_filename_recorded(self):
+        tok = tokenize("x", filename="prog.c")[0]
+        assert tok.location.filename == "prog.c"
+        assert "prog.c" in str(tok.location)
+
+    def test_offsets_monotonic(self):
+        tokens = tokenize("a b c d")[:-1]
+        offsets = [t.location.offset for t in tokens]
+        assert offsets == sorted(offsets)
+
+
+class TestTokenHelpers:
+    def test_is_punct(self):
+        tok = tokenize("+")[0]
+        assert tok.is_punct("+")
+        assert tok.is_punct("+", "-")
+        assert not tok.is_punct("-")
+
+    def test_is_keyword(self):
+        tok = tokenize("while")[0]
+        assert tok.is_keyword("while")
+        assert not tok.is_keyword("for")
+
+    def test_is_ident(self):
+        tok = tokenize("foo")[0]
+        assert tok.is_ident()
+        assert tok.is_ident("foo")
+        assert not tok.is_ident("bar")
+
+    def test_describe_eof(self):
+        assert tokenize("")[0].describe() == "end of input"
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("\x01", meta=False)
+        assert "unexpected character" in str(exc.value)
+
+    def test_next_token_streaming(self):
+        scanner = Scanner("a b")
+        assert scanner.next_token().text == "a"
+        assert scanner.next_token().text == "b"
+        assert scanner.next_token().kind is TokenKind.EOF
+        # EOF is sticky.
+        assert scanner.next_token().kind is TokenKind.EOF

@@ -1,0 +1,155 @@
+"""Tests for backquote templates and placeholder-token parsing."""
+
+import pytest
+
+from repro.asttypes.types import EXP, ID, STMT, TYPE_SPEC, list_of, prim
+from repro.cast import decls, nodes, render_c, stmts
+from repro.errors import ParseError
+from repro.figures import parse_template_fragment
+from repro.parser.core import Parser
+from tests.conftest import assert_c_equal
+
+
+def parse_backquote(source: str, bindings=None):
+    """Parse a backquote expression in meta mode."""
+    parser = Parser(source)
+    env = parser.global_type_env.child()
+    for name, asttype in (bindings or {}).items():
+        env.bind(name, asttype)
+    with parser._meta(True), parser._scoped_env(env):
+        return parser.parse_expression()
+
+
+class TestForms:
+    def test_expression_form(self):
+        bq = parse_backquote("`(1 + 2)")
+        assert bq.form == "exp"
+        assert isinstance(bq.template, nodes.BinaryOp)
+
+    def test_statement_form_single_unwraps(self):
+        bq = parse_backquote("`{return;}")
+        assert bq.form == "stmt"
+        assert isinstance(bq.template, stmts.ReturnStmt)
+
+    def test_statement_form_multiple_is_compound(self):
+        bq = parse_backquote("`{a(); b();}")
+        assert isinstance(bq.template, stmts.CompoundStmt)
+
+    def test_statement_form_double_brace_forces_compound(self):
+        bq = parse_backquote("`{{a();}}")
+        assert isinstance(bq.template, stmts.CompoundStmt)
+
+    def test_declaration_form(self):
+        bq = parse_backquote("`[int x;]")
+        assert bq.form == "decl"
+        assert isinstance(bq.template, decls.Declaration)
+
+    def test_declaration_form_function(self):
+        bq = parse_backquote("`[int f(void) {return 0;}]")
+        assert isinstance(bq.template, decls.FunctionDef)
+
+    def test_declaration_form_array_brackets_ok(self):
+        # Inner '[' ']' must not terminate the '[...]' template.
+        bq = parse_backquote("`[int a[10];]")
+        assert isinstance(bq.template, decls.Declaration)
+
+    def test_general_pattern_form(self):
+        bq = parse_backquote("`{| +/, exp :: 1, 2, 3 |}")
+        assert bq.form == "pattern"
+        assert isinstance(bq.template, list)
+        assert len(bq.template) == 3
+        assert bq.asttype == list_of(EXP)
+
+    def test_bad_opener_rejected(self):
+        with pytest.raises(ParseError):
+            parse_backquote("`< x >")
+
+
+class TestPlaceholders:
+    def test_identifier_placeholder(self):
+        bq = parse_backquote("`($x + 1)", {"x": ID})
+        left = bq.template.left
+        assert isinstance(left, nodes.PlaceholderExpr)
+        assert left.asttype == ID
+
+    def test_parenthesized_expression_placeholder(self):
+        bq = parse_backquote(
+            "`($(concat_ids(a, b)))", {"a": ID, "b": ID}
+        )
+        ph = bq.template
+        assert isinstance(ph, nodes.PlaceholderExpr)
+        assert isinstance(ph.meta_expr, nodes.Call)
+
+    def test_statement_placeholder(self):
+        bq = parse_backquote("`{f(); $s; g();}", {"s": STMT})
+        middle = bq.template.stmts[1]
+        assert isinstance(middle, stmts.PlaceholderStmt)
+
+    def test_statement_list_placeholder(self):
+        bq = parse_backquote("`{{$body}}", {"body": list_of(STMT)})
+        inner = bq.template.stmts[0]
+        assert isinstance(inner, stmts.PlaceholderStmt)
+        assert inner.asttype == list_of(STMT)
+
+    def test_type_spec_placeholder(self):
+        bq = parse_backquote("`{{$t x = 1; use(x);}}", {"t": TYPE_SPEC})
+        decl = bq.template.decls[0]
+        assert isinstance(decl.specs.type_spec, type(decl.specs.type_spec))
+
+    def test_argument_list_placeholder(self):
+        bq = parse_backquote("`(f($args))", {"args": list_of(EXP)})
+        call = bq.template
+        assert len(call.args) == 1
+        assert isinstance(call.args[0], nodes.PlaceholderExpr)
+
+    def test_placeholder_requires_ident_or_parens(self):
+        with pytest.raises(ParseError):
+            parse_backquote("`($42)")
+
+    def test_undeclared_placeholder_rejected(self):
+        from repro.errors import MacroTypeError
+
+        with pytest.raises(MacroTypeError):
+            parse_backquote("`($nope)")
+
+    def test_wrong_type_rejected_at_definition_time(self):
+        # This is the core guarantee: the macro writer's error is
+        # caught when the template is PARSED, not when it runs.
+        with pytest.raises(ParseError):
+            parse_backquote("`(1 + $s)", {"s": STMT})
+
+
+class TestFigureBehaviour:
+    def test_enum_splice_template(self):
+        # The separator-free list splicing example from section 2.
+        tree = parse_template_fragment(
+            "decl", "enum color $ids;", {"ids": list_of(ID)}
+        )
+        assert isinstance(tree, decls.Declaration)
+        ph = tree.init_declarators[0]
+        assert isinstance(ph, decls.PlaceholderInitDeclarator)
+
+    def test_decl_vs_stmt_boundary(self):
+        tree = parse_template_fragment(
+            "stmt", "{int x; $d $s f();}",
+            {"d": prim("decl"), "s": STMT},
+        )
+        assert len(tree.decls) == 2
+        assert len(tree.stmts) == 2
+
+    def test_printing_templates_shows_placeholders(self):
+        bq = parse_backquote("`($x + 1)", {"x": ID})
+        assert render_c(bq) == "`($x + 1)"
+
+
+class TestNestedTemplates:
+    def test_backquote_inside_placeholder(self):
+        # $(map((@id i; `{...}), xs)) — a template within a
+        # placeholder within a template.
+        bq = parse_backquote(
+            "`{{$(map((@id i; `{case $i: break;}), xs))}}",
+            {"xs": list_of(ID)},
+        )
+        ph = bq.template.stmts[0]
+        assert isinstance(ph, stmts.PlaceholderStmt)
+        assert ph.asttype == list_of(STMT)

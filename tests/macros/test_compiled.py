@@ -1,0 +1,90 @@
+"""Compiled pattern routines must behave identically to the
+interpreted engine (the paper's suggested acceleration)."""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.errors import ParseError
+from repro.macros.compiled import compile_pattern
+
+
+MACROS = """
+syntax stmt pair {| ( $$exp::a , $$exp::b ) |}
+{ return(`{use($a, $b);}); }
+
+syntax stmt block {| { $$*stmt::body } |}
+{ return(`{{$body}}); }
+
+syntax decl myenum[] {| $$id::name { $$+/, id::ids } ; |}
+{ return(list(`[enum $name {$ids};])); }
+
+syntax stmt count {| $$id::v = $$exp::hi $$? by exp::stride { $$*stmt::body } |}
+{ if (present(stride))
+    return(`{for ($v = 0; $v < $hi; $v = $v + $stride) {$body}});
+  return(`{for ($v = 0; $v < $hi; $v++) {$body}}); }
+"""
+
+PROGRAMS = [
+    "void f(void) { pair (x + 1, y); }",
+    "void f(void) { block {a(); b(); c();} }",
+    "myenum fruit {apple, banana, kiwi};",
+    "void f(void) { count i = 10 by 2 {w();} }",
+    "void f(void) { count i = 10 {w();} }",
+]
+
+
+def expand_with(compiled: bool, program: str) -> str:
+    mp = MacroProcessor(compiled_patterns=compiled)
+    mp.load(MACROS)
+    return mp.expand_to_c(program)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("program", PROGRAMS)
+    def test_same_output(self, program):
+        assert expand_with(False, program) == expand_with(True, program)
+
+    def test_compiled_matcher_attached(self):
+        mp = MacroProcessor(compiled_patterns=True)
+        mp.load(MACROS)
+        assert mp.table.lookup("pair").compiled_matcher is not None
+
+    def test_interpreted_has_no_matcher(self):
+        mp = MacroProcessor(compiled_patterns=False)
+        mp.load(MACROS)
+        assert mp.table.lookup("pair").compiled_matcher is None
+
+
+class TestCompiledErrors:
+    def test_bad_literal_same_error(self):
+        bad = "void f(void) { pair (1; 2); }"
+        for compiled in (False, True):
+            mp = MacroProcessor(compiled_patterns=compiled)
+            mp.load(MACROS)
+            with pytest.raises(ParseError):
+                mp.expand_to_c(bad)
+
+    def test_missing_plus_element(self):
+        mp = MacroProcessor(compiled_patterns=True)
+        mp.load(
+            "syntax stmt need {| { $$+/, id::xs } |}"
+            "{ return(`{f($xs);}); }"
+        )
+        with pytest.raises(ParseError):
+            mp.expand_to_c("void f(void) { need {}; }")
+
+
+class TestCompileFunction:
+    def test_compiles_every_pspec_form(self):
+        from repro.macros.pattern import parse_pattern_text
+
+        for text in (
+            "$$stmt::s",
+            "$$+/, id::xs",
+            "{ $$*stmt::b }",
+            "$$?num::n ;",
+            "$$? by exp::e ;",
+            "$$( $$id::k = $$exp::v )::t",
+        ):
+            matcher = compile_pattern(parse_pattern_text(text), "m")
+            assert matcher.steps

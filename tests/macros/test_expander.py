@@ -1,0 +1,197 @@
+"""Tests for the expansion engine: recursion, checks, statistics."""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.cast import nodes, stmts
+from repro.errors import ExpansionError, MacroTypeError
+from tests.conftest import assert_c_equal
+
+
+class TestRecursiveExpansion:
+    def test_template_invoking_earlier_macro(self, mp):
+        mp.load(
+            "syntax stmt inner {| ( ) |} { return(`{base();}); }\n"
+            "syntax stmt outer {| ( ) |} { return(`{{pre(); inner();}}); }"
+        )
+        out = mp.expand_to_c("void f(void) { outer(); }")
+        assert_c_equal(out, "void f(void) {{pre(); base();}}")
+
+    def test_chain_of_three(self, mp):
+        mp.load(
+            "syntax stmt a {| ( ) |} { return(`{work();}); }\n"
+            "syntax stmt b {| ( ) |} { return(`{{a();}}); }\n"
+            "syntax stmt c {| ( ) |} { return(`{{b();}}); }"
+        )
+        out = mp.expand_to_c("void f(void) { c(); }")
+        assert "work()" in out
+        assert "a()" not in out
+
+    def test_self_reference_is_inert(self, mp):
+        # A macro's own keyword is not in scope while its body is
+        # parsed (definitions register after parsing), so a template
+        # mention of itself is a plain function call — self-recursive
+        # macros are impossible by construction.
+        mp.load(
+            "syntax stmt boom {| ( ) |} { return(`{{boom();}}); }"
+        )
+        out = mp.expand_to_c("void f(void) { boom(); }")
+        assert "boom()" in out
+        assert mp.expansion_count == 1
+
+    def test_runaway_expansion_depth_guard(self, mp):
+        # Drive expand_invocation directly with a hand-built cycle to
+        # exercise the depth guard.
+        from repro.cast import nodes as n
+
+        mp.load("syntax stmt leaf {| ( ) |} { return(`{l();}); }")
+        defn = mp.table.lookup("leaf")
+        # Make the macro's (already checked) body return an invocation
+        # of itself by patching the compiled definition.
+        inv = n.MacroInvocation("leaf", [], defn)
+        import repro.cast.stmts as s
+
+        defn.body = s.CompoundStmt([], [s.ReturnStmt(None)])
+
+        class Loop:
+            name = "leaf"
+            ret_spec = "stmt"
+            returns_list = False
+            body = None
+            pattern = defn.pattern
+
+        with pytest.raises(ExpansionError):
+            # Re-expanding an invocation whose expansion contains
+            # itself must hit the depth guard, not hang.
+            original = mp.expander.interpreter.call_macro
+
+            def fake_call(definition, bindings):
+                return n.MacroInvocation("leaf", [], defn)
+
+            mp.expander.interpreter.call_macro = fake_call
+            try:
+                mp.expander.expand_invocation(inv)
+            finally:
+                mp.expander.interpreter.call_macro = original
+
+    def test_expansion_count_tracked(self, mp):
+        mp.load(
+            "syntax stmt one {| ( ) |} { return(`{w();}); }"
+        )
+        mp.expand_to_c("void f(void) { one(); one(); one(); }")
+        assert mp.expansion_count == 3
+
+
+class TestReturnChecks:
+    def test_list_macro_must_return_list(self, mp):
+        mp.load(
+            "syntax decl gen[] {| $$id::n ; |} { return(list(`[int $n;])); }"
+        )
+        out = mp.expand_to_c("gen counter;")
+        assert_c_equal(out, "int counter;")
+
+    def test_scalar_macro_returning_list_rejected_statically(self, mp):
+        # Returning a list from a macro declared to return one stmt is
+        # caught by the definition-time checker.
+        with pytest.raises(MacroTypeError):
+            mp.load(
+                "syntax stmt bad {| ( ) |}"
+                "{ return(list(`{a();}, `{b();})); }"
+            )
+
+    def test_body_must_return(self, mp):
+        with pytest.raises(MacroTypeError) as exc:
+            mp.load("syntax stmt nothing {| ( ) |} { 1 + 1; }")
+        assert "return" in str(exc.value)
+
+    def test_runtime_no_return_path(self, mp):
+        # Statically has a return, but the taken path doesn't reach it.
+        mp.load(
+            "syntax stmt maybe {| $$num::n |}"
+            "{ if (num_value(n) > 100) return(`{big();}); }"
+        )
+        from repro.errors import MetaInterpError
+
+        with pytest.raises(MetaInterpError):
+            mp.expand_to_c("void f(void) { maybe 3; }")
+
+
+class TestListResults:
+    def test_decl_list_spliced_at_top_level(self, mp):
+        mp.load(
+            "syntax decl three[] {| $$id::n ; |}"
+            "{ return(list(`[int $n;], `[long $(concat_ids(n, n));],"
+            "  `[char tail;])); }"
+        )
+        unit = mp.expand_to_ast("three x;")
+        assert len(unit.items) == 3
+
+    def test_empty_decl_list_vanishes(self, mp):
+        mp.load(
+            "syntax decl nothing[] {| $$id::n ; |} { return(list()); }"
+        )
+        unit = mp.expand_to_ast("nothing x;\nint keep;")
+        assert len(unit.items) == 1
+
+    def test_stmt_list_macro_wrapped_at_single_position(self, mp):
+        mp.load(
+            "syntax stmt both[] {| ( ) |}"
+            "{ return(list(`{a();}, `{b();})); }"
+        )
+        unit = mp.expand_to_ast("void f(void) { if (c) both(); }")
+        then = unit.items[0].body.stmts[0].then
+        assert isinstance(then, stmts.CompoundStmt)
+        assert len(then.stmts) == 2
+
+
+class TestHygieneMarks:
+    def test_template_nodes_marked(self, mp):
+        mp.load("syntax stmt m {| ( ) |} { return(`{tmpl();}); }")
+        unit = mp.expand_to_ast("void f(void) { m(); }")
+        stmt = unit.items[0].body.stmts[0]
+        assert stmt.mark is not None
+
+    def test_substituted_user_code_unmarked(self, mp):
+        mp.load(
+            "syntax stmt m {| $$stmt::body |} { return(`{{pre(); $body;}}); }"
+        )
+        unit = mp.expand_to_ast("void f(void) { m user(); }")
+        inner = unit.items[0].body.stmts[0]
+        pre, user = inner.stmts
+        assert pre.mark is not None
+        assert user.mark is None
+
+    def test_distinct_expansions_get_distinct_marks(self, mp):
+        mp.load("syntax stmt m {| ( ) |} { return(`{t();}); }")
+        unit = mp.expand_to_ast("void f(void) { m(); m(); }")
+        marks = [s.mark for s in unit.items[0].body.stmts]
+        assert marks[0] != marks[1]
+
+
+class TestMetaState:
+    def test_metadcl_accumulation_across_invocations(self, mp):
+        mp.load(
+            "metadcl int counter;\n"
+            "syntax exp next {| ( ) |}"
+            "{ counter = counter + 1; return(make_num(counter)); }"
+        )
+        out = mp.expand_to_c("void f(void) { a = next(); b = next(); }")
+        assert "a = 1" in out
+        assert "b = 2" in out
+
+    def test_metadcl_initializer_runs(self, mp):
+        mp.load(
+            "metadcl int base = 10;\n"
+            "syntax exp based {| ( ) |} { return(make_num(base)); }"
+        )
+        out = mp.expand_to_c("void f(void) { x = based(); }")
+        assert "x = 10" in out
+
+    def test_meta_function_called_from_macro(self, mp):
+        mp.load(
+            "@stmt bracket(@stmt s) { return(`{{enter(); $s; leave();}}); }\n"
+            "syntax stmt traced {| $$stmt::body |}"
+            "{ return(bracket(body)); }"
+        )
+        out = mp.expand_to_c("void f(void) { traced work(); }")
+        assert_c_equal(out, "void f(void) {{enter(); work(); leave();}}")

@@ -1,0 +1,30 @@
+"""Figure 2 reproduction: the four parses of ``[int $y;]``."""
+
+from repro.figures import FIGURE2_TYPES, figure2_rows
+
+
+EXPECTED = {
+    "init-declarator[]": "(declaration (int) y)",
+    "init-declarator": "(declaration (int) (y))",
+    "declarator": "(declaration (int) ((init-declarator y ())))",
+    "identifier": (
+        "(declaration (int) ((init-declarator (direct-declarator y) ())))"
+    ),
+}
+
+
+class TestFigure2:
+    def test_row_count(self):
+        assert len(figure2_rows()) == 4
+
+    def test_rows_match_paper(self):
+        for label, sx in figure2_rows():
+            assert sx == EXPECTED[label], f"row {label} diverges"
+
+    def test_all_four_parses_distinct(self):
+        parses = [sx for _, sx in figure2_rows()]
+        assert len(set(parses)) == 4
+
+    def test_row_order_matches_paper(self):
+        labels = [label for label, _ in figure2_rows()]
+        assert labels == [label for label, _ in FIGURE2_TYPES]

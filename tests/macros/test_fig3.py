@@ -1,0 +1,37 @@
+"""Figure 3 reproduction: parses of ``{int x; $ph1 $ph2 return(x);}``."""
+
+from repro.figures import figure3_rows
+
+
+EXPECTED = {
+    ("decl", "decl"): (
+        '(c-s (decl-list ((decl "int x") ph1 ph2)) '
+        "(stmt-list ((r-s (exp (id x))))))"
+    ),
+    ("decl", "stmt"): (
+        '(c-s (decl-list ((decl "int x") ph1)) '
+        "(stmt-list (ph2 (r-s (exp (id x))))))"
+    ),
+    ("stmt", "stmt"): (
+        '(c-s (decl-list ((decl "int x"))) '
+        "(stmt-list (ph1 ph2 (r-s (exp (id x))))))"
+    ),
+    ("stmt", "decl"): "Syntactically Illegal Program",
+}
+
+
+class TestFigure3:
+    def test_row_count(self):
+        assert len(figure3_rows()) == 4
+
+    def test_rows_match_paper(self):
+        for t1, t2, sx in figure3_rows():
+            assert sx == EXPECTED[(t1, t2)], f"row ({t1}, {t2}) diverges"
+
+    def test_stmt_then_decl_is_illegal(self):
+        rows = {(a, b): sx for a, b, sx in figure3_rows()}
+        assert rows[("stmt", "decl")] == "Syntactically Illegal Program"
+
+    def test_legal_rows_all_distinct(self):
+        legal = [sx for _, _, sx in figure3_rows() if "Illegal" not in sx]
+        assert len(set(legal)) == 3

@@ -1,0 +1,96 @@
+"""Tests for the general backquote form `` `{| pspec :: syntax |} ``."""
+
+import pytest
+
+from repro.asttypes.types import EXP, ID, TYPE_SPEC, ListType, TupleType, prim
+from repro.cast import ctypes, nodes
+from repro.errors import ParseError
+from tests.macros.test_backquote import parse_backquote
+
+
+class TestPrimForms:
+    def test_expression(self):
+        bq = parse_backquote("`{| exp :: a + b |}")
+        assert bq.asttype == EXP
+        assert isinstance(bq.template, nodes.BinaryOp)
+
+    def test_identifier(self):
+        bq = parse_backquote("`{| id :: hello |}")
+        assert bq.asttype == ID
+        assert bq.template == nodes.Identifier("hello")
+
+    def test_type_spec(self):
+        bq = parse_backquote("`{| type_spec :: unsigned long |}")
+        assert bq.asttype == TYPE_SPEC
+        assert bq.template == ctypes.PrimitiveType(["unsigned", "long"])
+
+    def test_statement(self):
+        bq = parse_backquote("`{| stmt :: return; |}")
+        assert bq.asttype == prim("stmt")
+
+    def test_declarator(self):
+        bq = parse_backquote("`{| declarator :: *p |}")
+        assert bq.asttype == prim("declarator")
+
+    def test_num(self):
+        bq = parse_backquote("`{| num :: 42 |}")
+        assert bq.template == nodes.IntLit(42, "42")
+
+
+class TestListForms:
+    def test_separated_expression_list(self):
+        bq = parse_backquote("`{| +/, exp :: 1, 2, 3 |}")
+        assert bq.asttype == ListType(EXP)
+        assert len(bq.template) == 3
+
+    def test_separated_id_list(self):
+        bq = parse_backquote("`{| +/, id :: red, green, blue |}")
+        assert [i.name for i in bq.template] == ["red", "green", "blue"]
+
+    def test_star_list_may_be_empty(self):
+        bq = parse_backquote("`{| */, exp :: |}")
+        assert bq.template == []
+
+
+class TestTupleForm:
+    def test_tuple(self):
+        bq = parse_backquote("`{| ( $$id::k = $$exp::v ) :: key = 1 + 2 |}")
+        assert isinstance(bq.asttype, TupleType)
+        tup = bq.template
+        assert tup.get("k") == nodes.Identifier("key")
+        assert isinstance(tup.get("v"), nodes.BinaryOp)
+
+
+class TestUsageInMacros:
+    def test_type_spec_constant_in_meta_code(self, mp):
+        mp.load(
+            "syntax stmt declare {| $$id::n |}"
+            "{ @type_spec t = `{| type_spec :: long |};"
+            "  return(`{{$t $n = 0; use($n);}}); }"
+        )
+        out = mp.expand_to_c("void f(void) { declare counter; }")
+        assert "long counter = 0;" in out
+
+    def test_id_list_constant(self, mp):
+        mp.load(
+            "syntax decl colors[] {| $$id::tag ; |}"
+            "{ @id ids[] = `{| +/, id :: red, green, blue |};"
+            "  return(list(`[enum $tag {$ids};])); }"
+        )
+        out = mp.expand_to_c("colors palette;")
+        assert "enum palette {red, green, blue};" in out
+
+    def test_placeholders_inside_general_form(self, mp):
+        mp.load(
+            "syntax exp pairsum {| ( $$exp::a , $$exp::b ) |}"
+            "{ @exp es[] = `{| +/, exp :: $a, $b, ($a) + ($b) |};"
+            "  return(`(f($es))); }"
+        )
+        out = mp.expand_to_c("int r = pairsum(1, 2);")
+        # The printer emits minimal parentheses; 1 + 2 is the third
+        # element, built from the two placeholder substitutions.
+        assert "f(1, 2, 1 + 2)" in out
+
+    def test_errors_reported_against_template(self, mp):
+        with pytest.raises(ParseError):
+            parse_backquote("`{| exp :: 1 + |}")

@@ -1,0 +1,106 @@
+"""Tests for the hygienic-expansion extension (paper section 5)."""
+
+from repro import MacroProcessor
+from repro.cast import decls, nodes
+from repro.cast.base import walk
+
+
+CAPTURING = """
+syntax stmt save_restore {| $$id::var $$stmt::body |}
+{
+  return(`{{int saved = $var;
+            $body;
+            $var = saved;}});
+}
+"""
+
+
+def declared_names(unit) -> list[str]:
+    return [
+        n.name
+        for n in walk(unit)
+        if isinstance(n, decls.NameDeclarator)
+    ]
+
+
+class TestUnhygienicBaseline:
+    def test_capture_happens_without_hygiene(self):
+        mp = MacroProcessor(hygienic=False)
+        mp.load(CAPTURING)
+        # User body references its own 'saved' — captured!
+        unit = mp.expand_to_ast(
+            "void f(int saved) { save_restore x {saved = saved + x;} }"
+        )
+        names = declared_names(unit)
+        assert "saved" in names  # template's binder kept its name
+
+
+class TestHygienicMode:
+    def test_template_binder_renamed(self):
+        mp = MacroProcessor(hygienic=True)
+        mp.load(CAPTURING)
+        unit = mp.expand_to_ast(
+            "void f(int saved) { save_restore x {saved = saved + x;} }"
+        )
+        inner = unit.items[0].body.stmts[0]
+        binder = inner.decls[0].init_declarators[0].declarator.name
+        assert binder != "saved"
+
+    def test_template_references_follow_binder(self):
+        mp = MacroProcessor(hygienic=True)
+        mp.load(CAPTURING)
+        unit = mp.expand_to_ast(
+            "void f(int saved) { save_restore x {w();} }"
+        )
+        inner = unit.items[0].body.stmts[0]
+        binder = inner.decls[0].init_declarators[0].declarator.name
+        # The restore statement must use the renamed binder.
+        restore = inner.stmts[-1]
+        assert restore.expr.value.name == binder
+
+    def test_user_code_untouched(self):
+        mp = MacroProcessor(hygienic=True)
+        mp.load(CAPTURING)
+        unit = mp.expand_to_ast(
+            "void f(int saved) { save_restore x {saved = saved + 1;} }"
+        )
+        inner = unit.items[0].body.stmts[0]
+        user_body = inner.stmts[0]
+        # The user's own 'saved' references are NOT renamed.
+        user_idents = [
+            n.name for n in walk(user_body)
+            if isinstance(n, nodes.Identifier)
+        ]
+        assert "saved" in user_idents
+
+    def test_placeholder_substituted_var_not_renamed(self):
+        mp = MacroProcessor(hygienic=True)
+        mp.load(CAPTURING)
+        unit = mp.expand_to_ast(
+            "void f(int x) { save_restore x {g();} }"
+        )
+        inner = unit.items[0].body.stmts[0]
+        init = inner.decls[0].init_declarators[0].init
+        assert init == nodes.Identifier("x")
+
+    def test_nested_expansions_get_distinct_names(self):
+        mp = MacroProcessor(hygienic=True)
+        mp.load(CAPTURING)
+        unit = mp.expand_to_ast(
+            "void f(void) { save_restore a { save_restore b {w();} } }"
+        )
+        names = [n for n in declared_names(unit) if n.startswith("__")]
+        assert len(names) == 2
+        assert names[0] != names[1]
+
+    def test_gensym_names_not_rerenamed(self):
+        mp = MacroProcessor(hygienic=True)
+        mp.load(
+            "syntax stmt g {| ( ) |}"
+            "{ @id t = gensym(); return(`{{int $t = 0; use($t);}}); }"
+        )
+        unit = mp.expand_to_ast("void f(void) { g(); }")
+        inner = unit.items[0].body.stmts[0]
+        binder = inner.decls[0].init_declarators[0].declarator.name
+        use = inner.stmts[0].expr.args[0].name
+        assert binder == use

@@ -1,0 +1,181 @@
+"""Tests for pattern-driven invocation parsing (interpreted engine)."""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.cast import nodes, stmts
+from repro.errors import ParseError
+
+
+def define_and_invoke(mp, definition: str, program: str):
+    """Register macros, then expand a program using them."""
+    mp.load(definition)
+    return mp.expand_to_ast(program)
+
+
+class TestLiteralTokens:
+    def test_buzz_tokens_must_match(self, mp):
+        mp.load(
+            "syntax stmt pair {| ( $$exp::a , $$exp::b ) |}"
+            "{ return(`{use($a, $b);}); }"
+        )
+        with pytest.raises(ParseError) as exc:
+            mp.expand_to_ast("void f(void) { pair (1; 2); }")
+        assert "expected" in str(exc.value)
+
+    def test_keyword_buzz_token(self, mp):
+        mp.load(
+            "syntax stmt upto {| $$id::v to $$exp::hi $$stmt::body |}"
+            "{ return(`{while ($v <= $hi) $body;}); }"
+        )
+        unit = mp.expand_to_ast("void f(void) { upto i to 10 {work();} }")
+        body = unit.items[0].body
+        assert isinstance(body.stmts[0], stmts.WhileStmt)
+
+
+class TestParameterKinds:
+    def test_exp_parameter_stops_at_comma(self, mp):
+        mp.load(
+            "syntax stmt pair {| ( $$exp::a , $$exp::b ) |}"
+            "{ return(`{use($a, $b);}); }"
+        )
+        unit = mp.expand_to_ast("void f(void) { pair (x + 1, y * 2); }")
+        call = unit.items[0].body.stmts[0].expr
+        assert isinstance(call.args[0], nodes.BinaryOp)
+
+    def test_num_parameter(self, mp):
+        mp.load(
+            "syntax stmt rep {| $$num::n $$stmt::body |}"
+            "{ if (num_value(n) > 0) return(`{while (count < $n) $body;});"
+            "  return(`{;}); }"
+        )
+        unit = mp.expand_to_ast("void f(void) { rep 3 {work();} }")
+        assert isinstance(unit.items[0].body.stmts[0], stmts.WhileStmt)
+
+    def test_num_parameter_rejects_ident(self, mp):
+        mp.load(
+            "syntax stmt rep {| $$num::n |} { return(`{use($n);}); }"
+        )
+        with pytest.raises(ParseError):
+            mp.expand_to_ast("void f(void) { rep x; }")
+
+    def test_type_spec_parameter(self, mp):
+        mp.load(
+            "syntax stmt declare_zero {| $$type_spec::t $$id::n |}"
+            "{ return(`{{$t $n = 0; use($n);}}); }"
+        )
+        unit = mp.expand_to_ast(
+            "void f(void) { declare_zero unsigned long counter; }"
+        )
+        inner = unit.items[0].body.stmts[0]
+        assert inner.decls[0].specs.type_spec.names == ["unsigned", "long"]
+
+    def test_decl_parameter(self, mp):
+        mp.load(
+            "syntax stmt twice_decl {| $$decl::d |}"
+            "{ return(`{{$d use(0);}}); }"
+        )
+        unit = mp.expand_to_ast("void f(void) { twice_decl int x = 1; }")
+        inner = unit.items[0].body.stmts[0]
+        assert len(inner.decls) == 1
+
+
+class TestRepetition:
+    def test_separated_list(self, mp):
+        mp.load(
+            "syntax stmt all {| { $$+/, exp::es } |}"
+            "{ return(`{f($es);}); }"
+        )
+        unit = mp.expand_to_ast("void g(void) { all {1, 2, 3}; }")
+        call = unit.items[0].body.stmts[0].expr
+        assert len(call.args) == 3
+
+    def test_unseparated_list_terminated_by_token(self, mp):
+        mp.load(
+            "syntax stmt block {| { $$*stmt::body } |}"
+            "{ return(`{{$body}}); }"
+        )
+        unit = mp.expand_to_ast("void g(void) { block {a(); b(); c();} }")
+        inner = unit.items[0].body.stmts[0]
+        assert len(inner.stmts) == 3
+
+    def test_empty_star_list(self, mp):
+        mp.load(
+            "syntax stmt block {| { $$*stmt::body } |}"
+            "{ return(`{{$body}}); }"
+        )
+        unit = mp.expand_to_ast("void g(void) { block {} }")
+        inner = unit.items[0].body.stmts[0]
+        assert inner.stmts == []
+
+    def test_plus_list_requires_one(self, mp):
+        mp.load(
+            "syntax stmt block {| { $$+stmt::body } |}"
+            "{ return(`{{$body}}); }"
+        )
+        with pytest.raises(ParseError):
+            mp.expand_to_ast("void g(void) { block {} }")
+
+
+class TestOptional:
+    SOURCE = (
+        "syntax stmt count {| $$id::v = $$exp::hi"
+        " $$? by exp::stride { $$*stmt::body } |}"
+        "{ if (present(stride))"
+        "    return(`{for ($v = 0; $v < $hi; $v = $v + $stride) {$body}});"
+        "  return(`{for ($v = 0; $v < $hi; $v++) {$body}}); }"
+    )
+
+    def test_present(self, mp):
+        mp.load(self.SOURCE)
+        unit = mp.expand_to_ast("void f(void) { count i = 10 by 2 {w();} }")
+        loop = unit.items[0].body.stmts[0]
+        assert isinstance(loop.step, nodes.AssignOp)
+
+    def test_absent(self, mp):
+        mp.load(self.SOURCE)
+        unit = mp.expand_to_ast("void f(void) { count i = 10 {w();} }")
+        loop = unit.items[0].body.stmts[0]
+        assert isinstance(loop.step, nodes.PostfixOp)
+
+
+class TestTuples:
+    def test_tuple_fields_via_member_access(self, mp):
+        mp.load(
+            "syntax stmt setpair {| $$( $$id::k = $$exp::v )::p ; |}"
+            "{ return(`{assign($(p.k), $(p.v));}); }"
+        )
+        unit = mp.expand_to_ast("void f(void) { setpair x = 42; ; }")
+        call = unit.items[0].body.stmts[0].expr
+        assert call.args[0] == nodes.Identifier("x")
+        assert call.args[1] == nodes.IntLit(42, "42")
+
+    def test_repeated_tuples(self, mp):
+        mp.load(
+            "syntax stmt inits {| { $$+/, ( $$id::k = $$exp::v )::ps } |}"
+            "{ return(`{{$(map((struct {@id k; @exp v;} p;"
+            "   `{$(p.k) = $(p.v);}), ps))}}); }"
+        )
+        unit = mp.expand_to_ast("void f(void) { inits {a = 1, b = 2}; }")
+        inner = unit.items[0].body.stmts[0]
+        assert len(inner.stmts) == 2
+
+
+class TestPositionChecks:
+    def test_stmt_macro_rejected_at_expression_position(self, mp):
+        mp.load(
+            "syntax stmt noop {| ( ) |} { return(`{;}); }"
+        )
+        # noop is a stmt macro; in expression position it is just an
+        # unknown identifier, so the call parses as a normal call.
+        unit = mp.expand_to_ast("void f(void) { x = noop(); }")
+        assert isinstance(unit.items[0].body.stmts[0].expr.value, nodes.Call)
+
+    def test_exp_macro_at_expression_position(self, mp):
+        mp.load(
+            "syntax exp twice {| ( $$exp::e ) |} { return(`(2 * ($e))); }"
+        )
+        unit = mp.expand_to_ast("void f(void) { y = twice(x + 1); }")
+        value = unit.items[0].body.stmts[0].expr.value
+        assert isinstance(value, nodes.BinaryOp)
+        assert value.op == "*"

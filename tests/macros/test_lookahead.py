@@ -1,0 +1,160 @@
+"""Tests for one-token-lookahead validation of patterns."""
+
+import pytest
+
+from repro.errors import PatternLookaheadError
+from repro.macros.lookahead import (
+    FirstSet,
+    first_of_pspec,
+    validate_pattern,
+)
+from repro.macros.pattern import SpecPrim, parse_pattern_text
+
+
+def check(text: str) -> None:
+    validate_pattern(parse_pattern_text(text), "m")
+
+
+class TestFirstSets:
+    def test_exp_first_contains_idents_and_parens(self):
+        first = first_of_pspec(SpecPrim("exp"))
+        assert first.contains_text("(")
+        assert first.contains_text("someident")
+
+    def test_stmt_first_contains_keywords(self):
+        first = first_of_pspec(SpecPrim("stmt"))
+        assert first.contains_text("if")
+        assert first.contains_text("{")
+        assert not first.contains_text("}")
+
+    def test_num_first_excludes_idents(self):
+        first = first_of_pspec(SpecPrim("num"))
+        assert not first.contains_text("x")
+
+    def test_intersects_by_category(self):
+        a = FirstSet(set(), {"ident"})
+        b = FirstSet({"foo"}, set())
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_disjoint(self):
+        a = FirstSet({"{"}, set())
+        b = FirstSet({"}"}, set())
+        assert not a.intersects(b)
+
+
+class TestValidPatterns:
+    def test_simple(self):
+        check("$$stmt::body")
+
+    def test_separated_repetition(self):
+        check("$$id::name { $$+/, id::ids } ;")
+
+    def test_unseparated_repetition_before_brace(self):
+        check("{ $$*stmt::body }")
+
+    def test_guarded_optional_before_brace(self):
+        check("$$exp::hi $$? step exp::stride { $$*stmt::body }")
+
+    def test_unguarded_num_optional_before_semicolon(self):
+        check("$$?num::n ;")
+
+    def test_tuple(self):
+        check("( $$id::k = $$exp::v )")
+
+
+class TestInvalidPatterns:
+    def test_unseparated_repetition_at_end(self):
+        # The end of the repetition cannot be determined.
+        with pytest.raises(PatternLookaheadError):
+            check("$$+stmt::body")
+
+    def test_repetition_element_starts_like_follow(self):
+        # stmts can start with an identifier; so can the next param.
+        with pytest.raises(PatternLookaheadError):
+            check("$$*stmt::body $$exp::e ;")
+
+    def test_optional_at_end(self):
+        with pytest.raises(PatternLookaheadError):
+            check("$$id::name $$?exp::e")
+
+    def test_optional_ambiguous_with_follow(self):
+        # An optional exp followed by an exp: both start with idents.
+        with pytest.raises(PatternLookaheadError):
+            check("$$?exp::a $$exp::b ;")
+
+    def test_guard_token_colliding_with_follow(self):
+        # Guard 'step' also begins what follows (an id param).
+        with pytest.raises(PatternLookaheadError):
+            check("$$? step exp::stride $$id::x ;")
+
+    def test_separator_also_in_follow(self):
+        with pytest.raises(PatternLookaheadError):
+            check("$$+/, id::ids , $$id::last ;")
+
+    def test_nested_tuple_contents_validated(self):
+        # The repetition inside the tuple sub-pattern is open-ended.
+        with pytest.raises(PatternLookaheadError):
+            check("$$( $$+stmt::body )::t ;")
+
+    def test_literal_parens_make_repetition_valid(self):
+        # Literal '(' ')' tokens are fine: ')' terminates the repetition.
+        check("( $$+stmt::body )")
+
+
+class TestExpressionContinuationRule:
+    """Operator buzz tokens after exp parameters would be consumed into
+    the actual; the validator rejects them (found by fuzzing)."""
+
+    def test_index_bracket_after_exp_rejected(self):
+        with pytest.raises(PatternLookaheadError) as exc:
+            check("$$exp::e [ $$num::n ]")
+        assert "'['" in str(exc.value)
+
+    def test_binary_operator_after_exp_rejected(self):
+        with pytest.raises(PatternLookaheadError):
+            check("$$exp::a + $$exp::b ;")
+
+    def test_open_paren_after_exp_rejected(self):
+        with pytest.raises(PatternLookaheadError):
+            check("$$exp::e ( )")
+
+    def test_safe_delimiters_accepted(self):
+        check("$$exp::e ;")
+        check("( $$exp::e )")
+        check("$$exp::a , $$exp::b ;")
+
+    def test_identifier_buzz_after_exp_accepted(self):
+        # 'to' cannot continue an expression.
+        check("$$exp::lo to $$exp::hi ;")
+
+    def test_operator_separator_for_exp_list_rejected(self):
+        with pytest.raises(PatternLookaheadError):
+            check("$$+/+ exp::es ;")
+
+    def test_comma_separator_for_exp_list_accepted(self):
+        check("$$+/, exp::es ;")
+
+    def test_guard_operator_after_exp_rejected(self):
+        # ('+', '*', '?', '(' cannot even be written as guards — they
+        # read as pspec markers — so '[' is the interesting case.)
+        with pytest.raises(PatternLookaheadError):
+            check("$$exp::e $$? [ exp::scale ;")
+
+    def test_rule_applies_inside_tuples(self):
+        with pytest.raises(PatternLookaheadError):
+            check("$$( $$exp::x [ $$num::i ] )::t ;")
+
+
+class TestErrorMessages:
+    def test_mentions_macro_and_parameter(self):
+        with pytest.raises(PatternLookaheadError) as exc:
+            validate_pattern(parse_pattern_text("$$+stmt::body"), "mymacro")
+        message = str(exc.value)
+        assert "mymacro" in message
+        assert "body" in message
+
+    def test_mentions_one_token_lookahead(self):
+        with pytest.raises(PatternLookaheadError) as exc:
+            check("$$*stmt::body $$exp::e ;")
+        assert "lookahead" in str(exc.value)

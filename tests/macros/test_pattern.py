@@ -1,0 +1,140 @@
+"""Tests for the pattern language parser."""
+
+import pytest
+
+from repro.asttypes.types import ListType, TupleType, prim
+from repro.errors import MacroSyntaxError
+from repro.macros.pattern import (
+    ParamElement,
+    SpecList,
+    SpecOptional,
+    SpecPrim,
+    SpecTuple,
+    TokenElement,
+    parse_pattern_text,
+)
+
+
+class TestElements:
+    def test_single_param(self):
+        p = parse_pattern_text("$$stmt::body")
+        assert len(p.elements) == 1
+        element = p.elements[0]
+        assert isinstance(element, ParamElement)
+        assert element.name == "body"
+        assert element.pspec == SpecPrim("stmt")
+
+    def test_literal_tokens(self):
+        p = parse_pattern_text("( $$exp::e )")
+        assert isinstance(p.elements[0], TokenElement)
+        assert p.elements[0].text == "("
+        assert isinstance(p.elements[2], TokenElement)
+
+    def test_keyword_as_buzz_token(self):
+        p = parse_pattern_text("$$id::name default $$id::d ;")
+        texts = [e.text for e in p.elements if isinstance(e, TokenElement)]
+        assert texts == ["default", ";"]
+
+    def test_all_primitive_specs(self):
+        for name in ("id", "exp", "stmt", "decl", "num", "type_spec",
+                     "declarator", "init_declarator"):
+            p = parse_pattern_text(f"$${name}::x")
+            assert p.elements[0].pspec == SpecPrim(name)
+
+
+class TestRepetition:
+    def test_plus(self):
+        p = parse_pattern_text("$$+stmt::body }")
+        pspec = p.elements[0].pspec
+        assert isinstance(pspec, SpecList)
+        assert pspec.at_least_one
+        assert pspec.separator is None
+
+    def test_star(self):
+        p = parse_pattern_text("$$*stmt::body }")
+        pspec = p.elements[0].pspec
+        assert not pspec.at_least_one
+
+    def test_plus_with_separator(self):
+        p = parse_pattern_text("$$+/, id::ids")
+        pspec = p.elements[0].pspec
+        assert pspec.separator == ","
+        assert pspec.element == SpecPrim("id")
+
+    def test_star_with_separator(self):
+        p = parse_pattern_text("$$*/; exp::es")
+        pspec = p.elements[0].pspec
+        assert pspec.separator == ";"
+        assert not pspec.at_least_one
+
+    def test_binding_type_is_list(self):
+        p = parse_pattern_text("$$+/, id::ids")
+        assert p.binding_types() == {"ids": ListType(prim("id"))}
+
+
+class TestOptional:
+    def test_unguarded(self):
+        p = parse_pattern_text("$$?num::n ;")
+        pspec = p.elements[0].pspec
+        assert isinstance(pspec, SpecOptional)
+        assert pspec.guard is None
+
+    def test_guarded(self):
+        p = parse_pattern_text("$$? step exp::stride {")
+        pspec = p.elements[0].pspec
+        assert pspec.guard == "step"
+        assert pspec.element == SpecPrim("exp")
+
+    def test_binding_type_is_element_type(self):
+        p = parse_pattern_text("$$? step exp::stride {")
+        assert p.binding_types()["stride"] == prim("exp")
+
+
+class TestTuples:
+    def test_tuple_pspec(self):
+        p = parse_pattern_text("$$( $$id::k = $$exp::v )::pair")
+        pspec = p.elements[0].pspec
+        assert isinstance(pspec, SpecTuple)
+        assert pspec.binding_type() == TupleType(
+            (("k", prim("id")), ("v", prim("exp")))
+        )
+
+    def test_repetition_of_tuples(self):
+        p = parse_pattern_text("$$+/, ( $$id::k = $$exp::v )::pairs")
+        pspec = p.elements[0].pspec
+        assert isinstance(pspec, SpecList)
+        assert isinstance(pspec.element, SpecTuple)
+        assert isinstance(p.binding_types()["pairs"], ListType)
+
+
+class TestErrors:
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(MacroSyntaxError):
+            parse_pattern_text("")
+
+    def test_missing_colons(self):
+        with pytest.raises(MacroSyntaxError):
+            parse_pattern_text("$$stmt body")
+
+    def test_missing_name(self):
+        with pytest.raises(MacroSyntaxError):
+            parse_pattern_text("$$stmt:: ;")
+
+    def test_bad_specifier(self):
+        with pytest.raises(MacroSyntaxError):
+            parse_pattern_text("$$statement::x")
+
+    def test_duplicate_parameter_names(self):
+        p = parse_pattern_text("$$id::x $$exp::x")
+        with pytest.raises(MacroSyntaxError):
+            p.binding_types()
+
+    def test_unclosed_tuple(self):
+        with pytest.raises(MacroSyntaxError):
+            parse_pattern_text("$$( $$id::k ::pair")
+
+    def test_source_text_round_trip(self):
+        p = parse_pattern_text("$$id::name { $$+/, id::ids } ;")
+        # Re-parsing the rendered pattern gives the same structure.
+        again = parse_pattern_text(str(p))
+        assert again.elements == p.elements

@@ -1,0 +1,173 @@
+"""Tests for every meta-language builtin function."""
+
+import pytest
+
+from repro.cast import nodes
+from repro.errors import ExpansionError, MetaInterpError
+from repro.meta.builtins import BUILTIN_IMPLS
+from repro.meta.frames import NULL
+from repro.meta.interp import Interpreter
+from repro.meta.values import Closure
+
+
+@pytest.fixture()
+def interp():
+    return Interpreter()
+
+
+def call(interp, name, *args):
+    return BUILTIN_IMPLS[name](interp, list(args), None)
+
+
+def ident(name: str) -> nodes.Identifier:
+    return nodes.Identifier(name)
+
+
+class TestIdentifierBuiltins:
+    def test_gensym_default(self, interp):
+        out = call(interp, "gensym")
+        assert isinstance(out, nodes.Identifier)
+
+    def test_gensym_with_prefix(self, interp):
+        out = call(interp, "gensym", "tmp")
+        assert "tmp" in out.name
+
+    def test_gensym_with_identifier_prefix(self, interp):
+        out = call(interp, "gensym", ident("counter"))
+        assert "counter" in out.name
+
+    def test_concat_ids(self, interp):
+        out = call(interp, "concat_ids", ident("foo"), ident("bar"))
+        assert out == ident("foobar")
+
+    def test_concat_ids_arity(self, interp):
+        with pytest.raises(MetaInterpError):
+            call(interp, "concat_ids", ident("a"))
+
+    def test_symbolconc_strings_and_ids(self, interp):
+        out = call(interp, "symbolconc", "print_", ident("fruit"))
+        assert out == ident("print_fruit")
+
+    def test_make_id(self, interp):
+        assert call(interp, "make_id", "x") == ident("x")
+
+    def test_make_id_type_checked(self, interp):
+        with pytest.raises(MetaInterpError):
+            call(interp, "make_id", 42)
+
+    def test_pstring(self, interp):
+        assert call(interp, "pstring", ident("apple")) == "apple"
+
+    def test_id_name_alias(self, interp):
+        assert call(interp, "id_name", ident("x")) == "x"
+
+    def test_make_num_and_num_value(self, interp):
+        num = call(interp, "make_num", 7)
+        assert isinstance(num, nodes.IntLit)
+        assert call(interp, "num_value", num) == 7
+
+
+class TestListBuiltins:
+    def test_length(self, interp):
+        assert call(interp, "length", [1, 2, 3]) == 3
+
+    def test_length_requires_list(self, interp):
+        with pytest.raises(MetaInterpError):
+            call(interp, "length", ident("x"))
+
+    def test_is_empty(self, interp):
+        assert call(interp, "is_empty", []) == 1
+        assert call(interp, "is_empty", [1]) == 0
+
+    def test_list_flattens(self, interp):
+        assert call(interp, "list", 1, [2, 3], 4) == [1, 2, 3, 4]
+
+    def test_list_skips_null(self, interp):
+        assert call(interp, "list", 1, NULL, 2) == [1, 2]
+
+    def test_empty_list(self, interp):
+        assert call(interp, "list") == []
+
+    def test_append(self, interp):
+        assert call(interp, "append", [1], [2, 3]) == [1, 2, 3]
+
+    def test_cons(self, interp):
+        assert call(interp, "cons", 1, [2]) == [1, 2]
+
+    def test_first_rest(self, interp):
+        assert call(interp, "first", [1, 2]) == 1
+        assert call(interp, "rest", [1, 2]) == [2]
+
+    def test_first_of_empty_raises(self, interp):
+        with pytest.raises(MetaInterpError):
+            call(interp, "first", [])
+
+    def test_nth(self, interp):
+        assert call(interp, "nth", [10, 20, 30], 1) == 20
+
+    def test_nth_bounds(self, interp):
+        with pytest.raises(MetaInterpError):
+            call(interp, "nth", [1], 3)
+
+    def test_reverse(self, interp):
+        assert call(interp, "reverse", [1, 2, 3]) == [3, 2, 1]
+
+    def test_map_with_closure(self, interp):
+        # map over a hand-built anonymous closure: (x) -> x body.
+        body = nodes.Identifier("x")
+        closure = Closure("", ["x"], body, interp.globals, is_anon=True)
+        assert call(interp, "map", closure, [1, 2]) == [1, 2]
+
+    def test_map_requires_function(self, interp):
+        with pytest.raises(MetaInterpError):
+            call(interp, "map", 42, [1])
+
+
+class TestPredicates:
+    def test_simple_expression_on_identifier(self, interp):
+        assert call(interp, "simple_expression", ident("x")) == 1
+
+    def test_simple_expression_on_literal(self, interp):
+        assert call(interp, "simple_expression", nodes.IntLit(1)) == 1
+
+    def test_simple_expression_on_compound(self, interp):
+        complex_expr = nodes.BinaryOp("+", ident("a"), ident("b"))
+        assert call(interp, "simple_expression", complex_expr) == 0
+
+    def test_present(self, interp):
+        assert call(interp, "present", NULL) == 0
+        assert call(interp, "present", ident("x")) == 1
+
+    def test_same_id(self, interp):
+        assert call(interp, "same_id", ident("a"), ident("a")) == 1
+        assert call(interp, "same_id", ident("a"), ident("b")) == 0
+
+
+class TestStringsAndDiagnostics:
+    def test_strcmp(self, interp):
+        assert call(interp, "strcmp", "a", "a") == 0
+        assert call(interp, "strcmp", "a", "b") == -1
+        assert call(interp, "strcmp", "b", "a") == 1
+
+    def test_strlen(self, interp):
+        assert call(interp, "strlen", "hello") == 5
+
+    def test_ast_to_string(self, interp):
+        out = call(interp, "ast_to_string", ident("x"))
+        assert out == "x"
+
+    def test_error_raises(self, interp):
+        with pytest.raises(ExpansionError) as exc:
+            call(interp, "error", "bad thing", ident("x"))
+        assert "bad thing" in str(exc.value)
+
+    def test_warning_collects(self, interp):
+        call(interp, "warning", "heads up")
+        assert interp.warnings == ["heads up"]
+
+
+class TestCoverage:
+    def test_static_signatures_cover_all_impls(self):
+        from repro.asttypes.check import BUILTIN_SIGNATURES
+
+        assert set(BUILTIN_IMPLS) == set(BUILTIN_SIGNATURES)

@@ -1,0 +1,67 @@
+"""Tests for runtime frames and the NULL value."""
+
+import pytest
+
+from repro.errors import MetaInterpError
+from repro.meta.frames import NULL, Frame, NullValue
+
+
+class TestNull:
+    def test_singleton(self):
+        assert NullValue() is NULL
+
+    def test_falsy(self):
+        assert not NULL
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+
+
+class TestFrames:
+    def test_define_and_lookup(self):
+        f = Frame()
+        f.define("x", 1)
+        assert f.lookup("x") == 1
+
+    def test_lookup_walks_parents(self):
+        parent = Frame()
+        parent.define("x", 1)
+        child = parent.child()
+        assert child.lookup("x") == 1
+
+    def test_child_shadows(self):
+        parent = Frame()
+        parent.define("x", 1)
+        child = parent.child()
+        child.define("x", 2)
+        assert child.lookup("x") == 2
+        assert parent.lookup("x") == 1
+
+    def test_unbound_lookup_raises(self):
+        with pytest.raises(MetaInterpError):
+            Frame().lookup("nope")
+
+    def test_assign_mutates_defining_frame(self):
+        parent = Frame()
+        parent.define("x", 1)
+        child = parent.child()
+        child.assign("x", 5)
+        assert parent.lookup("x") == 5
+
+    def test_assign_unbound_raises(self):
+        with pytest.raises(MetaInterpError):
+            Frame().assign("nope", 1)
+
+    def test_contains(self):
+        f = Frame()
+        f.define("x", 1)
+        assert "x" in f.child()
+        assert "y" not in f
+
+    def test_names_deduplicated(self):
+        parent = Frame()
+        parent.define("x", 1)
+        child = parent.child()
+        child.define("x", 2)
+        child.define("y", 3)
+        assert sorted(child.names()) == ["x", "y"]

@@ -1,0 +1,264 @@
+"""Tests for the embedded meta-language interpreter."""
+
+import pytest
+
+from repro.cast import decls, nodes
+from repro.errors import MetaInterpError
+from repro.macros.definition import MacroDefinition
+from repro.macros.pattern import parse_pattern_text
+from repro.meta.frames import NULL
+from repro.meta.interp import Interpreter, _c_div, _c_mod
+from repro.parser.core import Parser
+from repro.asttypes.env import TypeEnv
+
+
+def run_body(body_source: str, bindings=None, pattern="( )", ret="exp"):
+    """Define a macro with the given body and run it."""
+    parser = Parser(body_source)
+    env = parser.global_type_env.child()
+    from repro.asttypes.types import AstType
+
+    binding_types = {}
+    values = {}
+    for name, (asttype, value) in (bindings or {}).items():
+        env.bind(name, asttype)
+        binding_types[name] = asttype
+        values[name] = value
+    with parser._meta(True), parser._scoped_env(env):
+        body = parser.parse_compound_statement()
+    defn = MacroDefinition("test", ret, False, parse_pattern_text(pattern), body)
+    interp = Interpreter()
+    return interp.call_macro(defn, values)
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert run_body("{ return(1 + 2 * 3); }") == 7
+
+    def test_c_division_truncates_toward_zero(self):
+        assert run_body("{ return(-7 / 2); }") == -3
+        assert run_body("{ return(7 / -2); }") == -3
+        assert run_body("{ return(7 / 2); }") == 3
+
+    def test_c_modulo(self):
+        assert run_body("{ return(-7 % 2); }") == -1
+        assert run_body("{ return(7 % -2); }") == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(MetaInterpError):
+            run_body("{ return(1 / 0); }")
+
+    def test_helpers_match_c(self):
+        assert _c_div(-7, 2) == -3
+        assert _c_mod(-7, 2) == -1
+
+    def test_shifts_and_bitops(self):
+        assert run_body("{ return(1 << 4); }") == 16
+        assert run_body("{ return(12 & 10); }") == 8
+        assert run_body("{ return(12 | 10); }") == 14
+        assert run_body("{ return(12 ^ 10); }") == 6
+
+    def test_comparisons_yield_ints(self):
+        assert run_body("{ return(3 < 5); }") == 1
+        assert run_body("{ return(3 > 5); }") == 0
+
+    def test_unary(self):
+        assert run_body("{ return(-(3)); }") == -3
+        assert run_body("{ return(!0); }") == 1
+        assert run_body("{ return(~0); }") == -1
+
+
+class TestShortCircuit:
+    def test_and_skips_right(self):
+        # Division by zero on the right is never evaluated.
+        assert run_body("{ return(0 && (1 / 0)); }") == 0
+
+    def test_or_skips_right(self):
+        assert run_body("{ return(1 || (1 / 0)); }") == 1
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert run_body("{ if (1) return(10); else return(20); }") == 10
+        assert run_body("{ if (0) return(10); else return(20); }") == 20
+
+    def test_while_loop(self):
+        assert run_body(
+            "{ int i; int total; i = 0; total = 0;"
+            "  while (i < 5) { total = total + i; i = i + 1; }"
+            "  return(total); }"
+        ) == 10
+
+    def test_for_loop(self):
+        assert run_body(
+            "{ int i; int t; t = 0;"
+            "  for (i = 0; i < 4; i++) t = t + i;"
+            "  return(t); }"
+        ) == 6
+
+    def test_do_while(self):
+        assert run_body(
+            "{ int i; i = 0; do i++; while (i < 3); return(i); }"
+        ) == 3
+
+    def test_break(self):
+        assert run_body(
+            "{ int i; for (i = 0; i < 100; i++) { if (i == 7) break; }"
+            "  return(i); }"
+        ) == 7
+
+    def test_continue(self):
+        assert run_body(
+            "{ int i; int t; t = 0;"
+            "  for (i = 0; i < 5; i++) { if (i == 2) continue; t = t + i; }"
+            "  return(t); }"
+        ) == 8
+
+    def test_switch(self):
+        body = (
+            "{ int r; r = 0;"
+            "  switch (x) {"
+            "    case 1: r = 10; break;"
+            "    case 2: r = 20; break;"
+            "    default: r = 99; break;"
+            "  }"
+            "  return(r); }"
+        )
+        from repro.asttypes.types import INT
+
+        assert run_body(body, {"x": (INT, 1)}) == 10
+        assert run_body(body, {"x": (INT, 2)}) == 20
+        assert run_body(body, {"x": (INT, 5)}) == 99
+
+    def test_switch_fallthrough(self):
+        body = (
+            "{ int r; r = 0;"
+            "  switch (x) { case 1: r = r + 1; case 2: r = r + 2; break; }"
+            "  return(r); }"
+        )
+        from repro.asttypes.types import INT
+
+        assert run_body(body, {"x": (INT, 1)}) == 3
+
+    def test_fuel_limit(self):
+        with pytest.raises(MetaInterpError) as exc:
+            run_body("{ while (1) { } return(0); }")
+        assert "budget" in str(exc.value)
+
+
+class TestListValues:
+    def make_ids(self, *names):
+        from repro.asttypes.types import ID, list_of
+
+        return (list_of(ID), [nodes.Identifier(n) for n in names])
+
+    def test_star_is_car(self):
+        value = run_body(
+            "{ return(*xs); }", {"xs": self.make_ids("a", "b")}
+        )
+        assert value == nodes.Identifier("a")
+
+    def test_plus_is_cdr(self):
+        value = run_body(
+            "{ return(length(xs + 1)); }", {"xs": self.make_ids("a", "b")}
+        )
+        assert value == 1
+
+    def test_indexing(self):
+        value = run_body(
+            "{ return(xs[1]); }", {"xs": self.make_ids("a", "b", "c")}
+        )
+        assert value == nodes.Identifier("b")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(MetaInterpError):
+            run_body("{ return(xs[5]); }", {"xs": self.make_ids("a")})
+
+    def test_car_of_empty(self):
+        with pytest.raises(MetaInterpError):
+            run_body("{ return(*xs); }", {"xs": self.make_ids()})
+
+    def test_loop_over_list(self):
+        value = run_body(
+            "{ int i; int n; n = 0;"
+            "  for (i = 0; i < length(xs); i++) n = n + 1;"
+            "  return(n); }",
+            {"xs": self.make_ids("a", "b", "c")},
+        )
+        assert value == 3
+
+
+class TestIncrementDecrement:
+    def test_postfix_returns_old(self):
+        assert run_body(
+            "{ int i; int j; i = 5; j = i++; return(j * 100 + i); }"
+        ) == 506
+
+    def test_prefix_returns_new(self):
+        assert run_body(
+            "{ int i; int j; i = 5; j = ++i; return(j * 100 + i); }"
+        ) == 606
+
+    def test_decrement(self):
+        assert run_body("{ int i; i = 5; i--; return(i); }") == 4
+
+
+class TestMetaFunctions:
+    def test_define_and_call(self):
+        parser = Parser("@exp double_it(@exp e) { return(`(2 * ($e))); }")
+        unit = parser.parse_program()
+        interp = Interpreter()
+        fn = unit.items[0].inner
+        interp.define_meta_function(fn)
+        closure = interp.globals.lookup("double_it")
+        result = interp.call_closure(closure, [nodes.Identifier("x")], None)
+        assert isinstance(result, nodes.BinaryOp)
+
+    def test_arity_checked(self):
+        parser = Parser("@exp f(@exp e) { return(e); }")
+        unit = parser.parse_program()
+        interp = Interpreter()
+        interp.define_meta_function(unit.items[0].inner)
+        closure = interp.globals.lookup("f")
+        with pytest.raises(MetaInterpError):
+            interp.call_closure(closure, [], None)
+
+
+class TestGensym:
+    def test_unique(self):
+        interp = Interpreter()
+        names = {interp.gensym().name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_prefix(self):
+        interp = Interpreter()
+        assert "tmp" in interp.gensym("tmp").name
+
+    def test_reserved_prefix(self):
+        interp = Interpreter()
+        assert interp.gensym().name.startswith("__")
+
+
+class TestMetaDeclarations:
+    def test_defaults(self):
+        parser = Parser("x")
+        src = "metadcl @id xs[];"
+        parser = Parser(src)
+        unit = parser.parse_program()
+        interp = Interpreter()
+        interp.run_meta_declaration(unit.items[0].inner)
+        assert interp.globals.lookup("xs") == []
+
+    def test_int_default_zero(self):
+        parser = Parser("metadcl int n;")
+        unit = parser.parse_program()
+        interp = Interpreter()
+        interp.run_meta_declaration(unit.items[0].inner)
+        assert interp.globals.lookup("n") == 0
+
+    def test_ast_default_null(self):
+        parser = Parser("metadcl @stmt s;")
+        unit = parser.parse_program()
+        interp = Interpreter()
+        interp.run_meta_declaration(unit.items[0].inner)
+        assert interp.globals.lookup("s") is NULL

@@ -1,0 +1,138 @@
+"""Edge-case tests for the meta-interpreter."""
+
+import pytest
+
+from repro.asttypes.types import ID, INT, STRING, TupleType, list_of
+from repro.cast import nodes
+from repro.errors import MetaInterpError
+from tests.meta.test_interp import run_body
+
+
+class TestTupleValues:
+    def tuple_binding(self):
+        ttype = TupleType((("k", ID), ("v", ID)))
+        value = nodes.TupleValue(
+            [
+                nodes.MacroArg("k", nodes.Identifier("key")),
+                nodes.MacroArg("v", nodes.Identifier("val")),
+            ]
+        )
+        return (ttype, value)
+
+    def test_field_read(self):
+        result = run_body(
+            "{ return(t.k); }", {"t": self.tuple_binding()}
+        )
+        assert result == nodes.Identifier("key")
+
+    def test_field_write(self):
+        result = run_body(
+            "{ t.v = t.k; return(t.v); }", {"t": self.tuple_binding()}
+        )
+        assert result == nodes.Identifier("key")
+
+    def test_missing_field_raises(self):
+        with pytest.raises(MetaInterpError):
+            run_body("{ return(t.zzz); }", {"t": self.tuple_binding()})
+
+
+class TestListMutation:
+    def ids(self, *names):
+        return (list_of(ID), [nodes.Identifier(n) for n in names])
+
+    def test_indexed_assignment(self):
+        result = run_body(
+            "{ xs[0] = xs[1]; return(xs[0]); }",
+            {"xs": self.ids("a", "b")},
+        )
+        assert result == nodes.Identifier("b")
+
+    def test_indexed_assignment_bounds_checked(self):
+        with pytest.raises(MetaInterpError):
+            run_body("{ xs[9] = xs[0]; return(*xs); }",
+                     {"xs": self.ids("a")})
+
+    def test_rebinding_list_variable(self):
+        result = run_body(
+            "{ xs = cons(make_id(\"z\"), xs); return(length(xs)); }",
+            {"xs": self.ids("a", "b")},
+        )
+        assert result == 3
+
+
+class TestStrings:
+    def test_string_indexing_yields_char_code(self):
+        result = run_body(
+            '{ char *s; s = "AB"; return(s[1]); }'
+        )
+        assert result == ord("B")
+
+    def test_string_comparison_via_strcmp(self):
+        result = run_body(
+            '{ return(strcmp("abc", "abc") == 0); }'
+        )
+        assert result == 1
+
+    def test_chars_are_ints(self):
+        assert run_body("{ return('a' + 1); }") == ord("a") + 1
+
+
+class TestScopes:
+    def test_block_scoping(self):
+        result = run_body(
+            "{ int x; x = 1; { int x; x = 99; } return(x); }"
+        )
+        assert result == 1
+
+    def test_inner_block_sees_outer(self):
+        result = run_body(
+            "{ int x; x = 5; { x = x + 1; } return(x); }"
+        )
+        assert result == 6
+
+    def test_compound_assignment_operators(self):
+        assert run_body(
+            "{ int x; x = 10; x += 5; x -= 3; x *= 2; x /= 4; "
+            "return(x); }"
+        ) == 6
+
+    def test_shift_assignment(self):
+        assert run_body("{ int x; x = 1; x <<= 4; return(x); }") == 16
+
+
+class TestConditionalsAndComma:
+    def test_ternary(self):
+        assert run_body("{ return(1 ? 2 : 3); }") == 2
+
+    def test_comma_evaluates_left_to_right(self):
+        assert run_body(
+            "{ int x; int y; x = 0; y = (x = 5, x + 1); return(y); }"
+        ) == 6
+
+    def test_null_is_falsy(self):
+        from repro.asttypes.types import STMT
+
+        from repro.meta.frames import NULL
+
+        result = run_body(
+            "{ if (present(s)) return(1); return(0); }",
+            {"s": (STMT, None)},
+        )
+        # None binding becomes NULL; present() sees it as absent.
+        assert result == 0
+
+
+class TestErrorsCarryContext:
+    def test_unbound_variable_message(self):
+        with pytest.raises(MetaInterpError) as exc:
+            run_body("{ return(ghost); }")
+        assert "ghost" in str(exc.value)
+
+    def test_calling_non_function(self):
+        with pytest.raises(MetaInterpError) as exc:
+            run_body("{ int x; x = 1; x(2); return(0); }")
+        assert "not callable" in str(exc.value)
+
+    def test_truthiness_of_closure_is_error(self):
+        with pytest.raises(MetaInterpError):
+            run_body("{ if ((@id x; `($x))) return(1); return(0); }")

@@ -1,0 +1,97 @@
+"""Meta-function behaviour: recursion, composition, closures."""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.errors import MetaInterpError
+from tests.conftest import assert_c_equal
+
+
+class TestRecursion:
+    def test_recursive_meta_function(self, mp):
+        # Build a right-nested addition chain of depth n at expansion
+        # time: chain(3) => x + (x + (x + 0)).
+        mp.load(
+            "@exp chain(int n) {"
+            "  if (n == 0) return(`(0));"
+            "  return(`(x + $(chain(n - 1))));"
+            "}\n"
+            "syntax exp chain3 {| ( ) |} { return(chain(3)); }"
+        )
+        out = mp.expand_to_c("int r = chain3();")
+        assert "x + x + x + 0" in out.replace("(", "").replace(")", "")
+
+    def test_mutually_recursive_is_use_before_def_error(self, mp):
+        # 'odd' is not yet declared when 'even' is checked.
+        from repro.errors import MacroTypeError
+
+        with pytest.raises(MacroTypeError):
+            mp.load(
+                "@exp even(int n) {"
+                "  if (n == 0) return(`(1)); return(odd(n - 1)); }\n"
+                "@exp odd(int n) {"
+                "  if (n == 0) return(`(0)); return(even(n - 1)); }"
+            )
+
+    def test_deep_recursion_bounded_by_fuel(self, mp):
+        mp.load(
+            "@exp spin(int n) { return(spin(n + 1)); }\n"
+            "syntax exp go {| ( ) |} { return(spin(0)); }"
+        )
+        with pytest.raises((MetaInterpError, RecursionError)):
+            mp.expand_to_c("int x = go();")
+
+
+class TestComposition:
+    def test_functions_share_metadcl_state(self, mp):
+        mp.load(
+            "metadcl int hits;\n"
+            "@exp bump() { hits = hits + 1; return(make_num(hits)); }\n"
+            "syntax exp next {| ( ) |} { return(bump()); }"
+        )
+        out = mp.expand_to_c("void f(void) { a = next(); b = next(); }")
+        assert "a = 1" in out and "b = 2" in out
+
+    def test_function_taking_list(self, mp):
+        mp.load(
+            "@stmt seq(@stmt items[]) { return(`{{$items}}); }\n"
+            "syntax stmt par {| { $$*stmt::body } |}"
+            "{ return(seq(body)); }"
+        )
+        out = mp.expand_to_c("void f(void) { par {a(); b();} }")
+        assert_c_equal(out, "void f(void) {{a(); b();}}")
+
+    def test_void_meta_function_for_effects(self, mp):
+        mp.load(
+            "metadcl @id seen[];\n"
+            "@id note(@id x) { seen = cons(x, seen); return(x); }\n"
+            "syntax stmt reg {| $$id::n |}"
+            "{ note(n); return(`{mark($(make_num(length(seen)))) ;}); }"
+        )
+        out = mp.expand_to_c("void f(void) { reg a; reg b; }")
+        assert "mark(1)" in out
+        assert "mark(2)" in out
+
+
+class TestAnonymousFunctionSemantics:
+    def test_closure_captures_enclosing_frame(self, mp):
+        mp.load(
+            "syntax exp addn {| ( $$num::n , { $$+/, exp::es } ) |}"
+            "{ int k; k = num_value(n);"
+            "  return(`(f($(map((@exp e; `(($e) + $(make_num(k)))), es)))));"
+            "}"
+        )
+        out = mp.expand_to_c("int r = addn(10, {a, b});")
+        assert "a + 10" in out
+        assert "b + 10" in out
+
+    def test_anon_functions_passed_downward_only(self, mp):
+        # Attempting to RETURN an anonymous function from a macro is a
+        # type error (macros return ASTs).
+        from repro.errors import MacroTypeError
+
+        with pytest.raises(MacroTypeError):
+            mp.load(
+                "syntax exp leak {| ( ) |}"
+                "{ return((@id x; `($x))); }"
+            )

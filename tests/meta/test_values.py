@@ -1,0 +1,140 @@
+"""Tests for meta-value semantics: truthiness, equality, components."""
+
+import pytest
+
+from repro.cast import nodes
+from repro.errors import MetaInterpError
+from repro.meta.frames import NULL
+from repro.meta.values import (
+    describe_value,
+    extract_component,
+    truthy,
+    values_equal,
+)
+from tests.conftest import parse_expr, parse_stmt, parse_c
+
+
+class TestTruthy:
+    def test_null_false(self):
+        assert not truthy(NULL)
+
+    def test_ints(self):
+        assert truthy(1)
+        assert not truthy(0)
+        assert truthy(-1)
+
+    def test_lists(self):
+        assert not truthy([])
+        assert truthy([1])
+
+    def test_ast_nodes_truthy(self):
+        assert truthy(nodes.Identifier("x"))
+
+    def test_strings_truthy(self):
+        # char* is a non-null pointer, even when empty.
+        assert truthy("")
+
+
+class TestEquality:
+    def test_asts_compare_structurally(self):
+        assert values_equal(parse_expr("a + b"), parse_expr("a + b"))
+        assert not values_equal(parse_expr("a + b"), parse_expr("a - b"))
+
+    def test_null_only_equals_null(self):
+        assert values_equal(NULL, NULL)
+        assert not values_equal(NULL, 0)
+
+    def test_lists(self):
+        a = [nodes.Identifier("x")]
+        b = [nodes.Identifier("x")]
+        assert values_equal(a, b)
+        assert not values_equal(a, [])
+
+    def test_scalars(self):
+        assert values_equal(3, 3)
+        assert not values_equal(3, "3")
+
+
+class TestComponents:
+    def test_compound_declarations_and_statements(self):
+        s = parse_stmt("{int x; f();}")
+        assert len(extract_component(s, "declarations")) == 1
+        assert len(extract_component(s, "statements")) == 1
+
+    def test_expression_of_exprstmt(self):
+        s = parse_stmt("f();")
+        assert isinstance(extract_component(s, "expression"), nodes.Call)
+
+    def test_expression_of_return(self):
+        s = parse_stmt("return x;")
+        assert extract_component(s, "expression") == nodes.Identifier("x")
+
+    def test_return_void_expression_null(self):
+        s = parse_stmt("return;")
+        assert extract_component(s, "expression") is NULL
+
+    def test_if_components(self):
+        s = parse_stmt("if (c) a(); else b();")
+        assert extract_component(s, "cond") == nodes.Identifier("c")
+        assert extract_component(s, "then") is s.then
+        assert extract_component(s, "otherwise") is s.otherwise
+
+    def test_if_without_else(self):
+        s = parse_stmt("if (c) a();")
+        assert extract_component(s, "otherwise") is NULL
+
+    def test_loop_components(self):
+        s = parse_stmt("while (c) body();")
+        assert extract_component(s, "cond") == nodes.Identifier("c")
+        assert extract_component(s, "body") is s.body
+
+    def test_declaration_components(self):
+        unit = parse_c("int x = 1, y;")
+        d = unit.items[0]
+        assert extract_component(d, "name") == nodes.Identifier("x")
+        assert len(extract_component(d, "declarators")) == 2
+        ts = extract_component(d, "type_spec")
+        assert ts.names == ["int"]
+
+    def test_init_declarator_components(self):
+        unit = parse_c("int x = 1;")
+        init_d = unit.items[0].init_declarators[0]
+        assert extract_component(init_d, "init") == nodes.IntLit(1, "1")
+        declarator = extract_component(init_d, "declarator")
+        assert extract_component(declarator, "name") == nodes.Identifier("x")
+
+    def test_binary_components(self):
+        e = parse_expr("a + b")
+        assert extract_component(e, "left") == nodes.Identifier("a")
+        assert extract_component(e, "right") == nodes.Identifier("b")
+        assert extract_component(e, "op") == "+"
+
+    def test_call_components(self):
+        e = parse_expr("f(a, b)")
+        assert extract_component(e, "func") == nodes.Identifier("f")
+        assert len(extract_component(e, "args")) == 2
+        assert extract_component(e, "name") == nodes.Identifier("f")
+
+    def test_unary_components(self):
+        e = parse_expr("-x")
+        assert extract_component(e, "operand") == nodes.Identifier("x")
+
+    def test_assign_components(self):
+        e = parse_expr("a = b")
+        assert extract_component(e, "left") == nodes.Identifier("a")
+        assert extract_component(e, "right") == nodes.Identifier("b")
+
+    def test_identifier_name_is_string(self):
+        assert extract_component(nodes.Identifier("q"), "name") == "q"
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(MetaInterpError):
+            extract_component(nodes.Identifier("x"), "wibble")
+
+
+class TestDescribe:
+    def test_descriptions(self):
+        assert describe_value(NULL) == "NULL"
+        assert "Identifier" in describe_value(nodes.Identifier("x"))
+        assert "list of 2" in describe_value([1, 2])
+        assert describe_value(42) == "42"

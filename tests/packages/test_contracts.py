@@ -1,0 +1,84 @@
+"""Tests for the design-by-contract package."""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.packages import contracts
+
+
+@pytest.fixture()
+def cmp_():
+    mp = MacroProcessor()
+    contracts.register(mp)
+    return mp
+
+
+class TestRequire:
+    def test_negated_condition_guard(self, cmp_):
+        out = cmp_.expand_to_c(
+            "void f(int n) { require (n > 0); }"
+        )
+        assert "if (!(n > 0))" in out
+
+    def test_condition_text_stringized(self, cmp_):
+        out = cmp_.expand_to_c(
+            "void f(int n) { require (n > 0 && n < 10); }"
+        )
+        assert '"n > 0 && n < 10"' in out
+
+    def test_kind_labels(self, cmp_):
+        out = cmp_.expand_to_c(
+            "void f(int n) { require (n); ensure (n); }"
+        )
+        assert '"precondition"' in out
+        assert '"postcondition"' in out
+
+    def test_stringizes_canonical_form(self, cmp_):
+        # The AST is stringized, so redundant user parens vanish:
+        # canonical output, not raw tokens.
+        out = cmp_.expand_to_c(
+            "void f(int n) { require ((n) > (0)); }"
+        )
+        assert '"n > 0"' in out
+
+
+class TestCheckRange:
+    def test_simple_value_not_duplicated_into_temp(self, cmp_):
+        out = cmp_.expand_to_c(
+            "void f(int i) { check_range (i, 0, 9); }"
+        )
+        assert "the_value" not in out
+        assert "i < 0 || i > 9" in out
+
+    def test_compound_value_gets_temporary(self, cmp_):
+        out = cmp_.expand_to_c(
+            "void f(void) { check_range (next_index(), 0, 9); }"
+        )
+        assert "int the_value = next_index();" in out
+        # Evaluated exactly once; the second occurrence is the quoted
+        # stringized condition in the diagnostic.
+        assert out.count("next_index()") == 2
+        assert out.count('"next_index()"') == 1
+
+    def test_range_label_and_text(self, cmp_):
+        out = cmp_.expand_to_c(
+            "void f(int i) { check_range (i, 0, 9); }"
+        )
+        assert '"range"' in out
+        assert '"i"' in out
+
+
+class TestComposition:
+    def test_contract_inside_other_macros(self):
+        from repro.packages import loops
+
+        mp = MacroProcessor()
+        contracts.register(mp)
+        loops.register(mp)
+        out = mp.expand_to_c(
+            "void f(int i, int n) {"
+            "  for_range i = 0 to n { require (i <= n); }"
+            "}"
+        )
+        assert "for (i = 0; i <= n; i++)" in out
+        assert "contract_violation" in out

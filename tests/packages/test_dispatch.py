@@ -1,0 +1,99 @@
+"""Tests for the window-procedure code-rearrangement package."""
+
+import pytest
+
+from repro.cast import decls, stmts
+from repro.errors import ExpansionError
+from repro.packages import dispatch
+
+
+PROGRAM = """
+new_window_proc wproc default DefWindowProc;
+
+window_proc_dispatch(wproc, WM_DESTROY)
+  {KillTimer(hWnd, idTimer);
+   PostQuitMessage(0);}
+
+window_proc_dispatch(wproc, WM_CREATE)
+  {idTimer = SetTimer(hWnd, 77, 5000, 0);}
+
+emit_window_proc wproc;
+"""
+
+
+class TestAccumulation:
+    def test_registration_macros_expand_to_nothing(self, mp):
+        dispatch.register(mp)
+        unit = mp.expand_to_ast(
+            "new_window_proc w default Def;\nint keep;"
+        )
+        # Only the typedefs from the package... are not in user unit;
+        # just 'int keep;' remains.
+        kinds = [type(i).__name__ for i in unit.items]
+        assert kinds == ["Declaration"]
+
+    def test_emit_produces_function(self, mp):
+        dispatch.register(mp)
+        unit = mp.expand_to_ast(PROGRAM)
+        functions = [
+            i for i in unit.items if isinstance(i, decls.FunctionDef)
+        ]
+        assert len(functions) == 1
+
+    def test_dispatch_cases_collected(self, mp):
+        dispatch.register(mp)
+        out = mp.expand_to_c(PROGRAM)
+        assert "case WM_DESTROY:" in out
+        assert "case WM_CREATE:" in out
+        assert "DefWindowProc(hWnd, message, wParam, lParam)" in out
+
+    def test_matches_paper_structure(self, mp):
+        dispatch.register(mp)
+        out = mp.expand_to_c(PROGRAM)
+        assert (
+            "int wproc(HWND hWnd, UINT message, WPARAM wParam, "
+            "LPARAM lParam)" in out
+        )
+        assert "KillTimer(hWnd, idTimer)" in out
+        assert "SetTimer(hWnd, 77, 5000, 0)" in out
+
+    def test_default_comes_first(self, mp):
+        dispatch.register(mp)
+        out = mp.expand_to_c(PROGRAM)
+        assert out.index("default:") < out.index("case WM_DESTROY:")
+
+
+class TestMultipleProcs:
+    def test_two_procs_keep_separate_cases(self, mp):
+        dispatch.register(mp)
+        out = mp.expand_to_c("""
+new_window_proc alpha default DefA;
+new_window_proc beta default DefB;
+window_proc_dispatch(alpha, MSG_A) {handle_a();}
+window_proc_dispatch(beta, MSG_B) {handle_b();}
+emit_window_proc alpha;
+emit_window_proc beta;
+""")
+        alpha_body = out[out.index("int alpha"):out.index("int beta")]
+        assert "MSG_A" in alpha_body
+        assert "MSG_B" not in alpha_body
+
+    def test_unknown_proc_is_expansion_error(self, mp):
+        dispatch.register(mp)
+        with pytest.raises(ExpansionError) as exc:
+            mp.expand_to_c("emit_window_proc mystery;")
+        assert "unknown window procedure" in str(exc.value)
+
+
+class TestOrderIndependence:
+    def test_dispatches_after_other_code(self, mp):
+        dispatch.register(mp)
+        out = mp.expand_to_c("""
+new_window_proc w default Def;
+int unrelated;
+window_proc_dispatch(w, MSG_X) {x();}
+long more_unrelated;
+emit_window_proc w;
+""")
+        assert "case MSG_X:" in out
+        assert "int unrelated;" in out

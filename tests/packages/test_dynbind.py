@@ -1,0 +1,72 @@
+"""Tests for the dynamic_bind package (paper section 4)."""
+
+from repro.cast import decls, nodes
+from repro.cast.base import walk
+from repro.packages import dynbind
+
+
+SOURCE = (
+    "void demo(void) {"
+    "  dynamic_bind {int printlength = 10}"
+    "    {print_class_structure(gym_class);}"
+    "}"
+)
+
+
+class TestDynamicBind:
+    def test_save_rebind_restore_shape(self, mp):
+        dynbind.register(mp)
+        unit = mp.expand_to_ast(SOURCE)
+        block = unit.items[0].body.stmts[0]
+        # One declaration (the save slot) and three statements
+        # (rebind, body, restore).
+        assert len(block.decls) == 1
+        assert len(block.stmts) == 3
+
+    def test_save_slot_is_gensym(self, mp):
+        dynbind.register(mp)
+        unit = mp.expand_to_ast(SOURCE)
+        block = unit.items[0].body.stmts[0]
+        slot = block.decls[0].init_declarators[0].declarator.name
+        assert slot.startswith("__")
+
+    def test_rebind_uses_init_expression(self, mp):
+        dynbind.register(mp)
+        unit = mp.expand_to_ast(SOURCE)
+        block = unit.items[0].body.stmts[0]
+        rebind = block.stmts[0].expr
+        assert rebind.target == nodes.Identifier("printlength")
+        assert rebind.value == nodes.IntLit(10, "10")
+
+    def test_restore_last(self, mp):
+        dynbind.register(mp)
+        unit = mp.expand_to_ast(SOURCE)
+        block = unit.items[0].body.stmts[0]
+        restore = block.stmts[-1].expr
+        assert restore.target == nodes.Identifier("printlength")
+        slot = block.decls[0].init_declarators[0].declarator.name
+        assert restore.value == nodes.Identifier(slot)
+
+    def test_type_parameter_respected(self, mp):
+        dynbind.register(mp)
+        unit = mp.expand_to_ast(
+            "void f(void) { dynamic_bind {long depth = 1} {go();} }"
+        )
+        block = unit.items[0].body.stmts[0]
+        assert block.decls[0].specs.type_spec.names == ["long"]
+
+    def test_two_binds_use_distinct_slots(self, mp):
+        dynbind.register(mp)
+        unit = mp.expand_to_ast(
+            "void f(void) {"
+            "  dynamic_bind {int a = 1} {x();}"
+            "  dynamic_bind {int b = 2} {y();}"
+            "}"
+        )
+        slots = [
+            d.name
+            for d in walk(unit)
+            if isinstance(d, decls.NameDeclarator) and d.name.startswith("__")
+        ]
+        assert len(slots) == 2
+        assert slots[0] != slots[1]

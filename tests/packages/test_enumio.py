@@ -1,0 +1,114 @@
+"""Tests for the myenum reader/writer package (paper section 4)."""
+
+from repro.cast import ctypes, decls
+from repro.cast.base import walk
+from repro.packages import enumio
+from tests.conftest import assert_c_equal
+
+
+SOURCE = "myenum fruit {apple, banana, kiwi};"
+
+
+class TestExpansionShape:
+    def test_three_declarations_produced(self, mp):
+        enumio.register(mp)
+        unit = mp.expand_to_ast(SOURCE)
+        assert len(unit.items) == 3
+
+    def test_enum_first(self, mp):
+        enumio.register(mp)
+        unit = mp.expand_to_ast(SOURCE)
+        enum_decl = unit.items[0]
+        ts = enum_decl.specs.type_spec
+        assert isinstance(ts, ctypes.EnumType)
+        assert ts.tag == "fruit"
+        assert [e.name for e in ts.enumerators] == [
+            "apple", "banana", "kiwi",
+        ]
+
+    def test_print_function_generated(self, mp):
+        enumio.register(mp)
+        unit = mp.expand_to_ast(SOURCE)
+        fn = unit.items[1]
+        assert isinstance(fn, decls.FunctionDef)
+        from repro.parser.core import _declarator_name
+
+        assert _declarator_name(fn.declarator) == "print_fruit"
+
+    def test_read_function_generated(self, mp):
+        enumio.register(mp)
+        unit = mp.expand_to_ast(SOURCE)
+        from repro.parser.core import _declarator_name
+
+        assert _declarator_name(unit.items[2].declarator) == "read_fruit"
+
+    def test_one_case_per_enumerator(self, mp):
+        enumio.register(mp)
+        out = mp.expand_to_c(SOURCE)
+        for name in ("apple", "banana", "kiwi"):
+            assert f"case {name}:" in out
+            assert f'"{name}"' in out
+
+    def test_read_function_strcmp_per_enumerator(self, mp):
+        enumio.register(mp)
+        out = mp.expand_to_c(SOURCE)
+        assert out.count("strcmp") == 3
+
+
+class TestPaperOutput:
+    def test_matches_paper_expansion(self, mp):
+        enumio.register(mp)
+        out = mp.expand_to_c(SOURCE)
+        assert_c_equal(
+            out,
+            """
+            enum fruit {apple, banana, kiwi};
+            void print_fruit(int arg)
+            {
+                switch (arg)
+                {
+                    case apple: printf("%s", "apple");
+                    case banana: printf("%s", "banana");
+                    case kiwi: printf("%s", "kiwi");
+                }
+            }
+            int read_fruit(void)
+            {
+                char s[100];
+                getline(s, 100);
+                if (!strcmp(s, "apple")) return apple;
+                if (!strcmp(s, "banana")) return banana;
+                if (!strcmp(s, "kiwi")) return kiwi;
+                return 0;
+            }
+            """,
+        )
+
+
+class TestVariations:
+    def test_single_enumerator(self, mp):
+        enumio.register(mp)
+        out = mp.expand_to_c("myenum yn {yes};")
+        assert "print_yn" in out
+        assert "read_yn" in out
+        assert out.count("strcmp") == 1
+
+    def test_many_enumerators(self, mp):
+        enumio.register(mp)
+        names = ", ".join(f"v{i}" for i in range(20))
+        out = mp.expand_to_c(f"myenum big {{{names}}};")
+        assert out.count("case") == 20
+
+    def test_two_enums_coexist(self, mp):
+        enumio.register(mp)
+        out = mp.expand_to_c(
+            "myenum fruit {apple};\nmyenum color {red, green};"
+        )
+        assert "print_fruit" in out
+        assert "print_color" in out
+
+    def test_function_names_computed_from_enum_name(self, mp):
+        enumio.register(mp)
+        out = mp.expand_to_c("myenum error_types {division_by_zero};")
+        assert "print_error_types" in out
+        assert "read_error_types" in out

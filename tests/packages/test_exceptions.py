@@ -1,0 +1,144 @@
+"""Tests for the exception-handling package (paper section 4)."""
+
+import pytest
+
+from repro.cast import nodes, stmts
+from repro.cast.base import walk
+from repro.packages import exceptions
+
+
+def count_calls(unit, name: str) -> int:
+    return sum(
+        1
+        for n in walk(unit)
+        if isinstance(n, nodes.Call)
+        and n.func == nodes.Identifier(name)
+    )
+
+
+class TestThrow:
+    def test_simple_value_inlined(self, mp):
+        exceptions.register(mp)
+        unit = mp.expand_to_ast("void f(void) { throw my_tag; }")
+        # Simple expression: no temporary introduced.
+        names = {
+            n.name for n in walk(unit) if isinstance(n, nodes.Identifier)
+        }
+        assert "the_value" not in names
+        assert count_calls(unit, "longjmp") == 1
+
+    def test_complex_value_gets_temporary(self, mp):
+        exceptions.register(mp)
+        unit = mp.expand_to_ast("void f(void) { throw compute() + 1; }")
+        names = {
+            n.name for n in walk(unit) if isinstance(n, nodes.Identifier)
+        }
+        assert "the_value" in names
+
+    def test_no_handler_branch(self, mp):
+        exceptions.register(mp)
+        out = mp.expand_to_c("void f(void) { throw e; }")
+        assert "exception_ptr == 0" in out
+        assert "error_handler" in out
+
+
+class TestCatch:
+    SOURCE = (
+        "void f(void) {"
+        "  catch my_tag {handle();} {risky();}"
+        "}"
+    )
+
+    def test_setjmp_established(self, mp):
+        exceptions.register(mp)
+        unit = mp.expand_to_ast(self.SOURCE)
+        assert count_calls(unit, "setjmp") == 1
+
+    def test_handler_guarded_by_tag(self, mp):
+        exceptions.register(mp)
+        out = mp.expand_to_c(self.SOURCE)
+        assert "result == my_tag" in out
+
+    def test_rethrow_for_other_tags(self, mp):
+        exceptions.register(mp)
+        unit = mp.expand_to_ast(self.SOURCE)
+        # The embedded `throw result;` expanded into a longjmp call.
+        assert count_calls(unit, "longjmp") == 1
+
+    def test_saves_and_restores_handler_stack(self, mp):
+        exceptions.register(mp)
+        out = mp.expand_to_c(self.SOURCE)
+        assert "old_exception_ptr = exception_ptr" in out
+        assert "exception_ptr = old_exception_ptr" in out
+
+    def test_body_runs_under_handler(self, mp):
+        exceptions.register(mp)
+        out = mp.expand_to_c(self.SOURCE)
+        assert out.index("setjmp") < out.index("risky")
+
+
+class TestUnwindProtect:
+    SOURCE = (
+        "void f(void) {"
+        "  unwind_protect {start_faucet_running();} {stop_faucet();}"
+        "}"
+    )
+
+    def test_cleanup_present_on_both_paths(self, mp):
+        exceptions.register(mp)
+        out = mp.expand_to_c(self.SOURCE)
+        # Cleanup is emitted once, after the protected region.
+        assert out.count("stop_faucet") == 1
+        assert out.index("start_faucet_running") < out.index("stop_faucet")
+
+    def test_rethrow_after_cleanup(self, mp):
+        exceptions.register(mp)
+        out = mp.expand_to_c(self.SOURCE)
+        assert "result != 0" in out
+        assert out.index("stop_faucet") < out.index("longjmp")
+
+
+class TestFooExample:
+    """The paper's full foo() example."""
+
+    SOURCE = """
+int foo(a, b, c)
+int a, b;
+int *c;
+{
+    int z;
+    z = a + b;
+    catch division_by_zero
+        {printf("%s", "You lose, division by zero.");}
+        {*c = freq(z, a);}
+    unwind_protect {start_faucet_running();}
+        {stop_faucet();}
+    return(z);
+}
+"""
+
+    def test_expands_cleanly(self, mp):
+        exceptions.register(mp)
+        out = mp.expand_to_c(self.SOURCE)
+        assert "You lose" in out
+        assert out.count("setjmp") == 2
+
+    def test_expansion_count(self, mp):
+        exceptions.register(mp)
+        mp.expand_to_c(self.SOURCE)
+        # catch (+ its embedded throw) + unwind_protect (+ its throw).
+        assert mp.expansion_count == 4
+
+    def test_kr_function_preserved(self, mp):
+        exceptions.register(mp)
+        out = mp.expand_to_c(self.SOURCE)
+        assert "int foo(a, b, c)" in out
+
+
+class TestMetaProgramInvisible:
+    def test_no_meta_items_in_output(self, mp):
+        exceptions.register(mp)
+        out = mp.expand_to_c("void f(void) { throw e; }")
+        assert "syntax" not in out
+        assert "metadcl" not in out
+        assert "`" not in out

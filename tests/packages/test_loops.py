@@ -1,0 +1,150 @@
+"""Tests for the control-construct package."""
+
+import pytest
+
+from repro.cast import nodes, stmts
+from repro.packages import loops
+from tests.conftest import assert_c_equal
+
+
+class TestForever:
+    def test_expands_to_while_one(self, mp):
+        loops.register(mp)
+        unit = mp.expand_to_ast("void f(void) { forever { poll(); } }")
+        loop = unit.items[0].body.stmts[0]
+        assert isinstance(loop, stmts.WhileStmt)
+        assert loop.cond == nodes.IntLit(1, "1")
+
+
+class TestUnless:
+    def test_negates_condition(self, mp):
+        loops.register(mp)
+        out = mp.expand_to_c("void f(void) { unless (ready) wait(); }")
+        assert "if (!(ready))" in out or "if (!ready)" in out
+
+    def test_complex_condition_encapsulated(self, mp):
+        loops.register(mp)
+        unit = mp.expand_to_ast(
+            "void f(void) { unless (a || b) wait(); }"
+        )
+        cond = unit.items[0].body.stmts[0].cond
+        # !(a || b), never !a || b.
+        assert isinstance(cond, nodes.UnaryOp)
+        assert isinstance(cond.operand, nodes.BinaryOp)
+
+
+class TestForRange:
+    def test_without_step(self, mp):
+        loops.register(mp)
+        unit = mp.expand_to_ast(
+            "void f(void) { int i; for_range i = 1 to 10 { work(i); } }"
+        )
+        loop = unit.items[0].body.stmts[0]
+        assert isinstance(loop, stmts.ForStmt)
+        assert isinstance(loop.step, nodes.PostfixOp)
+
+    def test_with_step(self, mp):
+        loops.register(mp)
+        unit = mp.expand_to_ast(
+            "void f(void) { int i; for_range i = 0 to 100 step 5 {w();} }"
+        )
+        loop = unit.items[0].body.stmts[0]
+        assert isinstance(loop.step, nodes.AssignOp)
+
+    def test_bounds_are_expressions(self, mp):
+        loops.register(mp)
+        out = mp.expand_to_c(
+            "void f(void) { int i; for_range i = lo() to hi() + 1 {w();} }"
+        )
+        assert "i = lo()" in out
+        assert "i <= hi() + 1" in out
+
+    def test_empty_body(self, mp):
+        loops.register(mp)
+        out = mp.expand_to_c(
+            "void f(void) { int i; for_range i = 0 to 3 {} }"
+        )
+        assert "for (i = 0; i <= 3; i++)" in out
+
+
+class TestWithResource:
+    def test_acquire_use_release(self, mp):
+        loops.register(mp)
+        out = mp.expand_to_c(
+            "void f(void) { with_resource (open_db(), close_db()) "
+            "{ query(); } }"
+        )
+        assert out.index("open_db") < out.index("query")
+        assert out.index("query") < out.index("close_db")
+
+
+class TestSwap:
+    def test_uses_gensym_temporary(self, mp):
+        loops.register(mp)
+        unit = mp.expand_to_ast("void f(void) { swap(int, a, b); }")
+        block = unit.items[0].body.stmts[0]
+        tmp = block.decls[0].init_declarators[0].declarator.name
+        assert tmp.startswith("__")
+
+    def test_no_capture_with_user_tmp(self, mp):
+        loops.register(mp)
+        out = mp.expand_to_c(
+            "void f(int tmp, int b) { swap(int, tmp, b); }"
+        )
+        # Exactly one temp declaration; user's 'tmp' is untouched in
+        # the swap statements.
+        assert "tmp = b" in out
+
+    def test_typed_temporary(self, mp):
+        loops.register(mp)
+        unit = mp.expand_to_ast("void f(void) { swap(long, a, b); }")
+        block = unit.items[0].body.stmts[0]
+        assert block.decls[0].specs.type_spec.names == ["long"]
+
+
+class TestUnroll:
+    def test_literal_count(self, mp):
+        loops.register(mp)
+        unit = mp.expand_to_ast("void f(void) { unroll (3) step(); }")
+        block = unit.items[0].body.stmts[0]
+        assert len(block.stmts) == 3
+
+    def test_constant_expression_count(self, mp):
+        loops.register(mp)
+        unit = mp.expand_to_ast(
+            "void f(void) { unroll (2 * 2 + 1) step(); }"
+        )
+        block = unit.items[0].body.stmts[0]
+        assert len(block.stmts) == 5
+
+    def test_zero_count_empty_block(self, mp):
+        loops.register(mp)
+        unit = mp.expand_to_ast("void f(void) { unroll (0) step(); }")
+        block = unit.items[0].body.stmts[0]
+        assert block.stmts == []
+
+    def test_negative_count_rejected(self, mp):
+        from repro.errors import ExpansionError
+
+        loops.register(mp)
+        with pytest.raises(ExpansionError):
+            mp.expand_to_c("void f(void) { unroll (1 - 2) step(); }")
+
+    def test_non_constant_rejected(self, mp):
+        from repro.errors import ExpansionError
+
+        loops.register(mp)
+        with pytest.raises(ExpansionError):
+            mp.expand_to_c("void f(void) { unroll (runtime()) step(); }")
+
+
+class TestComposition:
+    def test_loop_inside_unless_inside_forever(self, mp):
+        loops.register(mp)
+        out = mp.expand_to_c(
+            "void f(void) { int i; forever { unless (done()) "
+            "{ for_range i = 0 to 3 { tick(); } } } }"
+        )
+        assert "while (1)" in out
+        assert "if (!(done()))" in out or "if (!done())" in out
+        assert "for (i = 0; i <= 3; i++)" in out

@@ -1,0 +1,63 @@
+"""Tests for the Painting package (paper sections 1 and 4)."""
+
+from repro import MacroProcessor
+from repro.packages import exceptions, painting
+from tests.conftest import assert_c_equal
+
+
+class TestSimplePainting:
+    def test_brackets_body(self, mp):
+        painting.register(mp)
+        out = mp.expand_to_c(
+            "void redraw(void) { Painting { draw_line(); } }"
+        )
+        assert_c_equal(
+            out,
+            "void redraw(void)"
+            "{{BeginPaint(hDC, &ps); {draw_line();} EndPaint(hDC, &ps);}}",
+        )
+
+    def test_single_statement_body(self, mp):
+        painting.register(mp)
+        out = mp.expand_to_c("void f(void) { Painting draw(); }")
+        assert "BeginPaint" in out
+        assert out.index("BeginPaint") < out.index("draw")
+        assert out.index("draw") < out.index("EndPaint")
+
+    def test_nested_paintings(self, mp):
+        painting.register(mp)
+        out = mp.expand_to_c(
+            "void f(void) { Painting { inner(); Painting outer(); } }"
+        )
+        assert out.count("BeginPaint") == 2
+        assert out.count("EndPaint") == 2
+
+
+class TestProtectedPainting:
+    def test_uses_unwind_protect(self, mp):
+        exceptions.register(mp)
+        painting.register(mp, protected=True)
+        out = mp.expand_to_c("void f(void) { Painting { draw(); } }")
+        # The unwind_protect machinery appears in the expansion.
+        assert "setjmp" in out
+        assert "EndPaint" in out
+
+    def test_endpaint_in_cleanup_position(self, mp):
+        exceptions.register(mp)
+        painting.register(mp, protected=True)
+        unit = mp.expand_to_ast("void f(void) { Painting { draw(); } }")
+        # EndPaint must run after the setjmp-guarded body.
+        out = mp.expand_to_c("void f(void) { Painting { draw(); } }")
+        assert out.index("setjmp") < out.index("EndPaint")
+
+    def test_user_need_not_know(self, mp):
+        # Same user-facing syntax for both variants.
+        source = "void f(void) { Painting { draw(); } }"
+        simple = MacroProcessor()
+        painting.register(simple)
+        simple.expand_to_c(source)
+
+        protected = MacroProcessor()
+        exceptions.register(protected)
+        painting.register(protected, protected=True)
+        protected.expand_to_c(source)

@@ -1,0 +1,80 @@
+"""Tests for the portability-VM package (paper section 4)."""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.errors import ExpansionError
+from repro.packages import portvm
+
+
+PROGRAM = """
+void worker(int h)
+{
+    vm_open(h, path);
+    vm_sleep(50);
+    vm_yield();
+    vm_close(h);
+}
+"""
+
+
+def expand(target: str | None) -> str:
+    mp = MacroProcessor()
+    portvm.register(mp)
+    prefix = f"vm_target {target};\n" if target else ""
+    return mp.expand_to_c(prefix + PROGRAM)
+
+
+class TestTargets:
+    def test_default_is_unix(self):
+        out = expand(None)
+        assert "open(path, 0)" in out
+        assert "usleep" in out
+
+    def test_unix_explicit(self):
+        out = expand("unix")
+        assert "sched_yield()" in out
+        assert "close(h)" in out
+
+    def test_windows(self):
+        out = expand("windows")
+        assert "CreateFile(path, GENERIC_READ)" in out
+        assert "Sleep(50)" in out
+        assert "SwitchToThread()" in out
+        assert "CloseHandle(h)" in out
+
+    def test_no_runtime_dispatch_survives(self):
+        # The whole point: no if/switch on the target in the output.
+        for target in ("unix", "windows"):
+            out = expand(target)
+            assert "vm_target_kind" not in out
+            assert "if" not in out
+
+    def test_unknown_target_is_expansion_error(self):
+        mp = MacroProcessor()
+        portvm.register(mp)
+        with pytest.raises(ExpansionError) as exc:
+            mp.expand_to_c("vm_target beos;")
+        assert "unknown target" in str(exc.value)
+
+
+class TestExpressionsFlowThrough:
+    def test_argument_expressions_preserved(self):
+        mp = MacroProcessor()
+        portvm.register(mp)
+        out = mp.expand_to_c(
+            "void f(void) { vm_sleep(base + jitter() * 2); }"
+        )
+        assert "(base + jitter() * 2) * 1000" in out
+
+    def test_target_switch_mid_file(self):
+        # Expansion-time state: code before the switch uses unix,
+        # code after uses windows.
+        mp = MacroProcessor()
+        portvm.register(mp)
+        out = mp.expand_to_c(
+            "void a(void) { vm_yield(); }\n"
+            "vm_target windows;\n"
+            "void b(void) { vm_yield(); }\n"
+        )
+        assert out.index("sched_yield") < out.index("SwitchToThread")

@@ -1,0 +1,112 @@
+"""Tests for the semantic-macro package (paper section 5)."""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.errors import ExpansionError
+from repro.packages import semantic
+
+
+@pytest.fixture()
+def smp():
+    mp = MacroProcessor()
+    semantic.register(mp)
+    return mp
+
+
+class TestTypeOf:
+    def test_global_scope(self, smp):
+        out = smp.expand_to_c(
+            "long counter;\n"
+            "void f(void) { sdynamic_bind {counter = 1} {go();} }"
+        )
+        assert "long __" in out
+
+    def test_local_scope(self, smp):
+        out = smp.expand_to_c(
+            "void f(void) { int depth; sdynamic_bind {depth = 1} {g();} }"
+        )
+        assert "int __" in out
+
+    def test_parameter_scope(self, smp):
+        out = smp.expand_to_c(
+            "void f(float rate) { sdynamic_bind {rate = 0} {g();} }"
+        )
+        assert "float __" in out
+
+    def test_inner_shadows_outer(self, smp):
+        out = smp.expand_to_c(
+            "int x;\n"
+            "void f(void) { char x; sdynamic_bind {x = 0} {g();} }"
+        )
+        assert "char __" in out
+
+    def test_typedef_types_flow_through(self, smp):
+        out = smp.expand_to_c(
+            "typedef unsigned long size_type;\n"
+            "void f(void) { size_type n; sdynamic_bind {n = 0} {g();} }"
+        )
+        assert "size_type __" in out
+
+    def test_unknown_name_is_expansion_error(self, smp):
+        with pytest.raises(ExpansionError) as exc:
+            smp.expand_to_c(
+                "void f(void) { sdynamic_bind {mystery = 1} {g();} }"
+            )
+        assert "mystery" in str(exc.value)
+
+    def test_out_of_scope_after_block(self, smp):
+        # A local from a *previous* block is no longer in scope.
+        with pytest.raises(ExpansionError):
+            smp.expand_to_c(
+                "void f(void) {"
+                "  { int gone; gone = 1; }"
+                "  sdynamic_bind {gone = 2} {g();}"
+                "}"
+            )
+
+
+class TestTypeDispatch:
+    def test_int_gets_d(self, smp):
+        out = smp.expand_to_c("void f(int n) { show(n); }")
+        assert '"%s = %d"' in out
+
+    def test_long_gets_ld(self, smp):
+        out = smp.expand_to_c("void f(void) { long n; show(n); }")
+        assert '"%s = %ld"' in out
+
+    def test_float_gets_f(self, smp):
+        out = smp.expand_to_c("void f(float x) { show(x); }")
+        assert '"%s = %f"' in out
+
+    def test_double_gets_f(self, smp):
+        out = smp.expand_to_c("void f(void) { double x; show(x); }")
+        assert '"%s = %f"' in out
+
+    def test_char_gets_c(self, smp):
+        out = smp.expand_to_c("void f(char c) { show(c); }")
+        assert '"%s = %c"' in out
+
+    def test_other_gets_p(self, smp):
+        out = smp.expand_to_c(
+            "struct s {int x;};\n"
+            "void f(void) { struct s v; show(v); }"
+        )
+        assert '"%s = %p"' in out
+
+    def test_no_dispatch_survives_to_runtime(self, smp):
+        out = smp.expand_to_c("void f(int n) { show(n); }")
+        assert "if" not in out
+
+
+class TestSswap:
+    def test_uses_declared_type(self, smp):
+        out = smp.expand_to_c(
+            "void f(void) { double a; double b; sswap(a, b); }"
+        )
+        assert "double __" in out
+
+    def test_no_type_annotation_needed(self, smp):
+        # Compare with loops.swap which requires '(int, a, b)'.
+        out = smp.expand_to_c("void f(int a, int b) { sswap(a, b); }")
+        assert "int __" in out

@@ -1,0 +1,99 @@
+"""Tests for the state-machine DSL package."""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.cast import decls
+from repro.errors import ParseError
+from repro.packages import statemachine
+
+
+DOOR = """
+state_machine door {
+    state closed { on open_cmd go opening }
+    state opening { on opened go open_wide, on obstruction go closed }
+    state open_wide { }
+};
+"""
+
+
+@pytest.fixture()
+def smp():
+    mp = MacroProcessor()
+    statemachine.register(mp)
+    return mp
+
+
+class TestExpansion:
+    def test_two_declarations(self, smp):
+        unit = smp.expand_to_ast(DOOR)
+        assert len(unit.items) == 2
+
+    def test_states_enum(self, smp):
+        out = smp.expand_to_c(DOOR)
+        assert "enum door_states {closed, opening, open_wide};" in out
+
+    def test_step_function_signature(self, smp):
+        out = smp.expand_to_c(DOOR)
+        assert "int door_step(int state, int event)" in out
+
+    def test_one_case_per_state(self, smp):
+        out = smp.expand_to_c(DOOR)
+        for state in ("closed", "opening", "open_wide"):
+            assert f"case {state}:" in out
+
+    def test_transitions_become_ifs(self, smp):
+        out = smp.expand_to_c(DOOR)
+        assert "if (event == open_cmd)" in out
+        assert "return opening;" in out
+        assert "if (event == obstruction)" in out
+
+    def test_empty_state_just_breaks(self, smp):
+        out = smp.expand_to_c(DOOR)
+        # open_wide has no transitions: its case holds only break.
+        idx = out.index("case open_wide:")
+        tail = out[idx:]
+        assert "if" not in tail.split("}")[0]
+
+    def test_default_self_transition(self, smp):
+        out = smp.expand_to_c(DOOR)
+        assert "return state;" in out
+
+
+class TestVariations:
+    def test_single_state_machine(self, smp):
+        out = smp.expand_to_c(
+            "state_machine loop { state only { on tick go only } };"
+        )
+        assert "enum loop_states {only};" in out
+        assert "return only;" in out
+
+    def test_many_transitions(self, smp):
+        transitions = ", ".join(f"on e{i} go s" for i in range(12))
+        out = smp.expand_to_c(
+            f"state_machine m {{ state s {{ {transitions} }} }};"
+        )
+        assert out.count("if (event ==") == 12
+
+    def test_two_machines_coexist(self, smp):
+        out = smp.expand_to_c(
+            "state_machine a { state x { } };\n"
+            "state_machine b { state y { } };"
+        )
+        assert "a_step" in out and "b_step" in out
+
+    def test_missing_brace_is_users_syntax_error(self, smp):
+        with pytest.raises(ParseError):
+            smp.expand_to_c(
+                "state_machine bad { state s on e go s } };"
+            )
+
+
+class TestGeneratedCodeIsPlainC(object):
+    def test_reparses_without_macros(self, smp):
+        from repro.parser.core import Parser
+
+        out = smp.expand_to_c(DOOR)
+        unit = Parser(out).parse_program()
+        assert len(unit.items) == 2
+        assert isinstance(unit.items[1], decls.FunctionDef)

@@ -1,0 +1,72 @@
+"""Abstract declarators: casts, sizeof, unnamed prototype parameters."""
+
+import pytest
+
+from repro.cast import decls, nodes, render_c
+from tests.conftest import assert_c_equal, parse_c, parse_expr
+
+
+class TestCasts:
+    def test_cast_to_pointer(self):
+        tree = parse_expr("(char *) p")
+        assert isinstance(tree, nodes.Cast)
+        assert isinstance(
+            tree.type_name.declarator, decls.PointerDeclarator
+        )
+
+    def test_cast_to_pointer_to_pointer(self):
+        tree = parse_expr("(char **) p")
+        inner = tree.type_name.declarator
+        assert isinstance(inner.inner, decls.PointerDeclarator)
+
+    def test_cast_to_function_pointer(self):
+        tree = parse_expr("(int (*)(int)) f")
+        declarator = tree.type_name.declarator
+        assert isinstance(declarator, decls.FuncDeclarator)
+        assert isinstance(declarator.inner, decls.PointerDeclarator)
+
+    def test_cast_to_array_pointer(self):
+        tree = parse_expr("(int (*)[4]) p")
+        declarator = tree.type_name.declarator
+        assert isinstance(declarator, decls.ArrayDeclarator)
+
+    def test_cast_round_trips(self):
+        for text in ("(char *)p", "(int (*)(int))f",
+                     "(unsigned long)x", "(struct point *)q"):
+            unit_text = f"void f(void) {{ y = {text}; }}"
+            assert_c_equal(render_c(parse_c(unit_text)), unit_text)
+
+
+class TestUnnamedParameters:
+    def test_prototype_with_abstract_params(self):
+        unit = parse_c("int f(int, char *);")
+        declarator = unit.items[0].init_declarators[0].declarator
+        params = declarator.params
+        assert isinstance(params[0].declarator, decls.AbstractDeclarator)
+        assert isinstance(params[1].declarator, decls.PointerDeclarator)
+
+    def test_round_trip(self):
+        src = "int strncmp(char *, char *, unsigned long);"
+        assert_c_equal(render_c(parse_c(src)), src)
+
+    def test_array_parameter(self):
+        src = "void sort(int a[], int n);"
+        assert_c_equal(render_c(parse_c(src)), src)
+
+
+class TestSizeofTypes:
+    def test_sizeof_pointer_type(self):
+        tree = parse_expr("sizeof(char *)")
+        assert isinstance(tree, nodes.SizeofType)
+
+    def test_sizeof_struct(self):
+        tree = parse_expr("sizeof(struct point)")
+        assert isinstance(tree, nodes.SizeofType)
+
+    def test_sizeof_typedef_requires_registration(self):
+        from repro.parser.core import Parser
+
+        parser = Parser("typedef int myint; int n = sizeof(myint);")
+        unit = parser.parse_program()
+        init = unit.items[1].init_declarators[0].init
+        assert isinstance(init, nodes.SizeofType)

@@ -1,0 +1,226 @@
+"""Tests for declaration parsing (including typedef context sensitivity)."""
+
+import pytest
+
+from repro.cast import ctypes, decls, nodes
+from repro.errors import ParseError
+from repro.parser.core import Parser
+from tests.conftest import parse_c
+
+
+def first_decl(source: str) -> decls.Declaration:
+    unit = parse_c(source)
+    item = unit.items[0]
+    assert isinstance(item, decls.Declaration)
+    return item
+
+
+class TestBasicDeclarations:
+    def test_simple_int(self):
+        d = first_decl("int x;")
+        assert isinstance(d.specs.type_spec, ctypes.PrimitiveType)
+        assert d.specs.type_spec.names == ["int"]
+
+    def test_multi_word_type(self):
+        d = first_decl("unsigned long long x;")
+        assert d.specs.type_spec.names == ["unsigned", "long", "long"]
+
+    def test_storage_class(self):
+        d = first_decl("static int x;")
+        assert d.specs.storage == ["static"]
+
+    def test_qualifiers(self):
+        d = first_decl("const volatile int x;")
+        assert d.specs.qualifiers == ["const", "volatile"]
+
+    def test_multiple_declarators(self):
+        d = first_decl("int a, b, c;")
+        assert len(d.init_declarators) == 3
+
+    def test_initializer(self):
+        d = first_decl("int x = 5;")
+        init = d.init_declarators[0].init
+        assert init == nodes.IntLit(5, "5")
+
+    def test_braced_initializer(self):
+        d = first_decl("int a[2] = {1, 2};")
+        assert isinstance(d.init_declarators[0].init, decls.ListInitializer)
+
+    def test_nested_braced_initializer(self):
+        d = first_decl("int a[2][2] = {{1, 2}, {3, 4}};")
+        outer = d.init_declarators[0].init
+        assert isinstance(outer.items[0], decls.ListInitializer)
+
+
+class TestDeclarators:
+    def declarator_of(self, source: str):
+        return first_decl(source).init_declarators[0].declarator
+
+    def test_pointer(self):
+        d = self.declarator_of("int *p;")
+        assert isinstance(d, decls.PointerDeclarator)
+
+    def test_pointer_with_qualifier(self):
+        d = self.declarator_of("char *const p;")
+        assert d.qualifiers == ["const"]
+
+    def test_array(self):
+        d = self.declarator_of("int a[10];")
+        assert isinstance(d, decls.ArrayDeclarator)
+        assert d.size == nodes.IntLit(10, "10")
+
+    def test_unsized_array(self):
+        d = self.declarator_of("int a[];")
+        assert d.size is None
+
+    def test_array_of_pointers(self):
+        d = self.declarator_of("int *a[4];")
+        # Grammar shape: pointer applied last.
+        assert isinstance(d, decls.PointerDeclarator)
+        assert isinstance(d.inner, decls.ArrayDeclarator)
+
+    def test_pointer_to_array(self):
+        d = self.declarator_of("int (*a)[4];")
+        assert isinstance(d, decls.ArrayDeclarator)
+        assert isinstance(d.inner, decls.PointerDeclarator)
+
+    def test_function_pointer(self):
+        d = self.declarator_of("int (*fp)(int);")
+        assert isinstance(d, decls.FuncDeclarator)
+        assert isinstance(d.inner, decls.PointerDeclarator)
+
+    def test_prototype_params(self):
+        d = self.declarator_of("int f(int a, char *b);")
+        assert isinstance(d, decls.FuncDeclarator)
+        assert d.prototype
+        assert len(d.params) == 2
+
+    def test_variadic(self):
+        d = self.declarator_of("int f(char *fmt, ...);")
+        assert d.variadic
+
+    def test_empty_parens_not_prototype(self):
+        d = self.declarator_of("int f();")
+        assert isinstance(d, decls.FuncDeclarator)
+        assert not d.prototype
+        assert d.params == []
+        assert d.kr_names == []
+
+
+class TestTypedef:
+    def test_typedef_registers_name(self):
+        parser = Parser("typedef int myint;")
+        parser.parse_program()
+        assert parser.is_typedef_name("myint")
+
+    def test_typedef_name_usable_as_type(self):
+        unit = parse_c("typedef int myint; myint x;")
+        d = unit.items[1]
+        assert isinstance(d.specs.type_spec, ctypes.TypedefNameType)
+        assert d.specs.type_spec.name == "myint"
+
+    def test_typedef_pointer_declaration_vs_expression(self):
+        # The paper's example: 'foo * i;' is a declaration iff foo is
+        # a typedef name.
+        unit = parse_c(
+            "typedef int foo;\n"
+            "void f(void) { foo * i; }"
+        )
+        body = unit.items[1].body
+        assert len(body.decls) == 1
+        assert len(body.stmts) == 0
+
+    def test_non_typedef_star_is_multiplication(self):
+        unit = parse_c(
+            "void f(int foo, int i) { foo * i; }"
+        )
+        body = unit.items[-1].body
+        assert len(body.decls) == 0
+        assert isinstance(body.stmts[0].expr, nodes.BinaryOp)
+
+    def test_block_scoped_typedef_expires(self):
+        parser = Parser(
+            "void f(void) { typedef int local_t; local_t x; x = 1; }"
+        )
+        parser.parse_program()
+        assert not parser.is_typedef_name("local_t")
+
+
+class TestStructUnionEnum:
+    def test_struct_definition(self):
+        d = first_decl("struct point {int x; int y;};")
+        ts = d.specs.type_spec
+        assert ts.kind == "struct"
+        assert ts.tag == "point"
+        assert len(ts.members) == 2
+
+    def test_struct_reference(self):
+        d = first_decl("struct point p;")
+        assert d.specs.type_spec.members is None
+
+    def test_anonymous_struct(self):
+        d = first_decl("struct {int x;} s;")
+        assert d.specs.type_spec.tag is None
+
+    def test_union(self):
+        d = first_decl("union u {int i; float f;};")
+        assert d.specs.type_spec.kind == "union"
+
+    def test_enum_with_enumerators(self):
+        d = first_decl("enum color {red, green, blue};")
+        names = [e.name for e in d.specs.type_spec.enumerators]
+        assert names == ["red", "green", "blue"]
+
+    def test_enum_with_values(self):
+        d = first_decl("enum f {a = 1, b = 2};")
+        assert d.specs.type_spec.enumerators[0].value == nodes.IntLit(1, "1")
+
+    def test_enum_trailing_comma(self):
+        d = first_decl("enum c {x, y,};")
+        assert len(d.specs.type_spec.enumerators) == 2
+
+    def test_bare_struct_or_enum_requires_tag_or_body(self):
+        with pytest.raises(ParseError):
+            parse_c("struct;")
+        with pytest.raises(ParseError):
+            parse_c("enum;")
+
+
+class TestFunctionDefinitions:
+    def test_prototype_style(self):
+        unit = parse_c("int add(int a, int b) {return a + b;}")
+        fn = unit.items[0]
+        assert isinstance(fn, decls.FunctionDef)
+        assert fn.kr_decls == []
+
+    def test_kr_style(self):
+        unit = parse_c(
+            "int foo(a, b, c)\nint a, b;\nint *c;\n{return a;}"
+        )
+        fn = unit.items[0]
+        assert isinstance(fn, decls.FunctionDef)
+        declarator = fn.declarator
+        assert declarator.kr_names == ["a", "b", "c"]
+        assert len(fn.kr_decls) == 2
+
+    def test_pointer_return(self):
+        unit = parse_c("int *f(void) {return 0;}")
+        assert isinstance(unit.items[0], decls.FunctionDef)
+
+    def test_declaration_not_definition(self):
+        unit = parse_c("int f(int x);")
+        assert isinstance(unit.items[0], decls.Declaration)
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_c("int x")
+
+    def test_junk_specifier(self):
+        with pytest.raises(ParseError):
+            parse_c("+ x;")
+
+    def test_bad_struct_member(self):
+        with pytest.raises(ParseError):
+            parse_c("struct s {int;x};")

@@ -1,0 +1,204 @@
+"""Tests for the operator-precedence expression parser."""
+
+import pytest
+
+from repro.cast import nodes, render_sexpr
+from repro.errors import ParseError
+from tests.conftest import parse_expr
+
+
+def sexpr(source: str) -> str:
+    return render_sexpr(parse_expr(source))
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        assert sexpr("a + b * c") == "(+ (id a) (* (id b) (id c)))"
+
+    def test_add_binds_tighter_than_shift(self):
+        assert sexpr("a << b + c") == "(<< (id a) (+ (id b) (id c)))"
+
+    def test_relational_over_equality(self):
+        assert sexpr("a == b < c") == "(== (id a) (< (id b) (id c)))"
+
+    def test_bitand_over_xor_over_or(self):
+        assert sexpr("a | b ^ c & d") == (
+            "(| (id a) (^ (id b) (& (id c) (id d))))"
+        )
+
+    def test_logical_and_over_or(self):
+        assert sexpr("a || b && c") == "(|| (id a) (&& (id b) (id c)))"
+
+    def test_left_associativity(self):
+        assert sexpr("a - b - c") == "(- (- (id a) (id b)) (id c))"
+
+    def test_parens_override(self):
+        assert sexpr("(a + b) * c") == "(* (+ (id a) (id b)) (id c))"
+
+    def test_division_left_assoc(self):
+        assert sexpr("a / b / c") == "(/ (/ (id a) (id b)) (id c))"
+
+
+class TestAssignment:
+    def test_simple(self):
+        tree = parse_expr("x = 1")
+        assert isinstance(tree, nodes.AssignOp)
+        assert tree.op == "="
+
+    def test_right_associative(self):
+        tree = parse_expr("a = b = c")
+        assert isinstance(tree.value, nodes.AssignOp)
+
+    def test_compound_operators(self):
+        for op in ("+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=",
+                   "^=", "|="):
+            tree = parse_expr(f"x {op} 1")
+            assert isinstance(tree, nodes.AssignOp)
+            assert tree.op == op
+
+    def test_assignment_below_conditional(self):
+        tree = parse_expr("x = a ? b : c")
+        assert isinstance(tree, nodes.AssignOp)
+        assert isinstance(tree.value, nodes.ConditionalOp)
+
+
+class TestConditional:
+    def test_shape(self):
+        tree = parse_expr("a ? b : c")
+        assert isinstance(tree, nodes.ConditionalOp)
+
+    def test_right_associative(self):
+        tree = parse_expr("a ? b : c ? d : e")
+        assert isinstance(tree.otherwise, nodes.ConditionalOp)
+
+    def test_comma_allowed_in_then(self):
+        tree = parse_expr("a ? (b, c) : d")
+        assert isinstance(tree.then, nodes.CommaOp)
+
+
+class TestUnaryPostfix:
+    def test_prefix_operators(self):
+        for op in ("-", "+", "!", "~", "*", "&"):
+            tree = parse_expr(f"{op}x")
+            assert isinstance(tree, nodes.UnaryOp)
+            assert tree.op == op
+
+    def test_prefix_increment(self):
+        tree = parse_expr("++x")
+        assert isinstance(tree, nodes.UnaryOp)
+        assert tree.op == "++"
+
+    def test_postfix_increment(self):
+        tree = parse_expr("x++")
+        assert isinstance(tree, nodes.PostfixOp)
+
+    def test_postfix_chain(self):
+        tree = parse_expr("a.b[1](x)->c")
+        assert isinstance(tree, nodes.Member)
+        assert tree.arrow
+
+    def test_call_no_args(self):
+        tree = parse_expr("f()")
+        assert isinstance(tree, nodes.Call)
+        assert tree.args == []
+
+    def test_call_multiple_args(self):
+        tree = parse_expr("f(a, b, c)")
+        assert len(tree.args) == 3
+
+    def test_nested_calls(self):
+        tree = parse_expr("f(g(x))")
+        assert isinstance(tree.args[0], nodes.Call)
+
+    def test_unary_binds_tighter_than_binary(self):
+        assert sexpr("-a * b") == "(* (unary - (id a)) (id b))"
+
+    def test_deref_of_call(self):
+        tree = parse_expr("*f(x)")
+        assert isinstance(tree, nodes.UnaryOp)
+        assert isinstance(tree.operand, nodes.Call)
+
+    def test_address_of(self):
+        tree = parse_expr("&ps")
+        assert tree.op == "&"
+
+
+class TestSizeofAndCasts:
+    def test_sizeof_expression(self):
+        tree = parse_expr("sizeof x")
+        assert isinstance(tree, nodes.SizeofExpr)
+
+    def test_sizeof_type(self):
+        tree = parse_expr("sizeof(int)")
+        assert isinstance(tree, nodes.SizeofType)
+
+    def test_sizeof_parenthesized_expr(self):
+        tree = parse_expr("sizeof(x)")
+        assert isinstance(tree, nodes.SizeofExpr)
+
+    def test_cast(self):
+        tree = parse_expr("(long) x")
+        assert isinstance(tree, nodes.Cast)
+
+    def test_cast_of_cast(self):
+        tree = parse_expr("(int)(long) x")
+        assert isinstance(tree, nodes.Cast)
+        assert isinstance(tree.operand, nodes.Cast)
+
+    def test_cast_pointer_type(self):
+        tree = parse_expr("(char *) p")
+        assert isinstance(tree, nodes.Cast)
+
+    def test_paren_expr_is_not_cast(self):
+        tree = parse_expr("(x) + 1")
+        assert isinstance(tree, nodes.BinaryOp)
+
+
+class TestLiterals:
+    def test_int(self):
+        assert parse_expr("42") == nodes.IntLit(42, "42")
+
+    def test_char(self):
+        tree = parse_expr("'a'")
+        assert isinstance(tree, nodes.CharLit)
+        assert tree.value == ord("a")
+
+    def test_string_concatenation(self):
+        tree = parse_expr('"foo" "bar"')
+        assert isinstance(tree, nodes.StringLit)
+        assert tree.value == "foobar"
+
+    def test_float(self):
+        tree = parse_expr("2.5")
+        assert isinstance(tree, nodes.FloatLit)
+
+
+class TestComma:
+    def test_comma_sequence(self):
+        tree = parse_expr("a, b, c")
+        assert isinstance(tree, nodes.CommaOp)
+        assert isinstance(tree.left, nodes.CommaOp)
+
+    def test_comma_excluded_from_arguments(self):
+        tree = parse_expr("f(a, b)")
+        assert len(tree.args) == 2
+
+
+class TestErrors:
+    def test_missing_operand(self):
+        with pytest.raises(ParseError):
+            parse_expr("a + ")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_expr("(a + b")
+
+    def test_backquote_outside_meta_mode(self):
+        with pytest.raises(ParseError) as exc:
+            parse_expr("`(x)")
+        assert "meta-code" in str(exc.value)
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse_expr("a + )")
+        assert exc.value.location is not None

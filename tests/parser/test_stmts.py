@@ -1,0 +1,139 @@
+"""Tests for statement parsing."""
+
+import pytest
+
+from repro.cast import decls, nodes, stmts
+from repro.errors import ParseError
+from tests.conftest import parse_c, parse_stmt
+
+
+class TestSimpleStatements:
+    def test_expression_statement(self):
+        s = parse_stmt("x = 1;")
+        assert isinstance(s, stmts.ExprStmt)
+
+    def test_null_statement(self):
+        assert isinstance(parse_stmt(";"), stmts.NullStmt)
+
+    def test_break(self):
+        assert isinstance(parse_stmt("break;"), stmts.BreakStmt)
+
+    def test_continue(self):
+        assert isinstance(parse_stmt("continue;"), stmts.ContinueStmt)
+
+    def test_return_void(self):
+        s = parse_stmt("return;")
+        assert s.expr is None
+
+    def test_return_value(self):
+        s = parse_stmt("return x + 1;")
+        assert isinstance(s.expr, nodes.BinaryOp)
+
+    def test_goto(self):
+        s = parse_stmt("goto done;")
+        assert s.label == "done"
+
+    def test_label(self):
+        s = parse_stmt("done: return;")
+        assert isinstance(s, stmts.LabeledStmt)
+        assert s.label == "done"
+        assert isinstance(s.stmt, stmts.ReturnStmt)
+
+
+class TestControlFlow:
+    def test_if(self):
+        s = parse_stmt("if (a) b();")
+        assert isinstance(s, stmts.IfStmt)
+        assert s.otherwise is None
+
+    def test_if_else(self):
+        s = parse_stmt("if (a) b(); else c();")
+        assert s.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        s = parse_stmt("if (a) if (b) x(); else y();")
+        assert s.otherwise is None
+        assert s.then.otherwise is not None
+
+    def test_while(self):
+        s = parse_stmt("while (n) n--;")
+        assert isinstance(s, stmts.WhileStmt)
+
+    def test_do_while(self):
+        s = parse_stmt("do n--; while (n);")
+        assert isinstance(s, stmts.DoWhileStmt)
+
+    def test_for_full(self):
+        s = parse_stmt("for (i = 0; i < n; i++) f();")
+        assert s.init is not None
+        assert s.cond is not None
+        assert s.step is not None
+
+    def test_for_empty(self):
+        s = parse_stmt("for (;;) f();")
+        assert s.init is None and s.cond is None and s.step is None
+
+    def test_switch_with_cases(self):
+        s = parse_stmt(
+            "switch (x) {case 1: a(); break; case 2: b(); break; "
+            "default: c();}"
+        )
+        assert isinstance(s, stmts.SwitchStmt)
+        body = s.body
+        assert isinstance(body.stmts[0], stmts.CaseStmt)
+        assert isinstance(body.stmts[-1], stmts.DefaultStmt)
+
+
+class TestCompound:
+    def test_decls_then_stmts(self):
+        s = parse_stmt("{int x; int y; x = 1; y = 2;}")
+        assert len(s.decls) == 2
+        assert len(s.stmts) == 2
+
+    def test_empty(self):
+        s = parse_stmt("{}")
+        assert s.decls == [] and s.stmts == []
+
+    def test_nested(self):
+        s = parse_stmt("{{x;}}")
+        assert isinstance(s.stmts[0], stmts.CompoundStmt)
+
+    def test_declaration_after_statement_goes_wrong_in_c90(self):
+        # C90: declarations must precede statements; a later 'int y;'
+        # is parsed as... an error in our grammar.
+        with pytest.raises(ParseError):
+            parse_stmt("{x = 1; int y;}")
+
+
+class TestContextSensitivity:
+    def test_typedef_changes_statement_parse(self):
+        unit = parse_c(
+            "typedef int T;\n"
+            "void f(void) { T *p; }"
+        )
+        body = unit.items[1].body
+        assert isinstance(body.decls[0], decls.Declaration)
+
+    def test_same_text_without_typedef_is_expression(self):
+        unit = parse_c("void f(int T, int p) { T * p; }")
+        body = unit.items[0].body
+        assert body.decls == []
+        assert isinstance(body.stmts[0].expr, nodes.BinaryOp)
+
+
+class TestErrors:
+    def test_missing_paren(self):
+        with pytest.raises(ParseError):
+            parse_stmt("if a) b();")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_stmt("x = 1")
+
+    def test_do_requires_while(self):
+        with pytest.raises(ParseError):
+            parse_stmt("do x(); until (y);")
+
+    def test_unclosed_compound(self):
+        with pytest.raises(ParseError):
+            parse_stmt("{x();")

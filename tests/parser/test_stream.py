@@ -1,0 +1,117 @@
+"""Tests for the token stream (pushback, savepoints)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lexer.scanner import tokenize
+from repro.lexer.tokens import Token, TokenKind
+from repro.parser.stream import TokenStream
+
+
+def stream_for(source: str) -> TokenStream:
+    return TokenStream(tokenize(source))
+
+
+class TestBasics:
+    def test_requires_eof_terminated_list(self):
+        with pytest.raises(ValueError):
+            TokenStream(tokenize("a b")[:-1])
+
+    def test_next_advances(self):
+        s = stream_for("a b c")
+        assert s.next().text == "a"
+        assert s.next().text == "b"
+
+    def test_peek_does_not_advance(self):
+        s = stream_for("a b")
+        assert s.peek().text == "a"
+        assert s.peek().text == "a"
+        assert s.next().text == "a"
+
+    def test_peek_ahead(self):
+        s = stream_for("a b c")
+        assert s.peek(2).text == "c"
+        assert s.peek(99).kind is TokenKind.EOF
+
+    def test_eof_is_sticky(self):
+        s = stream_for("a")
+        s.next()
+        assert s.next().kind is TokenKind.EOF
+        assert s.next().kind is TokenKind.EOF
+        assert s.at_eof()
+
+
+class TestPushback:
+    def test_pushed_token_returned_first(self):
+        s = stream_for("a b")
+        synthetic = Token(TokenKind.PLACEHOLDER, "$x")
+        s.push(synthetic)
+        assert s.next() is synthetic
+        assert s.next().text == "a"
+
+    def test_peek_sees_pushback(self):
+        s = stream_for("a")
+        synthetic = Token(TokenKind.PLACEHOLDER, "$x")
+        s.push(synthetic)
+        assert s.peek() is synthetic
+        assert s.peek(1).text == "a"
+
+    def test_multiple_pushbacks_lifo(self):
+        s = stream_for("a")
+        first = Token(TokenKind.IDENT, "first")
+        second = Token(TokenKind.IDENT, "second")
+        s.push(first)
+        s.push(second)
+        assert s.next() is second
+        assert s.next() is first
+
+
+class TestSavepoints:
+    def test_restore_rewinds(self):
+        s = stream_for("a b c")
+        state = s.save()
+        s.next()
+        s.next()
+        s.restore(state)
+        assert s.peek().text == "a"
+
+    def test_restore_recovers_pushback(self):
+        s = stream_for("a b")
+        s.push(Token(TokenKind.IDENT, "extra"))
+        state = s.save()
+        s.next()  # consumes 'extra'
+        s.next()  # consumes 'a'
+        s.restore(state)
+        assert s.next().text == "extra"
+        assert s.next().text == "a"
+
+
+class TestExpectHelpers:
+    def test_expect_punct(self):
+        s = stream_for("( x")
+        assert s.expect_punct("(").text == "("
+        with pytest.raises(ParseError):
+            s.expect_punct(")")
+
+    def test_expect_keyword(self):
+        s = stream_for("while x")
+        assert s.expect_keyword("while").text == "while"
+        with pytest.raises(ParseError):
+            s.expect_keyword("for")
+
+    def test_expect_ident(self):
+        s = stream_for("name 42")
+        assert s.expect_ident().text == "name"
+        with pytest.raises(ParseError):
+            s.expect_ident()
+
+    def test_accept_returns_none_on_mismatch(self):
+        s = stream_for("a")
+        assert s.accept_punct(";") is None
+        assert s.peek().text == "a"
+
+    def test_error_message_includes_expected_token(self):
+        s = stream_for("x")
+        with pytest.raises(ParseError) as exc:
+            s.expect_punct(";")
+        assert "';'" in str(exc.value)
