@@ -7,6 +7,12 @@ macro use, plus the per-invocation cost of each standard package
 macro.
 """
 
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
 import pytest
 
 from repro import MacroProcessor
@@ -113,3 +119,164 @@ class TestDefinitionCost:
         mp = load()
         assert len(mp.table) >= 10
         benchmark(load)
+
+
+# ---------------------------------------------------------------------------
+# Repeated-invocation workloads: the expansion cache's target case
+# ---------------------------------------------------------------------------
+
+def repeated_unroll(reps: int) -> str:
+    """One pure macro invoked many times with identical arguments —
+    the best case for the expansion cache (everything after the first
+    expansion is a replay)."""
+    return (
+        "void f() {\n"
+        + "unroll (32) { a[i] = i * 2; }\n" * reps
+        + "}\n"
+    )
+
+
+def repeated_mixed(reps: int) -> str:
+    """Two pure loop macros alternating; every invocation after the
+    first pair is a cache hit."""
+    return (
+        "void g() {\n"
+        + (
+            "unroll (16) { b[i] = i; }\n"
+            "for_range j = 0 to 10 { use(j); }\n"
+        ) * reps
+        + "}\n"
+    )
+
+
+def repeated_exceptions(reps: int) -> str:
+    """Pure setjmp/longjmp macros from the exceptions package; the
+    bodies are large, so replay saves the most meta-interpretation."""
+    return (
+        "void h() {\n"
+        + (
+            "catch err { handle(); } { risky(); }\n"
+            "unwind_protect { work(); } { cleanup(); }\n"
+        ) * reps
+        + "}\n"
+    )
+
+
+#: name -> (source builder, package names, full-size rep count)
+REPEATED_WORKLOADS = {
+    "pure-unroll": (repeated_unroll, ("loops",), 80),
+    "mixed": (repeated_mixed, ("loops",), 40),
+    "exceptions": (repeated_exceptions, ("exceptions",), 75),
+}
+
+
+def _load_named(mp: MacroProcessor, names) -> None:
+    from repro import packages
+
+    for name in names:
+        mp.load(getattr(packages, name).SOURCE)
+
+
+def _expand(src: str, pkg_names, **kwargs):
+    mp = MacroProcessor(**kwargs)
+    _load_named(mp, pkg_names)
+    out = mp.expand_to_c(src)
+    return out, mp.stats
+
+
+def _median_time(src, pkg_names, repeats, **kwargs) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _expand(src, pkg_names, **kwargs)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def measure_speedups(smoke: bool = False) -> dict:
+    """Fast defaults vs interpreted/uncached baseline on each
+    repeated-invocation workload.  Returns the trajectory point."""
+    repeats = 3 if smoke else 5
+    scale = 5 if smoke else 1
+    workloads = {}
+    for name, (builder, pkg_names, reps) in REPEATED_WORKLOADS.items():
+        src = builder(max(2, reps // scale))
+        fast_out, fast_stats = _expand(src, pkg_names)
+        slow_out, _ = _expand(
+            src, pkg_names, cache=False, compiled_patterns=False
+        )
+        assert fast_out == slow_out, f"parity failure on {name!r}"
+        fast = _median_time(src, pkg_names, repeats)
+        slow = _median_time(
+            src, pkg_names, repeats, cache=False, compiled_patterns=False
+        )
+        workloads[name] = {
+            "fast_ms": round(fast * 1000, 2),
+            "baseline_ms": round(slow * 1000, 2),
+            "speedup": round(slow / fast, 2),
+            "cache_hit_rate": fast_stats.cache_hit_rate(),
+            "expansions": fast_stats.expansions,
+        }
+    return {"smoke": smoke, "workloads": workloads}
+
+
+def emit_trajectory(path: Path, smoke: bool = False) -> dict:
+    """Append one measurement point to the BENCH_expansion.json
+    trajectory file (created if missing)."""
+    point = measure_speedups(smoke=smoke)
+    trajectory = []
+    if path.exists():
+        trajectory = json.loads(path.read_text()).get("trajectory", [])
+    trajectory.append(point)
+    path.write_text(
+        json.dumps({"trajectory": trajectory}, indent=2) + "\n"
+    )
+    return point
+
+
+@pytest.mark.benchmark(group="repeated-invocation")
+class TestRepeatedInvocation:
+    """pytest-benchmark numbers for the cache's target workloads."""
+
+    @pytest.mark.parametrize("name", sorted(REPEATED_WORKLOADS))
+    @pytest.mark.parametrize("mode", ["fast", "baseline"])
+    def test_workload(self, benchmark, name, mode):
+        builder, pkg_names, reps = REPEATED_WORKLOADS[name]
+        src = builder(reps)
+        kwargs = (
+            {} if mode == "fast"
+            else {"cache": False, "compiled_patterns": False}
+        )
+        benchmark(lambda: _expand(src, pkg_names, **kwargs))
+
+
+class TestFastPathBehaviour:
+    """Correctness-side assertions for the repeated workloads (these
+    run even without pytest-benchmark's measurement machinery)."""
+
+    @pytest.mark.parametrize("name", sorted(REPEATED_WORKLOADS))
+    def test_parity_and_cache_hits(self, name):
+        builder, pkg_names, _ = REPEATED_WORKLOADS[name]
+        src = builder(6)
+        fast_out, stats = _expand(src, pkg_names)
+        slow_out, _ = _expand(
+            src, pkg_names, cache=False, compiled_patterns=False
+        )
+        assert fast_out == slow_out
+        assert stats.cache_hits > 0
+        assert stats.compiled_parses > 0
+
+    def test_emit_trajectory_smoke(self, tmp_path):
+        point = emit_trajectory(tmp_path / "BENCH_expansion.json", smoke=True)
+        assert set(point["workloads"]) == set(REPEATED_WORKLOADS)
+        for numbers in point["workloads"].values():
+            assert numbers["speedup"] > 0
+
+
+if __name__ == "__main__":
+    out = Path(
+        os.environ.get("BENCH_EXPANSION_JSON", "BENCH_expansion.json")
+    )
+    smoke_mode = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+    result = emit_trajectory(out, smoke=smoke_mode)
+    print(json.dumps(result, indent=2))

@@ -1,16 +1,27 @@
-"""Scope analysis over expanded C: free variables and capture detection.
+"""Static analyses over macro programs.
 
-The paper's examples dodge inadvertent capture with ``gensym`` and its
-section 5 discusses automatic hygiene.  This module provides the
-analysis side: given an expansion result whose nodes carry hygiene
-marks (template-origin nodes are marked, user code is not),
-:func:`detect_captures` reports every place where *user* code ends up
-bound by a *template-introduced* declaration — exactly the bugs
-hygiene prevents.
+Two families live here:
 
-Also exported: :func:`free_identifiers` (names used but not bound in a
-subtree) and :func:`bound_names` (names declared by a subtree), both
-useful for macro authors writing non-local transformations.
+* **Scope analysis over expanded C** — free variables and capture
+  detection.  The paper's examples dodge inadvertent capture with
+  ``gensym`` and its section 5 discusses automatic hygiene.  Given an
+  expansion result whose nodes carry hygiene marks (template-origin
+  nodes are marked, user code is not), :func:`detect_captures` reports
+  every place where *user* code ends up bound by a
+  *template-introduced* declaration — exactly the bugs hygiene
+  prevents.  Also exported: :func:`free_identifiers` (names used but
+  not bound in a subtree) and :func:`bound_names` (names declared by a
+  subtree).
+
+* **Purity analysis over meta-code** — :func:`analyze_macro_purity`
+  decides, at definition time, whether a macro's expansion is a pure
+  function of its parsed actual parameters.  Only pure macros may be
+  memoized by the expansion cache (:mod:`repro.macros.cache`); a
+  macro is impure when its meta-body reads or writes ``metadcl``
+  state, calls a fresh-name builtin (``gensym``), a semantic builtin
+  (``type_of`` / ``has_type`` — their answers depend on the C scope
+  at the invocation site), a stateful diagnostic (``warning``), or an
+  impure meta-function, transitively.
 """
 
 from __future__ import annotations
@@ -242,3 +253,311 @@ def _param_names(declarator: Node) -> list[str]:
                 names.append(name)
     names.extend(current.kr_names)
     return names
+
+
+# ===========================================================================
+# Purity analysis of macro meta-bodies (drives the expansion cache)
+# ===========================================================================
+
+
+@dataclass(frozen=True, slots=True)
+class PurityReport:
+    """Verdict of :func:`analyze_macro_purity`.
+
+    ``cacheable`` is true when every observable effect of the macro is
+    a function of its actual parameters; ``reasons`` lists, for the
+    impure case, what disqualified it (human-readable, used by tests
+    and ``--stats`` diagnostics).
+    """
+
+    cacheable: bool
+    reasons: tuple[str, ...] = ()
+
+
+#: Builtins whose results depend on interpreter or invocation-site
+#: state: fresh-name generators, the semantic-macro substrate, and the
+#: warning accumulator.
+IMPURE_BUILTINS = frozenset({"gensym", "type_of", "has_type", "warning"})
+
+#: Placeholder node classes — the only routes from a backquote
+#: template back into meta-code.
+_PLACEHOLDER_CLASSES = (
+    nodes.PlaceholderExpr,
+    stmts.PlaceholderStmt,
+    decls.PlaceholderDecl,
+    decls.PlaceholderDeclarator,
+)
+
+
+def analyze_macro_purity(definition, meta_globals) -> PurityReport:
+    """Decide whether ``definition``'s expansion may be memoized.
+
+    ``meta_globals`` is the interpreter's global
+    :class:`~repro.meta.frames.Frame` at definition time: meta-function
+    names resolve to closures there (analyzed transitively, memoized,
+    cycle-tolerant), every other global binding is ``metadcl`` state.
+    """
+    scan = _PurityScan(meta_globals)
+    params = {arg.name for arg in _pattern_params(definition.pattern)}
+    scan.analyze_compound(definition.body, params)
+    reasons = tuple(dict.fromkeys(scan.reasons))  # dedup, keep order
+    return PurityReport(cacheable=not reasons, reasons=reasons)
+
+
+def _pattern_params(pattern):
+    # Only top-level pattern elements bind names in the macro's frame;
+    # sub-pattern (tuple) components are reached via member selection.
+    from repro.macros.pattern import ParamElement
+
+    return [
+        element
+        for element in pattern.elements
+        if isinstance(element, ParamElement)
+    ]
+
+
+class _PurityScan:
+    """Walks meta-code, mirroring the interpreter's evaluation rules
+    closely enough to classify every name reference."""
+
+    def __init__(self, meta_globals, closure_memo=None) -> None:
+        self.globals = meta_globals
+        self.reasons: list[str] = []
+        #: id(closure) -> PurityReport | None (None = in progress; a
+        #: cycle with no impure trigger elsewhere is pure).
+        self._closure_memo = (
+            closure_memo if closure_memo is not None else {}
+        )
+
+    # -- scope bookkeeping ---------------------------------------------
+
+    def analyze_compound(self, body, bound: set[str]) -> None:
+        inner = set(bound)
+        for d in body.decls:
+            if isinstance(d, decls.Declaration):
+                inner.update(bound_names(d))
+        for d in body.decls:
+            if isinstance(d, decls.Declaration):
+                for item in d.init_declarators:
+                    if (
+                        isinstance(item, decls.InitDeclarator)
+                        and item.init is not None
+                    ):
+                        self.analyze_expr(item.init, inner)
+        for s in body.stmts:
+            self.analyze_stmt(s, inner)
+
+    # -- statements -----------------------------------------------------
+
+    def analyze_stmt(self, s: Node, bound: set[str]) -> None:
+        if isinstance(s, stmts.CompoundStmt):
+            self.analyze_compound(s, bound)
+        elif isinstance(s, stmts.ExprStmt):
+            self.analyze_expr(s.expr, bound)
+        elif isinstance(s, stmts.IfStmt):
+            self.analyze_expr(s.cond, bound)
+            self.analyze_stmt(s.then, bound)
+            if s.otherwise is not None:
+                self.analyze_stmt(s.otherwise, bound)
+        elif isinstance(s, stmts.WhileStmt):
+            self.analyze_expr(s.cond, bound)
+            self.analyze_stmt(s.body, bound)
+        elif isinstance(s, stmts.DoWhileStmt):
+            self.analyze_stmt(s.body, bound)
+            self.analyze_expr(s.cond, bound)
+        elif isinstance(s, stmts.ForStmt):
+            if s.init is not None:
+                self.analyze_expr(s.init, bound)
+            if s.cond is not None:
+                self.analyze_expr(s.cond, bound)
+            if s.step is not None:
+                self.analyze_expr(s.step, bound)
+            self.analyze_stmt(s.body, bound)
+        elif isinstance(s, stmts.SwitchStmt):
+            self.analyze_expr(s.expr, bound)
+            self.analyze_stmt(s.body, bound)
+        elif isinstance(s, (stmts.CaseStmt, stmts.DefaultStmt)):
+            expr = getattr(s, "expr", None)
+            if expr is not None:
+                self.analyze_expr(expr, bound)
+            self.analyze_stmt(s.stmt, bound)
+        elif isinstance(s, stmts.ReturnStmt):
+            if s.expr is not None:
+                self.analyze_expr(s.expr, bound)
+        elif isinstance(s, stmts.LabeledStmt):
+            self.analyze_stmt(s.stmt, bound)
+        elif isinstance(
+            s, (stmts.BreakStmt, stmts.ContinueStmt, stmts.NullStmt)
+        ):
+            pass
+        else:
+            # Unknown statement form: refuse to certify purity.
+            self.reasons.append(
+                f"unanalyzable statement form {type(s).__name__}"
+            )
+
+    # -- expressions ----------------------------------------------------
+
+    def analyze_expr(self, e: Node, bound: set[str]) -> None:
+        if isinstance(e, nodes.Identifier):
+            self._classify_read(e.name, bound)
+        elif isinstance(
+            e,
+            (nodes.IntLit, nodes.FloatLit, nodes.CharLit, nodes.StringLit),
+        ):
+            pass
+        elif isinstance(e, (nodes.UnaryOp, nodes.PostfixOp)):
+            if e.op in ("++", "--"):
+                self._classify_write(e.operand, bound)
+            self.analyze_expr(e.operand, bound)
+        elif isinstance(e, nodes.BinaryOp):
+            self.analyze_expr(e.left, bound)
+            self.analyze_expr(e.right, bound)
+        elif isinstance(e, nodes.AssignOp):
+            self._classify_write(e.target, bound)
+            self.analyze_expr(e.target, bound)
+            self.analyze_expr(e.value, bound)
+        elif isinstance(e, nodes.ConditionalOp):
+            self.analyze_expr(e.cond, bound)
+            self.analyze_expr(e.then, bound)
+            self.analyze_expr(e.otherwise, bound)
+        elif isinstance(e, nodes.CommaOp):
+            self.analyze_expr(e.left, bound)
+            self.analyze_expr(e.right, bound)
+        elif isinstance(e, nodes.Index):
+            self.analyze_expr(e.base, bound)
+            self.analyze_expr(e.index, bound)
+        elif isinstance(e, nodes.Member):
+            self.analyze_expr(e.base, bound)
+        elif isinstance(e, nodes.Cast):
+            self.analyze_expr(e.operand, bound)
+        elif isinstance(e, nodes.Call):
+            self._analyze_call(e, bound)
+        elif isinstance(e, nodes.Backquote):
+            self._analyze_template(e.template, bound)
+        elif isinstance(e, nodes.AnonFunction):
+            inner = bound | {name for name, _ in e.params}
+            self.analyze_expr(e.body, inner)
+        elif isinstance(e, _PLACEHOLDER_CLASSES):
+            self.analyze_expr(e.meta_expr, bound)
+        else:
+            self.reasons.append(
+                f"unanalyzable expression form {type(e).__name__}"
+            )
+
+    # -- classification -------------------------------------------------
+
+    def _classify_read(self, name: str, bound: set[str]) -> None:
+        if name in bound:
+            return
+        value = self._global_value(name)
+        if value is _UNBOUND:
+            self.reasons.append(
+                f"references unknown or later-defined name {name!r}"
+            )
+        elif _is_closure(value):
+            self._require_pure_closure(name, value)
+        else:
+            self.reasons.append(f"reads metadcl state {name!r}")
+
+    def _classify_write(self, target: Node, bound: set[str]) -> None:
+        base = target
+        while isinstance(base, (nodes.Index, nodes.Member)):
+            base = base.base
+        if isinstance(base, nodes.Identifier) and base.name not in bound:
+            self.reasons.append(f"writes metadcl state {base.name!r}")
+
+    def _analyze_call(self, e: nodes.Call, bound: set[str]) -> None:
+        for arg in e.args:
+            self.analyze_expr(arg, bound)
+        func = e.func
+        if not isinstance(func, nodes.Identifier):
+            self.analyze_expr(func, bound)
+            self.reasons.append("calls a computed function value")
+            return
+        name = func.name
+        if name in bound:
+            # A local bound to some closure: its body was analyzed at
+            # its definition site iff it is an anonymous function we
+            # saw; anything else is untrackable.
+            self.reasons.append(
+                f"calls through local variable {name!r}"
+            )
+            return
+        value = self._global_value(name)
+        if _is_closure(value):
+            self._require_pure_closure(name, value)
+            return
+        if value is not _UNBOUND:
+            self.reasons.append(f"calls metadcl value {name!r}")
+            return
+        from repro.meta.builtins import BUILTIN_IMPLS
+
+        if name in BUILTIN_IMPLS:
+            if name in IMPURE_BUILTINS:
+                self.reasons.append(f"calls impure builtin {name!r}")
+            return
+        self.reasons.append(f"calls unknown meta-function {name!r}")
+
+    def _require_pure_closure(self, name: str, closure) -> None:
+        report = self._closure_purity(closure)
+        if report is not None and not report.cacheable:
+            self.reasons.append(
+                f"calls impure meta-function {name!r} "
+                f"({'; '.join(report.reasons)})"
+            )
+
+    def _closure_purity(self, closure):
+        key = id(closure)
+        if key in self._closure_memo:
+            return self._closure_memo[key]  # may be None: in progress
+        self._closure_memo[key] = None
+        sub = _PurityScan(self.globals, self._closure_memo)
+        if getattr(closure, "is_anon", False):
+            sub.analyze_expr(closure.body, set(closure.params))
+        else:
+            sub.analyze_compound(closure.body, set(closure.params))
+        report = PurityReport(
+            cacheable=not sub.reasons, reasons=tuple(sub.reasons)
+        )
+        self._closure_memo[key] = report
+        return report
+
+    def _global_value(self, name: str):
+        frame = self.globals
+        while frame is not None:
+            if name in frame.values:
+                return frame.values[name]
+            frame = frame.parent
+        return _UNBOUND
+
+    # -- templates ------------------------------------------------------
+
+    def _analyze_template(self, template, bound: set[str]) -> None:
+        """Template C code is inert data; only the meta-expressions
+        inside placeholder holes execute at expansion time."""
+        if isinstance(template, list):
+            for item in template:
+                self._analyze_template(item, bound)
+            return
+        if not isinstance(template, Node):
+            return
+        if isinstance(template, _PLACEHOLDER_CLASSES):
+            self.analyze_expr(template.meta_expr, bound)
+            return
+        for child in children(template):
+            self._analyze_template(child, bound)
+
+
+class _Unbound:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<unbound>"
+
+
+_UNBOUND = _Unbound()
+
+
+def _is_closure(value) -> bool:
+    from repro.meta.values import Closure
+
+    return isinstance(value, Closure)

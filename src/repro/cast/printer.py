@@ -8,6 +8,8 @@ into ``A * B`` prints as ``(x + y) * (m + n)``.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.cast import ctypes, decls, nodes, stmts
 from repro.cast.base import Node
 
@@ -337,69 +339,92 @@ class CPrinter:
         return text
 
     def _expr_prec(self, e: Node) -> tuple[str, int]:
-        if isinstance(e, nodes.Identifier):
-            return e.name, PRIMARY_PREC
-        if isinstance(e, (nodes.IntLit, nodes.FloatLit, nodes.CharLit,
-                          nodes.StringLit)):
-            return e.text, PRIMARY_PREC
-        if isinstance(e, nodes.BinaryOp):
-            prec = BINARY_PREC[e.op]
-            left = self.expr(e.left, prec)
-            right = self.expr(e.right, prec + 1)
-            return f"{left} {e.op} {right}", prec
-        if isinstance(e, nodes.AssignOp):
-            target = self.expr(e.target, UNARY_PREC)
-            value = self.expr(e.value, ASSIGN_PREC)
-            return f"{target} {e.op} {value}", ASSIGN_PREC
-        if isinstance(e, nodes.ConditionalOp):
-            cond = self.expr(e.cond, COND_PREC + 1)
-            then = self.expr(e.then, 0)
-            other = self.expr(e.otherwise, COND_PREC)
-            return f"{cond} ? {then} : {other}", COND_PREC
-        if isinstance(e, nodes.CommaOp):
-            left = self.expr(e.left, COMMA_PREC)
-            right = self.expr(e.right, COMMA_PREC + 1)
-            return f"{left}, {right}", COMMA_PREC
-        if isinstance(e, nodes.UnaryOp):
-            operand = self.expr(e.operand, UNARY_PREC)
-            # '- -a' must not merge into '--a' (nor '+ +a', '& &x').
-            sep = " " if operand.startswith(e.op[-1]) else ""
-            return f"{e.op}{sep}{operand}", UNARY_PREC
-        if isinstance(e, nodes.PostfixOp):
-            operand = self.expr(e.operand, POSTFIX_PREC)
-            return f"{operand}{e.op}", POSTFIX_PREC
-        if isinstance(e, nodes.Call):
-            func = self.expr(e.func, POSTFIX_PREC)
-            args = ", ".join(self.expr(a, ASSIGN_PREC) for a in e.args)
-            return f"{func}({args})", POSTFIX_PREC
-        if isinstance(e, nodes.Index):
-            base = self.expr(e.base, POSTFIX_PREC)
-            return f"{base}[{self.expr(e.index, 0)}]", POSTFIX_PREC
-        if isinstance(e, nodes.Member):
-            base = self.expr(e.base, POSTFIX_PREC)
-            if isinstance(e.base, (nodes.IntLit, nodes.FloatLit)):
-                # '0.a' would lex as the float '0.' — parenthesize.
-                base = f"({base})"
-            op = "->" if e.arrow else "."
-            if isinstance(e.name, Node):
-                return f"{base}{op}{self.placeholder(e.name)}", POSTFIX_PREC
-            return f"{base}{op}{e.name}", POSTFIX_PREC
-        if isinstance(e, nodes.Cast):
-            operand = self.expr(e.operand, UNARY_PREC)
-            return f"({self.type_name(e.type_name)}){operand}", UNARY_PREC
-        if isinstance(e, nodes.SizeofExpr):
-            return f"sizeof {self.expr(e.operand, UNARY_PREC)}", UNARY_PREC
-        if isinstance(e, nodes.SizeofType):
-            return f"sizeof({self.type_name(e.type_name)})", UNARY_PREC
-        if isinstance(e, nodes.PlaceholderExpr):
-            return self.placeholder(e), PRIMARY_PREC
-        if isinstance(e, nodes.Backquote):
-            return self.backquote(e), PRIMARY_PREC
-        if isinstance(e, nodes.AnonFunction):
-            return self.anon_function(e), PRIMARY_PREC
-        if isinstance(e, nodes.MacroInvocation):
-            return self.macro_invocation(e), PRIMARY_PREC
-        raise TypeError(f"cannot print expression {type(e).__name__}")
+        # Exact-class dispatch (node classes are leaves): one dict
+        # probe instead of a ~20-branch isinstance chain on the
+        # printer's hottest function.
+        handler = _EXPR_HANDLERS.get(e.__class__)
+        if handler is None:
+            raise TypeError(f"cannot print expression {type(e).__name__}")
+        return handler(self, e)
+
+    def _px_identifier(self, e: Node) -> tuple[str, int]:
+        return e.name, PRIMARY_PREC
+
+    def _px_literal(self, e: Node) -> tuple[str, int]:
+        return e.text, PRIMARY_PREC
+
+    def _px_binary(self, e: Node) -> tuple[str, int]:
+        prec = BINARY_PREC[e.op]
+        left = self.expr(e.left, prec)
+        right = self.expr(e.right, prec + 1)
+        return f"{left} {e.op} {right}", prec
+
+    def _px_assign(self, e: Node) -> tuple[str, int]:
+        target = self.expr(e.target, UNARY_PREC)
+        value = self.expr(e.value, ASSIGN_PREC)
+        return f"{target} {e.op} {value}", ASSIGN_PREC
+
+    def _px_conditional(self, e: Node) -> tuple[str, int]:
+        cond = self.expr(e.cond, COND_PREC + 1)
+        then = self.expr(e.then, 0)
+        other = self.expr(e.otherwise, COND_PREC)
+        return f"{cond} ? {then} : {other}", COND_PREC
+
+    def _px_comma(self, e: Node) -> tuple[str, int]:
+        left = self.expr(e.left, COMMA_PREC)
+        right = self.expr(e.right, COMMA_PREC + 1)
+        return f"{left}, {right}", COMMA_PREC
+
+    def _px_unary(self, e: Node) -> tuple[str, int]:
+        operand = self.expr(e.operand, UNARY_PREC)
+        # '- -a' must not merge into '--a' (nor '+ +a', '& &x').
+        sep = " " if operand.startswith(e.op[-1]) else ""
+        return f"{e.op}{sep}{operand}", UNARY_PREC
+
+    def _px_postfix(self, e: Node) -> tuple[str, int]:
+        operand = self.expr(e.operand, POSTFIX_PREC)
+        return f"{operand}{e.op}", POSTFIX_PREC
+
+    def _px_call(self, e: Node) -> tuple[str, int]:
+        func = self.expr(e.func, POSTFIX_PREC)
+        args = ", ".join(self.expr(a, ASSIGN_PREC) for a in e.args)
+        return f"{func}({args})", POSTFIX_PREC
+
+    def _px_index(self, e: Node) -> tuple[str, int]:
+        base = self.expr(e.base, POSTFIX_PREC)
+        return f"{base}[{self.expr(e.index, 0)}]", POSTFIX_PREC
+
+    def _px_member(self, e: Node) -> tuple[str, int]:
+        base = self.expr(e.base, POSTFIX_PREC)
+        if isinstance(e.base, (nodes.IntLit, nodes.FloatLit)):
+            # '0.a' would lex as the float '0.' — parenthesize.
+            base = f"({base})"
+        op = "->" if e.arrow else "."
+        if isinstance(e.name, Node):
+            return f"{base}{op}{self.placeholder(e.name)}", POSTFIX_PREC
+        return f"{base}{op}{e.name}", POSTFIX_PREC
+
+    def _px_cast(self, e: Node) -> tuple[str, int]:
+        operand = self.expr(e.operand, UNARY_PREC)
+        return f"({self.type_name(e.type_name)}){operand}", UNARY_PREC
+
+    def _px_sizeof_expr(self, e: Node) -> tuple[str, int]:
+        return f"sizeof {self.expr(e.operand, UNARY_PREC)}", UNARY_PREC
+
+    def _px_sizeof_type(self, e: Node) -> tuple[str, int]:
+        return f"sizeof({self.type_name(e.type_name)})", UNARY_PREC
+
+    def _px_placeholder(self, e: Node) -> tuple[str, int]:
+        return self.placeholder(e), PRIMARY_PREC
+
+    def _px_backquote(self, e: Node) -> tuple[str, int]:
+        return self.backquote(e), PRIMARY_PREC
+
+    def _px_anon_function(self, e: Node) -> tuple[str, int]:
+        return self.anon_function(e), PRIMARY_PREC
+
+    def _px_macro_invocation(self, e: Node) -> tuple[str, int]:
+        return self.macro_invocation(e), PRIMARY_PREC
 
     # ------------------------------------------------------------------
     # Meta forms
@@ -460,6 +485,33 @@ class CPrinter:
         ):
             return self.type_spec(value)
         return self.expr(value, 0)  # type: ignore[arg-type]
+
+
+#: Exact node class → unbound ``_px_*`` handler, consulted by
+#: :meth:`CPrinter._expr_prec` with a single dict probe.
+_EXPR_HANDLERS: dict[type, Any] = {
+    nodes.Identifier: CPrinter._px_identifier,
+    nodes.IntLit: CPrinter._px_literal,
+    nodes.FloatLit: CPrinter._px_literal,
+    nodes.CharLit: CPrinter._px_literal,
+    nodes.StringLit: CPrinter._px_literal,
+    nodes.BinaryOp: CPrinter._px_binary,
+    nodes.AssignOp: CPrinter._px_assign,
+    nodes.ConditionalOp: CPrinter._px_conditional,
+    nodes.CommaOp: CPrinter._px_comma,
+    nodes.UnaryOp: CPrinter._px_unary,
+    nodes.PostfixOp: CPrinter._px_postfix,
+    nodes.Call: CPrinter._px_call,
+    nodes.Index: CPrinter._px_index,
+    nodes.Member: CPrinter._px_member,
+    nodes.Cast: CPrinter._px_cast,
+    nodes.SizeofExpr: CPrinter._px_sizeof_expr,
+    nodes.SizeofType: CPrinter._px_sizeof_type,
+    nodes.PlaceholderExpr: CPrinter._px_placeholder,
+    nodes.Backquote: CPrinter._px_backquote,
+    nodes.AnonFunction: CPrinter._px_anon_function,
+    nodes.MacroInvocation: CPrinter._px_macro_invocation,
+}
 
 
 def _ends_in_open_if(s: Node) -> bool:

@@ -1,0 +1,83 @@
+"""Structural hashing of AST values.
+
+The expansion cache (:mod:`repro.macros.cache`) is keyed by the
+*shape* of a macro invocation's actual parameters: two invocations
+with structurally equal argument ASTs must produce the same key, and
+— because a hash collision would silently splice the wrong expansion
+into the program — the key has to be an exact structural fingerprint,
+not just a hash code.
+
+:func:`structural_key` therefore folds a value (node, list, tuple
+value, literal, null) into a nested tuple of primitives.  Tuples hash
+fast, compare exactly, and mirror the structural equality already
+defined on :class:`~repro.cast.base.Node` (which ignores source
+locations and hygiene marks, both ``compare=False``) — so the cache
+inherits the paper's "encapsulation" notion of sameness for free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Hashable
+
+from repro.cast.base import Node
+
+__all__ = ["structural_key", "structural_hash", "Unhashable"]
+
+
+class Unhashable(Exception):
+    """Raised when a value embeds something with no structural key
+    (e.g. a macro-definition reference or a closure); the caller
+    treats the invocation as uncacheable."""
+
+
+#: Per-class cache of ``(class name, comparable field names)`` —
+#: consulting ``dataclasses.fields`` per node dominates keying cost.
+_KEY_PLANS: dict[type, tuple[str, tuple[str, ...]]] = {}
+
+
+def _key_plan(cls: type) -> tuple[str, tuple[str, ...]]:
+    plan = _KEY_PLANS.get(cls)
+    if plan is None:
+        plan = (
+            cls.__name__,
+            tuple(
+                f.name
+                for f in dataclasses.fields(cls)
+                if f.compare and f.init and f.name not in ("loc", "mark")
+            ),
+        )
+        _KEY_PLANS[cls] = plan
+    return plan
+
+
+def structural_key(value: Any) -> Hashable:
+    """An exact, hashable fingerprint of ``value``.
+
+    Nodes become ``(class-name, field-key, ...)`` tuples over their
+    comparable fields (``loc`` and ``mark`` are excluded, matching
+    node ``__eq__``); lists become tuples; literals pass through.
+    """
+    if isinstance(value, Node):
+        cls_name, names = _key_plan(type(value))
+        parts: list[Hashable] = [cls_name]
+        for name in names:
+            parts.append(structural_key(getattr(value, name)))
+        return tuple(parts)
+    if isinstance(value, list):
+        return ("[]",) + tuple(structural_key(item) for item in value)
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    # NullValue is a singleton with default (identity) hashing.
+    from repro.meta.frames import NullValue
+
+    if isinstance(value, NullValue):
+        return "<null>"
+    raise Unhashable(
+        f"no structural key for {type(value).__name__} values"
+    )
+
+
+def structural_hash(value: Any) -> int:
+    """Hash of :func:`structural_key` (convenience for diagnostics)."""
+    return hash(structural_key(value))

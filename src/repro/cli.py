@@ -81,8 +81,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="rename template-declared locals automatically",
     )
     expand.add_argument(
-        "--compiled-patterns", action="store_true",
-        help="use compiled per-macro invocation parse routines",
+        "--compiled-patterns", action="store_true", default=True,
+        help="use compiled per-macro invocation parse routines "
+        "(the default; see --no-compiled-patterns)",
+    )
+    expand.add_argument(
+        "--no-compiled-patterns", dest="compiled_patterns",
+        action="store_false",
+        help="parse invocations with the interpreted pattern engine",
+    )
+    expand.add_argument(
+        "--no-cache", dest="cache", action="store_false", default=True,
+        help="disable the expansion cache (re-run every meta-program)",
+    )
+    expand.add_argument(
+        "--stats", action="store_true",
+        help="print pipeline fast-path counters to stderr afterwards",
     )
     expand.add_argument(
         "--keep-meta", action="store_true",
@@ -124,6 +138,7 @@ def cmd_expand(args: argparse.Namespace) -> int:
     mp = MacroProcessor(
         hygienic=args.hygienic,
         compiled_patterns=args.compiled_patterns,
+        cache=args.cache,
     )
     for name in args.package:
         _load_package(mp, name)
@@ -137,6 +152,8 @@ def cmd_expand(args: argparse.Namespace) -> int:
         print(render_c(mp.expand_program(source, str(program))), end="")
     else:
         print(mp.expand_to_c(source, str(program)), end="")
+    if args.stats:
+        print(mp.stats.summary(), file=sys.stderr)
     return 0
 
 

@@ -30,15 +30,18 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.analysis import analyze_macro_purity
 from repro.cast import decls, nodes
 from repro.cast.base import Node
 from repro.cast.printer import render_c
 from repro.errors import ExpansionError
+from repro.macros.cache import ExpansionCache
 from repro.macros.compiled import compile_pattern
 from repro.macros.definition import MacroDefinition, MacroTable
 from repro.macros.expander import Expander
 from repro.meta.interp import Interpreter
 from repro.parser.core import Parser
+from repro.stats import PipelineStats
 
 
 class MacroProcessor:
@@ -54,19 +57,39 @@ class MacroProcessor:
     compiled_patterns:
         Use compiled per-macro invocation parse routines (the paper's
         suggested acceleration) instead of the interpreted pattern
-        engine.
+        engine.  On by default; pass ``False`` to fall back to the
+        interpreted engine.
+    cache:
+        Memoize expansions of macros whose meta-bodies the purity
+        analysis certifies as pure functions of their actuals
+        (:mod:`repro.macros.cache`).  On by default; pass ``False``
+        to re-run every meta-program on every invocation.  Ignored
+        when ``hygienic`` is set: hygienic renaming is a whole-
+        program analysis whose decisions depend on the code
+        *surrounding* each invocation, so its results cannot be
+        replayed at other sites.
     """
 
     def __init__(
         self,
         *,
         hygienic: bool = False,
-        compiled_patterns: bool = False,
+        compiled_patterns: bool = True,
+        cache: bool = True,
     ) -> None:
+        #: Fast-path hit/miss counters for this session.
+        self.stats = PipelineStats()
         self.table = MacroTable()
         self.interpreter = Interpreter()
+        if hygienic:
+            cache = False
+        self.cache = ExpansionCache(self.stats) if cache else None
         self.expander = Expander(
-            self.table, self.interpreter, hygienic=hygienic
+            self.table,
+            self.interpreter,
+            hygienic=hygienic,
+            cache=self.cache,
+            stats=self.stats,
         )
         self.compiled_patterns = compiled_patterns
         self._parser: Parser | None = None
@@ -78,6 +101,10 @@ class MacroProcessor:
     def lookup_macro(self, name: str) -> MacroDefinition | None:
         return self.table.lookup(name)
 
+    def dispatch_macro(self, name: str, position: str) -> MacroDefinition | None:
+        """Single-probe keyword dispatch (the parser's hot path)."""
+        return self.table.dispatch(name, position)
+
     def handle_macro_def(
         self, macro: decls.MacroDef, parser: Parser
     ) -> MacroDefinition:
@@ -87,6 +114,9 @@ class MacroProcessor:
                 definition.pattern, definition.name
             )
         self.table.define(definition)
+        definition.purity = analyze_macro_purity(
+            definition, self.interpreter.globals
+        )
         return definition
 
     def handle_meta_decl(self, meta: decls.MetaDecl, parser: Parser) -> None:
@@ -98,6 +128,19 @@ class MacroProcessor:
         self, fn: decls.FunctionDef, parser: Parser
     ) -> None:
         self.interpreter.define_meta_function(fn)
+        # A (re)defined meta-function can change the behaviour — and
+        # the purity — of macros analyzed earlier: drop stale memo
+        # state and re-analyze lazily at the next definition pass.
+        self._invalidate_purity()
+
+    def _invalidate_purity(self) -> None:
+        if self.cache is not None:
+            self.cache.clear()
+        for name in self.table.defined_names():
+            definition = self.table.lookup(name)
+            definition.purity = analyze_macro_purity(
+                definition, self.interpreter.globals
+            )
 
     def expand_invocation(
         self, invocation: nodes.MacroInvocation, position: str
@@ -135,7 +178,8 @@ class MacroProcessor:
         self, source: str, filename: str = "<string>"
     ) -> Parser:
         parser = Parser(
-            source, host=self, expand_inline=True, filename=filename
+            source, host=self, expand_inline=True, filename=filename,
+            stats=self.stats,
         )
         if self._parser is not None:
             # Later files see typedefs and meta bindings of earlier ones.
@@ -181,10 +225,13 @@ class MacroProcessor:
 
     def define_macros(self, source: str) -> list[str]:
         """Register the macros defined in ``source``; returns their
-        names (convenience for building macro packages)."""
-        before = set(self.table.names())
+        names in definition order (convenience for building macro
+        packages)."""
+        before = set(self.table.defined_names())
         self.load(source)
-        return [n for n in self.table.names() if n not in before]
+        return [
+            n for n in self.table.defined_names() if n not in before
+        ]
 
     @property
     def expansion_count(self) -> int:

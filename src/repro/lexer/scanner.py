@@ -1,7 +1,7 @@
 """The tokenizer for C extended with the macro language's meta-tokens.
 
-The scanner is a straightforward maximal-munch tokenizer.  Two small
-deviations from a stock C tokenizer serve the macro language:
+The scanner is a maximal-munch tokenizer.  Two small deviations from a
+stock C tokenizer serve the macro language:
 
 * meta-tokens (``{|``, ``|}``, ``$$``, ``::``, ``$``, `````` ` ``,
   ``@``) are recognized, longest spelling first, and
@@ -9,11 +9,25 @@ deviations from a stock C tokenizer serve the macro language:
   scanner doubles as the plain C tokenizer used by the token-macro
   baseline.
 
+The hot path is a single compiled *master regex*: one alternation of
+named groups (whitespace, comments, identifiers, numbers, strings,
+chars, meta-tokens, punctuators) compiled once per ``meta`` mode and
+applied with ``match`` at the current offset.  Alternatives are ordered
+so first-match equals maximal munch (e.g. ``<<=`` before ``<<`` before
+``<``).  Identifier, punctuator and meta-token texts are interned so
+repeated spellings share one string object.  Inputs the master regex
+rejects — malformed literals, unterminated strings, stray characters —
+fall back to the original per-character scan routines, which raise the
+exact historical :class:`~repro.errors.LexError` messages.
+
 Comments (``/* */`` and ``//``) are skipped.  Line/column bookkeeping
 feeds :class:`~repro.errors.SourceLocation` on every token.
 """
 
 from __future__ import annotations
+
+import re
+import sys
 
 from repro.errors import LexError, SourceLocation
 from repro.lexer.tokens import (
@@ -38,6 +52,55 @@ _SIMPLE_ESCAPES = {
     '"': '"', "?": "?",
 }
 
+_META_KINDS = dict(META_TOKEN_SPELLINGS)
+
+
+def _build_master(meta: bool) -> re.Pattern[str]:
+    """Compile the master token regex for one scanner mode.
+
+    Group order *is* the munch order: comments before the ``/``
+    punctuator, the valid hex literal before its ``0x``-without-digits
+    error form, floats before ints before the ``.`` punctuator, and
+    meta-tokens (longest spelling first) before punctuators so ``{|``
+    beats ``{`` and ``::`` beats ``:``.
+    """
+    punct_alt = "|".join(re.escape(p) for p in PUNCTUATORS)
+    parts = [
+        r"(?P<ws>[ \t\r\n\f\v]+)",
+        r"(?P<lc>//[^\n]*)",
+        # Unrolled-loop block comment (no catastrophic backtracking).
+        r"(?P<bc>/\*[^*]*\*+(?:[^/*][^*]*\*+)*/)",
+        r"(?P<badbc>/\*)",
+        r"(?P<ident>[A-Za-z_][A-Za-z0-9_]*)",
+        r"(?P<hex>0[xX][0-9a-fA-F]+[uUlL]*)",
+        r"(?P<badhex>0[xX])",
+        # `1.` and `.5` floats, but not `1..2` (range-like `..`), with
+        # an exponent only when it has digits (`1e` lexes as `1`, `e`).
+        r"(?P<flt>(?:[0-9]+\.(?!\.)[0-9]*|\.[0-9]+)(?:[eE][+-]?[0-9]+)?"
+        r"[fFlL]*|[0-9]+[eE][+-]?[0-9]+[fFlL]*)",
+        r"(?P<int>[0-9]+[uUlL]*)",
+        # Well-shaped complete literals only; anything else (newline,
+        # unterminated, bad escape) drops to the slow path / decoder.
+        r'(?P<str>"(?:[^"\\\n]|\\[^\n])*")',
+        r"(?P<chr>'(?:\\x[0-9a-fA-F]+|\\[0-7]{1,3}|\\[^\n]|[^'\\\n])')",
+    ]
+    if meta:
+        meta_alt = "|".join(re.escape(s) for s, _ in META_TOKEN_SPELLINGS)
+        parts.append(f"(?P<meta>{meta_alt})")
+    parts.append(f"(?P<punct>{punct_alt})")
+    return re.compile("|".join(parts))
+
+
+#: One compiled master regex per ``meta`` mode, shared by all scanners.
+_MASTER_CACHE: dict[bool, re.Pattern[str]] = {}
+
+
+def _master_for(meta: bool) -> re.Pattern[str]:
+    pattern = _MASTER_CACHE.get(meta)
+    if pattern is None:
+        pattern = _MASTER_CACHE[meta] = _build_master(meta)
+    return pattern
+
 
 class Scanner:
     """Tokenizes a source buffer into a list of :class:`Token`.
@@ -56,6 +119,9 @@ class Scanner:
         When false, C keywords are returned as plain identifiers.  The
         token-macro baseline uses this mode because CPP does not treat
         keywords specially.
+    stats:
+        Optional :class:`repro.stats.PipelineStats`; when supplied the
+        scanner bumps ``tokens_scanned`` / ``tokens_interned``.
     """
 
     def __init__(
@@ -65,14 +131,21 @@ class Scanner:
         *,
         meta: bool = True,
         keep_keywords: bool = True,
+        stats=None,
     ) -> None:
         self.source = source
         self.filename = filename
         self.meta = meta
         self.keep_keywords = keep_keywords
+        self.stats = stats
         self.pos = 0
         self.line = 1
-        self.col = 1
+        self._line_start = 0
+        self._master = _master_for(meta)
+
+    @property
+    def col(self) -> int:
+        return self.pos - self._line_start + 1
 
     # ------------------------------------------------------------------
     # Public interface
@@ -89,6 +162,80 @@ class Scanner:
 
     def next_token(self) -> Token:
         """Scan and return the next token (EOF at end of buffer)."""
+        source = self.source
+        length = len(source)
+        match = self._master.match
+        while True:
+            if self.pos >= length:
+                return Token(TokenKind.EOF, "", self._loc())
+            m = match(source, self.pos)
+            if m is None:
+                return self._next_token_slow()
+            group = m.lastgroup
+            if group == "ws" or group == "lc" or group == "bc":
+                text = m.group()
+                newlines = text.count("\n")
+                if newlines:
+                    self.line += newlines
+                    self._line_start = self.pos + text.rindex("\n") + 1
+                self.pos = m.end()
+                continue
+            break
+
+        loc = self._loc()
+        text = m.group()
+        self.pos = m.end()
+        stats = self.stats
+        if stats is not None:
+            stats.tokens_scanned += 1
+
+        if group == "ident":
+            interned = sys.intern(text)
+            if stats is not None and interned is not text:
+                stats.tokens_interned += 1
+            if self.keep_keywords and interned in ALL_KEYWORDS:
+                return Token(TokenKind.KEYWORD, interned, loc)
+            return Token(TokenKind.IDENT, interned, loc)
+        if group == "punct":
+            interned = sys.intern(text)
+            if stats is not None and interned is not text:
+                stats.tokens_interned += 1
+            return Token(TokenKind.PUNCT, interned, loc)
+        if group == "int" or group == "hex":
+            return Token(
+                TokenKind.INT_LIT, text, loc, value=_decode_int(text)
+            )
+        if group == "meta":
+            interned = sys.intern(text)
+            if stats is not None and interned is not text:
+                stats.tokens_interned += 1
+            return Token(_META_KINDS[interned], interned, loc)
+        if group == "str":
+            return Token(
+                TokenKind.STRING_LIT, text, loc,
+                value=self._decode_escaped(text[1:-1], loc),
+            )
+        if group == "flt":
+            return Token(
+                TokenKind.FLOAT_LIT, text, loc,
+                value=float(text.rstrip("fFlL")),
+            )
+        if group == "chr":
+            body = text[1:-1]
+            if body.startswith("\\"):
+                body = self._decode_escaped(body, loc)
+            return Token(TokenKind.CHAR_LIT, text, loc, value=ord(body))
+        if group == "badhex":
+            raise LexError("malformed hexadecimal literal", loc)
+        # group == "badbc"
+        raise LexError("unterminated block comment", loc)
+
+    # ------------------------------------------------------------------
+    # Slow path: per-character scan, reached only on inputs the master
+    # regex rejects.  Produces the historical LexError diagnostics.
+    # ------------------------------------------------------------------
+
+    def _next_token_slow(self) -> Token:
         self._skip_whitespace_and_comments()
         if self.pos >= len(self.source):
             return Token(TokenKind.EOF, "", self._loc())
@@ -123,7 +270,10 @@ class Scanner:
     # ------------------------------------------------------------------
 
     def _loc(self) -> SourceLocation:
-        return SourceLocation(self.line, self.col, self.pos, self.filename)
+        return SourceLocation(
+            self.line, self.pos - self._line_start + 1, self.pos,
+            self.filename,
+        )
 
     def _peek(self, ahead: int = 0) -> str:
         index = self.pos + ahead
@@ -132,15 +282,55 @@ class Scanner:
         return ""
 
     def _advance(self, count: int = 1) -> None:
-        for _ in range(count):
-            if self.pos >= len(self.source):
-                return
-            if self.source[self.pos] == "\n":
+        source = self.source
+        pos = self.pos
+        end = min(pos + count, len(source))
+        while pos < end:
+            if source[pos] == "\n":
                 self.line += 1
-                self.col = 1
-            else:
-                self.col += 1
-            self.pos += 1
+                self._line_start = pos + 1
+            pos += 1
+        self.pos = pos
+
+    def _decode_escaped(self, body: str, loc: SourceLocation) -> str:
+        """Decode the escapes of a regex-matched literal body, raising
+        the same diagnostics as the character-at-a-time scanner."""
+        if "\\" not in body:
+            return body
+        out: list[str] = []
+        i = 0
+        n = len(body)
+        while i < n:
+            ch = body[i]
+            if ch != "\\":
+                out.append(ch)
+                i += 1
+                continue
+            i += 1
+            if i >= n:
+                raise LexError("unterminated escape sequence", loc)
+            ch = body[i]
+            if ch in _SIMPLE_ESCAPES:
+                out.append(_SIMPLE_ESCAPES[ch])
+                i += 1
+                continue
+            if ch == "x":
+                i += 1
+                start = i
+                while i < n and body[i] in _HEX_DIGITS:
+                    i += 1
+                if i == start:
+                    raise LexError("malformed hex escape", loc)
+                out.append(chr(int(body[start:i], 16)))
+                continue
+            if ch in _OCTAL_DIGITS:
+                start = i
+                while i < n and body[i] in _OCTAL_DIGITS and i - start < 3:
+                    i += 1
+                out.append(chr(int(body[start:i], 8)))
+                continue
+            raise LexError(f"unknown escape sequence \\{ch}", loc)
+        return "".join(out)
 
     def _skip_whitespace_and_comments(self) -> None:
         while self.pos < len(self.source):

@@ -1,0 +1,193 @@
+"""Memoization of macro expansions.
+
+The paper's expansion model re-runs a macro's meta-program on every
+invocation.  For the (common) macros whose bodies are pure functions
+of their parsed arguments, that work is repeated verbatim: the same
+argument ASTs produce the same replacement AST every time.
+:class:`ExpansionCache` exploits this — it maps
+
+    (macro name, definition generation, structural key of the actuals)
+
+to the fully-expanded result of a previous invocation.  A hit is
+*replayed*: a fresh deep copy of the stored tree whose source
+locations all point at the new invocation site and whose hygiene
+marks are consistently replaced by fresh ones, so the copy is
+indistinguishable from a re-expansion to every downstream consumer
+(hygiene renaming, capture detection, unparser).
+
+Replay is the hot path, so entries are stored *pickled*: the byte
+blob is an immutable snapshot (later in-place passes on the spliced
+original cannot corrupt it) and ``pickle.loads`` rebuilds the whole
+tree in C, an order of magnitude faster than a field-by-field Python
+copy.  The replay-variant parts of a tree are externalized through
+pickle's persistent-ID machinery: every
+:class:`~repro.errors.SourceLocation` pickles as the persistent ID
+``"loc"``, and each distinct hygiene mark pickles as a ``("m", n)``
+ID (via a one-time snapshot walk at store time that wraps mark ints
+in :class:`_MarkToken`).  The unpickler resolves ``"loc"`` to the
+replaying invocation's location and each distinct mark ID to a fresh
+mark from the expander's counter — re-stamping the entire tree as a
+side effect of loading it.
+
+Whether a macro is safe to cache at all is decided once, at
+definition time, by :func:`repro.analysis.analyze_macro_purity` —
+macros that touch ``metadcl`` state, call ``gensym``-like or semantic
+builtins, or call impure meta-functions are never cached, which keeps
+the paper's non-local-transformation examples (the window-procedure
+accumulator) working bit-for-bit with the cache enabled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import pickle
+from typing import TYPE_CHECKING, Any, Callable, Hashable
+
+from repro.cast.base import Node
+from repro.cast.struct_hash import Unhashable, structural_key
+from repro.errors import SourceLocation
+
+if TYPE_CHECKING:
+    from repro.cast import nodes
+    from repro.macros.definition import MacroDefinition
+    from repro.stats import PipelineStats
+
+__all__ = ["ExpansionCache", "replay_result"]
+
+#: The persistent ID standing for "the invocation site" in stored blobs.
+_LOC_PID = "loc"
+
+
+class _MarkToken:
+    """Stands for one distinct hygiene mark inside a stored snapshot."""
+
+    __slots__ = ("pid",)
+
+    def __init__(self, index: int) -> None:
+        self.pid = ("m", index)
+
+
+class _StorePickler(pickle.Pickler):
+    """Externalizes locations and mark tokens while storing a result."""
+
+    def persistent_id(self, obj: Any) -> Any:
+        if isinstance(obj, SourceLocation):
+            return _LOC_PID
+        if isinstance(obj, _MarkToken):
+            return obj.pid
+        return None
+
+
+class _ReplayUnpickler(pickle.Unpickler):
+    """Rebuilds a stored expansion at a new invocation site."""
+
+    def __init__(
+        self,
+        blob: bytes,
+        loc: SourceLocation,
+        fresh_mark: Callable[[], int],
+    ) -> None:
+        super().__init__(io.BytesIO(blob))
+        self._loc = loc
+        self._fresh_mark = fresh_mark
+        self._marks: dict[Any, int] = {}
+
+    def persistent_load(self, pid: Any) -> Any:
+        if pid == _LOC_PID:
+            return self._loc
+        fresh = self._marks.get(pid)
+        if fresh is None:
+            fresh = self._marks[pid] = self._fresh_mark()
+        return fresh
+
+
+#: Per-class snapshot plan: every field name except ``loc``/``mark``.
+_SNAP_PLANS: dict[type, tuple[str, ...]] = {}
+
+
+def _snapshot(value: Any, tokens: dict[int, _MarkToken]) -> Any:
+    """Copy an expansion result, wrapping each distinct mark in a
+    :class:`_MarkToken` so the pickler can externalize it.  Runs once
+    per stored entry (never on the replay path)."""
+    if isinstance(value, Node):
+        cls = value.__class__
+        plan = _SNAP_PLANS.get(cls)
+        if plan is None:
+            plan = _SNAP_PLANS[cls] = tuple(
+                f.name
+                for f in dataclasses.fields(cls)
+                if f.name not in ("loc", "mark")
+            )
+        new = cls.__new__(cls)
+        for name in plan:
+            field_value = getattr(value, name)
+            if isinstance(field_value, (Node, list)):
+                field_value = _snapshot(field_value, tokens)
+            setattr(new, name, field_value)
+        new.loc = value.loc
+        mark = value.mark
+        if mark is not None:
+            token = tokens.get(mark)
+            if token is None:
+                token = tokens[mark] = _MarkToken(len(tokens))
+            mark = token
+        new.mark = mark
+        return new
+    if isinstance(value, list):
+        return [_snapshot(item, tokens) for item in value]
+    return value
+
+
+class ExpansionCache:
+    """A per-session memo table of completed expansions."""
+
+    def __init__(self, stats: "PipelineStats | None" = None) -> None:
+        self._entries: dict[Hashable, bytes] = {}
+        self.stats = stats
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(
+        self,
+        definition: "MacroDefinition",
+        invocation: "nodes.MacroInvocation",
+    ) -> Hashable | None:
+        """The cache key for this invocation, or ``None`` when an
+        actual parameter has no structural key (unhashable payload)."""
+        try:
+            arg_key = structural_key(invocation.args)
+        except Unhashable:
+            return None
+        return (definition.name, definition.generation, arg_key)
+
+    def lookup(self, key: Hashable) -> bytes | None:
+        return self._entries.get(key)
+
+    def store(self, key: Hashable, result: Node | list[Node]) -> None:
+        buffer = io.BytesIO()
+        try:
+            _StorePickler(
+                buffer, protocol=pickle.HIGHEST_PROTOCOL
+            ).dump(_snapshot(result, {}))
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # Result embeds something unpicklable (a closure, a live
+            # definition reference): leave the invocation uncached.
+            return
+        self._entries[key] = buffer.getvalue()
+
+    def clear(self) -> None:
+        """Drop every entry (meta-function redefinition, tests)."""
+        self._entries.clear()
+
+
+def replay_result(
+    cached: bytes,
+    loc: SourceLocation,
+    fresh_mark: Callable[[], int],
+) -> Node | list[Node]:
+    """A fresh instance of a cached expansion, located at ``loc``,
+    with every distinct stored mark consistently replaced by a fresh
+    one drawn from ``fresh_mark``."""
+    return _ReplayUnpickler(cached, loc, fresh_mark).load()

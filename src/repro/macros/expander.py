@@ -21,6 +21,7 @@ from repro.asttypes.types import ListType
 from repro.cast import decls, nodes, stmts
 from repro.cast.base import Node
 from repro.errors import ExpansionError
+from repro.macros.cache import ExpansionCache, replay_result
 from repro.macros.definition import MacroDefinition, MacroTable
 from repro.meta.frames import NULL
 from repro.meta.interp import Interpreter
@@ -30,23 +31,38 @@ MAX_EXPANSION_DEPTH = 200
 
 
 class Expander:
-    """Drives macro expansion over parsed ASTs."""
+    """Drives macro expansion over parsed ASTs.
+
+    When ``cache`` is supplied, invocations of macros certified pure
+    by :func:`repro.analysis.analyze_macro_purity` are memoized: a
+    repeat invocation with structurally equal actuals replays the
+    stored result (deep-copied, fresh locations and marks) instead of
+    re-running the meta-program.
+    """
 
     def __init__(
         self,
         table: MacroTable,
         interpreter: Interpreter | None = None,
         hygienic: bool = False,
+        cache: ExpansionCache | None = None,
+        stats: Any = None,
     ) -> None:
         self.table = table
         self.interpreter = interpreter or Interpreter()
         self.hygienic = hygienic
+        self.cache = cache
+        self.stats = stats
         self._mark_counter = 0
         self._depth = 0
         #: Statistics: how many invocations were expanded.
         self.expansion_count = 0
 
     # ------------------------------------------------------------------
+
+    def _fresh_mark(self) -> int:
+        self._mark_counter += 1
+        return self._mark_counter
 
     def expand_invocation(
         self, invocation: nodes.MacroInvocation
@@ -61,6 +77,27 @@ class Expander:
                 invocation.loc,
             )
 
+        key = None
+        if self.cache is not None:
+            purity = definition.purity
+            if purity is not None and purity.cacheable:
+                key = self.cache.key_for(definition, invocation)
+            if key is None:
+                if self.stats is not None:
+                    self.stats.cache_uncacheable += 1
+            else:
+                cached = self.cache.lookup(key)
+                if cached is not None:
+                    self.expansion_count += 1
+                    if self.stats is not None:
+                        self.stats.cache_hits += 1
+                        self.stats.expansions += 1
+                    return replay_result(
+                        cached, invocation.loc, self._fresh_mark
+                    )
+                if self.stats is not None:
+                    self.stats.cache_misses += 1
+
         self._depth += 1
         if self._depth > MAX_EXPANSION_DEPTH:
             self._depth = 0
@@ -71,8 +108,7 @@ class Expander:
                 invocation.loc,
             )
         try:
-            self._mark_counter += 1
-            mark = self._mark_counter
+            mark = self._fresh_mark()
             bindings = {
                 arg.name: (NULL if arg.value is None else arg.value)
                 for arg in invocation.args
@@ -91,7 +127,11 @@ class Expander:
                 from repro.macros.hygiene import make_hygienic
 
                 result = make_hygienic(result, mark, self.interpreter)
+            if key is not None:
+                self.cache.store(key, result)
             self.expansion_count += 1
+            if self.stats is not None:
+                self.stats.expansions += 1
             return result
         finally:
             self._depth -= 1

@@ -74,6 +74,11 @@ class MacroHost(Protocol):
     def lookup_macro(self, name: str) -> Any | None:
         """Return the macro definition registered under ``name``."""
 
+    def dispatch_macro(self, name: str, position: str) -> Any | None:
+        """Return the macro invocable as ``name`` at ``position``
+        (single-probe dispatch index); optional — the parser falls
+        back to :meth:`lookup_macro` plus a position check."""
+
     def handle_macro_def(self, macro: decls.MacroDef, parser: "Parser") -> Any:
         """Compile and register a just-parsed macro definition."""
 
@@ -116,11 +121,17 @@ class Parser(ExpressionParserMixin):
         *,
         expand_inline: bool = True,
         filename: str = "<string>",
+        stats: Any = None,
     ) -> None:
+        #: Optional :class:`repro.stats.PipelineStats` hooked up by the
+        #: engine; None for standalone parsers.
+        self.stats = stats
         if isinstance(source, TokenStream):
             self.stream = source
         else:
-            self.stream = TokenStream(tokenize(source, filename))
+            self.stream = TokenStream(
+                tokenize(source, filename, stats=stats)
+            )
         self.host = host
         self.expand_inline = expand_inline
         self.filename = filename
@@ -260,6 +271,30 @@ class Parser(ExpressionParserMixin):
             return None
         return self.host.lookup_macro(name)
 
+    def macro_dispatch(self, name: str, position: str):
+        """The macro invocable as ``name`` at ``position``, or None.
+
+        Probes the host's dispatch index (one trie-root hit) when it
+        has one; otherwise degrades to lookup + position check.
+        """
+        host = self.host
+        if host is None:
+            return None
+        dispatch = getattr(host, "dispatch_macro", None)
+        if dispatch is not None:
+            defn = dispatch(name, position)
+        else:
+            defn = host.lookup_macro(name)
+            if defn is not None and defn.ret_spec != position:
+                defn = None
+        stats = self.stats
+        if stats is not None:
+            if defn is not None:
+                stats.dispatch_hits += 1
+            else:
+                stats.dispatch_misses += 1
+        return defn
+
     # ==================================================================
     # Program / top level
     # ==================================================================
@@ -281,8 +316,8 @@ class Parser(ExpressionParserMixin):
         if token.is_keyword("metadcl"):
             return self.parse_meta_declaration()
         if token.kind is TokenKind.IDENT:
-            defn = self.macro_lookup(token.text)
-            if defn is not None and defn.ret_spec == "decl":
+            defn = self.macro_dispatch(token.text, "decl")
+            if defn is not None:
                 return self._invocation_at(defn, "decl")
         if token.kind is TokenKind.PLACEHOLDER:
             return self._placeholder_decl_item(token)
@@ -885,8 +920,8 @@ class Parser(ExpressionParserMixin):
                     if token.is_punct("}"):
                         break
                     if token.kind is TokenKind.IDENT:
-                        defn = self.macro_lookup(token.text)
-                        if defn is not None and defn.ret_spec == "decl":
+                        defn = self.macro_dispatch(token.text, "decl")
+                        if defn is not None:
                             expanded = self._invocation_at(defn, "decl")
                             if isinstance(expanded, list):
                                 declarations.extend(expanded)
@@ -974,8 +1009,8 @@ class Parser(ExpressionParserMixin):
                 return handler(self)
 
         if token.kind is TokenKind.IDENT:
-            defn = self.macro_lookup(token.text)
-            if defn is not None and defn.ret_spec == "stmt":
+            defn = self.macro_dispatch(token.text, "stmt")
+            if defn is not None:
                 expanded = self._invocation_at(defn, "stmt")
                 if isinstance(expanded, list):
                     # A stmt-list macro at a single-statement position
@@ -1352,7 +1387,11 @@ class Parser(ExpressionParserMixin):
         keyword = self.next_token()
         matcher = getattr(defn, "compiled_matcher", None)
         if matcher is not None:
+            if self.stats is not None:
+                self.stats.compiled_parses += 1
             return matcher.parse_invocation(self, defn, keyword)
+        if self.stats is not None:
+            self.stats.interpreted_parses += 1
         inv_parser = InvocationParser(self)
         return inv_parser.parse_invocation(defn, keyword)
 

@@ -233,8 +233,8 @@ class ExpressionParserMixin:
             return self.parse_backquote()
 
         if token.kind is TokenKind.IDENT:
-            defn = self.macro_lookup(token.text)
-            if defn is not None and defn.ret_spec == "exp":
+            defn = self.macro_dispatch(token.text, "exp")
+            if defn is not None:
                 return self.expand_expression_invocation(defn)
             self.next_token()
             return nodes.Identifier(token.text, loc=token.location)

@@ -1,0 +1,72 @@
+"""Hit/miss counters for the fast paths of the pipeline.
+
+One :class:`PipelineStats` instance is threaded through a
+:class:`~repro.engine.MacroProcessor`'s scanner, parser dispatch,
+expander and expansion cache, so a single object answers "what did
+the fast paths actually do" for a whole session.  The CLI exposes it
+via ``python -m repro expand --stats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class PipelineStats:
+    """Counters for one macro-processing session."""
+
+    # -- expansion cache ------------------------------------------------
+    #: Invocations answered by replaying a cached expansion.
+    cache_hits: int = 0
+    #: Cacheable invocations that had to run the meta-program.
+    cache_misses: int = 0
+    #: Invocations of macros the purity analysis refused to cache.
+    cache_uncacheable: int = 0
+
+    # -- compiled dispatch ---------------------------------------------
+    #: Macro-keyword probes answered by the dispatch index.
+    dispatch_hits: int = 0
+    #: Identifier probes that were not macro keywords.
+    dispatch_misses: int = 0
+    #: Invocations parsed by a compiled per-macro routine.
+    compiled_parses: int = 0
+    #: Invocations parsed by the interpreted pattern engine.
+    interpreted_parses: int = 0
+
+    # -- expander -------------------------------------------------------
+    #: Total invocations expanded (cache hits included).
+    expansions: int = 0
+
+    # -- scanner --------------------------------------------------------
+    #: Tokens produced by the master-regex fast path.
+    tokens_scanned: int = 0
+    #: Identifier/punctuator texts answered from the intern table.
+    tokens_interned: int = 0
+
+    def cache_hit_rate(self) -> float:
+        """Hits over cacheable lookups (0.0 when nothing was cacheable)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_uncacheable": self.cache_uncacheable,
+            "cache_hit_rate": round(self.cache_hit_rate(), 4),
+            "dispatch_hits": self.dispatch_hits,
+            "dispatch_misses": self.dispatch_misses,
+            "compiled_parses": self.compiled_parses,
+            "interpreted_parses": self.interpreted_parses,
+            "expansions": self.expansions,
+            "tokens_scanned": self.tokens_scanned,
+            "tokens_interned": self.tokens_interned,
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable rendering (the ``--stats`` output)."""
+        lines = ["-- pipeline stats --"]
+        for key, value in self.as_dict().items():
+            lines.append(f"{key:22} {value}")
+        return "\n".join(lines)

@@ -33,6 +33,7 @@ PUBLIC_MODULES = [
     "repro.cast.printer",
     "repro.cast.sexpr",
     "repro.cast.stmts",
+    "repro.cast.struct_hash",
     "repro.cast.visitor",
     "repro.cli",
     "repro.constfold",
@@ -43,6 +44,7 @@ PUBLIC_MODULES = [
     "repro.lexer.scanner",
     "repro.lexer.tokens",
     "repro.macros",
+    "repro.macros.cache",
     "repro.macros.compiled",
     "repro.macros.definition",
     "repro.macros.expander",
@@ -62,6 +64,7 @@ PUBLIC_MODULES = [
     "repro.parser.exprs",
     "repro.parser.stream",
     "repro.semantics",
+    "repro.stats",
 ]
 
 

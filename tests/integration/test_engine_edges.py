@@ -21,6 +21,14 @@ class TestDefineMacros:
         )
         assert names == ["b"]
 
+    def test_names_in_definition_order_not_alphabetical(self, mp):
+        names = mp.define_macros(
+            "syntax stmt zebra {| ( ) |} { return(`{z();}); }\n"
+            "syntax stmt alpha {| ( ) |} { return(`{a();}); }\n"
+            "syntax stmt mid {| ( ) |} { return(`{m();}); }"
+        )
+        assert names == ["zebra", "alpha", "mid"]
+
 
 class TestSessionReuse:
     def test_macros_persist_across_expand_calls(self, mp):

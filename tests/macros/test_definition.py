@@ -42,7 +42,9 @@ class TestMacroDefinition:
         assert defn.name == "t"
         assert defn.ret_spec == "stmt"
         assert not defn.returns_list
-        assert defn.compiled_matcher is None
+        # Compiled dispatch is the default; the interpreted engine is
+        # opt-in via MacroProcessor(compiled_patterns=False).
+        assert defn.compiled_matcher is not None
 
 
 class TestMacroTable:
