@@ -217,7 +217,35 @@ def measure_speedups(smoke: bool = False) -> dict:
             "cache_hit_rate": fast_stats.cache_hit_rate(),
             "expansions": fast_stats.expansions,
         }
-    return {"smoke": smoke, "workloads": workloads}
+    return {
+        "smoke": smoke,
+        "workloads": workloads,
+        "observability": measure_observability_overhead(smoke=smoke),
+    }
+
+
+def measure_observability_overhead(smoke: bool = False) -> dict:
+    """Cost of the tracing/profiling instrumentation on pure-unroll.
+
+    ``disabled_ms`` is the default configuration (tracer and profiler
+    are ``None``; hot paths pay one None check each) — the number the
+    <2%-overhead budget is judged against.  ``enabled_ms`` turns the
+    full span tracer and phase profiler on.
+    """
+    repeats = 3 if smoke else 5
+    scale = 5 if smoke else 1
+    builder, pkg_names, reps = REPEATED_WORKLOADS["pure-unroll"]
+    src = builder(max(2, reps // scale))
+    disabled = _median_time(src, pkg_names, repeats)
+    enabled = _median_time(
+        src, pkg_names, repeats, trace=True, profile=True
+    )
+    return {
+        "workload": "pure-unroll",
+        "disabled_ms": round(disabled * 1000, 2),
+        "enabled_ms": round(enabled * 1000, 2),
+        "enabled_overhead": round(enabled / disabled - 1, 4),
+    }
 
 
 def emit_trajectory(path: Path, smoke: bool = False) -> dict:
@@ -227,6 +255,19 @@ def emit_trajectory(path: Path, smoke: bool = False) -> dict:
     trajectory = []
     if path.exists():
         trajectory = json.loads(path.read_text()).get("trajectory", [])
+    # Disabled-observability regression vs the previous comparable
+    # point (negative = this point is faster).
+    for prev in reversed(trajectory):
+        if prev.get("smoke") != smoke:
+            continue
+        prev_fast = prev["workloads"].get("pure-unroll", {}).get("fast_ms")
+        if prev_fast:
+            point["observability"]["regression_vs_last"] = round(
+                point["workloads"]["pure-unroll"]["fast_ms"] / prev_fast
+                - 1,
+                4,
+            )
+        break
     trajectory.append(point)
     path.write_text(
         json.dumps({"trajectory": trajectory}, indent=2) + "\n"

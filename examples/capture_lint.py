@@ -47,6 +47,10 @@ void f(int saved)
 }
 """
 
+#: `repro trace` loads just the gensym variant (loading both variants
+#: would redefine ``save_level``).
+TRACE_SOURCES = [GENSYM_MACRO]
+
 
 def show(title: str, macro_src: str, hygienic: bool) -> None:
     print("=" * 64)

@@ -23,6 +23,9 @@ void worker(int h)
 }
 """
 
+#: `repro trace` needs a target selected before the vm_ macros fire.
+TRACE_PROGRAM = "vm_target unix;\n" + PROGRAM
+
 
 def main() -> None:
     for target in ("unix", "windows"):

@@ -18,6 +18,15 @@ from repro import MacroProcessor, MacroTypeError
 from repro.baseline import CharMacroProcessor, TokenMacroProcessor
 from repro.baseline.tokmacro import render_tokens
 
+#: `repro trace` hooks: the syntax-level MULT demo, traceable as
+#: ``python -m repro trace examples/taxonomy_tour.py``.
+TRACE_SOURCES = [
+    "syntax exp MULT {| ( $$exp::a , $$exp::b ) |}"
+    "{ return(`($a * $b)); }"
+]
+
+TRACE_PROGRAM = "void f(void) { r = MULT(x + y, m + n); }"
+
 
 def character_level() -> None:
     print("=" * 64)

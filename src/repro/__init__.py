@@ -33,6 +33,8 @@ if _sys.getrecursionlimit() < 20_000:
 from repro.cast.printer import render_c
 from repro.cast.sexpr import render_sexpr
 from repro.engine import MacroProcessor, expand_source
+from repro.provenance import ExpandedLocation, ExpansionSite
+from repro.trace import ExpansionSpan, PhaseProfiler, Tracer
 from repro.errors import (
     ExpansionError,
     LexError,
@@ -48,7 +50,10 @@ from repro.errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExpandedLocation",
     "ExpansionError",
+    "ExpansionSite",
+    "ExpansionSpan",
     "LexError",
     "MacroProcessor",
     "MacroSyntaxError",
@@ -57,7 +62,9 @@ __all__ = [
     "Ms2Error",
     "ParseError",
     "PatternLookaheadError",
+    "PhaseProfiler",
     "SourceLocation",
+    "Tracer",
     "expand_source",
     "render_c",
     "render_sexpr",

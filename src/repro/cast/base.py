@@ -46,13 +46,38 @@ class Node:
     sexpr_name: ClassVar[str] = ""
 
 
-def node_fields(obj: Node) -> list[dataclasses.Field]:
+#: Per-class caches for dataclass field introspection.  ``fields()``
+#: re-derives its result on every call, and the generic traversals
+#: below (``children``/``walk``/``rebuild``/``clone``) sit on the
+#: pipeline's hottest paths — template instantiation, hygiene marking,
+#: provenance restamping — so the metadata is computed once per node
+#: class instead.
+_NODE_FIELDS: dict[type, tuple[dataclasses.Field, ...]] = {}
+_INIT_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+
+def node_fields(obj: Node) -> tuple[dataclasses.Field, ...]:
     """The substantive (comparable, init) fields of a node."""
-    return [
-        f
-        for f in dataclasses.fields(obj)
-        if f.compare and f.init and f.name not in ("loc", "mark")
-    ]
+    cls = obj.__class__
+    cached = _NODE_FIELDS.get(cls)
+    if cached is None:
+        cached = _NODE_FIELDS[cls] = tuple(
+            f
+            for f in dataclasses.fields(obj)
+            if f.compare and f.init and f.name not in ("loc", "mark")
+        )
+    return cached
+
+
+def _init_field_names(obj: Node) -> tuple[str, ...]:
+    """Names of every ``init`` field of a node, cached per class."""
+    cls = obj.__class__
+    cached = _INIT_FIELD_NAMES.get(cls)
+    if cached is None:
+        cached = _INIT_FIELD_NAMES[cls] = tuple(
+            f.name for f in dataclasses.fields(obj) if f.init
+        )
+    return cached
 
 
 def children(obj: Node) -> Iterator[Node]:
@@ -84,15 +109,13 @@ def rebuild(obj: Node, mapper: Callable[[Any], Any]) -> Node:
     instantiation.
     """
     kwargs: dict[str, Any] = {}
-    for f in dataclasses.fields(obj):
-        if not f.init:
-            continue
-        value = getattr(obj, f.name)
-        if f.name in ("loc", "mark"):
-            kwargs[f.name] = value
+    for name in _init_field_names(obj):
+        value = getattr(obj, name)
+        if name in ("loc", "mark"):
+            kwargs[name] = value
             continue
         if isinstance(value, Node):
-            kwargs[f.name] = mapper(value)
+            kwargs[name] = mapper(value)
         elif isinstance(value, list):
             out: list[Any] = []
             for item in value:
@@ -101,9 +124,9 @@ def rebuild(obj: Node, mapper: Callable[[Any], Any]) -> Node:
                     out.extend(mapped)
                 else:
                     out.append(mapped)
-            kwargs[f.name] = out
+            kwargs[name] = out
         else:
-            kwargs[f.name] = value
+            kwargs[name] = value
     return type(obj)(**kwargs)
 
 

@@ -301,3 +301,6 @@ class MacroInvocation(Node):
     name: str
     args: list[MacroArg]
     definition: Any = field(compare=False, default=None, repr=False)
+    #: How the invocation was parsed (``"compiled"`` /
+    #: ``"interpreted"``); recorded by the parser for tracing spans.
+    parse_mode: str | None = field(compare=False, default=None, repr=False)

@@ -33,17 +33,34 @@ POSTFIX_PREC = 16
 PRIMARY_PREC = 17
 
 
-def render_c(node: object, indent: str = "    ") -> str:
-    """Render an AST node (or list of top-level items) as C source."""
-    printer = CPrinter(indent=indent)
+def render_c(
+    node: object, indent: str = "    ", annotate: bool = False
+) -> str:
+    """Render an AST node (or list of top-level items) as C source.
+
+    With ``annotate=True``, macro-generated code is marked with
+    ``/* <- Macro @ file:line */`` provenance comments and top-level
+    items are preceded by ``#line`` directives mapping the output back
+    to the user source that produced it (see :mod:`repro.provenance`).
+    """
+    printer = CPrinter(indent=indent, annotate=annotate)
     return printer.render(node)
+
+
+def _frames(node: object) -> tuple:
+    """The expansion backtrace riding on a node's location (duck-typed
+    so this module needs no provenance import)."""
+    loc = getattr(node, "loc", None)
+    return getattr(loc, "expanded_from", ())
 
 
 class CPrinter:
     """Stateful pretty-printer.  ``render`` dispatches on node class."""
 
-    def __init__(self, indent: str = "    ") -> None:
+    def __init__(self, indent: str = "    ", annotate: bool = False) -> None:
         self.indent_unit = indent
+        #: Emit provenance comments + ``#line`` directives.
+        self.annotate = annotate
 
     # ------------------------------------------------------------------
     # Entry points
@@ -84,12 +101,21 @@ class CPrinter:
     # ------------------------------------------------------------------
 
     def top_level(self, item: Node) -> str:
+        text = self._top_level_text(item)
+        if not self.annotate:
+            return text
+        return self._annotated_top_level(item, text)
+
+    def _top_level_text(self, item: Node) -> str:
         if isinstance(item, decls.FunctionDef):
             return self.function_def(item)
         if isinstance(item, decls.Declaration):
             return self.declaration(item) + "\n"
         if isinstance(item, decls.MetaDecl):
-            return "metadcl " + self.top_level(item.inner).rstrip("\n") + "\n"
+            return (
+                "metadcl " + self._top_level_text(item.inner).rstrip("\n")
+                + "\n"
+            )
         if isinstance(item, decls.MacroDef):
             return self.macro_def(item)
         if isinstance(item, decls.PlaceholderDecl):
@@ -97,6 +123,34 @@ class CPrinter:
         if isinstance(item, nodes.MacroInvocation):
             return self.macro_invocation(item) + "\n"
         raise TypeError(f"cannot print top-level item {type(item).__name__}")
+
+    def _annotated_top_level(self, item: Node, text: str) -> str:
+        frames = _frames(item)
+        parts = []
+        directive = self._line_directive(item, frames)
+        if directive:
+            parts.append(directive)
+        if frames:
+            parts.append(self._provenance_comment(frames))
+        parts.append(text)
+        return "\n".join(parts)
+
+    def _line_directive(self, item: Node, frames: tuple) -> str | None:
+        # Map generated items back to the user source that produced
+        # them (the outermost expansion frame); ordinary items map to
+        # their own location.
+        target = frames[-1].location if frames else getattr(item, "loc", None)
+        if target is None or target.line <= 0:
+            return None
+        if target.filename == "<synthetic>":
+            return None
+        return f'#line {target.line} "{target.filename}"'
+
+    @staticmethod
+    def _provenance_comment(frames: tuple) -> str:
+        inner = frames[0]
+        user = frames[-1].location
+        return f"/* <- {inner.macro} @ {user.filename}:{user.line} */"
 
     def function_def(self, fn: decls.FunctionDef) -> str:
         header = self.specs_and_declarator(fn.specs, fn.declarator)
@@ -313,12 +367,32 @@ class CPrinter:
     def compound(self, c: stmts.CompoundStmt, level: int) -> str:
         pad = self.indent_unit * level
         lines = [pad + "{"]
-        for d in c.decls:
-            lines.append(self.stmt(d, level + 1))
-        for s in c.stmts:
-            lines.append(self.stmt(s, level + 1))
+        if self.annotate:
+            enclosing = _frames(c)
+            for d in c.decls:
+                lines.append(self._compound_child(d, level + 1, enclosing))
+            for s in c.stmts:
+                lines.append(self._compound_child(s, level + 1, enclosing))
+        else:
+            for d in c.decls:
+                lines.append(self.stmt(d, level + 1))
+            for s in c.stmts:
+                lines.append(self.stmt(s, level + 1))
         lines.append(pad + "}")
         return "\n".join(lines)
+
+    def _compound_child(
+        self, s: Node, level: int, enclosing: tuple
+    ) -> str:
+        """Print a compound child, flagging transitions into code with
+        a *different* (e.g. deeper) expansion backtrace than the
+        enclosing block."""
+        text = self.stmt(s, level)
+        frames = _frames(s)
+        if frames and frames != enclosing:
+            head, sep, rest = text.partition("\n")
+            text = f"{head} {self._provenance_comment(frames)}{sep}{rest}"
+        return text
 
     def _body(self, s: Node, level: int) -> str:
         """Print a statement used as a control-flow body."""
@@ -443,7 +517,7 @@ class CPrinter:
             body = self.stmt(b.template, 0)
             return f"`{body}" if body.startswith("{") else f"`{{{body}}}"
         if b.form == "decl":
-            return f"`[{self.top_level(b.template).rstrip()}]"
+            return f"`[{self._top_level_text(b.template).rstrip()}]"
         return "`{| ... |}"
 
     def anon_function(self, fn: nodes.AnonFunction) -> str:

@@ -5,6 +5,9 @@ Usage (also via ``python -m repro``)::
     python -m repro expand prog.c               # expand to stdout
     python -m repro expand -p exceptions prog.c # preload a package
     python -m repro expand --hygienic prog.c
+    python -m repro expand --profile --annotate prog.c
+    python -m repro trace -p loops prog.c       # expansion span tree
+    python -m repro trace examples/quickstart.py
     python -m repro macros -p exceptions        # list macro keywords
     python -m repro figures                     # print Figures 2 and 3
 
@@ -99,8 +102,48 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="print pipeline fast-path counters to stderr afterwards",
     )
     expand.add_argument(
+        "--stats-json", action="store_true",
+        help="print pipeline counters as JSON to stderr afterwards",
+    )
+    expand.add_argument(
+        "--profile", action="store_true",
+        help="time each pipeline phase; print the table to stderr",
+    )
+    expand.add_argument(
+        "--annotate", action="store_true",
+        help="mark macro-generated code with provenance comments and "
+        "#line directives",
+    )
+    expand.add_argument(
         "--keep-meta", action="store_true",
         help="keep syntax/metadcl items in the output",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="expand, then render the nested macro-expansion span tree",
+    )
+    trace.add_argument(
+        "files", nargs="+", type=Path,
+        help="input files as for 'expand'; alternatively a single "
+        "example script (*.py) exposing PROGRAM/TRACE_PROGRAM",
+    )
+    trace.add_argument(
+        "-p", "--package", action="append", default=[],
+        metavar="NAME", choices=PACKAGE_NAMES,
+        help=f"preload a standard package ({', '.join(PACKAGE_NAMES)})",
+    )
+    trace.add_argument(
+        "--no-cache", dest="cache", action="store_false", default=True,
+        help="disable the expansion cache (every span shows a miss)",
+    )
+    trace.add_argument(
+        "--profile", action="store_true",
+        help="also print the per-phase wall-time table",
+    )
+    trace.add_argument(
+        "--jsonl", type=Path, metavar="PATH",
+        help="append completed spans to PATH as JSON lines",
     )
 
     macros = sub.add_parser("macros", help="list defined macro keywords")
@@ -139,6 +182,7 @@ def cmd_expand(args: argparse.Namespace) -> int:
         hygienic=args.hygienic,
         compiled_patterns=args.compiled_patterns,
         cache=args.cache,
+        profile=args.profile,
     )
     for name in args.package:
         _load_package(mp, name)
@@ -149,11 +193,93 @@ def cmd_expand(args: argparse.Namespace) -> int:
     if args.keep_meta:
         from repro.cast.printer import render_c
 
-        print(render_c(mp.expand_program(source, str(program))), end="")
+        unit = mp.expand_program(source, str(program))
+        print(render_c(unit, annotate=args.annotate), end="")
     else:
-        print(mp.expand_to_c(source, str(program)), end="")
+        print(
+            mp.expand_to_c(source, str(program), annotate=args.annotate),
+            end="",
+        )
     if args.stats:
         print(mp.stats.summary(), file=sys.stderr)
+    if args.stats_json:
+        import json
+
+        print(json.dumps(mp.stats.as_dict()), file=sys.stderr)
+    if args.profile:
+        print(mp.stats.profile_summary(), file=sys.stderr)
+    return 0
+
+
+def _trace_example(mp: MacroProcessor, path: Path) -> tuple[str, str]:
+    """Load an ``examples/*.py`` script's macros into ``mp`` and
+    return its traceable program source.
+
+    The protocol: the module's ``TRACE_PROGRAM`` (or, failing that,
+    ``PROGRAM``) string is the program to expand; every
+    ``repro.packages.*`` module it imported is registered; every
+    source string named in its ``TRACE_SOURCES`` list is loaded as a
+    macro package first.
+    """
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    if spec is None or spec.loader is None:
+        raise SystemExit(f"cannot import example {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    program = getattr(module, "TRACE_PROGRAM", None) or getattr(
+        module, "PROGRAM", None
+    )
+    if program is None:
+        raise SystemExit(
+            f"{path} defines neither TRACE_PROGRAM nor PROGRAM; "
+            "nothing to trace"
+        )
+    for value in vars(module).values():
+        if (
+            getattr(value, "__name__", "").startswith("repro.packages.")
+            and hasattr(value, "register")
+        ):
+            value.register(mp)
+    for source in getattr(module, "TRACE_SOURCES", []):
+        mp.load(source, f"<{path.stem} macros>")
+    return program, str(path)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: expand, then print the expansion span tree."""
+    jsonl_stream = args.jsonl.open("w") if args.jsonl else None
+    mp = MacroProcessor(
+        trace=True,
+        trace_jsonl=jsonl_stream,
+        profile=args.profile,
+        cache=args.cache,
+    )
+    try:
+        if len(args.files) == 1 and args.files[0].suffix == ".py":
+            source, filename = _trace_example(mp, args.files[0])
+        else:
+            for name in args.package:
+                _load_package(mp, name)
+            *package_files, program = args.files
+            for path in package_files:
+                mp.load(path.read_text(), str(path))
+            source, filename = program.read_text(), str(program)
+        mp.expand_to_c(source, filename)
+    except Ms2Error:
+        # Show the spans recorded up to the failure, then let main()
+        # format the error (with its expansion backtrace).
+        print(mp.tracer.render_tree())
+        raise
+    finally:
+        mp.tracer.close()
+        if jsonl_stream is not None:
+            jsonl_stream.close()
+    print(mp.tracer.render_tree())
+    if args.profile:
+        print(mp.stats.profile_summary())
     return 0
 
 
@@ -224,6 +350,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "expand":
             return cmd_expand(args)
+        if args.command == "trace":
+            return cmd_trace(args)
         if args.command == "macros":
             return cmd_macros(args)
         if args.command == "figures":

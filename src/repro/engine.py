@@ -42,6 +42,7 @@ from repro.macros.expander import Expander
 from repro.meta.interp import Interpreter
 from repro.parser.core import Parser
 from repro.stats import PipelineStats
+from repro.trace import PhaseProfiler, Tracer
 
 
 class MacroProcessor:
@@ -68,6 +69,23 @@ class MacroProcessor:
         program analysis whose decisions depend on the code
         *surrounding* each invocation, so its results cannot be
         replayed at other sites.
+    trace:
+        Record an :class:`~repro.trace.ExpansionSpan` tree for every
+        macro invocation (see :mod:`repro.trace`); rendered by
+        ``repro trace`` and inspectable via :attr:`tracer`.
+    trace_hooks:
+        Callables invoked as ``hook(event, span)`` on span start /
+        end / error — the subscription API for tests and external
+        tools.  Supplying hooks implies ``trace=True``.
+    trace_jsonl:
+        Optional writable text stream; completed spans are appended
+        as JSON lines.  Implies ``trace=True``.  The stream stays
+        owned by the caller.
+    profile:
+        Aggregate per-phase wall time (scan / dispatch /
+        invocation-parse / type-check / meta-eval / template-fill /
+        print) into :attr:`stats`; see
+        :meth:`~repro.stats.PipelineStats.profile_summary`.
     """
 
     def __init__(
@@ -76,11 +94,27 @@ class MacroProcessor:
         hygienic: bool = False,
         compiled_patterns: bool = True,
         cache: bool = True,
+        trace: bool = False,
+        trace_hooks: list[Any] | None = None,
+        trace_jsonl: Any = None,
+        profile: bool = False,
     ) -> None:
         #: Fast-path hit/miss counters for this session.
         self.stats = PipelineStats()
+        #: Expansion-span recorder, or None when tracing is off.
+        self.tracer: Tracer | None = (
+            Tracer(hooks=trace_hooks, jsonl=trace_jsonl)
+            if (trace or trace_hooks or trace_jsonl is not None)
+            else None
+        )
+        #: Phase-timer aggregator, or None when profiling is off.
+        self.profiler: PhaseProfiler | None = (
+            PhaseProfiler(self.stats) if profile else None
+        )
         self.table = MacroTable()
         self.interpreter = Interpreter()
+        self.interpreter.stats = self.stats
+        self.interpreter.profiler = self.profiler
         if hygienic:
             cache = False
         self.cache = ExpansionCache(self.stats) if cache else None
@@ -90,6 +124,8 @@ class MacroProcessor:
             hygienic=hygienic,
             cache=self.cache,
             stats=self.stats,
+            tracer=self.tracer,
+            profiler=self.profiler,
         )
         self.compiled_patterns = compiled_patterns
         self._parser: Parser | None = None
@@ -179,7 +215,7 @@ class MacroProcessor:
     ) -> Parser:
         parser = Parser(
             source, host=self, expand_inline=True, filename=filename,
-            stats=self.stats,
+            stats=self.stats, profiler=self.profiler,
         )
         if self._parser is not None:
             # Later files see typedefs and meta bindings of earlier ones.
@@ -217,9 +253,25 @@ class MacroProcessor:
         ]
         return decls.TranslationUnit(items, loc=unit.loc)
 
-    def expand_to_c(self, source: str, filename: str = "<string>") -> str:
-        """Full pipeline: source with macros in, plain C text out."""
-        return render_c(self.expand_to_ast(source, filename))
+    def expand_to_c(
+        self,
+        source: str,
+        filename: str = "<string>",
+        *,
+        annotate: bool = False,
+    ) -> str:
+        """Full pipeline: source with macros in, plain C text out.
+
+        With ``annotate=True`` the printer emits provenance comments
+        (``/* <- Macro @ file:line */``) on macro-generated code and
+        ``#line`` directives mapping the output back to user source.
+        """
+        unit = self.expand_to_ast(source, filename)
+        prof = self.profiler
+        if prof is None:
+            return render_c(unit, annotate=annotate)
+        with prof.phase("print"):
+            return render_c(unit, annotate=annotate)
 
     # ------------------------------------------------------------------
 

@@ -43,9 +43,32 @@ class Ms2Error(Exception):
         super().__init__(self._format())
 
     def _format(self) -> str:
-        if self.location is None:
+        """Render the error for the user.
+
+        Locations carrying an expansion backtrace (see
+        :mod:`repro.provenance`; duck-typed here via the
+        ``expanded_from`` attribute so this module stays import-free)
+        render as a multi-frame "expanded from Macro at file:line:col"
+        trace ending at user source — never as the bare
+        ``<synthetic>`` position.
+        """
+        loc = self.location
+        if loc is None:
             return self.message
-        return f"{self.location}: {self.message}"
+        frames = getattr(loc, "expanded_from", ())
+        if not frames:
+            return f"{loc}: {self.message}"
+        primary: SourceLocation = loc
+        if loc.filename == SYNTHETIC.filename:
+            # Synthesized node with no written-at position: lead with
+            # the innermost invocation site instead.
+            primary = frames[0].location
+        lines = [f"{primary}: {self.message}"]
+        for frame in frames:
+            lines.append(
+                f"  expanded from {frame.macro} at {frame.location}"
+            )
+        return "\n".join(lines)
 
 
 class LexError(Ms2Error):

@@ -20,11 +20,18 @@ from typing import Any
 from repro.asttypes.types import ListType
 from repro.cast import decls, nodes, stmts
 from repro.cast.base import Node
-from repro.errors import ExpansionError
+from repro.errors import ExpansionError, Ms2Error
 from repro.macros.cache import ExpansionCache, replay_result
 from repro.macros.definition import MacroDefinition, MacroTable
 from repro.meta.frames import NULL
 from repro.meta.interp import Interpreter
+from repro.provenance import (
+    ExpansionSite,
+    expansion_chain,
+    provenance_of,
+    replay_location,
+    restamp_tree,
+)
 
 #: Guard against macros that expand into themselves forever.
 MAX_EXPANSION_DEPTH = 200
@@ -47,12 +54,18 @@ class Expander:
         hygienic: bool = False,
         cache: ExpansionCache | None = None,
         stats: Any = None,
+        tracer: Any = None,
+        profiler: Any = None,
     ) -> None:
         self.table = table
         self.interpreter = interpreter or Interpreter()
         self.hygienic = hygienic
         self.cache = cache
         self.stats = stats
+        #: Optional :class:`repro.trace.Tracer` (expansion spans).
+        self.tracer = tracer
+        #: Optional :class:`repro.trace.PhaseProfiler`.
+        self.profiler = profiler
         self._mark_counter = 0
         self._depth = 0
         #: Statistics: how many invocations were expanded.
@@ -77,12 +90,40 @@ class Expander:
                 invocation.loc,
             )
 
+        # The expansion backtrace for everything this invocation
+        # produces: this site, then the frames already riding on the
+        # invocation's location (present when the invocation node was
+        # itself macro-generated).
+        chain = expansion_chain(definition.name, invocation.loc)
+
+        tracer = self.tracer
+        span = tracer.begin(definition, invocation) if tracer else None
+        try:
+            result, cache_status = self._expand_uncached_or_replay(
+                definition, invocation, chain
+            )
+        except Ms2Error as exc:
+            if span is not None:
+                tracer.fail(span, exc)
+            raise self._with_provenance(exc, chain) from None
+        if span is not None:
+            tracer.end(span, result, cache_status)
+        return result
+
+    def _expand_uncached_or_replay(
+        self,
+        definition: MacroDefinition,
+        invocation: nodes.MacroInvocation,
+        chain: tuple[ExpansionSite, ...],
+    ) -> tuple[Node | list[Node], str]:
+        cache_status = "off"
         key = None
         if self.cache is not None:
             purity = definition.purity
             if purity is not None and purity.cacheable:
                 key = self.cache.key_for(definition, invocation)
             if key is None:
+                cache_status = "uncacheable"
                 if self.stats is not None:
                     self.stats.cache_uncacheable += 1
             else:
@@ -92,9 +133,18 @@ class Expander:
                     if self.stats is not None:
                         self.stats.cache_hits += 1
                         self.stats.expansions += 1
-                    return replay_result(
-                        cached, invocation.loc, self._fresh_mark
+                    # Replayed nodes are re-stamped with the *replay*
+                    # site's backtrace, so a hit at a second call site
+                    # reports the second site, not the first.
+                    return (
+                        replay_result(
+                            cached,
+                            replay_location(invocation.loc, chain),
+                            self._fresh_mark,
+                        ),
+                        "hit",
                     )
+                cache_status = "miss"
                 if self.stats is not None:
                     self.stats.cache_misses += 1
 
@@ -116,25 +166,59 @@ class Expander:
 
             saved_mark = self.interpreter.current_mark
             self.interpreter.current_mark = mark
+            prof = self.profiler
             try:
-                result = self.interpreter.call_macro(definition, bindings)
+                if prof is None:
+                    result = self.interpreter.call_macro(
+                        definition, bindings
+                    )
+                else:
+                    with prof.phase("meta-eval"):
+                        result = self.interpreter.call_macro(
+                            definition, bindings
+                        )
             finally:
                 self.interpreter.current_mark = saved_mark
 
             result = self._check_result(definition, result, invocation)
+            # Stamp provenance on macro-origin nodes *before* the
+            # recursive pass, so nested invocations inherit this
+            # chain and extend it with their own frame.
+            restamp_tree(result, chain, mark)
             result = self.expand_tree(result)
             if self.hygienic:
                 from repro.macros.hygiene import make_hygienic
 
-                result = make_hygienic(result, mark, self.interpreter)
+                result = make_hygienic(
+                    result, mark, self.interpreter, stats=self.stats
+                )
             if key is not None:
                 self.cache.store(key, result)
             self.expansion_count += 1
             if self.stats is not None:
                 self.stats.expansions += 1
-            return result
+            return result, cache_status
         finally:
             self._depth -= 1
+
+    @staticmethod
+    def _with_provenance(
+        exc: Ms2Error, chain: tuple[ExpansionSite, ...]
+    ) -> Ms2Error:
+        """Attach the expansion backtrace to an error raised during
+        this expansion, unless an inner expansion already did."""
+        if provenance_of(exc.location):
+            return exc
+        loc = exc.location
+        if loc is None:
+            from repro.errors import SYNTHETIC
+
+            loc = SYNTHETIC
+        stamped = replay_location(loc, chain)
+        try:
+            return type(exc)(exc.message, stamped)
+        except TypeError:
+            return exc
 
     def _check_result(
         self,

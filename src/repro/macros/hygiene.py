@@ -25,7 +25,7 @@ from repro.meta.interp import Interpreter
 
 
 def make_hygienic(
-    tree: Node | list, mark: int, interpreter: Interpreter
+    tree: Node | list, mark: int, interpreter: Interpreter, stats: Any = None
 ) -> Any:
     """Rename template-declared locals in ``tree`` to fresh names.
 
@@ -33,9 +33,10 @@ def make_hygienic(
     created by this expansion's templates) are renamed, and only
     references that also carry ``mark`` are redirected — a placeholder
     substitution that happens to use the same spelling keeps its
-    meaning.
+    meaning.  ``stats`` (a :class:`~repro.stats.PipelineStats`) counts
+    each distinct rename when supplied.
     """
-    renamer = _Renamer(mark, interpreter)
+    renamer = _Renamer(mark, interpreter, stats)
     if isinstance(tree, list):
         for item in tree:
             renamer.process(item)
@@ -45,9 +46,12 @@ def make_hygienic(
 
 
 class _Renamer:
-    def __init__(self, mark: int, interpreter: Interpreter) -> None:
+    def __init__(
+        self, mark: int, interpreter: Interpreter, stats: Any = None
+    ) -> None:
         self.mark = mark
         self.interpreter = interpreter
+        self.stats = stats
 
     def process(self, root: Node) -> None:
         for node in walk(root):
@@ -68,6 +72,8 @@ class _Renamer:
                 if old not in renames:
                     fresh = self.interpreter.gensym(old).name
                     renames[old] = fresh
+                    if self.stats is not None:
+                        self.stats.hygiene_renames += 1
                 name_decl.name = renames[old]
         if not renames:
             return

@@ -61,6 +61,10 @@ class Interpreter:
         #: The C scope live at the invocation site (semantic-macro
         #: substrate, §5); set by the engine before each expansion.
         self.semantic_scope = None
+        #: Optional :class:`~repro.stats.PipelineStats` and
+        #: :class:`~repro.trace.PhaseProfiler`, hooked up by the engine.
+        self.stats = None
+        self.profiler = None
 
     # ==================================================================
     # Public entry points
@@ -69,6 +73,8 @@ class Interpreter:
     def gensym(self, prefix: str = "g") -> nodes.Identifier:
         """A fresh identifier that cannot collide with user code."""
         self._gensym_counter += 1
+        if self.stats is not None:
+            self.stats.gensym_calls += 1
         return nodes.Identifier(
             f"__{prefix}_{self._gensym_counter}", loc=SYNTHETIC
         )
@@ -527,11 +533,19 @@ class Interpreter:
     # -- meta forms -----------------------------------------------------------
 
     def _eval_Backquote(self, e: nodes.Backquote, frame: Frame) -> Any:
-        return instantiate(
-            e.template,
-            evalfn=lambda meta_expr: self.eval(meta_expr, frame),
-            mark=self.current_mark,
-        )
+        prof = self.profiler
+        if prof is None:
+            return instantiate(
+                e.template,
+                evalfn=lambda meta_expr: self.eval(meta_expr, frame),
+                mark=self.current_mark,
+            )
+        with prof.phase("template-fill"):
+            return instantiate(
+                e.template,
+                evalfn=lambda meta_expr: self.eval(meta_expr, frame),
+                mark=self.current_mark,
+            )
 
     def _eval_AnonFunction(self, e: nodes.AnonFunction, frame: Frame) -> Any:
         return Closure(

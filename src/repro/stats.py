@@ -1,10 +1,13 @@
-"""Hit/miss counters for the fast paths of the pipeline.
+"""Counters and phase aggregates for the pipeline's observability layer.
 
 One :class:`PipelineStats` instance is threaded through a
 :class:`~repro.engine.MacroProcessor`'s scanner, parser dispatch,
-expander and expansion cache, so a single object answers "what did
-the fast paths actually do" for a whole session.  The CLI exposes it
-via ``python -m repro expand --stats``.
+expander, hygiene renamer, meta-interpreter and expansion cache, so a
+single object answers "what did the pipeline actually do" for a whole
+session.  The CLI exposes it via ``python -m repro expand --stats``
+(text), ``--stats-json`` (machine-readable) and ``--profile``
+(per-phase wall time, populated when the
+:class:`~repro.trace.PhaseProfiler` is enabled).
 """
 
 from __future__ import annotations
@@ -38,19 +41,38 @@ class PipelineStats:
     #: Total invocations expanded (cache hits included).
     expansions: int = 0
 
+    # -- hygiene / meta builtins ---------------------------------------
+    #: Template-declared locals renamed by the hygienic renamer.
+    hygiene_renames: int = 0
+    #: ``gensym`` calls (explicit in meta-programs, plus those issued
+    #: by the hygienic renamer itself).
+    gensym_calls: int = 0
+
     # -- scanner --------------------------------------------------------
     #: Tokens produced by the master-regex fast path.
     tokens_scanned: int = 0
     #: Identifier/punctuator texts answered from the intern table.
     tokens_interned: int = 0
 
+    # -- phase profiler (populated only under ``profile=True``) --------
+    #: Cumulative wall seconds per pipeline phase.  Phases nest, so
+    #: totals overlap (``meta-eval`` contains ``template-fill``).
+    phase_seconds: dict = field(default_factory=dict)
+    #: Number of timed entries per phase.
+    phase_calls: dict = field(default_factory=dict)
+
     def cache_hit_rate(self) -> float:
         """Hits over cacheable lookups (0.0 when nothing was cacheable)."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
-    def as_dict(self) -> dict[str, int | float]:
-        return {
+    def as_dict(self) -> dict:
+        """Machine-readable snapshot (the ``--stats-json`` payload).
+
+        The ``phases`` sub-dict appears only when the phase profiler
+        actually recorded timings (``profile=True`` sessions).
+        """
+        out = {
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_uncacheable": self.cache_uncacheable,
@@ -60,13 +82,50 @@ class PipelineStats:
             "compiled_parses": self.compiled_parses,
             "interpreted_parses": self.interpreted_parses,
             "expansions": self.expansions,
+            "hygiene_renames": self.hygiene_renames,
+            "gensym_calls": self.gensym_calls,
             "tokens_scanned": self.tokens_scanned,
             "tokens_interned": self.tokens_interned,
         }
+        if self.phase_seconds:
+            out["phases"] = {
+                name: {
+                    "calls": self.phase_calls.get(name, 0),
+                    "ms": round(self.phase_seconds[name] * 1000, 3),
+                }
+                for name in sorted(self.phase_seconds)
+            }
+        return out
 
     def summary(self) -> str:
         """Multi-line human-readable rendering (the ``--stats`` output)."""
         lines = ["-- pipeline stats --"]
         for key, value in self.as_dict().items():
+            if isinstance(value, dict):
+                continue  # phases get their own table (--profile)
             lines.append(f"{key:22} {value}")
+        return "\n".join(lines)
+
+    def profile_summary(self) -> str:
+        """Per-phase wall-time table (the ``--profile`` output).
+
+        Phase timers nest, so the column does not sum to end-to-end
+        wall time — each row answers "how long did the pipeline spend
+        inside this phase".
+        """
+        lines = ["-- phase profile (phases nest; totals overlap) --"]
+        if not self.phase_seconds:
+            lines.append("(no phases recorded; run with profiling enabled)")
+            return "\n".join(lines)
+        header = f"{'phase':18} {'calls':>8} {'total_ms':>10} {'avg_us':>10}"
+        lines.append(header)
+        for name, seconds in sorted(
+            self.phase_seconds.items(), key=lambda kv: -kv[1]
+        ):
+            calls = self.phase_calls.get(name, 0)
+            avg_us = (seconds / calls * 1e6) if calls else 0.0
+            lines.append(
+                f"{name:18} {calls:>8} {seconds * 1000:>10.2f} "
+                f"{avg_us:>10.1f}"
+            )
         return "\n".join(lines)

@@ -1,0 +1,313 @@
+"""Structured tracing and phase profiling for the MS2 pipeline.
+
+Two observability primitives, both opt-in and both threaded through
+:class:`~repro.engine.MacroProcessor`:
+
+**Expansion spans** (:class:`ExpansionSpan`, :class:`Tracer`) — every
+macro invocation opens a span recording the macro name, the pattern it
+matched, the AST types of its actual parameters, the invocation site,
+whether the expansion cache answered it, whether the invocation was
+parsed by a compiled routine, wall time, and the size of the produced
+tree.  Spans nest — recursive and template-nested expansions form a
+tree — and completed spans stream into a bounded in-memory ring
+buffer, to any subscribed hook callables, and optionally to a JSONL
+event log.  ``repro trace <file>`` renders the span tree.
+
+**Phase profiler** (:class:`PhaseProfiler`) — monotonic timers around
+the pipeline's phases (``scan``, ``dispatch``, ``invocation-parse``,
+``type-check``, ``meta-eval``, ``template-fill``, ``print``),
+aggregated per session into :class:`~repro.stats.PipelineStats`.
+Phases *nest* (``meta-eval`` contains ``template-fill``;
+``invocation-parse`` may contain whole nested expansions), so the
+per-phase totals deliberately overlap — each answers "how much wall
+time passed inside this phase", not "exclusive self time".
+
+When neither is enabled the pipeline pays only a ``None`` check per
+instrumentation point, keeping the disabled-tracing overhead on the
+pure-unroll benchmark under the 2% budget tracked in
+``BENCH_expansion.json``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import IO, Any, Callable, Iterator
+
+from repro.cast.base import Node, walk
+from repro.provenance import provenance_of, strip_expansion
+
+__all__ = ["ExpansionSpan", "PhaseProfiler", "Tracer", "TraceHook"]
+
+#: Event hook signature: ``hook(event, span)`` with event one of
+#: ``"start"`` / ``"end"`` / ``"error"``.
+TraceHook = Callable[[str, "ExpansionSpan"], None]
+
+#: Default capacity of the completed-span ring buffer.
+DEFAULT_RING_SIZE = 4096
+
+
+@dataclass(slots=True)
+class ExpansionSpan:
+    """One macro invocation, as observed by the tracer."""
+
+    span_id: int
+    parent_id: int | None
+    macro: str
+    #: The pattern the invocation matched (source text form).
+    pattern: str
+    #: Invocation site, ``file:line:col`` (backtrace frames stripped).
+    site: str
+    #: AST types of the actual parameters, pattern order.
+    arg_types: tuple[str, ...]
+    #: ``"compiled"`` / ``"interpreted"`` / ``"unknown"`` parse route.
+    parse_mode: str
+    #: Nesting depth (0 for a user-source invocation).
+    depth: int
+    #: ``perf_counter`` timestamp at span open.
+    start: float
+    #: ``"hit"`` / ``"miss"`` / ``"uncacheable"`` / ``"off"``.
+    cache: str = "off"
+    #: Wall-clock seconds from open to close.
+    duration: float = 0.0
+    #: Number of AST nodes in the produced replacement tree(s).
+    output_nodes: int = 0
+    #: Error text when the expansion failed, else None.
+    error: str | None = None
+    children: list["ExpansionSpan"] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering (children appear as id references)."""
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "macro": self.macro,
+            "pattern": self.pattern,
+            "site": self.site,
+            "arg_types": list(self.arg_types),
+            "parse": self.parse_mode,
+            "depth": self.depth,
+            "cache": self.cache,
+            "ms": round(self.duration * 1000, 4),
+            "output_nodes": self.output_nodes,
+            "error": self.error,
+        }
+
+    def describe(self) -> str:
+        """One-line rendering used by the span-tree view."""
+        status = f"{self.cache}, {self.parse_mode}"
+        tail = (
+            f"!! {self.error.splitlines()[0]}"
+            if self.error
+            else f"-> {self.output_nodes} nodes"
+        )
+        return (
+            f"{self.macro} @ {self.site} [{status}] "
+            f"{self.duration * 1000:.2f}ms {tail}"
+        )
+
+
+class Tracer:
+    """Collects :class:`ExpansionSpan` trees for one session.
+
+    Parameters
+    ----------
+    hooks:
+        Callables invoked as ``hook(event, span)`` on ``"start"``,
+        ``"end"`` and ``"error"`` events — the subscription API used by
+        tests and external tools (``MacroProcessor(trace_hooks=[...])``).
+    jsonl:
+        Optional writable text stream; every completed span is
+        appended as one JSON line (an *event log*, in completion
+        order — children complete before their parents).
+    ring_size:
+        Capacity of the completed-span ring buffer (oldest spans are
+        evicted first).  The span *tree* in :attr:`roots` is kept in
+        full for rendering.
+    """
+
+    def __init__(
+        self,
+        hooks: list[TraceHook] | None = None,
+        jsonl: IO[str] | None = None,
+        ring_size: int = DEFAULT_RING_SIZE,
+    ) -> None:
+        self.hooks: list[TraceHook] = list(hooks or [])
+        self.jsonl = jsonl
+        #: Completed spans, completion order, bounded.
+        self.ring: deque[ExpansionSpan] = deque(maxlen=ring_size)
+        #: Top-level spans (user-source invocations), in program order.
+        self.roots: list[ExpansionSpan] = []
+        self._stack: list[ExpansionSpan] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Span lifecycle (driven by the expander)
+    # ------------------------------------------------------------------
+
+    def begin(self, definition: Any, invocation: Any) -> ExpansionSpan:
+        """Open a span for ``invocation``; nests under any open span."""
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        span = ExpansionSpan(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            macro=definition.name,
+            pattern=getattr(definition.pattern, "source_text", "..."),
+            site=str(strip_expansion(invocation.loc)),
+            arg_types=tuple(
+                _arg_type_name(arg.value) for arg in invocation.args
+            ),
+            parse_mode=getattr(invocation, "parse_mode", None) or "unknown",
+            depth=len(self._stack),
+            start=perf_counter(),
+        )
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        self._emit("start", span)
+        return span
+
+    def end(
+        self, span: ExpansionSpan, result: Any, cache: str
+    ) -> None:
+        """Close ``span`` successfully."""
+        span.duration = perf_counter() - span.start
+        span.cache = cache
+        span.output_nodes = _count_nodes(result)
+        self._pop(span)
+        self._emit("end", span)
+        self._log(span)
+
+    def fail(self, span: ExpansionSpan, error: Exception) -> None:
+        """Close ``span`` after the expansion raised."""
+        span.duration = perf_counter() - span.start
+        span.error = str(error)
+        self._pop(span)
+        self._emit("error", span)
+        self._log(span)
+
+    def _pop(self, span: ExpansionSpan) -> None:
+        # Tolerate unwinds that skipped inner end() calls (an error
+        # propagating through several open spans).
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        self.ring.append(span)
+
+    def _emit(self, event: str, span: ExpansionSpan) -> None:
+        for hook in self.hooks:
+            hook(event, span)
+
+    def _log(self, span: ExpansionSpan) -> None:
+        if self.jsonl is None:
+            return
+        record = {"event": "span", **span.as_dict()}
+        self.jsonl.write(json.dumps(record) + "\n")
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def walk_spans(self) -> Iterator[ExpansionSpan]:
+        """Every recorded span, pre-order over the tree."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def render_tree(self, indent: str = "  ") -> str:
+        """The nested span tree as text (the ``repro trace`` output)."""
+        if not self.roots:
+            return "(no macro expansions recorded)"
+        lines: list[str] = []
+        for root in self.roots:
+            self._render_into(root, 0, indent, lines)
+        return "\n".join(lines)
+
+    def _render_into(
+        self,
+        span: ExpansionSpan,
+        level: int,
+        indent: str,
+        lines: list[str],
+    ) -> None:
+        lines.append(f"{indent * level}{span.describe()}")
+        for child in span.children:
+            self._render_into(child, level + 1, indent, lines)
+
+    def close(self) -> None:
+        """Flush the JSONL sink (the stream itself stays owned by the
+        caller)."""
+        if self.jsonl is not None:
+            self.jsonl.flush()
+
+
+def _arg_type_name(value: Any) -> str:
+    """A compact AST-type label for one actual parameter."""
+    if value is None:
+        return "absent"
+    if isinstance(value, list):
+        if not value:
+            return "[]"
+        return f"{_arg_type_name(value[0])}[{len(value)}]"
+    if isinstance(value, Node):
+        return type(value).__name__
+    return type(value).__name__
+
+
+def _count_nodes(result: Any) -> int:
+    if isinstance(result, Node):
+        return sum(1 for _ in walk(result))
+    if isinstance(result, list):
+        return sum(_count_nodes(item) for item in result)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Phase profiling
+# ---------------------------------------------------------------------------
+
+
+class PhaseProfiler:
+    """Aggregates per-phase wall time into a
+    :class:`~repro.stats.PipelineStats` instance.
+
+    Instrumentation sites do::
+
+        prof = self.profiler
+        if prof is None:
+            <work>
+        else:
+            with prof.phase("dispatch"):
+                <work>
+
+    so a session without profiling pays one ``None`` check.
+    """
+
+    __slots__ = ("stats",)
+
+    def __init__(self, stats: Any) -> None:
+        self.stats = stats
+
+    @contextlib.contextmanager
+    def phase(self, name: str):
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        stats = self.stats
+        stats.phase_seconds[name] = (
+            stats.phase_seconds.get(name, 0.0) + seconds
+        )
+        stats.phase_calls[name] = stats.phase_calls.get(name, 0) + 1

@@ -63,8 +63,10 @@ PUBLIC_MODULES = [
     "repro.parser.core",
     "repro.parser.exprs",
     "repro.parser.stream",
+    "repro.provenance",
     "repro.semantics",
     "repro.stats",
+    "repro.trace",
 ]
 
 

@@ -68,6 +68,78 @@ class TestExpand:
         assert main(["expand", str(tmp_path / "nope.c")]) == 1
 
 
+class TestExpandObservability:
+    def test_stats_json(self, program_file, capsys):
+        import json
+
+        assert main(["expand", "--stats-json", str(program_file)]) == 0
+        err = capsys.readouterr().err
+        payload = json.loads(err.splitlines()[-1])
+        assert payload["expansions"] == 1
+        assert "phases" not in payload  # profiling was off
+
+    def test_profile(self, program_file, capsys):
+        assert main(["expand", "--profile", str(program_file)]) == 0
+        err = capsys.readouterr().err
+        assert "phase profile" in err
+        assert "meta-eval" in err
+
+    def test_annotate(self, program_file, capsys):
+        assert main(["expand", "--annotate", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "/* <- trace @" in out
+        assert "#line" in out
+
+
+class TestTrace:
+    def test_span_tree_printed(self, program_file, capsys):
+        assert main(["trace", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "trace @" in out
+        assert "[miss, compiled]" in out
+
+    def test_profile_flag(self, program_file, capsys):
+        assert main(["trace", "--profile", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "phase profile" in out
+
+    def test_jsonl_sink(self, program_file, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "spans.jsonl"
+        assert main(["trace", "--jsonl", str(log), str(program_file)]) == 0
+        [record] = [
+            json.loads(line) for line in log.read_text().splitlines()
+        ]
+        assert record["event"] == "span"
+        assert record["macro"] == "trace"
+
+    def test_example_script_mode(self, capsys):
+        from pathlib import Path
+
+        example = (
+            Path(__file__).resolve().parents[2]
+            / "examples" / "quickstart.py"
+        )
+        assert main(["trace", str(example)]) == 0
+        out = capsys.readouterr().out
+        assert "Painting @" in out
+
+    def test_failure_prints_partial_tree_and_backtrace(
+        self, tmp_path, capsys
+    ):
+        prog = tmp_path / "bad.c"
+        prog.write_text(
+            "syntax exp boom {| ( ) |}"
+            '{ error("dead"); return(`(0)); }\n'
+            "int x = boom();\n"
+        )
+        assert main(["trace", str(prog)]) == 1
+        captured = capsys.readouterr()
+        assert "!!" in captured.out and "dead" in captured.out
+        assert "expanded from boom" in captured.err
+
+
 class TestMacros:
     def test_list_builtin_package(self, capsys):
         assert main(["macros", "-p", "exceptions"]) == 0

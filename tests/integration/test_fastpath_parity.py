@@ -167,6 +167,12 @@ EXAMPLE_CASES = {
         lambda mp: packages.dispatch.register(mp),
         lambda: _example("window_dispatch").PROGRAM,
     ),
+    "taxonomy_tour": (
+        lambda mp: [
+            mp.load(src) for src in _example("taxonomy_tour").TRACE_SOURCES
+        ],
+        lambda: _example("taxonomy_tour").TRACE_PROGRAM,
+    ),
 }
 
 ALL_CASES = {**PACKAGE_CASES, **EXAMPLE_CASES}

@@ -77,6 +77,46 @@ class TestReplaySemantics:
         replayed = unit.items[0].body.stmts[0]
         assert replayed.loc.line == 4
 
+    def test_replay_provenance_names_second_site(self):
+        """A cached expansion replayed at a *second* call site must
+        carry provenance pointing at that second site, not at the
+        site that originally populated the cache."""
+        from repro.provenance import provenance_of
+
+        mp = MacroProcessor()
+        mp.load(self.SOURCE)
+        mp.expand_to_ast("void f(void) {\n wrap(1);\n}", "first.c")
+        unit = mp.expand_to_ast(
+            "void g(void) {\n\n\n wrap(1);\n}", "second.c"
+        )
+        assert mp.stats.cache_hits == 1
+        replayed = unit.items[0].body.stmts[0]
+        frames = provenance_of(replayed.loc)
+        assert len(frames) == 1
+        assert frames[0].macro == "wrap"
+        assert frames[0].location.filename == "second.c"
+        assert frames[0].location.line == 4
+
+    def test_replay_error_backtrace_names_second_site(self):
+        """Errors inside replayed code report the replaying site."""
+        mp = MacroProcessor()
+        mp.load(
+            "syntax exp twice {| ( $$exp::e ) |}"
+            "{ return(`(($e) * 2)); }\n"
+            "syntax exp boom {| ( ) |}"
+            '{ error("late"); return(`(0)); }\n'
+            "syntax exp outer {| ( $$exp::e ) |}"
+            "{ return(`(twice($e) + boom())); }",
+            "pkg.c",
+        )
+        # boom() fails inside outer's template: both call sites miss
+        # the cache, but each failure must name its own user line.
+        from repro.errors import Ms2Error
+
+        with pytest.raises(Ms2Error) as info:
+            mp.expand_to_c("int a = outer(1);", "user.c")
+        assert "expanded from outer at user.c:1" in str(info.value)
+
     def test_distinct_replays_get_distinct_marks(self):
         mp = MacroProcessor()
         mp.load(self.SOURCE)

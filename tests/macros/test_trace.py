@@ -1,0 +1,201 @@
+"""Expansion tracing and phase profiling (:mod:`repro.trace`)."""
+
+import io
+import json
+
+from repro import MacroProcessor
+from repro.errors import Ms2Error
+from repro.packages import loops
+from repro.stats import PipelineStats
+from repro.trace import PhaseProfiler, Tracer
+
+TWICE = "syntax exp twice {| ( $$exp::e ) |} { return(`(($e) * 2)); }"
+NESTING = (
+    TWICE
+    + "\nsyntax exp quad {| ( $$exp::e ) |}"
+    "{ return(`(twice(twice($e)))); }"
+)
+
+
+class TestSpans:
+    def test_spans_record_invocation_metadata(self):
+        mp = MacroProcessor(trace=True)
+        mp.load(TWICE, "pkg.c")
+        mp.expand_to_c("int x = twice(1 + 2);", "user.c")
+        [span] = mp.tracer.roots
+        assert span.macro == "twice"
+        assert span.site.startswith("user.c:1:")
+        assert span.pattern == "( $$exp::e )"
+        assert span.arg_types == ("BinaryOp",)
+        assert span.parse_mode == "compiled"
+        assert span.cache == "miss"
+        assert span.output_nodes > 0
+        assert span.duration > 0
+        assert span.error is None
+
+    def test_nested_expansions_form_a_tree(self):
+        mp = MacroProcessor(trace=True)
+        mp.load(NESTING)
+        mp.expand_to_c("int x = quad(1);")
+        [root] = mp.tracer.roots
+        assert root.macro == "quad"
+        assert [c.macro for c in root.children] == ["twice"]
+        assert [c.macro for c in root.children[0].children] == ["twice"]
+        depths = {s.macro: s.depth for s in mp.tracer.walk_spans()}
+        assert depths["quad"] == 0
+
+    def test_cache_hit_recorded(self):
+        mp = MacroProcessor(trace=True)
+        mp.load(TWICE)
+        mp.expand_to_c("int a = twice(q); int b = twice(q);")
+        statuses = [s.cache for s in mp.tracer.roots]
+        assert statuses == ["miss", "hit"]
+
+    def test_interpreted_parse_mode_recorded(self):
+        mp = MacroProcessor(trace=True, compiled_patterns=False)
+        mp.load(TWICE)
+        mp.expand_to_c("int x = twice(1);")
+        [span] = mp.tracer.roots
+        assert span.parse_mode == "interpreted"
+
+    def test_failed_expansion_closes_span_with_error(self):
+        mp = MacroProcessor(trace=True)
+        mp.load('syntax exp boom {| ( ) |} { error("no"); return(`(0)); }')
+        try:
+            mp.expand_to_c("int x = boom();")
+        except Ms2Error:
+            pass
+        [span] = mp.tracer.roots
+        assert span.error is not None and "no" in span.error
+        assert "!!" in span.describe()
+
+    def test_render_tree_indents_children(self):
+        mp = MacroProcessor(trace=True)
+        mp.load(NESTING)
+        mp.expand_to_c("int x = quad(1);")
+        lines = mp.tracer.render_tree().splitlines()
+        assert lines[0].startswith("quad @")
+        assert lines[1].startswith("  twice @")
+        assert lines[2].startswith("    twice @")
+
+    def test_empty_tree_renders_placeholder(self):
+        assert "no macro expansions" in Tracer().render_tree()
+
+    def test_tracing_off_means_no_tracer(self):
+        assert MacroProcessor().tracer is None
+
+
+class TestHooksAndSinks:
+    def test_hooks_see_start_end_events(self):
+        events = []
+        mp = MacroProcessor(
+            trace_hooks=[lambda ev, span: events.append((ev, span.macro))]
+        )
+        mp.load(NESTING)
+        mp.expand_to_c("int x = quad(1);")
+        assert events[0] == ("start", "quad")
+        assert events[-1] == ("end", "quad")
+        # Children start after and end before their parent.
+        assert ("start", "twice") in events and ("end", "twice") in events
+
+    def test_error_event_emitted(self):
+        events = []
+        mp = MacroProcessor(
+            trace_hooks=[lambda ev, span: events.append(ev)]
+        )
+        mp.load('syntax exp boom {| ( ) |} { error("no"); return(`(0)); }')
+        try:
+            mp.expand_to_c("int x = boom();")
+        except Ms2Error:
+            pass
+        assert "error" in events
+
+    def test_jsonl_stream_gets_one_line_per_span(self):
+        sink = io.StringIO()
+        mp = MacroProcessor(trace_jsonl=sink)
+        mp.load(NESTING)
+        mp.expand_to_c("int x = quad(1);")
+        mp.tracer.close()
+        records = [json.loads(line) for line in
+                   sink.getvalue().splitlines()]
+        assert len(records) == 3
+        assert all(r["event"] == "span" for r in records)
+        # Completion order: children before parents.
+        assert records[-1]["macro"] == "quad"
+        assert records[-1]["parent"] is None
+
+    def test_ring_buffer_bounds_retention(self):
+        tracer = Tracer(ring_size=2)
+        mp = MacroProcessor(trace=True)
+        mp.tracer = tracer
+        mp.expander.tracer = tracer
+        mp.load(TWICE)
+        mp.expand_to_c(
+            "int a = twice(1); int b = twice(2); int c = twice(3);"
+        )
+        assert len(tracer.ring) == 2
+
+
+class TestPhaseProfiler:
+    def test_phases_populate_stats(self):
+        mp = MacroProcessor(profile=True)
+        loops.register(mp)
+        mp.expand_to_c("void f(void) { unroll (2) {a();} }")
+        phases = mp.stats.phase_seconds
+        for name in ("scan", "dispatch", "invocation-parse",
+                     "meta-eval", "template-fill", "print"):
+            assert name in phases, name
+            assert phases[name] >= 0.0
+        assert mp.stats.phase_calls["meta-eval"] == 1
+
+    def test_profile_off_records_nothing(self):
+        mp = MacroProcessor()
+        loops.register(mp)
+        mp.expand_to_c("void f(void) { unroll (2) {a();} }")
+        assert mp.stats.phase_seconds == {}
+        assert "phases" not in mp.stats.as_dict()
+
+    def test_add_accumulates(self):
+        stats = PipelineStats()
+        prof = PhaseProfiler(stats)
+        prof.add("scan", 0.25)
+        prof.add("scan", 0.5)
+        assert stats.phase_seconds["scan"] == 0.75
+        assert stats.phase_calls["scan"] == 2
+
+    def test_profile_summary_lists_phases(self):
+        mp = MacroProcessor(profile=True)
+        loops.register(mp)
+        mp.expand_to_c("void f(void) { unroll (2) {a();} }")
+        table = mp.stats.profile_summary()
+        assert "meta-eval" in table
+        assert "phases nest" in table
+
+    def test_stats_json_includes_phase_table(self):
+        mp = MacroProcessor(profile=True)
+        loops.register(mp)
+        mp.expand_to_c("void f(void) { unroll (2) {a();} }")
+        payload = mp.stats.as_dict()
+        assert payload["phases"]["meta-eval"]["calls"] == 1
+
+
+class TestCounters:
+    def test_gensym_calls_counted(self):
+        mp = MacroProcessor()
+        mp.load(
+            "syntax stmt g {| ( ) |}"
+            "{ @id t = gensym(); return(`{{int $t = 0; use($t);}}); }"
+        )
+        mp.expand_to_c("void f(void) { g(); g(); }")
+        assert mp.stats.gensym_calls == 2
+
+    def test_hygiene_renames_counted(self):
+        mp = MacroProcessor(hygienic=True)
+        mp.load(
+            "syntax stmt s {| ( ) |}"
+            "{ return(`{{int saved = 0; saved = saved + 1;}}); }"
+        )
+        mp.expand_to_c("void f(void) { s(); }")
+        assert mp.stats.hygiene_renames == 1
+        # The hygienic rename routes through gensym.
+        assert mp.stats.gensym_calls >= 1
