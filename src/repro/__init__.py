@@ -32,10 +32,12 @@ if _sys.getrecursionlimit() < 20_000:
 
 from repro.cast.printer import render_c
 from repro.cast.sexpr import render_sexpr
+from repro.diagnostics import Diagnostic, DiagnosticSink, ExpansionBudget
 from repro.engine import MacroProcessor, expand_source
 from repro.provenance import ExpandedLocation, ExpansionSite
 from repro.trace import ExpansionSpan, PhaseProfiler, Tracer
 from repro.errors import (
+    ExpansionBudgetError,
     ExpansionError,
     LexError,
     MacroSyntaxError,
@@ -44,16 +46,22 @@ from repro.errors import (
     Ms2Error,
     ParseError,
     PatternLookaheadError,
+    ResourceLimitError,
     SourceLocation,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Diagnostic",
+    "DiagnosticSink",
     "ExpandedLocation",
+    "ExpansionBudget",
+    "ExpansionBudgetError",
     "ExpansionError",
     "ExpansionSite",
     "ExpansionSpan",
+    "ResourceLimitError",
     "LexError",
     "MacroProcessor",
     "MacroSyntaxError",

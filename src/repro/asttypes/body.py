@@ -55,6 +55,9 @@ class BodyChecker:
             self.env = saved
 
     def check_declaration(self, d: Node) -> None:
+        if isinstance(d, (nodes.ErrorDecl, nodes.ErrorStmt)):
+            # Poisoned node from recovery: already diagnosed once.
+            return
         if not isinstance(d, decls.Declaration):
             raise MacroTypeError(
                 "only plain declarations may appear in meta-code bodies",
@@ -129,7 +132,7 @@ class BodyChecker:
                 )
         elif isinstance(
             s, (stmts.BreakStmt, stmts.ContinueStmt, stmts.NullStmt,
-                stmts.GotoStmt)
+                stmts.GotoStmt, nodes.ErrorStmt, nodes.ErrorDecl)
         ):
             return
         else:

@@ -291,6 +291,11 @@ class MetaTypeInferencer:
     def _infer_Identifier(self, e: nodes.Identifier) -> AstType:
         return self.env.require(e.name, e.loc)
 
+    def _infer_ErrorExpr(self, e: nodes.ErrorExpr) -> AstType:
+        # Poisoned nodes (recovery mode) type as ``any``: the fault
+        # was already reported once; don't cascade.
+        return ANY
+
     def _infer_IntLit(self, e: nodes.IntLit) -> AstType:
         return INT
 

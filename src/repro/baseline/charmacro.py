@@ -121,14 +121,16 @@ class CharMacroProcessor:
         body = self.macros[name]
         substituted = _substitute_args(body, args)
         # Rescan the result: macros may generate macros.
-        self._depth += 1
-        if self._depth > self.MAX_DEPTH:
-            self._depth = 0
+        # Check before incrementing: the raising frame never counts
+        # itself, so the finally-decrements of enclosing frames leave
+        # the counter balanced after the error is caught.
+        if self._depth >= self.MAX_DEPTH:
             raise CharMacroError(
                 f"character macro expansion exceeded depth "
                 f"{self.MAX_DEPTH} (while expanding {name!r}); "
                 "runaway recursion?"
             )
+        self._depth += 1
         try:
             return self._scan(substituted), i
         finally:

@@ -304,3 +304,37 @@ class MacroInvocation(Node):
     #: How the invocation was parsed (``"compiled"`` /
     #: ``"interpreted"``); recorded by the parser for tracing spans.
     parse_mode: str | None = field(compare=False, default=None, repr=False)
+
+
+# ---------------------------------------------------------------------------
+# Poisoned nodes (recovery mode)
+# ---------------------------------------------------------------------------
+
+
+@node
+class ErrorExpr(Node):
+    """A poisoned expression standing where parsing or expansion failed.
+
+    Produced only in recovery mode (``expand_program(recover=True)``).
+    Type inference treats it as ``any`` so one fault does not cascade
+    into follow-on diagnostics; the printer renders it as a comment.
+    """
+
+    sexpr_name: ClassVar[str] = "error-exp"
+    message: str = ""
+
+
+@node
+class ErrorStmt(Node):
+    """A poisoned statement covering a recovered region of source."""
+
+    sexpr_name: ClassVar[str] = "error-stmt"
+    message: str = ""
+
+
+@node
+class ErrorDecl(Node):
+    """A poisoned declaration / top-level item from a recovered region."""
+
+    sexpr_name: ClassVar[str] = "error-decl"
+    message: str = ""

@@ -92,9 +92,19 @@ class CPrinter:
                 stmts.SwitchStmt, stmts.CaseStmt, stmts.DefaultStmt,
                 stmts.BreakStmt, stmts.ContinueStmt, stmts.ReturnStmt,
                 stmts.GotoStmt, stmts.LabeledStmt, stmts.NullStmt,
-                stmts.PlaceholderStmt,
+                stmts.PlaceholderStmt, nodes.ErrorStmt,
             ),
         )
+
+    @staticmethod
+    def _error_comment(message: str) -> str:
+        """A C comment carrying a poisoned node's message.
+
+        The message text is defanged so it cannot terminate the
+        comment early or smuggle in a newline.
+        """
+        safe = message.replace("*/", "* /").replace("\n", " ")
+        return f"/* <error: {safe}> */"
 
     # ------------------------------------------------------------------
     # Top-level items
@@ -122,6 +132,8 @@ class CPrinter:
             return self.placeholder(item) + "\n"
         if isinstance(item, nodes.MacroInvocation):
             return self.macro_invocation(item) + "\n"
+        if isinstance(item, (nodes.ErrorDecl, nodes.ErrorStmt)):
+            return self._error_comment(item.message) + "\n"
         raise TypeError(f"cannot print top-level item {type(item).__name__}")
 
     def _annotated_top_level(self, item: Node, text: str) -> str:
@@ -362,6 +374,10 @@ class CPrinter:
             return f"{pad}{self.declaration(s)}"
         if isinstance(s, decls.PlaceholderDecl):
             return f"{pad}{self.placeholder(s)};"
+        if isinstance(s, nodes.ErrorStmt):
+            return f"{pad}{self._error_comment(s.message)};"
+        if isinstance(s, nodes.ErrorDecl):
+            return f"{pad}{self._error_comment(s.message)}"
         raise TypeError(f"cannot print statement {type(s).__name__}")
 
     def compound(self, c: stmts.CompoundStmt, level: int) -> str:
@@ -423,6 +439,11 @@ class CPrinter:
 
     def _px_identifier(self, e: Node) -> tuple[str, int]:
         return e.name, PRIMARY_PREC
+
+    def _px_error(self, e: Node) -> tuple[str, int]:
+        # A poisoned expression must still be a valid C expression;
+        # the constant carries the message alongside as a comment.
+        return f"0 {self._error_comment(e.message)}", PRIMARY_PREC
 
     def _px_literal(self, e: Node) -> tuple[str, int]:
         return e.text, PRIMARY_PREC
@@ -585,6 +606,7 @@ _EXPR_HANDLERS: dict[type, Any] = {
     nodes.Backquote: CPrinter._px_backquote,
     nodes.AnonFunction: CPrinter._px_anon_function,
     nodes.MacroInvocation: CPrinter._px_macro_invocation,
+    nodes.ErrorExpr: CPrinter._px_error,
 }
 
 

@@ -118,6 +118,30 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--keep-meta", action="store_true",
         help="keep syntax/metadcl items in the output",
     )
+    expand.add_argument(
+        "--recover", action="store_true",
+        help="keep going after errors: report every diagnostic "
+        "(stderr), emit poisoned /* <error: ...> */ comments for the "
+        "failed regions, exit 1 if any errors were found",
+    )
+    expand.add_argument(
+        "--max-errors", type=int, default=None, metavar="N",
+        help="stop recovering after N errors (with --recover; "
+        "default 20)",
+    )
+    expand.add_argument(
+        "--max-expansions", type=int, default=None, metavar="N",
+        help="budget: abort after N macro expansions",
+    )
+    expand.add_argument(
+        "--max-output-nodes", type=int, default=None, metavar="N",
+        help="budget: abort after macros have produced N AST nodes",
+    )
+    expand.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="budget: abort expansion after MS milliseconds of "
+        "wall-clock time",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -176,6 +200,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_budget(args: argparse.Namespace):
+    """An ExpansionBudget from the CLI flags, or None when unset."""
+    if (
+        args.max_expansions is None
+        and args.max_output_nodes is None
+        and args.deadline_ms is None
+    ):
+        return None
+    from repro.diagnostics import ExpansionBudget
+
+    return ExpansionBudget(
+        max_expansions=args.max_expansions,
+        max_output_nodes=args.max_output_nodes,
+        deadline_s=(
+            args.deadline_ms / 1000.0
+            if args.deadline_ms is not None
+            else None
+        ),
+    )
+
+
 def cmd_expand(args: argparse.Namespace) -> int:
     """``repro expand``: load packages/files, print expanded C."""
     mp = MacroProcessor(
@@ -183,6 +228,7 @@ def cmd_expand(args: argparse.Namespace) -> int:
         compiled_patterns=args.compiled_patterns,
         cache=args.cache,
         profile=args.profile,
+        budget=_make_budget(args),
     )
     for name in args.package:
         _load_package(mp, name)
@@ -190,16 +236,33 @@ def cmd_expand(args: argparse.Namespace) -> int:
     for path in packages_files:
         mp.load(path.read_text(), str(path))
     source = program.read_text()
+    diagnostics = None
     if args.keep_meta:
         from repro.cast.printer import render_c
 
-        unit = mp.expand_program(source, str(program))
+        if args.recover:
+            unit, diagnostics = mp.expand_program(
+                source, str(program),
+                recover=True, max_errors=args.max_errors,
+            )
+        else:
+            unit = mp.expand_program(source, str(program))
         print(render_c(unit, annotate=args.annotate), end="")
+    elif args.recover:
+        text, diagnostics = mp.expand_to_c(
+            source, str(program),
+            annotate=args.annotate,
+            recover=True, max_errors=args.max_errors,
+        )
+        print(text, end="")
     else:
         print(
             mp.expand_to_c(source, str(program), annotate=args.annotate),
             end="",
         )
+    if diagnostics:
+        for diagnostic in diagnostics:
+            print(diagnostic.render(), file=sys.stderr)
     if args.stats:
         print(mp.stats.summary(), file=sys.stderr)
     if args.stats_json:
@@ -208,6 +271,8 @@ def cmd_expand(args: argparse.Namespace) -> int:
         print(json.dumps(mp.stats.as_dict()), file=sys.stderr)
     if args.profile:
         print(mp.stats.profile_summary(), file=sys.stderr)
+    if diagnostics and any(d.severity == "error" for d in diagnostics):
+        return 1
     return 0
 
 

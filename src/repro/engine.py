@@ -34,7 +34,13 @@ from repro.analysis import analyze_macro_purity
 from repro.cast import decls, nodes
 from repro.cast.base import Node
 from repro.cast.printer import render_c
-from repro.errors import ExpansionError
+from repro.diagnostics import (
+    DEFAULT_MAX_ERRORS,
+    Diagnostic,
+    DiagnosticSink,
+    ExpansionBudget,
+)
+from repro.errors import ExpansionError, Ms2Error, ResourceLimitError
 from repro.macros.cache import ExpansionCache
 from repro.macros.compiled import compile_pattern
 from repro.macros.definition import MacroDefinition, MacroTable
@@ -86,6 +92,12 @@ class MacroProcessor:
         invocation-parse / type-check / meta-eval / template-fill /
         print) into :attr:`stats`; see
         :meth:`~repro.stats.PipelineStats.profile_summary`.
+    budget:
+        Optional :class:`~repro.diagnostics.ExpansionBudget` bounding
+        total expansions, produced AST nodes and wall-clock time.
+        Exhaustion raises
+        :class:`~repro.errors.ExpansionBudgetError` (an ordinary
+        ``Ms2Error``), which recovery mode degrades to a diagnostic.
     """
 
     def __init__(
@@ -98,6 +110,7 @@ class MacroProcessor:
         trace_hooks: list[Any] | None = None,
         trace_jsonl: Any = None,
         profile: bool = False,
+        budget: ExpansionBudget | None = None,
     ) -> None:
         #: Fast-path hit/miss counters for this session.
         self.stats = PipelineStats()
@@ -118,6 +131,8 @@ class MacroProcessor:
         if hygienic:
             cache = False
         self.cache = ExpansionCache(self.stats) if cache else None
+        #: Optional resource budget shared by every expansion run.
+        self.budget = budget
         self.expander = Expander(
             self.table,
             self.interpreter,
@@ -126,9 +141,13 @@ class MacroProcessor:
             stats=self.stats,
             tracer=self.tracer,
             profiler=self.profiler,
+            budget=budget,
         )
         self.compiled_patterns = compiled_patterns
         self._parser: Parser | None = None
+        #: The active :class:`~repro.diagnostics.DiagnosticSink`
+        #: during a ``recover=True`` run; None in fail-fast mode.
+        self.diagnostics: DiagnosticSink | None = None
 
     # ==================================================================
     # Parser-host protocol
@@ -188,10 +207,46 @@ class MacroProcessor:
             self.interpreter.semantic_scope = self._parser.c_scope
         try:
             result = self.expander.expand_invocation(invocation)
+            self._check_position(invocation, result, position)
+        except Ms2Error as exc:
+            poisoned = self._recover_expansion(exc, invocation, position)
+            if poisoned is None:
+                raise
+            return poisoned
         finally:
             self.interpreter.semantic_scope = saved_scope
-        self._check_position(invocation, result, position)
         return result
+
+    def _recover_expansion(
+        self,
+        exc: Ms2Error,
+        invocation: nodes.MacroInvocation,
+        position: str,
+    ) -> Node | None:
+        """Expansion-failure isolation (recovery mode): record the
+        error — whose location already carries the
+        ``ExpandedLocation`` backtrace for nested failures — and
+        degrade the invocation to a poisoned node so parsing
+        continues.  Returns None in fail-fast mode, when the sink is
+        saturated, or while parsing meta-code (a failing expansion
+        inside a macro body must still reject the definition)."""
+        sink = self.diagnostics
+        parser = self._parser
+        if (
+            sink is None
+            or parser is None
+            or parser.meta_mode
+            or parser.template_mode
+        ):
+            return None
+        if sink.saturated or not sink.emit_error(exc):
+            return None
+        self.stats.expansion_recoveries += 1
+        if position == "exp":
+            return nodes.ErrorExpr(message=exc.message, loc=invocation.loc)
+        if position == "stmt":
+            return nodes.ErrorStmt(message=exc.message, loc=invocation.loc)
+        return nodes.ErrorDecl(message=exc.message, loc=invocation.loc)
 
     @staticmethod
     def _check_position(
@@ -211,11 +266,15 @@ class MacroProcessor:
     # ==================================================================
 
     def make_parser(
-        self, source: str, filename: str = "<string>"
+        self,
+        source: str,
+        filename: str = "<string>",
+        diagnostics: DiagnosticSink | None = None,
     ) -> Parser:
         parser = Parser(
             source, host=self, expand_inline=True, filename=filename,
             stats=self.stats, profiler=self.profiler,
+            diagnostics=diagnostics,
         )
         if self._parser is not None:
             # Later files see typedefs and meta bindings of earlier ones.
@@ -226,32 +285,96 @@ class MacroProcessor:
         self._parser = parser
         return parser
 
+    @staticmethod
+    def _parse_guarded(parser: Parser) -> decls.TranslationUnit:
+        """Run a parse, converting the host interpreter's own stack
+        limit into an :class:`Ms2Error` subclass — the pipeline never
+        lets a raw :class:`RecursionError` escape."""
+        try:
+            return parser.parse_program()
+        except RecursionError:
+            raise ResourceLimitError(
+                "input nests too deeply for the macro processor "
+                "(host recursion limit exceeded while parsing)"
+            ) from None
+
     def load(self, source: str, filename: str = "<package>") -> None:
         """Process a macro-package file: definitions are registered,
         any plain C in the file is discarded."""
         parser = self.make_parser(source, filename)
-        parser.parse_program()
+        self._parse_guarded(parser)
 
     def expand_program(
-        self, source: str, filename: str = "<string>"
-    ) -> decls.TranslationUnit:
+        self,
+        source: str,
+        filename: str = "<string>",
+        *,
+        recover: bool = False,
+        max_errors: int | None = None,
+    ) -> decls.TranslationUnit | tuple[
+        decls.TranslationUnit, list[Diagnostic]
+    ]:
         """Parse-and-expand a program; returns the expanded AST
-        including meta items (macro definitions, metadcls)."""
-        parser = self.make_parser(source, filename)
-        return parser.parse_program()
+        including meta items (macro definitions, metadcls).
+
+        With ``recover=True`` the run collects up to ``max_errors``
+        diagnostics instead of raising on the first fault: failed
+        regions become poisoned ``Error*`` nodes and the result is a
+        ``(unit, diagnostics)`` pair.  Fail-fast behaviour (the
+        default) is unchanged.
+        """
+        if not recover:
+            parser = self.make_parser(source, filename)
+            return self._parse_guarded(parser)
+        sink = DiagnosticSink(
+            max_errors=max_errors
+            if max_errors is not None
+            else DEFAULT_MAX_ERRORS
+        )
+        self.diagnostics = sink
+        try:
+            # Tokenization happens eagerly in the Parser constructor,
+            # so a LexError must be inside the backstop too.
+            parser = self.make_parser(source, filename, diagnostics=sink)
+            unit = self._parse_guarded(parser)
+        except Ms2Error as exc:
+            # Backstop: a fault that escaped every recovery point
+            # (e.g. raised after saturation) still ends as a
+            # diagnostic, never as an exception from a recover run.
+            sink.emit_error(exc)
+            unit = decls.TranslationUnit([])
+        finally:
+            self.diagnostics = None
+        return unit, list(sink.diagnostics)
 
     def expand_to_ast(
-        self, source: str, filename: str = "<string>"
-    ) -> decls.TranslationUnit:
+        self,
+        source: str,
+        filename: str = "<string>",
+        *,
+        recover: bool = False,
+        max_errors: int | None = None,
+    ) -> decls.TranslationUnit | tuple[
+        decls.TranslationUnit, list[Diagnostic]
+    ]:
         """Like :meth:`expand_program` but with all meta-program items
         stripped — the translation unit a downstream C compiler sees."""
-        unit = self.expand_program(source, filename)
+        diagnostics: list[Diagnostic] | None = None
+        if recover:
+            unit, diagnostics = self.expand_program(
+                source, filename, recover=True, max_errors=max_errors
+            )
+        else:
+            unit = self.expand_program(source, filename)
         items = [
             item
             for item in unit.items
             if not isinstance(item, (decls.MacroDef, decls.MetaDecl))
         ]
-        return decls.TranslationUnit(items, loc=unit.loc)
+        stripped = decls.TranslationUnit(items, loc=unit.loc)
+        if recover:
+            return stripped, diagnostics
+        return stripped
 
     def expand_to_c(
         self,
@@ -259,19 +382,33 @@ class MacroProcessor:
         filename: str = "<string>",
         *,
         annotate: bool = False,
-    ) -> str:
+        recover: bool = False,
+        max_errors: int | None = None,
+    ) -> str | tuple[str, list[Diagnostic]]:
         """Full pipeline: source with macros in, plain C text out.
 
         With ``annotate=True`` the printer emits provenance comments
         (``/* <- Macro @ file:line */``) on macro-generated code and
         ``#line`` directives mapping the output back to user source.
+        With ``recover=True`` returns ``(text, diagnostics)``;
+        recovered faults render as ``/* <error: ...> */`` comments.
         """
-        unit = self.expand_to_ast(source, filename)
+        diagnostics: list[Diagnostic] | None = None
+        if recover:
+            unit, diagnostics = self.expand_to_ast(
+                source, filename, recover=True, max_errors=max_errors
+            )
+        else:
+            unit = self.expand_to_ast(source, filename)
         prof = self.profiler
         if prof is None:
-            return render_c(unit, annotate=annotate)
-        with prof.phase("print"):
-            return render_c(unit, annotate=annotate)
+            text = render_c(unit, annotate=annotate)
+        else:
+            with prof.phase("print"):
+                text = render_c(unit, annotate=annotate)
+        if recover:
+            return text, diagnostics
+        return text
 
     # ------------------------------------------------------------------
 

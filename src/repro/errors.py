@@ -108,3 +108,22 @@ class ExpansionError(Ms2Error):
 
 class MetaInterpError(ExpansionError):
     """Raised by the embedded meta-language interpreter."""
+
+
+class ExpansionBudgetError(ExpansionError):
+    """Raised when expansion exhausts a configured resource budget.
+
+    Budgets (:class:`repro.diagnostics.ExpansionBudget`) bound the
+    total number of expansions, the number of AST nodes produced, and
+    wall-clock time.  Exhaustion is an ordinary :class:`Ms2Error`: in
+    recovery mode it becomes a diagnostic, never a crash.
+    """
+
+
+class ResourceLimitError(Ms2Error):
+    """Raised when the host runtime's own limits are hit.
+
+    Wraps conditions like Python's :class:`RecursionError` during a
+    pathologically deep parse, so callers only ever see
+    :class:`Ms2Error` subclasses escape the pipeline.
+    """

@@ -53,10 +53,19 @@ if TYPE_CHECKING:
     from repro.macros.definition import MacroDefinition
     from repro.stats import PipelineStats
 
-__all__ = ["ExpansionCache", "replay_result"]
+__all__ = ["ExpansionCache", "replay_result", "CACHE_FORMAT_VERSION"]
 
 #: The persistent ID standing for "the invocation site" in stored blobs.
 _LOC_PID = "loc"
+
+#: Snapshot wire-format version.  Bumped whenever the externalization
+#: scheme (persistent IDs, snapshot layout) changes; entries carrying
+#: any other version are treated as stale and re-expanded.
+CACHE_FORMAT_VERSION = 1
+
+#: Magic prefix identifying a well-formed snapshot blob.
+_MAGIC = b"MS2C"
+_HEADER = _MAGIC + bytes([CACHE_FORMAT_VERSION])
 
 
 class _MarkToken:
@@ -167,6 +176,7 @@ class ExpansionCache:
 
     def store(self, key: Hashable, result: Node | list[Node]) -> None:
         buffer = io.BytesIO()
+        buffer.write(_HEADER)
         try:
             _StorePickler(
                 buffer, protocol=pickle.HIGHEST_PROTOCOL
@@ -176,6 +186,45 @@ class ExpansionCache:
             # definition reference): leave the invocation uncached.
             return
         self._entries[key] = buffer.getvalue()
+
+    def replay(
+        self,
+        key: Hashable,
+        cached: bytes,
+        loc: SourceLocation,
+        fresh_mark: Callable[[], int],
+    ) -> Node | list[Node] | None:
+        """Replay a stored snapshot, or ``None`` when it cannot be
+        trusted (wrong version header, truncated or corrupt blob).
+
+        A failed replay evicts the entry and counts as a
+        ``cache_replay_failure`` in :class:`PipelineStats`; the caller
+        falls back to re-running the meta-program, so corruption of
+        memo state can never surface as a raw unpickling exception.
+        """
+        if cached[: len(_HEADER)] == _HEADER:
+            try:
+                result = replay_result(
+                    cached[len(_HEADER):], loc, fresh_mark
+                )
+                # Shape check: a corrupt blob can unpickle "cleanly"
+                # into something that is not an expansion result at
+                # all, which would blow up far away in the printer.
+                if isinstance(result, Node) or (
+                    isinstance(result, list)
+                    and all(isinstance(item, Node) for item in result)
+                ):
+                    return result
+            except Exception:
+                # pickle raises a menagerie on corrupt input
+                # (UnpicklingError, EOFError, ValueError, TypeError,
+                # AttributeError, ...); all of them mean the same
+                # thing here: the snapshot is unusable.
+                pass
+        self._entries.pop(key, None)
+        if self.stats is not None:
+            self.stats.cache_replay_failures += 1
+        return None
 
     def clear(self) -> None:
         """Drop every entry (meta-function redefinition, tests)."""

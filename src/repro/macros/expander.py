@@ -20,8 +20,9 @@ from typing import Any
 from repro.asttypes.types import ListType
 from repro.cast import decls, nodes, stmts
 from repro.cast.base import Node
+from repro.diagnostics import ExpansionBudget
 from repro.errors import ExpansionError, Ms2Error
-from repro.macros.cache import ExpansionCache, replay_result
+from repro.macros.cache import ExpansionCache
 from repro.macros.definition import MacroDefinition, MacroTable
 from repro.meta.frames import NULL
 from repro.meta.interp import Interpreter
@@ -56,12 +57,15 @@ class Expander:
         stats: Any = None,
         tracer: Any = None,
         profiler: Any = None,
+        budget: ExpansionBudget | None = None,
     ) -> None:
         self.table = table
         self.interpreter = interpreter or Interpreter()
         self.hygienic = hygienic
         self.cache = cache
         self.stats = stats
+        #: Optional :class:`repro.diagnostics.ExpansionBudget`.
+        self.budget = budget
         #: Optional :class:`repro.trace.Tracer` (expansion spans).
         self.tracer = tracer
         #: Optional :class:`repro.trace.PhaseProfiler`.
@@ -116,6 +120,8 @@ class Expander:
         invocation: nodes.MacroInvocation,
         chain: tuple[ExpansionSite, ...],
     ) -> tuple[Node | list[Node], str]:
+        if self.budget is not None:
+            self.budget.charge_expansion(invocation.loc)
         cache_status = "off"
         key = None
         if self.cache is not None:
@@ -129,34 +135,43 @@ class Expander:
             else:
                 cached = self.cache.lookup(key)
                 if cached is not None:
-                    self.expansion_count += 1
-                    if self.stats is not None:
-                        self.stats.cache_hits += 1
-                        self.stats.expansions += 1
                     # Replayed nodes are re-stamped with the *replay*
                     # site's backtrace, so a hit at a second call site
-                    # reports the second site, not the first.
-                    return (
-                        replay_result(
-                            cached,
-                            replay_location(invocation.loc, chain),
-                            self._fresh_mark,
-                        ),
-                        "hit",
+                    # reports the second site, not the first.  A
+                    # corrupt or stale snapshot replays as None and
+                    # falls through to re-expansion.
+                    replayed = self.cache.replay(
+                        key,
+                        cached,
+                        replay_location(invocation.loc, chain),
+                        self._fresh_mark,
                     )
+                    if replayed is not None:
+                        self.expansion_count += 1
+                        if self.stats is not None:
+                            self.stats.cache_hits += 1
+                            self.stats.expansions += 1
+                        if self.budget is not None:
+                            self.budget.charge_output(
+                                replayed, invocation.loc
+                            )
+                        return replayed, "hit"
                 cache_status = "miss"
                 if self.stats is not None:
                     self.stats.cache_misses += 1
 
-        self._depth += 1
-        if self._depth > MAX_EXPANSION_DEPTH:
-            self._depth = 0
+        # Check *before* incrementing: the raising frame must not
+        # count itself, so that every frame that did increment also
+        # runs the matching ``finally`` decrement and the counter
+        # returns to its pre-error value once the error is caught.
+        if self._depth >= MAX_EXPANSION_DEPTH:
             raise ExpansionError(
                 f"macro expansion exceeded depth {MAX_EXPANSION_DEPTH} "
                 f"(while expanding {invocation.name!r}); "
                 "self-recursive macro?",
                 invocation.loc,
             )
+        self._depth += 1
         try:
             mark = self._fresh_mark()
             bindings = {
@@ -197,6 +212,8 @@ class Expander:
             self.expansion_count += 1
             if self.stats is not None:
                 self.stats.expansions += 1
+            if self.budget is not None:
+                self.budget.charge_output(result, invocation.loc)
             return result, cache_status
         finally:
             self._depth -= 1

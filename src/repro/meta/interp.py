@@ -90,7 +90,14 @@ class Interpreter:
                 isinstance(item, decls.InitDeclarator)
                 and item.init is not None
             ):
-                value = self.eval(item.init, self.globals)
+                try:
+                    value = self.eval(item.init, self.globals)
+                except RecursionError:
+                    raise MetaInterpError(
+                        "meta-program exceeded the interpreter's "
+                        f"recursion limit initializing {name!r}",
+                        item.loc,
+                    ) from None
             else:
                 value = default_value(asttype)
             self.globals.define(name, value)
@@ -111,6 +118,16 @@ class Interpreter:
             self.exec_compound(definition.body, frame)
         except _Return as ret:
             return ret.value
+        except RecursionError:
+            # Deep meta-recursion can hit the host interpreter's own
+            # stack limit before the step-count fuel runs out; users
+            # must still only ever see Ms2Error subclasses.
+            raise MetaInterpError(
+                "meta-program exceeded the interpreter's recursion "
+                f"limit (while expanding {definition.name!r}); deeply "
+                "recursive meta-function?",
+                definition.body.loc,
+            ) from None
         raise MetaInterpError(
             f"macro {definition.name!r} finished without returning a value",
             definition.body.loc,

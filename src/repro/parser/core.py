@@ -43,7 +43,8 @@ from repro.asttypes.types import (
 )
 from repro.cast import ctypes, decls, nodes, stmts
 from repro.cast.base import Node
-from repro.errors import MacroSyntaxError, ParseError
+from repro.diagnostics import DiagnosticSink
+from repro.errors import MacroSyntaxError, Ms2Error, ParseError, SYNTHETIC
 from repro.lexer.scanner import tokenize
 from repro.lexer.tokens import AST_SPECIFIER_NAMES, Token, TokenKind
 from repro.macros.lookahead import validate_pattern
@@ -124,10 +125,15 @@ class Parser(ExpressionParserMixin):
         filename: str = "<string>",
         stats: Any = None,
         profiler: Any = None,
+        diagnostics: DiagnosticSink | None = None,
     ) -> None:
         #: Optional :class:`repro.stats.PipelineStats` hooked up by the
         #: engine; None for standalone parsers.
         self.stats = stats
+        #: Optional :class:`repro.diagnostics.DiagnosticSink`; when
+        #: present the parser recovers from errors (panic-mode resync)
+        #: instead of failing fast.
+        self.diagnostics = diagnostics
         #: Optional :class:`repro.trace.PhaseProfiler` (``--profile``).
         self.profiler = profiler
         if isinstance(source, TokenStream):
@@ -324,13 +330,122 @@ class Parser(ExpressionParserMixin):
 
     def parse_program(self) -> decls.TranslationUnit:
         items: list[Node] = []
+        sink = self.diagnostics
         while not self.stream.at_eof():
-            item = self.parse_top_level_item()
+            if sink is None:
+                item = self.parse_top_level_item()
+            else:
+                before = self.stream.save()
+                try:
+                    item = self.parse_top_level_item()
+                except Ms2Error as exc:
+                    item = self._recover_top_level(exc, sink, before)
+                    if item is None:
+                        break
             if isinstance(item, list):
                 items.extend(item)
             elif item is not None:
                 items.append(item)
         return decls.TranslationUnit(items)
+
+    # ------------------------------------------------------------------
+    # Panic-mode error recovery (active only with a diagnostic sink)
+    # ------------------------------------------------------------------
+
+    def _recover_top_level(
+        self,
+        exc: Ms2Error,
+        sink: DiagnosticSink,
+        before: tuple[int, list[Token]],
+    ) -> Node | None:
+        """Record ``exc`` and resynchronize at a top-level boundary.
+
+        Returns a poisoned :class:`~repro.cast.nodes.ErrorDecl`
+        covering the skipped region, or ``None`` once the sink is
+        saturated (the caller then stops parsing altogether).
+        """
+        if sink.saturated or not sink.emit_error(exc):
+            # Cap reached: fast-forward to EOF, surface what we have.
+            while not self.stream.at_eof():
+                self.stream.next()
+            return None
+        if self.stats is not None:
+            self.stats.parse_recoveries += 1
+        # Guarantee progress even when the failing parse consumed
+        # nothing, then skip to the next plausible item boundary.
+        if self.stream.save() == before and not self.stream.at_eof():
+            self.stream.next()
+        self._resync_top_level()
+        return nodes.ErrorDecl(
+            message=exc.message, loc=exc.location or SYNTHETIC
+        )
+
+    def _resync_top_level(self) -> None:
+        """Skip tokens until a plausible top-level boundary: past a
+        balanced ``}`` or a ``;`` at brace depth zero, or just before
+        a keyword that can start a top-level item (``syntax`` /
+        ``metadcl`` / declaration specifiers), or EOF."""
+        depth = 0
+        while not self.stream.at_eof():
+            token = self.stream.peek()
+            if (
+                depth == 0
+                and token.kind is TokenKind.KEYWORD
+                and (
+                    token.text in ("syntax", "metadcl")
+                    or token.text in _DECL_KEYWORDS
+                )
+            ):
+                return
+            self.stream.next()
+            if token.is_punct("{"):
+                depth += 1
+            elif token.is_punct("}"):
+                if depth <= 1:
+                    return
+                depth -= 1
+            elif token.is_punct(";") and depth == 0:
+                return
+
+    def _recover_in_compound(
+        self, exc: Ms2Error, sink: DiagnosticSink
+    ) -> nodes.ErrorStmt:
+        """Record ``exc`` and resynchronize inside a compound
+        statement (skip to ``;`` — consumed — or stop short of the
+        closing ``}``).  Raises when the sink is saturated so the
+        give-up propagates to the top level."""
+        if sink.saturated or not sink.emit_error(exc):
+            raise exc
+        if self.stats is not None:
+            self.stats.parse_recoveries += 1
+        depth = 0
+        while not self.stream.at_eof():
+            token = self.stream.peek()
+            if depth == 0 and token.is_punct("}"):
+                break
+            self.stream.next()
+            if token.is_punct("{"):
+                depth += 1
+            elif token.is_punct("}"):
+                depth -= 1
+            elif token.is_punct(";") and depth == 0:
+                break
+        return nodes.ErrorStmt(
+            message=exc.message, loc=exc.location or SYNTHETIC
+        )
+
+    @property
+    def _recovering(self) -> bool:
+        """True when errors should be trapped at statement level:
+        recovery is confined to plain program code — a fault inside
+        meta-code (macro bodies, templates) poisons the whole
+        definition at the top level instead, so no half-checked macro
+        is ever registered."""
+        return (
+            self.diagnostics is not None
+            and not self.meta_mode
+            and not self.template_mode
+        )
 
     def parse_top_level_item(self) -> Node | list[Node] | None:
         token = self.peek()
@@ -945,7 +1060,19 @@ class Parser(ExpressionParserMixin):
                     if token.kind is TokenKind.IDENT:
                         defn = self.macro_dispatch(token.text, "decl")
                         if defn is not None:
-                            expanded = self._invocation_at(defn, "decl")
+                            try:
+                                expanded = self._invocation_at(defn, "decl")
+                            except Ms2Error as exc:
+                                if not self._recovering:
+                                    raise
+                                declarations.append(
+                                    self._recover_in_compound(
+                                        exc, self.diagnostics
+                                    )
+                                )
+                                if self.stream.at_eof():
+                                    break
+                                continue
                             if isinstance(expanded, list):
                                 declarations.extend(expanded)
                             else:
@@ -964,7 +1091,19 @@ class Parser(ExpressionParserMixin):
                         )
                         continue
                     if self._starts_declaration(token):
-                        declaration = self.parse_declaration()
+                        try:
+                            declaration = self.parse_declaration()
+                        except Ms2Error as exc:
+                            if not self._recovering:
+                                raise
+                            declarations.append(
+                                self._recover_in_compound(
+                                    exc, self.diagnostics
+                                )
+                            )
+                            if self.stream.at_eof():
+                                break
+                            continue
                         if self.meta_mode and not self.template_mode:
                             self._bind_meta_locals(declaration, env)
                         elif not self.template_mode and isinstance(
@@ -986,7 +1125,16 @@ class Parser(ExpressionParserMixin):
                             "statements in a compound statement",
                             token.location,
                         )
-                    statements.append(self.parse_statement())
+                    try:
+                        statements.append(self.parse_statement())
+                    except Ms2Error as exc:
+                        if not self._recovering:
+                            raise
+                        statements.append(
+                            self._recover_in_compound(exc, self.diagnostics)
+                        )
+                        if self.stream.at_eof():
+                            break
         finally:
             self.pop_typedef_scope()
             self.c_scope = saved_c_scope

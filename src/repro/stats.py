@@ -41,6 +41,15 @@ class PipelineStats:
     #: Total invocations expanded (cache hits included).
     expansions: int = 0
 
+    # -- recovery / robustness -----------------------------------------
+    #: Syntax errors recovered via panic-mode resync (recover mode).
+    parse_recoveries: int = 0
+    #: Failing invocations degraded to poisoned nodes (recover mode).
+    expansion_recoveries: int = 0
+    #: Cache entries whose snapshot failed to replay (corrupt or
+    #: stale blob); each fell back to re-running the meta-program.
+    cache_replay_failures: int = 0
+
     # -- hygiene / meta builtins ---------------------------------------
     #: Template-declared locals renamed by the hygienic renamer.
     hygiene_renames: int = 0
@@ -82,6 +91,9 @@ class PipelineStats:
             "compiled_parses": self.compiled_parses,
             "interpreted_parses": self.interpreted_parses,
             "expansions": self.expansions,
+            "parse_recoveries": self.parse_recoveries,
+            "expansion_recoveries": self.expansion_recoveries,
+            "cache_replay_failures": self.cache_replay_failures,
             "hygiene_renames": self.hygiene_renames,
             "gensym_calls": self.gensym_calls,
             "tokens_scanned": self.tokens_scanned,

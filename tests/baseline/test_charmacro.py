@@ -91,3 +91,22 @@ class TestErrors:
 
     def test_dollar_name_without_call_is_literal(self, cp):
         assert cp.process("$price today") == "$price today"
+
+
+class TestDepthCounterRegression:
+    def test_depth_balanced_after_overflow(self):
+        from repro.baseline.charmacro import CharMacroError, CharMacroProcessor
+
+        proc = CharMacroProcessor()
+        proc.define("LOOP", "$LOOP;")
+        import pytest
+
+        with pytest.raises(CharMacroError):
+            proc.process("$LOOP;")
+        assert proc._depth == 0
+        # A later, well-behaved expansion still works.
+        proc.define("GREET", "hello")
+        assert "hello" in proc.process("$GREET;")
+        with pytest.raises(CharMacroError):
+            proc.process("$LOOP;")
+        assert proc._depth == 0

@@ -1,0 +1,1 @@
+"""Seeded crash-safety fuzzing of the expansion pipeline."""

@@ -1,0 +1,135 @@
+"""Seeded fault-injection for the macro pipeline.
+
+The corpus is the example programs shipped in ``examples/`` (each
+exposes a ``PROGRAM`` string and registers the macro packages it
+needs).  A :class:`Mutator` applies token-level faults — deletion,
+adjacent swap, duplication, truncation, punctuation injection — under
+a seeded :class:`random.Random`, so every run is reproducible from
+``(seed, index)`` alone.
+
+The crash-safety contract being fuzzed: for *any* mutant, the
+pipeline either produces output or raises an
+:class:`~repro.errors.Ms2Error` subclass (fail-fast mode), and in
+recovery mode it always returns ``(output, diagnostics)`` — no raw
+Python exception may ever escape.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import random
+import re
+from pathlib import Path
+
+from repro import MacroProcessor
+from repro.errors import Ms2Error
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: Splits source into fuzzable units: identifiers/numbers, whitespace
+#: runs, and single punctuation characters.
+_TOKEN_RE = re.compile(r"\w+|\s+|[^\w\s]")
+
+
+def load_corpus() -> list[tuple[str, str, list]]:
+    """``(name, program, loaders)`` per example script.
+
+    ``loaders`` mixes package registrars and macro source strings
+    (``TRACE_SOURCES``), mirroring what ``repro trace`` preloads for
+    the same example.
+    """
+    corpus = []
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        spec = importlib.util.spec_from_file_location(
+            f"fuzz_corpus_{path.stem}", path
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        program = getattr(module, "PROGRAM", None) or getattr(
+            module, "TRACE_PROGRAM", None
+        )
+        if not program:
+            continue
+        loaders = [
+            value
+            for value in vars(module).values()
+            if getattr(value, "__name__", "").startswith("repro.packages.")
+            and hasattr(value, "register")
+        ]
+        loaders.extend(getattr(module, "TRACE_SOURCES", []))
+        corpus.append((path.stem, program, loaders))
+    return corpus
+
+
+class Mutator:
+    """Applies one seeded token-level fault per call."""
+
+    OPS = ("delete", "swap", "duplicate", "truncate", "punct", "splice")
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+
+    def mutate(self, source: str) -> tuple[str, str]:
+        """Returns ``(mutant, op_name)``."""
+        tokens = _TOKEN_RE.findall(source)
+        op = self.rng.choice(self.OPS)
+        if len(tokens) < 4:
+            op = "truncate"
+        rng = self.rng
+        if op == "delete":
+            del tokens[rng.randrange(len(tokens))]
+        elif op == "swap":
+            i = rng.randrange(len(tokens) - 1)
+            tokens[i], tokens[i + 1] = tokens[i + 1], tokens[i]
+        elif op == "duplicate":
+            i = rng.randrange(len(tokens))
+            tokens.insert(i, tokens[i])
+        elif op == "truncate":
+            return source[: rng.randrange(max(1, len(source)))], op
+        elif op == "punct":
+            i = rng.randrange(len(tokens))
+            tokens.insert(i, rng.choice(list("{}();,$`|@#:=+*")))
+        elif op == "splice":
+            # Move a random chunk somewhere else (gross structural damage).
+            n = len(tokens)
+            a, b = sorted(rng.randrange(n) for _ in range(2))
+            chunk = tokens[a:b + 1]
+            del tokens[a:b + 1]
+            i = rng.randrange(len(tokens) + 1)
+            tokens[i:i] = chunk
+        return "".join(tokens), op
+
+
+def make_processor(loaders: list, **kwargs) -> MacroProcessor:
+    """A fresh processor with the example's macros preloaded."""
+    mp = MacroProcessor(**kwargs)
+    for item in loaders:
+        if isinstance(item, str):
+            mp.load(item)
+        else:
+            item.register(mp)
+    return mp
+
+
+def run_mutant(
+    program: str, loaders: list, *, recover: bool
+) -> tuple[bool, BaseException | None]:
+    """Expand one mutant; returns ``(crash_safe, escaped_exception)``.
+
+    ``crash_safe`` is False exactly when a non-``Ms2Error`` exception
+    escaped the pipeline — the condition the harness exists to catch.
+    In recovery mode *any* raise is an escape.
+    """
+    try:
+        mp = make_processor(loaders)
+        if recover:
+            mp.expand_to_c(program, "<fuzz>", recover=True)
+        else:
+            mp.expand_to_c(program, "<fuzz>")
+    except Ms2Error as exc:
+        if recover:
+            return False, exc
+        return True, None
+    except BaseException as exc:  # noqa: BLE001 - the point of the harness
+        return False, exc
+    return True, None

@@ -37,6 +37,7 @@ PUBLIC_MODULES = [
     "repro.cast.visitor",
     "repro.cli",
     "repro.constfold",
+    "repro.diagnostics",
     "repro.engine",
     "repro.errors",
     "repro.figures",

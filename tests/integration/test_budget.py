@@ -1,0 +1,139 @@
+"""Expansion budgets: counts, output size, deadlines, recursion.
+
+Budget exhaustion must always surface as an
+:class:`~repro.errors.ExpansionBudgetError` (fail-fast) or a
+diagnostic (recovery mode) — never as a hang or a raw Python error.
+"""
+
+import pytest
+
+from repro import ExpansionBudget, MacroProcessor
+from repro.errors import ExpansionBudgetError, MetaInterpError
+
+DOUBLER = (
+    "syntax stmt Twice {| $$stmt::body |} "
+    "{ return(`{$body; $body;}); }\n"
+)
+
+
+def test_max_expansions_trips():
+    mp = MacroProcessor(budget=ExpansionBudget(max_expansions=2))
+    mp.load(DOUBLER)
+    with pytest.raises(ExpansionBudgetError) as excinfo:
+        mp.expand_to_c(
+            "void f(void) { Twice {a();} Twice {b();} Twice {c();} }"
+        )
+    assert "budget exhausted" in str(excinfo.value)
+
+
+def test_under_budget_is_silent():
+    mp = MacroProcessor(budget=ExpansionBudget(max_expansions=10))
+    mp.load(DOUBLER)
+    out = mp.expand_to_c("void f(void) { Twice {a();} }")
+    assert out.count("a();") == 2
+    assert mp.budget.expansions_used == 1
+
+
+def test_max_output_nodes_trips():
+    mp = MacroProcessor(budget=ExpansionBudget(max_output_nodes=3))
+    mp.load(DOUBLER)
+    with pytest.raises(ExpansionBudgetError):
+        mp.expand_to_c("void f(void) { Twice {a(b, c, d, e);} }")
+
+
+def test_deadline_trips():
+    # A zero-second allowance: the first charge starts the clock, the
+    # second finds it already passed.
+    mp = MacroProcessor(budget=ExpansionBudget(deadline_s=0.0))
+    mp.load(DOUBLER)
+    with pytest.raises(ExpansionBudgetError) as excinfo:
+        mp.expand_to_c("void f(void) { Twice {a();} Twice {b();} }")
+    assert "deadline" in str(excinfo.value)
+
+
+def test_budget_latches_once_exhausted():
+    budget = ExpansionBudget(max_expansions=1)
+    mp = MacroProcessor(budget=budget)
+    mp.load(DOUBLER)
+    with pytest.raises(ExpansionBudgetError):
+        mp.expand_to_c("void f(void) { Twice {a();} Twice {b();} }")
+    assert budget.exhausted is not None
+    with pytest.raises(ExpansionBudgetError):
+        budget.charge_expansion()
+
+
+def test_exhaustion_is_a_diagnostic_in_recover_mode():
+    mp = MacroProcessor(budget=ExpansionBudget(max_expansions=1))
+    mp.load(DOUBLER)
+    text, diags = mp.expand_to_c(
+        "void f(void) { Twice {a();} Twice {b();} done(); }",
+        recover=True,
+    )
+    assert "done();" in text
+    assert any(
+        d.category == "ExpansionBudgetError" for d in diags
+    )
+    assert "/* <error:" in text
+
+
+class TestRunawayRecursion:
+    """Budget exhaustion on mutually recursive macros/meta-functions."""
+
+    def _cyclic_macro(self, mp):
+        """Hand-wire macros A and B that expand into each other —
+        template-level cycles are impossible by construction (a
+        macro's keyword is not in scope while its body parses), so
+        the cycle is patched in at the interpreter seam."""
+        from repro.cast import nodes as n
+
+        mp.load(
+            "syntax stmt A {| ( ) |} { return(`{a();}); }\n"
+            "syntax stmt B {| ( ) |} { return(`{b();}); }"
+        )
+        defn_a = mp.table.lookup("A")
+        defn_b = mp.table.lookup("B")
+
+        def fake_call(definition, bindings):
+            other = defn_b if definition is defn_a else defn_a
+            return n.MacroInvocation(other.name, [], other)
+
+        mp.expander.interpreter.call_macro = fake_call
+        return n.MacroInvocation("A", [], defn_a)
+
+    def test_mutually_recursive_macros_hit_expansion_budget(self):
+        mp = MacroProcessor(
+            cache=False, budget=ExpansionBudget(max_expansions=50)
+        )
+        inv = self._cyclic_macro(mp)
+        with pytest.raises(ExpansionBudgetError):
+            mp.expander.expand_invocation(inv)
+        assert mp.budget.expansions_used <= 51
+
+    def test_mutually_recursive_meta_functions_stay_ms2_errors(self, mp):
+        # odd() is first defined with a dummy body so even() can be
+        # checked, then redefined in terms of even(): the closures
+        # resolve names at call time, so the recursion is genuinely
+        # mutual — and unbounded, so a resource error must surface as
+        # MetaInterpError (fuel or recursion guard), never as a raw
+        # RecursionError.
+        mp.load(
+            "@exp odd(int n) { return(`(0)); }\n"
+            "@exp even(int n) { return(odd(n)); }\n"
+            "@exp odd(int n) { return(even(n)); }\n"
+            "syntax exp go {| ( ) |} { return(even(0)); }"
+        )
+        with pytest.raises(MetaInterpError):
+            mp.expand_to_c("int x = go();")
+
+    def test_bounded_mutual_meta_recursion_works(self, mp):
+        mp.load(
+            "@exp odd(int n) { return(`(0)); }\n"
+            "@exp even(int n) {"
+            "  if (n == 0) return(`(1)); return(odd(n - 1)); }\n"
+            "@exp odd(int n) {"
+            "  if (n == 0) return(`(0)); return(even(n - 1)); }\n"
+            "syntax exp par {| ( $$exp::e ) |} {"
+            "  return(even(eval_const(e))); }"
+        )
+        out = mp.expand_to_c("int x = par(4);")
+        assert "x = 1" in out

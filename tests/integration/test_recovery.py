@@ -1,0 +1,243 @@
+"""Recovery mode: multi-error diagnostics, poisoned nodes, parity.
+
+The contract under test: ``expand_program(..., recover=True)`` returns
+``(output, diagnostics)`` — one diagnostic per independent fault, the
+first identical to what fail-fast mode raises — while the default
+fail-fast behaviour is byte-for-byte unchanged.
+"""
+
+import pytest
+
+from repro import MacroProcessor
+from repro.cast import nodes
+from repro.diagnostics import (
+    DEFAULT_MAX_ERRORS,
+    Diagnostic,
+    DiagnosticSink,
+    ERROR,
+    NOTE,
+    WARNING,
+)
+from repro.errors import Ms2Error, ParseError
+from tests.conftest import assert_c_equal
+
+#: (name, broken source) — each fixture fails fast with one Ms2Error.
+#: The faults sit in their own top-level items, so the recovered
+#: remainder must match the expansion of the source without them.
+BROKEN_FIXTURES = [
+    (
+        "missing-semicolon",
+        "void ok(void) { a(); }\n"
+        "int bad = 1 2;\n"
+        "void ok2(void) { b(); }\n",
+    ),
+    (
+        "unclosed-paren",
+        "void ok(void) { a(); }\n"
+        "int bad = (1 + ;\n"
+        "void ok2(void) { b(); }\n",
+    ),
+    (
+        "bad-macro-definition",
+        "void ok(void) { a(); }\n"
+        "syntax stmt Bad {| $oops |} { return(`{;}); }\n"
+        "void ok2(void) { b(); }\n",
+    ),
+    (
+        "macro-body-type-error",
+        "void ok(void) { a(); }\n"
+        "syntax stmt Bad {| ( ) |} { return(1 + `{;}); }\n"
+        "void ok2(void) { b(); }\n",
+    ),
+    (
+        "unknown-character",
+        "void ok(void) { a(); }\n"
+        "int bad = @@@;\n"
+        "void ok2(void) { b(); }\n",
+    ),
+]
+
+CLEAN_REMAINDER = "void ok(void) { a(); }\nvoid ok2(void) { b(); }\n"
+
+
+class TestMultiErrorRecovery:
+    def test_three_faults_three_diagnostics(self):
+        # ISSUE acceptance: a file with >= 3 independent faults must
+        # yield >= 3 diagnostics in recover mode.
+        src = (
+            "void f(void)\n"
+            "{\n"
+            "    int x;\n"
+            "    x = ;\n"        # fault 1: missing expression
+            "    y 12 bad;\n"    # fault 2: garbage statement
+            "    x = (1 +;\n"    # fault 3: unclosed parenthesis
+            "    ok();\n"
+            "}\n"
+        )
+        mp = MacroProcessor()
+        text, diags = mp.expand_to_c(src, recover=True)
+        errors = [d for d in diags if d.severity == ERROR]
+        assert len(errors) >= 3
+        assert "ok()" in text
+        assert mp.stats.parse_recoveries >= 3
+
+    def test_fail_fast_is_the_default(self):
+        src = "void f(void) { x = ; }"
+        with pytest.raises(ParseError):
+            MacroProcessor().expand_to_c(src)
+
+    def test_poisoned_statements_print_as_comments(self):
+        src = "void f(void) { x = ; ok(); }"
+        text, diags = MacroProcessor().expand_to_c(src, recover=True)
+        assert "/* <error:" in text
+        assert "ok();" in text
+        assert len(diags) == 1
+
+    def test_expansion_failure_records_backtrace(self):
+        src = (
+            "syntax stmt Pick {| ( $$exp::e ) |} {\n"
+            "    if (simple_expression(e)) return(`{$e;});\n"
+            "    error(\"too complex\");\n"
+            "    return(`{;});\n"
+            "}\n"
+            "void f(void) { Pick(a + b * c()); done(); }\n"
+        )
+        mp = MacroProcessor()
+        text, diags = mp.expand_to_c(src, "prog.c", recover=True)
+        assert "done();" in text
+        assert "/* <error:" in text
+        (diag,) = diags
+        assert "expanded from Pick at prog.c:6" in diag.rendered
+        assert mp.stats.expansion_recoveries == 1
+
+    def test_recovered_unit_carries_poisoned_nodes(self):
+        src = "void f(void) { x = ; }\nint bad = 1 2;\n"
+        unit, diags = MacroProcessor().expand_program(src, recover=True)
+        kinds = {
+            type(n).__name__
+            for item in unit.items
+            for n in _walk_all(item)
+        }
+        assert "ErrorStmt" in kinds or "ErrorDecl" in kinds
+        assert len(diags) == 2
+
+    def test_max_errors_cap(self):
+        src = "void f(void) {\n" + "    x = ;\n" * 10 + "}\n"
+        text, diags = MacroProcessor().expand_to_c(
+            src, recover=True, max_errors=3
+        )
+        errors = [d for d in diags if d.severity == ERROR]
+        notes = [d for d in diags if d.severity == NOTE]
+        assert len(errors) == 3
+        assert len(notes) == 1
+        assert "too many errors" in notes[0].message
+
+    def test_recover_never_raises_on_garbage(self):
+        for src in ("{{{{", "}}}}", ";;;;", "@#!$", "syntax", "int"):
+            out = MacroProcessor().expand_to_c(src, recover=True)
+            assert isinstance(out, tuple)
+
+
+class TestRecoveryParity:
+    @pytest.mark.parametrize(
+        "name,src", BROKEN_FIXTURES, ids=[n for n, _ in BROKEN_FIXTURES]
+    )
+    def test_first_diagnostic_matches_fail_fast(self, name, src):
+        with pytest.raises(Ms2Error) as excinfo:
+            MacroProcessor().expand_to_c(src, "fixture.c")
+        _, diags = MacroProcessor().expand_to_c(
+            src, "fixture.c", recover=True
+        )
+        assert diags, "recover mode reported nothing"
+        first = diags[0]
+        assert first.severity == ERROR
+        assert first.rendered == str(excinfo.value)
+        assert first.category == type(excinfo.value).__name__
+
+    @pytest.mark.parametrize(
+        "name,src", BROKEN_FIXTURES, ids=[n for n, _ in BROKEN_FIXTURES]
+    )
+    def test_recovered_remainder_matches_seed_output(self, name, src):
+        # Faults live in their own top-level items; everything else
+        # must print exactly as the seed printer prints the clean
+        # program (poisoned items render as comments, which the
+        # token-level comparison ignores).
+        expected = MacroProcessor().expand_to_c(CLEAN_REMAINDER)
+        recovered, _ = MacroProcessor().expand_to_c(src, recover=True)
+        assert_c_equal(recovered, expected)
+
+
+class TestDiagnosticSink:
+    def test_severities_and_counts(self):
+        sink = DiagnosticSink(max_errors=5)
+        assert sink.emit(Diagnostic(WARNING, "w"))
+        assert sink.emit(Diagnostic(ERROR, "e1"))
+        assert sink.emit(Diagnostic(NOTE, "n"))
+        assert sink.error_count == 1
+        assert len(sink.errors) == 1
+        assert len(sink) == 3
+        assert not sink.saturated
+
+    def test_cap_appends_note_and_latches(self):
+        sink = DiagnosticSink(max_errors=2)
+        assert sink.emit(Diagnostic(ERROR, "e1"))
+        assert not sink.emit(Diagnostic(ERROR, "e2"))
+        assert sink.saturated
+        assert not sink.emit(Diagnostic(ERROR, "e3"))
+        # e3 dropped; cap note recorded exactly once.
+        assert [d.message for d in sink.errors] == ["e1", "e2"]
+        assert sum(1 for d in sink if d.severity == NOTE) == 1
+
+    def test_from_error_preserves_rendering(self):
+        from repro.errors import SourceLocation
+
+        exc = ParseError("boom", SourceLocation(3, 7, 0, "x.c"))
+        diag = Diagnostic.from_error(exc)
+        assert diag.rendered == str(exc)
+        assert diag.location.line == 3
+        assert diag.category == "ParseError"
+        assert diag.render() == f"error: {exc}"
+
+    def test_default_cap(self):
+        assert DiagnosticSink().max_errors == DEFAULT_MAX_ERRORS
+
+
+class TestRecoverCli:
+    def test_cli_recover_exit_code_and_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        prog = tmp_path / "prog.c"
+        prog.write_text("void f(void) { x = ; ok(); }\n")
+        code = main(["expand", "--recover", str(prog)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "/* <error:" in captured.out
+        assert "ok();" in captured.out
+        assert "error:" in captured.err
+
+    def test_cli_recover_clean_file_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        prog = tmp_path / "prog.c"
+        prog.write_text("void f(void) { ok(); }\n")
+        code = main(["expand", "--recover", str(prog)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "ok();" in captured.out
+
+    def test_cli_max_errors(self, tmp_path, capsys):
+        from repro.cli import main
+
+        prog = tmp_path / "prog.c"
+        prog.write_text("void f(void) {\n" + "x = ;\n" * 8 + "}\n")
+        code = main(["expand", "--recover", "--max-errors", "2", str(prog)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.count("error:") == 2
+        assert "too many errors" in captured.err
+
+
+def _walk_all(item):
+    from repro.cast.base import walk
+
+    yield from walk(item)

@@ -255,3 +255,61 @@ class TestStatsWiring:
         text = mp.stats.summary()
         for key in d:
             assert key in text
+
+
+class TestReplayHardening:
+    """Corrupt or stale snapshots fall back to re-expansion: memo
+    corruption must never surface as a raw unpickling exception."""
+
+    SRC = "syntax stmt pure {| ( ) |} { return(`{work();}); }"
+    PROG = "void f(void) { pure(); }"
+
+    def _primed(self):
+        mp = MacroProcessor()
+        mp.load(self.SRC)
+        mp.expand_to_c(self.PROG)
+        assert len(mp.cache) == 1
+        return mp
+
+    def test_corrupt_blob_falls_back_to_reexpansion(self):
+        mp = self._primed()
+        key = next(iter(mp.cache._entries))
+        blob = mp.cache._entries[key]
+        # Keep the version header, garble the pickle payload.
+        mp.cache._entries[key] = blob[:5] + b"\x80garbage\xff" + blob[9:]
+        out = mp.expand_to_c(self.PROG)
+        assert "work()" in out
+        assert mp.stats.cache_replay_failures == 1
+        # The poisoned entry was evicted and re-stored on the fallback
+        # expansion; the next run replays cleanly.
+        mp.expand_to_c(self.PROG)
+        assert mp.stats.cache_replay_failures == 1
+
+    def test_truncated_blob_falls_back(self):
+        mp = self._primed()
+        key = next(iter(mp.cache._entries))
+        mp.cache._entries[key] = mp.cache._entries[key][:8]
+        out = mp.expand_to_c(self.PROG)
+        assert "work()" in out
+        assert mp.stats.cache_replay_failures == 1
+
+    def test_stale_version_header_is_rejected(self):
+        from repro.macros import cache as cache_mod
+
+        mp = self._primed()
+        key = next(iter(mp.cache._entries))
+        blob = mp.cache._entries[key]
+        stale = cache_mod._MAGIC + bytes([99]) + blob[5:]
+        mp.cache._entries[key] = stale
+        out = mp.expand_to_c(self.PROG)
+        assert "work()" in out
+        assert mp.stats.cache_replay_failures == 1
+
+    def test_store_prefixes_version_header(self):
+        from repro.macros import cache as cache_mod
+
+        mp = self._primed()
+        blob = next(iter(mp.cache._entries.values()))
+        assert blob.startswith(
+            cache_mod._MAGIC + bytes([cache_mod.CACHE_FORMAT_VERSION])
+        )

@@ -195,3 +195,47 @@ class TestMetaState:
         )
         out = mp.expand_to_c("void f(void) { traced work(); }")
         assert_c_equal(out, "void f(void) {{enter(); work(); leave();}}")
+
+
+class TestDepthCounterRegression:
+    """The depth counter must return to zero after an overflow is
+    caught — the old reset-then-raise pattern drove it negative (each
+    enclosing frame's ``finally`` decrement fired after the reset),
+    silently granting later expansions extra headroom."""
+
+    def _overflow(self, mp):
+        from repro.cast import nodes as n
+
+        if mp.table.lookup("leaf") is None:
+            mp.load("syntax stmt leaf {| ( ) |} { return(`{l();}); }")
+        if mp.cache is not None:
+            # A cached leaf() expansion would short-circuit the cycle.
+            mp.cache.clear()
+        defn = mp.table.lookup("leaf")
+        inv = n.MacroInvocation("leaf", [], defn)
+        original = mp.expander.interpreter.call_macro
+
+        def fake_call(definition, bindings):
+            return n.MacroInvocation("leaf", [], defn)
+
+        mp.expander.interpreter.call_macro = fake_call
+        try:
+            with pytest.raises(ExpansionError):
+                mp.expander.expand_invocation(inv)
+        finally:
+            mp.expander.interpreter.call_macro = original
+
+    def test_depth_balanced_after_overflow(self, mp):
+        self._overflow(mp)
+        assert mp.expander._depth == 0
+
+    def test_reexpansion_after_overflow_works(self, mp):
+        # After a caught overflow, an ordinary expansion must still
+        # succeed, and a *second* runaway must hit the guard at the
+        # same depth (no negative-counter headroom).
+        self._overflow(mp)
+        out = mp.expand_to_c("void f(void) { leaf(); }")
+        assert "l()" in out
+        assert mp.expander._depth == 0
+        self._overflow(mp)
+        assert mp.expander._depth == 0
