@@ -9,7 +9,7 @@ ways:
    reporting the bug;
 2. with the macro rewritten to use ``gensym`` (the paper's §4
    discipline);
-3. with automatic hygiene (`MacroProcessor(hygienic=True)` — the §5
+3. with automatic hygiene (`Ms2Options(hygienic=True)` — the §5
    future-work extension, implemented here).
 
 Run with::
@@ -17,7 +17,7 @@ Run with::
     python examples/capture_lint.py
 """
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro.analysis import detect_captures
 
 CAPTURING_MACRO = """
@@ -56,7 +56,7 @@ def show(title: str, macro_src: str, hygienic: bool) -> None:
     print("=" * 64)
     print(title)
     print("=" * 64)
-    mp = MacroProcessor(hygienic=hygienic)
+    mp = MacroProcessor(options=Ms2Options(hygienic=hygienic))
     mp.load(macro_src)
     unit = mp.expand_to_ast(PROGRAM)
     print(mp.expand_to_c(PROGRAM))

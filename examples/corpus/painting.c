@@ -1,0 +1,17 @@
+/* The paper's introductory Painting macro, self-contained: the
+ * definition and its use share one translation unit. */
+
+syntax stmt Painting {| $$stmt::body |}
+{
+  return(`{BeginPaint(hDC, &ps);
+           $body;
+           EndPaint(hDC, &ps);});
+}
+
+void redraw_window(void)
+{
+    Painting {
+        draw_background();
+        draw_text(hDC, caption);
+    }
+}

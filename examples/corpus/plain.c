@@ -1,0 +1,9 @@
+/* No macros at all: the driver must pass plain C through unchanged
+ * (modulo layout). */
+
+int clamp(int value, int lo, int hi)
+{
+    if (value < lo) return lo;
+    if (value > hi) return hi;
+    return value;
+}

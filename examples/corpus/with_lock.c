@@ -1,0 +1,16 @@
+/* Resource bracketing: the allocate/use/deallocate idiom as one
+ * statement form. */
+
+syntax stmt with_lock {| ( $$exp::mutex ) $$stmt::body |}
+{
+  return(`{acquire($mutex);
+           $body;
+           release($mutex);});
+}
+
+void update_counter(void)
+{
+    with_lock (&counter_mutex) {
+        counter = counter + 1;
+    }
+}

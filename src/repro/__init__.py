@@ -34,6 +34,7 @@ from repro.cast.printer import render_c
 from repro.cast.sexpr import render_sexpr
 from repro.diagnostics import Diagnostic, DiagnosticSink, ExpansionBudget
 from repro.engine import MacroProcessor, expand_source
+from repro.options import ExpandResult, Ms2DeprecationWarning, Ms2Options
 from repro.provenance import ExpandedLocation, ExpansionSite
 from repro.trace import ExpansionSpan, PhaseProfiler, Tracer
 from repro.errors import (
@@ -57,6 +58,7 @@ __all__ = [
     "DiagnosticSink",
     "ExpandedLocation",
     "ExpansionBudget",
+    "ExpandResult",
     "ExpansionBudgetError",
     "ExpansionError",
     "ExpansionSite",
@@ -64,6 +66,8 @@ __all__ = [
     "ResourceLimitError",
     "LexError",
     "MacroProcessor",
+    "Ms2DeprecationWarning",
+    "Ms2Options",
     "MacroSyntaxError",
     "MacroTypeError",
     "MetaInterpError",

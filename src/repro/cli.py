@@ -6,6 +6,8 @@ Usage (also via ``python -m repro``)::
     python -m repro expand -p exceptions prog.c # preload a package
     python -m repro expand --hygienic prog.c
     python -m repro expand --profile --annotate prog.c
+    python -m repro build srcdir/ -j 4          # batch build w/ cache
+    python -m repro build a.c b.c --report json
     python -m repro trace -p loops prog.c       # expansion span tree
     python -m repro trace examples/quickstart.py
     python -m repro macros -p exceptions        # list macro keywords
@@ -14,47 +16,143 @@ Usage (also via ``python -m repro``)::
 ``expand`` reads the named files in order (macro packages first, the
 program last) and writes the expanded C of the *last* file to stdout,
 mirroring the paper's model of meta-program files feeding program
-files.
+files.  ``build`` expands *every* named file (or every ``.c``/``.ms2``
+under a named directory) as an independent translation unit, in
+parallel, against a persistent content-hash cache — see
+:mod:`repro.driver`.
+
+Every subcommand funnels its flags through one
+:func:`options_from_args`, so the CLI's defaults are, by construction,
+the :class:`~repro.options.Ms2Options` defaults the library uses.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro.driver.diskcache import DEFAULT_CACHE_DIR
 from repro.engine import MacroProcessor
 from repro.errors import Ms2Error
+from repro.options import Ms2Options
+from repro.packages import PACKAGE_NAMES, register_named
 
-#: Names accepted by ``-p/--package``.
-PACKAGE_NAMES = (
-    "exceptions", "painting", "painting-protected", "dynbind",
-    "enumio", "dispatch", "loops",
-)
+#: The single source of defaults for every flag below.
+_DEFAULTS = Ms2Options()
 
 
 def _load_package(mp: MacroProcessor, name: str) -> None:
-    from repro import packages
+    try:
+        register_named(mp, name)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0])) from None
 
-    if name == "exceptions":
-        packages.exceptions.register(mp)
-    elif name == "painting":
-        packages.painting.register(mp)
-    elif name == "painting-protected":
-        packages.painting.register(mp, protected=True)
-    elif name == "dynbind":
-        packages.dynbind.register(mp)
-    elif name == "enumio":
-        packages.enumio.register(mp)
-    elif name == "dispatch":
-        packages.dispatch.register(mp)
-    elif name == "loops":
-        packages.loops.register(mp)
-    else:
-        raise SystemExit(
-            f"unknown package {name!r} (choose from: "
-            f"{', '.join(PACKAGE_NAMES)})"
-        )
+
+def _add_package_flag(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "-p", "--package", action="append", default=[],
+        metavar="NAME", choices=PACKAGE_NAMES,
+        help=f"preload a standard package ({', '.join(PACKAGE_NAMES)})",
+    )
+
+
+def _add_option_flags(cmd: argparse.ArgumentParser) -> None:
+    """The pipeline flags shared by ``expand`` and ``build`` — one
+    per :class:`Ms2Options` field, defaulted from the dataclass."""
+    cmd.add_argument(
+        "--hygienic", action="store_true", default=_DEFAULTS.hygienic,
+        help="rename template-declared locals automatically",
+    )
+    cmd.add_argument(
+        "--compiled-patterns", action="store_true",
+        default=_DEFAULTS.compiled_patterns,
+        help="use compiled per-macro invocation parse routines "
+        "(the default; see --no-compiled-patterns)",
+    )
+    cmd.add_argument(
+        "--no-compiled-patterns", dest="compiled_patterns",
+        action="store_false",
+        help="parse invocations with the interpreted pattern engine",
+    )
+    cmd.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        default=_DEFAULTS.cache,
+        help="disable the expansion cache (re-run every meta-program)",
+    )
+    cmd.add_argument(
+        "--profile", action="store_true", default=_DEFAULTS.profile,
+        help="time each pipeline phase; print the table to stderr",
+    )
+    cmd.add_argument(
+        "--annotate", action="store_true", default=_DEFAULTS.annotate,
+        help="mark macro-generated code with provenance comments and "
+        "#line directives",
+    )
+    cmd.add_argument(
+        "--keep-meta", action="store_true", default=_DEFAULTS.keep_meta,
+        help="keep syntax/metadcl items in the output",
+    )
+    cmd.add_argument(
+        "--recover", action="store_true", default=_DEFAULTS.recover,
+        help="keep going after errors: report every diagnostic "
+        "(stderr), emit poisoned /* <error: ...> */ comments for the "
+        "failed regions, exit 1 if any errors were found",
+    )
+    cmd.add_argument(
+        "--max-errors", type=int, default=_DEFAULTS.max_errors,
+        metavar="N",
+        help="stop recovering after N errors (with --recover; "
+        f"default {_DEFAULTS.max_errors})",
+    )
+    cmd.add_argument(
+        "--max-expansions", type=int, default=_DEFAULTS.max_expansions,
+        metavar="N",
+        help="budget: abort after N macro expansions",
+    )
+    cmd.add_argument(
+        "--max-output-nodes", type=int,
+        default=_DEFAULTS.max_output_nodes, metavar="N",
+        help="budget: abort after macros have produced N AST nodes",
+    )
+    cmd.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="budget: abort expansion after MS milliseconds of "
+        "wall-clock time",
+    )
+
+
+def options_from_args(args: argparse.Namespace) -> Ms2Options:
+    """The one place CLI flags become pipeline configuration.  Flags
+    a subcommand doesn't expose fall back to the shared
+    :class:`Ms2Options` defaults, so ``repro expand``, ``repro
+    build``, ``repro trace`` and the library API cannot disagree."""
+    deadline_ms = getattr(args, "deadline_ms", None)
+    return Ms2Options(
+        hygienic=getattr(args, "hygienic", _DEFAULTS.hygienic),
+        keep_meta=getattr(args, "keep_meta", _DEFAULTS.keep_meta),
+        annotate=getattr(args, "annotate", _DEFAULTS.annotate),
+        compiled_patterns=getattr(
+            args, "compiled_patterns", _DEFAULTS.compiled_patterns
+        ),
+        cache=getattr(args, "cache", _DEFAULTS.cache),
+        recover=getattr(args, "recover", _DEFAULTS.recover),
+        max_errors=getattr(args, "max_errors", _DEFAULTS.max_errors),
+        max_expansions=getattr(
+            args, "max_expansions", _DEFAULTS.max_expansions
+        ),
+        max_output_nodes=getattr(
+            args, "max_output_nodes", _DEFAULTS.max_output_nodes
+        ),
+        deadline_s=(
+            deadline_ms / 1000.0
+            if deadline_ms is not None
+            else _DEFAULTS.deadline_s
+        ),
+        trace=getattr(args, "trace", _DEFAULTS.trace),
+        profile=getattr(args, "profile", _DEFAULTS.profile),
+    )
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -74,29 +172,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="input files; earlier files act as macro packages, the "
         "last file's expansion is printed",
     )
-    expand.add_argument(
-        "-p", "--package", action="append", default=[],
-        metavar="NAME", choices=PACKAGE_NAMES,
-        help=f"preload a standard package ({', '.join(PACKAGE_NAMES)})",
-    )
-    expand.add_argument(
-        "--hygienic", action="store_true",
-        help="rename template-declared locals automatically",
-    )
-    expand.add_argument(
-        "--compiled-patterns", action="store_true", default=True,
-        help="use compiled per-macro invocation parse routines "
-        "(the default; see --no-compiled-patterns)",
-    )
-    expand.add_argument(
-        "--no-compiled-patterns", dest="compiled_patterns",
-        action="store_false",
-        help="parse invocations with the interpreted pattern engine",
-    )
-    expand.add_argument(
-        "--no-cache", dest="cache", action="store_false", default=True,
-        help="disable the expansion cache (re-run every meta-program)",
-    )
+    _add_package_flag(expand)
+    _add_option_flags(expand)
     expand.add_argument(
         "--stats", action="store_true",
         help="print pipeline fast-path counters to stderr afterwards",
@@ -105,42 +182,51 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--stats-json", action="store_true",
         help="print pipeline counters as JSON to stderr afterwards",
     )
-    expand.add_argument(
-        "--profile", action="store_true",
-        help="time each pipeline phase; print the table to stderr",
+
+    build = sub.add_parser(
+        "build",
+        help="batch-expand many translation units in parallel, with "
+        "a persistent cross-run cache",
     )
-    expand.add_argument(
-        "--annotate", action="store_true",
-        help="mark macro-generated code with provenance comments and "
-        "#line directives",
+    build.add_argument(
+        "files", nargs="+", type=Path,
+        help="translation units and/or directories (every *.c/*.ms2 "
+        "below a directory is built)",
     )
-    expand.add_argument(
-        "--keep-meta", action="store_true",
-        help="keep syntax/metadcl items in the output",
+    _add_package_flag(build)
+    build.add_argument(
+        "--package-file", action="append", default=[], type=Path,
+        metavar="PATH",
+        help="macro-package source file loaded into every worker "
+        "before building (repeatable)",
     )
-    expand.add_argument(
-        "--recover", action="store_true",
-        help="keep going after errors: report every diagnostic "
-        "(stderr), emit poisoned /* <error: ...> */ comments for the "
-        "failed regions, exit 1 if any errors were found",
+    _add_option_flags(build)
+    build.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1: sequential, in-process)",
     )
-    expand.add_argument(
-        "--max-errors", type=int, default=None, metavar="N",
-        help="stop recovering after N errors (with --recover; "
-        "default 20)",
+    build.add_argument(
+        "--cache-dir", type=Path, default=Path(DEFAULT_CACHE_DIR),
+        metavar="DIR",
+        help=f"persistent snapshot cache root (default "
+        f"{DEFAULT_CACHE_DIR})",
     )
-    expand.add_argument(
-        "--max-expansions", type=int, default=None, metavar="N",
-        help="budget: abort after N macro expansions",
+    build.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="disable the persistent cache entirely",
     )
-    expand.add_argument(
-        "--max-output-nodes", type=int, default=None, metavar="N",
-        help="budget: abort after macros have produced N AST nodes",
+    build.add_argument(
+        "--no-incremental", action="store_true",
+        help="re-expand every file even when its snapshot is fresh "
+        "(results are still stored for future runs)",
     )
-    expand.add_argument(
-        "--deadline-ms", type=float, default=None, metavar="MS",
-        help="budget: abort expansion after MS milliseconds of "
-        "wall-clock time",
+    build.add_argument(
+        "--report", choices=("text", "json"), default="text",
+        help="batch report format on stdout (default text)",
+    )
+    build.add_argument(
+        "-o", "--out-dir", type=Path, default=None, metavar="DIR",
+        help="write each file's expanded C to DIR/<stem>.c",
     )
 
     trace = sub.add_parser(
@@ -152,17 +238,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="input files as for 'expand'; alternatively a single "
         "example script (*.py) exposing PROGRAM/TRACE_PROGRAM",
     )
+    _add_package_flag(trace)
     trace.add_argument(
-        "-p", "--package", action="append", default=[],
-        metavar="NAME", choices=PACKAGE_NAMES,
-        help=f"preload a standard package ({', '.join(PACKAGE_NAMES)})",
-    )
-    trace.add_argument(
-        "--no-cache", dest="cache", action="store_false", default=True,
+        "--no-cache", dest="cache", action="store_false",
+        default=_DEFAULTS.cache,
         help="disable the expansion cache (every span shows a miss)",
     )
     trace.add_argument(
-        "--profile", action="store_true",
+        "--profile", action="store_true", default=_DEFAULTS.profile,
         help="also print the per-phase wall-time table",
     )
     trace.add_argument(
@@ -174,10 +257,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     macros.add_argument(
         "files", nargs="*", type=Path, help="macro package files"
     )
-    macros.add_argument(
-        "-p", "--package", action="append", default=[],
-        metavar="NAME", choices=PACKAGE_NAMES,
-    )
+    _add_package_flag(macros)
 
     sub.add_parser(
         "figures", help="print the paper's Figure 2 and Figure 3 tables"
@@ -189,10 +269,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "and macro-introduced captures",
     )
     check.add_argument("files", nargs="+", type=Path)
-    check.add_argument(
-        "-p", "--package", action="append", default=[],
-        metavar="NAME", choices=PACKAGE_NAMES,
-    )
+    _add_package_flag(check)
     check.add_argument(
         "--extern", action="append", default=[], metavar="NAME",
         help="identifier supplied by the runtime (repeatable)",
@@ -200,80 +277,62 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_budget(args: argparse.Namespace):
-    """An ExpansionBudget from the CLI flags, or None when unset."""
-    if (
-        args.max_expansions is None
-        and args.max_output_nodes is None
-        and args.deadline_ms is None
-    ):
-        return None
-    from repro.diagnostics import ExpansionBudget
-
-    return ExpansionBudget(
-        max_expansions=args.max_expansions,
-        max_output_nodes=args.max_output_nodes,
-        deadline_s=(
-            args.deadline_ms / 1000.0
-            if args.deadline_ms is not None
-            else None
-        ),
-    )
-
-
 def cmd_expand(args: argparse.Namespace) -> int:
     """``repro expand``: load packages/files, print expanded C."""
-    mp = MacroProcessor(
-        hygienic=args.hygienic,
-        compiled_patterns=args.compiled_patterns,
-        cache=args.cache,
-        profile=args.profile,
-        budget=_make_budget(args),
-    )
+    options = options_from_args(args)
+    mp = MacroProcessor(options=options)
     for name in args.package:
         _load_package(mp, name)
     *packages_files, program = args.files
     for path in packages_files:
         mp.load(path.read_text(), str(path))
-    source = program.read_text()
-    diagnostics = None
-    if args.keep_meta:
-        from repro.cast.printer import render_c
-
-        if args.recover:
-            unit, diagnostics = mp.expand_program(
-                source, str(program),
-                recover=True, max_errors=args.max_errors,
-            )
-        else:
-            unit = mp.expand_program(source, str(program))
-        print(render_c(unit, annotate=args.annotate), end="")
-    elif args.recover:
-        text, diagnostics = mp.expand_to_c(
-            source, str(program),
-            annotate=args.annotate,
-            recover=True, max_errors=args.max_errors,
-        )
-        print(text, end="")
-    else:
-        print(
-            mp.expand_to_c(source, str(program), annotate=args.annotate),
-            end="",
-        )
-    if diagnostics:
-        for diagnostic in diagnostics:
-            print(diagnostic.render(), file=sys.stderr)
+    result = mp.expand(program.read_text(), str(program))
+    print(result.output, end="")
+    for diagnostic in result.diagnostics:
+        print(diagnostic.render(), file=sys.stderr)
     if args.stats:
         print(mp.stats.summary(), file=sys.stderr)
     if args.stats_json:
-        import json
-
         print(json.dumps(mp.stats.as_dict()), file=sys.stderr)
-    if args.profile:
+    if options.profile:
         print(mp.stats.profile_summary(), file=sys.stderr)
-    if diagnostics and any(d.severity == "error" for d in diagnostics):
-        return 1
-    return 0
+    return 0 if result.ok else 1
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    """``repro build``: parallel batch expansion with the persistent
+    cache (see :mod:`repro.driver`)."""
+    from repro.driver import BuildSession, write_outputs
+
+    options = options_from_args(args)
+    session = BuildSession(
+        options,
+        package_names=args.package,
+        package_sources=[
+            (str(path), path.read_text()) for path in args.package_file
+        ],
+        jobs=args.jobs,
+        cache_dir=None if args.no_disk_cache else args.cache_dir,
+        incremental=not args.no_incremental,
+    )
+    report = session.build(args.files)
+    if args.out_dir is not None:
+        write_outputs(report, args.out_dir)
+    if args.report == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    for result in report.results:
+        for diagnostic in result.diagnostics:
+            rendered = diagnostic.get("rendered", "")
+            severity = diagnostic.get("severity", "note")
+            print(
+                f"{result.path}: {severity}: {rendered}",
+                file=sys.stderr,
+            )
+        if result.error:
+            print(f"{result.path}: error: {result.error}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _trace_example(mp: MacroProcessor, path: Path) -> tuple[str, str]:
@@ -316,12 +375,10 @@ def _trace_example(mp: MacroProcessor, path: Path) -> tuple[str, str]:
 def cmd_trace(args: argparse.Namespace) -> int:
     """``repro trace``: expand, then print the expansion span tree."""
     jsonl_stream = args.jsonl.open("w") if args.jsonl else None
-    mp = MacroProcessor(
-        trace=True,
-        trace_jsonl=jsonl_stream,
-        profile=args.profile,
-        cache=args.cache,
+    options = options_from_args(args).replace(
+        trace=True, trace_jsonl=jsonl_stream
     )
+    mp = MacroProcessor(options=options)
     try:
         if len(args.files) == 1 and args.files[0].suffix == ".py":
             source, filename = _trace_example(mp, args.files[0])
@@ -332,7 +389,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             for path in package_files:
                 mp.load(path.read_text(), str(path))
             source, filename = program.read_text(), str(program)
-        mp.expand_to_c(source, filename)
+        mp.expand(source, filename)
     except Ms2Error:
         # Show the spans recorded up to the failure, then let main()
         # format the error (with its expansion backtrace).
@@ -343,7 +400,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         if jsonl_stream is not None:
             jsonl_stream.close()
     print(mp.tracer.render_tree())
-    if args.profile:
+    if options.profile:
         print(mp.stats.profile_summary())
     return 0
 
@@ -415,6 +472,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "expand":
             return cmd_expand(args)
+        if args.command == "build":
+            return cmd_build(args)
         if args.command == "trace":
             return cmd_trace(args)
         if args.command == "macros":

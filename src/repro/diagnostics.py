@@ -83,6 +83,30 @@ class Diagnostic:
     def render(self) -> str:
         return f"{self.severity}: {self.rendered}"
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (the batch driver's report / snapshot
+        payload).  Locations flatten to their string rendering — the
+        round trip preserves everything a report consumer needs, not
+        the live :class:`SourceLocation` object."""
+        return {
+            "severity": self.severity,
+            "message": self.message,
+            "location": str(self.location) if self.location else None,
+            "category": self.category,
+            "rendered": self.rendered,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        """Rebuild from :meth:`as_dict` output (cache replay path)."""
+        return cls(
+            severity=data.get("severity", ERROR),
+            message=data.get("message", ""),
+            location=None,
+            category=data.get("category", ""),
+            rendered=data.get("rendered", ""),
+        )
+
 
 class DiagnosticSink:
     """Collects diagnostics during a recovery-mode run.

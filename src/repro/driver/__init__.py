@@ -1,0 +1,44 @@
+"""Parallel batch compilation with a persistent cross-run cache.
+
+The paper's MS2 processed whole multi-file C programs one translation
+unit at a time; this subsystem is the production-scale driver on top
+of the same pipeline:
+
+>>> from repro.driver import BuildSession
+>>> from repro import Ms2Options
+>>> session = BuildSession(Ms2Options(), package_names=["loops"],
+...                        jobs=4, cache_dir=".ms2-cache")
+>>> report = session.build(["srcdir/"])          # doctest: +SKIP
+>>> report.ok, report.files_from_cache           # doctest: +SKIP
+
+- :mod:`repro.driver.scheduler` — the :class:`BuildSession` fan-out
+  (process pool, shared macro context, per-file isolation);
+- :mod:`repro.driver.diskcache` — content-hash-keyed snapshot files
+  that survive runs, with the in-memory cache's exact corruption
+  fallback semantics;
+- :mod:`repro.driver.locks` — the advisory file lock protecting
+  compound cache operations from concurrent invocations;
+- :mod:`repro.driver.report` — per-file results aggregated into one
+  :class:`BuildReport` (``repro build --report json``).
+"""
+
+from repro.driver.diskcache import DEFAULT_CACHE_DIR, PersistentCache
+from repro.driver.locks import FileLock, LockTimeout
+from repro.driver.report import BuildReport, FileResult
+from repro.driver.scheduler import (
+    BuildSession,
+    resolve_inputs,
+    write_outputs,
+)
+
+__all__ = [
+    "BuildReport",
+    "BuildSession",
+    "DEFAULT_CACHE_DIR",
+    "FileLock",
+    "FileResult",
+    "LockTimeout",
+    "PersistentCache",
+    "resolve_inputs",
+    "write_outputs",
+]

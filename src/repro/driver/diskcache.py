@@ -1,0 +1,231 @@
+"""The persistent, content-addressed build cache.
+
+Where the in-memory :class:`~repro.macros.cache.ExpansionCache`
+memoizes single macro expansions *within* a process, this cache
+memoizes whole translation-unit builds *across* processes and runs:
+the expanded C text of a file, plus its diagnostics, stats and trace
+spans, keyed by the triple
+
+    (source hash, macro-definition hash, options hash)
+
+so an incremental rebuild skips every file whose inputs are
+unchanged.  Entries live as snapshot files under a cache root
+(``.ms2-cache/`` by default), two-level fanned-out by key prefix::
+
+    .ms2-cache/
+        ab/
+            ab3f...9c.ms2c      # MS2C\\x01 header + pickled payload
+            ab3f...9c.lock      # per-entry advisory lock
+
+Robustness mirrors the in-memory path exactly:
+
+- snapshots reuse the versioned ``MS2C`` + format-byte header from
+  :mod:`repro.macros.cache`; a version bump invalidates old entries
+  wholesale (they read as *stale* and are evicted);
+- **corrupt or truncated** snapshots — pickle explosions, wrong
+  payload shape, key mismatch — are evicted and counted, and the
+  caller falls back to re-expansion; corruption can never surface as
+  an exception from a build;
+- writes go to a temp file in the same directory followed by
+  ``os.replace``, so readers only ever observe complete snapshots,
+  and a per-entry :class:`~repro.driver.locks.FileLock` serializes
+  writers racing on one entry;
+- a cache directory deleted mid-build is recreated on the next
+  store; a store that still cannot land is dropped silently (the
+  build result is unaffected — only warm-cache reuse is lost).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.driver.locks import FileLock, LockTimeout
+from repro.macros.cache import (
+    CACHE_FORMAT_VERSION,
+    frame_snapshot,
+    unframe_snapshot,
+)
+
+__all__ = ["PersistentCache", "DEFAULT_CACHE_DIR"]
+
+#: Default cache root, relative to the build's working directory.
+DEFAULT_CACHE_DIR = ".ms2-cache"
+
+#: Snapshot filename extension.
+_SNAPSHOT_SUFFIX = ".ms2c"
+
+#: Keys every well-formed snapshot payload must carry.
+_REQUIRED_KEYS = frozenset({"key", "output"})
+
+#: Bytes of sha256(body) stored between header and body.  RAM blobs
+#: don't need this, but disk rots: without it a flipped bit inside a
+#: pickled string could deserialize "successfully" into wrong output.
+_DIGEST_LEN = 8
+
+
+def _digest(body: bytes) -> bytes:
+    import hashlib
+
+    return hashlib.sha256(body).digest()[:_DIGEST_LEN]
+
+
+class PersistentCache:
+    """Snapshot files for whole-file build results under one root.
+
+    The payloads stored are plain JSON-able dicts (text, rendered
+    diagnostics, counters) — nothing that depends on importability of
+    pipeline internals at load time beyond the stdlib.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        #: Snapshots served this session.
+        self.hits = 0
+        #: Lookups that found no usable snapshot.
+        self.misses = 0
+        #: Snapshots rejected as corrupt, truncated or stale (each
+        #: was evicted; the caller re-expanded).
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """The snapshot path for ``key`` (two-level fan-out)."""
+        return self.root / key[:2] / f"{key}{_SNAPSHOT_SUFFIX}"
+
+    def _lock_for(self, key: str) -> FileLock:
+        return FileLock(
+            self.path_for(key).with_suffix(".lock"), timeout=10.0
+        )
+
+    # ------------------------------------------------------------------
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for ``key``, or None on miss.
+
+        Every way a snapshot can be unusable — absent, truncated,
+        version-stamped by another format, unpicklable, wrong shape,
+        keyed for different inputs — funnels into the same answer:
+        evict (when present), count, return None, caller re-expands.
+        """
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        payload = self._decode(blob, key)
+        if payload is None:
+            self._evict(key)
+            self.failures += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    @staticmethod
+    def _decode(blob: bytes, key: str) -> dict[str, Any] | None:
+        framed = unframe_snapshot(blob)
+        if framed is None:
+            return None  # stale version stamp or garbled header
+        if len(framed) < _DIGEST_LEN:
+            return None  # truncated before the integrity digest
+        stamp, body = framed[:_DIGEST_LEN], framed[_DIGEST_LEN:]
+        if stamp != _digest(body):
+            return None  # body corrupted on disk
+        try:
+            payload = pickle.loads(body)
+        except Exception:
+            # pickle raises a menagerie on corrupt input; all of it
+            # means the same thing here: the snapshot is unusable.
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if not _REQUIRED_KEYS <= payload.keys():
+            return None
+        if payload["key"] != key:
+            return None  # renamed/copied snapshot file
+        if not isinstance(payload["output"], str):
+            return None
+        return payload
+
+    def store(self, key: str, payload: dict[str, Any]) -> bool:
+        """Persist ``payload`` under ``key``; True when it landed.
+
+        The write is atomic (temp file + ``os.replace``) and guarded
+        by the per-entry lock.  Failure to persist — cache directory
+        deleted mid-build, lock wedged, disk full — is absorbed: the
+        build keeps its in-memory result and only loses reuse.
+        """
+        payload = dict(payload)
+        payload["key"] = key
+        payload["format"] = CACHE_FORMAT_VERSION
+        try:
+            body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        blob = frame_snapshot(_digest(body) + body)
+        try:
+            with self._lock_for(key):
+                return self._write_atomic(self.path_for(key), blob)
+        except (LockTimeout, OSError):
+            return False
+
+    @staticmethod
+    def _write_atomic(path: Path, blob: bytes) -> bool:
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=path.stem, suffix=".tmp", dir=path.parent
+            )
+        except OSError:
+            return False
+        try:
+            with io.FileIO(fd, "w") as tmp:
+                tmp.write(blob)
+            os.replace(tmp_name, path)
+            return True
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return False
+
+    def _evict(self, key: str) -> None:
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        """Every snapshot file currently under the root."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob(f"*/*{_SNAPSHOT_SUFFIX}"))
+
+    def clear(self) -> int:
+        """Delete every snapshot; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def counters(self) -> dict[str, int]:
+        """This session's hit/miss/failure counts (report payload)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "failures": self.failures,
+        }

@@ -1,0 +1,157 @@
+"""Advisory file locking for the persistent build cache.
+
+Multiple build workers — and multiple *invocations* of ``repro
+build`` — may share one ``.ms2-cache/`` directory.  Snapshot files
+themselves are written atomically (temp file + ``os.replace``), so a
+reader can never observe a half-written snapshot; the lock exists for
+the compound operations around them: claim-then-write of one cache
+entry, and directory-level maintenance (eviction of corrupt entries,
+``clear``).
+
+:class:`FileLock` is a context manager over an ``flock``-style
+advisory lock on a dedicated ``*.lock`` file.  On POSIX it uses
+:func:`fcntl.flock` (locks die with the process, so a crashed worker
+can never wedge the cache); where ``fcntl`` is unavailable it falls
+back to ``O_CREAT | O_EXCL`` lock files with stale-age breaking.
+Acquisition polls with a short sleep rather than blocking in the
+kernel so a ``timeout`` can be honoured portably.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from types import TracebackType
+
+try:  # POSIX fast path
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock", "LockTimeout"]
+
+#: Seconds between acquisition attempts while polling.
+_POLL_INTERVAL = 0.01
+
+#: Age (seconds) after which a fallback lock file is presumed to
+#: belong to a dead process and is broken.  Irrelevant on POSIX,
+#: where flock locks vanish with their holder.
+_STALE_AGE = 30.0
+
+
+class LockTimeout(OSError):
+    """Raised when a lock cannot be acquired within the timeout."""
+
+
+class FileLock:
+    """An advisory inter-process lock bound to ``path``.
+
+    >>> with FileLock(cache_dir / "entry.lock"):
+    ...     write_snapshot(...)
+
+    Re-entrant use within one process is not supported (and not
+    needed by the driver, which holds each lock for one store).
+    """
+
+    def __init__(self, path: Path | str, timeout: float = 10.0) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self._fd: int | None = None
+
+    @property
+    def held(self) -> bool:
+        """True while this instance holds the lock."""
+        return self._fd is not None
+
+    # ------------------------------------------------------------------
+
+    def acquire(self) -> None:
+        """Take the lock, polling until ``timeout`` elapses."""
+        if self._fd is not None:
+            raise RuntimeError(f"lock {self.path} already held")
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if self._try_acquire():
+                return
+            if time.monotonic() >= deadline:
+                raise LockTimeout(
+                    f"could not acquire {self.path} "
+                    f"within {self.timeout:g}s"
+                )
+            time.sleep(_POLL_INTERVAL)
+
+    def _try_acquire(self) -> bool:
+        if fcntl is not None:
+            return self._try_acquire_flock()
+        return self._try_acquire_exclusive()
+
+    def _try_acquire_flock(self) -> bool:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False
+        self._fd = fd
+        return True
+
+    def _try_acquire_exclusive(self) -> bool:  # pragma: no cover
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(
+                self.path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o644
+            )
+        except FileExistsError:
+            self._break_if_stale()
+            return False
+        os.write(fd, str(os.getpid()).encode("ascii"))
+        self._fd = fd
+        return True
+
+    def _break_if_stale(self) -> None:  # pragma: no cover
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return
+        if age > _STALE_AGE:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    def release(self) -> None:
+        """Drop the lock (idempotent)."""
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:
+                pass
+            os.close(fd)
+            # The lock file itself stays behind — unlinking it would
+            # race against a process that just opened it and is about
+            # to flock the now-orphaned inode.
+        else:  # pragma: no cover
+            os.close(fd)
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.release()

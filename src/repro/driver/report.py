@@ -1,0 +1,167 @@
+"""Batch-build reporting: per-file results and the aggregate view.
+
+One :class:`FileResult` per translation unit records where its output
+came from (fresh expansion or persistent-cache snapshot), its
+diagnostics, its pipeline counters and its trace spans — all in
+JSON-ready form, because results cross process boundaries and are
+persisted verbatim as cache snapshots.  :class:`BuildReport` rolls a
+batch of them into one object: aggregate
+:class:`~repro.stats.PipelineStats` (summed with
+:meth:`~repro.stats.PipelineStats.merge`), cache counters, wall time,
+and the text / JSON renderings behind ``repro build --report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.stats import PipelineStats
+
+__all__ = ["BuildReport", "FileResult"]
+
+
+@dataclass(slots=True)
+class FileResult:
+    """The outcome of building one translation unit."""
+
+    #: Input path as given to the driver.
+    path: str
+    #: ``"ok"`` (expanded, possibly with recovered diagnostics) or
+    #: ``"error"`` (fail-fast error; ``output`` is empty).
+    status: str
+    #: Expanded C text.
+    output: str = ""
+    #: True when the output was replayed from a persistent snapshot.
+    from_cache: bool = False
+    #: The (source, macros, options) content key for this build.
+    key: str = ""
+    #: Wall-clock milliseconds spent on this file (0 for cache hits).
+    duration_ms: float = 0.0
+    #: Rendered diagnostics (``Diagnostic.as_dict`` form).
+    diagnostics: list[dict[str, Any]] = field(default_factory=list)
+    #: Pipeline counters for this file (``PipelineStats.as_dict``).
+    stats: dict[str, Any] = field(default_factory=dict)
+    #: Trace spans for this file (``ExpansionSpan.as_dict`` records).
+    spans: list[dict[str, Any]] = field(default_factory=list)
+    #: Fail-fast error text when ``status == "error"``.
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True unless the file failed outright or collected an
+        error-severity diagnostic."""
+        if self.status != "ok":
+            return False
+        return not any(
+            d.get("severity") == "error" for d in self.diagnostics
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering (one entry of ``--report json``)."""
+        return {
+            "path": self.path,
+            "status": self.status,
+            "ok": self.ok,
+            "from_cache": self.from_cache,
+            "key": self.key,
+            "duration_ms": round(self.duration_ms, 3),
+            "output": self.output,
+            "diagnostics": self.diagnostics,
+            "stats": self.stats,
+            "spans": self.spans,
+            "error": self.error,
+        }
+
+
+@dataclass(slots=True)
+class BuildReport:
+    """Everything one ``repro build`` invocation did."""
+
+    #: Per-file outcomes, input order.
+    results: list[FileResult] = field(default_factory=list)
+    #: Worker processes used (1 = in-process sequential).
+    jobs: int = 1
+    #: Cache root, or None when the persistent cache was disabled.
+    cache_dir: str | None = None
+    #: Whether unchanged files were allowed to skip expansion.
+    incremental: bool = True
+    #: End-to-end wall milliseconds for the batch.
+    elapsed_ms: float = 0.0
+    #: Persistent-cache session counters (hits/misses/failures).
+    cache: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True when every file built cleanly."""
+        return all(result.ok for result in self.results)
+
+    @property
+    def files_from_cache(self) -> int:
+        return sum(1 for r in self.results if r.from_cache)
+
+    @property
+    def files_expanded(self) -> int:
+        return sum(
+            1 for r in self.results
+            if not r.from_cache and r.status == "ok"
+        )
+
+    @property
+    def files_failed(self) -> int:
+        return sum(1 for r in self.results if r.status == "error")
+
+    def aggregate_stats(self) -> PipelineStats:
+        """Every file's pipeline counters summed into one object."""
+        total = PipelineStats()
+        for result in self.results:
+            if result.stats:
+                total.merge(PipelineStats.from_dict(result.stats))
+        return total
+
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """The ``--report json`` payload."""
+        return {
+            "ok": self.ok,
+            "files": len(self.results),
+            "files_from_cache": self.files_from_cache,
+            "files_expanded": self.files_expanded,
+            "files_failed": self.files_failed,
+            "jobs": self.jobs,
+            "incremental": self.incremental,
+            "cache_dir": self.cache_dir,
+            "cache": self.cache,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "stats": self.aggregate_stats().as_dict(),
+            "results": [result.as_dict() for result in self.results],
+        }
+
+    def render(self) -> str:
+        """Human-readable batch summary (the default CLI output)."""
+        lines = []
+        for result in self.results:
+            if result.status == "error":
+                tag = "FAIL"
+            elif result.from_cache:
+                tag = "cached"
+            else:
+                tag = "built"
+            detail = f"{result.duration_ms:8.1f}ms"
+            if result.diagnostics:
+                detail += f"  {len(result.diagnostics)} diagnostic(s)"
+            if result.error:
+                first_line = result.error.splitlines()[0]
+                detail += f"  {first_line}"
+            lines.append(f"{tag:>6}  {result.path}  {detail}")
+        lines.append(
+            f"-- {len(self.results)} file(s): "
+            f"{self.files_expanded} built, "
+            f"{self.files_from_cache} from cache, "
+            f"{self.files_failed} failed "
+            f"[{self.jobs} job(s), {self.elapsed_ms:.1f}ms]"
+        )
+        return "\n".join(lines)

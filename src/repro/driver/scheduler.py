@@ -1,0 +1,360 @@
+"""The parallel batch-build scheduler.
+
+:class:`BuildSession` turns a set of ``.c``/``.ms2`` translation
+units into expanded C concurrently.  The model follows the paper's
+multi-file workflow — macro packages first, then program files, where
+"meta-programming constructs and regular code can either be located
+in separate files, or mixed together" — scaled out:
+
+- every worker process shares the same macro-package preamble (the
+  named standard packages plus any package source files), loaded once
+  per worker by the pool initializer;
+- each translation unit is expanded *independently*, by a fresh
+  :class:`~repro.engine.MacroProcessor` over the shared packages, so
+  macro definitions inside one program file can never leak into
+  another and results are identical to building each file alone;
+- results are keyed by ``(source hash, macro hash, options hash)``
+  and stored in the :class:`~repro.driver.diskcache.PersistentCache`,
+  so an incremental rebuild skips files whose triple is unchanged —
+  across runs and across processes.
+
+Workers communicate in plain dicts (the
+:class:`~repro.driver.report.FileResult` wire form); the session
+aggregates them into one :class:`~repro.driver.report.BuildReport`.
+With ``jobs=1`` the whole build runs in-process through the very same
+worker code path, which keeps sequential and parallel builds
+byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Iterable, Sequence
+
+from repro import __version__
+from repro.driver.diskcache import DEFAULT_CACHE_DIR, PersistentCache
+from repro.driver.report import BuildReport, FileResult
+from repro.engine import MacroProcessor
+from repro.errors import Ms2Error
+from repro.macros.cache import CACHE_FORMAT_VERSION
+from repro.options import Ms2Options
+
+__all__ = ["BuildSession", "resolve_inputs", "write_outputs"]
+
+#: Source-file suffixes the driver picks up when handed a directory.
+SOURCE_SUFFIXES = (".c", ".ms2")
+
+
+def resolve_inputs(paths: Iterable[Path | str]) -> list[Path]:
+    """Expand the CLI's ``<dir|files...>`` arguments into a sorted,
+    de-duplicated list of translation units.  Directories contribute
+    every ``*.c``/``*.ms2`` file below them."""
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found = sorted(
+                p for p in path.rglob("*")
+                if p.is_file() and p.suffix in SOURCE_SUFFIXES
+            )
+            if not found:
+                raise FileNotFoundError(
+                    f"no {'/'.join(SOURCE_SUFFIXES)} files under {path}"
+                )
+            candidates = found
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                out.append(candidate)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class _WorkerConfig:
+    """Everything a worker needs to rebuild the shared macro context
+    (picklable: names + sources + a hook-free options value)."""
+
+    package_names: tuple[str, ...]
+    package_sources: tuple[tuple[str, str], ...]  # (filename, source)
+    options: Ms2Options
+
+
+#: Per-process worker state, set by :func:`_worker_init`.
+_WORKER: dict = {}
+
+
+def _worker_init(config: _WorkerConfig) -> None:
+    """Pool initializer: remember the shared macro context.  Also used
+    verbatim by the in-process sequential path."""
+    _WORKER["config"] = config
+
+
+def _fresh_processor(config: _WorkerConfig) -> MacroProcessor:
+    """A processor with the shared packages loaded — the per-file
+    isolation boundary (definitions in one program file never leak
+    into another)."""
+    from repro.packages import register_named
+
+    mp = MacroProcessor(options=config.options)
+    for name in config.package_names:
+        register_named(mp, name)
+    for filename, source in config.package_sources:
+        mp.load(source, filename)
+    return mp
+
+
+def _build_one(task: tuple[str, str]) -> dict:
+    """Expand one translation unit; returns the FileResult wire dict.
+
+    Ms2Error faults (fail-fast mode) become ``status: "error"``
+    records — one bad file never aborts the batch.
+    """
+    path, source = task
+    config: _WorkerConfig = _WORKER["config"]
+    start = perf_counter()
+    try:
+        mp = _fresh_processor(config)
+        result = mp.expand(source, path)
+    except Ms2Error as exc:
+        return {
+            "path": path,
+            "status": "error",
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+            "duration_ms": (perf_counter() - start) * 1000.0,
+        }
+    record = result.as_dict()
+    return {
+        "path": path,
+        "status": "ok",
+        "output": record["output"],
+        "diagnostics": record["diagnostics"],
+        "stats": record["stats"],
+        "spans": record["spans"],
+        "duration_ms": (perf_counter() - start) * 1000.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Session side
+# ---------------------------------------------------------------------------
+
+
+class BuildSession:
+    """A batch compilation session over one macro context.
+
+    Parameters
+    ----------
+    options:
+        The :class:`~repro.options.Ms2Options` applied to every file;
+        its :meth:`~repro.options.Ms2Options.options_hash` is one
+        third of the incremental-rebuild key.  Runtime trace hooks
+        are stripped (they cannot cross process boundaries).
+    package_names:
+        Standard packages (``repro.packages`` registry names) loaded
+        into every worker before any file is expanded.
+    package_sources:
+        ``(filename, source)`` pairs of macro-package files, loaded
+        after the named packages — the paper's separate meta-program
+        files.
+    jobs:
+        Worker processes.  1 (the default) builds sequentially
+        in-process through the same code path.
+    cache_dir:
+        Root of the persistent snapshot cache, or ``None`` to disable
+        on-disk caching entirely.
+    incremental:
+        When True (default), files whose (source, macros, options)
+        key has a usable snapshot are served from the cache without
+        expanding.  When False every file is re-expanded, but fresh
+        results are still stored for future runs.
+    """
+
+    def __init__(
+        self,
+        options: Ms2Options | None = None,
+        *,
+        package_names: Sequence[str] = (),
+        package_sources: Sequence[tuple[str, str]] = (),
+        jobs: int = 1,
+        cache_dir: Path | str | None = DEFAULT_CACHE_DIR,
+        incremental: bool = True,
+    ) -> None:
+        base = options if options is not None else Ms2Options()
+        self.options = base.without_runtime_hooks()
+        self.package_names = tuple(package_names)
+        self.package_sources = tuple(
+            (str(name), source) for name, source in package_sources
+        )
+        self.jobs = max(1, int(jobs))
+        self.incremental = incremental
+        self.cache: PersistentCache | None = (
+            PersistentCache(cache_dir) if cache_dir is not None else None
+        )
+        self.macro_hash = self._macro_hash()
+        self._config = _WorkerConfig(
+            package_names=self.package_names,
+            package_sources=self.package_sources,
+            options=self.options,
+        )
+
+    # ------------------------------------------------------------------
+    # The incremental-rebuild key
+    # ------------------------------------------------------------------
+
+    def _macro_hash(self) -> str:
+        """Digest of the shared macro context: package names, package
+        sources, pipeline version, snapshot format version.  Any
+        change to what macros mean invalidates every file's key."""
+        digest = hashlib.sha256()
+        digest.update(__version__.encode("utf-8"))
+        digest.update(bytes([CACHE_FORMAT_VERSION]))
+        for name in self.package_names:
+            digest.update(b"\x00name\x00" + name.encode("utf-8"))
+        for filename, source in self.package_sources:
+            digest.update(b"\x00file\x00" + filename.encode("utf-8"))
+            digest.update(source.encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    def file_key(self, source: str) -> str:
+        """The content key for one translation unit:
+        sha256(source) x macro hash x options hash."""
+        source_sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        return hashlib.sha256(
+            (
+                f"{source_sha}\x00{self.macro_hash}"
+                f"\x00{self.options.options_hash()}"
+            ).encode("ascii")
+        ).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def build(self, paths: Iterable[Path | str]) -> BuildReport:
+        """Build files and/or directories of translation units."""
+        files = resolve_inputs(paths)
+        sources = [(str(path), path.read_text()) for path in files]
+        return self.build_sources(sources)
+
+    def build_sources(
+        self, sources: Sequence[tuple[str, str]]
+    ) -> BuildReport:
+        """Build ``(name, source)`` pairs (the filesystem-free core
+        of :meth:`build`)."""
+        start = perf_counter()
+        results: list[FileResult | None] = [None] * len(sources)
+        pending: list[tuple[int, str, str, str]] = []
+
+        for index, (name, source) in enumerate(sources):
+            key = self.file_key(source)
+            snapshot = (
+                self.cache.load(key)
+                if (self.cache is not None and self.incremental)
+                else None
+            )
+            if snapshot is not None:
+                # Replayed result: output and diagnostics are part of
+                # the file's meaning and come back; stats/spans stay
+                # empty because no pipeline work happened this run.
+                results[index] = FileResult(
+                    path=name,
+                    status="ok",
+                    output=snapshot["output"],
+                    diagnostics=list(snapshot.get("diagnostics", [])),
+                    from_cache=True,
+                    key=key,
+                )
+            else:
+                pending.append((index, name, source, key))
+
+        for index, key, record in self._expand_pending(pending):
+            result = FileResult(
+                path=record["path"],
+                status=record["status"],
+                output=record.get("output", ""),
+                diagnostics=record.get("diagnostics", []),
+                stats=record.get("stats", {}),
+                spans=record.get("spans", []),
+                duration_ms=record.get("duration_ms", 0.0),
+                error=record.get("error"),
+                key=key,
+            )
+            results[index] = result
+            if result.status == "ok" and self.cache is not None:
+                self.cache.store(
+                    key,
+                    {
+                        "path": result.path,
+                        "output": result.output,
+                        "diagnostics": result.diagnostics,
+                        "stats": result.stats,
+                        "spans": result.spans,
+                        "macro_hash": self.macro_hash,
+                        "options_hash": self.options.options_hash(),
+                    },
+                )
+
+        return BuildReport(
+            results=[r for r in results if r is not None],
+            jobs=self.jobs,
+            cache_dir=(
+                str(self.cache.root) if self.cache is not None else None
+            ),
+            incremental=self.incremental,
+            elapsed_ms=(perf_counter() - start) * 1000.0,
+            cache=(
+                self.cache.counters() if self.cache is not None else {}
+            ),
+        )
+
+    def _expand_pending(
+        self, pending: list[tuple[int, str, str, str]]
+    ) -> list[tuple[int, str, dict]]:
+        """Expand cache misses, in-process or on a process pool."""
+        if not pending:
+            return []
+        tasks = [(name, source) for _, name, source, _ in pending]
+        if self.jobs == 1 or len(pending) == 1:
+            _worker_init(self._config)
+            records = [_build_one(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending)),
+                initializer=_worker_init,
+                initargs=(self._config,),
+            ) as pool:
+                records = list(pool.map(_build_one, tasks))
+        return [
+            (index, key, record)
+            for (index, _, _, key), record in zip(pending, records)
+        ]
+
+
+def write_outputs(report: BuildReport, out_dir: Path | str) -> list[Path]:
+    """Write each successful result's expanded C next to its input
+    stem under ``out_dir``; returns the written paths."""
+    root = Path(out_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    written = []
+    for result in report.results:
+        if result.status != "ok":
+            continue
+        target = root / (Path(result.path).stem + ".c")
+        target.write_text(result.output)
+        written.append(target)
+    return written

@@ -35,7 +35,6 @@ from repro.cast import decls, nodes
 from repro.cast.base import Node
 from repro.cast.printer import render_c
 from repro.diagnostics import (
-    DEFAULT_MAX_ERRORS,
     Diagnostic,
     DiagnosticSink,
     ExpansionBudget,
@@ -46,104 +45,94 @@ from repro.macros.compiled import compile_pattern
 from repro.macros.definition import MacroDefinition, MacroTable
 from repro.macros.expander import Expander
 from repro.meta.interp import Interpreter
+from repro.options import ExpandResult, Ms2Options, warn_legacy
 from repro.parser.core import Parser
 from repro.stats import PipelineStats
 from repro.trace import PhaseProfiler, Tracer
+
+#: Sentinel distinguishing "not passed" from an explicit None/False in
+#: the legacy per-call keyword shims.
+_UNSET: Any = object()
 
 
 class MacroProcessor:
     """A complete MS2 macro-processing pipeline.
 
-    Parameters
-    ----------
-    hygienic:
-        Enable the automatic renaming of template-declared locals
-        (the paper's section-5 future-work extension).  Off by
-        default, matching the paper's implementation, whose examples
-        use ``gensym`` manually.
-    compiled_patterns:
-        Use compiled per-macro invocation parse routines (the paper's
-        suggested acceleration) instead of the interpreted pattern
-        engine.  On by default; pass ``False`` to fall back to the
-        interpreted engine.
-    cache:
-        Memoize expansions of macros whose meta-bodies the purity
-        analysis certifies as pure functions of their actuals
-        (:mod:`repro.macros.cache`).  On by default; pass ``False``
-        to re-run every meta-program on every invocation.  Ignored
-        when ``hygienic`` is set: hygienic renaming is a whole-
-        program analysis whose decisions depend on the code
-        *surrounding* each invocation, so its results cannot be
-        replayed at other sites.
-    trace:
-        Record an :class:`~repro.trace.ExpansionSpan` tree for every
-        macro invocation (see :mod:`repro.trace`); rendered by
-        ``repro trace`` and inspectable via :attr:`tracer`.
-    trace_hooks:
-        Callables invoked as ``hook(event, span)`` on span start /
-        end / error — the subscription API for tests and external
-        tools.  Supplying hooks implies ``trace=True``.
-    trace_jsonl:
-        Optional writable text stream; completed spans are appended
-        as JSON lines.  Implies ``trace=True``.  The stream stays
-        owned by the caller.
-    profile:
-        Aggregate per-phase wall time (scan / dispatch /
-        invocation-parse / type-check / meta-eval / template-fill /
-        print) into :attr:`stats`; see
-        :meth:`~repro.stats.PipelineStats.profile_summary`.
-    budget:
-        Optional :class:`~repro.diagnostics.ExpansionBudget` bounding
-        total expansions, produced AST nodes and wall-clock time.
-        Exhaustion raises
-        :class:`~repro.errors.ExpansionBudgetError` (an ordinary
-        ``Ms2Error``), which recovery mode degrades to a diagnostic.
+    Configured by one :class:`~repro.options.Ms2Options` value::
+
+        mp = MacroProcessor(options=Ms2Options(hygienic=True))
+        result = mp.expand(source)          # -> ExpandResult
+
+    ``options`` is the single source of defaults for the whole
+    pipeline — the CLI, the batch driver (:mod:`repro.driver`) and
+    the library all construct one, and its
+    :meth:`~repro.options.Ms2Options.options_hash` keys the driver's
+    incremental rebuilds.
+
+    The historical keyword arguments (``hygienic=``, ``cache=``,
+    ``trace=``, ``budget=``, ...) still work as a thin shim that
+    forwards into :class:`Ms2Options` and emits
+    :class:`~repro.options.Ms2DeprecationWarning`.
     """
 
     def __init__(
         self,
+        options: Ms2Options | None = None,
         *,
-        hygienic: bool = False,
-        compiled_patterns: bool = True,
-        cache: bool = True,
-        trace: bool = False,
-        trace_hooks: list[Any] | None = None,
-        trace_jsonl: Any = None,
-        profile: bool = False,
         budget: ExpansionBudget | None = None,
+        **legacy: Any,
     ) -> None:
+        if budget is not None or legacy:
+            options = Ms2Options.from_legacy_kwargs(
+                options, budget=budget, **legacy
+            )
+        if options is None:
+            options = Ms2Options()
+        #: The session's frozen configuration.
+        self.options = options
         #: Fast-path hit/miss counters for this session.
         self.stats = PipelineStats()
         #: Expansion-span recorder, or None when tracing is off.
         self.tracer: Tracer | None = (
-            Tracer(hooks=trace_hooks, jsonl=trace_jsonl)
-            if (trace or trace_hooks or trace_jsonl is not None)
+            Tracer(
+                hooks=list(options.trace_hooks) or None,
+                jsonl=options.trace_jsonl,
+            )
+            if options.wants_tracer()
             else None
         )
         #: Phase-timer aggregator, or None when profiling is off.
         self.profiler: PhaseProfiler | None = (
-            PhaseProfiler(self.stats) if profile else None
+            PhaseProfiler(self.stats) if options.profile else None
         )
         self.table = MacroTable()
         self.interpreter = Interpreter()
         self.interpreter.stats = self.stats
         self.interpreter.profiler = self.profiler
-        if hygienic:
-            cache = False
-        self.cache = ExpansionCache(self.stats) if cache else None
-        #: Optional resource budget shared by every expansion run.
-        self.budget = budget
+        # Hygienic renaming is a whole-program analysis whose
+        # decisions depend on the code *surrounding* each invocation,
+        # so its results cannot be replayed at other sites: the
+        # expansion cache is forced off.
+        use_cache = options.cache and not options.hygienic
+        self.cache = ExpansionCache(self.stats) if use_cache else None
+        #: Optional resource budget shared by every expansion run
+        #: (the legacy ``budget=`` instance when one was supplied, so
+        #: callers can observe its counters; otherwise built from the
+        #: options' budget fields).
+        self.budget = (
+            budget if budget is not None else options.make_budget()
+        )
         self.expander = Expander(
             self.table,
             self.interpreter,
-            hygienic=hygienic,
+            hygienic=options.hygienic,
             cache=self.cache,
             stats=self.stats,
             tracer=self.tracer,
             profiler=self.profiler,
-            budget=budget,
+            budget=self.budget,
         )
-        self.compiled_patterns = compiled_patterns
+        self.compiled_patterns = options.compiled_patterns
         self._parser: Parser | None = None
         #: The active :class:`~repro.diagnostics.DiagnosticSink`
         #: during a ``recover=True`` run; None in fail-fast mode.
@@ -304,33 +293,17 @@ class MacroProcessor:
         parser = self.make_parser(source, filename)
         self._parse_guarded(parser)
 
-    def expand_program(
-        self,
-        source: str,
-        filename: str = "<string>",
-        *,
-        recover: bool = False,
-        max_errors: int | None = None,
-    ) -> decls.TranslationUnit | tuple[
-        decls.TranslationUnit, list[Diagnostic]
-    ]:
-        """Parse-and-expand a program; returns the expanded AST
-        including meta items (macro definitions, metadcls).
+    # -- internal, options-driven pipeline stages ----------------------
 
-        With ``recover=True`` the run collects up to ``max_errors``
-        diagnostics instead of raising on the first fault: failed
-        regions become poisoned ``Error*`` nodes and the result is a
-        ``(unit, diagnostics)`` pair.  Fail-fast behaviour (the
-        default) is unchanged.
-        """
-        if not recover:
+    def _run_program(
+        self, source: str, filename: str, opts: Ms2Options
+    ) -> tuple[decls.TranslationUnit, list[Diagnostic] | None]:
+        """Parse-and-expand under ``opts``; ``(unit, diagnostics)``
+        with diagnostics None in fail-fast mode (which raises)."""
+        if not opts.recover:
             parser = self.make_parser(source, filename)
-            return self._parse_guarded(parser)
-        sink = DiagnosticSink(
-            max_errors=max_errors
-            if max_errors is not None
-            else DEFAULT_MAX_ERRORS
-        )
+            return self._parse_guarded(parser), None
+        sink = DiagnosticSink(max_errors=opts.max_errors)
         self.diagnostics = sink
         try:
             # Tokenization happens eagerly in the Parser constructor,
@@ -347,33 +320,118 @@ class MacroProcessor:
             self.diagnostics = None
         return unit, list(sink.diagnostics)
 
-    def expand_to_ast(
-        self,
-        source: str,
-        filename: str = "<string>",
-        *,
-        recover: bool = False,
-        max_errors: int | None = None,
-    ) -> decls.TranslationUnit | tuple[
-        decls.TranslationUnit, list[Diagnostic]
-    ]:
-        """Like :meth:`expand_program` but with all meta-program items
-        stripped — the translation unit a downstream C compiler sees."""
-        diagnostics: list[Diagnostic] | None = None
-        if recover:
-            unit, diagnostics = self.expand_program(
-                source, filename, recover=True, max_errors=max_errors
-            )
-        else:
-            unit = self.expand_program(source, filename)
+    @staticmethod
+    def _strip_meta(unit: decls.TranslationUnit) -> decls.TranslationUnit:
+        """Drop macro definitions and metadcls — "none of [the
+        meta-program] exists at runtime"."""
         items = [
             item
             for item in unit.items
             if not isinstance(item, (decls.MacroDef, decls.MetaDecl))
         ]
-        stripped = decls.TranslationUnit(items, loc=unit.loc)
-        if recover:
-            return stripped, diagnostics
+        return decls.TranslationUnit(items, loc=unit.loc)
+
+    def _render(self, unit: decls.TranslationUnit, opts: Ms2Options) -> str:
+        prof = self.profiler
+        if prof is None:
+            return render_c(unit, annotate=opts.annotate)
+        with prof.phase("print"):
+            return render_c(unit, annotate=opts.annotate)
+
+    def _per_call_options(self, **overrides: Any) -> Ms2Options:
+        """Session options overridden by legacy per-call keywords.
+        Explicitly passed keywords go through the deprecation shim;
+        an explicit ``max_errors=None`` means "the default"."""
+        passed = {k: v for k, v in overrides.items() if v is not _UNSET}
+        if not passed:
+            return self.options
+        warn_legacy(
+            f"passing {', '.join(sorted(passed))} per call",
+            "Ms2Options (MacroProcessor(options=...) and .expand())",
+        )
+        if passed.get("max_errors", _UNSET) is None:
+            del passed["max_errors"]
+        return self.options.replace(**passed)
+
+    # -- the unified entry point ---------------------------------------
+
+    def expand(
+        self, source: str, filename: str = "<string>"
+    ) -> ExpandResult:
+        """Run the full pipeline under this session's options and
+        return an :class:`~repro.options.ExpandResult` carrying the
+        expanded C text, the (meta-stripped unless ``keep_meta``)
+        unit, any recovery diagnostics, the session stats and the
+        trace spans recorded for this source.
+
+        In fail-fast mode (``options.recover`` unset) errors raise
+        :class:`~repro.errors.Ms2Error` exactly like the legacy
+        methods; with recovery enabled the result's ``diagnostics``
+        carry every fault.
+        """
+        opts = self.options
+        span_start = len(self.tracer.roots) if self.tracer else 0
+        unit, diagnostics = self._run_program(source, filename, opts)
+        out_unit = unit if opts.keep_meta else self._strip_meta(unit)
+        text = self._render(out_unit, opts)
+        spans = self.tracer.roots[span_start:] if self.tracer else []
+        return ExpandResult(
+            output=text,
+            unit=out_unit,
+            diagnostics=diagnostics or [],
+            stats=self.stats,
+            spans=spans,
+        )
+
+    # -- legacy-shaped methods (kwargs shim over the options path) -----
+
+    def expand_program(
+        self,
+        source: str,
+        filename: str = "<string>",
+        *,
+        recover: Any = _UNSET,
+        max_errors: Any = _UNSET,
+    ) -> decls.TranslationUnit | tuple[
+        decls.TranslationUnit, list[Diagnostic]
+    ]:
+        """Parse-and-expand a program; returns the expanded AST
+        including meta items (macro definitions, metadcls).
+
+        With recovery enabled the run collects up to ``max_errors``
+        diagnostics instead of raising on the first fault: failed
+        regions become poisoned ``Error*`` nodes and the result is a
+        ``(unit, diagnostics)`` pair.  Fail-fast behaviour (the
+        default) is unchanged.  Passing ``recover=``/``max_errors=``
+        per call is deprecated — set them on :class:`Ms2Options`.
+        """
+        opts = self._per_call_options(
+            recover=recover, max_errors=max_errors
+        )
+        unit, diagnostics = self._run_program(source, filename, opts)
+        if opts.recover:
+            return unit, list(diagnostics or [])
+        return unit
+
+    def expand_to_ast(
+        self,
+        source: str,
+        filename: str = "<string>",
+        *,
+        recover: Any = _UNSET,
+        max_errors: Any = _UNSET,
+    ) -> decls.TranslationUnit | tuple[
+        decls.TranslationUnit, list[Diagnostic]
+    ]:
+        """Like :meth:`expand_program` but with all meta-program items
+        stripped — the translation unit a downstream C compiler sees."""
+        opts = self._per_call_options(
+            recover=recover, max_errors=max_errors
+        )
+        unit, diagnostics = self._run_program(source, filename, opts)
+        stripped = self._strip_meta(unit)
+        if opts.recover:
+            return stripped, list(diagnostics or [])
         return stripped
 
     def expand_to_c(
@@ -381,33 +439,26 @@ class MacroProcessor:
         source: str,
         filename: str = "<string>",
         *,
-        annotate: bool = False,
-        recover: bool = False,
-        max_errors: int | None = None,
+        annotate: Any = _UNSET,
+        recover: Any = _UNSET,
+        max_errors: Any = _UNSET,
     ) -> str | tuple[str, list[Diagnostic]]:
         """Full pipeline: source with macros in, plain C text out.
 
-        With ``annotate=True`` the printer emits provenance comments
+        With annotation enabled the printer emits provenance comments
         (``/* <- Macro @ file:line */``) on macro-generated code and
         ``#line`` directives mapping the output back to user source.
-        With ``recover=True`` returns ``(text, diagnostics)``;
+        With recovery enabled returns ``(text, diagnostics)``;
         recovered faults render as ``/* <error: ...> */`` comments.
+        Per-call keywords are deprecated — set :class:`Ms2Options`.
         """
-        diagnostics: list[Diagnostic] | None = None
-        if recover:
-            unit, diagnostics = self.expand_to_ast(
-                source, filename, recover=True, max_errors=max_errors
-            )
-        else:
-            unit = self.expand_to_ast(source, filename)
-        prof = self.profiler
-        if prof is None:
-            text = render_c(unit, annotate=annotate)
-        else:
-            with prof.phase("print"):
-                text = render_c(unit, annotate=annotate)
-        if recover:
-            return text, diagnostics
+        opts = self._per_call_options(
+            annotate=annotate, recover=recover, max_errors=max_errors
+        )
+        unit, diagnostics = self._run_program(source, filename, opts)
+        text = self._render(self._strip_meta(unit), opts)
+        if opts.recover:
+            return text, list(diagnostics or [])
         return text
 
     # ------------------------------------------------------------------
@@ -431,11 +482,25 @@ def expand_source(
     source: str,
     *,
     packages: list[str] | None = None,
-    hygienic: bool = False,
+    options: Ms2Options | None = None,
+    hygienic: Any = _UNSET,
 ) -> str:
     """One-shot convenience: expand ``source`` (optionally after
-    loading macro-package sources) and return C text."""
-    mp = MacroProcessor(hygienic=hygienic)
+    loading macro-package sources) and return C text.
+
+    Accepts the same :class:`~repro.options.Ms2Options` as
+    :class:`MacroProcessor`, so the one-shot path and the session path
+    share every default (recovery, budgets, hygiene) by construction.
+    The old ``hygienic=`` keyword forwards through the deprecation
+    shim.
+    """
+    if hygienic is not _UNSET:
+        warn_legacy(
+            "expand_source(hygienic=...)",
+            "expand_source(options=Ms2Options(hygienic=...))",
+        )
+        options = (options or Ms2Options()).replace(hygienic=hygienic)
+    mp = MacroProcessor(options=options)
     for pkg in packages or []:
         mp.load(pkg)
-    return mp.expand_to_c(source)
+    return mp.expand(source).output

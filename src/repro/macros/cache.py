@@ -53,7 +53,14 @@ if TYPE_CHECKING:
     from repro.macros.definition import MacroDefinition
     from repro.stats import PipelineStats
 
-__all__ = ["ExpansionCache", "replay_result", "CACHE_FORMAT_VERSION"]
+__all__ = [
+    "ExpansionCache",
+    "replay_result",
+    "CACHE_FORMAT_VERSION",
+    "SNAPSHOT_HEADER",
+    "frame_snapshot",
+    "unframe_snapshot",
+]
 
 #: The persistent ID standing for "the invocation site" in stored blobs.
 _LOC_PID = "loc"
@@ -66,6 +73,25 @@ CACHE_FORMAT_VERSION = 1
 #: Magic prefix identifying a well-formed snapshot blob.
 _MAGIC = b"MS2C"
 _HEADER = _MAGIC + bytes([CACHE_FORMAT_VERSION])
+
+#: The version-stamped snapshot header (``MS2C`` + format byte) —
+#: shared by the in-memory replay cache and the batch driver's
+#: on-disk snapshot files (:mod:`repro.driver.diskcache`).
+SNAPSHOT_HEADER = _HEADER
+
+
+def frame_snapshot(payload: bytes) -> bytes:
+    """Prefix ``payload`` with the version-stamped snapshot header."""
+    return SNAPSHOT_HEADER + payload
+
+
+def unframe_snapshot(blob: bytes) -> bytes | None:
+    """Strip and validate the snapshot header; ``None`` when the blob
+    is truncated, garbled, or stamped with another format version —
+    the caller treats all three as a miss and re-expands."""
+    if blob[: len(SNAPSHOT_HEADER)] != SNAPSHOT_HEADER:
+        return None
+    return blob[len(SNAPSHOT_HEADER):]
 
 
 class _MarkToken:
@@ -176,7 +202,7 @@ class ExpansionCache:
 
     def store(self, key: Hashable, result: Node | list[Node]) -> None:
         buffer = io.BytesIO()
-        buffer.write(_HEADER)
+        buffer.write(SNAPSHOT_HEADER)
         try:
             _StorePickler(
                 buffer, protocol=pickle.HIGHEST_PROTOCOL
@@ -202,11 +228,10 @@ class ExpansionCache:
         falls back to re-running the meta-program, so corruption of
         memo state can never surface as a raw unpickling exception.
         """
-        if cached[: len(_HEADER)] == _HEADER:
+        payload = unframe_snapshot(cached)
+        if payload is not None:
             try:
-                result = replay_result(
-                    cached[len(_HEADER):], loc, fresh_mark
-                )
+                result = replay_result(payload, loc, fresh_mark)
                 # Shape check: a corrupt blob can unpickle "cleanly"
                 # into something that is not an expansion result at
                 # all, which would blow up far away in the printer.

@@ -1,0 +1,260 @@
+"""The unified configuration surface of the MS2 pipeline.
+
+Historically every knob of the pipeline travelled as its own keyword
+argument — ``MacroProcessor(hygienic=..., cache=..., trace=...)`` plus
+per-call ``recover=`` / ``max_errors=`` / ``annotate=`` overrides on
+each ``expand_*`` method, with the CLI re-deriving its own defaults
+for all of them.  :class:`Ms2Options` replaces that sprawl with one
+frozen value object that is
+
+- the **single source of defaults** (the CLI's argparse defaults and
+  the library's behaviour both come from ``Ms2Options()``),
+- **hashable into a stable digest** (:meth:`Ms2Options.options_hash`),
+  which is one third of the incremental-rebuild key used by the batch
+  driver's persistent cache (source hash, macro hash, options hash),
+- **picklable** (minus run-time observability hooks), so the parallel
+  batch driver can ship one options value to every worker process.
+
+:class:`ExpandResult` is the matching return object for
+:meth:`repro.engine.MacroProcessor.expand`: expanded output plus the
+diagnostics, pipeline stats and trace spans of the run, instead of the
+shape-shifting ``str | (str, diagnostics)`` returns of the legacy
+methods.
+
+The legacy keyword arguments keep working through a thin shim that
+forwards into :class:`Ms2Options` and emits
+:class:`Ms2DeprecationWarning` (a :class:`DeprecationWarning`
+subclass, so warning filters can be scoped to exactly this shim).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.diagnostics import DEFAULT_MAX_ERRORS, ExpansionBudget
+
+if TYPE_CHECKING:
+    from repro.cast.decls import TranslationUnit
+    from repro.diagnostics import Diagnostic
+    from repro.stats import PipelineStats
+    from repro.trace import ExpansionSpan
+
+__all__ = [
+    "ExpandResult",
+    "Ms2DeprecationWarning",
+    "Ms2Options",
+    "OPTION_FIELDS",
+]
+
+
+class Ms2DeprecationWarning(DeprecationWarning):
+    """Deprecation warnings emitted by the legacy-kwargs shim.
+
+    A dedicated subclass so projects (and this repo's own test suite)
+    can run with ``-W error::DeprecationWarning`` while scoping an
+    ``ignore`` filter to exactly the MS2 compatibility shim.
+    """
+
+
+def warn_legacy(old: str, new: str) -> None:
+    """Emit the standard shim warning for one legacy spelling."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        Ms2DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Ms2Options:
+    """Every knob of one macro-processing session, as a frozen value.
+
+    Construct once, share freely: the object is immutable, comparable
+    and (hooks aside) picklable.  Derive variants with
+    :meth:`replace`.
+    """
+
+    # -- expansion semantics -------------------------------------------
+    #: Rename template-declared locals automatically (§5 extension).
+    hygienic: bool = False
+    #: Keep ``syntax``/``metadcl`` items in the output.
+    keep_meta: bool = False
+    #: Emit provenance comments and ``#line`` directives on output.
+    annotate: bool = False
+
+    # -- fast paths -----------------------------------------------------
+    #: Compiled per-macro invocation parse routines.
+    compiled_patterns: bool = True
+    #: Memoize expansions of pure macros (in-memory replay cache).
+    cache: bool = True
+
+    # -- fault tolerance ------------------------------------------------
+    #: Collect diagnostics and keep going instead of raising on the
+    #: first fault.
+    recover: bool = False
+    #: Cap on ``error`` diagnostics per recovered run.
+    max_errors: int = DEFAULT_MAX_ERRORS
+    #: Budget: cap on total macro expansions (None = unbounded).
+    max_expansions: int | None = None
+    #: Budget: cap on AST nodes produced by expansions.
+    max_output_nodes: int | None = None
+    #: Budget: wall-clock allowance in seconds.
+    deadline_s: float | None = None
+
+    # -- observability --------------------------------------------------
+    #: Record an :class:`~repro.trace.ExpansionSpan` tree.
+    trace: bool = False
+    #: Aggregate per-phase wall time into the session stats.
+    profile: bool = False
+    #: Span event hooks, ``hook(event, span)``.  Runtime-only: never
+    #: part of the options hash, stripped before crossing processes.
+    trace_hooks: tuple = ()
+    #: Writable text stream for JSONL span events.  Runtime-only.
+    trace_jsonl: Any = None
+
+    # ------------------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "Ms2Options":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def make_budget(self) -> ExpansionBudget | None:
+        """A fresh :class:`ExpansionBudget` from the budget fields, or
+        None when every limit is unset.  Fresh per call — budgets
+        latch once exhausted, so they must not be shared across runs
+        that should be accounted separately."""
+        if (
+            self.max_expansions is None
+            and self.max_output_nodes is None
+            and self.deadline_s is None
+        ):
+            return None
+        return ExpansionBudget(
+            max_expansions=self.max_expansions,
+            max_output_nodes=self.max_output_nodes,
+            deadline_s=self.deadline_s,
+        )
+
+    def wants_tracer(self) -> bool:
+        return bool(self.trace or self.trace_hooks or self.trace_jsonl)
+
+    # ------------------------------------------------------------------
+    # Hashing / serialization (the incremental-rebuild key)
+    # ------------------------------------------------------------------
+
+    def hashed_fields(self) -> dict[str, Any]:
+        """The fields that select an execution path through the
+        pipeline, as a JSON-able dict.  Observability settings
+        (``trace``/``profile`` and the runtime hooks) are excluded:
+        they never change the expanded output."""
+        return {
+            name: getattr(self, name)
+            for name in OPTION_FIELDS
+            if name not in _UNHASHED_FIELDS
+        }
+
+    def options_hash(self) -> str:
+        """A stable hex digest of :meth:`hashed_fields`.
+
+        Equal options produce equal digests across processes and
+        runs; this is the "options" third of the batch driver's
+        (source, macros, options) incremental-rebuild key."""
+        payload = json.dumps(self.hashed_fields(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def without_runtime_hooks(self) -> "Ms2Options":
+        """A copy safe to pickle across process boundaries."""
+        if not self.trace_hooks and self.trace_jsonl is None:
+            return self
+        return self.replace(trace_hooks=(), trace_jsonl=None)
+
+    # ------------------------------------------------------------------
+    # Legacy-kwargs shim
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_legacy_kwargs(
+        cls,
+        base: "Ms2Options | None" = None,
+        *,
+        budget: ExpansionBudget | None = None,
+        **legacy: Any,
+    ) -> "Ms2Options":
+        """Fold legacy ``MacroProcessor(...)`` keyword arguments into
+        an options value, emitting one :class:`Ms2DeprecationWarning`
+        per call.  ``budget=`` instances are flattened into the budget
+        fields."""
+        unknown = set(legacy) - set(OPTION_FIELDS)
+        if unknown:
+            raise TypeError(
+                f"unknown MacroProcessor option(s): {sorted(unknown)}"
+            )
+        names = sorted(legacy) + (["budget"] if budget is not None else [])
+        warn_legacy(
+            f"passing {', '.join(names)} as keyword argument(s)",
+            "Ms2Options",
+        )
+        if budget is not None:
+            legacy.setdefault("max_expansions", budget.max_expansions)
+            legacy.setdefault("max_output_nodes", budget.max_output_nodes)
+            legacy.setdefault("deadline_s", budget.deadline_s)
+        if "trace_hooks" in legacy and legacy["trace_hooks"] is not None:
+            legacy["trace_hooks"] = tuple(legacy["trace_hooks"])
+        elif legacy.get("trace_hooks", ()) is None:
+            legacy["trace_hooks"] = ()
+        base = base if base is not None else cls()
+        return base.replace(**legacy)
+
+
+#: Every field name of :class:`Ms2Options`, declaration order.
+OPTION_FIELDS: tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(Ms2Options)
+)
+
+#: Fields excluded from :meth:`Ms2Options.options_hash` (pure
+#: observability: they cannot change the expanded output).
+_UNHASHED_FIELDS = frozenset(
+    {"trace", "profile", "trace_hooks", "trace_jsonl"}
+)
+
+
+@dataclass(slots=True)
+class ExpandResult:
+    """Everything one :meth:`MacroProcessor.expand` run produced.
+
+    Replaces the legacy shape-shifting returns (``str`` in fail-fast
+    mode, ``(str, diagnostics)`` with ``recover=True``) with one
+    object carrying the output *and* the run's observability state.
+    """
+
+    #: Expanded C text (with ``keep_meta``, the full rendered unit).
+    output: str
+    #: The expanded translation unit the text was rendered from.
+    unit: "TranslationUnit | None" = None
+    #: Diagnostics collected during the run (empty in fail-fast mode,
+    #: which raises instead).
+    diagnostics: "list[Diagnostic]" = field(default_factory=list)
+    #: The session's pipeline counters (shared with the processor).
+    stats: "PipelineStats | None" = None
+    #: Top-level expansion spans, program order (empty unless tracing).
+    spans: "list[ExpansionSpan]" = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was recorded."""
+        return not any(d.severity == "error" for d in self.diagnostics)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering (the batch driver's per-file record)."""
+        return {
+            "ok": self.ok,
+            "output": self.output,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+            "stats": self.stats.as_dict() if self.stats else {},
+            "spans": [s.as_dict() for s in self.spans],
+        }

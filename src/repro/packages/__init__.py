@@ -29,6 +29,40 @@ from repro.engine import MacroProcessor
 
 ALL_PACKAGES = [exceptions, painting, dynbind, enumio, loops, structio]
 
+#: The names accepted by ``-p/--package`` and by the batch driver's
+#: worker processes — the single registry both resolve against.
+PACKAGE_REGISTRY = {
+    "exceptions": exceptions.register,
+    "painting": painting.register,
+    "painting-protected": (
+        lambda mp: painting.register(mp, protected=True)
+    ),
+    "dynbind": dynbind.register,
+    "enumio": enumio.register,
+    "dispatch": dispatch.register,
+    "loops": loops.register,
+    "contracts": contracts.register,
+    "portvm": portvm.register,
+    "semantic": semantic.register,
+    "statemachine": statemachine.register,
+    "structio": structio.register,
+}
+
+PACKAGE_NAMES = tuple(PACKAGE_REGISTRY)
+
+
+def register_named(mp: MacroProcessor, name: str) -> None:
+    """Register the standard package called ``name`` into ``mp``;
+    raises ``KeyError`` listing the valid names otherwise."""
+    try:
+        registrar = PACKAGE_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown package {name!r} (choose from: "
+            f"{', '.join(PACKAGE_NAMES)})"
+        ) from None
+    registrar(mp)
+
 
 def load_standard(mp: MacroProcessor) -> None:
     """Load the exception, painting (protected), dynamic-binding,

@@ -70,6 +70,40 @@ class PipelineStats:
     #: Number of timed entries per phase.
     phase_calls: dict = field(default_factory=dict)
 
+    def merge(self, other: "PipelineStats") -> None:
+        """Fold another session's counters into this one (the batch
+        driver aggregates every worker's per-file stats this way).
+        Phase timings sum; derived rates are recomputed on demand."""
+        for stats_field in self.__dataclass_fields__:
+            value = getattr(other, stats_field)
+            if isinstance(value, int):
+                setattr(
+                    self, stats_field, getattr(self, stats_field) + value
+                )
+        for name, seconds in other.phase_seconds.items():
+            self.phase_seconds[name] = (
+                self.phase_seconds.get(name, 0.0) + seconds
+            )
+        for name, calls in other.phase_calls.items():
+            self.phase_calls[name] = self.phase_calls.get(name, 0) + calls
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineStats":
+        """Rebuild counters from an :meth:`as_dict` payload; unknown
+        and derived keys (``cache_hit_rate``) are ignored, so payloads
+        written by other pipeline versions still load."""
+        stats = cls()
+        for stats_field in stats.__dataclass_fields__:
+            value = data.get(stats_field)
+            if isinstance(value, int) and isinstance(
+                getattr(stats, stats_field), int
+            ):
+                setattr(stats, stats_field, value)
+        for name, entry in (data.get("phases") or {}).items():
+            stats.phase_seconds[name] = entry.get("ms", 0.0) / 1000.0
+            stats.phase_calls[name] = entry.get("calls", 0)
+        return stats
+
     def cache_hit_rate(self) -> float:
         """Hits over cacheable lookups (0.0 when nothing was cacheable)."""
         total = self.cache_hits + self.cache_misses

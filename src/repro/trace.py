@@ -223,6 +223,12 @@ class Tracer:
             yield span
             stack.extend(reversed(span.children))
 
+    def as_records(self) -> list[dict[str, Any]]:
+        """Every recorded span as a JSON-ready dict, pre-order — the
+        serialized form carried by batch-build reports and persistent
+        cache snapshots (parent ids preserve the tree shape)."""
+        return [span.as_dict() for span in self.walk_spans()]
+
     def render_tree(self, indent: str = "  ") -> str:
         """The nested span tree as text (the ``repro trace`` output)."""
         if not self.roots:

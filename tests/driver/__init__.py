@@ -1,0 +1,1 @@
+"""Tests for the parallel batch-build driver (:mod:`repro.driver`)."""

@@ -1,0 +1,31 @@
+"""Fixtures for the driver tests (corpus constants live in
+:mod:`tests.driver.corpus` so forked children can import them)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from tests.driver.corpus import (
+    PROGRAM_PLAIN,
+    PROGRAM_PRIVATE_MACRO,
+    PROGRAM_USES_SHARED,
+)
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path: Path) -> Path:
+    """A directory of three good translation units."""
+    root = tmp_path / "src"
+    root.mkdir()
+    (root / "a_shared.c").write_text(PROGRAM_USES_SHARED)
+    (root / "b_private.ms2").write_text(PROGRAM_PRIVATE_MACRO)
+    (root / "c_plain.c").write_text(PROGRAM_PLAIN)
+    return root
+
+
+@pytest.fixture()
+def cache_dir(tmp_path: Path) -> Path:
+    """An isolated persistent-cache root."""
+    return tmp_path / "cache"

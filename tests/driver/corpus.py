@@ -1,0 +1,67 @@
+"""Importable corpus constants shared by the driver tests.
+
+Kept out of ``conftest.py`` so multiprocessing children (forked by the
+race tests) and the benchmark harness can import them directly.
+"""
+
+from __future__ import annotations
+
+#: A macro package loaded as a shared preamble (package_sources).
+SHARED_MACROS = """
+syntax stmt Twice {| $$stmt::body |}
+{
+  return(`{ $body; $body; });
+}
+"""
+
+#: Uses the shared ``Twice`` macro only.
+PROGRAM_USES_SHARED = """
+void pulse(void)
+{
+    Twice { step(); }
+}
+"""
+
+#: Defines its own macro *and* uses the shared one — the private
+#: definition must not leak into sibling translation units.
+PROGRAM_PRIVATE_MACRO = """
+syntax stmt Guarded {| $$stmt::body |}
+{
+  return(`{ if (enabled) { $body; } });
+}
+
+void tick(void)
+{
+    Guarded { Twice { advance(); } }
+}
+"""
+
+#: Plain C, no macros at all.
+PROGRAM_PLAIN = """
+int add(int a, int b)
+{
+    return a + b;
+}
+"""
+
+#: Unparseable garbage: an Ms2Error in fail-fast mode.
+PROGRAM_BROKEN = """
+void broken( {
+"""
+
+
+def synthetic_sources(count: int) -> list[tuple[str, str]]:
+    """``count`` distinct translation units over the shared macros."""
+    sources = []
+    for i in range(count):
+        sources.append(
+            (
+                f"unit_{i:03d}.c",
+                f"/* translation unit {i} */\n"
+                f"void pulse_{i}(void)\n"
+                "{\n"
+                f"    Twice {{ step({i}); }}\n"
+                "}\n",
+            )
+        )
+    return sources

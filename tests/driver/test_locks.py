@@ -1,0 +1,100 @@
+"""FileLock: acquisition, contention, timeout, release semantics."""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.driver.locks import FileLock, LockTimeout
+
+
+def test_acquire_release_roundtrip(tmp_path: Path) -> None:
+    lock = FileLock(tmp_path / "entry.lock")
+    assert not lock.held
+    lock.acquire()
+    assert lock.held
+    assert (tmp_path / "entry.lock").exists()
+    lock.release()
+    assert not lock.held
+
+
+def test_release_is_idempotent(tmp_path: Path) -> None:
+    lock = FileLock(tmp_path / "entry.lock")
+    lock.acquire()
+    lock.release()
+    lock.release()  # second release is a no-op, not an error
+    assert not lock.held
+
+
+def test_context_manager(tmp_path: Path) -> None:
+    with FileLock(tmp_path / "entry.lock") as lock:
+        assert lock.held
+    assert not lock.held
+
+
+def test_creates_missing_parent_directories(tmp_path: Path) -> None:
+    with FileLock(tmp_path / "deep" / "er" / "entry.lock") as lock:
+        assert lock.held
+
+
+def test_double_acquire_same_instance_raises(tmp_path: Path) -> None:
+    lock = FileLock(tmp_path / "entry.lock")
+    lock.acquire()
+    try:
+        with pytest.raises(RuntimeError):
+            lock.acquire()
+    finally:
+        lock.release()
+
+
+def test_contention_times_out(tmp_path: Path) -> None:
+    path = tmp_path / "entry.lock"
+    holder = FileLock(path)
+    holder.acquire()
+    try:
+        waiter = FileLock(path, timeout=0.2)
+        start = time.monotonic()
+        with pytest.raises(LockTimeout):
+            waiter.acquire()
+        assert time.monotonic() - start >= 0.2
+        assert not waiter.held
+    finally:
+        holder.release()
+
+
+def test_acquire_after_release(tmp_path: Path) -> None:
+    path = tmp_path / "entry.lock"
+    first = FileLock(path)
+    first.acquire()
+    first.release()
+    second = FileLock(path, timeout=0.5)
+    second.acquire()  # must not time out: the lock was dropped
+    second.release()
+
+
+def _hold_briefly(path: str, held: "multiprocessing.Event") -> None:
+    with FileLock(path):
+        held.set()
+        time.sleep(0.3)
+
+
+def test_cross_process_exclusion(tmp_path: Path) -> None:
+    """A lock held by another process blocks us until it is dropped."""
+    path = tmp_path / "entry.lock"
+    held = multiprocessing.Event()
+    proc = multiprocessing.Process(
+        target=_hold_briefly, args=(str(path), held)
+    )
+    proc.start()
+    try:
+        assert held.wait(timeout=10.0)
+        start = time.monotonic()
+        with FileLock(path, timeout=10.0):
+            # We only got here after the holder released (~0.3s).
+            assert time.monotonic() - start > 0.05
+    finally:
+        proc.join(timeout=10.0)
+    assert proc.exitcode == 0

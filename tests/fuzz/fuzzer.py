@@ -100,6 +100,45 @@ class Mutator:
         return "".join(tokens), op
 
 
+class SnapshotMutator:
+    """Applies one seeded byte-level fault to a persistent-cache
+    snapshot blob.
+
+    The contract being fuzzed mirrors the token-level harness, one
+    layer down: for *any* damaged snapshot, a rebuild must fall back
+    to re-expansion — same outputs as a clean build, no exception,
+    never silently-wrong cached text.
+    """
+
+    OPS = ("truncate", "bitflip", "header", "version", "empty", "garbage")
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+
+    def mutate(self, blob: bytes) -> tuple[bytes, str]:
+        """Returns ``(mutant, op_name)``."""
+        rng = self.rng
+        op = rng.choice(self.OPS)
+        if len(blob) < 6:
+            op = "garbage"
+        if op == "truncate":
+            return blob[: rng.randrange(len(blob))], op
+        if op == "bitflip":
+            i = rng.randrange(len(blob))
+            damaged = bytearray(blob)
+            damaged[i] ^= 1 << rng.randrange(8)
+            return bytes(damaged), op
+        if op == "header":
+            return b"XXXX" + blob[4:], op
+        if op == "version":
+            return blob[:4] + bytes([blob[4] ^ 0xFF]) + blob[5:], op
+        if op == "empty":
+            return b"", op
+        return bytes(
+            rng.randrange(256) for _ in range(rng.randrange(1, 64))
+        ), "garbage"
+
+
 def make_processor(loaders: list, **kwargs) -> MacroProcessor:
     """A fresh processor with the example's macros preloaded."""
     mp = MacroProcessor(**kwargs)

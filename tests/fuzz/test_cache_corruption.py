@@ -1,0 +1,111 @@
+"""Persistent-cache corruption fuzzing.
+
+Counterpart of :mod:`tests.fuzz.test_crash_safety`, one layer down:
+instead of mutating *source text* fed to the pipeline, mutate the
+*snapshot files* the batch driver persists, then rebuild.  The
+contract for every mutant:
+
+- the rebuild never raises — damaged snapshots read as misses;
+- outputs are byte-identical to a clean cold build (a corrupted
+  snapshot may cost a re-expansion, never wrong text);
+- detectably-damaged snapshots bump the ``failures`` counter and are
+  evicted from disk.
+
+Seeded like the source-level harness; reproduce one case with
+``(FUZZ_SEED, index)``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.driver import BuildSession
+
+from tests.driver.corpus import SHARED_MACROS, synthetic_sources
+from tests.fuzz.fuzzer import SnapshotMutator
+
+FUZZ_SEED = int(os.environ.get("FUZZ_SEED", "20260806"))
+FUZZ_CACHE_MUTANTS = int(os.environ.get("FUZZ_CACHE_MUTANTS", "40"))
+
+SOURCES = synthetic_sources(3)
+
+
+def make_session(cache_root: Path) -> BuildSession:
+    return BuildSession(
+        package_sources=[("shared.ms2", SHARED_MACROS)],
+        cache_dir=cache_root,
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_outputs(tmp_path_factory) -> list[str]:
+    """Outputs of a cold, cache-less build — the ground truth."""
+    report = BuildSession(
+        package_sources=[("shared.ms2", SHARED_MACROS)], cache_dir=None
+    ).build_sources(SOURCES)
+    assert report.ok
+    return [r.output for r in report.results]
+
+
+def seed_cache(cache_root: Path) -> list[Path]:
+    """A fully-populated snapshot cache; returns the snapshot files."""
+    session = make_session(cache_root)
+    report = session.build_sources(SOURCES)
+    assert report.ok
+    snapshots = session.cache.entries()
+    assert len(snapshots) == len(SOURCES)
+    return snapshots
+
+
+def test_cache_corruption_never_breaks_a_rebuild(
+    tmp_path: Path, clean_outputs: list[str]
+) -> None:
+    cache_root = tmp_path / "cache"
+    snapshots = seed_cache(cache_root)
+    pristine = {path: path.read_bytes() for path in snapshots}
+    mutator = SnapshotMutator(FUZZ_SEED)
+    failures: list[str] = []
+
+    for index in range(FUZZ_CACHE_MUTANTS):
+        # Restore a fully-populated cache, then damage one snapshot.
+        for path, blob in pristine.items():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(blob)
+        victim = mutator.rng.choice(sorted(pristine))
+        mutant, op = mutator.mutate(pristine[victim])
+        victim.write_bytes(mutant)
+
+        session = make_session(cache_root)
+        try:
+            report = session.build_sources(SOURCES)
+        except Exception as exc:  # noqa: BLE001 - the point of the harness
+            failures.append(
+                f"[{index}] {op}: {type(exc).__name__}: {exc}"
+            )
+            continue
+        if not report.ok:
+            failures.append(f"[{index}] {op}: report not ok")
+        elif [r.output for r in report.results] != clean_outputs:
+            failures.append(f"[{index}] {op}: output diverged")
+        elif mutant != pristine[victim] and session.cache.failures == 0:
+            # Any actual damage must be *detected*, not deserialized
+            # into service (hits on the intact snapshots are fine).
+            failures.append(f"[{index}] {op}: damage went undetected")
+
+    assert not failures, (
+        f"{len(failures)}/{FUZZ_CACHE_MUTANTS} corrupt-cache rebuilds "
+        f"misbehaved (seed {FUZZ_SEED}):\n" + "\n".join(failures[:10])
+    )
+
+
+def test_every_mutation_op_is_exercised() -> None:
+    mutator = SnapshotMutator(FUZZ_SEED)
+    blob = b"MS2C\x01" + bytes(range(64))
+    seen = set()
+    for _ in range(200):
+        _, op = mutator.mutate(blob)
+        seen.add(op)
+    assert seen == set(SnapshotMutator.OPS)

@@ -38,6 +38,11 @@ PUBLIC_MODULES = [
     "repro.cli",
     "repro.constfold",
     "repro.diagnostics",
+    "repro.driver",
+    "repro.driver.diskcache",
+    "repro.driver.locks",
+    "repro.driver.report",
+    "repro.driver.scheduler",
     "repro.engine",
     "repro.errors",
     "repro.figures",
@@ -59,6 +64,7 @@ PUBLIC_MODULES = [
     "repro.meta.frames",
     "repro.meta.interp",
     "repro.meta.values",
+    "repro.options",
     "repro.packages",
     "repro.parser",
     "repro.parser.core",

@@ -1,0 +1,113 @@
+"""The ``repro build`` subcommand, end to end through ``main()``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+from tests.driver.corpus import (
+    PROGRAM_BROKEN,
+    PROGRAM_PLAIN,
+    PROGRAM_PRIVATE_MACRO,
+    PROGRAM_USES_SHARED,
+    SHARED_MACROS,
+)
+
+
+@pytest.fixture()
+def workspace(tmp_path: Path) -> dict[str, Path]:
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "a_shared.c").write_text(PROGRAM_USES_SHARED)
+    (src / "b_private.ms2").write_text(PROGRAM_PRIVATE_MACRO)
+    (src / "c_plain.c").write_text(PROGRAM_PLAIN)
+    shared = tmp_path / "shared.ms2"
+    shared.write_text(SHARED_MACROS)
+    return {
+        "src": src,
+        "shared": shared,
+        "cache": tmp_path / "cache",
+        "out": tmp_path / "out",
+    }
+
+
+def build_argv(ws: dict[str, Path], *extra: str) -> list[str]:
+    return [
+        "build", str(ws["src"]),
+        "--package-file", str(ws["shared"]),
+        "--cache-dir", str(ws["cache"]),
+        *extra,
+    ]
+
+
+def test_cold_then_warm(workspace, capsys) -> None:
+    assert main(build_argv(workspace)) == 0
+    cold = capsys.readouterr().out
+    assert "built" in cold and "3 file" in cold
+
+    assert main(build_argv(workspace)) == 0
+    warm = capsys.readouterr().out
+    assert "cached" in warm
+
+
+def test_json_report(workspace, capsys) -> None:
+    assert main(build_argv(workspace, "--report", "json")) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["ok"] is True
+    assert cold["files"] == 3
+    assert cold["files_from_cache"] == 0
+    assert len(cold["results"]) == 3
+    assert all(r["status"] == "ok" for r in cold["results"])
+
+    assert main(build_argv(workspace, "--report", "json")) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["files_from_cache"] == 3
+    assert warm["cache"]["hits"] == 3
+    assert [r["path"] for r in warm["results"]] == [
+        r["path"] for r in cold["results"]
+    ]
+
+
+def test_out_dir_writes_expanded_c(workspace, capsys) -> None:
+    assert main(
+        build_argv(workspace, "-o", str(workspace["out"]))
+    ) == 0
+    capsys.readouterr()
+    written = sorted(p.name for p in workspace["out"].iterdir())
+    assert written == ["a_shared.c", "b_private.c", "c_plain.c"]
+    text = (workspace["out"] / "a_shared.c").read_text()
+    assert "step" in text and "Twice" not in text
+
+
+def test_parallel_jobs_flag(workspace, capsys) -> None:
+    assert main(build_argv(workspace, "-j", "2")) == 0
+    capsys.readouterr()
+
+
+def test_failure_exit_code_and_stderr(workspace, capsys) -> None:
+    (workspace["src"] / "d_broken.c").write_text(PROGRAM_BROKEN)
+    assert main(build_argv(workspace)) == 1
+    captured = capsys.readouterr()
+    assert "d_broken.c" in captured.err
+    assert "error" in captured.err
+
+
+def test_no_disk_cache_flag(workspace, capsys) -> None:
+    assert main(build_argv(workspace, "--no-disk-cache")) == 0
+    capsys.readouterr()
+    assert not workspace["cache"].exists()
+
+
+def test_no_incremental_json_counts(workspace, capsys) -> None:
+    assert main(build_argv(workspace)) == 0
+    capsys.readouterr()
+    assert main(
+        build_argv(workspace, "--no-incremental", "--report", "json")
+    ) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["files_from_cache"] == 0
+    assert report["files"] == 3
