@@ -14,15 +14,18 @@ unchanged.  Entries live as snapshot files under a cache root
 
     .ms2-cache/
         ab/
-            ab3f...9c.ms2c      # MS2C\\x01 header + pickled payload
+            ab3f...9c.ms2c      # MS2C\\x01 header + JSON payload
             ab3f...9c.lock      # per-entry advisory lock
 
-Robustness mirrors the in-memory path exactly:
+Payloads are JSON, not pickle: the cache directory is shared between
+invocations (and potentially users), and loading a snapshot must
+never be able to execute code — a hostile ``.ms2c`` file can at worst
+read as corrupt.  Robustness mirrors the in-memory path exactly:
 
 - snapshots reuse the versioned ``MS2C`` + format-byte header from
   :mod:`repro.macros.cache`; a version bump invalidates old entries
   wholesale (they read as *stale* and are evicted);
-- **corrupt or truncated** snapshots — pickle explosions, wrong
+- **corrupt or truncated** snapshots — JSON decode explosions, wrong
   payload shape, key mismatch — are evicted and counted, and the
   caller falls back to re-expansion; corruption can never surface as
   an exception from a build;
@@ -38,8 +41,8 @@ Robustness mirrors the in-memory path exactly:
 from __future__ import annotations
 
 import io
+import json
 import os
-import pickle
 import tempfile
 from pathlib import Path
 from typing import Any
@@ -64,7 +67,7 @@ _REQUIRED_KEYS = frozenset({"key", "output"})
 
 #: Bytes of sha256(body) stored between header and body.  RAM blobs
 #: don't need this, but disk rots: without it a flipped bit inside a
-#: pickled string could deserialize "successfully" into wrong output.
+#: JSON string could decode "successfully" into wrong output.
 _DIGEST_LEN = 8
 
 
@@ -109,7 +112,7 @@ class PersistentCache:
         """The stored payload for ``key``, or None on miss.
 
         Every way a snapshot can be unusable — absent, truncated,
-        version-stamped by another format, unpicklable, wrong shape,
+        version-stamped by another format, undecodable, wrong shape,
         keyed for different inputs — funnels into the same answer:
         evict (when present), count, return None, caller re-expands.
         """
@@ -139,11 +142,9 @@ class PersistentCache:
         if stamp != _digest(body):
             return None  # body corrupted on disk
         try:
-            payload = pickle.loads(body)
-        except Exception:
-            # pickle raises a menagerie on corrupt input; all of it
-            # means the same thing here: the snapshot is unusable.
-            return None
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return None  # corrupt bytes / not JSON — unusable
         if not isinstance(payload, dict):
             return None
         if not _REQUIRED_KEYS <= payload.keys():
@@ -166,9 +167,11 @@ class PersistentCache:
         payload["key"] = key
         payload["format"] = CACHE_FORMAT_VERSION
         try:
-            body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception:
-            return False
+            body = json.dumps(
+                payload, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+        except (TypeError, ValueError):
+            return False  # payload not JSON-able
         blob = frame_snapshot(_digest(body) + body)
         try:
             with self._lock_for(key):
@@ -196,6 +199,16 @@ class PersistentCache:
             except OSError:
                 pass
             return False
+
+    def discard(self, key: str) -> None:
+        """Evict ``key`` after the *caller* found its (structurally
+        valid) payload semantically unusable — e.g. the stored path
+        disagrees with the file being built.  Re-books the preceding
+        :meth:`load`'s hit as a miss and counts a failure."""
+        self._evict(key)
+        self.hits = max(0, self.hits - 1)
+        self.misses += 1
+        self.failures += 1
 
     def _evict(self, key: str) -> None:
         try:

@@ -13,10 +13,14 @@ in separate files, or mixed together" — scaled out:
   :class:`~repro.engine.MacroProcessor` over the shared packages, so
   macro definitions inside one program file can never leak into
   another and results are identical to building each file alone;
-- results are keyed by ``(source hash, macro hash, options hash)``
-  and stored in the :class:`~repro.driver.diskcache.PersistentCache`,
-  so an incremental rebuild skips files whose triple is unchanged —
-  across runs and across processes.
+- results are keyed by ``(path, source hash, macro hash, options
+  hash)`` and stored in the
+  :class:`~repro.driver.diskcache.PersistentCache`, so an incremental
+  rebuild skips files whose key is unchanged — across runs and across
+  processes.  The path is part of the key because output can embed it
+  (``--annotate`` ``#line`` directives, provenance comments,
+  diagnostic locations): identical content at two paths must never
+  share a snapshot.
 
 Workers communicate in plain dicts (the
 :class:`~repro.driver.report.FileResult` wire form); the session
@@ -29,6 +33,7 @@ byte-identical by construction.
 from __future__ import annotations
 
 import hashlib
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -39,7 +44,7 @@ from repro import __version__
 from repro.driver.diskcache import DEFAULT_CACHE_DIR, PersistentCache
 from repro.driver.report import BuildReport, FileResult
 from repro.engine import MacroProcessor
-from repro.errors import Ms2Error
+from repro.errors import ExpansionBudgetError, Ms2Error
 from repro.macros.cache import CACHE_FORMAT_VERSION
 from repro.options import Ms2Options
 
@@ -117,14 +122,21 @@ def _fresh_processor(config: _WorkerConfig) -> MacroProcessor:
     return mp
 
 
-def _build_one(task: tuple[str, str]) -> dict:
+def _build_one(
+    task: tuple[str, str], config: _WorkerConfig | None = None
+) -> dict:
     """Expand one translation unit; returns the FileResult wire dict.
 
     Ms2Error faults (fail-fast mode) become ``status: "error"``
     records — one bad file never aborts the batch.
+
+    ``config`` falls back to the pool-initializer global only on the
+    process-pool path; the in-process path passes it explicitly so
+    concurrent sessions in one process cannot stomp each other.
     """
     path, source = task
-    config: _WorkerConfig = _WORKER["config"]
+    if config is None:
+        config = _WORKER["config"]
     start = perf_counter()
     try:
         mp = _fresh_processor(config)
@@ -230,13 +242,20 @@ class BuildSession:
             digest.update(source.encode("utf-8"))
         return digest.hexdigest()[:16]
 
-    def file_key(self, source: str) -> str:
+    def file_key(self, name: str, source: str) -> str:
         """The content key for one translation unit:
-        sha256(source) x macro hash x options hash."""
+        path x sha256(source) x macro hash x options hash.
+
+        The path participates because expanded output is not a pure
+        function of content: ``annotate`` embeds the filename in
+        ``#line`` directives and provenance comments, and recovered
+        diagnostics carry file locations.  Identical content at two
+        paths therefore keys two distinct snapshots."""
         source_sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        name_sha = hashlib.sha256(name.encode("utf-8")).hexdigest()
         return hashlib.sha256(
             (
-                f"{source_sha}\x00{self.macro_hash}"
+                f"{name_sha}\x00{source_sha}\x00{self.macro_hash}"
                 f"\x00{self.options.options_hash()}"
             ).encode("ascii")
         ).hexdigest()
@@ -261,12 +280,18 @@ class BuildSession:
         pending: list[tuple[int, str, str, str]] = []
 
         for index, (name, source) in enumerate(sources):
-            key = self.file_key(source)
+            key = self.file_key(name, source)
             snapshot = (
                 self.cache.load(key)
                 if (self.cache is not None and self.incremental)
                 else None
             )
+            if snapshot is not None and snapshot.get("path") != name:
+                # The key covers the path, so a mismatch means the
+                # snapshot was copied or forged — replaying it would
+                # emit another file's embedded locations.
+                self.cache.discard(key)
+                snapshot = None
             if snapshot is not None:
                 # Replayed result: output and diagnostics are part of
                 # the file's meaning and come back; stats/spans stay
@@ -295,7 +320,7 @@ class BuildSession:
                 key=key,
             )
             results[index] = result
-            if result.status == "ok" and self.cache is not None:
+            if self._cacheable(result) and self.cache is not None:
                 self.cache.store(
                     key,
                     {
@@ -322,6 +347,20 @@ class BuildSession:
             ),
         )
 
+    @staticmethod
+    def _cacheable(result: FileResult) -> bool:
+        """Whether a fresh result may be persisted.  Failures are
+        never cached, and neither is recovered output truncated by a
+        budget — ``deadline_s`` makes budget exhaustion wall-clock
+        nondeterministic, so replaying it would pin one transient
+        timeout's output forever."""
+        if result.status != "ok":
+            return False
+        budget = ExpansionBudgetError.__name__
+        return not any(
+            d.get("category") == budget for d in result.diagnostics
+        )
+
     def _expand_pending(
         self, pending: list[tuple[int, str, str, str]]
     ) -> list[tuple[int, str, dict]]:
@@ -330,8 +369,7 @@ class BuildSession:
             return []
         tasks = [(name, source) for _, name, source, _ in pending]
         if self.jobs == 1 or len(pending) == 1:
-            _worker_init(self._config)
-            records = [_build_one(task) for task in tasks]
+            records = [_build_one(task, self._config) for task in tasks]
         else:
             with ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(pending)),
@@ -346,15 +384,44 @@ class BuildSession:
 
 
 def write_outputs(report: BuildReport, out_dir: Path | str) -> list[Path]:
-    """Write each successful result's expanded C next to its input
-    stem under ``out_dir``; returns the written paths."""
+    """Write each successful result's expanded C under ``out_dir``;
+    returns the written paths.
+
+    Outputs land flat as ``<stem>.c`` when every stem is distinct.
+    When two inputs share a stem (``a/util.c`` and ``b/util.c``, easy
+    to get from a recursive directory build), the inputs' directory
+    structure below their deepest common ancestor is mirrored instead
+    so nothing is silently overwritten; inputs that still collide
+    (``util.c`` next to ``util.ms2``) raise :class:`ValueError`.
+    """
     root = Path(out_dir)
     root.mkdir(parents=True, exist_ok=True)
+    ok_results = [r for r in report.results if r.status == "ok"]
+    targets = [Path(Path(r.path).stem + ".c") for r in ok_results]
+    if len(set(targets)) != len(targets):
+        try:
+            base = os.path.commonpath(
+                [Path(r.path).parent for r in ok_results]
+            )
+            targets = [
+                Path(r.path).parent.relative_to(base)
+                / (Path(r.path).stem + ".c")
+                for r in ok_results
+            ]
+        except ValueError:  # mixed absolute/relative inputs
+            pass
+        if len(set(targets)) != len(targets):
+            dupes = sorted(
+                {str(t) for t in targets if targets.count(t) > 1}
+            )
+            raise ValueError(
+                "output filename collision under "
+                f"{root}: {', '.join(dupes)}"
+            )
     written = []
-    for result in report.results:
-        if result.status != "ok":
-            continue
-        target = root / (Path(result.path).stem + ".c")
+    for result, rel in zip(ok_results, targets):
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text(result.output)
         written.append(target)
     return written

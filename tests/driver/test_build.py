@@ -201,6 +201,71 @@ def test_cache_dir_deleted_mid_build(
     assert session(cache_dir).build([corpus_dir]).ok
 
 
+def test_identical_content_at_two_paths_is_not_conflated(
+    cache_dir: Path,
+) -> None:
+    """With ``annotate`` the path is embedded in the output (#line,
+    provenance comments), so a snapshot built for one path must never
+    replay for identical content at another path."""
+    options = Ms2Options(annotate=True)
+    cold = session(cache_dir, options=options).build_sources(
+        [("a/unit.c", PROGRAM_USES_SHARED)]
+    )
+    assert '"a/unit.c"' in cold.results[0].output
+    other = session(cache_dir, options=options).build_sources(
+        [("b/unit.c", PROGRAM_USES_SHARED)]
+    )
+    assert other.files_from_cache == 0
+    assert '"b/unit.c"' in other.results[0].output
+    assert "a/unit.c" not in other.results[0].output
+    # The original path still warm-hits its own snapshot.
+    warm = session(cache_dir, options=options).build_sources(
+        [("a/unit.c", PROGRAM_USES_SHARED)]
+    )
+    assert warm.files_from_cache == 1
+    assert warm.results[0].output == cold.results[0].output
+
+
+def test_snapshot_with_mismatched_path_is_discarded(
+    cache_dir: Path,
+) -> None:
+    """A snapshot whose stored path disagrees with the file being
+    built (copied/forged entry) is evicted, never replayed."""
+    sess = session(cache_dir)
+    key = sess.file_key("b.c", PROGRAM_USES_SHARED)
+    assert sess.cache.store(
+        key, {"path": "a.c", "output": "void wrong(void);\n"}
+    )
+    report = sess.build_sources([("b.c", PROGRAM_USES_SHARED)])
+    assert report.files_from_cache == 0
+    assert report.files_expanded == 1
+    assert sess.cache.failures == 1
+    assert "wrong" not in report.results[0].output
+
+
+def test_budget_exhausted_result_is_never_cached(
+    cache_dir: Path,
+) -> None:
+    """deadline_s makes budget exhaustion wall-clock nondeterministic,
+    so truncated recover-mode output must not be pinned by the cache —
+    every run retries the file."""
+    options = Ms2Options(recover=True, max_expansions=1)
+    source = "void f(void) { Twice { a(); } Twice { b(); } }\n"
+    first = session(cache_dir, options=options).build_sources(
+        [("f.c", source)]
+    )
+    assert first.results[0].status == "ok"
+    assert any(
+        d.get("category") == "ExpansionBudgetError"
+        for d in first.results[0].diagnostics
+    )
+    second = session(cache_dir, options=options).build_sources(
+        [("f.c", source)]
+    )
+    assert second.files_from_cache == 0
+    assert second.files_expanded == 1
+
+
 # ---------------------------------------------------------------------------
 # Parallelism and parity
 # ---------------------------------------------------------------------------
@@ -326,3 +391,81 @@ def test_write_outputs(corpus_dir: Path, tmp_path: Path) -> None:
         "a_shared.c", "b_private.c", "c_plain.c",
     ]
     assert (out_dir / "a_shared.c").read_text() == report.results[0].output
+
+
+def test_write_outputs_mirrors_dirs_on_stem_collision(
+    tmp_path: Path,
+) -> None:
+    """``a/util.c`` and ``b/util.c`` must both survive: colliding
+    stems mirror the input tree below the common ancestor instead of
+    silently overwriting each other."""
+    for sub, body in (("a", "int a;\n"), ("b", "int b;\n")):
+        (tmp_path / "src" / sub).mkdir(parents=True)
+        (tmp_path / "src" / sub / "util.c").write_text(body)
+    report = session(None).build([tmp_path / "src"])
+    out_dir = tmp_path / "out"
+    written = write_outputs(report, out_dir)
+    assert sorted(p.relative_to(out_dir) for p in written) == [
+        Path("a/util.c"), Path("b/util.c"),
+    ]
+    assert "int a;" in (out_dir / "a" / "util.c").read_text()
+    assert "int b;" in (out_dir / "b" / "util.c").read_text()
+
+
+def test_write_outputs_rejects_unresolvable_collision(
+    tmp_path: Path,
+) -> None:
+    """``util.c`` next to ``util.ms2`` collides even after mirroring
+    (both land as util.c) — that's an error, not an overwrite."""
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "util.c").write_text("int c;\n")
+    (src / "util.ms2").write_text("int m;\n")
+    report = session(None).build([src])
+    with pytest.raises(ValueError, match="collision"):
+        write_outputs(report, tmp_path / "out")
+
+
+def test_concurrent_sessions_do_not_share_worker_state() -> None:
+    """Two in-process (jobs=1) sessions with different macro contexts
+    built from sibling threads must each use their own context — the
+    sequential path takes no detour through process-global state."""
+    import threading
+
+    variants = {
+        "twice": SHARED_MACROS,
+        "thrice": SHARED_MACROS.replace(
+            "$body; $body;", "$body; $body; $body;"
+        ),
+    }
+    sources = synthetic_sources(4)
+    expected = {
+        name: [
+            r.output
+            for r in BuildSession(
+                package_sources=[("shared.ms2", macros)], cache_dir=None
+            ).build_sources(sources).results
+        ]
+        for name, macros in variants.items()
+    }
+    assert expected["twice"] != expected["thrice"]
+
+    results: dict[str, list[str]] = {}
+    barrier = threading.Barrier(len(variants))
+
+    def run(name: str, macros: str) -> None:
+        barrier.wait()
+        report = BuildSession(
+            package_sources=[("shared.ms2", macros)], cache_dir=None
+        ).build_sources(sources)
+        results[name] = [r.output for r in report.results]
+
+    threads = [
+        threading.Thread(target=run, args=item)
+        for item in variants.items()
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert results == expected

@@ -8,7 +8,7 @@ are evicted, and bump the ``failures`` counter.
 
 from __future__ import annotations
 
-import pickle
+import json
 import shutil
 from pathlib import Path
 
@@ -69,9 +69,20 @@ def test_store_failure_is_absorbed(tmp_path: Path) -> None:
     assert cache.store(KEY, {"output": "int x;\n"}) is False
 
 
-def test_unpicklable_payload_is_absorbed(tmp_path: Path) -> None:
+def test_unserializable_payload_is_absorbed(tmp_path: Path) -> None:
     cache = PersistentCache(tmp_path)
     assert cache.store(KEY, {"output": "x", "bad": lambda: None}) is False
+
+
+def test_snapshots_never_contain_pickle(tmp_path: Path) -> None:
+    """Loading a snapshot must not be able to execute code: the body
+    after header + digest is plain JSON, nothing else."""
+    cache, path = stored(tmp_path, diagnostics=[{"severity": "note"}])
+    from repro.macros.cache import unframe_snapshot
+
+    body = unframe_snapshot(path.read_bytes())[8:]
+    payload = json.loads(body.decode("utf-8"))  # raises if not JSON
+    assert payload["output"] == "int x;\n"
 
 
 def test_entries_and_clear(tmp_path: Path) -> None:
@@ -95,8 +106,8 @@ def _write_raw(path: Path, blob: bytes) -> None:
     path.write_bytes(blob)
 
 
-def _body(payload: dict) -> bytes:
-    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+def _body(payload) -> bytes:
+    return json.dumps(payload).encode("utf-8")
 
 
 def _framed_with_digest(body: bytes) -> bytes:
@@ -118,7 +129,10 @@ DAMAGE = {
     "bitflip-in-payload": lambda good: (
         good[:-10] + bytes([good[-10] ^ 0x40]) + good[-9:]
     ),
-    "garbage-pickle": lambda good: _framed_with_digest(b"not a pickle"),
+    "garbage-body": lambda good: _framed_with_digest(b"not { json"),
+    "pickled-body": lambda good: _framed_with_digest(
+        b"\x80\x05\x95\x0e\x00\x00\x00"  # a pickle is not JSON
+    ),
     "payload-not-a-dict": lambda good: _framed_with_digest(
         _body(["wrong", "shape"])
     ),
