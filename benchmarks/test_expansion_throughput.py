@@ -15,7 +15,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro.packages import load_standard
 
 
@@ -178,10 +178,10 @@ def _load_named(mp: MacroProcessor, names) -> None:
 
 
 def _expand(src: str, pkg_names, recover: bool = False, **kwargs):
-    mp = MacroProcessor(**kwargs)
+    mp = MacroProcessor(options=Ms2Options(recover=recover, **kwargs))
     _load_named(mp, pkg_names)
     if recover:
-        out, _ = mp.expand_to_c(src, recover=True)
+        out, _ = mp.expand_to_c(src)
     else:
         out = mp.expand_to_c(src)
     return out, mp.stats

@@ -7,7 +7,7 @@ costs over gensym-by-hand, per expansion.
 
 import pytest
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 
 #: A macro whose template declares two locals (rename candidates).
 TEMPLATE_LOCALS = """
@@ -41,7 +41,7 @@ PROGRAM = "void f(void) { guard { work(); } }"
 
 
 def run(definition: str, hygienic: bool) -> str:
-    mp = MacroProcessor(hygienic=hygienic)
+    mp = MacroProcessor(options=Ms2Options(hygienic=hygienic))
     mp.load(definition)
     return mp.expand_to_c(PROGRAM)
 
@@ -63,16 +63,16 @@ class TestBehaviour:
 @pytest.mark.benchmark(group="hygiene")
 class TestHygieneOverhead:
     def test_unhygienic_expansion(self, benchmark):
-        mp = MacroProcessor(hygienic=False)
+        mp = MacroProcessor(options=Ms2Options(hygienic=False))
         mp.load(TEMPLATE_LOCALS)
         benchmark(lambda: mp.expand_to_ast(PROGRAM))
 
     def test_hygienic_expansion(self, benchmark):
-        mp = MacroProcessor(hygienic=True)
+        mp = MacroProcessor(options=Ms2Options(hygienic=True))
         mp.load(TEMPLATE_LOCALS)
         benchmark(lambda: mp.expand_to_ast(PROGRAM))
 
     def test_manual_gensym_expansion(self, benchmark):
-        mp = MacroProcessor(hygienic=False)
+        mp = MacroProcessor(options=Ms2Options(hygienic=False))
         mp.load(MANUAL_GENSYM)
         benchmark(lambda: mp.expand_to_ast(PROGRAM))

@@ -11,7 +11,7 @@ increasing complexity.
 
 import pytest
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro.lexer.scanner import tokenize
 from repro.macros.compiled import compile_pattern
 from repro.macros.invocation import InvocationParser
@@ -43,7 +43,7 @@ CASES = {
 
 def setup_case(name: str, compiled: bool):
     definition_src, invocation_src = CASES[name]
-    mp = MacroProcessor(compiled_patterns=compiled)
+    mp = MacroProcessor(options=Ms2Options(compiled_patterns=compiled))
     mp.load(definition_src)
     defn = mp.table.lookup("m")
     tokens = tokenize(invocation_src + " ;")

@@ -1,0 +1,92 @@
+"""The stable public API of the MS2 reproduction.
+
+Import from here.  Everything else under :mod:`repro` is an
+implementation module whose layout may change between versions;
+the eight names in ``__all__`` below are the compatibility surface —
+``tests/integration/test_api_surface.py`` pins that this set never
+shrinks and that every entry point keeps its call shape.
+
+Quick tour::
+
+    from repro.api import expand, Ms2Options
+
+    result = expand("int x = quad(1);", options=Ms2Options(trace=True))
+    print(result.output)
+
+    # One warm daemon, many cheap expansions:
+    from repro.api import serve, Ms2Client
+    # (daemon side)  serve(socket_path="/tmp/ms2.sock")
+    # (client side)
+    with Ms2Client("/tmp/ms2.sock") as client:
+        result = client.expand("int x = quad(1);")
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.diagnostics import Diagnostic
+from repro.engine import MacroProcessor
+from repro.options import ExpandResult, Ms2Options
+from repro.client import Ms2Client
+from repro.server import serve
+
+__all__ = [
+    "Ms2Options",
+    "ExpandResult",
+    "Diagnostic",
+    "MacroProcessor",
+    "expand",
+    "expand_file",
+    "Ms2Client",
+    "serve",
+]
+
+
+def expand(
+    source: str,
+    filename: str = "<string>",
+    *,
+    options: Ms2Options | None = None,
+    packages: Sequence[str] = (),
+    package_sources: Sequence[tuple[str, str]] = (),
+) -> ExpandResult:
+    """Expand one program in a fresh macro context.
+
+    ``packages`` name standard macro packages
+    (:data:`repro.packages.PACKAGE_NAMES`); ``package_sources`` are
+    ``(filename, source)`` pairs of macro-package files loaded after
+    them — the paper's separate meta-program files.  Each call is
+    hermetic: nothing leaks between calls.  For repeated expansion
+    against the same preamble, keep a :class:`MacroProcessor` (one
+    context, definitions accumulate) or talk to a warm daemon with
+    :class:`Ms2Client`.
+    """
+    from repro.packages import register_named
+
+    mp = MacroProcessor(options=options)
+    for name in packages:
+        register_named(mp, name)
+    for package_name, package_source in package_sources:
+        mp.load(package_source, str(package_name))
+    return mp.expand(source, filename)
+
+
+def expand_file(
+    path: Path | str,
+    *,
+    options: Ms2Options | None = None,
+    packages: Sequence[str] = (),
+    package_sources: Sequence[tuple[str, str]] = (),
+) -> ExpandResult:
+    """:func:`expand` for a file on disk (its path becomes the
+    ``filename`` carried by diagnostics and ``#line`` output)."""
+    path = Path(path)
+    return expand(
+        path.read_text(),
+        str(path),
+        options=options,
+        packages=packages,
+        package_sources=package_sources,
+    )

@@ -182,6 +182,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--stats-json", action="store_true",
         help="print pipeline counters as JSON to stderr afterwards",
     )
+    expand.add_argument(
+        "--server", metavar="ADDR", default=None,
+        help="expand on a running 'repro serve' daemon instead of "
+        "in-process (ADDR: socket path, HOST:PORT, or :PORT)",
+    )
 
     build = sub.add_parser(
         "build",
@@ -253,6 +258,85 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="append completed spans to PATH as JSON lines",
     )
 
+    from repro.server import (
+        DEFAULT_DRAIN_S,
+        DEFAULT_MAX_FRAME_BYTES,
+        DEFAULT_MAX_INFLIGHT,
+        DEFAULT_QUEUE_LIMIT,
+        DEFAULT_WARM_SPARES,
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a long-lived expansion daemon with warm workers "
+        "(see docs/SERVER.md)",
+    )
+    _add_package_flag(serve)
+    serve.add_argument(
+        "--package-file", action="append", default=[], type=Path,
+        metavar="PATH",
+        help="macro-package source file pre-loaded into every warm "
+        "worker (repeatable)",
+    )
+    _add_option_flags(serve)
+    listen = serve.add_mutually_exclusive_group(required=True)
+    listen.add_argument(
+        "--socket", type=Path, metavar="PATH",
+        help="listen on a Unix domain socket at PATH",
+    )
+    listen.add_argument(
+        "--port", type=int, metavar="N",
+        help="listen on TCP port N (0 = ephemeral; the bound port is "
+        "announced on stderr)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="HOST",
+        help="TCP bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--cache-dir", type=Path, default=Path(DEFAULT_CACHE_DIR),
+        metavar="DIR",
+        help="persistent snapshot cache shared with 'repro build' "
+        f"(default {DEFAULT_CACHE_DIR})",
+    )
+    serve.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="disable the persistent cache for expand_file requests",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=DEFAULT_MAX_INFLIGHT,
+        metavar="N",
+        help=f"concurrent expansions (default {DEFAULT_MAX_INFLIGHT})",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=DEFAULT_QUEUE_LIMIT,
+        metavar="N",
+        help="admitted requests waiting beyond --max-inflight before "
+        f"the server answers 'busy' (default {DEFAULT_QUEUE_LIMIT})",
+    )
+    serve.add_argument(
+        "--warm-spares", type=int, default=DEFAULT_WARM_SPARES,
+        metavar="N",
+        help="pre-built workers kept per options/preamble key "
+        f"(default {DEFAULT_WARM_SPARES})",
+    )
+    serve.add_argument(
+        "--request-deadline-ms", type=float, default=None, metavar="MS",
+        help="server-side wall-clock budget applied to requests whose "
+        "options set no deadline of their own",
+    )
+    serve.add_argument(
+        "--drain-s", type=float, default=DEFAULT_DRAIN_S, metavar="S",
+        help="seconds SIGTERM waits for in-flight requests "
+        f"(default {DEFAULT_DRAIN_S:g})",
+    )
+    serve.add_argument(
+        "--max-frame-bytes", type=int, default=DEFAULT_MAX_FRAME_BYTES,
+        metavar="N",
+        help="reject request frames larger than N bytes "
+        f"(default {DEFAULT_MAX_FRAME_BYTES})",
+    )
+
     macros = sub.add_parser("macros", help="list defined macro keywords")
     macros.add_argument(
         "files", nargs="*", type=Path, help="macro package files"
@@ -279,6 +363,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 def cmd_expand(args: argparse.Namespace) -> int:
     """``repro expand``: load packages/files, print expanded C."""
+    if args.server is not None:
+        return _cmd_expand_via_server(args)
     options = options_from_args(args)
     mp = MacroProcessor(options=options)
     for name in args.package:
@@ -297,6 +383,78 @@ def cmd_expand(args: argparse.Namespace) -> int:
     if options.profile:
         print(mp.stats.profile_summary(), file=sys.stderr)
     return 0 if result.ok else 1
+
+
+def _cmd_expand_via_server(args: argparse.Namespace) -> int:
+    """``repro expand --server ADDR``: same flags, same output, but
+    the expansion runs on a warm daemon worker.  The request carries
+    this invocation's options and preamble explicitly, so the result
+    is byte-identical to the in-process path regardless of what the
+    daemon was started with."""
+    from repro.client import Ms2Client
+    from repro.stats import PipelineStats
+
+    options = options_from_args(args)
+    *package_files, program = args.files
+    with Ms2Client(args.server) as client:
+        result = client.expand(
+            program.read_text(),
+            str(program),
+            options=options,
+            packages=list(args.package),
+            package_sources=[
+                (str(path), path.read_text()) for path in package_files
+            ],
+        )
+    print(result.output, end="")
+    for diagnostic in result.diagnostics:
+        print(diagnostic.render(), file=sys.stderr)
+    stats = result.stats if result.stats is not None else PipelineStats()
+    if args.stats:
+        print(stats.summary(), file=sys.stderr)
+    if args.stats_json:
+        print(json.dumps(stats.to_json()), file=sys.stderr)
+    if options.profile:
+        print(stats.profile_summary(), file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the expansion daemon until shut down."""
+    from repro import server as server_mod
+
+    options = options_from_args(args)
+
+    def announce(srv: "server_mod.Ms2Server") -> None:
+        print(
+            f"repro serve: listening on {srv.address}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    server_mod.serve(
+        options,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        package_names=list(args.package),
+        package_sources=[
+            (str(path), path.read_text()) for path in args.package_file
+        ],
+        cache_dir=None if args.no_disk_cache else args.cache_dir,
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue_limit,
+        max_frame_bytes=args.max_frame_bytes,
+        warm_spares=args.warm_spares,
+        default_deadline_s=(
+            args.request_deadline_ms / 1000.0
+            if args.request_deadline_ms is not None
+            else None
+        ),
+        drain_s=args.drain_s,
+        ready=announce,
+    )
+    return 0
 
 
 def cmd_build(args: argparse.Namespace) -> int:
@@ -472,6 +630,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "expand":
             return cmd_expand(args)
+        if args.command == "serve":
+            return cmd_serve(args)
         if args.command == "build":
             return cmd_build(args)
         if args.command == "trace":

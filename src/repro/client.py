@@ -1,0 +1,288 @@
+"""Synchronous client for the ``repro serve`` expansion daemon.
+
+:class:`Ms2Client` speaks the newline-delimited JSON protocol of
+:mod:`repro.server` over a Unix socket or TCP connection and converts
+wire payloads back into the library's own objects
+(:class:`~repro.options.ExpandResult`, raising
+:class:`Ms2ServerError` — an :class:`~repro.errors.Ms2Error` — for
+error frames), so switching ``MacroProcessor.expand`` calls to a warm
+daemon is a one-line change::
+
+    from repro.client import Ms2Client
+
+    with Ms2Client("/tmp/ms2.sock") as client:
+        result = client.expand("int x = quad(1);", "prog.c")
+
+``repro expand --server ADDR`` routes the ordinary CLI through this
+client transparently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.errors import Ms2Error
+from repro.options import ExpandResult, Ms2Options
+
+__all__ = ["Ms2Client", "Ms2ServerError", "parse_address"]
+
+#: Default per-request socket timeout, seconds.
+DEFAULT_TIMEOUT_S = 60.0
+
+
+class Ms2ServerError(Ms2Error):
+    """An error frame from the daemon, as a raisable
+    :class:`~repro.errors.Ms2Error` (so ``repro expand --server``
+    reports failures through the same path as local expansion).
+
+    Attributes
+    ----------
+    code:
+        The protocol error code (``busy``, ``bad_request``,
+        ``expansion_error``, ...).
+    payload:
+        The complete ``error`` object from the frame (may carry a
+        serialized diagnostic for ``expansion_error``).
+    """
+
+    def __init__(self, code: str, message: str, payload: dict[str, Any]):
+        super().__init__(message)
+        self.code = code
+        self.payload = payload
+
+    def __str__(self) -> str:
+        rendered = (self.payload.get("diagnostic") or {}).get("rendered")
+        if rendered:
+            return rendered
+        return f"[{self.code}] {self.message}"
+
+
+def parse_address(spec: str | Path) -> tuple[Any, ...]:
+    """``("unix", path)`` or ``("tcp", host, port)`` from an address
+    spelling: a filesystem path (anything containing a separator, or
+    any existing path), ``HOST:PORT``, ``:PORT`` or a bare port
+    number."""
+    text = str(spec)
+    if text.isdigit():
+        return ("tcp", "127.0.0.1", int(text))
+    host, sep, port = text.rpartition(":")
+    if sep and port.isdigit() and os.sep not in text:
+        return ("tcp", host or "127.0.0.1", int(port))
+    return ("unix", text)
+
+
+class Ms2Client:
+    """One connection to a running daemon.  Not thread-safe: requests
+    on one client are strictly sequential (open one client per thread
+    — the daemon multiplexes connections)."""
+
+    def __init__(
+        self,
+        address: str | Path,
+        *,
+        timeout: float = DEFAULT_TIMEOUT_S,
+    ) -> None:
+        self.address = parse_address(address)
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._reader: Any = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+
+    def connect(self) -> "Ms2Client":
+        if self._sock is not None:
+            return self
+        if self.address[0] == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.address[1])
+        else:
+            sock = socket.create_connection(
+                (self.address[1], self.address[2]), timeout=self.timeout
+            )
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "Ms2Client":
+        return self.connect()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def wait_ready(self, timeout: float = 10.0) -> None:
+        """Block until the daemon answers ``ping`` (daemon startup is
+        asynchronous: the socket may not exist yet)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.connect()
+                self.ping()
+                return
+            except (OSError, Ms2ServerError):
+                self.close()
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"no server at {self.address} within "
+                        f"{timeout:.1f}s"
+                    ) from None
+                time.sleep(0.05)
+
+    # ------------------------------------------------------------------
+    # Raw protocol
+    # ------------------------------------------------------------------
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one frame (an ``id`` is assigned when missing) and
+        return the raw response frame."""
+        self.connect()
+        assert self._sock is not None
+        if "id" not in payload:
+            self._next_id += 1
+            payload = {"id": self._next_id, **payload}
+        self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        line = self._reader.readline()
+        if not line:
+            self.close()
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def call(self, op: str, **fields: Any) -> dict[str, Any]:
+        """One operation: send, check, unwrap ``result`` (raising
+        :class:`Ms2ServerError` on error frames)."""
+        response = self.request({"op": op, **fields})
+        if response.get("ok"):
+            return response.get("result", {})
+        error = response.get("error") or {}
+        raise Ms2ServerError(
+            error.get("code", "internal"),
+            error.get("message", "unknown server error"),
+            error,
+        )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self.call("ping")
+
+    def stats(self) -> dict[str, Any]:
+        return self.call("stats")
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the daemon to drain and exit (the response arrives
+        before the drain starts)."""
+        result = self.call("shutdown")
+        self.close()
+        return result
+
+    def expand(
+        self,
+        source: str,
+        filename: str = "<client>",
+        *,
+        options: Ms2Options | None = None,
+        packages: Sequence[str] | None = None,
+        package_sources: Sequence[tuple[str, str]] | None = None,
+    ) -> ExpandResult:
+        """Expand ``source`` on a warm server worker.  ``options``
+        default to the *server's* options; naming ``packages`` /
+        ``package_sources`` overrides the server preamble entirely."""
+        result = self.call(
+            "expand",
+            **self._work_fields(
+                source, filename, options, packages, package_sources
+            ),
+        )
+        return ExpandResult.from_json(result)
+
+    def trace(
+        self,
+        source: str,
+        filename: str = "<client>",
+        *,
+        options: Ms2Options | None = None,
+        packages: Sequence[str] | None = None,
+        package_sources: Sequence[tuple[str, str]] | None = None,
+    ) -> tuple[ExpandResult, str]:
+        """Like :meth:`expand` with tracing forced on; returns the
+        result plus the rendered span tree."""
+        result = self.call(
+            "trace",
+            **self._work_fields(
+                source, filename, options, packages, package_sources
+            ),
+        )
+        return ExpandResult.from_json(result), result.get("tree", "")
+
+    def expand_file(
+        self,
+        path: str | Path,
+        *,
+        options: Ms2Options | None = None,
+        packages: Sequence[str] | None = None,
+        package_sources: Sequence[tuple[str, str]] | None = None,
+    ) -> dict[str, Any]:
+        """Build one file *on the server's filesystem* through its
+        persistent snapshot cache; returns the
+        :meth:`~repro.driver.report.FileResult.to_json` payload."""
+        fields: dict[str, Any] = {"path": str(path)}
+        if options is not None:
+            fields["options"] = options.to_json()
+        self._preamble_fields(fields, packages, package_sources)
+        return self.call("expand_file", **fields)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _preamble_fields(
+        fields: dict[str, Any],
+        packages: Sequence[str] | None,
+        package_sources: Sequence[tuple[str, str]] | None,
+    ) -> None:
+        if packages is not None:
+            fields["packages"] = list(packages)
+        if package_sources is not None:
+            fields["package_sources"] = [
+                [str(name), source] for name, source in package_sources
+            ]
+            fields.setdefault("packages", [])
+
+    def _work_fields(
+        self,
+        source: str,
+        filename: str,
+        options: Ms2Options | None,
+        packages: Sequence[str] | None,
+        package_sources: Sequence[tuple[str, str]] | None,
+    ) -> dict[str, Any]:
+        fields: dict[str, Any] = {
+            "source": source, "filename": filename
+        }
+        if options is not None:
+            fields["options"] = options.to_json()
+        self._preamble_fields(fields, packages, package_sources)
+        return fields

@@ -46,6 +46,22 @@ NOTE = "note"
 DEFAULT_MAX_ERRORS = 20
 
 
+def _parse_location(text) -> SourceLocation | None:
+    """Parse a ``file:line:col`` rendering back into a
+    :class:`SourceLocation` (None when absent or unparseable —
+    filenames may contain colons, so split from the right)."""
+    if not isinstance(text, str):
+        return None
+    filename, _, rest = text.rpartition(":")
+    filename, _, line = filename.rpartition(":")
+    try:
+        return SourceLocation(
+            line=int(line), column=int(rest), filename=filename or "<string>"
+        )
+    except ValueError:
+        return None
+
+
 @dataclass(slots=True)
 class Diagnostic:
     """One reported problem.
@@ -83,11 +99,12 @@ class Diagnostic:
     def render(self) -> str:
         return f"{self.severity}: {self.rendered}"
 
-    def as_dict(self) -> dict:
-        """JSON-ready form (the batch driver's report / snapshot
-        payload).  Locations flatten to their string rendering — the
-        round trip preserves everything a report consumer needs, not
-        the live :class:`SourceLocation` object."""
+    def to_json(self) -> dict:
+        """The wire form (server responses, batch-driver reports,
+        persistent snapshots).  Locations flatten to their
+        ``file:line:col`` rendering — the round trip preserves
+        everything a consumer needs; expansion backtraces live in
+        ``rendered``."""
         return {
             "severity": self.severity,
             "message": self.message,
@@ -96,16 +113,25 @@ class Diagnostic:
             "rendered": self.rendered,
         }
 
+    #: Legacy spelling of :meth:`to_json`.
+    as_dict = to_json
+
     @classmethod
-    def from_dict(cls, data: dict) -> "Diagnostic":
-        """Rebuild from :meth:`as_dict` output (cache replay path)."""
+    def from_json(cls, data: dict) -> "Diagnostic":
+        """Rebuild from a :meth:`to_json` payload (cache replay and
+        the client side of the server protocol).  The location string
+        parses back into a plain :class:`SourceLocation` (character
+        offset and backtrace frames are not wire data)."""
         return cls(
             severity=data.get("severity", ERROR),
             message=data.get("message", ""),
-            location=None,
+            location=_parse_location(data.get("location")),
             category=data.get("category", ""),
             rendered=data.get("rendered", ""),
         )
+
+    #: Legacy spelling of :meth:`from_json`.
+    from_dict = from_json
 
 
 class DiagnosticSink:

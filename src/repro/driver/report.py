@@ -38,11 +38,11 @@ class FileResult:
     key: str = ""
     #: Wall-clock milliseconds spent on this file (0 for cache hits).
     duration_ms: float = 0.0
-    #: Rendered diagnostics (``Diagnostic.as_dict`` form).
+    #: Rendered diagnostics (``Diagnostic.to_json`` form).
     diagnostics: list[dict[str, Any]] = field(default_factory=list)
-    #: Pipeline counters for this file (``PipelineStats.as_dict``).
+    #: Pipeline counters for this file (``PipelineStats.to_json``).
     stats: dict[str, Any] = field(default_factory=dict)
-    #: Trace spans for this file (``ExpansionSpan.as_dict`` records).
+    #: Trace spans for this file (``ExpansionSpan.to_json`` records).
     spans: list[dict[str, Any]] = field(default_factory=list)
     #: Fail-fast error text when ``status == "error"``.
     error: str | None = None
@@ -57,8 +57,9 @@ class FileResult:
             d.get("severity") == "error" for d in self.diagnostics
         )
 
-    def as_dict(self) -> dict[str, Any]:
-        """JSON-ready rendering (one entry of ``--report json``)."""
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready rendering (one entry of ``--report json``; also
+        the server's ``expand_file`` response body)."""
         return {
             "path": self.path,
             "status": self.status,
@@ -72,6 +73,9 @@ class FileResult:
             "spans": self.spans,
             "error": self.error,
         }
+
+    #: Legacy spelling of :meth:`to_json`.
+    as_dict = to_json
 
 
 @dataclass(slots=True)
@@ -118,12 +122,12 @@ class BuildReport:
         total = PipelineStats()
         for result in self.results:
             if result.stats:
-                total.merge(PipelineStats.from_dict(result.stats))
+                total.merge(PipelineStats.from_json(result.stats))
         return total
 
     # ------------------------------------------------------------------
 
-    def as_dict(self) -> dict[str, Any]:
+    def to_json(self) -> dict[str, Any]:
         """The ``--report json`` payload."""
         return {
             "ok": self.ok,
@@ -136,9 +140,12 @@ class BuildReport:
             "cache_dir": self.cache_dir,
             "cache": self.cache,
             "elapsed_ms": round(self.elapsed_ms, 3),
-            "stats": self.aggregate_stats().as_dict(),
-            "results": [result.as_dict() for result in self.results],
+            "stats": self.aggregate_stats().to_json(),
+            "results": [result.to_json() for result in self.results],
         }
+
+    #: Legacy spelling of :meth:`to_json`.
+    as_dict = to_json
 
     def render(self) -> str:
         """Human-readable batch summary (the default CLI output)."""

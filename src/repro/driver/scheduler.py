@@ -149,7 +149,7 @@ def _build_one(
             "error_type": type(exc).__name__,
             "duration_ms": (perf_counter() - start) * 1000.0,
         }
-    record = result.as_dict()
+    record = result.to_json()
     return {
         "path": path,
         "status": "ok",

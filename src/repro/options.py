@@ -144,6 +144,41 @@ class Ms2Options:
         return bool(self.trace or self.trace_hooks or self.trace_jsonl)
 
     # ------------------------------------------------------------------
+    # Wire format (the server protocol / persistent snapshots)
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """The wire form: every field except the runtime-only hook
+        handles (``trace_hooks``/``trace_jsonl``), as JSON-able
+        values.  :meth:`from_json` round-trips it exactly."""
+        return {
+            name: getattr(self, name)
+            for name in OPTION_FIELDS
+            if name not in _RUNTIME_FIELDS
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any] | None) -> "Ms2Options":
+        """Rebuild an options value from a :meth:`to_json` payload.
+
+        Unknown keys are ignored (payloads written by newer pipelines
+        still load) and the runtime-only hook fields cannot cross the
+        wire.  Values of the wrong JSON type raise :class:`ValueError`
+        — the expansion server turns that into a ``bad_request``
+        response instead of corrupting a worker.
+        """
+        if data is None:
+            return cls()
+        if not isinstance(data, dict):
+            raise ValueError("options payload must be a JSON object")
+        kwargs: dict[str, Any] = {}
+        for name in OPTION_FIELDS:
+            if name in _RUNTIME_FIELDS or name not in data:
+                continue
+            kwargs[name] = _check_field(name, data[name])
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
     # Hashing / serialization (the incremental-rebuild key)
     # ------------------------------------------------------------------
 
@@ -222,6 +257,41 @@ _UNHASHED_FIELDS = frozenset(
     {"trace", "profile", "trace_hooks", "trace_jsonl"}
 )
 
+#: Runtime-only handles: never serialized, never on the wire.
+_RUNTIME_FIELDS = frozenset({"trace_hooks", "trace_jsonl"})
+
+#: Fields whose wire value must be a JSON boolean.
+_BOOL_FIELDS = frozenset(
+    name
+    for name in OPTION_FIELDS
+    if isinstance(getattr(Ms2Options(), name), bool)
+)
+
+
+def _check_field(name: str, value: Any) -> Any:
+    """Validate one wire value for :meth:`Ms2Options.from_json`."""
+    if name in _BOOL_FIELDS:
+        if not isinstance(value, bool):
+            raise ValueError(f"option {name!r} must be a boolean")
+        return value
+    if name == "max_errors":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"option {name!r} must be an integer")
+        return value
+    if name in ("max_expansions", "max_output_nodes"):
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"option {name!r} must be an integer or null")
+        return value
+    if name == "deadline_s":
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"option {name!r} must be a number or null")
+        return float(value)
+    return value
+
 
 @dataclass(slots=True)
 class ExpandResult:
@@ -249,12 +319,61 @@ class ExpandResult:
         """True when no error-severity diagnostic was recorded."""
         return not any(d.severity == "error" for d in self.diagnostics)
 
-    def as_dict(self) -> dict[str, Any]:
-        """JSON-ready rendering (the batch driver's per-file record)."""
+    def to_json(self) -> dict[str, Any]:
+        """The wire form (server responses, batch-driver records,
+        persistent snapshots).  Spans serialize flattened pre-order —
+        every span of every recorded tree, parent ids preserving the
+        shape — so :meth:`from_json` can rebuild the trees.  The
+        expanded ``unit`` never crosses the wire: consumers that need
+        the AST re-parse the output text."""
+        spans: list[dict[str, Any]] = []
+        for root in self.spans:
+            stack = [root]
+            while stack:
+                span = stack.pop()
+                spans.append(span.to_json())
+                stack.extend(reversed(span.children))
         return {
             "ok": self.ok,
             "output": self.output,
-            "diagnostics": [d.as_dict() for d in self.diagnostics],
-            "stats": self.stats.as_dict() if self.stats else {},
-            "spans": [s.as_dict() for s in self.spans],
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "stats": self.stats.to_json() if self.stats else {},
+            "spans": spans,
         }
+
+    #: Legacy spelling of :meth:`to_json`.
+    as_dict = to_json
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ExpandResult":
+        """Rebuild a result from a :meth:`to_json` payload (the
+        client side of the server protocol).  ``unit`` is None; span
+        trees are relinked from their parent ids."""
+        from repro.diagnostics import Diagnostic
+        from repro.stats import PipelineStats
+        from repro.trace import ExpansionSpan
+
+        if not isinstance(data, dict):
+            raise ValueError("result payload must be a JSON object")
+        diagnostics = [
+            Diagnostic.from_json(d) for d in data.get("diagnostics", [])
+        ]
+        stats_data = data.get("stats")
+        stats = PipelineStats.from_json(stats_data) if stats_data else None
+        by_id: dict[int, Any] = {}
+        roots = []
+        for record in data.get("spans", []):
+            span = ExpansionSpan.from_json(record)
+            by_id[span.span_id] = span
+            parent = by_id.get(span.parent_id)
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                roots.append(span)
+        return cls(
+            output=data.get("output", ""),
+            unit=None,
+            diagnostics=diagnostics,
+            stats=stats,
+            spans=roots,
+        )

@@ -1,0 +1,962 @@
+"""The long-running expansion daemon: ``repro serve``.
+
+Every ``repro expand`` invocation pays full process startup — Python
+interpreter boot, package imports, and the macro-package preamble —
+before the first token is scanned.  :class:`Ms2Server` amortizes all
+of that: an asyncio daemon that listens on a Unix socket or TCP port,
+keeps a pool of **warm workers** (fresh
+:class:`~repro.engine.MacroProcessor` instances with the package
+preamble pre-loaded), and serves a newline-delimited JSON protocol, so
+a warm-path expansion is one socket round-trip.
+
+Protocol (one JSON object per LF-terminated line, UTF-8)::
+
+    -> {"id": 1, "op": "expand", "source": "...", "filename": "x.c",
+        "options": {...Ms2Options.to_json()...},
+        "packages": ["loops"], "package_sources": [["m.ms2", "..."]]}
+    <- {"id": 1, "ok": true, "op": "expand",
+        "result": {...ExpandResult.to_json()...}}
+
+Request ops: ``expand``, ``expand_file``, ``trace``, ``stats``,
+``ping``, ``shutdown``.  Error responses carry
+``{"error": {"code", "message", ...}}`` with codes ``bad_request``,
+``busy`` (backpressure — the 429 of this protocol), ``frame_too_large``,
+``expansion_error`` (fail-fast :class:`~repro.errors.Ms2Error`, with
+the full provenance backtrace as a serialized diagnostic),
+``shutting_down`` and ``internal``.  See ``docs/SERVER.md`` for the
+full schema reference.
+
+Design notes:
+
+- **Workers are single-use.**  Expanding a program mutates the
+  processor (program-defined macros, typedef scopes leak into later
+  runs), so a worker serves exactly one request and is retired — the
+  isolation guarantee of :mod:`repro.driver` kept intact.  Warmth
+  comes from *pre-building*: the pool keeps spare workers with the
+  preamble already loaded per ``(options_hash, preamble)`` key, and a
+  replacement spare is built off the request path after each use.
+- **Caches are shared with ``repro build``.**  ``expand_file``
+  requests route through a :class:`~repro.driver.scheduler.BuildSession`
+  over the server's persistent snapshot cache directory, so daemon
+  and batch builds hit the same ``.ms2-cache/`` entries.  The
+  in-memory expansion cache stays per-worker by design — its keys
+  include table-local definition generations.
+- **Backpressure is explicit.**  At most ``max_inflight`` expansions
+  run concurrently (a thread pool; expansion is synchronous CPU
+  work), up to ``queue_limit`` more wait in the executor's queue, and
+  anything beyond that is answered ``busy`` immediately rather than
+  queued without bound.
+- **Budgets guard the loop.**  Per-request ``Ms2Options`` budgets
+  (``max_expansions``/``max_output_nodes``/``deadline_s``) apply
+  inside the worker; ``default_deadline_s`` imposes a server-side
+  deadline on requests that set none.
+- **SIGTERM drains.**  The listener closes, in-flight requests finish
+  (bounded by ``drain_s``), their responses flush, then connections
+  close and ``serve_forever`` returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import json
+import os
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Sequence
+
+from repro import __version__
+from repro.engine import MacroProcessor
+from repro.errors import Ms2Error
+from repro.diagnostics import Diagnostic
+from repro.options import Ms2Options
+from repro.stats import PipelineStats
+
+__all__ = ["Ms2Server", "serve", "PROTOCOL_VERSION", "REQUEST_OPS"]
+
+#: Bumped when the request/response schema changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Every operation the daemon understands.
+REQUEST_OPS = (
+    "expand", "expand_file", "trace", "stats", "ping", "shutdown"
+)
+
+#: Ops that run pipeline work (and are subject to backpressure).
+_WORK_OPS = frozenset({"expand", "expand_file", "trace"})
+
+#: Hard cap on one request/response frame (bytes, including newline).
+DEFAULT_MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Concurrent expansions (executor threads).
+DEFAULT_MAX_INFLIGHT = 4
+
+#: Admitted-but-waiting requests beyond ``max_inflight``.
+DEFAULT_QUEUE_LIMIT = 16
+
+#: Seconds SIGTERM waits for in-flight requests before forcing.
+DEFAULT_DRAIN_S = 10.0
+
+#: Warm spare workers kept per (options, preamble) pool key.
+DEFAULT_WARM_SPARES = 2
+
+#: Latency histogram bucket upper bounds, milliseconds.
+LATENCY_BUCKETS_MS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+def _ok(rid: Any, op: str, result: dict[str, Any]) -> dict[str, Any]:
+    return {"id": rid, "ok": True, "op": op, "result": result}
+
+
+def _err(
+    rid: Any, op: str | None, code: str, message: str, **extra: Any
+) -> dict[str, Any]:
+    error: dict[str, Any] = {"code": code, "message": message}
+    error.update(extra)
+    return {"id": rid, "ok": False, "op": op, "error": error}
+
+
+class _BadRequest(ValueError):
+    """Raised by request validation; becomes a ``bad_request`` frame."""
+
+
+# ---------------------------------------------------------------------------
+# Warm worker pool
+# ---------------------------------------------------------------------------
+
+
+class WorkerPool:
+    """Warm spare :class:`MacroProcessor` instances, keyed by
+    ``(options_hash, preamble signature)``.
+
+    A worker is built fresh (packages registered, package sources
+    loaded) and *used once*: serving a request hands the caller an
+    exclusive processor and never takes it back.  :meth:`replenish`
+    rebuilds a spare off the request path, so steady-state requests
+    always find one waiting.
+    """
+
+    def __init__(self, spares: int = DEFAULT_WARM_SPARES) -> None:
+        self.spares = max(0, int(spares))
+        self._idle: dict[str, list[MacroProcessor]] = {}
+        self._lock = threading.Lock()
+        #: Requests served by a pre-built warm worker.
+        self.warm_hits = 0
+        #: Requests that had to build their worker inline.
+        self.cold_builds = 0
+
+    @staticmethod
+    def key_for(
+        options: Ms2Options,
+        package_names: Sequence[str],
+        package_sources: Sequence[tuple[str, str]],
+    ) -> str:
+        # Not options_hash(): that deliberately ignores trace/profile,
+        # but a worker built without a tracer cannot serve a traced
+        # request, so pool keys cover every serializable field.
+        digest = hashlib.sha256(
+            json.dumps(options.to_json(), sort_keys=True).encode("utf-8")
+        )
+        for name in package_names:
+            digest.update(b"\x00name\x00" + name.encode("utf-8"))
+        for filename, source in package_sources:
+            digest.update(b"\x00file\x00" + filename.encode("utf-8"))
+            digest.update(source.encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    @staticmethod
+    def build_worker(
+        options: Ms2Options,
+        package_names: Sequence[str],
+        package_sources: Sequence[tuple[str, str]],
+    ) -> MacroProcessor:
+        """A fresh processor with the preamble loaded (the slow part
+        a warm hit skips)."""
+        from repro.packages import register_named
+
+        mp = MacroProcessor(options=options)
+        for name in package_names:
+            register_named(mp, name)
+        for filename, source in package_sources:
+            mp.load(source, filename)
+        return mp
+
+    def acquire(
+        self,
+        options: Ms2Options,
+        package_names: Sequence[str],
+        package_sources: Sequence[tuple[str, str]],
+    ) -> tuple[MacroProcessor, str, bool]:
+        """``(worker, pool_key, was_warm)`` for one request.  The
+        worker is exclusively the caller's; it is never returned."""
+        key = self.key_for(options, package_names, package_sources)
+        with self._lock:
+            idle = self._idle.get(key)
+            if idle:
+                self.warm_hits += 1
+                return idle.pop(), key, True
+            self.cold_builds += 1
+        return (
+            self.build_worker(options, package_names, package_sources),
+            key,
+            False,
+        )
+
+    def replenish(
+        self,
+        options: Ms2Options,
+        package_names: Sequence[str],
+        package_sources: Sequence[tuple[str, str]],
+    ) -> bool:
+        """Build one spare for this key unless it is already at
+        capacity; True when a spare was added."""
+        key = self.key_for(options, package_names, package_sources)
+        with self._lock:
+            if len(self._idle.get(key, ())) >= self.spares:
+                return False
+        worker = self.build_worker(
+            options, package_names, package_sources
+        )
+        with self._lock:
+            idle = self._idle.setdefault(key, [])
+            if len(idle) >= self.spares:
+                return False
+            idle.append(worker)
+            return True
+
+    def idle_counts(self) -> dict[str, int]:
+        with self._lock:
+            return {key: len(idle) for key, idle in self._idle.items()}
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class ServerMetrics:
+    """Request-level counters, gauges and the latency histogram
+    (the ``stats`` op payload).  Updated from the event loop and from
+    executor threads, so mutation holds a lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started = perf_counter()
+        self.requests: dict[str, int] = {}
+        self.responses: dict[str, int] = {"ok": 0, "error": 0}
+        self.error_codes: dict[str, int] = {}
+        self.busy_rejections = 0
+        self.bad_frames = 0
+        self.client_disconnects = 0
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self.connections_open = 0
+        self.connections_total = 0
+        #: Latency histogram: counts per LATENCY_BUCKETS_MS bound,
+        #: plus one overflow bucket.
+        self.latency_buckets = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        self.latency_count = 0
+        self.latency_total_ms = 0.0
+        #: Every served expansion's pipeline counters, merged — the
+        #: daemon-wide cache hit ratio lives here.
+        self.pipeline = PipelineStats()
+
+    def count_request(self, op: str) -> None:
+        with self._lock:
+            self.requests[op] = self.requests.get(op, 0) + 1
+
+    def count_response(self, response: dict[str, Any]) -> None:
+        with self._lock:
+            if response.get("ok"):
+                self.responses["ok"] += 1
+            else:
+                self.responses["error"] += 1
+                code = (response.get("error") or {}).get("code", "?")
+                self.error_codes[code] = self.error_codes.get(code, 0) + 1
+
+    def enter(self) -> None:
+        with self._lock:
+            self.in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+
+    def exit(self) -> None:
+        with self._lock:
+            self.in_flight -= 1
+
+    def observe_latency(self, ms: float) -> None:
+        with self._lock:
+            self.latency_count += 1
+            self.latency_total_ms += ms
+            for index, bound in enumerate(LATENCY_BUCKETS_MS):
+                if ms <= bound:
+                    self.latency_buckets[index] += 1
+                    break
+            else:
+                self.latency_buckets[-1] += 1
+
+    def merge_pipeline(self, stats: PipelineStats) -> None:
+        with self._lock:
+            self.pipeline.merge(stats)
+
+    def to_json(self) -> dict[str, Any]:
+        with self._lock:
+            buckets = {
+                f"{bound:g}": count
+                for bound, count in zip(
+                    LATENCY_BUCKETS_MS, self.latency_buckets
+                )
+            }
+            buckets["+Inf"] = self.latency_buckets[-1]
+            mean = (
+                self.latency_total_ms / self.latency_count
+                if self.latency_count
+                else 0.0
+            )
+            return {
+                "uptime_s": round(perf_counter() - self.started, 3),
+                "requests": dict(self.requests),
+                "responses": dict(self.responses),
+                "error_codes": dict(self.error_codes),
+                "busy_rejections": self.busy_rejections,
+                "bad_frames": self.bad_frames,
+                "client_disconnects": self.client_disconnects,
+                "in_flight": self.in_flight,
+                "peak_in_flight": self.peak_in_flight,
+                "connections_open": self.connections_open,
+                "connections_total": self.connections_total,
+                "latency_ms": {
+                    "count": self.latency_count,
+                    "mean": round(mean, 3),
+                    "buckets": buckets,
+                },
+                "expansion_cache": {
+                    "hits": self.pipeline.cache_hits,
+                    "misses": self.pipeline.cache_misses,
+                    "hit_rate": round(
+                        self.pipeline.cache_hit_rate(), 4
+                    ),
+                },
+                "pipeline": self.pipeline.to_json(),
+            }
+
+
+# ---------------------------------------------------------------------------
+# The daemon
+# ---------------------------------------------------------------------------
+
+
+class Ms2Server:
+    """The expansion daemon.  Construct, then either ``await
+    start()`` + ``await serve_until_stopped()`` inside an existing
+    event loop, or call the blocking module-level :func:`serve`.
+
+    Parameters
+    ----------
+    options:
+        Default :class:`Ms2Options` for requests that carry none
+        (requests with an ``options`` payload get exactly those).
+    package_names / package_sources:
+        The standard preamble pre-loaded into every pool worker and
+        implied for every request that names no packages of its own.
+    socket_path / host+port:
+        Listen address — exactly one of Unix socket path or TCP port.
+        ``port=0`` binds an ephemeral port (see :attr:`bound_port`).
+    cache_dir:
+        Persistent snapshot cache root shared with ``repro build``
+        (``expand_file`` requests hit it); None disables it.
+    max_inflight / queue_limit:
+        Concurrency cap and bounded admission queue; excess requests
+        are answered ``busy``.
+    default_deadline_s:
+        Wall-clock budget imposed on work requests whose options set
+        no ``deadline_s`` of their own (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        options: Ms2Options | None = None,
+        *,
+        package_names: Sequence[str] = (),
+        package_sources: Sequence[tuple[str, str]] = (),
+        socket_path: Path | str | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        cache_dir: Path | str | None = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        warm_spares: int = DEFAULT_WARM_SPARES,
+        default_deadline_s: float | None = None,
+        drain_s: float = DEFAULT_DRAIN_S,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError(
+                "exactly one of socket_path or port must be given"
+            )
+        base = options if options is not None else Ms2Options()
+        self.options = base.without_runtime_hooks()
+        self.package_names = tuple(package_names)
+        self.package_sources = tuple(
+            (str(name), source) for name, source in package_sources
+        )
+        self.socket_path = (
+            Path(socket_path) if socket_path is not None else None
+        )
+        self.host = host
+        self.port = port
+        self.cache_dir = (
+            Path(cache_dir) if cache_dir is not None else None
+        )
+        self.max_inflight = max(1, int(max_inflight))
+        self.queue_limit = max(0, int(queue_limit))
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.default_deadline_s = default_deadline_s
+        self.drain_s = float(drain_s)
+
+        self.metrics = ServerMetrics()
+        self.pool = WorkerPool(spares=warm_spares)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_inflight,
+            thread_name_prefix="ms2-worker",
+        )
+        #: BuildSession per pool key (expand_file path; shares the
+        #: persistent cache with `repro build`).
+        self._sessions: dict[str, Any] = {}
+        self._sessions_lock = threading.Lock()
+
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        #: Admitted work requests not yet responded (backpressure
+        #: gauge and the drain condition).
+        self._active = 0
+        self._idle_event: asyncio.Event | None = None
+        self._stopped: asyncio.Event | None = None
+        self._draining = False
+        self._drain_task: asyncio.Task | None = None
+        #: The actually-bound TCP port (useful with ``port=0``).
+        self.bound_port: int | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and pre-warm the default worker pool."""
+        self._idle_event = asyncio.Event()
+        self._stopped = asyncio.Event()
+        if self.socket_path is not None:
+            if self.socket_path.exists():
+                # The daemon owns its socket path; a leftover file
+                # from a crashed instance would refuse the bind.
+                self.socket_path.unlink()
+            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+            self._server = await asyncio.start_unix_server(
+                self._serve_conn,
+                path=str(self.socket_path),
+                limit=self.max_frame_bytes,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_conn,
+                host=self.host,
+                port=self.port,
+                limit=self.max_frame_bytes,
+            )
+            sockets = self._server.sockets or []
+            if sockets:
+                self.bound_port = sockets[0].getsockname()[1]
+        # First requests should hit a warm worker: build the default
+        # pool before accepting traffic.
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._executor, self._prewarm)
+
+    def _prewarm(self) -> None:
+        for _ in range(self.pool.spares):
+            self.pool.replenish(
+                self._effective_options(None),
+                self.package_names,
+                self.package_sources,
+            )
+
+    @property
+    def address(self) -> str:
+        """Printable listen address."""
+        if self.socket_path is not None:
+            return str(self.socket_path)
+        return f"{self.host}:{self.bound_port or self.port}"
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT initiate a graceful drain."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, self.request_shutdown)
+
+    def request_shutdown(self) -> None:
+        """Stop accepting, drain in-flight work, then stop."""
+        if self._draining:
+            return
+        self._draining = True
+        self._drain_task = asyncio.get_running_loop().create_task(
+            self._drain()
+        )
+
+    async def _drain(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(self._wait_idle(), timeout=self.drain_s)
+        for writer in list(self._writers):
+            writer.close()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        assert self._stopped is not None
+        self._stopped.set()
+
+    async def _wait_idle(self) -> None:
+        assert self._idle_event is not None
+        while self._active > 0:
+            self._idle_event.clear()
+            await self._idle_event.wait()
+
+    async def serve_until_stopped(self) -> None:
+        """Block until a drain completes (``shutdown`` op or signal)."""
+        assert self._stopped is not None, "call start() first"
+        try:
+            await self._stopped.wait()
+        finally:
+            if self.socket_path is not None:
+                with contextlib.suppress(OSError):
+                    self.socket_path.unlink()
+
+    async def aclose(self) -> None:
+        """Drain and stop programmatically (tests, embedding)."""
+        self.request_shutdown()
+        if self._drain_task is not None:
+            await self._drain_task
+        if self.socket_path is not None:
+            with contextlib.suppress(OSError):
+                self.socket_path.unlink()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _serve_conn(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._writers.add(writer)
+        self.metrics.connections_open += 1
+        self.metrics.connections_total += 1
+        try:
+            await self._conn_loop(reader, writer)
+        except (
+            ConnectionError, BrokenPipeError, asyncio.IncompleteReadError
+        ):
+            self.metrics.client_disconnects += 1
+        finally:
+            self._writers.discard(writer)
+            self.metrics.connections_open -= 1
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _conn_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                # The frame exceeded max_frame_bytes.  The stream
+                # cannot be resynchronized mid-frame: answer, then
+                # close this connection.
+                self.metrics.bad_frames += 1
+                await self._send(
+                    writer,
+                    _err(
+                        None, None, "frame_too_large",
+                        f"request frame exceeds "
+                        f"{self.max_frame_bytes} bytes",
+                        limit=self.max_frame_bytes,
+                    ),
+                )
+                return
+            if not line:
+                return  # client EOF
+            if not line.strip():
+                continue
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("frame must be a JSON object")
+            except (ValueError, UnicodeDecodeError) as exc:
+                self.metrics.bad_frames += 1
+                await self._send(
+                    writer,
+                    _err(None, None, "bad_request",
+                         f"malformed request frame: {exc}"),
+                )
+                continue
+            response = await self._dispatch(request)
+            await self._send(writer, response)
+            if request.get("op") == "shutdown" and response.get("ok"):
+                self.request_shutdown()
+                return
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, response: dict[str, Any]
+    ) -> None:
+        self.metrics.count_response(response)
+        writer.write(json.dumps(response).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        op = request.get("op")
+        rid = request.get("id")
+        self.metrics.count_request(op if isinstance(op, str) else "?")
+        if op == "ping":
+            return _ok(rid, op, {
+                "pong": True,
+                "version": __version__,
+                "protocol": PROTOCOL_VERSION,
+                "pid": os.getpid(),
+            })
+        if op == "stats":
+            return _ok(rid, op, self.stats_payload())
+        if op == "shutdown":
+            return _ok(rid, op, {"draining": True})
+        if op not in _WORK_OPS:
+            return _err(
+                rid, op if isinstance(op, str) else None, "bad_request",
+                f"unknown op {op!r}; expected one of "
+                f"{', '.join(REQUEST_OPS)}",
+            )
+        if self._draining:
+            return _err(rid, op, "shutting_down",
+                        "server is draining; no new work accepted")
+        if self._active >= self.max_inflight + self.queue_limit:
+            self.metrics.busy_rejections += 1
+            return _err(
+                rid, op, "busy",
+                "server at capacity; retry later",
+                in_flight=self._active,
+                limit=self.max_inflight + self.queue_limit,
+            )
+
+        self._active += 1
+        self.metrics.enter()
+        start = perf_counter()
+        loop = asyncio.get_running_loop()
+        try:
+            response = await loop.run_in_executor(
+                self._executor, self._run_work, op, rid, request
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — protocol backstop
+            response = _err(
+                rid, op, "internal",
+                f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            self._active -= 1
+            self.metrics.exit()
+            assert self._idle_event is not None
+            if self._active == 0:
+                self._idle_event.set()
+        self.metrics.observe_latency((perf_counter() - start) * 1000.0)
+        return response
+
+    # ------------------------------------------------------------------
+    # Work ops (executor threads)
+    # ------------------------------------------------------------------
+
+    def _effective_options(
+        self, payload: dict[str, Any] | None
+    ) -> Ms2Options:
+        """Request options (absent payload = the server defaults),
+        with the server-side default deadline applied when the
+        request sets none, and runtime hooks stripped."""
+        options = (
+            self.options
+            if payload is None
+            else Ms2Options.from_json(payload)
+        )
+        if (
+            self.default_deadline_s is not None
+            and options.deadline_s is None
+        ):
+            options = options.replace(deadline_s=self.default_deadline_s)
+        return options.without_runtime_hooks()
+
+    def _request_preamble(
+        self, request: dict[str, Any]
+    ) -> tuple[tuple[str, ...], tuple[tuple[str, str], ...]]:
+        """The (package names, package sources) a request asks for;
+        the server preamble when it asks for none."""
+        names = request.get("packages")
+        sources = request.get("package_sources")
+        if names is None and sources is None:
+            return self.package_names, self.package_sources
+        if names is not None and not (
+            isinstance(names, list)
+            and all(isinstance(n, str) for n in names)
+        ):
+            raise _BadRequest("packages must be a list of names")
+        pairs: list[tuple[str, str]] = []
+        for entry in sources or []:
+            if not (
+                isinstance(entry, (list, tuple))
+                and len(entry) == 2
+                and all(isinstance(part, str) for part in entry)
+            ):
+                raise _BadRequest(
+                    "package_sources must be [filename, source] pairs"
+                )
+            pairs.append((entry[0], entry[1]))
+        return tuple(names or ()), tuple(pairs)
+
+    def _run_work(
+        self, op: str, rid: Any, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        try:
+            options = self._effective_options(request.get("options"))
+            package_names, package_sources = self._request_preamble(
+                request
+            )
+        except (_BadRequest, ValueError) as exc:
+            return _err(rid, op, "bad_request", str(exc))
+        if op == "expand_file":
+            return self._do_expand_file(
+                rid, request, options, package_names, package_sources
+            )
+        return self._do_expand(
+            rid, op, request, options, package_names, package_sources
+        )
+
+    def _do_expand(
+        self,
+        rid: Any,
+        op: str,
+        request: dict[str, Any],
+        options: Ms2Options,
+        package_names: tuple[str, ...],
+        package_sources: tuple[tuple[str, str], ...],
+    ) -> dict[str, Any]:
+        source = request.get("source")
+        if not isinstance(source, str):
+            return _err(rid, op, "bad_request",
+                        "expand requires a string 'source'")
+        filename = request.get("filename", "<server>")
+        if not isinstance(filename, str):
+            return _err(rid, op, "bad_request",
+                        "'filename' must be a string")
+        if op == "trace":
+            options = options.replace(trace=True)
+        try:
+            worker, _, warm = self.pool.acquire(
+                options, package_names, package_sources
+            )
+        except KeyError as exc:
+            return _err(rid, op, "bad_request", str(exc.args[0]))
+        try:
+            result = worker.expand(source, filename)
+        except Ms2Error as exc:
+            self.metrics.merge_pipeline(worker.stats)
+            return _err(
+                rid, op, "expansion_error", exc.message,
+                diagnostic=Diagnostic.from_error(exc).to_json(),
+                warm=warm,
+            )
+        finally:
+            self._schedule_replenish(
+                options, package_names, package_sources
+            )
+        self.metrics.merge_pipeline(worker.stats)
+        payload = result.to_json()
+        payload["warm"] = warm
+        if op == "trace" and worker.tracer is not None:
+            payload["tree"] = worker.tracer.render_tree()
+        return _ok(rid, op, payload)
+
+    def _do_expand_file(
+        self,
+        rid: Any,
+        request: dict[str, Any],
+        options: Ms2Options,
+        package_names: tuple[str, ...],
+        package_sources: tuple[tuple[str, str], ...],
+    ) -> dict[str, Any]:
+        path = request.get("path")
+        if not isinstance(path, str):
+            return _err(rid, "expand_file", "bad_request",
+                        "expand_file requires a string 'path'")
+        session = self._session_for(
+            options, package_names, package_sources
+        )
+        try:
+            report = session.build([path])
+        except OSError as exc:
+            return _err(rid, "expand_file", "bad_request", str(exc))
+        except KeyError as exc:
+            return _err(rid, "expand_file", "bad_request",
+                        str(exc.args[0]))
+        [file_result] = report.results
+        if file_result.stats:
+            self.metrics.merge_pipeline(
+                PipelineStats.from_json(file_result.stats)
+            )
+        if file_result.status != "ok":
+            return _err(
+                rid, "expand_file", "expansion_error",
+                file_result.error or "expansion failed",
+                path=file_result.path,
+            )
+        return _ok(rid, "expand_file", file_result.to_json())
+
+    def _session_for(
+        self,
+        options: Ms2Options,
+        package_names: tuple[str, ...],
+        package_sources: tuple[tuple[str, str], ...],
+    ):
+        """The BuildSession serving ``expand_file`` for this pool key
+        — jobs=1 (the daemon's executor is the concurrency), sharing
+        the server's persistent cache directory."""
+        from repro.driver.scheduler import BuildSession
+
+        key = self.pool.key_for(options, package_names, package_sources)
+        with self._sessions_lock:
+            session = self._sessions.get(key)
+            if session is None:
+                session = BuildSession(
+                    options,
+                    package_names=package_names,
+                    package_sources=package_sources,
+                    jobs=1,
+                    cache_dir=self.cache_dir,
+                )
+                self._sessions[key] = session
+            return session
+
+    def _schedule_replenish(
+        self,
+        options: Ms2Options,
+        package_names: tuple[str, ...],
+        package_sources: tuple[tuple[str, str], ...],
+    ) -> None:
+        """Rebuild a warm spare off the request path."""
+        try:
+            self._executor.submit(
+                self.pool.replenish,
+                options, package_names, package_sources,
+            )
+        except RuntimeError:
+            pass  # executor already shut down (drain)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def stats_payload(self) -> dict[str, Any]:
+        """The ``stats`` op response body."""
+        payload = self.metrics.to_json()
+        payload["server"] = {
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "address": self.address,
+            "max_inflight": self.max_inflight,
+            "queue_limit": self.queue_limit,
+            "max_frame_bytes": self.max_frame_bytes,
+            "default_deadline_s": self.default_deadline_s,
+            "draining": self._draining,
+            "packages": list(self.package_names),
+            "options_hash": self.options.options_hash(),
+        }
+        payload["workers"] = {
+            "warm_hits": self.pool.warm_hits,
+            "cold_builds": self.pool.cold_builds,
+            "spares": self.pool.spares,
+            "idle": self.pool.idle_counts(),
+        }
+        with self._sessions_lock:
+            disk = {"hits": 0, "misses": 0, "failures": 0}
+            for session in self._sessions.values():
+                if session.cache is not None:
+                    for name, value in session.cache.counters().items():
+                        disk[name] += value
+        payload["disk_cache"] = {
+            "dir": str(self.cache_dir) if self.cache_dir else None,
+            **disk,
+        }
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# Blocking entry point
+# ---------------------------------------------------------------------------
+
+
+def serve(
+    options: Ms2Options | None = None,
+    *,
+    socket_path: Path | str | None = None,
+    host: str = "127.0.0.1",
+    port: int | None = None,
+    package_names: Sequence[str] = (),
+    package_sources: Sequence[tuple[str, str]] = (),
+    cache_dir: Path | str | None = None,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    warm_spares: int = DEFAULT_WARM_SPARES,
+    default_deadline_s: float | None = None,
+    drain_s: float = DEFAULT_DRAIN_S,
+    ready: Any = None,
+) -> None:
+    """Run an expansion daemon until it shuts down (the ``repro
+    serve`` entry point; also the :mod:`repro.api` facade's
+    ``serve``).  ``ready`` is an optional callable invoked with the
+    :class:`Ms2Server` once the listener is bound (tests use it to
+    learn ephemeral ports)."""
+    server = Ms2Server(
+        options,
+        socket_path=socket_path,
+        host=host,
+        port=port,
+        package_names=package_names,
+        package_sources=package_sources,
+        cache_dir=cache_dir,
+        max_inflight=max_inflight,
+        queue_limit=queue_limit,
+        max_frame_bytes=max_frame_bytes,
+        warm_spares=warm_spares,
+        default_deadline_s=default_deadline_s,
+        drain_s=drain_s,
+    )
+
+    async def _main() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        if ready is not None:
+            ready(server)
+        await server.serve_until_stopped()
+
+    asyncio.run(_main())

@@ -88,8 +88,8 @@ class PipelineStats:
             self.phase_calls[name] = self.phase_calls.get(name, 0) + calls
 
     @classmethod
-    def from_dict(cls, data: dict) -> "PipelineStats":
-        """Rebuild counters from an :meth:`as_dict` payload; unknown
+    def from_json(cls, data: dict) -> "PipelineStats":
+        """Rebuild counters from a :meth:`to_json` payload; unknown
         and derived keys (``cache_hit_rate``) are ignored, so payloads
         written by other pipeline versions still load."""
         stats = cls()
@@ -104,13 +104,17 @@ class PipelineStats:
             stats.phase_calls[name] = entry.get("calls", 0)
         return stats
 
+    #: Legacy spelling of :meth:`from_json`.
+    from_dict = from_json
+
     def cache_hit_rate(self) -> float:
         """Hits over cacheable lookups (0.0 when nothing was cacheable)."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
-    def as_dict(self) -> dict:
-        """Machine-readable snapshot (the ``--stats-json`` payload).
+    def to_json(self) -> dict:
+        """Machine-readable snapshot (the ``--stats-json`` payload
+        and the server wire form).
 
         The ``phases`` sub-dict appears only when the phase profiler
         actually recorded timings (``profile=True`` sessions).
@@ -142,6 +146,9 @@ class PipelineStats:
                 for name in sorted(self.phase_seconds)
             }
         return out
+
+    #: Legacy spelling of :meth:`to_json`.
+    as_dict = to_json
 
     def summary(self) -> str:
         """Multi-line human-readable rendering (the ``--stats`` output)."""

@@ -79,8 +79,9 @@ class ExpansionSpan:
     error: str | None = None
     children: list["ExpansionSpan"] = field(default_factory=list)
 
-    def as_dict(self) -> dict[str, Any]:
-        """JSON-ready rendering (children appear as id references)."""
+    def to_json(self) -> dict[str, Any]:
+        """The wire form (children appear as parent-id references;
+        :meth:`from_json` plus the ids rebuild the tree)."""
         return {
             "id": self.span_id,
             "parent": self.parent_id,
@@ -95,6 +96,30 @@ class ExpansionSpan:
             "output_nodes": self.output_nodes,
             "error": self.error,
         }
+
+    #: Legacy spelling of :meth:`to_json`.
+    as_dict = to_json
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ExpansionSpan":
+        """Rebuild one span from a :meth:`to_json` record.  Children
+        start empty — callers relink them from the parent ids (see
+        :meth:`repro.options.ExpandResult.from_json`)."""
+        return cls(
+            span_id=int(data.get("id", 0)),
+            parent_id=data.get("parent"),
+            macro=data.get("macro", ""),
+            pattern=data.get("pattern", ""),
+            site=data.get("site", ""),
+            arg_types=tuple(data.get("arg_types", ())),
+            parse_mode=data.get("parse", "unknown"),
+            depth=int(data.get("depth", 0)),
+            start=0.0,
+            cache=data.get("cache", "off"),
+            duration=float(data.get("ms", 0.0)) / 1000.0,
+            output_nodes=int(data.get("output_nodes", 0)),
+            error=data.get("error"),
+        )
 
     def describe(self) -> str:
         """One-line rendering used by the span-tree view."""

@@ -21,7 +21,7 @@ import random
 import re
 from pathlib import Path
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro.errors import Ms2Error
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
@@ -139,9 +139,11 @@ class SnapshotMutator:
         ), "garbage"
 
 
-def make_processor(loaders: list, **kwargs) -> MacroProcessor:
+def make_processor(
+    loaders: list, options: Ms2Options | None = None
+) -> MacroProcessor:
     """A fresh processor with the example's macros preloaded."""
-    mp = MacroProcessor(**kwargs)
+    mp = MacroProcessor(options=options)
     for item in loaders:
         if isinstance(item, str):
             mp.load(item)
@@ -160,11 +162,10 @@ def run_mutant(
     In recovery mode *any* raise is an escape.
     """
     try:
-        mp = make_processor(loaders)
-        if recover:
-            mp.expand_to_c(program, "<fuzz>", recover=True)
-        else:
-            mp.expand_to_c(program, "<fuzz>")
+        mp = make_processor(
+            loaders, Ms2Options(recover=True) if recover else None
+        )
+        mp.expand_to_c(program, "<fuzz>")
     except Ms2Error as exc:
         if recover:
             return False, exc

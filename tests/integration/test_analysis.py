@@ -1,6 +1,6 @@
 """Tests for scope analysis: free variables and capture detection."""
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro.analysis import (
     Capture,
     bound_names,
@@ -80,7 +80,7 @@ class TestCaptureDetection:
         assert all(c.name == "saved" for c in captures)
 
     def test_hygienic_mode_eliminates_captures(self):
-        mp = MacroProcessor(hygienic=True)
+        mp = MacroProcessor(options=Ms2Options(hygienic=True))
         mp.load(CAPTURING_MACRO)
         unit = mp.expand_to_ast(
             "void f(int saved) { save { saved = saved + 1; } }"

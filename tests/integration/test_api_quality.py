@@ -15,6 +15,7 @@ import repro
 PUBLIC_MODULES = [
     "repro",
     "repro.analysis",
+    "repro.api",
     "repro.asttypes",
     "repro.asttypes.body",
     "repro.asttypes.check",
@@ -36,6 +37,7 @@ PUBLIC_MODULES = [
     "repro.cast.struct_hash",
     "repro.cast.visitor",
     "repro.cli",
+    "repro.client",
     "repro.constfold",
     "repro.diagnostics",
     "repro.driver",
@@ -72,6 +74,7 @@ PUBLIC_MODULES = [
     "repro.parser.stream",
     "repro.provenance",
     "repro.semantics",
+    "repro.server",
     "repro.stats",
     "repro.trace",
 ]

@@ -1,0 +1,115 @@
+"""The :mod:`repro.api` compatibility surface, pinned.
+
+``repro.api.__all__`` is the public contract: this test fails if a
+name is ever removed or renamed, if an entry point loses its minimal
+call shape, or if the facade drifts from the implementation objects
+it re-exports.  *Adding* names is fine — the assertion is a superset
+check, so the surface can grow but never shrink.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import repro.api as api
+
+#: The v1 surface.  Names may be ADDED over time; removing or
+#: renaming any of these is a compatibility break.
+V1_SURFACE = frozenset(
+    {
+        "Ms2Options",
+        "ExpandResult",
+        "Diagnostic",
+        "MacroProcessor",
+        "expand",
+        "expand_file",
+        "Ms2Client",
+        "serve",
+    }
+)
+
+
+def test_api_surface_never_shrinks() -> None:
+    assert set(api.__all__) >= V1_SURFACE, (
+        "repro.api.__all__ lost part of the v1 surface: "
+        f"{sorted(V1_SURFACE - set(api.__all__))}"
+    )
+
+
+def test_every_exported_name_resolves() -> None:
+    for name in api.__all__:
+        assert getattr(api, name, None) is not None, name
+
+
+def test_facade_reexports_the_real_objects() -> None:
+    from repro.client import Ms2Client
+    from repro.diagnostics import Diagnostic
+    from repro.engine import MacroProcessor
+    from repro.options import ExpandResult, Ms2Options
+    from repro.server import serve
+
+    assert api.Ms2Options is Ms2Options
+    assert api.ExpandResult is ExpandResult
+    assert api.Diagnostic is Diagnostic
+    assert api.MacroProcessor is MacroProcessor
+    assert api.Ms2Client is Ms2Client
+    assert api.serve is serve
+
+
+def test_expand_minimal_call_shape() -> None:
+    """``expand(source)`` with nothing else must keep working."""
+    result = api.expand("int x = 1;")
+    assert isinstance(result, api.ExpandResult)
+    assert "int x = 1;" in result.output
+    assert result.ok
+
+
+def test_expand_with_packages_and_options() -> None:
+    result = api.expand(
+        "int main() { unless (0) { return 1; } return 0; }",
+        "prog.c",
+        options=api.Ms2Options(trace=True),
+        package_sources=[
+            (
+                "unless.ms2",
+                "syntax stmt unless {| ( $$exp::c ) $$stmt::body |}"
+                " { return(`{if (!($c)) { $body; }}); }",
+            )
+        ],
+    )
+    assert result.ok
+    assert "if" in result.output
+    assert result.spans, "trace=True must record spans via the facade"
+
+
+def test_expand_is_hermetic_between_calls() -> None:
+    """Definitions from one expand() must not leak into the next."""
+    defining = """
+    syntax exp leaky {| ( ) |} { return(`(42)); }
+    int x = leaky();
+    """
+    assert api.expand(defining).ok
+    later = api.expand("int x = leaky();")
+    # 'leaky' is not defined here: plain C, the call survives as-is.
+    assert "leaky()" in later.output
+
+
+def test_expand_file_reads_from_disk(tmp_path) -> None:
+    source = tmp_path / "prog.c"
+    source.write_text("int y = 2;\n")
+    result = api.expand_file(source)
+    assert result.ok
+    assert "int y = 2;" in result.output
+
+
+def test_entry_points_keep_keyword_signatures() -> None:
+    """The keyword-only parameters the docs promise."""
+    for func in (api.expand, api.expand_file):
+        params = inspect.signature(func).parameters
+        for name in ("options", "packages", "package_sources"):
+            assert name in params, (func.__name__, name)
+            assert params[name].kind is inspect.Parameter.KEYWORD_ONLY
+
+    serve_params = inspect.signature(api.serve).parameters
+    for name in ("socket_path", "port", "package_names", "cache_dir"):
+        assert name in serve_params, name

@@ -7,7 +7,7 @@ diagnostic (recovery mode) — never as a hang or a raw Python error.
 
 import pytest
 
-from repro import ExpansionBudget, MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro.errors import ExpansionBudgetError, MetaInterpError
 
 DOUBLER = (
@@ -17,7 +17,7 @@ DOUBLER = (
 
 
 def test_max_expansions_trips():
-    mp = MacroProcessor(budget=ExpansionBudget(max_expansions=2))
+    mp = MacroProcessor(options=Ms2Options(max_expansions=2))
     mp.load(DOUBLER)
     with pytest.raises(ExpansionBudgetError) as excinfo:
         mp.expand_to_c(
@@ -27,7 +27,7 @@ def test_max_expansions_trips():
 
 
 def test_under_budget_is_silent():
-    mp = MacroProcessor(budget=ExpansionBudget(max_expansions=10))
+    mp = MacroProcessor(options=Ms2Options(max_expansions=10))
     mp.load(DOUBLER)
     out = mp.expand_to_c("void f(void) { Twice {a();} }")
     assert out.count("a();") == 2
@@ -35,7 +35,7 @@ def test_under_budget_is_silent():
 
 
 def test_max_output_nodes_trips():
-    mp = MacroProcessor(budget=ExpansionBudget(max_output_nodes=3))
+    mp = MacroProcessor(options=Ms2Options(max_output_nodes=3))
     mp.load(DOUBLER)
     with pytest.raises(ExpansionBudgetError):
         mp.expand_to_c("void f(void) { Twice {a(b, c, d, e);} }")
@@ -44,7 +44,7 @@ def test_max_output_nodes_trips():
 def test_deadline_trips():
     # A zero-second allowance: the first charge starts the clock, the
     # second finds it already passed.
-    mp = MacroProcessor(budget=ExpansionBudget(deadline_s=0.0))
+    mp = MacroProcessor(options=Ms2Options(deadline_s=0.0))
     mp.load(DOUBLER)
     with pytest.raises(ExpansionBudgetError) as excinfo:
         mp.expand_to_c("void f(void) { Twice {a();} Twice {b();} }")
@@ -52,8 +52,8 @@ def test_deadline_trips():
 
 
 def test_budget_latches_once_exhausted():
-    budget = ExpansionBudget(max_expansions=1)
-    mp = MacroProcessor(budget=budget)
+    mp = MacroProcessor(options=Ms2Options(max_expansions=1))
+    budget = mp.budget
     mp.load(DOUBLER)
     with pytest.raises(ExpansionBudgetError):
         mp.expand_to_c("void f(void) { Twice {a();} Twice {b();} }")
@@ -63,11 +63,12 @@ def test_budget_latches_once_exhausted():
 
 
 def test_exhaustion_is_a_diagnostic_in_recover_mode():
-    mp = MacroProcessor(budget=ExpansionBudget(max_expansions=1))
+    mp = MacroProcessor(
+        options=Ms2Options(max_expansions=1, recover=True)
+    )
     mp.load(DOUBLER)
     text, diags = mp.expand_to_c(
-        "void f(void) { Twice {a();} Twice {b();} done(); }",
-        recover=True,
+        "void f(void) { Twice {a();} Twice {b();} done(); }"
     )
     assert "done();" in text
     assert any(
@@ -102,7 +103,7 @@ class TestRunawayRecursion:
 
     def test_mutually_recursive_macros_hit_expansion_budget(self):
         mp = MacroProcessor(
-            cache=False, budget=ExpansionBudget(max_expansions=50)
+            options=Ms2Options(cache=False, max_expansions=50)
         )
         inv = self._cyclic_macro(mp)
         with pytest.raises(ExpansionBudgetError):

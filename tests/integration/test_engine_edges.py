@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro.cast import decls
 
 
@@ -68,7 +68,9 @@ class TestOptionInterplay:
     PROGRAM = "void f(void) { guard w(); }"
 
     def test_hygienic_plus_compiled(self):
-        mp = MacroProcessor(hygienic=True, compiled_patterns=True)
+        mp = MacroProcessor(
+            options=Ms2Options(hygienic=True, compiled_patterns=True)
+        )
         mp.load(self.SOURCE)
         out = mp.expand_to_c(self.PROGRAM)
         assert "int saved" not in out

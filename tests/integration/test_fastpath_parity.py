@@ -18,7 +18,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro import packages
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -182,7 +182,7 @@ def _expand(case: str, **kwargs) -> str:
     setup, program = ALL_CASES[case]
     if callable(program):
         program = program()
-    mp = MacroProcessor(**kwargs)
+    mp = MacroProcessor(options=Ms2Options(**kwargs))
     setup(mp)
     return mp.expand_to_c(program)
 
@@ -240,6 +240,8 @@ class TestFastPathParity:
         packages.loops.register(mp)
         fast = mp.expand_to_c(src)
         assert mp.stats.cache_hits == 4
-        slow = MacroProcessor(cache=False, compiled_patterns=False)
+        slow = MacroProcessor(
+            options=Ms2Options(cache=False, compiled_patterns=False)
+        )
         packages.loops.register(slow)
         assert fast == slow.expand_to_c(src)

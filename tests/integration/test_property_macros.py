@@ -8,7 +8,7 @@ actual parameter.
 
 from hypothesis import given, settings, strategies as st
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro.cast import nodes
 from repro.cast.base import walk
 from tests.integration.test_property import identifiers
@@ -85,7 +85,7 @@ class TestMacroPipelineFuzz:
 
         plain = MacroProcessor()
         plain.load(definition)
-        compiled = MacroProcessor(compiled_patterns=True)
+        compiled = MacroProcessor(options=Ms2Options(compiled_patterns=True))
         compiled.load(definition)
         assert plain.expand_to_c(program) == compiled.expand_to_c(program)
 

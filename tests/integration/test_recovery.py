@@ -1,6 +1,7 @@
 """Recovery mode: multi-error diagnostics, poisoned nodes, parity.
 
-The contract under test: ``expand_program(..., recover=True)`` returns
+The contract under test: ``expand_program`` under
+``Ms2Options(recover=True)`` returns
 ``(output, diagnostics)`` — one diagnostic per independent fault, the
 first identical to what fail-fast mode raises — while the default
 fail-fast behaviour is byte-for-byte unchanged.
@@ -8,7 +9,7 @@ fail-fast behaviour is byte-for-byte unchanged.
 
 import pytest
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro.cast import nodes
 from repro.diagnostics import (
     DEFAULT_MAX_ERRORS,
@@ -60,6 +61,10 @@ BROKEN_FIXTURES = [
 CLEAN_REMAINDER = "void ok(void) { a(); }\nvoid ok2(void) { b(); }\n"
 
 
+def _recovering() -> MacroProcessor:
+    return MacroProcessor(options=Ms2Options(recover=True))
+
+
 class TestMultiErrorRecovery:
     def test_three_faults_three_diagnostics(self):
         # ISSUE acceptance: a file with >= 3 independent faults must
@@ -74,8 +79,8 @@ class TestMultiErrorRecovery:
             "    ok();\n"
             "}\n"
         )
-        mp = MacroProcessor()
-        text, diags = mp.expand_to_c(src, recover=True)
+        mp = MacroProcessor(options=Ms2Options(recover=True))
+        text, diags = mp.expand_to_c(src)
         errors = [d for d in diags if d.severity == ERROR]
         assert len(errors) >= 3
         assert "ok()" in text
@@ -88,7 +93,7 @@ class TestMultiErrorRecovery:
 
     def test_poisoned_statements_print_as_comments(self):
         src = "void f(void) { x = ; ok(); }"
-        text, diags = MacroProcessor().expand_to_c(src, recover=True)
+        text, diags = _recovering().expand_to_c(src)
         assert "/* <error:" in text
         assert "ok();" in text
         assert len(diags) == 1
@@ -102,8 +107,8 @@ class TestMultiErrorRecovery:
             "}\n"
             "void f(void) { Pick(a + b * c()); done(); }\n"
         )
-        mp = MacroProcessor()
-        text, diags = mp.expand_to_c(src, "prog.c", recover=True)
+        mp = _recovering()
+        text, diags = mp.expand_to_c(src, "prog.c")
         assert "done();" in text
         assert "/* <error:" in text
         (diag,) = diags
@@ -112,7 +117,7 @@ class TestMultiErrorRecovery:
 
     def test_recovered_unit_carries_poisoned_nodes(self):
         src = "void f(void) { x = ; }\nint bad = 1 2;\n"
-        unit, diags = MacroProcessor().expand_program(src, recover=True)
+        unit, diags = _recovering().expand_program(src)
         kinds = {
             type(n).__name__
             for item in unit.items
@@ -123,9 +128,9 @@ class TestMultiErrorRecovery:
 
     def test_max_errors_cap(self):
         src = "void f(void) {\n" + "    x = ;\n" * 10 + "}\n"
-        text, diags = MacroProcessor().expand_to_c(
-            src, recover=True, max_errors=3
-        )
+        text, diags = MacroProcessor(
+            options=Ms2Options(recover=True, max_errors=3)
+        ).expand_to_c(src)
         errors = [d for d in diags if d.severity == ERROR]
         notes = [d for d in diags if d.severity == NOTE]
         assert len(errors) == 3
@@ -134,7 +139,7 @@ class TestMultiErrorRecovery:
 
     def test_recover_never_raises_on_garbage(self):
         for src in ("{{{{", "}}}}", ";;;;", "@#!$", "syntax", "int"):
-            out = MacroProcessor().expand_to_c(src, recover=True)
+            out = _recovering().expand_to_c(src)
             assert isinstance(out, tuple)
 
 
@@ -145,9 +150,7 @@ class TestRecoveryParity:
     def test_first_diagnostic_matches_fail_fast(self, name, src):
         with pytest.raises(Ms2Error) as excinfo:
             MacroProcessor().expand_to_c(src, "fixture.c")
-        _, diags = MacroProcessor().expand_to_c(
-            src, "fixture.c", recover=True
-        )
+        _, diags = _recovering().expand_to_c(src, "fixture.c")
         assert diags, "recover mode reported nothing"
         first = diags[0]
         assert first.severity == ERROR
@@ -163,7 +166,7 @@ class TestRecoveryParity:
         # program (poisoned items render as comments, which the
         # token-level comparison ignores).
         expected = MacroProcessor().expand_to_c(CLEAN_REMAINDER)
-        recovered, _ = MacroProcessor().expand_to_c(src, recover=True)
+        recovered, _ = _recovering().expand_to_c(src)
         assert_c_equal(recovered, expected)
 
 

@@ -7,7 +7,7 @@ a portability VM, all combined — and the output is *plain C* that our
 own parser accepts with no macro table at all.
 """
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro.cast import decls
 from repro.cast.base import walk
 from repro.packages import load_standard, portvm
@@ -96,7 +96,7 @@ class TestShowcase:
         assert mp.expansion_count >= 10
 
     def test_hygienic_variant_also_clean(self):
-        mp = MacroProcessor(hygienic=True)
+        mp = MacroProcessor(options=Ms2Options(hygienic=True))
         load_standard(mp)
         portvm.register(mp)
         out = mp.expand_to_c(PROGRAM)
@@ -105,7 +105,7 @@ class TestShowcase:
 
     def test_compiled_patterns_identical_output(self):
         plain = build().expand_to_c(PROGRAM)
-        mp = MacroProcessor(compiled_patterns=True)
+        mp = MacroProcessor(options=Ms2Options(compiled_patterns=True))
         load_standard(mp)
         portvm.register(mp)
         assert mp.expand_to_c(PROGRAM) == plain

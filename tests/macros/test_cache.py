@@ -11,7 +11,7 @@ import re
 
 import pytest
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro.cast import nodes
 from repro.cast.struct_hash import Unhashable, structural_key
 from repro.errors import SourceLocation
@@ -224,7 +224,7 @@ class TestPurityGating:
         assert "DefWindowProc" in out
 
     def test_hygienic_mode_disables_cache(self):
-        mp = MacroProcessor(hygienic=True)
+        mp = MacroProcessor(options=Ms2Options(hygienic=True))
         assert mp.cache is None
         loops.register(mp)
         mp.expand_to_c("void f() { unroll (2) {a();} unroll (2) {a();} }")

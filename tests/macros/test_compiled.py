@@ -3,7 +3,7 @@ interpreted engine (the paper's suggested acceleration)."""
 
 import pytest
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro.errors import ParseError
 from repro.macros.compiled import compile_pattern
 
@@ -34,7 +34,7 @@ PROGRAMS = [
 
 
 def expand_with(compiled: bool, program: str) -> str:
-    mp = MacroProcessor(compiled_patterns=compiled)
+    mp = MacroProcessor(options=Ms2Options(compiled_patterns=compiled))
     mp.load(MACROS)
     return mp.expand_to_c(program)
 
@@ -45,12 +45,12 @@ class TestEquivalence:
         assert expand_with(False, program) == expand_with(True, program)
 
     def test_compiled_matcher_attached(self):
-        mp = MacroProcessor(compiled_patterns=True)
+        mp = MacroProcessor(options=Ms2Options(compiled_patterns=True))
         mp.load(MACROS)
         assert mp.table.lookup("pair").compiled_matcher is not None
 
     def test_interpreted_has_no_matcher(self):
-        mp = MacroProcessor(compiled_patterns=False)
+        mp = MacroProcessor(options=Ms2Options(compiled_patterns=False))
         mp.load(MACROS)
         assert mp.table.lookup("pair").compiled_matcher is None
 
@@ -59,13 +59,13 @@ class TestCompiledErrors:
     def test_bad_literal_same_error(self):
         bad = "void f(void) { pair (1; 2); }"
         for compiled in (False, True):
-            mp = MacroProcessor(compiled_patterns=compiled)
+            mp = MacroProcessor(options=Ms2Options(compiled_patterns=compiled))
             mp.load(MACROS)
             with pytest.raises(ParseError):
                 mp.expand_to_c(bad)
 
     def test_missing_plus_element(self):
-        mp = MacroProcessor(compiled_patterns=True)
+        mp = MacroProcessor(options=Ms2Options(compiled_patterns=True))
         mp.load(
             "syntax stmt need {| { $$+/, id::xs } |}"
             "{ return(`{f($xs);}); }"

@@ -1,6 +1,6 @@
 """Tests for the hygienic-expansion extension (paper section 5)."""
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro.cast import decls, nodes
 from repro.cast.base import walk
 
@@ -25,7 +25,7 @@ def declared_names(unit) -> list[str]:
 
 class TestUnhygienicBaseline:
     def test_capture_happens_without_hygiene(self):
-        mp = MacroProcessor(hygienic=False)
+        mp = MacroProcessor(options=Ms2Options(hygienic=False))
         mp.load(CAPTURING)
         # User body references its own 'saved' — captured!
         unit = mp.expand_to_ast(
@@ -37,7 +37,7 @@ class TestUnhygienicBaseline:
 
 class TestHygienicMode:
     def test_template_binder_renamed(self):
-        mp = MacroProcessor(hygienic=True)
+        mp = MacroProcessor(options=Ms2Options(hygienic=True))
         mp.load(CAPTURING)
         unit = mp.expand_to_ast(
             "void f(int saved) { save_restore x {saved = saved + x;} }"
@@ -47,7 +47,7 @@ class TestHygienicMode:
         assert binder != "saved"
 
     def test_template_references_follow_binder(self):
-        mp = MacroProcessor(hygienic=True)
+        mp = MacroProcessor(options=Ms2Options(hygienic=True))
         mp.load(CAPTURING)
         unit = mp.expand_to_ast(
             "void f(int saved) { save_restore x {w();} }"
@@ -59,7 +59,7 @@ class TestHygienicMode:
         assert restore.expr.value.name == binder
 
     def test_user_code_untouched(self):
-        mp = MacroProcessor(hygienic=True)
+        mp = MacroProcessor(options=Ms2Options(hygienic=True))
         mp.load(CAPTURING)
         unit = mp.expand_to_ast(
             "void f(int saved) { save_restore x {saved = saved + 1;} }"
@@ -74,7 +74,7 @@ class TestHygienicMode:
         assert "saved" in user_idents
 
     def test_placeholder_substituted_var_not_renamed(self):
-        mp = MacroProcessor(hygienic=True)
+        mp = MacroProcessor(options=Ms2Options(hygienic=True))
         mp.load(CAPTURING)
         unit = mp.expand_to_ast(
             "void f(int x) { save_restore x {g();} }"
@@ -84,7 +84,7 @@ class TestHygienicMode:
         assert init == nodes.Identifier("x")
 
     def test_nested_expansions_get_distinct_names(self):
-        mp = MacroProcessor(hygienic=True)
+        mp = MacroProcessor(options=Ms2Options(hygienic=True))
         mp.load(CAPTURING)
         unit = mp.expand_to_ast(
             "void f(void) { save_restore a { save_restore b {w();} } }"
@@ -94,7 +94,7 @@ class TestHygienicMode:
         assert names[0] != names[1]
 
     def test_gensym_names_not_rerenamed(self):
-        mp = MacroProcessor(hygienic=True)
+        mp = MacroProcessor(options=Ms2Options(hygienic=True))
         mp.load(
             "syntax stmt g {| ( ) |}"
             "{ @id t = gensym(); return(`{{int $t = 0; use($t);}}); }"

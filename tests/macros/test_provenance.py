@@ -8,7 +8,7 @@ inside macro-generated code point at user source — not ``<synthetic>``
 
 import pytest
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro.errors import Ms2Error
 from repro.provenance import (
     ExpandedLocation,
@@ -148,14 +148,12 @@ class TestErrorBacktrace:
 
 class TestAnnotatedOutput:
     def test_generated_code_gets_provenance_comment(self):
-        mp = MacroProcessor()
+        mp = MacroProcessor(options=Ms2Options(annotate=True))
         mp.load(
             "syntax stmt bump {| ( ) |} { return(`{n = n + 1;}); }",
             "pkg.c",
         )
-        out = mp.expand_to_c(
-            "void f(void) { int n; bump(); }", "user.c", annotate=True
-        )
+        out = mp.expand_to_c("void f(void) { int n; bump(); }", "user.c")
         assert "/* <- bump @ user.c:1 */" in out
         assert '#line 1 "user.c"' in out
 
@@ -168,9 +166,9 @@ class TestAnnotatedOutput:
 
     def test_annotated_output_still_parses(self):
         """Annotation must not corrupt the C text (comments only)."""
-        mp = MacroProcessor()
+        mp = MacroProcessor(options=Ms2Options(annotate=True))
         mp.load(TWICE)
-        out = mp.expand_to_c("int x = twice(3);", "user.c", annotate=True)
+        out = mp.expand_to_c("int x = twice(3);", "user.c")
         stripped = "\n".join(
             line for line in out.splitlines()
             if not line.startswith("#line")

@@ -3,7 +3,7 @@
 import io
 import json
 
-from repro import MacroProcessor
+from repro import MacroProcessor, Ms2Options
 from repro.errors import Ms2Error
 from repro.packages import loops
 from repro.stats import PipelineStats
@@ -19,7 +19,7 @@ NESTING = (
 
 class TestSpans:
     def test_spans_record_invocation_metadata(self):
-        mp = MacroProcessor(trace=True)
+        mp = MacroProcessor(options=Ms2Options(trace=True))
         mp.load(TWICE, "pkg.c")
         mp.expand_to_c("int x = twice(1 + 2);", "user.c")
         [span] = mp.tracer.roots
@@ -34,7 +34,7 @@ class TestSpans:
         assert span.error is None
 
     def test_nested_expansions_form_a_tree(self):
-        mp = MacroProcessor(trace=True)
+        mp = MacroProcessor(options=Ms2Options(trace=True))
         mp.load(NESTING)
         mp.expand_to_c("int x = quad(1);")
         [root] = mp.tracer.roots
@@ -45,21 +45,23 @@ class TestSpans:
         assert depths["quad"] == 0
 
     def test_cache_hit_recorded(self):
-        mp = MacroProcessor(trace=True)
+        mp = MacroProcessor(options=Ms2Options(trace=True))
         mp.load(TWICE)
         mp.expand_to_c("int a = twice(q); int b = twice(q);")
         statuses = [s.cache for s in mp.tracer.roots]
         assert statuses == ["miss", "hit"]
 
     def test_interpreted_parse_mode_recorded(self):
-        mp = MacroProcessor(trace=True, compiled_patterns=False)
+        mp = MacroProcessor(
+            options=Ms2Options(trace=True, compiled_patterns=False)
+        )
         mp.load(TWICE)
         mp.expand_to_c("int x = twice(1);")
         [span] = mp.tracer.roots
         assert span.parse_mode == "interpreted"
 
     def test_failed_expansion_closes_span_with_error(self):
-        mp = MacroProcessor(trace=True)
+        mp = MacroProcessor(options=Ms2Options(trace=True))
         mp.load('syntax exp boom {| ( ) |} { error("no"); return(`(0)); }')
         try:
             mp.expand_to_c("int x = boom();")
@@ -70,7 +72,7 @@ class TestSpans:
         assert "!!" in span.describe()
 
     def test_render_tree_indents_children(self):
-        mp = MacroProcessor(trace=True)
+        mp = MacroProcessor(options=Ms2Options(trace=True))
         mp.load(NESTING)
         mp.expand_to_c("int x = quad(1);")
         lines = mp.tracer.render_tree().splitlines()
@@ -89,7 +91,11 @@ class TestHooksAndSinks:
     def test_hooks_see_start_end_events(self):
         events = []
         mp = MacroProcessor(
-            trace_hooks=[lambda ev, span: events.append((ev, span.macro))]
+            options=Ms2Options(
+                trace_hooks=(
+                    lambda ev, span: events.append((ev, span.macro)),
+                )
+            )
         )
         mp.load(NESTING)
         mp.expand_to_c("int x = quad(1);")
@@ -101,7 +107,9 @@ class TestHooksAndSinks:
     def test_error_event_emitted(self):
         events = []
         mp = MacroProcessor(
-            trace_hooks=[lambda ev, span: events.append(ev)]
+            options=Ms2Options(
+                trace_hooks=(lambda ev, span: events.append(ev),)
+            )
         )
         mp.load('syntax exp boom {| ( ) |} { error("no"); return(`(0)); }')
         try:
@@ -112,7 +120,7 @@ class TestHooksAndSinks:
 
     def test_jsonl_stream_gets_one_line_per_span(self):
         sink = io.StringIO()
-        mp = MacroProcessor(trace_jsonl=sink)
+        mp = MacroProcessor(options=Ms2Options(trace_jsonl=sink))
         mp.load(NESTING)
         mp.expand_to_c("int x = quad(1);")
         mp.tracer.close()
@@ -126,7 +134,7 @@ class TestHooksAndSinks:
 
     def test_ring_buffer_bounds_retention(self):
         tracer = Tracer(ring_size=2)
-        mp = MacroProcessor(trace=True)
+        mp = MacroProcessor(options=Ms2Options(trace=True))
         mp.tracer = tracer
         mp.expander.tracer = tracer
         mp.load(TWICE)
@@ -138,7 +146,7 @@ class TestHooksAndSinks:
 
 class TestPhaseProfiler:
     def test_phases_populate_stats(self):
-        mp = MacroProcessor(profile=True)
+        mp = MacroProcessor(options=Ms2Options(profile=True))
         loops.register(mp)
         mp.expand_to_c("void f(void) { unroll (2) {a();} }")
         phases = mp.stats.phase_seconds
@@ -164,7 +172,7 @@ class TestPhaseProfiler:
         assert stats.phase_calls["scan"] == 2
 
     def test_profile_summary_lists_phases(self):
-        mp = MacroProcessor(profile=True)
+        mp = MacroProcessor(options=Ms2Options(profile=True))
         loops.register(mp)
         mp.expand_to_c("void f(void) { unroll (2) {a();} }")
         table = mp.stats.profile_summary()
@@ -172,7 +180,7 @@ class TestPhaseProfiler:
         assert "phases nest" in table
 
     def test_stats_json_includes_phase_table(self):
-        mp = MacroProcessor(profile=True)
+        mp = MacroProcessor(options=Ms2Options(profile=True))
         loops.register(mp)
         mp.expand_to_c("void f(void) { unroll (2) {a();} }")
         payload = mp.stats.as_dict()
@@ -190,7 +198,7 @@ class TestCounters:
         assert mp.stats.gensym_calls == 2
 
     def test_hygiene_renames_counted(self):
-        mp = MacroProcessor(hygienic=True)
+        mp = MacroProcessor(options=Ms2Options(hygienic=True))
         mp.load(
             "syntax stmt s {| ( ) |}"
             "{ return(`{{int saved = 0; saved = saved + 1;}}); }"

@@ -1,0 +1,102 @@
+"""Fixtures for the expansion-daemon tests: an in-process
+:class:`~repro.server.Ms2Server` on a Unix socket in a background
+thread, plus helpers shared by the protocol / failure-mode / parity
+suites."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.client import Ms2Client
+from repro.options import Ms2Options
+from repro.server import Ms2Server
+
+#: The doubling macro from the budget tests: depth d yields 2**d
+#: statements, so expansion cost is tunable.
+DOUBLER = (
+    "syntax stmt Twice {| $$stmt::body |} "
+    "{ return(`{$body; $body;}); }\n"
+)
+
+
+def doubler_program(depth: int) -> str:
+    """~0.8s of real expansion work at depth 12 (see the budget
+    suite); cheap at small depths."""
+    body = "a();"
+    for _ in range(depth):
+        body = "Twice { %s }" % body
+    return DOUBLER + ("void f(void) { %s }" % body)
+
+
+class ServerHandle:
+    """One daemon in a daemon thread; the test talks over its Unix
+    socket with ordinary blocking clients."""
+
+    def __init__(self, socket_path, **kwargs):
+        self.socket_path = socket_path
+        self.kwargs = kwargs
+        self.server: Ms2Server | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> "ServerHandle":
+        self._thread.start()
+        assert self._ready.wait(30), "server failed to start"
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self.server = Ms2Server(
+                self.kwargs.pop("options", Ms2Options()),
+                socket_path=self.socket_path,
+                **self.kwargs,
+            )
+            await self.server.start()
+            self.loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self.server.serve_until_stopped()
+
+        asyncio.run(main())
+
+    def client(self, **kwargs) -> Ms2Client:
+        return Ms2Client(self.socket_path, **kwargs)
+
+    def stop(self) -> None:
+        if (
+            self.loop is not None
+            and self._thread.is_alive()
+            and self.server is not None
+        ):
+            self.loop.call_soon_threadsafe(self.server.request_shutdown)
+        self._thread.join(30)
+        assert not self._thread.is_alive(), "server failed to stop"
+
+
+@pytest.fixture
+def server_factory(tmp_path):
+    """``factory(**Ms2Server kwargs) -> ServerHandle`` (started);
+    every handle is drained at teardown."""
+    handles: list[ServerHandle] = []
+    counter = [0]
+
+    def factory(**kwargs) -> ServerHandle:
+        counter[0] += 1
+        handle = ServerHandle(
+            tmp_path / f"ms2-{counter[0]}.sock", **kwargs
+        )
+        handles.append(handle)
+        return handle.start()
+
+    yield factory
+    for handle in handles:
+        handle.stop()
+
+
+@pytest.fixture
+def server(server_factory) -> ServerHandle:
+    """A default daemon: no packages, default options, temp cache."""
+    return server_factory()
