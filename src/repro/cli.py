@@ -77,6 +77,17 @@ def _add_option_flags(cmd: argparse.ArgumentParser) -> None:
         help="parse invocations with the interpreted pattern engine",
     )
     cmd.add_argument(
+        "--compiled-bodies", action="store_true",
+        default=_DEFAULTS.compiled_bodies,
+        help="compile macro bodies/templates to Python "
+        "(the default; see --no-compiled-bodies)",
+    )
+    cmd.add_argument(
+        "--no-compiled-bodies", dest="compiled_bodies",
+        action="store_false",
+        help="run every macro body through the meta-interpreter",
+    )
+    cmd.add_argument(
         "--no-cache", dest="cache", action="store_false",
         default=_DEFAULTS.cache,
         help="disable the expansion cache (re-run every meta-program)",
@@ -135,6 +146,9 @@ def options_from_args(args: argparse.Namespace) -> Ms2Options:
         annotate=getattr(args, "annotate", _DEFAULTS.annotate),
         compiled_patterns=getattr(
             args, "compiled_patterns", _DEFAULTS.compiled_patterns
+        ),
+        compiled_bodies=getattr(
+            args, "compiled_bodies", _DEFAULTS.compiled_bodies
         ),
         cache=getattr(args, "cache", _DEFAULTS.cache),
         recover=getattr(args, "recover", _DEFAULTS.recover),

@@ -131,6 +131,7 @@ class MacroProcessor:
             tracer=self.tracer,
             profiler=self.profiler,
             budget=self.budget,
+            compiled_bodies=options.compiled_bodies,
         )
         self.compiled_patterns = options.compiled_patterns
         self._parser: Parser | None = None

@@ -39,6 +39,10 @@ class MacroDefinition:
         self.body = body
         #: Set by :func:`repro.macros.compiled.compile_pattern` on demand.
         self.compiled_matcher = None
+        #: Lazy result of :func:`repro.macros.codegen.get_compiled_body`:
+        #: ``None`` = not attempted, ``False`` = fell back to the
+        #: interpreter, else the :class:`~repro.macros.codegen.CompiledBody`.
+        self.compiled_body = None
         #: Monotone definition timestamp, assigned by
         #: :meth:`MacroTable.define`; part of every expansion-cache key.
         self.generation = 0

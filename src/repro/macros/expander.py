@@ -58,12 +58,16 @@ class Expander:
         tracer: Any = None,
         profiler: Any = None,
         budget: ExpansionBudget | None = None,
+        compiled_bodies: bool = True,
     ) -> None:
         self.table = table
         self.interpreter = interpreter or Interpreter()
         self.hygienic = hygienic
         self.cache = cache
         self.stats = stats
+        #: Run macro bodies through :mod:`repro.macros.codegen` when
+        #: possible (semantics-neutral; per-macro interpreter fallback).
+        self.compiled_bodies = compiled_bodies
         #: Optional :class:`repro.diagnostics.ExpansionBudget`.
         self.budget = budget
         #: Optional :class:`repro.trace.Tracer` (expansion spans).
@@ -179,11 +183,30 @@ class Expander:
                 for arg in invocation.args
             }
 
+            # Compiled bodies fold template instantiation into the
+            # generated code, so a profiling session (which wants the
+            # meta-eval / template-fill split) keeps the interpreter.
+            compiled = None
+            if self.compiled_bodies and self.profiler is None:
+                from repro.macros.codegen import get_compiled_body
+
+                compiled = get_compiled_body(definition, self.stats)
+                if (
+                    compiled is not None
+                    and compiled.params != bindings.keys()
+                ):
+                    # Defensive: an invocation whose argument set does
+                    # not match the pattern parameters (shouldn't
+                    # happen) takes the interpreter path.
+                    compiled = None
+
             saved_mark = self.interpreter.current_mark
             self.interpreter.current_mark = mark
             prof = self.profiler
             try:
-                if prof is None:
+                if compiled is not None:
+                    result = compiled.call(self.interpreter, bindings)
+                elif prof is None:
                     result = self.interpreter.call_macro(
                         definition, bindings
                     )

@@ -44,6 +44,61 @@ def instantiate(template: Any, evalfn: EvalFn, mark: int | None = None) -> Any:
     return _Instantiator(evalfn, mark).run(template)
 
 
+def fill_placeholder(ph: Node, value: Any) -> Any:
+    """Adapt an evaluated placeholder value to its syntactic position.
+
+    Shared by the interpretive :class:`_Instantiator` and the compiled
+    templates of :mod:`repro.macros.codegen`, so both paths apply the
+    exact same adaptation (and raise the exact same errors).
+    """
+    if isinstance(value, NullValue):
+        raise ExpansionError(
+            "placeholder evaluated to NULL (absent optional "
+            "parameter?) inside a template",
+            ph.loc,
+        )
+    if isinstance(ph, stmts.PlaceholderStmt):
+        if isinstance(value, list):
+            return [_as_statement(clone(v), ph) for v in value]
+        return _as_statement(clone(value), ph)
+    if isinstance(ph, decls.PlaceholderDecl):
+        if isinstance(value, list):
+            return [clone(_expect_node(v, ph)) for v in value]
+        return clone(_expect_node(value, ph))
+    if isinstance(ph, decls.PlaceholderDeclarator):
+        return _as_declarator(clone(_expect_node(value, ph)), ph)
+    if isinstance(ph, decls.PlaceholderInitDeclarator):
+        if isinstance(value, list):
+            return [_as_init_declarator(clone(v), ph) for v in value]
+        return _as_init_declarator(clone(_expect_node(value, ph)), ph)
+    if isinstance(ph, ctypes.PlaceholderTypeSpec):
+        return clone(_expect_node(value, ph))
+    # PlaceholderExpr: expression (or list of expressions, spliced
+    # into argument/enumerator/init-declarator lists by the caller).
+    if isinstance(value, list):
+        return [clone(_expect_node(v, ph)) for v in value]
+    return clone(_expect_node(value, ph))
+
+
+def adapt_list_to_scalar(
+    items: list[Any],
+    type_name: str,
+    field: str,
+    loc: Any,
+    mark: int | None,
+) -> Node:
+    """A list value landed in a single-node position: wrap an
+    all-statement list in a compound, reject anything else.  Shared by
+    the instantiator and compiled templates."""
+    if all(_is_statement_like(v) for v in items):
+        return stmts.CompoundStmt([], items, mark=mark)
+    raise ExpansionError(
+        f"a list placeholder cannot stand in the {field!r} position "
+        f"of {type_name}",
+        loc,
+    )
+
+
 class _Instantiator:
     def __init__(self, evalfn: EvalFn, mark: int | None) -> None:
         self.evalfn = evalfn
@@ -106,46 +161,15 @@ class _Instantiator:
     def _adapt_list_to_scalar(
         self, parent: Node, field: str, items: list[Any]
     ) -> Node:
-        """A list value landed in a single-node position."""
-        if all(_is_statement_like(v) for v in items):
-            return stmts.CompoundStmt([], items, mark=self.mark)
-        raise ExpansionError(
-            f"a list placeholder cannot stand in the {field!r} position "
-            f"of {type(parent).__name__}",
-            parent.loc,
+        return adapt_list_to_scalar(
+            items, type(parent).__name__, field, parent.loc, self.mark
         )
 
     # ------------------------------------------------------------------
 
     def _fill(self, ph: Node) -> Any:
         value = self.evalfn(ph.meta_expr)  # type: ignore[attr-defined]
-        if isinstance(value, NullValue):
-            raise ExpansionError(
-                "placeholder evaluated to NULL (absent optional "
-                "parameter?) inside a template",
-                ph.loc,
-            )
-        if isinstance(ph, stmts.PlaceholderStmt):
-            if isinstance(value, list):
-                return [_as_statement(clone(v), ph) for v in value]
-            return _as_statement(clone(value), ph)
-        if isinstance(ph, decls.PlaceholderDecl):
-            if isinstance(value, list):
-                return [clone(_expect_node(v, ph)) for v in value]
-            return clone(_expect_node(value, ph))
-        if isinstance(ph, decls.PlaceholderDeclarator):
-            return _as_declarator(clone(_expect_node(value, ph)), ph)
-        if isinstance(ph, decls.PlaceholderInitDeclarator):
-            if isinstance(value, list):
-                return [_as_init_declarator(clone(v), ph) for v in value]
-            return _as_init_declarator(clone(_expect_node(value, ph)), ph)
-        if isinstance(ph, ctypes.PlaceholderTypeSpec):
-            return clone(_expect_node(value, ph))
-        # PlaceholderExpr: expression (or list of expressions, spliced
-        # into argument/enumerator/init-declarator lists by the caller).
-        if isinstance(value, list):
-            return [clone(_expect_node(v, ph)) for v in value]
-        return clone(_expect_node(value, ph))
+        return fill_placeholder(ph, value)
 
 
 # ---------------------------------------------------------------------------

@@ -140,6 +140,12 @@ class Interpreter:
                 f"{len(closure.params)} argument(s), got {len(args)}",
                 loc,
             )
+        # A closure compiled by :mod:`repro.macros.codegen` carries a
+        # Python implementation of its body; dispatch to it directly
+        # (duck-typed to avoid an import cycle).
+        pyfunc = getattr(closure, "pyfunc", None)
+        if pyfunc is not None:
+            return pyfunc(self, args)
         frame = closure.frame.child()
         for name, value in zip(closure.params, args):
             frame.define(name, value)

@@ -90,6 +90,9 @@ class Ms2Options:
     # -- fast paths -----------------------------------------------------
     #: Compiled per-macro invocation parse routines.
     compiled_patterns: bool = True
+    #: Compile macro bodies/templates to Python (semantics-neutral;
+    #: per-macro interpreter fallback — see repro.macros.codegen).
+    compiled_bodies: bool = True
     #: Memoize expansions of pure macros (in-memory replay cache).
     cache: bool = True
 
@@ -251,10 +254,11 @@ OPTION_FIELDS: tuple[str, ...] = tuple(
     f.name for f in dataclasses.fields(Ms2Options)
 )
 
-#: Fields excluded from :meth:`Ms2Options.options_hash` (pure
-#: observability: they cannot change the expanded output).
+#: Fields excluded from :meth:`Ms2Options.options_hash` — pure
+#: observability, or (``compiled_bodies``) a fast path whose output is
+#: identical by contract: none of them can change the expanded output.
 _UNHASHED_FIELDS = frozenset(
-    {"trace", "profile", "trace_hooks", "trace_jsonl"}
+    {"trace", "profile", "trace_hooks", "trace_jsonl", "compiled_bodies"}
 )
 
 #: Runtime-only handles: never serialized, never on the wire.

@@ -37,6 +37,18 @@ class PipelineStats:
     #: Invocations parsed by the interpreted pattern engine.
     interpreted_parses: int = 0
 
+    # -- body compiler (repro.macros.codegen) --------------------------
+    #: Macro bodies lowered to Python (once per definition).
+    bodies_compiled: int = 0
+    #: Backquote templates lowered inside those bodies.
+    templates_compiled: int = 0
+    #: Macro bodies that fell back to the interpreter (one per
+    #: definition; the construct that punted stays interpreted).
+    compile_fallbacks: int = 0
+    #: Wall milliseconds spent compiling bodies (successes and
+    #: fallbacks both; paid once per definition, then amortized).
+    compile_time_ms: float = 0.0
+
     # -- expander -------------------------------------------------------
     #: Total invocations expanded (cache hits included).
     expansions: int = 0
@@ -76,7 +88,7 @@ class PipelineStats:
         Phase timings sum; derived rates are recomputed on demand."""
         for stats_field in self.__dataclass_fields__:
             value = getattr(other, stats_field)
-            if isinstance(value, int):
+            if isinstance(value, (int, float)):
                 setattr(
                     self, stats_field, getattr(self, stats_field) + value
                 )
@@ -95,10 +107,13 @@ class PipelineStats:
         stats = cls()
         for stats_field in stats.__dataclass_fields__:
             value = data.get(stats_field)
-            if isinstance(value, int) and isinstance(
-                getattr(stats, stats_field), int
-            ):
+            current = getattr(stats, stats_field)
+            if isinstance(value, int) and isinstance(current, int):
                 setattr(stats, stats_field, value)
+            elif isinstance(value, (int, float)) and isinstance(
+                current, float
+            ):
+                setattr(stats, stats_field, float(value))
         for name, entry in (data.get("phases") or {}).items():
             stats.phase_seconds[name] = entry.get("ms", 0.0) / 1000.0
             stats.phase_calls[name] = entry.get("calls", 0)
@@ -128,6 +143,10 @@ class PipelineStats:
             "dispatch_misses": self.dispatch_misses,
             "compiled_parses": self.compiled_parses,
             "interpreted_parses": self.interpreted_parses,
+            "bodies_compiled": self.bodies_compiled,
+            "templates_compiled": self.templates_compiled,
+            "compile_fallbacks": self.compile_fallbacks,
+            "compile_time_ms": round(self.compile_time_ms, 3),
             "expansions": self.expansions,
             "parse_recoveries": self.parse_recoveries,
             "expansion_recoveries": self.expansion_recoveries,

@@ -53,6 +53,7 @@ PUBLIC_MODULES = [
     "repro.lexer.tokens",
     "repro.macros",
     "repro.macros.cache",
+    "repro.macros.codegen",
     "repro.macros.compiled",
     "repro.macros.definition",
     "repro.macros.expander",

@@ -1,0 +1,135 @@
+"""Body-compiler parity sweep.
+
+The body/template compiler (:mod:`repro.macros.codegen`) is a pure
+optimization: for any macro program, expanding with ``compiled_bodies``
+on or off must produce the same bytes, the same diagnostics, and the
+same provenance chains.  This sweep drives every shipped package and
+every ``examples/`` program through both paths — plain, hygienic, and
+annotated (provenance comments + ``#line`` directives make the chains
+byte-comparable) — and then re-runs the fuzz corpus as a second parity
+oracle: seeded mutants must fail (or recover) identically both ways.
+
+Knobs: ``FUZZ_SEED`` / ``FUZZ_MUTANTS`` (default 60 mutants here; the
+crash-safety sweep owns the larger default).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import MacroProcessor, Ms2Options
+from repro.errors import Ms2Error
+
+from tests.fuzz.fuzzer import Mutator, load_corpus, make_processor
+from .test_fastpath_parity import ALL_CASES, _expand
+
+FUZZ_SEED = int(os.environ.get("FUZZ_SEED", str(0xC0FFEE)), 0)
+FUZZ_MUTANTS = int(os.environ.get("FUZZ_MUTANTS", "60"))
+
+
+class TestBodyCompileParity:
+    @pytest.mark.parametrize("case", sorted(ALL_CASES))
+    @pytest.mark.parametrize("hygienic", [False, True])
+    def test_compiled_vs_interpreted_byte_identical(self, case, hygienic):
+        reference = _expand(
+            case, hygienic=hygienic, compiled_bodies=False, cache=False
+        )
+        for cache in (False, True):
+            out = _expand(
+                case,
+                hygienic=hygienic,
+                compiled_bodies=True,
+                cache=cache,
+            )
+            assert out == reference, (
+                f"{case}: output diverged with hygienic={hygienic}, "
+                f"compiled_bodies=True, cache={cache}"
+            )
+
+    @pytest.mark.parametrize("case", sorted(ALL_CASES))
+    def test_provenance_chains_identical(self, case):
+        """``annotate=True`` renders each node's expansion backtrace
+        (provenance comments and #line directives), so byte-equality
+        of annotated output is byte-equality of provenance chains."""
+        reference = _expand(
+            case, annotate=True, compiled_bodies=False, cache=False
+        )
+        out = _expand(
+            case, annotate=True, compiled_bodies=True, cache=False
+        )
+        assert out == reference, f"{case}: provenance diverged"
+
+    def test_corpus_compiles_without_fallback(self):
+        """Every shipped macro body must stay on the compiled path —
+        a new meta-language construct that forces a fallback in a
+        package body should be a conscious decision, not drift."""
+        bodies = fallbacks = 0
+        for case in sorted(ALL_CASES):
+            setup, program = ALL_CASES[case]
+            if callable(program):
+                program = program()
+            mp = MacroProcessor(options=Ms2Options(cache=False))
+            setup(mp)
+            mp.expand_to_c(program)
+            bodies += mp.stats.bodies_compiled
+            fallbacks += mp.stats.compile_fallbacks
+        assert bodies > 0
+        assert fallbacks == 0
+
+
+def _run_both(program: str, loaders: list, *, recover: bool):
+    """Expand one program with bodies compiled and interpreted;
+    return the two comparable outcomes."""
+    outcomes = []
+    for compiled in (False, True):
+        options = Ms2Options(recover=recover, compiled_bodies=compiled)
+        try:
+            mp = make_processor(loaders, options)
+            result = mp.expand_to_c(program, "<fuzz>")
+        except Ms2Error as exc:
+            outcomes.append(("raise", type(exc).__name__, str(exc)))
+            continue
+        except BaseException as exc:  # noqa: BLE001 - report, don't mask
+            outcomes.append(("escape", type(exc).__name__, str(exc)))
+            continue
+        if recover:
+            text, diags = result
+            outcomes.append(
+                ("ok", text, [d.to_json() for d in diags])
+            )
+        else:
+            outcomes.append(("ok", result))
+    return outcomes
+
+
+class TestFuzzParityOracle:
+    """Seeded mutants as a second parity oracle: malformed input must
+    produce identical errors/diagnostics on both body paths."""
+
+    @pytest.mark.parametrize("mode", ["failfast", "recover"])
+    def test_mutants_behave_identically(self, mode):
+        corpus = load_corpus()
+        mutator = Mutator(FUZZ_SEED ^ 0xB0D1)
+        failures = []
+        for i in range(FUZZ_MUTANTS):
+            name, program, loaders = corpus[i % len(corpus)]
+            mutant, op = mutator.mutate(program)
+            interpreted, compiled = _run_both(
+                mutant, loaders, recover=(mode == "recover")
+            )
+            if interpreted != compiled:
+                failures.append(
+                    f"mutant {i} ({name}, {op}, {mode}): "
+                    f"interpreted={interpreted[:2]!r} "
+                    f"compiled={compiled[:2]!r}"
+                )
+        assert not failures, "\n".join(failures[:10])
+
+    def test_unmutated_corpus_identical(self):
+        for name, program, loaders in load_corpus():
+            interpreted, compiled = _run_both(
+                program, loaders, recover=False
+            )
+            assert interpreted == compiled, name

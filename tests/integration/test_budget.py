@@ -93,6 +93,11 @@ class TestRunawayRecursion:
         )
         defn_a = mp.table.lookup("A")
         defn_b = mp.table.lookup("B")
+        # The cycle is injected by stubbing call_macro, so both
+        # definitions must take the interpreter path, not their
+        # compiled bodies.
+        defn_a.compiled_body = False
+        defn_b.compiled_body = False
 
         def fake_call(definition, bindings):
             other = defn_b if definition is defn_a else defn_a

@@ -1,0 +1,277 @@
+"""Unit tests for the macro body/template compiler.
+
+The compiler's contract is *exact* semantic parity with the
+meta-interpreter — same values, same error types, same error messages
+— plus observability (stats counters) and a per-macro fallback for
+constructs it punts on.  Output-level parity over the whole corpus
+lives in ``tests/integration/test_body_compile_parity.py``; these
+tests pin down the contract construct by construct.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MacroProcessor, Ms2Options
+from repro.errors import Ms2Error
+from repro.macros import codegen
+from repro.macros.codegen import CompiledBody, get_compiled_body
+
+
+def run_both(macro_src: str, program: str):
+    """Expand ``program`` with bodies interpreted and compiled;
+    return the two outcomes as comparable tuples."""
+    outcomes = []
+    for compiled in (False, True):
+        mp = MacroProcessor(
+            options=Ms2Options(cache=False, compiled_bodies=compiled)
+        )
+        mp.load(macro_src)
+        try:
+            outcomes.append(("ok", mp.expand_to_c(program)))
+        except Ms2Error as exc:
+            outcomes.append((type(exc).__name__, str(exc)))
+    return outcomes
+
+
+def assert_parity(macro_src: str, program: str):
+    interpreted, compiled = run_both(macro_src, program)
+    assert compiled == interpreted
+    return compiled
+
+
+class TestValueParity:
+    def test_for_loop_with_break_and_continue(self):
+        outcome = assert_parity(
+            "syntax exp sumto {| ( ) |} {\n"
+            "  int i; int s; s = 0;\n"
+            "  for (i = 0; i < 10; i++) {\n"
+            "    if (i == 3) continue;\n"
+            "    if (i > 6) break;\n"
+            "    s = s + i;\n"
+            "  }\n"
+            "  return(`($(s)));\n"
+            "}",
+            "int r = sumto();",
+        )
+        assert outcome[0] == "ok" and "18" in outcome[1]
+
+    def test_do_while_with_continue_checks_condition(self):
+        outcome = assert_parity(
+            "syntax exp dw {| ( ) |} {\n"
+            "  int i; int s; i = 0; s = 0;\n"
+            "  do { i++; if (i == 2) continue; s = s + i; }\n"
+            "  while (i < 4);\n"
+            "  return(`($(s)));\n"
+            "}",
+            "int r = dw();",
+        )
+        assert outcome[0] == "ok" and "8" in outcome[1]
+
+    def test_while_with_compound_assignment(self):
+        outcome = assert_parity(
+            "syntax exp wl {| ( ) |} {\n"
+            "  int i; i = 1;\n"
+            "  while (i < 100) { i *= 3; }\n"
+            "  return(`($(i)));\n"
+            "}",
+            "int r = wl();",
+        )
+        assert outcome[0] == "ok" and "243" in outcome[1]
+
+    def test_string_builtins_and_ternary(self):
+        # Strings arise from literals/builtins (no declarable string
+        # type, and the checker rejects indexing them).
+        outcome = assert_parity(
+            "syntax exp pick {| ( $$id::n ) |} {\n"
+            "  return(`($(strlen(pstring(n)) > 1 ? 98 : 97)));\n"
+            "}",
+            "int r = pick(ab);",
+        )
+        assert outcome[0] == "ok" and "98" in outcome[1]
+
+    def test_anonymous_function_mutates_enclosing_local(self):
+        # The closure assigns the macro body's local (a ``nonlocal``
+        # in the generated Python) — once per mapped element.
+        outcome = assert_parity(
+            "syntax exp count {| ( $$+/, exp::xs ) |} {\n"
+            "  int n; n = 0;\n"
+            "  return(`(f($(map((@exp e; `($(n = n + 1))), xs)))));\n"
+            "}",
+            "int r = count(a, b, c);",
+        )
+        assert outcome[0] == "ok"
+        assert "f(1, 2, 3)" in outcome[1]
+
+    def test_meta_function_called_from_compiled_body(self):
+        assert_parity(
+            "@exp dbl(@exp e) { return(`(($e) * 2)); }\n"
+            "syntax exp twice {| ( $$exp::x ) |}"
+            "{ return(dbl(x)); }",
+            "int r = twice(5);",
+        )
+
+
+class TestErrorMessageParity:
+    """Same error class, same message, same location — byte for byte."""
+
+    CASES = {
+        # The definition-time type checker demands the returned value
+        # have the macro's declared AST type, so runtime errors are
+        # provoked inside template placeholders (typed ``exp``).
+        "division-by-zero": (
+            "syntax exp bad {| ( ) |} "
+            "{ int x; x = 0; return(`($(1 / x))); }",
+            "int r = bad();",
+        ),
+        "modulo-by-zero": (
+            "syntax exp bad {| ( ) |} "
+            "{ int x; x = 0; return(`($(1 % x))); }",
+            "int r = bad();",
+        ),
+        "head-of-empty-list": (
+            "syntax exp bad {| ( ) |} { @exp ys[]; return(*ys); }",
+            "int r = bad();",
+        ),
+        "list-index-out-of-range": (
+            "syntax exp bad {| ( $$+/, exp::xs ) |} { return(xs[9]); }",
+            "int r = bad(a, b);",
+        ),
+        # A return statement exists (the checker requires one) but is
+        # skipped at runtime: the body falls off the end.
+        "missing-return": (
+            "syntax exp bad {| ( ) |} "
+            "{ int x; x = 0; if (x) return(`(1)); }",
+            "int r = bad();",
+        ),
+        "meta-recursion-limit": (
+            "@exp f(int n) { return(f(n)); }\n"
+            "syntax exp bad {| ( ) |} { return(f(0)); }",
+            "int r = bad();",
+        ),
+    }
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_identical_errors(self, case):
+        macro_src, program = self.CASES[case]
+        interpreted, compiled = run_both(macro_src, program)
+        assert compiled == interpreted
+        assert compiled[0] != "ok"
+
+    def test_execution_budget_message(self):
+        # Compiled bodies batch-charge the shared fuel counter; a
+        # runaway loop must still exhaust it with the interpreter's
+        # exact message.  (Interpreted comparison skipped: walking
+        # 5M ticks through the tree-walker takes tens of seconds.)
+        mp = MacroProcessor(options=Ms2Options(cache=False))
+        mp.load(
+            "syntax exp spin {| ( ) |} "
+            "{ int x; x = 0; while (1) { x = x + 1; } "
+            "return(`($(x))); }"
+        )
+        with pytest.raises(Ms2Error) as err:
+            mp.expand_to_c("int r = spin();")
+        assert "exceeded its execution budget" in str(err.value)
+        assert "5000000 steps" in str(err.value)
+
+
+class TestFallbacks:
+    SWITCH_MACRO = (
+        "syntax exp pick {| ( $$exp::n ) |} {\n"
+        "  int k; int r; k = 2; r = 0;\n"
+        "  switch (k) { case 1: r = 10; break;\n"
+        "               case 2: r = 20; break;\n"
+        "               default: r = 30; }\n"
+        "  return(`(($n) + $(r)));\n"
+        "}"
+    )
+
+    def test_switch_falls_back_to_interpreter(self):
+        mp = MacroProcessor(options=Ms2Options(cache=False))
+        mp.load(self.SWITCH_MACRO)
+        out = mp.expand_to_c("int r = pick(1);")
+        assert "20" in out
+        assert mp.stats.compile_fallbacks == 1
+        assert mp.stats.bodies_compiled == 0
+
+    def test_fallback_output_matches_interpreter(self):
+        assert_parity(self.SWITCH_MACRO, "int r = pick(1);")
+
+    def test_fallback_is_cached_per_definition(self):
+        mp = MacroProcessor(options=Ms2Options(cache=False))
+        mp.load(self.SWITCH_MACRO)
+        mp.expand_to_c("int a = pick(1); int b = pick(2); int c = pick(3);")
+        assert mp.stats.compile_fallbacks == 1
+        assert mp.table.lookup("pick").compiled_body is False
+
+
+class TestStatsAndCaching:
+    MACRO = (
+        "syntax exp three {| ( ) |} "
+        "{ return(`(1 + $(2))); }"
+    )
+
+    def test_compiled_once_per_definition(self):
+        mp = MacroProcessor(options=Ms2Options(cache=False))
+        mp.load(self.MACRO)
+        mp.expand_to_c("int a = three(); int b = three(); int c = three();")
+        assert mp.stats.bodies_compiled == 1
+        assert mp.stats.templates_compiled == 1
+        assert mp.stats.compile_fallbacks == 0
+        assert mp.stats.compile_time_ms > 0
+        assert isinstance(
+            mp.table.lookup("three").compiled_body, CompiledBody
+        )
+
+    def test_counters_survive_json_round_trip(self):
+        from repro.stats import PipelineStats
+
+        stats = PipelineStats(
+            bodies_compiled=3,
+            templates_compiled=7,
+            compile_fallbacks=1,
+            compile_time_ms=1.5,
+        )
+        payload = stats.to_json()
+        for key in (
+            "bodies_compiled",
+            "templates_compiled",
+            "compile_fallbacks",
+            "compile_time_ms",
+        ):
+            assert key in payload
+        loaded = PipelineStats.from_json(payload)
+        assert loaded.bodies_compiled == 3
+        assert loaded.compile_time_ms == 1.5
+        merged = PipelineStats()
+        merged.merge(stats)
+        merged.merge(stats)
+        assert merged.templates_compiled == 14
+        assert merged.compile_time_ms == 3.0
+
+    def test_kill_switch_disables_compilation(self, mp, monkeypatch):
+        monkeypatch.setattr(codegen, "_DISABLED", True)
+        mp.load(self.MACRO)
+        assert get_compiled_body(mp.table.lookup("three")) is None
+        assert mp.table.lookup("three").compiled_body is None
+
+    def test_options_flag_disables_compilation(self):
+        mp = MacroProcessor(
+            options=Ms2Options(cache=False, compiled_bodies=False)
+        )
+        mp.load(self.MACRO)
+        mp.expand_to_c("int a = three();")
+        assert mp.stats.bodies_compiled == 0
+        assert mp.table.lookup("three").compiled_body is None
+
+
+class TestSemanticsNeutralOptions:
+    def test_compiled_bodies_excluded_from_options_hash(self):
+        on = Ms2Options(compiled_bodies=True)
+        off = Ms2Options(compiled_bodies=False)
+        assert on.options_hash() == off.options_hash()
+
+    def test_compiled_closure_masquerades_as_closure(self):
+        # Dynamic-type error messages print type(v).__name__; a
+        # compiled closure must not leak its implementation class.
+        assert codegen.CompiledClosure.__name__ == "Closure"

@@ -60,6 +60,10 @@ class TestRecursiveExpansion:
             body = None
             pattern = defn.pattern
 
+        # The cycle is injected by stubbing call_macro, so the
+        # definition must take the interpreter path, not its
+        # compiled body.
+        defn.compiled_body = False
         with pytest.raises(ExpansionError):
             # Re-expanding an invocation whose expansion contains
             # itself must hit the depth guard, not hang.
@@ -212,6 +216,8 @@ class TestDepthCounterRegression:
             # A cached leaf() expansion would short-circuit the cycle.
             mp.cache.clear()
         defn = mp.table.lookup("leaf")
+        # Stubbed call_macro requires the interpreter path.
+        defn.compiled_body = False
         inv = n.MacroInvocation("leaf", [], defn)
         original = mp.expander.interpreter.call_macro
 
