@@ -253,7 +253,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="expand, then render the nested macro-expansion span tree",
     )
     trace.add_argument(
-        "files", nargs="+", type=Path,
+        "files", nargs="*", type=Path,
         help="input files as for 'expand'; alternatively a single "
         "example script (*.py) exposing PROGRAM/TRACE_PROGRAM",
     )
@@ -270,6 +270,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--jsonl", type=Path, metavar="PATH",
         help="append completed spans to PATH as JSON lines",
+    )
+    trace.add_argument(
+        "--events", type=Path, metavar="PATH",
+        help="instead of expanding, read a daemon JSONL event log "
+        "and print its records (see 'repro serve --event-log')",
+    )
+    trace.add_argument(
+        "--request-id", metavar="ID", default=None,
+        help="with --events: only records for this correlation ID "
+        "(one request followed client -> daemon -> spans)",
     )
 
     from repro.server import (
@@ -349,6 +359,37 @@ def build_arg_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="reject request frames larger than N bytes "
         f"(default {DEFAULT_MAX_FRAME_BYTES})",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="N",
+        help="serve /metrics, /healthz and /statusz over HTTP on "
+        "port N (0 = ephemeral; see docs/OBSERVABILITY.md)",
+    )
+    serve.add_argument(
+        "--metrics-host", default="127.0.0.1", metavar="HOST",
+        help="bind address for --metrics-port (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--event-log", type=Path, default=None, metavar="PATH",
+        help="append a structured JSONL event log (request/response/"
+        "span records keyed by request ID) to PATH",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard for a running daemon (polls its stats op)",
+    )
+    top.add_argument(
+        "address", metavar="ADDR",
+        help="daemon address: socket path, HOST:PORT, or :PORT",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between polls (default 2)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N polls (default: run until interrupted)",
     )
 
     macros = sub.add_parser("macros", help="list defined macro keywords")
@@ -445,6 +486,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
             flush=True,
         )
+        if srv.sidecar is not None:
+            print(
+                f"repro serve: telemetry on "
+                f"http://{srv.sidecar.address}/metrics",
+                file=sys.stderr,
+                flush=True,
+            )
 
     server_mod.serve(
         options,
@@ -466,9 +514,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
             else None
         ),
         drain_s=args.drain_s,
+        metrics_port=args.metrics_port,
+        metrics_host=args.metrics_host,
+        event_log=args.event_log,
         ready=announce,
     )
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """``repro top``: poll a daemon's stats op and redraw a compact
+    dashboard (rates come from deltas between polls)."""
+    from repro.top import run_top
+
+    return run_top(
+        args.address,
+        interval=args.interval,
+        iterations=args.iterations,
+    )
 
 
 def cmd_build(args: argparse.Namespace) -> int:
@@ -544,8 +607,54 @@ def _trace_example(mp: MacroProcessor, path: Path) -> tuple[str, str]:
     return program, str(path)
 
 
+def _cmd_trace_events(args: argparse.Namespace) -> int:
+    """``repro trace --events LOG [--request-id ID]``: render a
+    daemon's JSONL event log, optionally filtered down to one
+    request's records (request, response and its expansion spans)."""
+    matched = 0
+    with args.events.open(encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                print(f"(unparseable line skipped: {line[:60]}...)",
+                      file=sys.stderr)
+                continue
+            if (
+                args.request_id is not None
+                and record.get("request_id") != args.request_id
+            ):
+                continue
+            matched += 1
+            event = record.get("event", "?")
+            rid = record.get("request_id", "-")
+            rest = {
+                key: value for key, value in record.items()
+                if key not in ("ts", "event", "request_id")
+            }
+            detail = " ".join(
+                f"{key}={value}" for key, value in rest.items()
+            )
+            print(f"{record.get('ts', 0):.6f} {rid} {event:9} {detail}")
+    if args.request_id is not None and matched == 0:
+        print(
+            f"no records for request_id {args.request_id!r}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """``repro trace``: expand, then print the expansion span tree."""
+    if args.events is not None:
+        return _cmd_trace_events(args)
+    if not args.files:
+        raise SystemExit("repro trace: file arguments required "
+                         "(or use --events LOG)")
     jsonl_stream = args.jsonl.open("w") if args.jsonl else None
     options = options_from_args(args).replace(
         trace=True, trace_jsonl=jsonl_stream
@@ -646,6 +755,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_expand(args)
         if args.command == "serve":
             return cmd_serve(args)
+        if args.command == "top":
+            return cmd_top(args)
         if args.command == "build":
             return cmd_build(args)
         if args.command == "trace":

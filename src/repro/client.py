@@ -28,6 +28,7 @@ from typing import Any, Sequence
 
 from repro.errors import Ms2Error
 from repro.options import ExpandResult, Ms2Options
+from repro.telemetry import new_request_id
 
 __all__ = ["Ms2Client", "Ms2ServerError", "parse_address"]
 
@@ -92,6 +93,10 @@ class Ms2Client:
         self._sock: socket.socket | None = None
         self._reader: Any = None
         self._next_id = 0
+        #: Correlation ID of the most recent request — quote it to
+        #: ``repro trace --events`` to pull that request's event-log
+        #: records and spans out of the daemon's JSONL log.
+        self.last_request_id: str | None = None
 
     # ------------------------------------------------------------------
     # Connection lifecycle
@@ -155,13 +160,18 @@ class Ms2Client:
     # ------------------------------------------------------------------
 
     def request(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """Send one frame (an ``id`` is assigned when missing) and
-        return the raw response frame."""
+        """Send one frame (an ``id`` and a ``request_id`` are
+        assigned when missing) and return the raw response frame.
+        The server echoes the correlation ID in every response and
+        stamps it onto event-log records and trace spans."""
         self.connect()
         assert self._sock is not None
         if "id" not in payload:
             self._next_id += 1
             payload = {"id": self._next_id, **payload}
+        if "request_id" not in payload:
+            payload = {**payload, "request_id": new_request_id()}
+        self.last_request_id = payload["request_id"]
         self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
         line = self._reader.readline()
         if not line:

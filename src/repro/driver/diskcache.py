@@ -45,6 +45,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
+from time import perf_counter
 from typing import Any
 
 from repro.driver.locks import FileLock, LockTimeout
@@ -94,6 +95,17 @@ class PersistentCache:
         #: Snapshots rejected as corrupt, truncated or stale (each
         #: was evicted; the caller re-expanded).
         self.failures = 0
+        #: Snapshot files actually removed from disk (integrity
+        #: rejections plus caller-driven :meth:`discard` calls).
+        self.evictions = 0
+        #: Wall milliseconds spent in :meth:`load` / :meth:`store`
+        #: (the hit/miss/latency telemetry the remote-cache backend
+        #: will need — see ROADMAP).
+        self.load_ms = 0.0
+        self.store_ms = 0.0
+        #: Number of load/store calls behind those totals.
+        self.loads = 0
+        self.stores = 0
 
     # ------------------------------------------------------------------
 
@@ -116,20 +128,25 @@ class PersistentCache:
         keyed for different inputs — funnels into the same answer:
         evict (when present), count, return None, caller re-expands.
         """
-        path = self.path_for(key)
+        start = perf_counter()
         try:
-            blob = path.read_bytes()
-        except OSError:
-            self.misses += 1
-            return None
-        payload = self._decode(blob, key)
-        if payload is None:
-            self._evict(key)
-            self.failures += 1
-            self.misses += 1
-            return None
-        self.hits += 1
-        return payload
+            path = self.path_for(key)
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                self.misses += 1
+                return None
+            payload = self._decode(blob, key)
+            if payload is None:
+                self._evict(key)
+                self.failures += 1
+                self.misses += 1
+                return None
+            self.hits += 1
+            return payload
+        finally:
+            self.loads += 1
+            self.load_ms += (perf_counter() - start) * 1000.0
 
     @staticmethod
     def _decode(blob: bytes, key: str) -> dict[str, Any] | None:
@@ -163,21 +180,26 @@ class PersistentCache:
         deleted mid-build, lock wedged, disk full — is absorbed: the
         build keeps its in-memory result and only loses reuse.
         """
-        payload = dict(payload)
-        payload["key"] = key
-        payload["format"] = CACHE_FORMAT_VERSION
+        start = perf_counter()
         try:
-            body = json.dumps(
-                payload, sort_keys=True, separators=(",", ":")
-            ).encode("utf-8")
-        except (TypeError, ValueError):
-            return False  # payload not JSON-able
-        blob = frame_snapshot(_digest(body) + body)
-        try:
-            with self._lock_for(key):
-                return self._write_atomic(self.path_for(key), blob)
-        except (LockTimeout, OSError):
-            return False
+            payload = dict(payload)
+            payload["key"] = key
+            payload["format"] = CACHE_FORMAT_VERSION
+            try:
+                body = json.dumps(
+                    payload, sort_keys=True, separators=(",", ":")
+                ).encode("utf-8")
+            except (TypeError, ValueError):
+                return False  # payload not JSON-able
+            blob = frame_snapshot(_digest(body) + body)
+            try:
+                with self._lock_for(key):
+                    return self._write_atomic(self.path_for(key), blob)
+            except (LockTimeout, OSError):
+                return False
+        finally:
+            self.stores += 1
+            self.store_ms += (perf_counter() - start) * 1000.0
 
     @staticmethod
     def _write_atomic(path: Path, blob: bytes) -> bool:
@@ -214,7 +236,8 @@ class PersistentCache:
         try:
             self.path_for(key).unlink()
         except OSError:
-            pass
+            return
+        self.evictions += 1
 
     # ------------------------------------------------------------------
 
@@ -235,10 +258,17 @@ class PersistentCache:
                 pass
         return removed
 
-    def counters(self) -> dict[str, int]:
-        """This session's hit/miss/failure counts (report payload)."""
+    def counters(self) -> dict[str, float]:
+        """This session's counters — the payload surfaced by
+        :class:`~repro.driver.report.BuildReport`, the server
+        ``stats`` op, and the ``/metrics`` disk-cache series."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "failures": self.failures,
+            "evictions": self.evictions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "load_ms": round(self.load_ms, 3),
+            "store_ms": round(self.store_ms, 3),
         }

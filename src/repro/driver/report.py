@@ -92,8 +92,9 @@ class BuildReport:
     incremental: bool = True
     #: End-to-end wall milliseconds for the batch.
     elapsed_ms: float = 0.0
-    #: Persistent-cache session counters (hits/misses/failures).
-    cache: dict[str, int] = field(default_factory=dict)
+    #: Persistent-cache session counters (hits/misses/failures/
+    #: evictions plus load/store call counts and latency totals).
+    cache: dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
 
@@ -171,4 +172,14 @@ class BuildReport:
             f"{self.files_failed} failed "
             f"[{self.jobs} job(s), {self.elapsed_ms:.1f}ms]"
         )
+        if self.cache:
+            lines.append(
+                "-- disk cache: "
+                f"{self.cache.get('hits', 0)} hit(s), "
+                f"{self.cache.get('misses', 0)} miss(es), "
+                f"{self.cache.get('failures', 0)} failure(s), "
+                f"{self.cache.get('evictions', 0)} eviction(s) "
+                f"[load {self.cache.get('load_ms', 0):.1f}ms, "
+                f"store {self.cache.get('store_ms', 0):.1f}ms]"
+            )
         return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""The telemetry HTTP sidecar of the expansion daemon.
+
+``repro serve --metrics-port N`` starts this minimal asyncio HTTP/1.1
+listener next to the NDJSON protocol socket, so standard tooling —
+Prometheus scrapers, load-balancer health checks, ``curl`` — can read
+the daemon without speaking its protocol:
+
+- ``GET /metrics``  — Prometheus text exposition
+  (:meth:`~repro.telemetry.MetricsRegistry.render_prometheus`);
+- ``GET /healthz``  — drain-aware readiness: ``200 ok`` while
+  accepting work, ``503 draining`` once shutdown has begun (a load
+  balancer stops routing to a draining shard before its socket
+  closes);
+- ``GET /statusz``  — the JSON stats snapshot, byte-identical in
+  content to the NDJSON ``stats`` op.
+
+Deliberately tiny: GET only, one request per connection
+(``Connection: close``), no TLS, no routing table beyond the three
+paths.  It binds loopback by default; anything fancier belongs behind
+a real proxy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.server import Ms2Server
+
+__all__ = ["TelemetrySidecar"]
+
+#: Cap on the request head (request line + headers) we will read.
+_MAX_HEAD_BYTES = 16 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+
+class TelemetrySidecar:
+    """One HTTP listener serving a daemon's telemetry endpoints."""
+
+    def __init__(
+        self,
+        server: "Ms2Server",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.server = server
+        self.host = host
+        self.port = port
+        self._http: asyncio.AbstractServer | None = None
+        #: The actually-bound port (useful with ``port=0``).
+        self.bound_port: int | None = None
+        #: Requests served, by path (shown in ``/statusz``).
+        self.requests: dict[str, int] = {}
+
+    async def start(self) -> None:
+        self._http = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        sockets = self._http.sockets or []
+        if sockets:
+            self.bound_port = sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        if self._http is not None:
+            self._http.close()
+            await self._http.wait_closed()
+            self._http = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.bound_port or self.port}"
+
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            status, content_type, body = await self._respond(reader)
+            head = (
+                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("ascii") + body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, str, bytes]:
+        """(status, content type, body) for one request."""
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=10.0
+            )
+        except asyncio.TimeoutError:
+            return 400, "text/plain; charset=utf-8", b"timeout\n"
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            return 400, "text/plain; charset=utf-8", b"bad request\n"
+        method, target = parts[0], parts[1]
+        # Drain the headers (bounded); the body, if any, is ignored.
+        consumed = len(request_line)
+        while consumed < _MAX_HEAD_BYTES:
+            line = await reader.readline()
+            consumed += len(line)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        if method != "GET":
+            return (
+                405,
+                "text/plain; charset=utf-8",
+                b"method not allowed\n",
+            )
+        path = target.split("?", 1)[0]
+        self.requests[path] = self.requests.get(path, 0) + 1
+        handler = self._routes().get(path)
+        if handler is None:
+            return (
+                404,
+                "text/plain; charset=utf-8",
+                b"not found; try /metrics /healthz /statusz\n",
+            )
+        return handler()
+
+    def _routes(self) -> dict[str, Callable[[], tuple[int, str, bytes]]]:
+        return {
+            "/metrics": self._metrics,
+            "/healthz": self._healthz,
+            "/statusz": self._statusz,
+        }
+
+    def _metrics(self) -> tuple[int, str, bytes]:
+        body = self.server.registry.render_prometheus()
+        return (
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            body.encode("utf-8"),
+        )
+
+    def _healthz(self) -> tuple[int, str, bytes]:
+        if self.server.draining:
+            return 503, "text/plain; charset=utf-8", b"draining\n"
+        return 200, "text/plain; charset=utf-8", b"ok\n"
+
+    def _statusz(self) -> tuple[int, str, bytes]:
+        payload = self.server.stats_payload()
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        return 200, "application/json; charset=utf-8", body

@@ -75,6 +75,7 @@ from repro.errors import Ms2Error
 from repro.diagnostics import Diagnostic
 from repro.options import Ms2Options
 from repro.stats import PipelineStats
+from repro.telemetry import EventLog, MetricsRegistry, new_request_id
 
 __all__ = ["Ms2Server", "serve", "PROTOCOL_VERSION", "REQUEST_OPS"]
 
@@ -151,6 +152,12 @@ class WorkerPool:
         self.warm_hits = 0
         #: Requests that had to build their worker inline.
         self.cold_builds = 0
+        #: Spares actually added by :meth:`replenish`, and the wall
+        #: milliseconds spent building them (off the request path).
+        self.replenishes = 0
+        self.replenish_ms = 0.0
+        #: Spares built before the listener accepted traffic.
+        self.prewarms = 0
 
     @staticmethod
     def key_for(
@@ -221,15 +228,23 @@ class WorkerPool:
         with self._lock:
             if len(self._idle.get(key, ())) >= self.spares:
                 return False
+        start = perf_counter()
         worker = self.build_worker(
             options, package_names, package_sources
         )
+        built_ms = (perf_counter() - start) * 1000.0
         with self._lock:
             idle = self._idle.setdefault(key, [])
             if len(idle) >= self.spares:
                 return False
             idle.append(worker)
+            self.replenishes += 1
+            self.replenish_ms += built_ms
             return True
+
+    def note_prewarm(self) -> None:
+        with self._lock:
+            self.prewarms += 1
 
     def idle_counts(self) -> dict[str, int]:
         with self._lock:
@@ -271,6 +286,41 @@ class ServerMetrics:
     def count_request(self, op: str) -> None:
         with self._lock:
             self.requests[op] = self.requests.get(op, 0) + 1
+
+    # Every mutation below goes through a locked method too — handler
+    # code must never poke the counters directly (the event loop and
+    # executor threads both mutate this object).
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self.connections_open += 1
+            self.connections_total += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self.connections_open -= 1
+
+    def count_disconnect(self) -> None:
+        with self._lock:
+            self.client_disconnects += 1
+
+    def count_bad_frame(self) -> None:
+        with self._lock:
+            self.bad_frames += 1
+
+    def count_busy(self) -> None:
+        with self._lock:
+            self.busy_rejections += 1
+
+    def latency_histogram(self) -> tuple[list[int], float, int]:
+        """(per-bucket counts, total ms, count) — a consistent copy
+        for the telemetry collector."""
+        with self._lock:
+            return (
+                list(self.latency_buckets),
+                self.latency_total_ms,
+                self.latency_count,
+            )
 
     def count_response(self, response: dict[str, Any]) -> None:
         with self._lock:
@@ -377,6 +427,16 @@ class Ms2Server:
     default_deadline_s:
         Wall-clock budget imposed on work requests whose options set
         no ``deadline_s`` of their own (None = unbounded).
+    metrics_port / metrics_host:
+        When a port is given (0 = ephemeral), an HTTP telemetry
+        sidecar serves ``/metrics`` (Prometheus text), ``/healthz``
+        (drain-aware readiness) and ``/statusz`` (the ``stats`` op as
+        JSON) — see :mod:`repro.metrics_http`.
+    event_log:
+        Path or writable text stream for the structured JSONL event
+        log: one ``request`` and one ``response`` record per frame,
+        plus a ``span`` record per traced expansion, all keyed by the
+        request's correlation ID.
     """
 
     def __init__(
@@ -395,6 +455,9 @@ class Ms2Server:
         warm_spares: int = DEFAULT_WARM_SPARES,
         default_deadline_s: float | None = None,
         drain_s: float = DEFAULT_DRAIN_S,
+        metrics_port: int | None = None,
+        metrics_host: str = "127.0.0.1",
+        event_log: Path | str | Any = None,
     ) -> None:
         if (socket_path is None) == (port is None):
             raise ValueError(
@@ -443,6 +506,244 @@ class Ms2Server:
         #: The actually-bound TCP port (useful with ``port=0``).
         self.bound_port: int | None = None
 
+        #: Structured JSONL event log, or None when disabled.
+        self.event_log: EventLog | None = (
+            EventLog(event_log) if event_log is not None else None
+        )
+        #: The HTTP telemetry sidecar, started with the listener when
+        #: ``metrics_port`` was given.
+        self.metrics_port = metrics_port
+        self.metrics_host = metrics_host
+        self.sidecar: Any = None
+        #: The unified metrics registry: every layer's counters
+        #: mirrored at scrape time (see :meth:`_collect_telemetry`).
+        self.registry = self._build_registry()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown has begun (``/healthz`` flips to 503)."""
+        return self._draining
+
+    def _build_registry(self) -> MetricsRegistry:
+        """The unified metrics registry.  Hot paths keep their plain
+        counters; one collector mirrors every layer into Prometheus
+        samples at scrape time, so telemetry that is never scraped
+        costs the request path nothing."""
+        reg = MetricsRegistry()
+        m: dict[str, Any] = {}
+        m["info"] = reg.gauge(
+            "ms2_server_info",
+            "Constant 1, labeled with server version and protocol",
+            ("version", "protocol"), merge="last",
+        )
+        m["uptime"] = reg.gauge(
+            "ms2_uptime_seconds", "Seconds since server start",
+            merge="max",
+        )
+        m["draining"] = reg.gauge(
+            "ms2_draining", "1 once shutdown has begun", merge="max"
+        )
+        m["max_inflight"] = reg.gauge(
+            "ms2_max_inflight", "Concurrent-expansion cap", merge="max"
+        )
+        m["queue_limit"] = reg.gauge(
+            "ms2_queue_limit", "Bounded admission queue depth",
+            merge="max",
+        )
+        m["requests"] = reg.counter(
+            "ms2_requests_total", "Requests received, by op", ("op",)
+        )
+        m["responses"] = reg.counter(
+            "ms2_responses_total", "Responses sent, by status",
+            ("status",),
+        )
+        m["error_codes"] = reg.counter(
+            "ms2_response_errors_total",
+            "Error responses, by protocol error code", ("code",),
+        )
+        m["busy"] = reg.counter(
+            "ms2_busy_rejections_total",
+            "Requests rejected by admission control",
+        )
+        m["bad_frames"] = reg.counter(
+            "ms2_bad_frames_total", "Malformed or oversized frames"
+        )
+        m["disconnects"] = reg.counter(
+            "ms2_client_disconnects_total",
+            "Connections dropped mid-conversation",
+        )
+        m["conns_open"] = reg.gauge(
+            "ms2_connections_open", "Currently open connections"
+        )
+        m["conns_total"] = reg.counter(
+            "ms2_connections_total", "Connections accepted"
+        )
+        m["in_flight"] = reg.gauge(
+            "ms2_in_flight", "Work requests currently admitted"
+        )
+        m["peak_in_flight"] = reg.gauge(
+            "ms2_peak_in_flight", "High-water mark of ms2_in_flight",
+            merge="max",
+        )
+        m["latency"] = reg.histogram(
+            "ms2_request_latency_ms",
+            "Work-request wall time, milliseconds",
+            LATENCY_BUCKETS_MS,
+        )
+        m["expansion_cache"] = reg.counter(
+            "ms2_expansion_cache_lookups_total",
+            "In-memory expansion cache lookups, by result",
+            ("result",),
+        )
+        m["expansions"] = reg.counter(
+            "ms2_expansions_total", "Macro invocations expanded"
+        )
+        m["bodies_compiled"] = reg.counter(
+            "ms2_bodies_compiled_total",
+            "Macro bodies lowered to Python closures",
+        )
+        m["templates_compiled"] = reg.counter(
+            "ms2_templates_compiled_total",
+            "Backquote templates lowered inside compiled bodies",
+        )
+        m["compile_fallbacks"] = reg.counter(
+            "ms2_compile_fallbacks_total",
+            "Macro bodies that fell back to the interpreter",
+        )
+        m["compile_ms"] = reg.counter(
+            "ms2_compile_time_ms_total",
+            "Wall milliseconds spent compiling macro bodies",
+        )
+        m["warm_hits"] = reg.counter(
+            "ms2_worker_pool_warm_hits_total",
+            "Requests served by a pre-built warm worker",
+        )
+        m["cold_builds"] = reg.counter(
+            "ms2_worker_pool_cold_builds_total",
+            "Requests that built their worker inline",
+        )
+        m["pool_idle"] = reg.gauge(
+            "ms2_worker_pool_idle",
+            "Warm spare workers currently idle, by pool key",
+            ("pool",),
+        )
+        m["pool_spares"] = reg.gauge(
+            "ms2_worker_pool_spares",
+            "Configured spare workers per pool key", merge="max",
+        )
+        m["replenishes"] = reg.counter(
+            "ms2_worker_pool_replenishes_total",
+            "Warm spares rebuilt off the request path",
+        )
+        m["replenish_ms"] = reg.counter(
+            "ms2_worker_pool_replenish_ms_total",
+            "Wall milliseconds spent rebuilding warm spares",
+        )
+        m["prewarms"] = reg.counter(
+            "ms2_worker_pool_prewarms_total",
+            "Warm spares built before the listener accepted traffic",
+        )
+        m["disk_ops"] = reg.counter(
+            "ms2_disk_cache_ops_total",
+            "Persistent snapshot cache outcomes, by kind",
+            ("kind",),
+        )
+        m["disk_load_ms"] = reg.counter(
+            "ms2_disk_cache_load_ms_total",
+            "Wall milliseconds spent loading snapshots",
+        )
+        m["disk_store_ms"] = reg.counter(
+            "ms2_disk_cache_store_ms_total",
+            "Wall milliseconds spent storing snapshots",
+        )
+        m["events"] = reg.counter(
+            "ms2_event_log_records_total",
+            "Structured event-log records written",
+        )
+        self._telemetry = m
+        reg.register_collector(self._collect_telemetry)
+        return reg
+
+    def _collect_telemetry(self, reg: MetricsRegistry) -> None:
+        """Mirror every layer's live counters into the registry
+        (runs at scrape/snapshot time, never on the request path)."""
+        m = self._telemetry
+        snap = self.metrics.to_json()
+        m["info"].set(
+            1, version=__version__, protocol=str(PROTOCOL_VERSION)
+        )
+        m["uptime"].set(snap["uptime_s"])
+        m["draining"].set(1.0 if self._draining else 0.0)
+        m["max_inflight"].set(self.max_inflight)
+        m["queue_limit"].set(self.queue_limit)
+        for op, count in snap["requests"].items():
+            m["requests"].set_total(count, op=op)
+        for status, count in snap["responses"].items():
+            m["responses"].set_total(count, status=status)
+        for code, count in snap["error_codes"].items():
+            m["error_codes"].set_total(count, code=code)
+        m["busy"].set_total(snap["busy_rejections"])
+        m["bad_frames"].set_total(snap["bad_frames"])
+        m["disconnects"].set_total(snap["client_disconnects"])
+        m["conns_open"].set(snap["connections_open"])
+        m["conns_total"].set_total(snap["connections_total"])
+        m["in_flight"].set(snap["in_flight"])
+        m["peak_in_flight"].set(snap["peak_in_flight"])
+        counts, total_ms, count = self.metrics.latency_histogram()
+        m["latency"].load(counts, total_ms, count)
+        pipeline = snap["pipeline"]
+        m["expansion_cache"].set_total(
+            pipeline["cache_hits"], result="hit"
+        )
+        m["expansion_cache"].set_total(
+            pipeline["cache_misses"], result="miss"
+        )
+        m["expansion_cache"].set_total(
+            pipeline["cache_uncacheable"], result="uncacheable"
+        )
+        m["expansions"].set_total(pipeline["expansions"])
+        m["bodies_compiled"].set_total(pipeline["bodies_compiled"])
+        m["templates_compiled"].set_total(
+            pipeline["templates_compiled"]
+        )
+        m["compile_fallbacks"].set_total(pipeline["compile_fallbacks"])
+        m["compile_ms"].set_total(pipeline["compile_time_ms"])
+        m["warm_hits"].set_total(self.pool.warm_hits)
+        m["cold_builds"].set_total(self.pool.cold_builds)
+        for pool_key, idle in self.pool.idle_counts().items():
+            m["pool_idle"].set(idle, pool=pool_key)
+        m["pool_spares"].set(self.pool.spares)
+        m["replenishes"].set_total(self.pool.replenishes)
+        m["replenish_ms"].set_total(self.pool.replenish_ms)
+        m["prewarms"].set_total(self.pool.prewarms)
+        disk = self._disk_counters()
+        for kind in ("hits", "misses", "failures", "evictions"):
+            m["disk_ops"].set_total(disk.get(kind, 0), kind=kind)
+        m["disk_load_ms"].set_total(disk.get("load_ms", 0.0))
+        m["disk_store_ms"].set_total(disk.get("store_ms", 0.0))
+        if self.event_log is not None:
+            m["events"].set_total(self.event_log.events_written)
+
+    def _disk_counters(self) -> dict[str, float]:
+        """Persistent-cache counters summed over every BuildSession."""
+        disk: dict[str, float] = {}
+        with self._sessions_lock:
+            for session in self._sessions.values():
+                if session.cache is not None:
+                    for name, value in session.cache.counters().items():
+                        disk[name] = disk.get(name, 0) + value
+        return disk
+
+    def _log_event(
+        self, event: str, request_id: str | None, **fields: Any
+    ) -> None:
+        if self.event_log is not None:
+            self.event_log.log(event, request_id, **fields)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -472,6 +773,13 @@ class Ms2Server:
             sockets = self._server.sockets or []
             if sockets:
                 self.bound_port = sockets[0].getsockname()[1]
+        if self.metrics_port is not None:
+            from repro.metrics_http import TelemetrySidecar
+
+            self.sidecar = TelemetrySidecar(
+                self, host=self.metrics_host, port=self.metrics_port
+            )
+            await self.sidecar.start()
         # First requests should hit a warm worker: build the default
         # pool before accepting traffic.
         loop = asyncio.get_running_loop()
@@ -479,11 +787,12 @@ class Ms2Server:
 
     def _prewarm(self) -> None:
         for _ in range(self.pool.spares):
-            self.pool.replenish(
+            if self.pool.replenish(
                 self._effective_options(None),
                 self.package_names,
                 self.package_sources,
-            )
+            ):
+                self.pool.note_prewarm()
 
     @property
     def address(self) -> str:
@@ -516,6 +825,12 @@ class Ms2Server:
             await asyncio.wait_for(self._wait_idle(), timeout=self.drain_s)
         for writer in list(self._writers):
             writer.close()
+        # The sidecar outlives the protocol listener slightly so a
+        # load balancer polling /healthz observes the 503 drain state.
+        if self.sidecar is not None:
+            await self.sidecar.aclose()
+        if self.event_log is not None:
+            self.event_log.close()
         self._executor.shutdown(wait=False, cancel_futures=True)
         assert self._stopped is not None
         self._stopped.set()
@@ -555,17 +870,16 @@ class Ms2Server:
         writer: asyncio.StreamWriter,
     ) -> None:
         self._writers.add(writer)
-        self.metrics.connections_open += 1
-        self.metrics.connections_total += 1
+        self.metrics.connection_opened()
         try:
             await self._conn_loop(reader, writer)
         except (
             ConnectionError, BrokenPipeError, asyncio.IncompleteReadError
         ):
-            self.metrics.client_disconnects += 1
+            self.metrics.count_disconnect()
         finally:
             self._writers.discard(writer)
-            self.metrics.connections_open -= 1
+            self.metrics.connection_closed()
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
@@ -582,7 +896,7 @@ class Ms2Server:
                 # The frame exceeded max_frame_bytes.  The stream
                 # cannot be resynchronized mid-frame: answer, then
                 # close this connection.
-                self.metrics.bad_frames += 1
+                self.metrics.count_bad_frame()
                 await self._send(
                     writer,
                     _err(
@@ -602,7 +916,7 @@ class Ms2Server:
                 if not isinstance(request, dict):
                     raise ValueError("frame must be a JSON object")
             except (ValueError, UnicodeDecodeError) as exc:
-                self.metrics.bad_frames += 1
+                self.metrics.count_bad_frame()
                 await self._send(
                     writer,
                     _err(None, None, "bad_request",
@@ -627,6 +941,55 @@ class Ms2Server:
     # ------------------------------------------------------------------
 
     async def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Answer one frame with its correlation ID attached.
+
+        The client's ``request_id`` (minted here when the frame
+        carries none) is echoed in **every** response — ok, error and
+        busy alike — and bookends the request in the event log, with
+        the expansion's trace spans stamped by the same ID in between.
+        """
+        op = request.get("op")
+        request_id = request.get("request_id")
+        if not (isinstance(request_id, str) and request_id):
+            request_id = new_request_id()
+        op_name = op if isinstance(op, str) else "?"
+        self._log_event(
+            "request", request_id, op=op_name, id=request.get("id")
+        )
+        start = perf_counter()
+        response = await self._dispatch_inner(request, request_id)
+        response["request_id"] = request_id
+        status = (
+            "ok"
+            if response.get("ok")
+            else (response.get("error") or {}).get("code", "error")
+        )
+        self._log_event(
+            "response", request_id, op=op_name, status=status,
+            ms=round((perf_counter() - start) * 1000.0, 3),
+        )
+        self._log_spans(response, request_id)
+        return response
+
+    def _log_spans(
+        self, response: dict[str, Any], request_id: str
+    ) -> None:
+        """One ``span`` event-log record per trace span in a traced
+        response (already stamped with the request ID)."""
+        if self.event_log is None or not response.get("ok"):
+            return
+        result = response.get("result") or {}
+        for record in result.get("spans") or ():
+            fields = {
+                key: value
+                for key, value in record.items()
+                if key != "request_id"
+            }
+            self._log_event("span", request_id, **fields)
+
+    async def _dispatch_inner(
+        self, request: dict[str, Any], request_id: str
+    ) -> dict[str, Any]:
         op = request.get("op")
         rid = request.get("id")
         self.metrics.count_request(op if isinstance(op, str) else "?")
@@ -651,7 +1014,7 @@ class Ms2Server:
             return _err(rid, op, "shutting_down",
                         "server is draining; no new work accepted")
         if self._active >= self.max_inflight + self.queue_limit:
-            self.metrics.busy_rejections += 1
+            self.metrics.count_busy()
             return _err(
                 rid, op, "busy",
                 "server at capacity; retry later",
@@ -665,7 +1028,8 @@ class Ms2Server:
         loop = asyncio.get_running_loop()
         try:
             response = await loop.run_in_executor(
-                self._executor, self._run_work, op, rid, request
+                self._executor, self._run_work, op, rid, request,
+                request_id,
             )
         except asyncio.CancelledError:
             raise
@@ -733,7 +1097,8 @@ class Ms2Server:
         return tuple(names or ()), tuple(pairs)
 
     def _run_work(
-        self, op: str, rid: Any, request: dict[str, Any]
+        self, op: str, rid: Any, request: dict[str, Any],
+        request_id: str,
     ) -> dict[str, Any]:
         try:
             options = self._effective_options(request.get("options"))
@@ -747,7 +1112,8 @@ class Ms2Server:
                 rid, request, options, package_names, package_sources
             )
         return self._do_expand(
-            rid, op, request, options, package_names, package_sources
+            rid, op, request, options, package_names, package_sources,
+            request_id,
         )
 
     def _do_expand(
@@ -758,6 +1124,7 @@ class Ms2Server:
         options: Ms2Options,
         package_names: tuple[str, ...],
         package_sources: tuple[tuple[str, str], ...],
+        request_id: str,
     ) -> dict[str, Any]:
         source = request.get("source")
         if not isinstance(source, str):
@@ -775,6 +1142,10 @@ class Ms2Server:
             )
         except KeyError as exc:
             return _err(rid, op, "bad_request", str(exc.args[0]))
+        if worker.tracer is not None:
+            # Spans opened during this expansion carry the serving
+            # request's correlation ID (single-use worker: no bleed).
+            worker.tracer.request_id = request_id
         try:
             result = worker.expand(source, filename)
         except Ms2Error as exc:
@@ -895,16 +1266,26 @@ class Ms2Server:
             "cold_builds": self.pool.cold_builds,
             "spares": self.pool.spares,
             "idle": self.pool.idle_counts(),
+            "replenishes": self.pool.replenishes,
+            "replenish_ms": round(self.pool.replenish_ms, 3),
+            "prewarms": self.pool.prewarms,
         }
-        with self._sessions_lock:
-            disk = {"hits": 0, "misses": 0, "failures": 0}
-            for session in self._sessions.values():
-                if session.cache is not None:
-                    for name, value in session.cache.counters().items():
-                        disk[name] += value
+        disk = self._disk_counters()
+        for key in ("hits", "misses", "failures", "evictions"):
+            disk.setdefault(key, 0)
         payload["disk_cache"] = {
             "dir": str(self.cache_dir) if self.cache_dir else None,
             **disk,
+        }
+        payload["telemetry"] = {
+            "metrics_address": (
+                self.sidecar.address if self.sidecar is not None else None
+            ),
+            "event_log_records": (
+                self.event_log.events_written
+                if self.event_log is not None
+                else None
+            ),
         }
         return payload
 
@@ -929,6 +1310,9 @@ def serve(
     warm_spares: int = DEFAULT_WARM_SPARES,
     default_deadline_s: float | None = None,
     drain_s: float = DEFAULT_DRAIN_S,
+    metrics_port: int | None = None,
+    metrics_host: str = "127.0.0.1",
+    event_log: Path | str | Any = None,
     ready: Any = None,
 ) -> None:
     """Run an expansion daemon until it shuts down (the ``repro
@@ -950,6 +1334,9 @@ def serve(
         warm_spares=warm_spares,
         default_deadline_s=default_deadline_s,
         drain_s=drain_s,
+        metrics_port=metrics_port,
+        metrics_host=metrics_host,
+        event_log=event_log,
     )
 
     async def _main() -> None:

@@ -78,11 +78,14 @@ class ExpansionSpan:
     #: Error text when the expansion failed, else None.
     error: str | None = None
     children: list["ExpansionSpan"] = field(default_factory=list)
+    #: Correlation ID of the serving request (stamped by the tracer
+    #: when :attr:`Tracer.request_id` is set; None for local runs).
+    request_id: str | None = None
 
     def to_json(self) -> dict[str, Any]:
         """The wire form (children appear as parent-id references;
         :meth:`from_json` plus the ids rebuild the tree)."""
-        return {
+        record = {
             "id": self.span_id,
             "parent": self.parent_id,
             "macro": self.macro,
@@ -96,6 +99,9 @@ class ExpansionSpan:
             "output_nodes": self.output_nodes,
             "error": self.error,
         }
+        if self.request_id is not None:
+            record["request_id"] = self.request_id
+        return record
 
     #: Legacy spelling of :meth:`to_json`.
     as_dict = to_json
@@ -119,6 +125,7 @@ class ExpansionSpan:
             duration=float(data.get("ms", 0.0)) / 1000.0,
             output_nodes=int(data.get("output_nodes", 0)),
             error=data.get("error"),
+            request_id=data.get("request_id"),
         )
 
     def describe(self) -> str:
@@ -162,6 +169,11 @@ class Tracer:
     ) -> None:
         self.hooks: list[TraceHook] = list(hooks or [])
         self.jsonl = jsonl
+        #: When set (the expansion daemon sets it per request), every
+        #: span opened afterwards carries this correlation ID, so a
+        #: request can be followed from the client through the event
+        #: log into its expansion spans.
+        self.request_id: str | None = None
         #: Completed spans, completion order, bounded.
         self.ring: deque[ExpansionSpan] = deque(maxlen=ring_size)
         #: Top-level spans (user-source invocations), in program order.
@@ -189,6 +201,7 @@ class Tracer:
             parse_mode=getattr(invocation, "parse_mode", None) or "unknown",
             depth=len(self._stack),
             start=perf_counter(),
+            request_id=self.request_id,
         )
         if parent is not None:
             parent.children.append(span)

@@ -35,13 +35,22 @@ def test_roundtrip(tmp_path: Path) -> None:
     assert payload["output"] == "int x;\n"
     assert payload["stats"] == {"files": 1}
     assert payload["key"] == KEY
-    assert cache.counters() == {"hits": 1, "misses": 0, "failures": 0}
+    counters = cache.counters()
+    assert (counters["hits"], counters["misses"], counters["failures"]) == (
+        1, 0, 0,
+    )
+    assert counters["loads"] == 1 and counters["stores"] == 1
+    assert counters["load_ms"] >= 0.0 and counters["store_ms"] > 0.0
 
 
 def test_missing_entry_is_a_plain_miss(tmp_path: Path) -> None:
     cache = PersistentCache(tmp_path)
     assert cache.load(KEY) is None
-    assert cache.counters() == {"hits": 0, "misses": 1, "failures": 0}
+    counters = cache.counters()
+    assert (counters["hits"], counters["misses"], counters["failures"]) == (
+        0, 1, 0,
+    )
+    assert counters["evictions"] == 0
 
 
 def test_atomic_overwrite(tmp_path: Path) -> None:

@@ -67,6 +67,7 @@ PUBLIC_MODULES = [
     "repro.meta.frames",
     "repro.meta.interp",
     "repro.meta.values",
+    "repro.metrics_http",
     "repro.options",
     "repro.packages",
     "repro.parser",
@@ -77,6 +78,8 @@ PUBLIC_MODULES = [
     "repro.semantics",
     "repro.server",
     "repro.stats",
+    "repro.telemetry",
+    "repro.top",
     "repro.trace",
 ]
 

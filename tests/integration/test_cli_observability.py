@@ -1,0 +1,91 @@
+"""CLI surface of the telemetry subsystem: ``repro trace --events``
+and the ``repro top`` / ``repro serve`` flag plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+
+
+@pytest.fixture()
+def event_log(tmp_path):
+    """A canned daemon event log: two requests, one traced."""
+    path = tmp_path / "events.jsonl"
+    records = [
+        {"ts": 1.0, "event": "request", "request_id": "a" * 16,
+         "op": "ping", "id": 1},
+        {"ts": 1.1, "event": "response", "request_id": "a" * 16,
+         "op": "ping", "status": "ok", "ms": 0.2},
+        {"ts": 2.0, "event": "request", "request_id": "b" * 16,
+         "op": "trace", "id": 2},
+        {"ts": 2.1, "event": "span", "request_id": "b" * 16,
+         "macro": "Twice", "ms": 1.5},
+        {"ts": 2.2, "event": "response", "request_id": "b" * 16,
+         "op": "trace", "status": "ok", "ms": 3.0},
+    ]
+    path.write_text(
+        "".join(json.dumps(r) + "\n" for r in records)
+    )
+    return path
+
+
+class TestTraceEvents:
+    def test_prints_all_records(self, event_log, capsys):
+        assert main(["trace", "--events", str(event_log)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("request") >= 2
+        assert "macro=Twice" in out
+
+    def test_request_id_filter(self, event_log, capsys):
+        assert main(
+            ["trace", "--events", str(event_log),
+             "--request-id", "b" * 16]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "a" * 16 not in out
+        assert out.count("b" * 16) == 3
+        assert "span" in out
+
+    def test_unknown_request_id_fails(self, event_log, capsys):
+        assert main(
+            ["trace", "--events", str(event_log),
+             "--request-id", "f" * 16]
+        ) == 1
+        assert "no records" in capsys.readouterr().err
+
+    def test_garbage_lines_are_skipped(self, event_log, capsys):
+        with event_log.open("a") as stream:
+            stream.write("not json\n")
+        assert main(["trace", "--events", str(event_log)]) == 0
+        assert "skipped" in capsys.readouterr().err
+
+    def test_trace_without_files_or_events_exits(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+
+class TestArgSurface:
+    def test_serve_accepts_telemetry_flags(self):
+        args = build_arg_parser().parse_args(
+            ["serve", "--port", "0", "--metrics-port", "0",
+             "--metrics-host", "0.0.0.0",
+             "--event-log", "/tmp/e.jsonl"]
+        )
+        assert args.metrics_port == 0
+        assert args.metrics_host == "0.0.0.0"
+        assert str(args.event_log) == "/tmp/e.jsonl"
+
+    def test_serve_telemetry_defaults_off(self):
+        args = build_arg_parser().parse_args(["serve", "--port", "0"])
+        assert args.metrics_port is None
+        assert args.event_log is None
+
+    def test_top_subcommand_parses(self):
+        args = build_arg_parser().parse_args(
+            ["top", ":9000", "--interval", "0.5", "--iterations", "3"]
+        )
+        assert args.command == "top"
+        assert args.address == ":9000"
+        assert args.interval == 0.5
+        assert args.iterations == 3

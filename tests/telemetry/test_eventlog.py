@@ -1,0 +1,73 @@
+"""EventLog: JSONL shape, sinks, thread-safety of the counter."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+from repro.telemetry import EventLog
+
+
+def test_stream_sink_records_shape():
+    stream = io.StringIO()
+    log = EventLog(stream)
+    log.log("request", "abcd1234abcd1234", op="expand", id=1)
+    log.log("heartbeat")  # no request_id -> key omitted
+    log.close()  # stream not owned: stays open
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first["event"] == "request"
+    assert first["request_id"] == "abcd1234abcd1234"
+    assert first["op"] == "expand" and first["id"] == 1
+    assert isinstance(first["ts"], float)
+    assert "request_id" not in json.loads(lines[1])
+    assert log.events_written == 2
+
+
+def test_path_sink_appends_and_close_owns(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path)
+    log.log("a", "1111111111111111")
+    log.close()
+    # Re-opening appends, never truncates.
+    log2 = EventLog(str(path))
+    log2.log("b", "2222222222222222")
+    log2.close()
+    events = [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+    ]
+    assert [e["event"] for e in events] == ["a", "b"]
+
+
+def test_unserializable_fields_degrade_to_str():
+    stream = io.StringIO()
+    log = EventLog(stream)
+    log.log("x", "3333333333333333", obj=object())
+    record = json.loads(stream.getvalue())
+    assert "object object" in record["obj"]
+
+
+def test_concurrent_writers_do_not_interleave(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path)
+
+    def spam(tag: str) -> None:
+        for index in range(50):
+            log.log("tick", tag * 16, n=index)
+
+    threads = [
+        threading.Thread(target=spam, args=(str(t),)) for t in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    log.close()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 200
+    for line in lines:
+        json.loads(line)  # every line independently parseable
+    assert log.events_written == 200
