@@ -29,7 +29,7 @@ from typing import Sequence
 from repro.diagnostics import Diagnostic
 from repro.engine import MacroProcessor
 from repro.options import ExpandResult, Ms2Options
-from repro.client import Ms2Client
+from repro.client import Ms2Client, RetryPolicy
 from repro.server import serve
 
 __all__ = [
@@ -40,6 +40,7 @@ __all__ = [
     "expand",
     "expand_file",
     "Ms2Client",
+    "RetryPolicy",
     "serve",
 ]
 

@@ -33,6 +33,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro import faults
 from repro.driver.diskcache import DEFAULT_CACHE_DIR
 from repro.engine import MacroProcessor
 from repro.errors import Ms2Error
@@ -55,6 +56,40 @@ def _add_package_flag(cmd: argparse.ArgumentParser) -> None:
         "-p", "--package", action="append", default=[],
         metavar="NAME", choices=PACKAGE_NAMES,
         help=f"preload a standard package ({', '.join(PACKAGE_NAMES)})",
+    )
+
+
+def _add_fault_flags(cmd: argparse.ArgumentParser) -> None:
+    """Chaos-testing flags shared by expand/build/serve."""
+    cmd.add_argument(
+        "--inject-fault", action="append", default=[], metavar="SPEC",
+        help="arm a deterministic fault site for this run "
+        "(site[@match]:prob:kind[:after_n[:max_fires]]; repeatable; "
+        "see docs/ROBUSTNESS.md)",
+    )
+    cmd.add_argument(
+        "--fault-seed", type=int, default=None, metavar="N",
+        help="seed for the fault-injection RNG (default: random; the "
+        "chosen seed is printed so a chaos run can be replayed)",
+    )
+
+
+def _arm_faults(args: argparse.Namespace) -> None:
+    """Arm ``--inject-fault`` specs (and export them to the
+    environment so spawned worker processes inherit the plan)."""
+    specs = getattr(args, "inject_fault", [])
+    if not specs:
+        return
+    try:
+        parsed = [faults.parse_spec(spec) for spec in specs]
+    except ValueError as exc:
+        raise SystemExit(f"--inject-fault: {exc}") from None
+    plan = faults.arm(*parsed, seed=getattr(args, "fault_seed", None))
+    faults.export_to_env(plan)
+    print(
+        f"fault injection armed: {plan.describe()}",
+        file=sys.stderr,
+        flush=True,
     )
 
 
@@ -201,6 +236,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="expand on a running 'repro serve' daemon instead of "
         "in-process (ADDR: socket path, HOST:PORT, or :PORT)",
     )
+    expand.add_argument(
+        "--fallback", choices=("local", "fail"), default="fail",
+        help="with --server: when the daemon stays unreachable after "
+        "retries, degrade to in-process expansion ('local') or exit "
+        "with an error ('fail', the default)",
+    )
+    _add_fault_flags(expand)
 
     build = sub.add_parser(
         "build",
@@ -240,9 +282,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "(results are still stored for future runs)",
     )
     build.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-run a file whose worker process died up to N times "
+        "before quarantining it as 'poisoned' (default 2)",
+    )
+    build.add_argument(
         "--report", choices=("text", "json"), default="text",
         help="batch report format on stdout (default text)",
     )
+    _add_fault_flags(build)
     build.add_argument(
         "-o", "--out-dir", type=Path, default=None, metavar="DIR",
         help="write each file's expanded C to DIR/<stem>.c",
@@ -374,6 +422,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="append a structured JSONL event log (request/response/"
         "span records keyed by request ID) to PATH",
     )
+    _add_fault_flags(serve)
 
     top = sub.add_parser(
         "top",
@@ -418,8 +467,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 def cmd_expand(args: argparse.Namespace) -> int:
     """``repro expand``: load packages/files, print expanded C."""
+    _arm_faults(args)
     if args.server is not None:
         return _cmd_expand_via_server(args)
+    return _cmd_expand_local(args)
+
+
+def _cmd_expand_local(args: argparse.Namespace) -> int:
+    """The in-process expansion path (also the ``--fallback local``
+    degradation target, which is why it is byte-identical to the
+    server path by construction — same options, same preamble)."""
     options = options_from_args(args)
     mp = MacroProcessor(options=options)
     for name in args.package:
@@ -445,22 +502,41 @@ def _cmd_expand_via_server(args: argparse.Namespace) -> int:
     the expansion runs on a warm daemon worker.  The request carries
     this invocation's options and preamble explicitly, so the result
     is byte-identical to the in-process path regardless of what the
-    daemon was started with."""
-    from repro.client import Ms2Client
+    daemon was started with.
+
+    With ``--fallback local``, a daemon that stays unreachable after
+    the client's retry budget degrades to :func:`_cmd_expand_local`
+    instead of failing — same options, same preamble, so the output
+    is the same bytes the daemon would have produced."""
+    from repro.client import Ms2Client, count_fallback
+
     from repro.stats import PipelineStats
 
     options = options_from_args(args)
     *package_files, program = args.files
-    with Ms2Client(args.server) as client:
-        result = client.expand(
-            program.read_text(),
-            str(program),
-            options=options,
-            packages=list(args.package),
-            package_sources=[
-                (str(path), path.read_text()) for path in package_files
-            ],
+    try:
+        with Ms2Client(args.server) as client:
+            result = client.expand(
+                program.read_text(),
+                str(program),
+                options=options,
+                packages=list(args.package),
+                package_sources=[
+                    (str(path), path.read_text())
+                    for path in package_files
+                ],
+            )
+    except (Ms2Error, OSError) as exc:
+        if getattr(args, "fallback", "fail") != "local":
+            raise
+        count_fallback()
+        print(
+            f"repro expand: daemon at {args.server} unavailable "
+            f"({exc}); falling back to in-process expansion",
+            file=sys.stderr,
+            flush=True,
         )
+        return _cmd_expand_local(args)
     print(result.output, end="")
     for diagnostic in result.diagnostics:
         print(diagnostic.render(), file=sys.stderr)
@@ -478,6 +554,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: run the expansion daemon until shut down."""
     from repro import server as server_mod
 
+    _arm_faults(args)
     options = options_from_args(args)
 
     def announce(srv: "server_mod.Ms2Server") -> None:
@@ -539,6 +616,7 @@ def cmd_build(args: argparse.Namespace) -> int:
     cache (see :mod:`repro.driver`)."""
     from repro.driver import BuildSession, write_outputs
 
+    _arm_faults(args)
     options = options_from_args(args)
     session = BuildSession(
         options,
@@ -549,6 +627,7 @@ def cmd_build(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=None if args.no_disk_cache else args.cache_dir,
         incremental=not args.no_incremental,
+        retries=args.retries,
     )
     report = session.build(args.files)
     if args.out_dir is not None:

@@ -21,8 +21,11 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import socket
+import threading
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -30,10 +33,93 @@ from repro.errors import Ms2Error
 from repro.options import ExpandResult, Ms2Options
 from repro.telemetry import new_request_id
 
-__all__ = ["Ms2Client", "Ms2ServerError", "parse_address"]
+__all__ = [
+    "Ms2Client",
+    "Ms2ServerError",
+    "RetryPolicy",
+    "client_counters",
+    "parse_address",
+]
 
 #: Default per-request socket timeout, seconds.
 DEFAULT_TIMEOUT_S = 60.0
+
+#: Protocol error codes that signal a *transient* server condition —
+#: the request was not the problem, trying again may succeed.
+RETRYABLE_CODES = frozenset({"busy", "shutting_down", "unavailable"})
+
+# Process-wide resilience counters (every client instance sums into
+# these; the server's telemetry collector mirrors them into the
+# ``ms2_client_retries_total`` / ``ms2_client_fallbacks_total``
+# series, and ``repro expand --server`` reports them on fallback).
+_COUNTER_LOCK = threading.Lock()
+RETRIES_TOTAL = 0
+FALLBACKS_TOTAL = 0
+
+
+def _count_retry(n: int = 1) -> None:
+    global RETRIES_TOTAL
+    with _COUNTER_LOCK:
+        RETRIES_TOTAL += n
+
+
+def count_fallback() -> None:
+    """Record one degradation to local in-process expansion."""
+    global FALLBACKS_TOTAL
+    with _COUNTER_LOCK:
+        FALLBACKS_TOTAL += 1
+
+
+def client_counters() -> dict[str, int]:
+    """Process-wide client resilience counters (telemetry mirror)."""
+    with _COUNTER_LOCK:
+        return {
+            "retries": RETRIES_TOTAL,
+            "fallbacks": FALLBACKS_TOTAL,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter for transient failures.
+
+    Retries connection-level errors (refused, reset, server closed
+    the connection mid-request) and :data:`RETRYABLE_CODES` error
+    frames (``busy``, ``shutting_down``, ``unavailable``).  Safe by
+    construction: every protocol op is idempotent — expansion is a
+    pure function of the request, so replaying a request whose
+    response was lost cannot change the outcome.
+
+    Backoff sleeps ``random.uniform(0, min(max_delay_s, base_delay_s
+    * 2**attempt))`` (AWS-style *full jitter*, which de-synchronizes
+    client herds better than equal jitter).  A ``retry_after_ms``
+    hint in a busy frame overrides the computed ceiling for that
+    attempt.  ``deadline_s`` bounds the *total* time spent including
+    sleeps; ``max_attempts`` bounds the number of tries.
+    """
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    deadline_s: float = 30.0
+
+    def retryable_error(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is worth a retry under this policy."""
+        if isinstance(exc, Ms2ServerError):
+            return exc.code in RETRYABLE_CODES
+        return isinstance(exc, (ConnectionError, socket.timeout, OSError))
+
+    def backoff_s(
+        self, attempt: int, retry_after_ms: float | None = None
+    ) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        ceiling = min(
+            self.max_delay_s, self.base_delay_s * (2 ** (attempt - 1))
+        )
+        if retry_after_ms is not None:
+            ceiling = max(ceiling, retry_after_ms / 1000.0)
+            ceiling = min(ceiling, self.max_delay_s)
+        return random.uniform(0.0, ceiling)
 
 
 class Ms2ServerError(Ms2Error):
@@ -87,9 +173,14 @@ class Ms2Client:
         address: str | Path,
         *,
         timeout: float = DEFAULT_TIMEOUT_S,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.address = parse_address(address)
         self.timeout = timeout
+        #: Retry/backoff policy for transient failures, or None for
+        #: the historical fail-fast behavior (one attempt, caller
+        #: handles ``busy``).
+        self.retry = retry
         self._sock: socket.socket | None = None
         self._reader: Any = None
         self._next_id = 0
@@ -97,6 +188,9 @@ class Ms2Client:
         #: ``repro trace --events`` to pull that request's event-log
         #: records and spans out of the daemon's JSONL log.
         self.last_request_id: str | None = None
+        #: Transient failures this client retried past (also summed
+        #: process-wide into :func:`client_counters`).
+        self.retries = 0
 
     # ------------------------------------------------------------------
     # Connection lifecycle
@@ -139,8 +233,15 @@ class Ms2Client:
 
     def wait_ready(self, timeout: float = 10.0) -> None:
         """Block until the daemon answers ``ping`` (daemon startup is
-        asynchronous: the socket may not exist yet)."""
+        asynchronous: the socket may not exist yet).
+
+        Polls with exponential backoff — 50 ms doubling to a 1 s cap
+        — rather than a fixed interval, so a slow-starting daemon is
+        not hammered, and the final sleep is clipped to the time
+        remaining so the overall ``timeout`` is honoured exactly.
+        """
         deadline = time.monotonic() + timeout
+        delay = 0.05
         while True:
             try:
                 self.connect()
@@ -148,12 +249,14 @@ class Ms2Client:
                 return
             except (OSError, Ms2ServerError):
                 self.close()
-                if time.monotonic() >= deadline:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
                     raise TimeoutError(
                         f"no server at {self.address} within "
                         f"{timeout:.1f}s"
                     ) from None
-                time.sleep(0.05)
+                time.sleep(min(delay, remaining))
+                delay = min(delay * 2, 1.0)
 
     # ------------------------------------------------------------------
     # Raw protocol
@@ -177,11 +280,59 @@ class Ms2Client:
         if not line:
             self.close()
             raise ConnectionError("server closed the connection")
-        return json.loads(line)
+        try:
+            return json.loads(line)
+        except ValueError:
+            # A garbled frame (truncated write, corrupted transport)
+            # leaves the stream unsynchronized — treat it exactly
+            # like a dropped connection so a RetryPolicy can recover.
+            self.close()
+            raise ConnectionError(
+                "undecodable response frame from server"
+            ) from None
 
     def call(self, op: str, **fields: Any) -> dict[str, Any]:
         """One operation: send, check, unwrap ``result`` (raising
-        :class:`Ms2ServerError` on error frames)."""
+        :class:`Ms2ServerError` on error frames).
+
+        With a :class:`RetryPolicy` attached, transient failures —
+        connection errors and ``busy``/``shutting_down``/
+        ``unavailable`` frames — are retried with jittered
+        exponential backoff, honouring a ``retry_after_ms`` hint when
+        the server provides one.  ``shutdown`` is never retried (a
+        dropped connection there means the drain already started).
+        """
+        policy = self.retry if op != "shutdown" else None
+        deadline = (
+            time.monotonic() + policy.deadline_s
+            if policy is not None
+            else None
+        )
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._call_once(op, fields)
+            except (Ms2ServerError, OSError) as exc:
+                if (
+                    policy is None
+                    or not policy.retryable_error(exc)
+                    or attempt >= policy.max_attempts
+                ):
+                    raise
+                self.close()  # next attempt reconnects cleanly
+                hint = None
+                if isinstance(exc, Ms2ServerError):
+                    hint = exc.payload.get("retry_after_ms")
+                sleep_s = policy.backoff_s(attempt, hint)
+                assert deadline is not None
+                if time.monotonic() + sleep_s >= deadline:
+                    raise
+                self.retries += 1
+                _count_retry()
+                time.sleep(sleep_s)
+
+    def _call_once(self, op: str, fields: dict[str, Any]) -> dict[str, Any]:
         response = self.request({"op": op, **fields})
         if response.get("ok"):
             return response.get("result", {})

@@ -48,6 +48,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import Any
 
+from repro import faults
 from repro.driver.locks import FileLock, LockTimeout
 from repro.macros.cache import (
     CACHE_FORMAT_VERSION,
@@ -133,6 +134,13 @@ class PersistentCache:
             path = self.path_for(key)
             try:
                 blob = path.read_bytes()
+                if faults.ACTIVE is not None:
+                    # io_error faults land in this except and read as
+                    # a miss; corrupt faults mangle the blob and fall
+                    # through to the integrity check below.
+                    blob = faults.ACTIVE.hit(
+                        "cache.load", blob, context=key
+                    )
             except OSError:
                 self.misses += 1
                 return None
@@ -193,6 +201,10 @@ class PersistentCache:
                 return False  # payload not JSON-able
             blob = frame_snapshot(_digest(body) + body)
             try:
+                if faults.ACTIVE is not None:
+                    blob = faults.ACTIVE.hit(
+                        "cache.store", blob, context=key
+                    )
                 with self._lock_for(key):
                     return self._write_atomic(self.path_for(key), blob)
             except (LockTimeout, OSError):

@@ -12,9 +12,11 @@ entry, and directory-level maintenance (eviction of corrupt entries,
 advisory lock on a dedicated ``*.lock`` file.  On POSIX it uses
 :func:`fcntl.flock` (locks die with the process, so a crashed worker
 can never wedge the cache); where ``fcntl`` is unavailable it falls
-back to ``O_CREAT | O_EXCL`` lock files with stale-age breaking.
-Acquisition polls with a short sleep rather than blocking in the
-kernel so a ``timeout`` can be honoured portably.
+back to ``O_CREAT | O_EXCL`` lock files stamped with the owner's PID
+and broken when the owner is provably dead or the file outlives
+:data:`_STALE_AGE`.  Acquisition polls with a short sleep rather
+than blocking in the kernel so a ``timeout`` can be honoured
+portably.
 """
 
 from __future__ import annotations
@@ -23,6 +25,8 @@ import os
 import time
 from pathlib import Path
 from types import TracebackType
+
+from repro import faults
 
 try:  # POSIX fast path
     import fcntl
@@ -70,6 +74,8 @@ class FileLock:
         """Take the lock, polling until ``timeout`` elapses."""
         if self._fd is not None:
             raise RuntimeError(f"lock {self.path} already held")
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.hit("lock.acquire", context=str(self.path))
         deadline = time.monotonic() + self.timeout
         while True:
             if self._try_acquire():
@@ -97,7 +103,7 @@ class FileLock:
         self._fd = fd
         return True
 
-    def _try_acquire_exclusive(self) -> bool:  # pragma: no cover
+    def _try_acquire_exclusive(self) -> bool:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         try:
             fd = os.open(
@@ -110,16 +116,45 @@ class FileLock:
         self._fd = fd
         return True
 
-    def _break_if_stale(self) -> None:  # pragma: no cover
+    def _break_if_stale(self) -> None:
+        """Reclaim a fallback lock file left by a crashed process.
+
+        Two independent reclaim conditions: the recorded owner PID is
+        provably dead (``kill -0`` says no such process), or the file
+        has outlived :data:`_STALE_AGE` (covers unreadable/garbled PID
+        stamps and PID reuse by a long-lived unrelated process).  A
+        live owner under the age limit is never disturbed.
+        """
         try:
-            age = time.time() - self.path.stat().st_mtime
+            stat = self.path.stat()
         except OSError:
+            return  # already released
+        age = time.time() - stat.st_mtime
+        if not (self._owner_dead() or age > _STALE_AGE):
             return
-        if age > _STALE_AGE:
-            try:
-                self.path.unlink()
-            except OSError:
-                pass
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def _owner_dead(self) -> bool:
+        """True only when the lock file names a PID that provably no
+        longer exists.  Unreadable or malformed stamps, and live or
+        permission-denied PIDs, all read as "maybe alive"."""
+        try:
+            raw = self.path.read_bytes()
+            pid = int(raw.decode("ascii").strip() or "0")
+        except (OSError, ValueError):
+            return False
+        if pid <= 0:
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except OSError:
+            pass  # e.g. EPERM: alive but not ours
+        return False
 
     def release(self) -> None:
         """Drop the lock (idempotent)."""

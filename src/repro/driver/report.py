@@ -27,8 +27,10 @@ class FileResult:
 
     #: Input path as given to the driver.
     path: str
-    #: ``"ok"`` (expanded, possibly with recovered diagnostics) or
-    #: ``"error"`` (fail-fast error; ``output`` is empty).
+    #: ``"ok"`` (expanded, possibly with recovered diagnostics),
+    #: ``"error"`` (fail-fast error; ``output`` is empty) or
+    #: ``"poisoned"`` (the file repeatedly crashed its build worker
+    #: and was quarantined so the rest of the batch could finish).
     status: str
     #: Expanded C text.
     output: str = ""
@@ -44,8 +46,12 @@ class FileResult:
     stats: dict[str, Any] = field(default_factory=dict)
     #: Trace spans for this file (``ExpansionSpan.to_json`` records).
     spans: list[dict[str, Any]] = field(default_factory=list)
-    #: Fail-fast error text when ``status == "error"``.
+    #: Fail-fast error text when ``status != "ok"``.
     error: str | None = None
+    #: Exception class name behind ``error`` (e.g. ``"OSError"``,
+    #: ``"BrokenProcessPool"``); lets the server distinguish
+    #: transient infrastructure failures from real expansion errors.
+    error_type: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -72,6 +78,7 @@ class FileResult:
             "stats": self.stats,
             "spans": self.spans,
             "error": self.error,
+            "error_type": self.error_type,
         }
 
     #: Legacy spelling of :meth:`to_json`.
@@ -95,6 +102,8 @@ class BuildReport:
     #: Persistent-cache session counters (hits/misses/failures/
     #: evictions plus load/store call counts and latency totals).
     cache: dict[str, float] = field(default_factory=dict)
+    #: Worker-pool rebuilds after a crashed worker process.
+    worker_restarts: int = 0
 
     # ------------------------------------------------------------------
 
@@ -118,6 +127,10 @@ class BuildReport:
     def files_failed(self) -> int:
         return sum(1 for r in self.results if r.status == "error")
 
+    @property
+    def files_poisoned(self) -> int:
+        return sum(1 for r in self.results if r.status == "poisoned")
+
     def aggregate_stats(self) -> PipelineStats:
         """Every file's pipeline counters summed into one object."""
         total = PipelineStats()
@@ -136,6 +149,8 @@ class BuildReport:
             "files_from_cache": self.files_from_cache,
             "files_expanded": self.files_expanded,
             "files_failed": self.files_failed,
+            "files_poisoned": self.files_poisoned,
+            "worker_restarts": self.worker_restarts,
             "jobs": self.jobs,
             "incremental": self.incremental,
             "cache_dir": self.cache_dir,
@@ -152,7 +167,9 @@ class BuildReport:
         """Human-readable batch summary (the default CLI output)."""
         lines = []
         for result in self.results:
-            if result.status == "error":
+            if result.status == "poisoned":
+                tag = "POISON"
+            elif result.status == "error":
                 tag = "FAIL"
             elif result.from_cache:
                 tag = "cached"
@@ -165,13 +182,21 @@ class BuildReport:
                 first_line = result.error.splitlines()[0]
                 detail += f"  {first_line}"
             lines.append(f"{tag:>6}  {result.path}  {detail}")
-        lines.append(
+        summary = (
             f"-- {len(self.results)} file(s): "
             f"{self.files_expanded} built, "
             f"{self.files_from_cache} from cache, "
-            f"{self.files_failed} failed "
-            f"[{self.jobs} job(s), {self.elapsed_ms:.1f}ms]"
+            f"{self.files_failed} failed"
         )
+        if self.files_poisoned:
+            summary += f", {self.files_poisoned} poisoned"
+        summary += f" [{self.jobs} job(s), {self.elapsed_ms:.1f}ms]"
+        lines.append(summary)
+        if self.worker_restarts:
+            lines.append(
+                f"-- resilience: {self.worker_restarts} worker "
+                "restart(s) after crashed build worker(s)"
+            )
         if self.cache:
             lines.append(
                 "-- disk cache: "

@@ -34,13 +34,15 @@ from __future__ import annotations
 
 import hashlib
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from time import perf_counter
 from typing import Iterable, Sequence
 
-from repro import __version__
+from repro import __version__, faults
 from repro.driver.diskcache import DEFAULT_CACHE_DIR, PersistentCache
 from repro.driver.report import BuildReport, FileResult
 from repro.engine import MacroProcessor
@@ -52,6 +54,11 @@ __all__ = ["BuildSession", "resolve_inputs", "write_outputs"]
 
 #: Source-file suffixes the driver picks up when handed a directory.
 SOURCE_SUFFIXES = (".c", ".ms2")
+
+#: Base pause before re-running a task whose worker process died
+#: (scaled by attempt number — a crashing worker often means memory
+#: pressure, and an immediate respawn just reproduces it).
+_RESTART_BACKOFF_S = 0.05
 
 
 def resolve_inputs(paths: Iterable[Path | str]) -> list[Path]:
@@ -139,6 +146,11 @@ def _build_one(
         config = _WORKER["config"]
     start = perf_counter()
     try:
+        if faults.ACTIVE is not None:
+            # "driver.worker" is the batch-build chaos site: a kill
+            # fault here dies like a real worker crash (os._exit, no
+            # exception), anything else surfaces below.
+            faults.ACTIVE.hit("driver.worker", context=path)
         mp = _fresh_processor(config)
         result = mp.expand(source, path)
     except Ms2Error as exc:
@@ -146,6 +158,14 @@ def _build_one(
             "path": path,
             "status": "error",
             "error": str(exc),
+            "error_type": type(exc).__name__,
+            "duration_ms": (perf_counter() - start) * 1000.0,
+        }
+    except Exception as exc:  # infrastructure failure, not the file
+        return {
+            "path": path,
+            "status": "error",
+            "error": f"{type(exc).__name__}: {exc}",
             "error_type": type(exc).__name__,
             "duration_ms": (perf_counter() - start) * 1000.0,
         }
@@ -194,6 +214,13 @@ class BuildSession:
         key has a usable snapshot are served from the cache without
         expanding.  When False every file is re-expanded, but fresh
         results are still stored for future runs.
+    retries:
+        How many times a task whose worker *process died* (signal,
+        ``os._exit``, OOM kill) is re-run, each time in a fresh
+        single-worker pool so one poisonous file cannot take
+        neighbours down with it again.  A file that outlives its
+        worker on every attempt is quarantined as ``status:
+        "poisoned"`` instead of aborting the batch.
     """
 
     def __init__(
@@ -205,6 +232,7 @@ class BuildSession:
         jobs: int = 1,
         cache_dir: Path | str | None = DEFAULT_CACHE_DIR,
         incremental: bool = True,
+        retries: int = 2,
     ) -> None:
         base = options if options is not None else Ms2Options()
         self.options = base.without_runtime_hooks()
@@ -214,6 +242,9 @@ class BuildSession:
         )
         self.jobs = max(1, int(jobs))
         self.incremental = incremental
+        self.retries = max(0, int(retries))
+        #: Pools rebuilt after a worker process died mid-batch.
+        self.worker_restarts = 0
         self.cache: PersistentCache | None = (
             PersistentCache(cache_dir) if cache_dir is not None else None
         )
@@ -317,6 +348,7 @@ class BuildSession:
                 spans=record.get("spans", []),
                 duration_ms=record.get("duration_ms", 0.0),
                 error=record.get("error"),
+                error_type=record.get("error_type"),
                 key=key,
             )
             results[index] = result
@@ -345,6 +377,7 @@ class BuildSession:
             cache=(
                 self.cache.counters() if self.cache is not None else {}
             ),
+            worker_restarts=self.worker_restarts,
         )
 
     @staticmethod
@@ -371,16 +404,90 @@ class BuildSession:
         if self.jobs == 1 or len(pending) == 1:
             records = [_build_one(task, self._config) for task in tasks]
         else:
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(pending)),
-                initializer=_worker_init,
-                initargs=(self._config,),
-            ) as pool:
-                records = list(pool.map(_build_one, tasks))
+            records = self._expand_on_pool(tasks)
         return [
             (index, key, record)
             for (index, _, _, key), record in zip(pending, records)
         ]
+
+    def _expand_on_pool(
+        self, tasks: list[tuple[str, str]]
+    ) -> list[dict]:
+        """Run ``tasks`` on a process pool, surviving worker death.
+
+        A worker that dies (signal, ``os._exit``, OOM kill) breaks
+        the whole :class:`ProcessPoolExecutor`: every unfinished
+        future raises :class:`BrokenProcessPool`, including tasks
+        that never ran.  Rather than abort the batch, each such task
+        is re-run — in its *own* single-worker pool, so the one
+        poisonous file among the innocent bystanders can only kill
+        itself — up to ``self.retries`` times with a short backoff.
+        Tasks that outlive a worker on every attempt come back as
+        ``status: "poisoned"`` records and the batch completes.
+        """
+        records: list[dict | None] = [None] * len(tasks)
+        crashed: list[int] = []
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(tasks)),
+            initializer=_worker_init,
+            initargs=(self._config,),
+        )
+        try:
+            futures = [pool.submit(_build_one, task) for task in tasks]
+            for i, future in enumerate(futures):
+                try:
+                    records[i] = future.result()
+                except BrokenProcessPool:
+                    crashed.append(i)
+                except Exception as exc:
+                    # e.g. an unpicklable result — an error for this
+                    # file, not a reason to abort the batch.
+                    records[i] = self._infra_error(tasks[i][0], exc)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if crashed:
+            self.worker_restarts += 1
+            for i in crashed:
+                records[i] = self._retry_after_crash(tasks[i])
+        return [r for r in records if r is not None]
+
+    def _retry_after_crash(self, task: tuple[str, str]) -> dict:
+        """Re-run one task whose worker died, in isolation."""
+        path = task[0]
+        attempts = 0
+        for attempt in range(1, self.retries + 1):
+            attempts = attempt
+            time.sleep(_RESTART_BACKOFF_S * attempt)
+            with ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_worker_init,
+                initargs=(self._config,),
+            ) as solo:
+                try:
+                    return solo.submit(_build_one, task).result()
+                except BrokenProcessPool:
+                    self.worker_restarts += 1
+                except Exception as exc:
+                    return self._infra_error(path, exc)
+        return {
+            "path": path,
+            "status": "poisoned",
+            "error": (
+                "build worker process died "
+                f"{attempts + 1} time(s) expanding this file; "
+                "quarantined so the batch could finish"
+            ),
+            "error_type": BrokenProcessPool.__name__,
+        }
+
+    @staticmethod
+    def _infra_error(path: str, exc: BaseException) -> dict:
+        return {
+            "path": path,
+            "status": "error",
+            "error": f"{type(exc).__name__}: {exc}",
+            "error_type": type(exc).__name__,
+        }
 
 
 def write_outputs(report: BuildReport, out_dir: Path | str) -> list[Path]:

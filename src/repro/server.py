@@ -20,11 +20,15 @@ Protocol (one JSON object per LF-terminated line, UTF-8)::
 Request ops: ``expand``, ``expand_file``, ``trace``, ``stats``,
 ``ping``, ``shutdown``.  Error responses carry
 ``{"error": {"code", "message", ...}}`` with codes ``bad_request``,
-``busy`` (backpressure — the 429 of this protocol), ``frame_too_large``,
+``busy`` (backpressure — the 429 of this protocol, carrying a
+``retry_after_ms`` backoff hint), ``frame_too_large``,
 ``expansion_error`` (fail-fast :class:`~repro.errors.Ms2Error`, with
 the full provenance backtrace as a serialized diagnostic),
-``shutting_down`` and ``internal``.  See ``docs/SERVER.md`` for the
-full schema reference.
+``unavailable`` (transient infrastructure failure — retryable, also
+hinted), ``shutting_down`` and ``internal``.  See ``docs/SERVER.md``
+for the full schema reference and
+:class:`repro.client.RetryPolicy` for the client-side backoff that
+consumes the hints.
 
 Design notes:
 
@@ -69,7 +73,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import Any, Sequence
 
-from repro import __version__
+from repro import __version__, faults
 from repro.engine import MacroProcessor
 from repro.errors import Ms2Error
 from repro.diagnostics import Diagnostic
@@ -128,6 +132,21 @@ class _BadRequest(ValueError):
     """Raised by request validation; becomes a ``bad_request`` frame."""
 
 
+#: Worker error types that signal infrastructure trouble rather than
+#: a fault in the source being expanded — mapped to the retryable
+#: ``unavailable`` protocol code.
+_TRANSIENT_ERROR_TYPES = frozenset(
+    {
+        "OSError",
+        "IOError",
+        "InjectedFault",
+        "ConnectionResetError",
+        "BrokenProcessPool",
+        "TimeoutError",
+    }
+)
+
+
 # ---------------------------------------------------------------------------
 # Warm worker pool
 # ---------------------------------------------------------------------------
@@ -158,6 +177,9 @@ class WorkerPool:
         self.replenish_ms = 0.0
         #: Spares built before the listener accepted traffic.
         self.prewarms = 0
+        #: Replenish attempts whose worker build raised (each is
+        #: retried off the request path up to a bounded count).
+        self.replenish_failures = 0
 
     @staticmethod
     def key_for(
@@ -188,6 +210,8 @@ class WorkerPool:
         a warm hit skips)."""
         from repro.packages import register_named
 
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.hit("pool.build_worker")
         mp = MacroProcessor(options=options)
         for name in package_names:
             register_named(mp, name)
@@ -664,6 +688,33 @@ class Ms2Server:
             "ms2_event_log_records_total",
             "Structured event-log records written",
         )
+        m["eventlog_errors"] = reg.counter(
+            "ms2_eventlog_errors_total",
+            "Event-log write failures absorbed off the request path",
+        )
+        m["faults"] = reg.counter(
+            "ms2_faults_injected_total",
+            "Faults fired by the injection framework, by site",
+            ("site",),
+        )
+        m["client_retries"] = reg.counter(
+            "ms2_client_retries_total",
+            "Transient failures retried by in-process Ms2Client "
+            "instances",
+        )
+        m["client_fallbacks"] = reg.counter(
+            "ms2_client_fallbacks_total",
+            "Requests degraded to local in-process expansion",
+        )
+        m["worker_restarts"] = reg.counter(
+            "ms2_build_worker_restarts_total",
+            "Build executors rebuilt after worker death",
+        )
+        m["replenish_failures"] = reg.counter(
+            "ms2_worker_pool_replenish_failures_total",
+            "Warm-spare builds that raised (retried off the request "
+            "path)",
+        )
         self._telemetry = m
         reg.register_collector(self._collect_telemetry)
         return reg
@@ -727,6 +778,21 @@ class Ms2Server:
         m["disk_store_ms"].set_total(disk.get("store_ms", 0.0))
         if self.event_log is not None:
             m["events"].set_total(self.event_log.events_written)
+        m["eventlog_errors"].set_total(
+            self.event_log.errors_total
+            if self.event_log is not None
+            else 0
+        )
+        if faults.ACTIVE is not None:
+            for site, fired in faults.ACTIVE.counters().items():
+                m["faults"].set_total(fired, site=site)
+        from repro.client import client_counters
+
+        client = client_counters()
+        m["client_retries"].set_total(client["retries"])
+        m["client_fallbacks"].set_total(client["fallbacks"])
+        m["worker_restarts"].set_total(self._worker_restarts())
+        m["replenish_failures"].set_total(self.pool.replenish_failures)
 
     def _disk_counters(self) -> dict[str, float]:
         """Persistent-cache counters summed over every BuildSession."""
@@ -737,6 +803,14 @@ class Ms2Server:
                     for name, value in session.cache.counters().items():
                         disk[name] = disk.get(name, 0) + value
         return disk
+
+    def _worker_restarts(self) -> int:
+        """Build-executor rebuilds summed over every BuildSession."""
+        with self._sessions_lock:
+            return sum(
+                session.worker_restarts
+                for session in self._sessions.values()
+            )
 
     def _log_event(
         self, event: str, request_id: str | None, **fields: Any
@@ -873,9 +947,10 @@ class Ms2Server:
         self.metrics.connection_opened()
         try:
             await self._conn_loop(reader, writer)
-        except (
-            ConnectionError, BrokenPipeError, asyncio.IncompleteReadError
-        ):
+        except (OSError, asyncio.IncompleteReadError):
+            # Any socket-level failure — reset, broken pipe, or an
+            # injected frame-write fault — is a disconnect, never an
+            # unhandled task exception.
             self.metrics.count_disconnect()
         finally:
             self._writers.discard(writer)
@@ -933,7 +1008,13 @@ class Ms2Server:
         self, writer: asyncio.StreamWriter, response: dict[str, Any]
     ) -> None:
         self.metrics.count_response(response)
-        writer.write(json.dumps(response).encode("utf-8") + b"\n")
+        frame = json.dumps(response).encode("utf-8") + b"\n"
+        if faults.ACTIVE is not None:
+            frame = faults.ACTIVE.hit(
+                "server.frame_write", frame,
+                context=str(response.get("op")),
+            )
+        writer.write(frame)
         await writer.drain()
 
     # ------------------------------------------------------------------
@@ -1012,7 +1093,8 @@ class Ms2Server:
             )
         if self._draining:
             return _err(rid, op, "shutting_down",
-                        "server is draining; no new work accepted")
+                        "server is draining; no new work accepted",
+                        retry_after_ms=self.retry_after_ms())
         if self._active >= self.max_inflight + self.queue_limit:
             self.metrics.count_busy()
             return _err(
@@ -1020,6 +1102,7 @@ class Ms2Server:
                 "server at capacity; retry later",
                 in_flight=self._active,
                 limit=self.max_inflight + self.queue_limit,
+                retry_after_ms=self.retry_after_ms(),
             )
 
         self._active += 1
@@ -1046,6 +1129,32 @@ class Ms2Server:
                 self._idle_event.set()
         self.metrics.observe_latency((perf_counter() - start) * 1000.0)
         return response
+
+    #: Bounds for the busy-frame backoff hint, milliseconds.
+    RETRY_AFTER_MIN_MS = 25
+    RETRY_AFTER_MAX_MS = 5000
+
+    def retry_after_ms(self) -> int:
+        """The backoff hint carried by ``busy``/``shutting_down``/
+        ``unavailable`` frames: the estimated time for the queue in
+        front of a retrying client to clear — queue depth times the
+        observed mean request latency — clamped to
+        [:data:`RETRY_AFTER_MIN_MS`, :data:`RETRY_AFTER_MAX_MS`].
+        """
+        with self.metrics._lock:
+            mean_ms = (
+                self.metrics.latency_total_ms / self.metrics.latency_count
+                if self.metrics.latency_count
+                else float(self.RETRY_AFTER_MIN_MS)
+            )
+        queued = max(1, self._active - self.max_inflight + 1)
+        hint = mean_ms * queued
+        return int(
+            min(
+                float(self.RETRY_AFTER_MAX_MS),
+                max(float(self.RETRY_AFTER_MIN_MS), hint),
+            )
+        )
 
     # ------------------------------------------------------------------
     # Work ops (executor threads)
@@ -1142,6 +1251,19 @@ class Ms2Server:
             )
         except KeyError as exc:
             return _err(rid, op, "bad_request", str(exc.args[0]))
+        except OSError as exc:
+            # The inline worker build hit infrastructure trouble
+            # (disk error, injected fault).  The request itself is
+            # fine — answer a typed, retryable frame, and let the
+            # off-path replenisher restock the pool.
+            self._schedule_replenish(
+                options, package_names, package_sources
+            )
+            return _err(
+                rid, op, "unavailable",
+                f"could not build an expansion worker: {exc}",
+                retry_after_ms=self.retry_after_ms(),
+            )
         if worker.tracer is not None:
             # Spans opened during this expansion carry the serving
             # request's correlation ID (single-use worker: no bleed).
@@ -1194,6 +1316,16 @@ class Ms2Server:
                 PipelineStats.from_json(file_result.stats)
             )
         if file_result.status != "ok":
+            # Infrastructure casualties (worker I/O faults, dead
+            # workers) are transient: answer a retryable frame, not
+            # an expansion error that clients would treat as final.
+            if file_result.error_type in _TRANSIENT_ERROR_TYPES:
+                return _err(
+                    rid, "expand_file", "unavailable",
+                    file_result.error or "worker failure",
+                    path=file_result.path,
+                    retry_after_ms=self.retry_after_ms(),
+                )
             return _err(
                 rid, "expand_file", "expansion_error",
                 file_result.error or "expansion failed",
@@ -1226,20 +1358,50 @@ class Ms2Server:
                 self._sessions[key] = session
             return session
 
+    #: Replenish attempts per scheduling (the first build plus
+    #: bounded off-path retries — a transient fault must not leave
+    #: the pool cold, and a persistent one must not loop forever).
+    REPLENISH_ATTEMPTS = 3
+
     def _schedule_replenish(
         self,
         options: Ms2Options,
         package_names: tuple[str, ...],
         package_sources: tuple[tuple[str, str], ...],
+        attempts: int | None = None,
     ) -> None:
         """Rebuild a warm spare off the request path."""
         try:
             self._executor.submit(
-                self.pool.replenish,
+                self._replenish_task,
                 options, package_names, package_sources,
+                attempts if attempts is not None
+                else self.REPLENISH_ATTEMPTS,
             )
         except RuntimeError:
             pass  # executor already shut down (drain)
+
+    def _replenish_task(
+        self,
+        options: Ms2Options,
+        package_names: tuple[str, ...],
+        package_sources: tuple[tuple[str, str], ...],
+        attempts: int,
+    ) -> None:
+        """One replenish try.  A worker build that raises is counted
+        and *rescheduled* (bounded), so a fault during replenishment
+        can never wedge the pool: either a later attempt restocks
+        it, or requests fall back to inline builds."""
+        try:
+            self.pool.replenish(options, package_names, package_sources)
+        except Exception:  # noqa: BLE001 — isolation boundary
+            with self.pool._lock:
+                self.pool.replenish_failures += 1
+            if attempts > 1:
+                self._schedule_replenish(
+                    options, package_names, package_sources,
+                    attempts - 1,
+                )
 
     # ------------------------------------------------------------------
     # Stats
@@ -1269,6 +1431,31 @@ class Ms2Server:
             "replenishes": self.pool.replenishes,
             "replenish_ms": round(self.pool.replenish_ms, 3),
             "prewarms": self.pool.prewarms,
+            "replenish_failures": self.pool.replenish_failures,
+        }
+        from repro.client import client_counters
+
+        payload["resilience"] = {
+            "worker_restarts": self._worker_restarts(),
+            "replenish_failures": self.pool.replenish_failures,
+            "eventlog_errors": (
+                self.event_log.errors_total
+                if self.event_log is not None
+                else 0
+            ),
+            "client_retries": client_counters()["retries"],
+            "client_fallbacks": client_counters()["fallbacks"],
+        }
+        payload["faults"] = {
+            "armed": faults.ACTIVE is not None,
+            "seed": (
+                faults.ACTIVE.seed if faults.ACTIVE is not None else None
+            ),
+            "injected": (
+                faults.ACTIVE.counters()
+                if faults.ACTIVE is not None
+                else {}
+            ),
         }
         disk = self._disk_counters()
         for key in ("hits", "misses", "failures", "evictions"):

@@ -48,6 +48,8 @@ import uuid
 from pathlib import Path
 from typing import IO, Any, Callable, Iterable, Mapping, Sequence
 
+from repro import faults
+
 __all__ = [
     "Counter",
     "EventLog",
@@ -562,6 +564,11 @@ def _render_histogram_sample(
 # ---------------------------------------------------------------------------
 
 
+#: Consecutive write failures after which an :class:`EventLog`
+#: disables itself (telemetry must never take down the request path).
+EVENTLOG_MAX_CONSECUTIVE_ERRORS = 5
+
+
 class EventLog:
     """Append-only JSONL event sink keyed by request ID.
 
@@ -570,18 +577,41 @@ class EventLog:
     serialized by a lock so executor threads and the event loop can
     log concurrently; each record carries a wall-clock ``ts`` and the
     ``event`` name, plus whatever fields the caller attaches.
+
+    **Failure containment:** the event log is telemetry, not state.
+    A sink that cannot be opened, or a write that raises (disk full,
+    revoked file descriptor, injected fault), is *counted* —
+    :attr:`errors_total`, the ``ms2_eventlog_errors_total`` series —
+    and never propagates to the caller.  After
+    :data:`EVENTLOG_MAX_CONSECUTIVE_ERRORS` consecutive failures the
+    log disables itself (:attr:`disabled`) so a permanently broken
+    sink stops costing a syscall-and-exception per request.  One
+    successful write resets the consecutive counter.
     """
 
     def __init__(self, sink: str | Path | IO[str]) -> None:
-        if hasattr(sink, "write"):
-            self._stream: IO[str] = sink  # type: ignore[assignment]
-            self._owns = False
-        else:
-            self._stream = open(sink, "a", encoding="utf-8")
-            self._owns = True
         self._lock = threading.Lock()
         #: Records successfully written (tests and ``/statusz``).
         self.events_written = 0
+        #: Write/open failures absorbed (never raised to callers).
+        self.errors_total = 0
+        #: True once the log gave up on its sink.
+        self.disabled = False
+        self._consecutive_errors = 0
+        self._stream: IO[str] | None
+        if hasattr(sink, "write"):
+            self._stream = sink  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._owns = True
+            try:
+                self._stream = open(sink, "a", encoding="utf-8")
+            except OSError:
+                # An unwritable path disables the log from the start;
+                # the daemon keeps serving.
+                self._stream = None
+                self.errors_total += 1
+                self.disabled = True
 
     def log(
         self,
@@ -589,6 +619,8 @@ class EventLog:
         request_id: str | None = None,
         **fields: Any,
     ) -> None:
+        if self.disabled:
+            return
         record: dict[str, Any] = {
             "ts": round(time.time(), 6),
             "event": event,
@@ -598,18 +630,43 @@ class EventLog:
         record.update(fields)
         line = json.dumps(record, default=str)
         with self._lock:
-            self._stream.write(line + "\n")
+            if self.disabled or self._stream is None:
+                return
+            try:
+                if faults.ACTIVE is not None:
+                    faults.ACTIVE.hit("eventlog.write", context=event)
+                self._stream.write(line + "\n")
+            except (OSError, ValueError):
+                self.errors_total += 1
+                self._consecutive_errors += 1
+                if (
+                    self._consecutive_errors
+                    >= EVENTLOG_MAX_CONSECUTIVE_ERRORS
+                ):
+                    self.disabled = True
+                return
+            self._consecutive_errors = 0
             self.events_written += 1
 
     def flush(self) -> None:
         with self._lock:
-            self._stream.flush()
+            if self._stream is None:
+                return
+            try:
+                self._stream.flush()
+            except (OSError, ValueError):
+                self.errors_total += 1
 
     def close(self) -> None:
         with self._lock:
+            if self._stream is None:
+                return
             try:
                 self._stream.flush()
-            except ValueError:
-                pass  # already closed
+            except (OSError, ValueError):
+                pass  # already closed or sink gone
             if self._owns:
-                self._stream.close()
+                try:
+                    self._stream.close()
+                except OSError:
+                    pass

@@ -140,6 +140,26 @@ def render_dashboard(
             f"evictions {disk.get('evictions', 0)}"
         ),
     ]
+    resilience = curr.get("resilience") or {}
+    if any(resilience.values()):
+        lines.append(
+            f"resilience restarts {resilience.get('worker_restarts', 0)}"
+            f"   replenish-fail "
+            f"{resilience.get('replenish_failures', 0)}   "
+            f"retries {resilience.get('client_retries', 0)}   "
+            f"fallbacks {resilience.get('client_fallbacks', 0)}   "
+            f"eventlog-err {resilience.get('eventlog_errors', 0)}"
+        )
+    fault_info = curr.get("faults") or {}
+    if fault_info.get("armed"):
+        injected = fault_info.get("injected") or {}
+        fired = " ".join(
+            f"{site}={count}" for site, count in sorted(injected.items())
+        )
+        lines.append(
+            f"faults     ARMED seed {fault_info.get('seed')}   "
+            f"injected {fired or '(none yet)'}"
+        )
     if telemetry.get("metrics_address"):
         lines.append(
             f"telemetry  http://{telemetry['metrics_address']}/metrics"

@@ -1,0 +1,25 @@
+"""Fixtures for the chaos suite: the server-thread fixtures from the
+daemon tests, plus guaranteed disarm of the process-wide fault plan
+after every test so one armed chaos test can never leak faults into
+its neighbours."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from tests.server.conftest import (  # noqa: F401  (re-exported fixtures)
+    DOUBLER,
+    ServerHandle,
+    doubler_program,
+    server,
+    server_factory,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """Every chaos test starts and ends with fault injection off."""
+    faults.disarm()
+    yield
+    faults.disarm()

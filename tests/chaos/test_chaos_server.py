@@ -1,0 +1,122 @@
+"""Server-side chaos: every registered fault site armed against a
+live in-process daemon.  A retrying client must come through every
+one-shot fault with byte-identical output, and persistent faults must
+surface as *typed* protocol errors — never an ``internal`` frame,
+never a leaked stack trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.client import Ms2ServerError, RetryPolicy
+
+PROGRAM = "int main(void) { return 42; }\n"
+
+#: One-shot fault per site, chosen so the fault lands on the serving
+#: path (``kill`` is excluded here: the daemon fixture runs
+#: in-process, so killing a "worker" would kill the test runner —
+#: the real subprocess kill is exercised in test_chaos_build).
+ONE_SHOT_SPECS = [
+    "cache.load:1:io_error:0:1",
+    "cache.load:1:corrupt:0:1",
+    "cache.store:1:io_error:0:1",
+    "cache.store:1:corrupt:0:1",
+    "lock.acquire:1:io_error:0:1",
+    "server.frame_write@expand_file:1:conn_reset:0:1",
+    "server.frame_write@expand_file:1:io_error:0:1",
+    "pool.build_worker:1:io_error:0:1",
+    "driver.worker:1:io_error:0:1",
+    "eventlog.write:1:io_error:0:1",
+]
+
+
+@pytest.fixture
+def chaos_server(server_factory, tmp_path):
+    """A daemon with every fault-reachable subsystem switched on:
+    cold worker builds (warm_spares=0), a persistent cache, an event
+    log."""
+    return server_factory(
+        warm_spares=0,
+        cache_dir=tmp_path / "chaos-cache",
+        event_log=tmp_path / "chaos-events.jsonl",
+    )
+
+
+def _expand_file_output(handle, path, retry=None):
+    with handle.client(retry=retry) as client:
+        return client.expand_file(str(path))["output"]
+
+
+class TestOneShotFaultsAreSurvivable:
+    @pytest.mark.parametrize("spec", ONE_SHOT_SPECS)
+    def test_retrying_client_gets_identical_bytes(
+        self, chaos_server, tmp_path, spec
+    ):
+        prog = tmp_path / "prog.c"
+        prog.write_text(PROGRAM)
+        baseline = _expand_file_output(chaos_server, prog)
+        faults.arm(spec, seed=11)
+        output = _expand_file_output(
+            chaos_server, prog, retry=RetryPolicy()
+        )
+        assert output == baseline
+
+    def test_every_site_is_covered(self):
+        armed = {faults.parse_spec(s).site for s in ONE_SHOT_SPECS}
+        assert armed == set(faults.SITES)
+
+
+class TestPersistentFaultsStayTyped:
+    """Sites armed at probability 1 with no fire cap: whatever the
+    failure, the daemon must answer a typed error frame (or drop the
+    connection) — no ``internal`` code, no traceback text."""
+
+    PERSISTENT_SPECS = [
+        "cache.load:1:io_error",
+        "cache.load:1:corrupt",
+        "cache.store:1:io_error",
+        "lock.acquire:1:io_error",
+        "pool.build_worker:1:io_error",
+        "driver.worker:1:io_error",
+        "eventlog.write:1:io_error",
+        "server.frame_write:1:io_error",
+    ]
+
+    @pytest.mark.parametrize("spec", PERSISTENT_SPECS)
+    def test_no_internal_errors_no_trace_leak(
+        self, chaos_server, tmp_path, spec
+    ):
+        prog = tmp_path / "prog.c"
+        prog.write_text(PROGRAM)
+        faults.arm(spec, seed=13)
+        try:
+            with chaos_server.client() as client:
+                result = client.expand_file(str(prog))
+            assert result["status"] == "ok"  # fault was absorbed
+        except Ms2ServerError as exc:
+            assert exc.code != "internal"
+            assert exc.code in ("unavailable", "expansion_error")
+            assert "Traceback" not in str(exc)
+        except OSError:
+            pass  # dropped connection (frame_write): typed enough
+
+    def test_injected_counters_reach_stats(self, chaos_server, tmp_path):
+        prog = tmp_path / "prog.c"
+        prog.write_text(PROGRAM)
+        plan = faults.arm("eventlog.write:1:io_error", seed=17)
+        with chaos_server.client() as client:
+            assert client.expand_file(str(prog))["status"] == "ok"
+            stats = client.stats()
+        assert stats["faults"]["armed"] is True
+        assert stats["faults"]["seed"] == plan.seed
+        assert stats["faults"]["injected"].get("eventlog.write", 0) >= 1
+        assert stats["resilience"]["eventlog_errors"] >= 1
+
+    def test_stats_report_disarmed_by_default(self, chaos_server):
+        with chaos_server.client() as client:
+            stats = client.stats()
+        assert stats["faults"] == {
+            "armed": False, "seed": None, "injected": {}
+        }
+        assert stats["resilience"]["worker_restarts"] == 0

@@ -1,0 +1,188 @@
+"""The fault-injection registry itself: spec grammar, determinism,
+counting, and the zero-overhead disarmed default."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+
+
+class TestParseSpec:
+    def test_minimal(self):
+        spec = faults.parse_spec("cache.load:0.5:io_error")
+        assert spec.site == "cache.load"
+        assert spec.prob == 0.5
+        assert spec.kind == "io_error"
+        assert spec.after_n == 0
+        assert spec.max_fires == 0
+        assert spec.match is None
+
+    def test_full_form_with_match(self):
+        spec = faults.parse_spec("driver.worker@b.c:1:kill:2:1")
+        assert spec.site == "driver.worker"
+        assert spec.match == "b.c"
+        assert spec.prob == 1.0
+        assert spec.kind == "kill"
+        assert spec.after_n == 2
+        assert spec.max_fires == 1
+
+    def test_roundtrip_through_to_string(self):
+        spec = faults.parse_spec("server.frame_write@expand:0.25:delay")
+        assert faults.parse_spec(spec.to_string()) == spec
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "nope.site:1:io_error",  # unknown site
+            "cache.load:1:explode",  # unknown kind
+            "cache.load:2:io_error",  # prob out of range
+            "cache.load:-0.1:io_error",
+            "cache.load:x:io_error",  # unparseable prob
+            "cache.load:1",  # too few fields
+            "cache.load:1:io_error:1:2:3",  # too many fields
+            "cache.load:1:io_error:-1",  # negative count
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            faults.parse_spec(bad)
+
+    def test_every_registered_site_parses(self):
+        for site in faults.SITES:
+            assert faults.parse_spec(f"{site}:1:delay").site == site
+
+
+class TestFaultPlan:
+    def test_disarmed_by_default(self):
+        assert faults.ACTIVE is None
+
+    def test_arm_and_disarm(self):
+        plan = faults.arm("cache.load:1:io_error", seed=1)
+        assert faults.ACTIVE is plan
+        faults.disarm()
+        assert faults.ACTIVE is None
+
+    def test_io_error_fires_and_counts(self):
+        plan = faults.FaultPlan(
+            [faults.parse_spec("cache.load:1:io_error")], seed=7
+        )
+        with pytest.raises(faults.InjectedFault) as info:
+            plan.hit("cache.load", b"data")
+        assert info.value.site == "cache.load"
+        assert isinstance(info.value, IOError)
+        assert plan.counters() == {"cache.load": 1}
+
+    def test_other_sites_untouched(self):
+        plan = faults.FaultPlan(
+            [faults.parse_spec("cache.load:1:io_error")], seed=7
+        )
+        assert plan.hit("cache.store", b"data") == b"data"
+        assert plan.counters() == {}
+
+    def test_same_seed_same_decisions(self):
+        decisions = []
+        for _ in range(2):
+            plan = faults.FaultPlan(
+                [faults.parse_spec("cache.load:0.5:io_error")], seed=99
+            )
+            fired = []
+            for _ in range(64):
+                try:
+                    plan.hit("cache.load")
+                    fired.append(False)
+                except faults.InjectedFault:
+                    fired.append(True)
+            decisions.append(fired)
+        assert decisions[0] == decisions[1]
+        assert any(decisions[0]) and not all(decisions[0])
+
+    def test_different_seeds_diverge(self):
+        outcomes = []
+        for seed in (1, 2):
+            plan = faults.FaultPlan(
+                [faults.parse_spec("cache.load:0.5:io_error")], seed=seed
+            )
+            fired = []
+            for _ in range(64):
+                try:
+                    plan.hit("cache.load")
+                    fired.append(False)
+                except faults.InjectedFault:
+                    fired.append(True)
+            outcomes.append(fired)
+        assert outcomes[0] != outcomes[1]
+
+    def test_after_n_skips_first_checks(self):
+        plan = faults.FaultPlan(
+            [faults.parse_spec("cache.load:1:io_error:3")], seed=0
+        )
+        for _ in range(3):
+            plan.hit("cache.load")  # skipped, no raise
+        with pytest.raises(faults.InjectedFault):
+            plan.hit("cache.load")
+
+    def test_max_fires_caps_injections(self):
+        plan = faults.FaultPlan(
+            [faults.parse_spec("cache.load:1:io_error:0:2")], seed=0
+        )
+        for _ in range(2):
+            with pytest.raises(faults.InjectedFault):
+                plan.hit("cache.load")
+        plan.hit("cache.load")  # capped: no raise
+        assert plan.counters() == {"cache.load": 2}
+
+    def test_match_filters_on_context(self):
+        plan = faults.FaultPlan(
+            [faults.parse_spec("driver.worker@evil.c:1:io_error")],
+            seed=0,
+        )
+        plan.hit("driver.worker", context="fine.c")
+        plan.hit("driver.worker", context=None)
+        with pytest.raises(faults.InjectedFault):
+            plan.hit("driver.worker", context="src/evil.c")
+
+    def test_corrupt_mangles_bytes(self):
+        plan = faults.FaultPlan(
+            [faults.parse_spec("cache.load:1:corrupt")], seed=0
+        )
+        blob = b"hello snapshot"
+        mangled = plan.hit("cache.load", blob)
+        assert mangled != blob
+        assert len(mangled) == len(blob)
+
+    def test_delay_returns_data(self):
+        plan = faults.FaultPlan(
+            [faults.parse_spec("cache.load:1:delay")], seed=0
+        )
+        assert plan.hit("cache.load", b"x") == b"x"
+
+    def test_conn_reset_raises(self):
+        plan = faults.FaultPlan(
+            [faults.parse_spec("server.frame_write:1:conn_reset")],
+            seed=0,
+        )
+        with pytest.raises(ConnectionResetError):
+            plan.hit("server.frame_write", b"{}")
+
+
+class TestEnvArming:
+    def test_arm_from_env_roundtrip(self):
+        env = {}
+        plan = faults.FaultPlan(
+            [
+                faults.parse_spec("cache.load:0.5:io_error:1:2"),
+                faults.parse_spec("driver.worker@a.c:1:kill"),
+            ],
+            seed=42,
+        )
+        faults.export_to_env(plan, env)
+        rearmed = faults.arm_from_env(env)
+        assert rearmed is not None
+        assert rearmed.seed == 42
+        assert rearmed.specs == plan.specs
+        faults.disarm()
+
+    def test_empty_env_is_a_noop(self):
+        assert faults.arm_from_env({}) is None
+        assert faults.arm_from_env({"MS2_FAULTS": "  "}) is None

@@ -98,3 +98,94 @@ def test_cross_process_exclusion(tmp_path: Path) -> None:
     finally:
         proc.join(timeout=10.0)
     assert proc.exitcode == 0
+
+
+# ---------------------------------------------------------------------------
+# The O_EXCL fallback path (fcntl unavailable): stale-lock breaking.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def no_fcntl(monkeypatch):
+    """Force the O_CREAT|O_EXCL fallback used where fcntl is absent."""
+    from repro.driver import locks as locks_mod
+
+    monkeypatch.setattr(locks_mod, "fcntl", None)
+    return locks_mod
+
+
+def test_fallback_roundtrip_and_exclusion(no_fcntl, tmp_path: Path) -> None:
+    path = tmp_path / "entry.lock"
+    holder = FileLock(path)
+    holder.acquire()
+    try:
+        # The fallback stamps the owner PID into the lock file.
+        assert path.read_text().strip() == str(__import__("os").getpid())
+        waiter = FileLock(path, timeout=0.2)
+        with pytest.raises(LockTimeout):
+            waiter.acquire()
+    finally:
+        holder.release()
+    assert not path.exists()  # fallback release unlinks the file
+    FileLock(path, timeout=0.5).acquire()
+
+
+def test_fallback_breaks_lock_of_dead_owner(no_fcntl, tmp_path: Path) -> None:
+    """A lock file stamped with a provably dead PID is reclaimed
+    immediately — no 30s stale-age wait."""
+    path = tmp_path / "entry.lock"
+    # Simulate a crashed owner: a real process that has already
+    # exited, so its PID is known-dead (modulo astronomically
+    # unlikely reuse in the microseconds of this test).
+    proc = multiprocessing.Process(target=lambda: None)
+    proc.start()
+    proc.join(timeout=10.0)
+    path.write_text(str(proc.pid))
+    lock = FileLock(path, timeout=2.0)
+    start = time.monotonic()
+    lock.acquire()  # must break the dead owner's lock, not time out
+    try:
+        assert time.monotonic() - start < 2.0
+        assert lock.held
+    finally:
+        lock.release()
+
+
+def test_fallback_respects_live_owner(no_fcntl, tmp_path: Path) -> None:
+    """A lock stamped with a live PID under the stale age is never
+    broken."""
+    import os
+
+    path = tmp_path / "entry.lock"
+    path.write_text(str(os.getpid()))  # we are definitely alive
+    waiter = FileLock(path, timeout=0.2)
+    with pytest.raises(LockTimeout):
+        waiter.acquire()
+    assert path.exists()
+
+
+def test_fallback_breaks_aged_garbled_lock(no_fcntl, tmp_path: Path) -> None:
+    """An unreadable PID stamp falls back to the age check: older
+    than _STALE_AGE is reclaimed."""
+    import os
+
+    from repro.driver import locks as locks_mod
+
+    path = tmp_path / "entry.lock"
+    path.write_text("not-a-pid")
+    old = time.time() - (locks_mod._STALE_AGE + 5.0)
+    os.utime(path, (old, old))
+    lock = FileLock(path, timeout=2.0)
+    lock.acquire()
+    try:
+        assert lock.held
+    finally:
+        lock.release()
+
+
+def test_fallback_keeps_young_garbled_lock(no_fcntl, tmp_path: Path) -> None:
+    path = tmp_path / "entry.lock"
+    path.write_text("not-a-pid")  # fresh mtime, unreadable stamp
+    waiter = FileLock(path, timeout=0.2)
+    with pytest.raises(LockTimeout):
+        waiter.acquire()

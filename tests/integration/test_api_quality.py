@@ -47,6 +47,7 @@ PUBLIC_MODULES = [
     "repro.driver.scheduler",
     "repro.engine",
     "repro.errors",
+    "repro.faults",
     "repro.figures",
     "repro.lexer",
     "repro.lexer.scanner",

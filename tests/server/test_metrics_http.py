@@ -82,6 +82,24 @@ def test_metrics_agree_with_stats_op(telemetry_server):
     )
 
 
+def test_resilience_series_present_and_zero_at_rest(telemetry_server):
+    """The PR's resilience counters exist from the first scrape (a
+    dashboard can alert on them before anything has failed) and read
+    zero on a healthy, fault-free daemon."""
+    with telemetry_server.client() as client:
+        client.expand(PROGRAM, "prog.c")
+    _, _, body = _get(telemetry_server, "/metrics")
+    samples = assert_valid_exposition(body.decode("utf-8"))
+    for name in (
+        "ms2_eventlog_errors_total",
+        "ms2_client_retries_total",
+        "ms2_client_fallbacks_total",
+        "ms2_build_worker_restarts_total",
+        "ms2_worker_pool_replenish_failures_total",
+    ):
+        assert samples.get(name, None) is not None, name
+
+
 def test_healthz_readiness_flips_on_drain(telemetry_server):
     status, _, body = _get(telemetry_server, "/healthz")
     assert (status, body) == (200, b"ok\n")

@@ -71,3 +71,83 @@ def test_concurrent_writers_do_not_interleave(tmp_path):
     for line in lines:
         json.loads(line)  # every line independently parseable
     assert log.events_written == 200
+
+
+# ---------------------------------------------------------------------------
+# Failure containment: event-log errors never reach the request path.
+# ---------------------------------------------------------------------------
+
+
+def test_unwritable_path_disables_from_the_start(tmp_path):
+    target = tmp_path / "no-such-dir" / "events.jsonl"
+    log = EventLog(target)  # must not raise
+    assert log.disabled
+    assert log.errors_total == 1
+    log.log("request", "abcd1234abcd1234")  # silently dropped
+    assert log.events_written == 0
+    log.flush()
+    log.close()  # all no-ops, no exceptions
+
+
+def test_write_failures_counted_never_raised():
+    class ExplodingStream(io.StringIO):
+        def write(self, text):
+            raise OSError("disk full")
+
+    log = EventLog(ExplodingStream())
+    for _ in range(3):
+        log.log("tick", "1111111111111111")  # must not raise
+    assert log.errors_total == 3
+    assert log.events_written == 0
+    assert not log.disabled  # under the consecutive-error limit
+
+
+def test_disables_after_consecutive_failures():
+    from repro.telemetry import EVENTLOG_MAX_CONSECUTIVE_ERRORS
+
+    class ExplodingStream(io.StringIO):
+        def write(self, text):
+            raise OSError("disk full")
+
+    log = EventLog(ExplodingStream())
+    for _ in range(EVENTLOG_MAX_CONSECUTIVE_ERRORS + 10):
+        log.log("tick", "1111111111111111")
+    assert log.disabled
+    # Once disabled, checks stop: no further errors accumulate.
+    assert log.errors_total == EVENTLOG_MAX_CONSECUTIVE_ERRORS
+
+
+def test_success_resets_consecutive_counter():
+    class FlakyStream(io.StringIO):
+        def __init__(self):
+            super().__init__()
+            self.calls = 0
+
+        def write(self, text):
+            self.calls += 1
+            if self.calls % 2 == 1:
+                raise OSError("transient")
+            return super().write(text)
+
+    log = EventLog(FlakyStream())
+    for _ in range(20):  # alternating fail/succeed: never disables
+        log.log("tick", "2222222222222222")
+    assert not log.disabled
+    assert log.events_written == 10
+    assert log.errors_total == 10
+
+
+def test_injected_eventlog_fault_is_absorbed():
+    from repro import faults
+
+    stream = io.StringIO()
+    log = EventLog(stream)
+    faults.arm("eventlog.write:1:io_error:0:2", seed=3)
+    try:
+        for _ in range(4):
+            log.log("tick", "3333333333333333")
+    finally:
+        faults.disarm()
+    assert log.errors_total == 2
+    assert log.events_written == 2
+    assert not log.disabled
