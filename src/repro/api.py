@@ -2,7 +2,7 @@
 
 Import from here.  Everything else under :mod:`repro` is an
 implementation module whose layout may change between versions;
-the eight names in ``__all__`` below are the compatibility surface —
+the names in ``__all__`` below are the compatibility surface —
 ``tests/integration/test_api_surface.py`` pins that this set never
 shrinks and that every entry point keeps its call shape.
 
@@ -14,10 +14,11 @@ Quick tour::
     print(result.output)
 
     # One warm daemon, many cheap expansions:
-    from repro.api import serve, Ms2Client
-    # (daemon side)  serve(socket_path="/tmp/ms2.sock")
+    from repro.api import serve, ServeConfig, Ms2Client
+    # (daemon side)  serve(config=ServeConfig(socket="/tmp/ms2.sock"))
+    # (fleet side)   serve(config=ServeConfig(port=7777, shards=4))
     # (client side)
-    with Ms2Client("/tmp/ms2.sock") as client:
+    with Ms2Client("unix:///tmp/ms2.sock") as client:
         result = client.expand("int x = quad(1);")
 """
 
@@ -29,7 +30,8 @@ from typing import Sequence
 from repro.diagnostics import Diagnostic
 from repro.engine import MacroProcessor
 from repro.options import ExpandResult, Ms2Options
-from repro.client import Ms2Client, RetryPolicy
+from repro.client import Ms2Client, RetryPolicy, parse_server_address
+from repro.serveconfig import ServeConfig
 from repro.server import serve
 
 __all__ = [
@@ -41,6 +43,8 @@ __all__ = [
     "expand_file",
     "Ms2Client",
     "RetryPolicy",
+    "ServeConfig",
+    "parse_server_address",
     "serve",
 ]
 

@@ -32,6 +32,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import Any
 
 from repro import faults
 from repro.driver.diskcache import DEFAULT_CACHE_DIR
@@ -234,7 +235,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     expand.add_argument(
         "--server", metavar="ADDR", default=None,
         help="expand on a running 'repro serve' daemon instead of "
-        "in-process (ADDR: socket path, HOST:PORT, or :PORT)",
+        "in-process (ADDR: unix:///path/sock, tcp://HOST:PORT, "
+        "http://HOST:PORT for the HTTP gateway, or the bare forms "
+        "socket path, HOST:PORT, :PORT)",
     )
     expand.add_argument(
         "--fallback", choices=("local", "fail"), default="fail",
@@ -330,13 +333,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "(one request followed client -> daemon -> spans)",
     )
 
-    from repro.server import (
-        DEFAULT_DRAIN_S,
-        DEFAULT_MAX_FRAME_BYTES,
-        DEFAULT_MAX_INFLIGHT,
-        DEFAULT_QUEUE_LIMIT,
-        DEFAULT_WARM_SPARES,
-    )
+    from repro.serveconfig import ServeConfig
+
+    # The single source of serve-flag defaults: the frozen ServeConfig
+    # the library itself runs on (same pattern as _DEFAULTS above).
+    serve_defaults = ServeConfig()
 
     serve = sub.add_parser(
         "serve",
@@ -362,8 +363,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "announced on stderr)",
     )
     serve.add_argument(
-        "--host", default="127.0.0.1", metavar="HOST",
-        help="TCP bind address (default 127.0.0.1)",
+        "--host", default=serve_defaults.host, metavar="HOST",
+        help=f"TCP bind address (default {serve_defaults.host})",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=serve_defaults.shards, metavar="N",
+        help="pre-fork N server processes sharing the TCP port via "
+        "SO_REUSEPORT, supervised and restarted on crash (requires "
+        f"--port; default {serve_defaults.shards})",
     )
     serve.add_argument(
         "--cache-dir", type=Path, default=Path(DEFAULT_CACHE_DIR),
@@ -376,51 +383,67 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="disable the persistent cache for expand_file requests",
     )
     serve.add_argument(
-        "--max-inflight", type=int, default=DEFAULT_MAX_INFLIGHT,
-        metavar="N",
-        help=f"concurrent expansions (default {DEFAULT_MAX_INFLIGHT})",
+        "--max-inflight", type=int,
+        default=serve_defaults.max_inflight, metavar="N",
+        help="concurrent expansions per shard "
+        f"(default {serve_defaults.max_inflight})",
     )
     serve.add_argument(
-        "--queue-limit", type=int, default=DEFAULT_QUEUE_LIMIT,
-        metavar="N",
+        "--queue-limit", type=int,
+        default=serve_defaults.queue_limit, metavar="N",
         help="admitted requests waiting beyond --max-inflight before "
-        f"the server answers 'busy' (default {DEFAULT_QUEUE_LIMIT})",
+        f"the server answers 'busy' "
+        f"(default {serve_defaults.queue_limit})",
     )
     serve.add_argument(
-        "--warm-spares", type=int, default=DEFAULT_WARM_SPARES,
-        metavar="N",
+        "--warm-spares", type=int,
+        default=serve_defaults.warm_spares, metavar="N",
         help="pre-built workers kept per options/preamble key "
-        f"(default {DEFAULT_WARM_SPARES})",
+        f"(default {serve_defaults.warm_spares})",
     )
     serve.add_argument(
-        "--request-deadline-ms", type=float, default=None, metavar="MS",
+        "--no-prewarm", dest="prewarm", action="store_false",
+        default=serve_defaults.prewarm,
+        help="skip building the default worker pool before accepting "
+        "traffic (faster startup, slower first requests)",
+    )
+    serve.add_argument(
+        "--request-deadline-ms", type=float,
+        default=serve_defaults.request_deadline_ms, metavar="MS",
         help="server-side wall-clock budget applied to requests whose "
         "options set no deadline of their own",
     )
     serve.add_argument(
-        "--drain-s", type=float, default=DEFAULT_DRAIN_S, metavar="S",
+        "--drain-s", type=float, default=serve_defaults.drain_s,
+        metavar="S",
         help="seconds SIGTERM waits for in-flight requests "
-        f"(default {DEFAULT_DRAIN_S:g})",
+        f"(default {serve_defaults.drain_s:g})",
     )
     serve.add_argument(
-        "--max-frame-bytes", type=int, default=DEFAULT_MAX_FRAME_BYTES,
-        metavar="N",
+        "--max-frame-bytes", type=int,
+        default=serve_defaults.max_frame_bytes, metavar="N",
         help="reject request frames larger than N bytes "
-        f"(default {DEFAULT_MAX_FRAME_BYTES})",
+        f"(default {serve_defaults.max_frame_bytes})",
     )
     serve.add_argument(
-        "--metrics-port", type=int, default=None, metavar="N",
-        help="serve /metrics, /healthz and /statusz over HTTP on "
-        "port N (0 = ephemeral; see docs/OBSERVABILITY.md)",
+        "--metrics-port", type=int,
+        default=serve_defaults.metrics_port, metavar="N",
+        help="serve /metrics, /healthz, /statusz and the POST "
+        "/v1/expand HTTP gateway on port N (0 = ephemeral; with "
+        "--shards this is the fleet gateway; see "
+        "docs/OBSERVABILITY.md)",
     )
     serve.add_argument(
-        "--metrics-host", default="127.0.0.1", metavar="HOST",
-        help="bind address for --metrics-port (default 127.0.0.1)",
+        "--metrics-host", default=serve_defaults.metrics_host,
+        metavar="HOST",
+        help="bind address for --metrics-port "
+        f"(default {serve_defaults.metrics_host})",
     )
     serve.add_argument(
         "--event-log", type=Path, default=None, metavar="PATH",
         help="append a structured JSONL event log (request/response/"
-        "span records keyed by request ID) to PATH",
+        "span records keyed by request ID) to PATH (each shard "
+        "appends .shard-N)",
     )
     _add_fault_flags(serve)
 
@@ -430,7 +453,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     top.add_argument(
         "address", metavar="ADDR",
-        help="daemon address: socket path, HOST:PORT, or :PORT",
+        help="daemon address: unix:///path/sock, tcp://HOST:PORT, "
+        "http://HOST:PORT (gateway), or the bare forms socket path, "
+        "HOST:PORT, :PORT",
     )
     top.add_argument(
         "--interval", type=float, default=2.0, metavar="S",
@@ -550,52 +575,80 @@ def _cmd_expand_via_server(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def serve_config_from_args(args: argparse.Namespace) -> "Any":
+    """One :class:`~repro.serveconfig.ServeConfig` from the ``repro
+    serve`` flags — the flags and the config share their defaults by
+    construction (argparse defaults come from ``ServeConfig()``)."""
+    from repro.serveconfig import ServeConfig
+
+    specs = list(getattr(args, "inject_fault", []))
+    try:
+        for spec in specs:
+            faults.parse_spec(spec)  # validate before any process spawns
+    except ValueError as exc:
+        raise SystemExit(f"--inject-fault: {exc}") from None
+    fault_specs = tuple(specs)
+    return ServeConfig(
+        socket=str(args.socket) if args.socket is not None else None,
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        packages=tuple(args.package),
+        package_sources=tuple(
+            (str(path), path.read_text()) for path in args.package_file
+        ),
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue_limit,
+        max_frame_bytes=args.max_frame_bytes,
+        warm_spares=args.warm_spares,
+        prewarm=args.prewarm,
+        request_deadline_ms=args.request_deadline_ms,
+        drain_s=args.drain_s,
+        cache_dir=(
+            None if args.no_disk_cache else str(args.cache_dir)
+        ),
+        metrics_port=args.metrics_port,
+        metrics_host=args.metrics_host,
+        event_log=(
+            str(args.event_log) if args.event_log is not None else None
+        ),
+        fault_specs=fault_specs,
+        fault_seed=getattr(args, "fault_seed", None),
+    )
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
-    """``repro serve``: run the expansion daemon until shut down."""
+    """``repro serve``: run the expansion daemon (or, with
+    ``--shards N``, the supervised shard fleet) until shut down."""
     from repro import server as server_mod
 
-    _arm_faults(args)
+    config = serve_config_from_args(args)
+    try:
+        config.validate()
+    except ValueError as exc:
+        raise SystemExit(f"repro serve: {exc}") from None
     options = options_from_args(args)
 
-    def announce(srv: "server_mod.Ms2Server") -> None:
+    def announce(srv: "Any") -> None:
+        # Duck-typed: an Ms2Server or a ShardSupervisor — both expose
+        # .address and .sidecar.
+        shards = getattr(getattr(srv, "config", None), "shards", 1)
+        fleet = f" ({shards} shards)" if shards > 1 else ""
         print(
-            f"repro serve: listening on {srv.address}",
+            f"repro serve: listening on {srv.address}{fleet}",
             file=sys.stderr,
             flush=True,
         )
         if srv.sidecar is not None:
             print(
                 f"repro serve: telemetry on "
-                f"http://{srv.sidecar.address}/metrics",
+                f"http://{srv.sidecar.address}/metrics "
+                f"(gateway: POST /v1/expand)",
                 file=sys.stderr,
                 flush=True,
             )
 
-    server_mod.serve(
-        options,
-        socket_path=args.socket,
-        host=args.host,
-        port=args.port,
-        package_names=list(args.package),
-        package_sources=[
-            (str(path), path.read_text()) for path in args.package_file
-        ],
-        cache_dir=None if args.no_disk_cache else args.cache_dir,
-        max_inflight=args.max_inflight,
-        queue_limit=args.queue_limit,
-        max_frame_bytes=args.max_frame_bytes,
-        warm_spares=args.warm_spares,
-        default_deadline_s=(
-            args.request_deadline_ms / 1000.0
-            if args.request_deadline_ms is not None
-            else None
-        ),
-        drain_s=args.drain_s,
-        metrics_port=args.metrics_port,
-        metrics_host=args.metrics_host,
-        event_log=args.event_log,
-        ready=announce,
-    )
+    server_mod.serve(options, config, ready=announce)
     return 0
 
 

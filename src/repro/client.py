@@ -1,7 +1,9 @@
 """Synchronous client for the ``repro serve`` expansion daemon.
 
 :class:`Ms2Client` speaks the newline-delimited JSON protocol of
-:mod:`repro.server` over a Unix socket or TCP connection and converts
+:mod:`repro.server` over a Unix socket or TCP connection — or the
+same frames over the HTTP/JSON gateway (``http://host:port``
+addresses, ``POST /v1/expand``) — and converts
 wire payloads back into the library's own objects
 (:class:`~repro.options.ExpandResult`, raising
 :class:`Ms2ServerError` — an :class:`~repro.errors.Ms2Error` — for
@@ -39,6 +41,7 @@ __all__ = [
     "RetryPolicy",
     "client_counters",
     "parse_address",
+    "parse_server_address",
 ]
 
 #: Default per-request socket timeout, seconds.
@@ -149,18 +152,52 @@ class Ms2ServerError(Ms2Error):
         return f"[{self.code}] {self.message}"
 
 
-def parse_address(spec: str | Path) -> tuple[Any, ...]:
-    """``("unix", path)`` or ``("tcp", host, port)`` from an address
-    spelling: a filesystem path (anything containing a separator, or
-    any existing path), ``HOST:PORT``, ``:PORT`` or a bare port
-    number."""
+def parse_server_address(spec: str | Path) -> tuple[Any, ...]:
+    """``("unix", path)``, ``("tcp", host, port)`` or
+    ``("http", host, port)`` from an address spelling.
+
+    The one shared parser for every place a daemon address is typed —
+    ``Ms2Client``, ``repro expand --server``, ``repro top``.  URL
+    forms are explicit about the transport::
+
+        unix:///run/ms2.sock     Unix socket, NDJSON protocol
+        tcp://build-host:7777    TCP, NDJSON protocol
+        http://build-host:9100   the HTTP/JSON gateway (POST /v1/expand)
+
+    The historical bare forms still parse: a filesystem path
+    (anything containing a separator, or any existing path),
+    ``HOST:PORT``, ``:PORT``, or a bare port number.
+    """
     text = str(spec)
+    if text.startswith("unix://"):
+        path = text[len("unix://"):]
+        if not path:
+            raise ValueError(f"unix:// address missing a path: {spec!r}")
+        return ("unix", path)
+    for scheme, default_port in (("tcp", None), ("http", 80)):
+        prefix = scheme + "://"
+        if not text.startswith(prefix):
+            continue
+        rest = text[len(prefix):].split("/", 1)[0]
+        host, sep, port = rest.rpartition(":")
+        if sep and port.isdigit():
+            return (scheme, host or "127.0.0.1", int(port))
+        if rest and ":" not in rest and default_port is not None:
+            return (scheme, rest, default_port)
+        raise ValueError(
+            f"bad {scheme}:// address {spec!r}: expected "
+            f"{scheme}://HOST:PORT"
+        )
     if text.isdigit():
         return ("tcp", "127.0.0.1", int(text))
     host, sep, port = text.rpartition(":")
     if sep and port.isdigit() and os.sep not in text:
         return ("tcp", host or "127.0.0.1", int(port))
     return ("unix", text)
+
+
+#: Historical name of :func:`parse_server_address`.
+parse_address = parse_server_address
 
 
 class Ms2Client:
@@ -197,6 +234,11 @@ class Ms2Client:
     # ------------------------------------------------------------------
 
     def connect(self) -> "Ms2Client":
+        if self.address[0] == "http":
+            # The HTTP gateway is connectionless from the client's
+            # point of view: each request opens its own connection
+            # (stdlib http.client), so there is nothing to hold open.
+            return self
         if self._sock is not None:
             return self
         if self.address[0] == "unix":
@@ -267,14 +309,16 @@ class Ms2Client:
         assigned when missing) and return the raw response frame.
         The server echoes the correlation ID in every response and
         stamps it onto event-log records and trace spans."""
-        self.connect()
-        assert self._sock is not None
         if "id" not in payload:
             self._next_id += 1
             payload = {"id": self._next_id, **payload}
         if "request_id" not in payload:
             payload = {**payload, "request_id": new_request_id()}
         self.last_request_id = payload["request_id"]
+        if self.address[0] == "http":
+            return self._http_request(payload)
+        self.connect()
+        assert self._sock is not None
         self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
         line = self._reader.readline()
         if not line:
@@ -289,6 +333,42 @@ class Ms2Client:
             self.close()
             raise ConnectionError(
                 "undecodable response frame from server"
+            ) from None
+
+    def _http_request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One protocol frame over the HTTP/JSON gateway:
+        ``POST /v1/expand`` with the frame as the body, the response
+        body being the response frame.  Transport-level failures
+        (connect refused, reset, truncated/undecodable body) surface
+        as :class:`ConnectionError` so a :class:`RetryPolicy` treats
+        the gateway exactly like the NDJSON transports."""
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            self.address[1], self.address[2], timeout=self.timeout
+        )
+        try:
+            try:
+                conn.request(
+                    "POST",
+                    "/v1/expand",
+                    body=json.dumps(payload).encode("utf-8"),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                body = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ConnectionError(
+                    f"gateway request failed: {exc}"
+                ) from exc
+        finally:
+            conn.close()
+        try:
+            return json.loads(body)
+        except ValueError:
+            raise ConnectionError(
+                "undecodable response body from gateway "
+                f"(HTTP {response.status})"
             ) from None
 
     def call(self, op: str, **fields: Any) -> dict[str, Any]:
@@ -352,6 +432,12 @@ class Ms2Client:
 
     def stats(self) -> dict[str, Any]:
         return self.call("stats")
+
+    def telemetry(self) -> dict[str, Any]:
+        """The server's raw metrics snapshot (the ``telemetry`` op) —
+        mergeable across shards with
+        :func:`repro.telemetry.merge_snapshots`."""
+        return self.call("telemetry").get("snapshot", {})
 
     def shutdown(self) -> dict[str, Any]:
         """Ask the daemon to drain and exit (the response arrives

@@ -2,8 +2,9 @@
 
 ``repro serve --metrics-port N`` starts this minimal asyncio HTTP/1.1
 listener next to the NDJSON protocol socket, so standard tooling —
-Prometheus scrapers, load-balancer health checks, ``curl`` — can read
-the daemon without speaking its protocol:
+Prometheus scrapers, load-balancer health checks, ``curl``, ordinary
+load generators — can work against the daemon without speaking its
+protocol:
 
 - ``GET /metrics``  — Prometheus text exposition
   (:meth:`~repro.telemetry.MetricsRegistry.render_prometheus`);
@@ -12,24 +13,31 @@ the daemon without speaking its protocol:
   balancer stops routing to a draining shard before its socket
   closes);
 - ``GET /statusz``  — the JSON stats snapshot, byte-identical in
-  content to the NDJSON ``stats`` op.
+  content to the NDJSON ``stats`` op;
+- ``POST /v1/expand`` — the HTTP/JSON **gateway**: the body is one
+  protocol frame (same JSON as a NDJSON request line), the response
+  body is the response frame.  Protocol error codes map onto HTTP
+  statuses (``busy`` → 429 with ``Retry-After``, ``expansion_error``
+  → 422, ...), so ordinary HTTP tooling sees meaningful statuses
+  while :class:`~repro.client.Ms2Client` just reads the frame.
 
-Deliberately tiny: GET only, one request per connection
-(``Connection: close``), no TLS, no routing table beyond the three
-paths.  It binds loopback by default; anything fancier belongs behind
-a real proxy.
+Deliberately tiny: one request per connection (``Connection:
+close``), no TLS, no routing table beyond the four paths.  It binds
+loopback by default; anything fancier belongs behind a real proxy.
+The sharded fleet gateway (:mod:`repro.shard`) reuses the framing
+helpers here.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:
     from repro.server import Ms2Server
 
-__all__ = ["TelemetrySidecar"]
+__all__ = ["TelemetrySidecar", "http_status_for_frame"]
 
 #: Cap on the request head (request line + headers) we will read.
 _MAX_HEAD_BYTES = 16 * 1024
@@ -39,12 +47,121 @@ _STATUS_TEXT = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
 }
 
+#: Protocol error code → HTTP status for gateway responses.
+_CODE_STATUS = {
+    "bad_request": 400,
+    "frame_too_large": 413,
+    "expansion_error": 422,
+    "busy": 429,
+    "unavailable": 503,
+    "shutting_down": 503,
+    "internal": 500,
+}
+
+
+def http_status_for_frame(frame: dict[str, Any]) -> int:
+    """The HTTP status a gateway should attach to a protocol
+    response frame (200 for ok frames)."""
+    if frame.get("ok"):
+        return 200
+    code = (frame.get("error") or {}).get("code", "internal")
+    return _CODE_STATUS.get(code, 500)
+
+
+def retry_after_header(frame: dict[str, Any]) -> dict[str, str]:
+    """A ``Retry-After`` header (whole seconds, rounded up) when the
+    error frame carries a ``retry_after_ms`` hint; else empty."""
+    hint = (frame.get("error") or {}).get("retry_after_ms")
+    if not isinstance(hint, (int, float)) or hint <= 0:
+        return {}
+    return {"Retry-After": str(max(1, int(-(-hint // 1000))))}
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int,
+) -> tuple[str, str, dict[str, str], bytes] | None:
+    """``(method, path, headers, body)`` for one HTTP/1.1 request, or
+    None for an unparseable/oversized head.  Header names are
+    lower-cased; the body is read per ``Content-Length`` and clipped
+    to ``max_body_bytes`` (a longer declared length returns an empty
+    body with the special header ``x-ms2-body-too-large`` set)."""
+    try:
+        request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+    except asyncio.TimeoutError:
+        return None
+    parts = request_line.decode("latin-1", "replace").split()
+    if len(parts) < 2:
+        return None
+    method, target = parts[0], parts[1]
+    headers: dict[str, str] = {}
+    consumed = len(request_line)
+    while consumed < _MAX_HEAD_BYTES:
+        line = await reader.readline()
+        consumed += len(line)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1", "replace").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    else:
+        return None
+    body = b""
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        length = 0
+    if length > max_body_bytes:
+        headers["x-ms2-body-too-large"] = str(length)
+    elif length > 0:
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=30.0
+            )
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+            return None
+    return method, target.split("?", 1)[0], headers, body
+
+
+async def write_http_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    content_type: str,
+    body: bytes,
+    extra_headers: dict[str, str] | None = None,
+) -> None:
+    """One ``Connection: close`` HTTP/1.1 response."""
+    lines = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    lines.append("Connection: close")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    writer.write(head.encode("ascii") + body)
+    await writer.drain()
+
+
+_PLAIN = "text/plain; charset=utf-8"
+_JSON = "application/json; charset=utf-8"
+
+#: (status, content-type, body, extra headers) — one response.
+Response = tuple[int, str, bytes, dict[str, str]]
+
 
 class TelemetrySidecar:
-    """One HTTP listener serving a daemon's telemetry endpoints."""
+    """One HTTP listener serving a daemon's telemetry endpoints and
+    the single-process HTTP/JSON gateway."""
 
     def __init__(
         self,
@@ -87,16 +204,10 @@ class TelemetrySidecar:
         writer: asyncio.StreamWriter,
     ) -> None:
         try:
-            status, content_type, body = await self._respond(reader)
-            head = (
-                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
-                f"Content-Type: {content_type}\r\n"
-                f"Content-Length: {len(body)}\r\n"
-                "Connection: close\r\n"
-                "\r\n"
+            status, content_type, body, extra = await self._respond(reader)
+            await write_http_response(
+                writer, status, content_type, body, extra
             )
-            writer.write(head.encode("ascii") + body)
-            await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -106,65 +217,123 @@ class TelemetrySidecar:
             except (ConnectionError, OSError):
                 pass
 
-    async def _respond(
-        self, reader: asyncio.StreamReader
-    ) -> tuple[int, str, bytes]:
-        """(status, content type, body) for one request."""
-        try:
-            request_line = await asyncio.wait_for(
-                reader.readline(), timeout=10.0
-            )
-        except asyncio.TimeoutError:
-            return 400, "text/plain; charset=utf-8", b"timeout\n"
-        parts = request_line.decode("latin-1", "replace").split()
-        if len(parts) < 2:
-            return 400, "text/plain; charset=utf-8", b"bad request\n"
-        method, target = parts[0], parts[1]
-        # Drain the headers (bounded); the body, if any, is ignored.
-        consumed = len(request_line)
-        while consumed < _MAX_HEAD_BYTES:
-            line = await reader.readline()
-            consumed += len(line)
-            if line in (b"\r\n", b"\n", b""):
-                break
-        if method != "GET":
-            return (
-                405,
-                "text/plain; charset=utf-8",
-                b"method not allowed\n",
-            )
-        path = target.split("?", 1)[0]
+    async def _respond(self, reader: asyncio.StreamReader) -> Response:
+        """(status, content type, body, extra headers) per request."""
+        parsed = await read_http_request(reader, self.server.max_frame_bytes)
+        if parsed is None:
+            return 400, _PLAIN, b"bad request\n", {}
+        method, path, headers, body = parsed
         self.requests[path] = self.requests.get(path, 0) + 1
+        if method == "POST":
+            if path != "/v1/expand":
+                return 405, _PLAIN, b"method not allowed\n", {}
+            return await self._gateway(headers, body)
+        if method != "GET":
+            return 405, _PLAIN, b"method not allowed\n", {}
         handler = self._routes().get(path)
         if handler is None:
             return (
                 404,
-                "text/plain; charset=utf-8",
-                b"not found; try /metrics /healthz /statusz\n",
+                _PLAIN,
+                b"not found; try /metrics /healthz /statusz "
+                b"or POST /v1/expand\n",
+                {},
             )
         return handler()
 
-    def _routes(self) -> dict[str, Callable[[], tuple[int, str, bytes]]]:
+    async def _gateway(
+        self, headers: dict[str, str], body: bytes
+    ) -> Response:
+        """``POST /v1/expand``: dispatch one protocol frame."""
+        frame = gateway_parse_body(headers, body)
+        if frame is None:
+            return (
+                400,
+                _JSON,
+                json.dumps(
+                    _gateway_error("bad_request", "body must be one JSON frame")
+                ).encode("utf-8"),
+                {},
+            )
+        if "too_large" in frame:
+            return (
+                413,
+                _JSON,
+                json.dumps(
+                    _gateway_error(
+                        "frame_too_large",
+                        f"body of {frame['too_large']} bytes exceeds "
+                        f"max_frame_bytes",
+                    )
+                ).encode("utf-8"),
+                {},
+            )
+        response = await self.server._dispatch(frame["frame"])
+        return gateway_response(response)
+
+    def _routes(self) -> dict[str, Callable[[], Response]]:
         return {
             "/metrics": self._metrics,
             "/healthz": self._healthz,
             "/statusz": self._statusz,
         }
 
-    def _metrics(self) -> tuple[int, str, bytes]:
+    def _metrics(self) -> Response:
         body = self.server.registry.render_prometheus()
         return (
             200,
             "text/plain; version=0.0.4; charset=utf-8",
             body.encode("utf-8"),
+            {},
         )
 
-    def _healthz(self) -> tuple[int, str, bytes]:
+    def _healthz(self) -> Response:
         if self.server.draining:
-            return 503, "text/plain; charset=utf-8", b"draining\n"
-        return 200, "text/plain; charset=utf-8", b"ok\n"
+            return 503, _PLAIN, b"draining\n", {}
+        return 200, _PLAIN, b"ok\n", {}
 
-    def _statusz(self) -> tuple[int, str, bytes]:
+    def _statusz(self) -> Response:
         payload = self.server.stats_payload()
         body = json.dumps(payload, indent=2).encode("utf-8")
-        return 200, "application/json; charset=utf-8", body
+        return 200, _JSON, body, {}
+
+
+# ----------------------------------------------------------------------
+# Gateway framing helpers (shared with the fleet gateway in
+# :mod:`repro.shard`)
+# ----------------------------------------------------------------------
+
+
+def _gateway_error(code: str, message: str) -> dict[str, Any]:
+    return {
+        "id": None,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def gateway_parse_body(
+    headers: dict[str, str], body: bytes
+) -> dict[str, Any] | None:
+    """Decode a ``POST /v1/expand`` body into ``{"frame": ...}``, or
+    ``{"too_large": N}`` when :func:`read_http_request` clipped it,
+    or None when the body is not a JSON object."""
+    if "x-ms2-body-too-large" in headers:
+        return {"too_large": headers["x-ms2-body-too-large"]}
+    try:
+        frame = json.loads(body)
+    except ValueError:
+        return None
+    if not isinstance(frame, dict):
+        return None
+    return {"frame": frame}
+
+
+def gateway_response(frame: dict[str, Any]) -> Response:
+    """An HTTP response carrying one protocol response frame."""
+    return (
+        http_status_for_frame(frame),
+        _JSON,
+        json.dumps(frame).encode("utf-8"),
+        retry_after_header(frame),
+    )

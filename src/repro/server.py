@@ -67,6 +67,7 @@ import hashlib
 import json
 import os
 import signal
+import sys
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -78,42 +79,43 @@ from repro.engine import MacroProcessor
 from repro.errors import Ms2Error
 from repro.diagnostics import Diagnostic
 from repro.options import Ms2Options
+from repro.serveconfig import (
+    DEFAULT_DRAIN_S,
+    DEFAULT_MAX_FRAME_BYTES,
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_QUEUE_LIMIT,
+    DEFAULT_WARM_SPARES,
+    ServeConfig,
+)
 from repro.stats import PipelineStats
-from repro.telemetry import EventLog, MetricsRegistry, new_request_id
+from repro.telemetry import (
+    LATENCY_BUCKETS_MS,
+    EventLog,
+    MetricsRegistry,
+    new_request_id,
+)
 
-__all__ = ["Ms2Server", "serve", "PROTOCOL_VERSION", "REQUEST_OPS"]
+__all__ = [
+    "Ms2Server",
+    "ServeConfig",
+    "serve",
+    "PROTOCOL_VERSION",
+    "REQUEST_OPS",
+]
 
 #: Bumped when the request/response schema changes incompatibly.
 PROTOCOL_VERSION = 1
 
-#: Every operation the daemon understands.
+#: Every operation the daemon understands.  ``telemetry`` returns the
+#: raw metrics-registry snapshot — the unit the sharding supervisor
+#: aggregates with :func:`repro.telemetry.merge_snapshots`.
 REQUEST_OPS = (
-    "expand", "expand_file", "trace", "stats", "ping", "shutdown"
+    "expand", "expand_file", "trace", "stats", "ping", "telemetry",
+    "shutdown",
 )
 
 #: Ops that run pipeline work (and are subject to backpressure).
 _WORK_OPS = frozenset({"expand", "expand_file", "trace"})
-
-#: Hard cap on one request/response frame (bytes, including newline).
-DEFAULT_MAX_FRAME_BYTES = 16 * 1024 * 1024
-
-#: Concurrent expansions (executor threads).
-DEFAULT_MAX_INFLIGHT = 4
-
-#: Admitted-but-waiting requests beyond ``max_inflight``.
-DEFAULT_QUEUE_LIMIT = 16
-
-#: Seconds SIGTERM waits for in-flight requests before forcing.
-DEFAULT_DRAIN_S = 10.0
-
-#: Warm spare workers kept per (options, preamble) pool key.
-DEFAULT_WARM_SPARES = 2
-
-#: Latency histogram bucket upper bounds, milliseconds.
-LATENCY_BUCKETS_MS = (
-    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
-    250.0, 500.0, 1000.0, 2500.0, 5000.0,
-)
 
 
 def _ok(rid: Any, op: str, result: dict[str, Any]) -> dict[str, Any]:
@@ -270,6 +272,13 @@ class WorkerPool:
         with self._lock:
             self.prewarms += 1
 
+    def has_idle(self, key: str) -> bool:
+        """Whether a pre-built warm worker is waiting for this pool
+        key right now (the load-shedding expensiveness signal: a
+        request with no warm worker pays an inline preamble build)."""
+        with self._lock:
+            return bool(self._idle.get(key))
+
     def idle_counts(self) -> dict[str, int]:
         with self._lock:
             return {key: len(idle) for key, idle in self._idle.items()}
@@ -292,6 +301,7 @@ class ServerMetrics:
         self.responses: dict[str, int] = {"ok": 0, "error": 0}
         self.error_codes: dict[str, int] = {}
         self.busy_rejections = 0
+        self.shed_rejections = 0
         self.bad_frames = 0
         self.client_disconnects = 0
         self.in_flight = 0
@@ -335,6 +345,11 @@ class ServerMetrics:
     def count_busy(self) -> None:
         with self._lock:
             self.busy_rejections += 1
+
+    def count_shed(self) -> None:
+        with self._lock:
+            self.busy_rejections += 1
+            self.shed_rejections += 1
 
     def latency_histogram(self) -> tuple[list[int], float, int]:
         """(per-bucket counts, total ms, count) — a consistent copy
@@ -399,6 +414,7 @@ class ServerMetrics:
                 "responses": dict(self.responses),
                 "error_codes": dict(self.error_codes),
                 "busy_rejections": self.busy_rejections,
+                "shed_rejections": self.shed_rejections,
                 "bad_frames": self.bad_frames,
                 "client_disconnects": self.client_disconnects,
                 "in_flight": self.in_flight,
@@ -482,6 +498,10 @@ class Ms2Server:
         metrics_port: int | None = None,
         metrics_host: str = "127.0.0.1",
         event_log: Path | str | Any = None,
+        reuse_port: bool = False,
+        control_socket: Path | str | None = None,
+        shard_index: int | None = None,
+        prewarm: bool = True,
     ) -> None:
         if (socket_path is None) == (port is None):
             raise ValueError(
@@ -506,6 +526,20 @@ class Ms2Server:
         self.max_frame_bytes = int(max_frame_bytes)
         self.default_deadline_s = default_deadline_s
         self.drain_s = float(drain_s)
+        #: Bind the TCP listener with ``SO_REUSEPORT`` so sibling
+        #: shard processes can share the port (see repro.shard).
+        self.reuse_port = bool(reuse_port)
+        #: Optional second Unix listener speaking the same protocol —
+        #: the sharding supervisor's private channel to this shard
+        #: (stats/telemetry scrapes, routed gateway work), unaffected
+        #: by the kernel's SO_REUSEPORT connection distribution.
+        self.control_socket = (
+            Path(control_socket) if control_socket is not None else None
+        )
+        #: This process's index in a sharded fleet, or None.
+        self.shard_index = shard_index
+        #: Build the default worker pool before accepting traffic.
+        self.prewarm = bool(prewarm)
 
         self.metrics = ServerMetrics()
         self.pool = WorkerPool(spares=warm_spares)
@@ -519,6 +553,7 @@ class Ms2Server:
         self._sessions_lock = threading.Lock()
 
         self._server: asyncio.AbstractServer | None = None
+        self._control_server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         #: Admitted work requests not yet responded (backpressure
         #: gauge and the drain condition).
@@ -542,6 +577,38 @@ class Ms2Server:
         #: The unified metrics registry: every layer's counters
         #: mirrored at scrape time (see :meth:`_collect_telemetry`).
         self.registry = self._build_registry()
+
+    @classmethod
+    def from_config(
+        cls,
+        options: Ms2Options | None,
+        config: ServeConfig,
+        **overrides: Any,
+    ) -> "Ms2Server":
+        """One daemon process from a validated :class:`ServeConfig`
+        (``overrides`` patch individual constructor arguments — the
+        shard child uses them for its resolved port and control
+        socket)."""
+        kwargs: dict[str, Any] = dict(
+            socket_path=config.socket,
+            host=config.host,
+            port=config.port,
+            package_names=config.packages,
+            package_sources=config.package_sources,
+            cache_dir=config.cache_dir,
+            max_inflight=config.max_inflight,
+            queue_limit=config.queue_limit,
+            max_frame_bytes=config.max_frame_bytes,
+            warm_spares=config.warm_spares,
+            default_deadline_s=config.default_deadline_s,
+            drain_s=config.drain_s,
+            metrics_port=config.metrics_port,
+            metrics_host=config.metrics_host,
+            event_log=config.event_log,
+            prewarm=config.prewarm,
+        )
+        kwargs.update(overrides)
+        return cls(options, **kwargs)
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -592,6 +659,11 @@ class Ms2Server:
         m["busy"] = reg.counter(
             "ms2_busy_rejections_total",
             "Requests rejected by admission control",
+        )
+        m["shed"] = reg.counter(
+            "ms2_load_shed_total",
+            "Expensive requests shed by the mid-load tier "
+            "(a subset of ms2_busy_rejections_total)",
         )
         m["bad_frames"] = reg.counter(
             "ms2_bad_frames_total", "Malformed or oversized frames"
@@ -738,6 +810,7 @@ class Ms2Server:
         for code, count in snap["error_codes"].items():
             m["error_codes"].set_total(count, code=code)
         m["busy"].set_total(snap["busy_rejections"])
+        m["shed"].set_total(snap["shed_rejections"])
         m["bad_frames"].set_total(snap["bad_frames"])
         m["disconnects"].set_total(snap["client_disconnects"])
         m["conns_open"].set(snap["connections_open"])
@@ -843,10 +916,20 @@ class Ms2Server:
                 host=self.host,
                 port=self.port,
                 limit=self.max_frame_bytes,
+                reuse_port=self.reuse_port or None,
             )
             sockets = self._server.sockets or []
             if sockets:
                 self.bound_port = sockets[0].getsockname()[1]
+        if self.control_socket is not None:
+            if self.control_socket.exists():
+                self.control_socket.unlink()
+            self.control_socket.parent.mkdir(parents=True, exist_ok=True)
+            self._control_server = await asyncio.start_unix_server(
+                self._serve_conn,
+                path=str(self.control_socket),
+                limit=self.max_frame_bytes,
+            )
         if self.metrics_port is not None:
             from repro.metrics_http import TelemetrySidecar
 
@@ -855,9 +938,11 @@ class Ms2Server:
             )
             await self.sidecar.start()
         # First requests should hit a warm worker: build the default
-        # pool before accepting traffic.
-        loop = asyncio.get_running_loop()
-        await loop.run_in_executor(self._executor, self._prewarm)
+        # pool before accepting traffic (unless prewarm is off — a
+        # shard fleet may prefer fast process startup).
+        if self.prewarm:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(self._executor, self._prewarm)
 
     def _prewarm(self) -> None:
         for _ in range(self.pool.spares):
@@ -895,6 +980,9 @@ class Ms2Server:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._control_server is not None:
+            self._control_server.close()
+            await self._control_server.wait_closed()
         with contextlib.suppress(asyncio.TimeoutError):
             await asyncio.wait_for(self._wait_idle(), timeout=self.drain_s)
         for writer in list(self._writers):
@@ -915,24 +1003,26 @@ class Ms2Server:
             self._idle_event.clear()
             await self._idle_event.wait()
 
+    def _unlink_sockets(self) -> None:
+        for path in (self.socket_path, self.control_socket):
+            if path is not None:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+
     async def serve_until_stopped(self) -> None:
         """Block until a drain completes (``shutdown`` op or signal)."""
         assert self._stopped is not None, "call start() first"
         try:
             await self._stopped.wait()
         finally:
-            if self.socket_path is not None:
-                with contextlib.suppress(OSError):
-                    self.socket_path.unlink()
+            self._unlink_sockets()
 
     async def aclose(self) -> None:
         """Drain and stop programmatically (tests, embedding)."""
         self.request_shutdown()
         if self._drain_task is not None:
             await self._drain_task
-        if self.socket_path is not None:
-            with contextlib.suppress(OSError):
-                self.socket_path.unlink()
+        self._unlink_sockets()
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -1083,6 +1173,8 @@ class Ms2Server:
             })
         if op == "stats":
             return _ok(rid, op, self.stats_payload())
+        if op == "telemetry":
+            return _ok(rid, op, {"snapshot": self.registry.snapshot()})
         if op == "shutdown":
             return _ok(rid, op, {"draining": True})
         if op not in _WORK_OPS:
@@ -1095,11 +1187,24 @@ class Ms2Server:
             return _err(rid, op, "shutting_down",
                         "server is draining; no new work accepted",
                         retry_after_ms=self.retry_after_ms())
-        if self._active >= self.max_inflight + self.queue_limit:
+        tier = self.load_tier()
+        if tier == "busy":
             self.metrics.count_busy()
             return _err(
                 rid, op, "busy",
                 "server at capacity; retry later",
+                in_flight=self._active,
+                limit=self.max_inflight + self.queue_limit,
+                retry_after_ms=self.retry_after_ms(),
+            )
+        if tier == "shed_expensive" and self._is_expensive(request):
+            self.metrics.count_shed()
+            return _err(
+                rid, op, "busy",
+                "server under load; expensive (cold-build) request "
+                "shed",
+                shed=True,
+                tier="shed_expensive",
                 in_flight=self._active,
                 limit=self.max_inflight + self.queue_limit,
                 retry_after_ms=self.retry_after_ms(),
@@ -1129,6 +1234,78 @@ class Ms2Server:
                 self._idle_event.set()
         self.metrics.observe_latency((perf_counter() - start) * 1000.0)
         return response
+
+    # ------------------------------------------------------------------
+    # Tiered load shedding
+    # ------------------------------------------------------------------
+
+    def shed_threshold(self) -> int:
+        """Admitted work beyond which the shed tier starts: halfway
+        into the bounded queue."""
+        return self.max_inflight + (self.queue_limit + 1) // 2
+
+    def load_tier(self) -> str:
+        """The admission tier for the *next* work request, from
+        current queue depth and the latency histogram:
+
+        ``accept``
+            below the shed threshold — everything is admitted;
+        ``shed_expensive``
+            the queue is more than half full, **or** the
+            histogram-estimated wait for the queue ahead already
+            exceeds the server's default deadline — requests that
+            would pay an inline cold worker build (or a full
+            ``expand_file`` pipeline) are answered ``busy`` with
+            ``shed: true`` so warm traffic keeps flowing;
+        ``busy``
+            the bounded queue is full — everything is rejected (the
+            PR-5 behaviour, unchanged).
+        """
+        if self._active >= self.max_inflight + self.queue_limit:
+            return "busy"
+        if self._active >= self.shed_threshold():
+            return "shed_expensive"
+        if (
+            self.default_deadline_s is not None
+            and self._active > self.max_inflight
+            and self.estimated_wait_ms()
+            >= self.default_deadline_s * 1000.0
+        ):
+            # Queued work is already doomed to blow its deadline:
+            # shed cold work early instead of expanding the backlog.
+            return "shed_expensive"
+        return "accept"
+
+    def _is_expensive(self, request: dict[str, Any]) -> bool:
+        """Whether this request would do non-warm-path work: a full
+        ``expand_file`` build, or an expand with no pre-built warm
+        worker for its (options, preamble) pool key.  Malformed
+        requests classify cheap — the normal dispatch path owns their
+        ``bad_request`` answer."""
+        if request.get("op") == "expand_file":
+            return True
+        try:
+            options = self._effective_options(request.get("options"))
+            names, sources = self._request_preamble(request)
+        except (_BadRequest, ValueError):
+            return False
+        if request.get("op") == "trace":
+            options = options.replace(trace=True)
+        key = self.pool.key_for(options, names, sources)
+        return not self.pool.has_idle(key)
+
+    def estimated_wait_ms(self) -> float:
+        """Histogram-estimated queueing delay for a newly admitted
+        request: requests ahead of it times the observed mean
+        latency."""
+        with self.metrics._lock:
+            mean_ms = (
+                self.metrics.latency_total_ms / self.metrics.latency_count
+                if self.metrics.latency_count
+                else 0.0
+            )
+        queued = max(0, self._active - self.max_inflight)
+        return mean_ms * queued
 
     #: Bounds for the busy-frame backoff hint, milliseconds.
     RETRY_AFTER_MIN_MS = 25
@@ -1415,8 +1592,11 @@ class Ms2Server:
             "protocol": PROTOCOL_VERSION,
             "pid": os.getpid(),
             "address": self.address,
+            "shard": self.shard_index,
             "max_inflight": self.max_inflight,
             "queue_limit": self.queue_limit,
+            "shed_threshold": self.shed_threshold(),
+            "load_tier": self.load_tier(),
             "max_frame_bytes": self.max_frame_bytes,
             "default_deadline_s": self.default_deadline_s,
             "draining": self._draining,
@@ -1482,49 +1662,67 @@ class Ms2Server:
 # ---------------------------------------------------------------------------
 
 
+def _arm_config_faults(config: ServeConfig) -> None:
+    """Arm the config's chaos plan (and export it so every shard
+    child inherits it through the environment)."""
+    if not config.fault_specs:
+        return
+    plan = faults.arm(*config.fault_specs, seed=config.fault_seed)
+    faults.export_to_env(plan)
+    print(
+        f"fault injection armed: {plan.describe()}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
 def serve(
     options: Ms2Options | None = None,
+    config: ServeConfig | None = None,
     *,
-    socket_path: Path | str | None = None,
-    host: str = "127.0.0.1",
-    port: int | None = None,
-    package_names: Sequence[str] = (),
-    package_sources: Sequence[tuple[str, str]] = (),
-    cache_dir: Path | str | None = None,
-    max_inflight: int = DEFAULT_MAX_INFLIGHT,
-    queue_limit: int = DEFAULT_QUEUE_LIMIT,
-    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
-    warm_spares: int = DEFAULT_WARM_SPARES,
-    default_deadline_s: float | None = None,
-    drain_s: float = DEFAULT_DRAIN_S,
-    metrics_port: int | None = None,
-    metrics_host: str = "127.0.0.1",
-    event_log: Path | str | Any = None,
     ready: Any = None,
+    **legacy: Any,
 ) -> None:
     """Run an expansion daemon until it shuts down (the ``repro
     serve`` entry point; also the :mod:`repro.api` facade's
-    ``serve``).  ``ready`` is an optional callable invoked with the
-    :class:`Ms2Server` once the listener is bound (tests use it to
-    learn ephemeral ports)."""
-    server = Ms2Server(
-        options,
-        socket_path=socket_path,
-        host=host,
-        port=port,
-        package_names=package_names,
-        package_sources=package_sources,
-        cache_dir=cache_dir,
-        max_inflight=max_inflight,
-        queue_limit=queue_limit,
-        max_frame_bytes=max_frame_bytes,
-        warm_spares=warm_spares,
-        default_deadline_s=default_deadline_s,
-        drain_s=drain_s,
-        metrics_port=metrics_port,
-        metrics_host=metrics_host,
-        event_log=event_log,
-    )
+    ``serve``).
+
+    ``options`` configure expansion semantics; ``config`` — a
+    :class:`ServeConfig` — configures the serving process (listen
+    address, shard count, capacity, telemetry).  With
+    ``config.shards > 1`` the call runs the pre-forked
+    :mod:`repro.shard` fleet instead of a single in-process daemon.
+
+    ``ready`` is an optional callable invoked once the listener is
+    bound — with the :class:`Ms2Server` (single process) or the
+    :class:`repro.shard.ShardSupervisor` (fleet); both expose
+    ``.address``.  Tests use it to learn ephemeral ports.
+
+    The pre-:class:`ServeConfig` keyword arguments
+    (``socket_path=...``, ``port=...``, ``max_inflight=...``, ...)
+    keep working through a shim that emits
+    :class:`~repro.options.Ms2DeprecationWarning`.
+    """
+    if legacy:
+        if config is not None:
+            raise TypeError(
+                "serve() takes either config=ServeConfig(...) or the "
+                "legacy keyword arguments, not both"
+            )
+        config = ServeConfig.from_legacy_kwargs(**legacy)
+    if config is None:
+        raise TypeError(
+            "serve() requires a ServeConfig: "
+            "serve(options, ServeConfig(socket=...))"
+        )
+    config.validate()
+    _arm_config_faults(config)
+    if config.shards > 1:
+        from repro.shard import run_sharded
+
+        run_sharded(options, config, ready=ready)
+        return
+    server = Ms2Server.from_config(options, config)
 
     async def _main() -> None:
         await server.start()

@@ -55,6 +55,7 @@ __all__ = [
     "EventLog",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS_MS",
     "MetricsRegistry",
     "merge_snapshots",
     "new_request_id",
@@ -62,6 +63,17 @@ __all__ = [
     "validate_label_name",
     "validate_metric_name",
 ]
+
+#: Request-latency histogram bucket upper bounds, milliseconds — THE
+#: shared definition.  Every producer (``ServerMetrics``, the
+#: ``ms2_request_latency_ms`` series) and every consumer (``repro
+#: top`` percentile math, cross-shard aggregation) uses this one
+#: constant: merging shard histograms bucket-by-bucket is only sound
+#: when every shard bucketed identically.
+LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
 
 #: Prometheus data model: metric names.
 METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")

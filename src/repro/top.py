@@ -19,6 +19,8 @@ import sys
 import time
 from typing import IO, Any, Sequence
 
+from repro.telemetry import LATENCY_BUCKETS_MS
+
 __all__ = ["histogram_quantile", "render_dashboard", "run_top"]
 
 
@@ -60,6 +62,11 @@ def _latency_series(
     bounds = sorted(
         float(bound) for bound in buckets if bound != "+Inf"
     )
+    if not bounds:
+        # An empty payload still renders against the bucket layout
+        # every server uses (the one shared constant, so merged
+        # multi-shard histograms can never skew the percentile math).
+        bounds = list(LATENCY_BUCKETS_MS)
     counts = [int(buckets.get(f"{bound:g}", 0)) for bound in bounds]
     counts.append(int(buckets.get("+Inf", 0)))
     return bounds, counts
@@ -165,6 +172,22 @@ def render_dashboard(
             f"telemetry  http://{telemetry['metrics_address']}/metrics"
             f"   events {telemetry.get('event_log_records') or 0}"
         )
+    shards = curr.get("shards") or []
+    if shards:
+        lines.append(
+            f"shards     {len(shards)} reporting of "
+            f"{server.get('shards', len(shards))} configured   "
+            f"restarts {server.get('shard_restarts', 0)}"
+        )
+        for entry in shards:
+            lines.append(
+                f"  shard {entry.get('shard', '?')}   "
+                f"pid {entry.get('pid', '?')}   "
+                f"in-flight {entry.get('in_flight', 0)}   "
+                f"reqs {entry.get('requests_total', 0)}   "
+                f"tier {entry.get('load_tier', '?')}   "
+                f"up {float(entry.get('uptime_s', 0.0)):.0f}s"
+            )
     return "\n".join(lines)
 
 

@@ -77,7 +77,9 @@ PUBLIC_MODULES = [
     "repro.parser.stream",
     "repro.provenance",
     "repro.semantics",
+    "repro.serveconfig",
     "repro.server",
+    "repro.shard",
     "repro.stats",
     "repro.telemetry",
     "repro.top",

@@ -111,5 +111,28 @@ def test_entry_points_keep_keyword_signatures() -> None:
             assert params[name].kind is inspect.Parameter.KEYWORD_ONLY
 
     serve_params = inspect.signature(api.serve).parameters
-    for name in ("socket_path", "port", "package_names", "cache_dir"):
+    for name in ("options", "config"):
         assert name in serve_params, name
+    # The legacy keyword arguments (socket_path=..., port=..., ...)
+    # must keep being *accepted* — via the **legacy shim.
+    assert any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in serve_params.values()
+    ), "serve() lost its legacy-kwargs compatibility shim"
+
+
+def test_serve_config_surface() -> None:
+    """ServeConfig is part of the v1 surface: frozen, defaulted,
+    JSON round-trippable."""
+    config = api.ServeConfig()
+    assert config.shards == 1
+    assert api.ServeConfig.from_json(config.to_json()) == config
+    variant = config.replace(port=7777, shards=4)
+    assert variant.validate() is variant
+    # Frozen: assignment must fail.
+    try:
+        config.port = 1  # type: ignore[misc]
+    except Exception:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("ServeConfig must be immutable")

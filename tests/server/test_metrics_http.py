@@ -174,3 +174,114 @@ def test_run_top_polls_a_live_daemon(telemetry_server, tmp_path):
     text = out.getvalue()
     assert "repro top" in text
     assert "requests" in text and "latency" in text
+
+# ---------------------------------------------------------------------------
+# The single-process HTTP/JSON gateway: POST /v1/expand
+# ---------------------------------------------------------------------------
+
+
+def _post(handle, path: str, body: bytes) -> tuple[int, dict, bytes]:
+    conn = http.client.HTTPConnection(
+        "127.0.0.1", handle.server.sidecar.bound_port, timeout=10
+    )
+    try:
+        conn.request(
+            "POST",
+            path,
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return (
+            response.status,
+            dict(response.getheaders()),
+            response.read(),
+        )
+    finally:
+        conn.close()
+
+
+def test_gateway_expand_matches_ndjson(telemetry_server):
+    """POST /v1/expand answers the same frame as the NDJSON socket,
+    wrapped in an honest HTTP status."""
+    frame = {
+        "id": 1,
+        "op": "expand",
+        "source": PROGRAM,
+        "filename": "prog.c",
+    }
+    status, headers, body = _post(
+        telemetry_server, "/v1/expand", json.dumps(frame).encode()
+    )
+    assert status == 200
+    assert headers["Content-Type"].startswith("application/json")
+    via_http = json.loads(body)
+    assert via_http["ok"] is True
+    with telemetry_server.client() as client:
+        via_socket = client.request(dict(frame))
+    assert (
+        via_http["result"]["output"] == via_socket["result"]["output"]
+    )
+
+
+def test_gateway_maps_error_frames_to_http_statuses(telemetry_server):
+    status, _, body = _post(telemetry_server, "/v1/expand", b"not json")
+    assert status == 400
+    assert json.loads(body)["error"]["code"] == "bad_request"
+
+    bad_op = json.dumps({"id": 2, "op": "no_such_op"}).encode()
+    status, _, body = _post(telemetry_server, "/v1/expand", bad_op)
+    assert status == 400
+    assert json.loads(body)["error"]["code"] == "bad_request"
+
+
+def test_gateway_busy_maps_to_429_with_retry_after():
+    """A synthetic busy frame renders as 429 + Retry-After (the
+    mapping, tested without having to saturate a real daemon)."""
+    from repro.metrics_http import gateway_response, http_status_for_frame
+
+    frame = {
+        "id": 3,
+        "ok": False,
+        "error": {
+            "code": "busy",
+            "message": "queue full",
+            "retry_after_ms": 1500,
+        },
+    }
+    assert http_status_for_frame(frame) == 429
+    status, content_type, body, extra = gateway_response(frame)
+    assert status == 429
+    assert content_type.startswith("application/json")
+    assert json.loads(body) == frame
+    assert extra["Retry-After"] == "2"  # 1500 ms rounds up
+
+
+def test_gateway_ping_and_stats_ops(telemetry_server):
+    status, _, body = _post(
+        telemetry_server,
+        "/v1/expand",
+        json.dumps({"id": 4, "op": "ping"}).encode(),
+    )
+    assert status == 200
+    assert json.loads(body)["result"]["pong"] is True
+
+    status, _, body = _post(
+        telemetry_server,
+        "/v1/expand",
+        json.dumps({"id": 5, "op": "stats"}).encode(),
+    )
+    assert status == 200
+    assert "latency_ms" in json.loads(body)["result"]
+
+
+def test_http_client_transport_against_sidecar(telemetry_server):
+    """Ms2Client('http://...') speaks to the sidecar gateway."""
+    from repro.client import Ms2Client
+
+    port = telemetry_server.server.sidecar.bound_port
+    with Ms2Client(f"http://127.0.0.1:{port}") as client:
+        result = client.expand(PROGRAM, "prog.c")
+    with telemetry_server.client() as ndjson_client:
+        expected = ndjson_client.expand(PROGRAM, "prog.c")
+    assert result.output == expected.output
