@@ -57,7 +57,7 @@ def make_session(cache_dir: Path | None, jobs: int = 1) -> BuildSession:
     return BuildSession(
         package_names=("loops", "exceptions"),
         jobs=jobs,
-        cache_dir=cache_dir,
+        cache=cache_dir,
     )
 
 

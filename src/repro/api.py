@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.diagnostics import Diagnostic
+from repro.driver.cacheconfig import CacheConfig
 from repro.engine import MacroProcessor
 from repro.options import ExpandResult, Ms2Options
 from repro.client import Ms2Client, RetryPolicy, parse_server_address
@@ -41,6 +42,7 @@ __all__ = [
     "MacroProcessor",
     "expand",
     "expand_file",
+    "CacheConfig",
     "Ms2Client",
     "RetryPolicy",
     "ServeConfig",

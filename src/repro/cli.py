@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any
 
 from repro import faults
+from repro.driver.cacheconfig import CacheConfig
 from repro.driver.diskcache import DEFAULT_CACHE_DIR
 from repro.engine import MacroProcessor
 from repro.errors import Ms2Error
@@ -269,15 +270,39 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "-j", "--jobs", type=int, default=1, metavar="N",
         help="worker processes (default 1: sequential, in-process)",
     )
+    # The single source of cache-flag defaults: the frozen CacheConfig
+    # the library itself builds with (same pattern as serve below).
+    cache_defaults = CacheConfig()
     build.add_argument(
-        "--cache-dir", type=Path, default=Path(DEFAULT_CACHE_DIR),
+        "--cache-dir", type=Path,
+        default=Path(cache_defaults.local_dir or DEFAULT_CACHE_DIR),
         metavar="DIR",
         help=f"persistent snapshot cache root (default "
-        f"{DEFAULT_CACHE_DIR})",
+        f"{cache_defaults.local_dir})",
     )
     build.add_argument(
         "--no-disk-cache", action="store_true",
         help="disable the persistent cache entirely",
+    )
+    build.add_argument(
+        "--remote-cache", metavar="ADDRESS", default=cache_defaults.remote,
+        help="share snapshots with a 'repro serve --cache-dir' daemon "
+        "at ADDRESS (unix:///path, tcp://host:port or http://host:port); "
+        "reads fall through local->remote, stores publish both tiers",
+    )
+    build.add_argument(
+        "--write-behind", type=int,
+        default=cache_defaults.write_behind, metavar="N",
+        help="queue up to N remote stores on a background uploader "
+        "instead of blocking the build (0 = publish synchronously; "
+        f"default {cache_defaults.write_behind})",
+    )
+    build.add_argument(
+        "--remote-timeout-s", type=float,
+        default=cache_defaults.remote_timeout_s, metavar="S",
+        help="per-operation remote-cache budget; slower remote answers "
+        "count as misses and the build expands locally "
+        f"(default {cache_defaults.remote_timeout_s})",
     )
     build.add_argument(
         "--no-incremental", action="store_true",
@@ -671,6 +696,16 @@ def cmd_build(args: argparse.Namespace) -> int:
 
     _arm_faults(args)
     options = options_from_args(args)
+    cache_config = CacheConfig(
+        local_dir=None if args.no_disk_cache else str(args.cache_dir),
+        remote=args.remote_cache,
+        write_behind=args.write_behind,
+        remote_timeout_s=args.remote_timeout_s,
+    )
+    try:
+        cache_config.validate()
+    except ValueError as exc:
+        raise SystemExit(f"repro build: {exc}") from None
     session = BuildSession(
         options,
         package_names=args.package,
@@ -678,11 +713,15 @@ def cmd_build(args: argparse.Namespace) -> int:
             (str(path), path.read_text()) for path in args.package_file
         ],
         jobs=args.jobs,
-        cache_dir=None if args.no_disk_cache else args.cache_dir,
+        cache=cache_config,
         incremental=not args.no_incremental,
         retries=args.retries,
     )
-    report = session.build(args.files)
+    try:
+        report = session.build(args.files)
+    finally:
+        # Flush any write-behind remote publishes before reporting.
+        session.close()
     if args.out_dir is not None:
         write_outputs(report, args.out_dir)
     if args.report == "json":

@@ -503,6 +503,35 @@ class Ms2Client:
         return self.call("expand_file", **fields)
 
     # ------------------------------------------------------------------
+    # Remote cache (the daemon as a fleet cache authority)
+    # ------------------------------------------------------------------
+
+    def cache_get(self, key: str) -> dict[str, Any]:
+        """One snapshot lookup at the cache authority: ``{"found":
+        bool, "snapshot": dict | None, "digest": str | None}``.  The
+        digest covers the snapshot's canonical JSON body; callers
+        (see :class:`repro.driver.cachebackend.RemoteCacheBackend`)
+        verify it end-to-end."""
+        return self.call("cache_get", key=str(key))
+
+    def cache_put(
+        self, key: str, snapshot: dict[str, Any], digest: str
+    ) -> dict[str, Any]:
+        """Publish one snapshot to the cache authority; returns
+        ``{"stored": bool}``.  ``digest`` must be
+        :func:`repro.driver.cachebackend.snapshot_digest` of the
+        snapshot — the server rejects mismatches as ``bad_request``
+        so a payload corrupted in transit can never land."""
+        return self.call(
+            "cache_put", key=str(key), snapshot=snapshot, digest=digest
+        )
+
+    def cache_stats(self) -> dict[str, Any]:
+        """The authority's own cache counters (dir, hits, misses,
+        latency totals)."""
+        return self.call("cache_stats")
+
+    # ------------------------------------------------------------------
 
     @staticmethod
     def _preamble_fields(

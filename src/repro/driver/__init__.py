@@ -4,15 +4,22 @@ The paper's MS2 processed whole multi-file C programs one translation
 unit at a time; this subsystem is the production-scale driver on top
 of the same pipeline:
 
->>> from repro.driver import BuildSession
+>>> from repro.driver import BuildSession, CacheConfig
 >>> from repro import Ms2Options
 >>> session = BuildSession(Ms2Options(), package_names=["loops"],
-...                        jobs=4, cache_dir=".ms2-cache")
+...                        jobs=4, cache=CacheConfig(
+...                            local_dir=".ms2-cache",
+...                            remote="tcp://build-host:7777"))
 >>> report = session.build(["srcdir/"])          # doctest: +SKIP
 >>> report.ok, report.files_from_cache           # doctest: +SKIP
 
 - :mod:`repro.driver.scheduler` — the :class:`BuildSession` fan-out
   (process pool, shared macro context, per-file isolation);
+- :mod:`repro.driver.cacheconfig` — the frozen :class:`CacheConfig`
+  value every cache default derives from;
+- :mod:`repro.driver.cachebackend` — the :class:`CacheBackend`
+  protocol plus the remote (daemon-served) and tiered (read-through,
+  write-behind) backends;
 - :mod:`repro.driver.diskcache` — content-hash-keyed snapshot files
   that survive runs, with the in-memory cache's exact corruption
   fallback semantics;
@@ -22,6 +29,12 @@ of the same pipeline:
   :class:`BuildReport` (``repro build --report json``).
 """
 
+from repro.driver.cachebackend import (
+    CacheBackend,
+    RemoteCacheBackend,
+    TieredBackend,
+)
+from repro.driver.cacheconfig import CacheConfig
 from repro.driver.diskcache import DEFAULT_CACHE_DIR, PersistentCache
 from repro.driver.locks import FileLock, LockTimeout
 from repro.driver.report import BuildReport, FileResult
@@ -34,11 +47,15 @@ from repro.driver.scheduler import (
 __all__ = [
     "BuildReport",
     "BuildSession",
+    "CacheBackend",
+    "CacheConfig",
     "DEFAULT_CACHE_DIR",
     "FileLock",
     "FileResult",
     "LockTimeout",
     "PersistentCache",
+    "RemoteCacheBackend",
+    "TieredBackend",
     "resolve_inputs",
     "write_outputs",
 ]

@@ -270,6 +270,16 @@ class PersistentCache:
                 pass
         return removed
 
+    def describe(self) -> str:
+        """Short label for reports: the cache root."""
+        return str(self.root)
+
+    def close(self) -> None:
+        """Nothing to release — entries live as closed files.  Part
+        of the :class:`~repro.driver.cachebackend.CacheBackend`
+        protocol, where the tiered backend uses it to flush its
+        write-behind queue."""
+
     def counters(self) -> dict[str, float]:
         """This session's counters — the payload surfaced by
         :class:`~repro.driver.report.BuildReport`, the server

@@ -99,9 +99,10 @@ class BuildReport:
     incremental: bool = True
     #: End-to-end wall milliseconds for the batch.
     elapsed_ms: float = 0.0
-    #: Persistent-cache session counters (hits/misses/failures/
-    #: evictions plus load/store call counts and latency totals).
-    cache: dict[str, float] = field(default_factory=dict)
+    #: Cache-backend session counters (hits/misses/failures/evictions
+    #: plus load/store call counts and latency totals; tiered backends
+    #: add nested ``"tiers"`` and ``"write_behind"`` sections).
+    cache: dict[str, Any] = field(default_factory=dict)
     #: Worker-pool rebuilds after a crashed worker process.
     worker_restarts: int = 0
 
@@ -207,4 +208,36 @@ class BuildReport:
                 f"[load {self.cache.get('load_ms', 0):.1f}ms, "
                 f"store {self.cache.get('store_ms', 0):.1f}ms]"
             )
+            tiers = self.cache.get("tiers")
+            if isinstance(tiers, dict):
+                for name, tier in tiers.items():
+                    if not isinstance(tier, dict):
+                        continue
+                    line = (
+                        f"--   {name}: "
+                        f"{tier.get('hits', 0)} hit(s), "
+                        f"{tier.get('misses', 0)} miss(es), "
+                        f"{tier.get('failures', 0)} failure(s) "
+                        f"[load {tier.get('load_ms', 0):.1f}ms, "
+                        f"store {tier.get('store_ms', 0):.1f}ms]"
+                    )
+                    extras = []
+                    if tier.get("timeouts"):
+                        extras.append(f"{tier['timeouts']} timeout(s)")
+                    if tier.get("errors"):
+                        extras.append(f"{tier['errors']} error(s)")
+                    if tier.get("down"):
+                        extras.append("circuit OPEN")
+                    if extras:
+                        line += "  " + ", ".join(extras)
+                    lines.append(line)
+            wb = self.cache.get("write_behind")
+            if isinstance(wb, dict) and wb.get("limit"):
+                lines.append(
+                    "--   write-behind: "
+                    f"{wb.get('flushed', 0)} flushed, "
+                    f"{wb.get('dropped', 0)} dropped, "
+                    f"{wb.get('failed', 0)} failed "
+                    f"(queue {wb.get('depth', 0)}/{wb.get('limit', 0)})"
+                )
         return "\n".join(lines)

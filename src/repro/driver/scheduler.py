@@ -40,10 +40,10 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from time import perf_counter
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro import __version__, faults
-from repro.driver.diskcache import DEFAULT_CACHE_DIR, PersistentCache
+from repro.driver.cacheconfig import CacheConfig
 from repro.driver.report import BuildReport, FileResult
 from repro.engine import MacroProcessor
 from repro.errors import ExpansionBudgetError, Ms2Error
@@ -59,6 +59,10 @@ SOURCE_SUFFIXES = (".c", ".ms2")
 #: (scaled by attempt number — a crashing worker often means memory
 #: pressure, and an immediate respawn just reproduces it).
 _RESTART_BACKOFF_S = 0.05
+
+#: Distinguishes "cache left to its default" from an explicit
+#: ``cache=None`` (which disables caching).
+_UNSET_CACHE: Any = object()
 
 
 def resolve_inputs(paths: Iterable[Path | str]) -> list[Path]:
@@ -206,9 +210,18 @@ class BuildSession:
     jobs:
         Worker processes.  1 (the default) builds sequentially
         in-process through the same code path.
-    cache_dir:
-        Root of the persistent snapshot cache, or ``None`` to disable
-        on-disk caching entirely.
+    cache:
+        The snapshot cache, in any of four spellings: a
+        :class:`~repro.driver.cacheconfig.CacheConfig` (the full
+        surface — local dir, remote authority, write-behind policy),
+        a path (shorthand for a local-only config rooted there), a
+        ready :class:`~repro.driver.cachebackend.CacheBackend`
+        instance, or ``None`` to disable caching.  Omitted, it
+        defaults to ``CacheConfig()`` — a local ``.ms2-cache/``.
+        The legacy ``cache_dir=`` / ``use_disk_cache=`` keywords
+        keep working through
+        :meth:`~repro.driver.cacheconfig.CacheConfig.from_legacy_kwargs`
+        (one :class:`~repro.options.Ms2DeprecationWarning`).
     incremental:
         When True (default), files whose (source, macros, options)
         key has a usable snapshot are served from the cache without
@@ -230,9 +243,10 @@ class BuildSession:
         package_names: Sequence[str] = (),
         package_sources: Sequence[tuple[str, str]] = (),
         jobs: int = 1,
-        cache_dir: Path | str | None = DEFAULT_CACHE_DIR,
+        cache: Any = _UNSET_CACHE,
         incremental: bool = True,
         retries: int = 2,
+        **legacy: Any,
     ) -> None:
         base = options if options is not None else Ms2Options()
         self.options = base.without_runtime_hooks()
@@ -245,8 +259,8 @@ class BuildSession:
         self.retries = max(0, int(retries))
         #: Pools rebuilt after a worker process died mid-batch.
         self.worker_restarts = 0
-        self.cache: PersistentCache | None = (
-            PersistentCache(cache_dir) if cache_dir is not None else None
+        self.cache_config, self.cache = self._resolve_cache(
+            cache, legacy
         )
         self.macro_hash = self._macro_hash()
         self._config = _WorkerConfig(
@@ -254,6 +268,46 @@ class BuildSession:
             package_sources=self.package_sources,
             options=self.options,
         )
+
+    @staticmethod
+    def _resolve_cache(
+        cache: Any, legacy: dict[str, Any]
+    ) -> tuple[CacheConfig | None, Any]:
+        """(config, backend) from the ``cache=`` argument or the
+        legacy ``cache_dir=`` / ``use_disk_cache=`` keywords."""
+        if legacy:
+            if cache is not _UNSET_CACHE:
+                raise TypeError(
+                    "BuildSession takes either cache=... or the "
+                    "legacy cache keyword arguments, not both"
+                )
+            config = CacheConfig.from_legacy_kwargs(**legacy)
+            return config, config.build_backend()
+        if cache is _UNSET_CACHE:
+            config = CacheConfig()
+            return config, config.build_backend()
+        if cache is None:
+            return None, None
+        if isinstance(cache, CacheConfig):
+            return cache, cache.build_backend()
+        if isinstance(cache, (str, Path)):
+            config = CacheConfig(local_dir=str(cache))
+            return config, config.build_backend()
+        # A ready backend object (anything speaking the protocol).
+        return None, cache
+
+    def close(self) -> None:
+        """Release the cache backend — flushes the tiered backend's
+        write-behind queue, so every snapshot this session published
+        is visible to the fleet before the process moves on."""
+        if self.cache is not None:
+            self.cache.close()
+
+    def __enter__(self) -> "BuildSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # The incremental-rebuild key
@@ -370,7 +424,7 @@ class BuildSession:
             results=[r for r in results if r is not None],
             jobs=self.jobs,
             cache_dir=(
-                str(self.cache.root) if self.cache is not None else None
+                self.cache.describe() if self.cache is not None else None
             ),
             incremental=self.incremental,
             elapsed_ms=(perf_counter() - start) * 1000.0,

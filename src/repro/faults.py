@@ -18,6 +18,8 @@ Sites (see ``docs/ROBUSTNESS.md`` for the catalog):
 ``pool.build_worker``   building a warm server worker (preamble load)
 ``driver.worker``       a build worker expanding one translation unit
 ``eventlog.write``      appending a structured event-log record
+``remote_cache.get``    ``RemoteCacheBackend`` fetching a snapshot
+``remote_cache.put``    ``RemoteCacheBackend`` publishing a snapshot
 =====================  ====================================================
 
 Arming
@@ -120,6 +122,8 @@ SITES = frozenset(
         "pool.build_worker",
         "driver.worker",
         "eventlog.write",
+        "remote_cache.get",
+        "remote_cache.put",
     }
 )
 

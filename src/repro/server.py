@@ -18,7 +18,10 @@ Protocol (one JSON object per LF-terminated line, UTF-8)::
         "result": {...ExpandResult.to_json()...}}
 
 Request ops: ``expand``, ``expand_file``, ``trace``, ``stats``,
-``ping``, ``shutdown``.  Error responses carry
+``ping``, ``shutdown``, plus the fleet-cache trio ``cache_get`` /
+``cache_put`` / ``cache_stats`` (the daemon doubles as the build
+farm's snapshot cache authority — see
+:mod:`repro.driver.cachebackend`).  Error responses carry
 ``{"error": {"code", "message", ...}}`` with codes ``bad_request``,
 ``busy`` (backpressure — the 429 of this protocol, carrying a
 ``retry_after_ms`` backoff hint), ``frame_too_large``,
@@ -111,11 +114,17 @@ PROTOCOL_VERSION = 1
 #: aggregates with :func:`repro.telemetry.merge_snapshots`.
 REQUEST_OPS = (
     "expand", "expand_file", "trace", "stats", "ping", "telemetry",
-    "shutdown",
+    "shutdown", "cache_get", "cache_put", "cache_stats",
 )
 
 #: Ops that run pipeline work (and are subject to backpressure).
 _WORK_OPS = frozenset({"expand", "expand_file", "trace"})
+
+#: Snapshot-cache authority ops: small file I/O against the daemon's
+#: cache root, run on the executor (never the event loop — a wedged
+#: entry lock must not stall unrelated connections) but exempt from
+#: work-op admission control.
+_CACHE_OPS = frozenset({"cache_get", "cache_put", "cache_stats"})
 
 
 def _ok(rid: Any, op: str, result: dict[str, Any]) -> dict[str, Any]:
@@ -541,6 +550,19 @@ class Ms2Server:
         #: Build the default worker pool before accepting traffic.
         self.prewarm = bool(prewarm)
 
+        #: The daemon's own handle on its snapshot cache root — the
+        #: store behind the ``cache_get``/``cache_put``/``cache_stats``
+        #: ops that make ``repro serve`` the fleet cache authority.
+        #: Distinct from the per-session caches ``expand_file`` uses
+        #: (same directory, same per-entry locks), so its counters
+        #: measure exactly the remote-cache traffic served.
+        if self.cache_dir is not None:
+            from repro.driver.diskcache import PersistentCache
+
+            self.cache_authority: Any = PersistentCache(self.cache_dir)
+        else:
+            self.cache_authority = None
+
         self.metrics = ServerMetrics()
         self.pool = WorkerPool(spares=warm_spares)
         self._executor = ThreadPoolExecutor(
@@ -748,6 +770,29 @@ class Ms2Server:
             "Persistent snapshot cache outcomes, by kind",
             ("kind",),
         )
+        m["cache_backend_ops"] = reg.counter(
+            "ms2_cache_backend_ops_total",
+            "Snapshot cache backend outcomes, by tier "
+            "(authority = this daemon serving cache_get/cache_put; "
+            "local/remote = build-session tiers) and kind",
+            ("tier", "kind"),
+        )
+        m["cache_backend_load_ms"] = reg.counter(
+            "ms2_cache_backend_load_ms_total",
+            "Wall milliseconds loading snapshots, by tier", ("tier",),
+        )
+        m["cache_backend_store_ms"] = reg.counter(
+            "ms2_cache_backend_store_ms_total",
+            "Wall milliseconds storing snapshots, by tier", ("tier",),
+        )
+        m["cache_wb_depth"] = reg.gauge(
+            "ms2_cache_backend_write_behind_depth",
+            "Remote publishes waiting in write-behind queues",
+        )
+        m["cache_wb_dropped"] = reg.counter(
+            "ms2_cache_backend_write_behind_dropped_total",
+            "Remote publishes dropped on write-behind queue overflow",
+        )
         m["disk_load_ms"] = reg.counter(
             "ms2_disk_cache_load_ms_total",
             "Wall milliseconds spent loading snapshots",
@@ -849,6 +894,24 @@ class Ms2Server:
             m["disk_ops"].set_total(disk.get(kind, 0), kind=kind)
         m["disk_load_ms"].set_total(disk.get("load_ms", 0.0))
         m["disk_store_ms"].set_total(disk.get("store_ms", 0.0))
+        for tier, flat in self._cache_backend_tiers().items():
+            for kind in (
+                "hits", "misses", "failures", "evictions",
+                "loads", "stores", "timeouts", "errors", "skipped",
+            ):
+                if kind in flat:
+                    m["cache_backend_ops"].set_total(
+                        flat[kind], tier=tier, kind=kind
+                    )
+            m["cache_backend_load_ms"].set_total(
+                flat.get("load_ms", 0.0), tier=tier
+            )
+            m["cache_backend_store_ms"].set_total(
+                flat.get("store_ms", 0.0), tier=tier
+            )
+        wb = self._cache_write_behind()
+        m["cache_wb_depth"].set(wb.get("depth", 0))
+        m["cache_wb_dropped"].set_total(wb.get("dropped", 0))
         if self.event_log is not None:
             m["events"].set_total(self.event_log.events_written)
         m["eventlog_errors"].set_total(
@@ -868,14 +931,69 @@ class Ms2Server:
         m["replenish_failures"].set_total(self.pool.replenish_failures)
 
     def _disk_counters(self) -> dict[str, float]:
-        """Persistent-cache counters summed over every BuildSession."""
+        """Persistent-cache counters summed over every BuildSession.
+        Only numeric top-level entries count — a tiered backend's
+        nested per-tier dicts are surfaced separately by
+        :meth:`_cache_backend_tiers`."""
         disk: dict[str, float] = {}
         with self._sessions_lock:
             for session in self._sessions.values():
-                if session.cache is not None:
-                    for name, value in session.cache.counters().items():
-                        disk[name] = disk.get(name, 0) + value
+                if session.cache is None:
+                    continue
+                for name, value in session.cache.counters().items():
+                    if isinstance(value, bool) or not isinstance(
+                        value, (int, float)
+                    ):
+                        continue
+                    disk[name] = disk.get(name, 0) + value
         return disk
+
+    def _cache_backend_tiers(self) -> dict[str, dict[str, float]]:
+        """Per-tier cache counters: the daemon's own authority store
+        plus every build session's backend, summed by tier name (the
+        ``ms2_cache_backend_*`` label set)."""
+        from repro.driver.cachebackend import backend_tiers
+
+        tiers: dict[str, dict[str, float]] = {}
+
+        def fold(tier: str, flat: dict[str, float]) -> None:
+            into = tiers.setdefault(tier, {})
+            for name, value in flat.items():
+                into[name] = into.get(name, 0) + value
+
+        if self.cache_authority is not None:
+            fold("authority", self.cache_authority.counters())
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            if session.cache is None:
+                continue
+            for tier, flat in backend_tiers(
+                session.cache.counters()
+            ).items():
+                fold(tier, flat)
+        return tiers
+
+    def _cache_write_behind(self) -> dict[str, float]:
+        """Write-behind queue accounting summed over every session
+        backend that publishes asynchronously (empty on a pure-local
+        daemon — the families still expose zeros)."""
+        totals: dict[str, float] = {}
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            if session.cache is None:
+                continue
+            wb = session.cache.counters().get("write_behind")
+            if not isinstance(wb, dict):
+                continue
+            for name, value in wb.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                totals[name] = totals.get(name, 0) + value
+        return totals
 
     def _worker_restarts(self) -> int:
         """Build-executor rebuilds summed over every BuildSession."""
@@ -1177,6 +1295,18 @@ class Ms2Server:
             return _ok(rid, op, {"snapshot": self.registry.snapshot()})
         if op == "shutdown":
             return _ok(rid, op, {"draining": True})
+        if op in _CACHE_OPS:
+            loop = asyncio.get_running_loop()
+            try:
+                return await loop.run_in_executor(
+                    self._executor, self._run_cache_op, op, rid, request
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — protocol backstop
+                return _err(
+                    rid, op, "internal", f"{type(exc).__name__}: {exc}"
+                )
         if op not in _WORK_OPS:
             return _err(
                 rid, op if isinstance(op, str) else None, "bad_request",
@@ -1234,6 +1364,70 @@ class Ms2Server:
                 self._idle_event.set()
         self.metrics.observe_latency((perf_counter() - start) * 1000.0)
         return response
+
+    # ------------------------------------------------------------------
+    # Cache authority ops (executor threads)
+    # ------------------------------------------------------------------
+
+    def _run_cache_op(
+        self, op: str, rid: Any, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Serve one ``cache_get``/``cache_put``/``cache_stats``
+        frame from the daemon's snapshot root.  Snapshots cross the
+        wire as their JSON payload dicts plus a content digest; the
+        disk format's own framing + integrity bytes guard the entry
+        at rest exactly as they do for local builds."""
+        from repro.driver.cachebackend import (
+            snapshot_digest,
+            validate_snapshot,
+        )
+
+        cache = self.cache_authority
+        if cache is None:
+            return _err(
+                rid, op, "unavailable",
+                "this daemon serves no snapshot cache "
+                "(start repro serve with --cache-dir)",
+            )
+        if op == "cache_stats":
+            return _ok(rid, op, {
+                "dir": str(cache.root),
+                **cache.counters(),
+            })
+        key = request.get("key")
+        if not (isinstance(key, str) and key):
+            return _err(
+                rid, op, "bad_request",
+                f"{op} requires a non-empty string 'key'",
+            )
+        if op == "cache_get":
+            payload = cache.load(key)
+            if payload is None:
+                return _ok(rid, op, {
+                    "found": False, "snapshot": None, "digest": None,
+                })
+            return _ok(rid, op, {
+                "found": True,
+                "snapshot": payload,
+                "digest": snapshot_digest(payload),
+            })
+        snapshot = request.get("snapshot")
+        if validate_snapshot(snapshot, key) is None:
+            return _err(
+                rid, op, "bad_request",
+                "cache_put requires a snapshot object carrying the "
+                "entry 'key' and a string 'output'",
+            )
+        digest = request.get("digest")
+        if digest != snapshot_digest(snapshot):
+            # The publish was corrupted in transit; storing it would
+            # poison every machine that later warms from this entry.
+            return _err(
+                rid, op, "bad_request",
+                "cache_put digest mismatch: snapshot corrupted in "
+                "transit; entry not stored",
+            )
+        return _ok(rid, op, {"stored": bool(cache.store(key, snapshot))})
 
     # ------------------------------------------------------------------
     # Tiered load shedding
@@ -1530,7 +1724,11 @@ class Ms2Server:
                     package_names=package_names,
                     package_sources=package_sources,
                     jobs=1,
-                    cache_dir=self.cache_dir,
+                    cache=(
+                        str(self.cache_dir)
+                        if self.cache_dir is not None
+                        else None
+                    ),
                 )
                 self._sessions[key] = session
             return session
@@ -1643,6 +1841,11 @@ class Ms2Server:
         payload["disk_cache"] = {
             "dir": str(self.cache_dir) if self.cache_dir else None,
             **disk,
+        }
+        payload["cache_backends"] = {
+            "dir": str(self.cache_dir) if self.cache_dir else None,
+            "tiers": self._cache_backend_tiers(),
+            "write_behind": self._cache_write_behind(),
         }
         payload["telemetry"] = {
             "metrics_address": (

@@ -213,6 +213,34 @@ def aggregate_stats(
         None,
     )
     out["disk_cache"] = disk
+
+    # Cache backends: two-level — per-tier counter dicts sum tier by
+    # tier, the write-behind section sums flat, the authority dir is
+    # whichever shard reports one first (they all share it).
+    backend_sections = [p.get("cache_backends", {}) for p in payloads]
+    tier_names: list[str] = []
+    for section in backend_sections:
+        for name in (section.get("tiers") or {}):
+            if name not in tier_names:
+                tier_names.append(name)
+    out["cache_backends"] = {
+        "dir": next(
+            (s.get("dir") for s in backend_sections if s.get("dir")),
+            None,
+        ),
+        "tiers": {
+            name: _sum_dicts(
+                [
+                    (s.get("tiers") or {}).get(name, {})
+                    for s in backend_sections
+                ]
+            )
+            for name in tier_names
+        },
+        "write_behind": _sum_dicts(
+            [s.get("write_behind", {}) for s in backend_sections]
+        ),
+    }
     records = [
         p.get("telemetry", {}).get("event_log_records") for p in payloads
     ]

@@ -144,9 +144,31 @@ def render_dashboard(
             f"disk       hits {disk.get('hits', 0)}   "
             f"misses {disk.get('misses', 0)}   "
             f"failures {disk.get('failures', 0)}   "
-            f"evictions {disk.get('evictions', 0)}"
+            f"evictions {disk.get('evictions', 0)}   "
+            f"load {float(disk.get('load_ms', 0.0)):.1f}ms   "
+            f"store {float(disk.get('store_ms', 0.0)):.1f}ms"
         ),
     ]
+    backends = curr.get("cache_backends") or {}
+    for name, tier in sorted((backends.get("tiers") or {}).items()):
+        if not isinstance(tier, dict):
+            continue
+        lines.append(
+            f"cache:{name:<10.10}  hits {tier.get('hits', 0)}   "
+            f"misses {tier.get('misses', 0)}   "
+            f"timeouts {tier.get('timeouts', 0)}   "
+            f"load {float(tier.get('load_ms', 0.0)):.1f}ms   "
+            f"store {float(tier.get('store_ms', 0.0)):.1f}ms"
+        )
+    wb = backends.get("write_behind") or {}
+    if wb.get("limit") or wb.get("queued"):
+        lines.append(
+            f"cache:wb   depth {wb.get('depth', 0)}"
+            f"/{wb.get('limit', 0)}   "
+            f"flushed {wb.get('flushed', 0)}   "
+            f"dropped {wb.get('dropped', 0)}   "
+            f"failed {wb.get('failed', 0)}"
+        )
     resilience = curr.get("resilience") or {}
     if any(resilience.values()):
         lines.append(

@@ -31,7 +31,7 @@ class TestCrashSurvivingBuild:
     def test_poisonous_file_is_quarantined(self):
         # fork-started pool workers inherit the armed plan directly.
         faults.arm("driver.worker@poison.c:1:kill", seed=23)
-        session = BuildSession(jobs=2, cache_dir=None, retries=2)
+        session = BuildSession(jobs=2, cache=None, retries=2)
         sources = _sources(8) + [("poison.c", "int g(void);\n")]
         report = session.build_sources(sources)  # must not raise
         assert len(report.results) == 9
@@ -58,7 +58,7 @@ class TestCrashSurvivingBuild:
         # surviving-batch invariant holds: every file not armed for
         # a kill completes ok even though a worker died mid-batch.
         faults.arm("driver.worker@poison.c:1:kill", seed=29)
-        session = BuildSession(jobs=2, cache_dir=None, retries=1)
+        session = BuildSession(jobs=2, cache=None, retries=1)
         sources = [("poison.c", "int g(void);\n")] + _sources(6)
         report = session.build_sources(sources)
         ok = [r for r in report.results if r.status == "ok"]
@@ -67,7 +67,7 @@ class TestCrashSurvivingBuild:
 
     def test_retries_zero_quarantines_immediately(self):
         faults.arm("driver.worker@poison.c:1:kill", seed=31)
-        session = BuildSession(jobs=2, cache_dir=None, retries=0)
+        session = BuildSession(jobs=2, cache=None, retries=0)
         sources = _sources(3) + [("poison.c", "int g(void);\n")]
         report = session.build_sources(sources)
         by_path = {r.path: r for r in report.results}
@@ -75,7 +75,7 @@ class TestCrashSurvivingBuild:
         assert report.worker_restarts >= 1
 
     def test_sequential_path_unaffected_by_pool_logic(self):
-        session = BuildSession(jobs=1, cache_dir=None)
+        session = BuildSession(jobs=1, cache=None)
         report = session.build_sources(_sources(3))
         assert report.ok
         assert report.worker_restarts == 0

@@ -28,6 +28,11 @@ ONE_SHOT_SPECS = [
     "pool.build_worker:1:io_error:0:1",
     "driver.worker:1:io_error:0:1",
     "eventlog.write:1:io_error:0:1",
+    # The remote_cache.* sites live on the build client's
+    # RemoteCacheBackend, not the daemon's expand path — armed here
+    # for coverage, exercised in depth in test_remote_cache_chaos.
+    "remote_cache.get:1:io_error:0:1",
+    "remote_cache.put:1:conn_reset:0:1",
 ]
 
 

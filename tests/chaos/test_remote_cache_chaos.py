@@ -1,0 +1,185 @@
+"""The remote-cache chaos matrix: every way the authority can fail —
+down at startup, connection reset mid-publish, corrupt payload in
+transit, answers slower than the budget — and every time the build
+must complete with output byte-identical to a build that never had a
+remote cache at all (*fail-open*).  A remote cache may make builds
+faster; it must never make them wrong, and never make them fail."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.driver import BuildSession, CacheConfig
+from repro.driver.cachebackend import RemoteCacheError
+
+from tests.driver.corpus import SHARED_MACROS, synthetic_sources
+
+SOURCES = synthetic_sources(5)
+
+#: No daemon has ever listened here (port 1: refused instantly).
+DEAD_REMOTE = "tcp://127.0.0.1:1"
+
+
+def build(cache) -> "tuple":
+    session = BuildSession(
+        package_sources=[("shared.ms2", SHARED_MACROS)],
+        cache=cache,
+    )
+    try:
+        report = session.build_sources(SOURCES)
+    finally:
+        session.close()
+    return report, [r.output for r in report.results]
+
+
+@pytest.fixture(scope="module")
+def baseline_outputs():
+    """Ground truth: the same batch with no cache of any kind."""
+    session = BuildSession(
+        package_sources=[("shared.ms2", SHARED_MACROS)], cache=None
+    )
+    report = session.build_sources(SOURCES)
+    assert report.ok
+    return [r.output for r in report.results]
+
+
+@pytest.fixture
+def live_remote(server_factory, tmp_path):
+    """A real authority daemon plus a CacheConfig pointing at it."""
+    handle = server_factory(cache_dir=tmp_path / "authority")
+
+    def config(**overrides):
+        kwargs = dict(
+            local_dir=str(tmp_path / "local"),
+            remote=f"unix://{handle.socket_path}",
+            write_behind=0,  # stores on the build path: faults land
+        )
+        kwargs.update(overrides)
+        return CacheConfig(**kwargs)
+
+    return handle, config
+
+
+# ---------------------------------------------------------------------------
+# The matrix
+# ---------------------------------------------------------------------------
+
+
+def test_remote_down_at_startup(tmp_path, baseline_outputs):
+    """No daemon ever listened: every remote op degrades to a counted
+    miss and the batch builds locally, byte-identical."""
+    report, outputs = build(
+        CacheConfig(
+            local_dir=str(tmp_path / "local"),
+            remote=DEAD_REMOTE,
+            write_behind=0,
+            remote_timeout_s=0.5,
+        )
+    )
+    assert report.ok
+    assert outputs == baseline_outputs
+    remote_tier = report.cache["tiers"]["remote"]
+    assert remote_tier["hits"] == 0
+    assert remote_tier["errors"] >= 1
+
+
+def test_conn_reset_mid_publish(live_remote, baseline_outputs):
+    """Connections reset during every cache_put: snapshots stay
+    local-only, the build neither blocks nor fails."""
+    faults.arm("remote_cache.put:1:conn_reset", seed=41)
+    report, outputs = build(live_remote[1]())
+    assert report.ok
+    assert outputs == baseline_outputs
+    remote_tier = report.cache["tiers"]["remote"]
+    assert remote_tier["errors"] >= 1
+    assert faults.ACTIVE.injected.get("remote_cache.put", 0) >= 1
+
+
+def test_corrupt_remote_payload(live_remote, baseline_outputs):
+    """The authority answers, but the payload is mangled in transit:
+    the content digest rejects it and the file re-expands locally —
+    corrupt bytes can never become build output."""
+    handle, config = live_remote
+    # Warm the authority so cache_get actually answers snapshots.
+    warm, _ = build(config())
+    assert warm.ok
+    faults.arm("remote_cache.get:1:corrupt", seed=43)
+    # A fresh, empty local dir forces every read to the remote tier.
+    report, outputs = build(
+        config(local_dir=str(handle.socket_path.parent / "fresh-local"))
+    )
+    assert report.ok
+    assert outputs == baseline_outputs
+    remote_tier = report.cache["tiers"]["remote"]
+    assert remote_tier["hits"] == 0
+    assert remote_tier["failures"] + remote_tier["errors"] >= 1
+    assert faults.ACTIVE.injected.get("remote_cache.get", 0) >= 1
+
+
+def test_slow_remote_past_budget(live_remote, baseline_outputs):
+    """Answers slower than ``remote_timeout_s`` are discarded as
+    misses: a late snapshot is worth less than re-expanding."""
+    handle, config = live_remote
+    warm, _ = build(config())
+    assert warm.ok
+    faults.arm("remote_cache.get:1:delay", seed=47)
+    report, outputs = build(
+        config(
+            local_dir=str(handle.socket_path.parent / "slow-local"),
+            remote_timeout_s=0.01,  # < the injected DELAY_S
+        )
+    )
+    assert report.ok
+    assert outputs == baseline_outputs
+    remote_tier = report.cache["tiers"]["remote"]
+    assert remote_tier["hits"] == 0
+    assert remote_tier["timeouts"] >= 1
+
+
+def test_fail_closed_surfaces_the_failure(tmp_path):
+    """``fail_open=False`` is the loud variant for CI: a dead
+    authority raises instead of silently degrading."""
+    session = BuildSession(
+        package_sources=[("shared.ms2", SHARED_MACROS)],
+        cache=CacheConfig(
+            local_dir=None,
+            remote=DEAD_REMOTE,
+            write_behind=0,
+            remote_timeout_s=0.5,
+            fail_open=False,
+        ),
+    )
+    try:
+        with pytest.raises(RemoteCacheError):
+            session.build_sources(SOURCES[:1])
+    finally:
+        session.close()
+
+
+def test_recovery_after_startup_outage(live_remote, baseline_outputs):
+    """One build rode out a total remote outage; the next build (new
+    session, healthy daemon) uses the remote tier normally — the
+    breaker is per-session state, not a poison pill."""
+    handle, config = live_remote
+    faults.arm(
+        "remote_cache.get:1:io_error",
+        "remote_cache.put:1:io_error",
+        seed=53,
+    )
+    outage, outputs = build(config())
+    assert outage.ok
+    assert outputs == baseline_outputs
+    faults.disarm()
+    # Publish from a healthy session (fresh local dir — the outage
+    # session's local tier would otherwise satisfy every read before
+    # anything got expanded, and only fresh expansions publish).
+    healthy, _ = build(
+        config(local_dir=str(handle.socket_path.parent / "healthy-local"))
+    )
+    assert healthy.ok
+    fresh, fresh_outputs = build(
+        config(local_dir=str(handle.socket_path.parent / "post-outage"))
+    )
+    assert fresh.files_from_cache == len(SOURCES)
+    assert fresh_outputs == baseline_outputs

@@ -31,7 +31,7 @@ from tests.fuzz.fuzzer import load_corpus, make_processor
 
 def session(cache_dir, **kwargs) -> BuildSession:
     kwargs.setdefault("package_sources", [("shared.ms2", SHARED_MACROS)])
-    return BuildSession(cache_dir=cache_dir, **kwargs)
+    return BuildSession(cache=cache_dir, **kwargs)
 
 
 # ---------------------------------------------------------------------------
@@ -312,7 +312,7 @@ def test_driver_parity_with_expand_to_c_across_examples() -> None:
         sess = BuildSession(
             package_names=package_names,
             package_sources=package_sources,
-            cache_dir=None,
+            cache=None,
         )
         report = sess.build_sources([(name, program)])
         assert report.ok, f"{name}: {report.results[0].error}"
@@ -348,7 +348,7 @@ def _race_worker(src_dir: str, cache_root: str, queue) -> None:
 
     sess = Session(
         package_sources=[("shared.ms2", SHARED_MACROS)],
-        cache_dir=cache_root,
+        cache=cache_root,
     )
     report = sess.build([src_dir])
     queue.put((report.ok, [r.output for r in report.results]))
@@ -443,7 +443,7 @@ def test_concurrent_sessions_do_not_share_worker_state() -> None:
         name: [
             r.output
             for r in BuildSession(
-                package_sources=[("shared.ms2", macros)], cache_dir=None
+                package_sources=[("shared.ms2", macros)], cache=None
             ).build_sources(sources).results
         ]
         for name, macros in variants.items()
@@ -456,7 +456,7 @@ def test_concurrent_sessions_do_not_share_worker_state() -> None:
     def run(name: str, macros: str) -> None:
         barrier.wait()
         report = BuildSession(
-            package_sources=[("shared.ms2", macros)], cache_dir=None
+            package_sources=[("shared.ms2", macros)], cache=None
         ).build_sources(sources)
         results[name] = [r.output for r in report.results]
 

@@ -1,0 +1,368 @@
+"""CacheBackend unit coverage: the tiered composition against an
+in-memory fake remote, and the remote backend's fail-open degradation
+against an unreachable address.
+
+The real daemon transport is exercised in
+``tests/server/test_cache_ops.py``; here the remote tier is a plain
+object, so read-through promotion, write-behind ordering, overflow
+drops and the never-cache rule are tested without sockets or timing.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any
+
+import pytest
+
+from repro.driver import BuildSession, PersistentCache, TieredBackend
+from repro.driver.cachebackend import (
+    CacheBackend,
+    RemoteCacheBackend,
+    RemoteCacheError,
+    backend_tiers,
+    snapshot_digest,
+    validate_snapshot,
+)
+from repro.options import Ms2Options
+
+from tests.driver.corpus import SHARED_MACROS
+
+
+def payload_for(key: str) -> dict[str, Any]:
+    return {"key": key, "output": f"int {key[:6]};\n"}
+
+
+class FakeRemote:
+    """An in-memory stand-in for :class:`RemoteCacheBackend` — same
+    duck type, no sockets.  ``gate`` (when given) blocks every store
+    until released, to make write-behind ordering observable."""
+
+    def __init__(self, gate: threading.Event | None = None) -> None:
+        self.entries: dict[str, dict[str, Any]] = {}
+        self.gate = gate
+        self.store_calls: list[str] = []
+        self.hits = 0
+        self.misses = 0
+        self.failures = 0
+        self.evictions = 0
+        self.loads = 0
+        self.stores = 0
+        self.load_ms = 0.0
+        self.store_ms = 0.0
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        self.loads += 1
+        payload = self.entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return dict(payload)
+
+    def store(self, key: str, payload: dict[str, Any]) -> bool:
+        if self.gate is not None:
+            assert self.gate.wait(30)
+        self.stores += 1
+        self.store_calls.append(key)
+        self.entries[key] = dict(payload)
+        return True
+
+    def discard(self, key: str) -> None:
+        self.hits = max(0, self.hits - 1)
+        self.misses += 1
+        self.failures += 1
+
+    def counters(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits, "misses": self.misses,
+            "failures": self.failures, "evictions": self.evictions,
+            "loads": self.loads, "stores": self.stores,
+            "load_ms": self.load_ms, "store_ms": self.store_ms,
+        }
+
+    def describe(self) -> str:
+        return "remote fake://"
+
+    def close(self) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Protocol conformance
+# ---------------------------------------------------------------------------
+
+
+def test_every_backend_satisfies_the_protocol(tmp_path: Path) -> None:
+    local = PersistentCache(tmp_path / "c")
+    remote = FakeRemote()
+    assert isinstance(local, CacheBackend)
+    assert isinstance(remote, CacheBackend)
+    assert isinstance(
+        TieredBackend(local, remote, write_behind=0), CacheBackend
+    )
+    assert isinstance(
+        RemoteCacheBackend("tcp://127.0.0.1:1"), CacheBackend
+    )
+
+
+# ---------------------------------------------------------------------------
+# Digest / validation helpers
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_digest_is_content_addressed() -> None:
+    a = snapshot_digest({"key": "k", "output": "x"})
+    assert a == snapshot_digest({"output": "x", "key": "k"})  # order-free
+    assert a != snapshot_digest({"key": "k", "output": "y"})
+    assert len(a) == 16
+    int(a, 16)  # hex
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        None,
+        "not a dict",
+        {"output": "x"},                      # missing key
+        {"key": "other", "output": "x"},      # wrong key
+        {"key": "k", "output": 7},            # non-string output
+    ],
+)
+def test_validate_snapshot_rejects_malformed(bad: Any) -> None:
+    assert validate_snapshot(bad, "k") is None
+
+
+def test_validate_snapshot_accepts_well_formed() -> None:
+    good = {"key": "k", "output": "x", "extra": 1}
+    assert validate_snapshot(good, "k") is good
+
+
+def test_backend_tiers_flattens_and_nests(tmp_path: Path) -> None:
+    flat = PersistentCache(tmp_path / "c").counters()
+    assert backend_tiers(flat) == {"local": flat}
+    tiered = TieredBackend(
+        PersistentCache(tmp_path / "c"), FakeRemote(), write_behind=0
+    )
+    tiers = backend_tiers(tiered.counters())
+    assert set(tiers) == {"local", "remote"}
+    for sub in tiers.values():
+        assert all(
+            isinstance(v, (int, float)) for v in sub.values()
+        )
+
+
+# ---------------------------------------------------------------------------
+# Tiered reads
+# ---------------------------------------------------------------------------
+
+
+def test_remote_hit_is_promoted_to_local(tmp_path: Path) -> None:
+    local = PersistentCache(tmp_path / "c")
+    remote = FakeRemote()
+    key = "a" * 64
+    remote.entries[key] = payload_for(key)
+    tiered = TieredBackend(local, remote, write_behind=0)
+
+    served = tiered.load(key)
+    assert served is not None
+    assert served["output"] == payload_for(key)["output"]
+    assert tiered.hits == 1
+
+    # Promoted: the local tier now answers without touching remote.
+    assert local.load(key) is not None
+    before = remote.loads
+    assert tiered.load(key) is not None
+    assert remote.loads == before
+
+
+def test_local_hit_never_queries_remote(tmp_path: Path) -> None:
+    local = PersistentCache(tmp_path / "c")
+    remote = FakeRemote()
+    key = "b" * 64
+    local.store(key, payload_for(key))
+    tiered = TieredBackend(local, remote, write_behind=0)
+    assert tiered.load(key) is not None
+    assert remote.loads == 0
+
+
+def test_double_miss_is_one_effective_miss(tmp_path: Path) -> None:
+    tiered = TieredBackend(
+        PersistentCache(tmp_path / "c"), FakeRemote(), write_behind=0
+    )
+    assert tiered.load("c" * 64) is None
+    assert tiered.misses == 1
+    assert tiered.counters()["tiers"]["remote"]["misses"] == 1
+
+
+def test_discard_after_remote_hit_rebooks_both(tmp_path: Path) -> None:
+    local = PersistentCache(tmp_path / "c")
+    remote = FakeRemote()
+    key = "d" * 64
+    remote.entries[key] = payload_for(key)
+    tiered = TieredBackend(local, remote, write_behind=0)
+    assert tiered.load(key) is not None
+    tiered.discard(key)
+    assert tiered.hits == 0
+    assert tiered.misses == 1
+    assert remote.failures == 1
+    # The promoted local copy is gone too.
+    assert local.load(key) is None
+
+
+# ---------------------------------------------------------------------------
+# Write-behind
+# ---------------------------------------------------------------------------
+
+
+def test_synchronous_store_publishes_both_tiers(tmp_path: Path) -> None:
+    local = PersistentCache(tmp_path / "c")
+    remote = FakeRemote()
+    tiered = TieredBackend(local, remote, write_behind=0)
+    key = "e" * 64
+    assert tiered.store(key, payload_for(key))
+    assert key in remote.entries
+    assert local.load(key) is not None
+
+
+def test_close_flushes_queued_publishes(tmp_path: Path) -> None:
+    gate = threading.Event()
+    remote = FakeRemote(gate=gate)
+    tiered = TieredBackend(
+        PersistentCache(tmp_path / "c"), remote, write_behind=8
+    )
+    keys = [f"{i:x}" * 64 for i in range(4)]
+    for key in keys:
+        tiered.store(key, payload_for(key))
+    # Publishes are queued, not yet visible to the fleet.
+    assert set(remote.entries) < set(keys) | {keys[0]}
+    gate.set()
+    tiered.close()
+    # Flush-then-stop: everything accepted before close landed.
+    assert set(remote.entries) == set(keys)
+    assert tiered.wb_flushed == 4
+    assert tiered.wb_dropped == 0
+
+
+def test_overflow_drops_and_counts(tmp_path: Path) -> None:
+    gate = threading.Event()
+    remote = FakeRemote(gate=gate)
+    tiered = TieredBackend(
+        PersistentCache(tmp_path / "c"), remote, write_behind=1
+    )
+    keys = [f"{i:x}" * 64 for i in range(4)]
+    dropped_before = 0
+    for key in keys:
+        tiered.store(key, payload_for(key))  # never blocks
+    dropped = tiered.wb_dropped
+    assert dropped >= 1, "a bounded queue under a blocked uploader must drop"
+    gate.set()
+    tiered.close()
+    assert tiered.wb_flushed + tiered.wb_dropped == len(keys) - dropped_before
+    # The build path kept every snapshot locally regardless.
+    for key in keys:
+        assert tiered.local.load(key) is not None
+
+
+def test_store_never_blocks_on_a_stuck_remote(tmp_path: Path) -> None:
+    gate = threading.Event()  # never set: the uploader hangs forever
+    remote = FakeRemote(gate=gate)
+    tiered = TieredBackend(
+        PersistentCache(tmp_path / "c"), remote, write_behind=2
+    )
+    done = threading.Event()
+
+    def run() -> None:
+        for i in range(16):
+            key = f"{i:02x}" * 32
+            tiered.store(key, payload_for(key))
+        done.set()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert done.wait(10), "store() blocked on the write-behind queue"
+    gate.set()
+    tiered.close()
+
+
+# ---------------------------------------------------------------------------
+# The never-cache rule crosses tiers
+# ---------------------------------------------------------------------------
+
+
+def test_budget_exhausted_is_never_published(tmp_path: Path) -> None:
+    """PR 4's rule — budget-truncated recover-mode output is never
+    pinned by the cache — must hold for the remote tier too: a
+    truncated snapshot published to the fleet would poison every
+    machine at once."""
+    remote = FakeRemote()
+    tiered = TieredBackend(
+        PersistentCache(tmp_path / "c"), remote, write_behind=0
+    )
+    session = BuildSession(
+        Ms2Options(recover=True, max_expansions=1),
+        package_sources=[("shared.ms2", SHARED_MACROS)],
+        cache=tiered,
+    )
+    source = "void f(void) { Twice { a(); } Twice { b(); } }\n"
+    report = session.build_sources([("f.c", source)])
+    assert report.results[0].status == "ok"
+    assert any(
+        d.get("category") == "ExpansionBudgetError"
+        for d in report.results[0].diagnostics
+    )
+    session.close()
+    assert remote.stores == 0, "budget-truncated result reached the fleet"
+    assert remote.entries == {}
+    assert tiered.local.entries() == []
+
+
+def test_ok_results_are_published(tmp_path: Path) -> None:
+    remote = FakeRemote()
+    tiered = TieredBackend(
+        PersistentCache(tmp_path / "c"), remote, write_behind=8
+    )
+    session = BuildSession(
+        package_sources=[("shared.ms2", SHARED_MACROS)],
+        cache=tiered,
+    )
+    report = session.build_sources([("ok.c", "int x = 1;\n")])
+    assert report.ok
+    session.close()  # flushes the write-behind queue
+    assert remote.stores == 1
+
+
+# ---------------------------------------------------------------------------
+# Remote backend degradation (no daemon listening)
+# ---------------------------------------------------------------------------
+
+#: TEST-NET-1 port 1: connection refused immediately on any sane host.
+UNREACHABLE = "tcp://127.0.0.1:1"
+
+
+def test_unreachable_remote_fails_open() -> None:
+    remote = RemoteCacheBackend(UNREACHABLE, timeout_s=0.5)
+    assert remote.load("f" * 64) is None
+    assert remote.store("f" * 64, payload_for("f" * 64)) is False
+    counters = remote.counters()
+    assert counters["errors"] >= 2
+    assert counters["hits"] == 0
+
+
+def test_breaker_opens_after_consecutive_errors() -> None:
+    remote = RemoteCacheBackend(UNREACHABLE, timeout_s=0.5)
+    for _ in range(3):
+        assert remote.load("a" * 64) is None
+    assert remote.down
+    skipped_before = remote.skipped
+    assert remote.load("a" * 64) is None
+    assert remote.skipped == skipped_before + 1
+
+
+def test_fail_closed_raises() -> None:
+    remote = RemoteCacheBackend(
+        UNREACHABLE, timeout_s=0.5, fail_open=False
+    )
+    with pytest.raises(RemoteCacheError, match="get"):
+        remote.load("a" * 64)

@@ -36,7 +36,7 @@ SOURCES = synthetic_sources(3)
 def make_session(cache_root: Path) -> BuildSession:
     return BuildSession(
         package_sources=[("shared.ms2", SHARED_MACROS)],
-        cache_dir=cache_root,
+        cache=cache_root,
     )
 
 
@@ -44,7 +44,7 @@ def make_session(cache_root: Path) -> BuildSession:
 def clean_outputs(tmp_path_factory) -> list[str]:
     """Outputs of a cold, cache-less build — the ground truth."""
     report = BuildSession(
-        package_sources=[("shared.ms2", SHARED_MACROS)], cache_dir=None
+        package_sources=[("shared.ms2", SHARED_MACROS)], cache=None
     ).build_sources(SOURCES)
     assert report.ok
     return [r.output for r in report.results]

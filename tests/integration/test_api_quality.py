@@ -41,6 +41,8 @@ PUBLIC_MODULES = [
     "repro.constfold",
     "repro.diagnostics",
     "repro.driver",
+    "repro.driver.cachebackend",
+    "repro.driver.cacheconfig",
     "repro.driver.diskcache",
     "repro.driver.locks",
     "repro.driver.report",

@@ -44,6 +44,7 @@ def test_every_exported_name_resolves() -> None:
 def test_facade_reexports_the_real_objects() -> None:
     from repro.client import Ms2Client
     from repro.diagnostics import Diagnostic
+    from repro.driver.cacheconfig import CacheConfig
     from repro.engine import MacroProcessor
     from repro.options import ExpandResult, Ms2Options
     from repro.server import serve
@@ -54,6 +55,7 @@ def test_facade_reexports_the_real_objects() -> None:
     assert api.MacroProcessor is MacroProcessor
     assert api.Ms2Client is Ms2Client
     assert api.serve is serve
+    assert api.CacheConfig is CacheConfig
 
 
 def test_expand_minimal_call_shape() -> None:
@@ -136,3 +138,22 @@ def test_serve_config_surface() -> None:
         pass
     else:  # pragma: no cover
         raise AssertionError("ServeConfig must be immutable")
+
+
+def test_cache_config_surface() -> None:
+    """CacheConfig is part of the v1 surface: frozen, defaulted,
+    JSON round-trippable."""
+    config = api.CacheConfig()
+    assert config.local_dir == ".ms2-cache"
+    assert config.remote is None
+    assert api.CacheConfig.from_json(config.to_json()) == config
+    variant = config.replace(
+        remote="tcp://build-host:7777", write_behind=16
+    )
+    assert variant.validate() is variant
+    try:
+        config.remote = "tcp://x:1"  # type: ignore[misc]
+    except Exception:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("CacheConfig must be immutable")
